@@ -1,0 +1,242 @@
+//! Criterion benchmarks for the performance-critical kernels behind each
+//! experiment: tuple-bundle execution (E3), DSGD (E5), the gridfield
+//! rewrite (E6), k-d range queries (E8), the particle filter (E10),
+//! GP fitting (E15), and result-caching runs (E2).
+//!
+//! Run with `cargo bench -p mde-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use mde_abs::rangequery::{random_agents, range_query_naive, KdTree};
+use mde_assim::pf::{BootstrapProposal, ParticleFilter};
+use mde_assim::wildfire::default_scenario;
+use mde_harmonize::dsgd::{dsgd_solve, DsgdConfig};
+use mde_harmonize::gridfield::{
+    regrid_then_restrict, restrict_then_regrid, Grid, GridField, Regrid, RegridAgg,
+};
+use mde_harmonize::spline::build_spline_system;
+use mde_mcdb::bundle::{execute_bundled, BundledCatalog, BundledTable};
+use mde_mcdb::prelude::*;
+use mde_mcdb::query::{AggFunc, AggSpec};
+use mde_mcdb::vg::NormalVg;
+use mde_metamodel::design::nolh;
+use mde_metamodel::gp::{GpConfig, GpModel};
+use mde_numeric::rng::rng_from_seed;
+use mde_simopt::rc::{run_rc, RcConfig};
+use mde_simopt::{FnModel, SeriesComposite};
+
+fn mcdb_setup(n_items: usize, n_iters: usize) -> (BundledCatalog, BundledTable, Plan) {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build("ITEMS", &[("IID", DataType::Int)])
+            .rows((0..n_items).map(|i| vec![Value::from(i as i64)]))
+            .finish()
+            .unwrap(),
+    );
+    db.insert(
+        Table::build("PARAMS", &[("MEAN", DataType::Float), ("STD", DataType::Float)])
+            .row(vec![Value::from(100.0), Value::from(20.0)])
+            .finish()
+            .unwrap(),
+    );
+    let spec = RandomTableSpec::builder("SALES")
+        .for_each(Plan::scan("ITEMS"))
+        .with_vg(Arc::new(NormalVg))
+        .vg_params_query(Plan::scan("PARAMS"))
+        .select(&[("IID", Expr::col("IID")), ("AMT", Expr::col("VALUE"))])
+        .build()
+        .unwrap();
+    let mut rng = rng_from_seed(1);
+    let bundled = BundledTable::from_spec(&spec, &db, n_iters, &mut rng).unwrap();
+    let mut bc = BundledCatalog::new(n_iters);
+    bc.insert(bundled.clone()).unwrap();
+    let plan = Plan::scan("SALES")
+        .filter(Expr::col("AMT").gt(Expr::lit(95.0)))
+        .aggregate(&[], vec![AggSpec::new("T", AggFunc::Sum, Expr::col("AMT"))]);
+    (bc, bundled, plan)
+}
+
+fn bench_mcdb_bundles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_mcdb");
+    group.sample_size(20);
+    let (bc, bundled, plan) = mcdb_setup(200, 100);
+    group.bench_function("bundle_exec_200x100", |b| {
+        b.iter(|| execute_bundled(black_box(&plan), black_box(&bc)).unwrap())
+    });
+    group.bench_function("naive_exec_200x100", |b| {
+        b.iter(|| {
+            for i in 0..100 {
+                let mut cat = Catalog::new();
+                cat.insert(bundled.instantiate(i).unwrap());
+                black_box(cat.query_unoptimized(&plan).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_dsgd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_dsgd");
+    group.sample_size(10);
+    let s: Vec<f64> = (0..=20_000).map(|i| i as f64 * 0.1).collect();
+    let d: Vec<f64> = s.iter().map(|&t| (t * 0.9).sin()).collect();
+    let sys = build_spline_system(&s, &d).unwrap();
+    group.bench_function("thomas_20k", |b| {
+        b.iter(|| black_box(sys.a.solve(&sys.b).unwrap()))
+    });
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("dsgd_50cycles_20k", threads),
+            &threads,
+            |b, &threads| {
+                let cfg = DsgdConfig {
+                    cycles: 50,
+                    threads,
+                    ..DsgdConfig::default()
+                };
+                b.iter(|| {
+                    black_box(dsgd_solve(&sys.a, &sys.b, &cfg, &mut rng_from_seed(1)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gridfield(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_gridfield");
+    group.sample_size(20);
+    let (fine, fidx) = Grid::structured_2d(128, 128).unwrap();
+    let (coarse, cidx) = Grid::structured_2d(32, 32).unwrap();
+    let fine = Arc::new(fine);
+    let coarse = Arc::new(coarse);
+    let faces = fine.cells_of_dim(2);
+    let gf = GridField::bind(
+        Arc::clone(&fine),
+        2,
+        faces.iter().map(|&c| c as f64).collect(),
+    )
+    .unwrap();
+    let op = Regrid {
+        assignment: faces
+            .iter()
+            .map(|&cell| {
+                let (i, j) = fidx.face_coords(cell);
+                Some(cidx.face(i / 4, j / 4))
+            })
+            .collect(),
+        agg: RegridAgg::Sum,
+    };
+    let keep = |cell: usize| cidx.face_coords(cell).1 < 2;
+    group.bench_function("regrid_then_restrict", |b| {
+        b.iter(|| black_box(regrid_then_restrict(&gf, &coarse, 2, &op, keep).unwrap()))
+    });
+    group.bench_function("restrict_then_regrid", |b| {
+        b.iter(|| black_box(restrict_then_regrid(&gf, &coarse, 2, &op, keep).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_rangequery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_rangequery");
+    group.sample_size(20);
+    let mut rng = rng_from_seed(7);
+    let agents = random_agents(50_000, 100.0, &mut rng);
+    let tree = KdTree::build(&agents);
+    let pred = |a: &mde_abs::rangequery::AgentState| a.attrs[0] > 25.0;
+    group.bench_function("kdtree_query_50k", |b| {
+        b.iter(|| black_box(tree.range_query(&agents, (50.0, 50.0), 1.0, pred)))
+    });
+    group.bench_function("naive_scan_50k", |b| {
+        b.iter(|| black_box(range_query_naive(&agents, (50.0, 50.0), 1.0, pred)))
+    });
+    group.bench_function("kdtree_build_50k", |b| {
+        b.iter(|| black_box(KdTree::build(&agents)))
+    });
+    group.finish();
+}
+
+fn bench_pf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_particle_filter");
+    group.sample_size(10);
+    let model = default_scenario();
+    let mut rng = rng_from_seed(3);
+    let (_, obs) = model.simulate_truth(10, &mut rng);
+    for n in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("bootstrap_10steps", n), &n, |b, &n| {
+            let pf = ParticleFilter::new(n, 5);
+            b.iter(|| black_box(pf.run(&model, &BootstrapProposal, &obs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E15_gp");
+    group.sample_size(10);
+    let mut rng = rng_from_seed(21);
+    let design = nolh(2, 33, 50, &mut rng);
+    let xs = design.scale_to(&[(-1.0, 1.0), (-1.0, 1.0)]);
+    let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin() + x[1]).collect();
+    group.bench_function("fit_33pts_2d", |b| {
+        b.iter(|| black_box(GpModel::fit(&xs, &ys, &GpConfig::default()).unwrap()))
+    });
+    let gp = GpModel::fit(&xs, &ys, &GpConfig::default()).unwrap();
+    group.bench_function("predict", |b| {
+        b.iter(|| black_box(gp.predict(&[0.3, -0.4])))
+    });
+    group.finish();
+}
+
+fn bench_rc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_result_caching");
+    group.sample_size(10);
+    // M1 does real work (a long random walk) so caching has something to
+    // save; M2 is cheap.
+    let m1 = Arc::new(FnModel::new("slow", 10.0, |_: &[f64], rng: &mut mde_numeric::rng::Rng| {
+        use rand::Rng as _;
+        let mut x = 0.0;
+        for _ in 0..20_000 {
+            x += rng.gen::<f64>() - 0.5;
+        }
+        vec![x]
+    }));
+    let m2 = Arc::new(FnModel::new("fast", 1.0, |x: &[f64], rng: &mut mde_numeric::rng::Rng| {
+        use rand::Rng as _;
+        vec![x[0] + rng.gen::<f64>()]
+    }));
+    let comp = SeriesComposite::new(m1, m2);
+    for &alpha in &[1.0, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::new("rc_n200", format!("alpha_{alpha}")),
+            &alpha,
+            |b, &alpha| {
+                b.iter(|| {
+                    black_box(run_rc(
+                        &comp,
+                        &RcConfig {
+                            n: 200,
+                            alpha,
+                            seed: 1,
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mcdb_bundles,
+    bench_dsgd,
+    bench_gridfield,
+    bench_rangequery,
+    bench_pf,
+    bench_gp,
+    bench_rc
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Run the full experiment battery (the source of EXPERIMENTS.md numbers).
+fn main() {
+    for (id, title, run) in mde_bench::experiments::all() {
+        println!("================================================================");
+        println!("{id}: {title}");
+        println!("================================================================");
+        println!("{}", run());
+    }
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: see `mde_bench::experiments` and DESIGN.md §4.
+fn main() {
+    println!("{}", mde_bench::experiments::wildfire_assimilation_report());
+}

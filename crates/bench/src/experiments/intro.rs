@@ -1,0 +1,96 @@
+//! E0 — §1: the introduction's agent-based motivating examples.
+//!
+//! Bonabeau's traffic argument: a data-centric analysis of speeds and
+//! delays misses the *mechanism* ("we slow down at certain rates when
+//! someone appears in front of us … accelerate to a driver-dependent
+//! 'comfortable' speed … may switch lanes"), yet "simple agent-based
+//! simulations that incorporate such behavior can accurately imitate
+//! traffic jams observed in the real world". Plus Schelling [48], the
+//! historical root the paper cites.
+
+use mde_abs::engine::run_model;
+use mde_abs::schelling::{SchellingConfig, SchellingModel};
+use mde_abs::traffic::{fundamental_diagram, TrafficConfig, TrafficModel};
+
+/// Regenerate the intro demonstrations.
+pub fn intro_abs_report() -> String {
+    let mut out = String::new();
+    out.push_str("E0 | §1: agent-based simulation imitates emergent real-world behavior\n\n");
+
+    // Traffic fundamental diagram: the inverted-V signature of real roads.
+    out.push_str("A) Nagel-Schreckenberg traffic: fundamental diagram (flow vs density)\n");
+    let densities: Vec<f64> = (1..=16).map(|i| i as f64 * 0.05).collect();
+    let rows = fundamental_diagram(&TrafficConfig::default(), &densities, 200, 300, 3);
+    let max_flow = rows.iter().map(|r| r.1).fold(0.0f64, f64::max).max(1e-9);
+    for &(density, flow, speed) in &rows {
+        let bar = "#".repeat((flow / max_flow * 40.0).round() as usize);
+        out.push_str(&format!(
+            "rho={density:4.2}  flow={flow:5.3}  v={speed:4.2}  |{bar}\n"
+        ));
+    }
+    let peak = rows
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty");
+    out.push_str(&format!(
+        "\ninverted-V with capacity at rho ≈ {:.2} — the empirical signature of real\n\
+         traffic, emerging from three behavioral rules plus noise.\n",
+        peak.0
+    ));
+
+    // Phantom jams: noise alone creates congestion.
+    let measure = |p_slow: f64| {
+        let mut m = TrafficModel::new(
+            TrafficConfig {
+                density: 0.25,
+                p_slow,
+                ..TrafficConfig::default()
+            },
+            8,
+        );
+        let obs = run_model(&mut m, 300, 9);
+        obs.iter().skip(100).map(|o| o.stopped_fraction).sum::<f64>() / 200.0
+    };
+    out.push_str(&format!(
+        "\nphantom jams: stopped fraction at rho=0.25 is {:.3} without driver noise vs \
+         {:.3} with it\n",
+        measure(0.0),
+        measure(0.3)
+    ));
+
+    // Schelling segregation.
+    out.push_str("\nB) Schelling segregation [48]: mild preferences, strong segregation\n");
+    let mut m = SchellingModel::new(SchellingConfig::default(), 3);
+    let obs = run_model(&mut m, 60, 4);
+    let mut rows = Vec::new();
+    for &t in &[0usize, 5, 20, 60] {
+        rows.push(vec![
+            t.to_string(),
+            format!("{:.3}", obs[t].segregation),
+            format!("{:.3}", obs[t].unhappy_fraction),
+        ]);
+    }
+    out.push_str(&crate::render_table(
+        &["step", "segregation index", "unhappy fraction"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nthreshold 0.3 (agents content with 30% like neighbors) drives the mean\n\
+         like-neighbor fraction from ~0.5 to {:.2} — emergence the data alone cannot\n\
+         predict, the paper's case for embedding expert mechanisms in models.\n",
+        obs.last().expect("non-empty").segregation
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shows_both_phenomena() {
+        let r = intro_abs_report();
+        assert!(r.contains("inverted-V"));
+        assert!(r.contains("segregation"));
+    }
+}

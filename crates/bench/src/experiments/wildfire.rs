@@ -1,0 +1,148 @@
+//! E10 — §3.2 Algorithm 2: wildfire data assimilation.
+//!
+//! Tracking error vs particle count for open-loop simulation, the
+//! bootstrap-proposal PF [56], and the sensor-aware-proposal PF [57],
+//! under both a well-specified and a misspecified spread model.
+
+use mde_assim::pf::{BootstrapProposal, ParticleFilter, Proposal, StateSpaceModel};
+use mde_assim::proposal::SensorAwareProposal;
+use mde_assim::wildfire::{default_scenario, CellFire, FireModel, FireState};
+use mde_numeric::rng::rng_from_seed;
+
+fn centroid_x(s: &FireState, width: usize) -> f64 {
+    let (mut sum, mut n) = (0.0, 0.0);
+    for (i, c) in s.cells.iter().enumerate() {
+        if c.is_burning() || matches!(c, CellFire::Burned) {
+            sum += (i % width) as f64;
+            n += 1.0;
+        }
+    }
+    if n > 0.0 {
+        sum / n
+    } else {
+        width as f64 / 2.0
+    }
+}
+
+fn pf_errors<P: Proposal<FireModel>>(
+    filter_model: &FireModel,
+    proposal: &P,
+    truth: &[FireState],
+    obs: &[Vec<f64>],
+    particles: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let pf = ParticleFilter::new(particles, seed);
+    let steps = pf.run(filter_model, proposal, obs);
+    let w = filter_model.config().width;
+    let mut count_err = 0.0;
+    let mut centroid_err = 0.0;
+    for (s, t) in steps.iter().zip(truth) {
+        count_err += (s.estimate(|x| x.burning_count() as f64) - t.burning_count() as f64).abs();
+        centroid_err += (s.estimate(|x| centroid_x(x, w)) - centroid_x(t, w)).abs();
+    }
+    (
+        count_err / truth.len() as f64,
+        centroid_err / truth.len() as f64,
+    )
+}
+
+/// Regenerate the assimilation comparison.
+pub fn wildfire_assimilation_report() -> String {
+    let steps = 15;
+    let truth_model = default_scenario();
+    let mut rng = rng_from_seed(31);
+    let (truth, obs) = truth_model.simulate_truth(steps, &mut rng);
+
+    let mut out = String::new();
+    out.push_str("E10 | §3.2 Algorithm 2: wildfire particle filtering\n\n");
+
+    // Part A: correct model; error vs particle count.
+    out.push_str("A) well-specified model: mean |burning-count error| vs N particles\n");
+    let mut rows = Vec::new();
+    for &n in &[25usize, 100, 400] {
+        // Open loop at matched ensemble size.
+        let mut orng = rng_from_seed(40);
+        let mut ensemble: Vec<FireState> =
+            (0..n).map(|_| truth_model.sample_initial(&mut orng)).collect();
+        let mut open_err = 0.0;
+        for (t, tr) in truth.iter().enumerate() {
+            if t > 0 {
+                ensemble = ensemble
+                    .iter()
+                    .map(|s| truth_model.sample_transition(s, &mut orng))
+                    .collect();
+            }
+            let est = ensemble.iter().map(|s| s.burning_count() as f64).sum::<f64>()
+                / n as f64;
+            open_err += (est - tr.burning_count() as f64).abs();
+        }
+        let (boot_err, _) = pf_errors(&truth_model, &BootstrapProposal, &truth, &obs, n, 41);
+        rows.push(vec![
+            n.to_string(),
+            crate::f(open_err / steps as f64),
+            crate::f(boot_err),
+        ]);
+    }
+    out.push_str(&crate::render_table(
+        &["particles", "open loop", "PF bootstrap [56]"],
+        &rows,
+    ));
+
+    // Part B: misspecified ignition; bootstrap vs sensor-aware on location.
+    out.push_str(
+        "\nB) misspecified ignition (believed (24,16), actual (8,16)): \
+         mean |centroid error| in cells\n",
+    );
+    let mut wrong = truth_model.config().clone();
+    wrong.ignition = (24, 16);
+    let filter_model = FireModel::new(wrong, (5, 5), 8.0);
+    let mut rows = Vec::new();
+    for &n in &[50usize, 150] {
+        let (_, boot_centroid) =
+            pf_errors(&filter_model, &BootstrapProposal, &truth, &obs, n, 42);
+        let aware = SensorAwareProposal {
+            sensor_confidence: 0.8,
+            ..SensorAwareProposal::default()
+        };
+        let (_, aware_centroid) = pf_errors(&filter_model, &aware, &truth, &obs, n, 42);
+        rows.push(vec![
+            n.to_string(),
+            crate::f(boot_centroid),
+            crate::f(aware_centroid),
+        ]);
+    }
+    out.push_str(&crate::render_table(
+        &["particles", "bootstrap [56]", "sensor-aware [57]"],
+        &rows,
+    ));
+    out.push_str(
+        "\nExpected shape: (A) assimilation beats open loop, improving with N; (B) when the\n\
+         transition density is far from the optimal proposal, [56] degrades and the\n\
+         sensor-aware proposal of [57] recovers the fire's location — both as the paper\n\
+         reports.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_aware_beats_bootstrap_on_centroid_under_mismatch() {
+        let truth_model = default_scenario();
+        let mut rng = rng_from_seed(31);
+        let (truth, obs) = truth_model.simulate_truth(12, &mut rng);
+        let mut wrong = truth_model.config().clone();
+        wrong.ignition = (24, 16);
+        let filter_model = FireModel::new(wrong, (5, 5), 8.0);
+        let (_, boot) = pf_errors(&filter_model, &BootstrapProposal, &truth, &obs, 100, 1);
+        let aware = SensorAwareProposal {
+            sensor_confidence: 0.8,
+            ..SensorAwareProposal::default()
+        };
+        let (_, sa) = pf_errors(&filter_model, &aware, &truth, &obs, 100, 1);
+        assert!(sa < boot, "sensor-aware {sa} vs bootstrap {boot}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Kriging-assisted calibration — the Salle & Yildizoglu approach of §3.1.
+//!
+//! "An alternative approach … carefully uses design of experiment (DOE)
+//! techniques — in particular, a nearly-orthogonal Latin hypercube design —
+//! to select representative values of θ to simulate. The method then uses
+//! a flexible surface-fitting technique called 'kriging' to approximate
+//! the function m̂(θ), and hence J(θ). This approximated function (also
+//! called a simulation metamodel) is then minimized to find the desired
+//! calibrated values of θ."
+//!
+//! The implementation supports both plain kriging and, per the paper's
+//! closing remark ("the kriging method … could potentially be replaced by
+//! stochastic kriging … which incorporate\[s\] simulation variability into
+//! the fitting algorithm"), a stochastic-kriging variant fed with
+//! replicated objective evaluations.
+
+use crate::optim::Bounds;
+use mde_metamodel::design::nolh;
+use mde_metamodel::gp::{GpConfig, GpModel};
+use mde_numeric::optim::{nelder_mead, NelderMeadConfig, OptimResult};
+use mde_numeric::rng::Rng;
+
+/// Configuration for kriging calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KrigingCalConfig {
+    /// NOLH design points (expensive objective evaluations).
+    pub design_runs: usize,
+    /// Infill rounds: after the first surrogate minimization, evaluate the
+    /// candidate, add it to the design, refit, and repeat.
+    pub infill_rounds: usize,
+    /// Replications per design point; with > 1, stochastic kriging is
+    /// fitted using the replication variance.
+    pub reps_per_point: usize,
+    /// Random LH candidates scanned when building the NOLH.
+    pub nolh_tries: usize,
+}
+
+impl Default for KrigingCalConfig {
+    fn default() -> Self {
+        KrigingCalConfig {
+            design_runs: 17,
+            infill_rounds: 3,
+            reps_per_point: 1,
+            nolh_tries: 100,
+        }
+    }
+}
+
+/// Result of a kriging calibration.
+#[derive(Debug, Clone)]
+pub struct KrigingCalResult {
+    /// Best evaluated point.
+    pub best: OptimResult,
+    /// All evaluated `(θ, J̄(θ))` pairs, in evaluation order.
+    pub evaluated: Vec<(Vec<f64>, f64)>,
+    /// The final surrogate (for diagnostics and "simulation on demand").
+    pub surrogate: GpModel,
+}
+
+/// Calibrate by DOE + kriging surrogate minimization.
+///
+/// `objective(θ, rep)` evaluates one replication of the expensive
+/// calibration objective `J(θ)` (e.g. an [`crate::msm::MsmProblem`]
+/// objective); `rep` indexes replications for stochastic kriging.
+pub fn kriging_calibrate(
+    mut objective: impl FnMut(&[f64], usize) -> f64,
+    bounds: &Bounds,
+    cfg: &KrigingCalConfig,
+    rng: &mut Rng,
+) -> mde_numeric::Result<KrigingCalResult> {
+    assert!(cfg.design_runs >= 5, "need a non-trivial design");
+    assert!(cfg.reps_per_point >= 1, "need at least one replication");
+
+    // 1. NOLH design over the parameter box.
+    let design = nolh(bounds.dim(), cfg.design_runs, cfg.nolh_tries, rng);
+    let mut xs: Vec<Vec<f64>> = design.scale_to(&bounds.ranges);
+
+    // 2. Evaluate the expensive objective at the design points.
+    let evaluate = |x: &[f64], objective: &mut dyn FnMut(&[f64], usize) -> f64| {
+        let vals: Vec<f64> = (0..cfg.reps_per_point).map(|r| objective(x, r)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = if vals.len() > 1 {
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                / (vals.len() as f64 - 1.0)
+                / vals.len() as f64
+        } else {
+            0.0
+        };
+        (mean, var)
+    };
+    let mut ys = Vec::with_capacity(xs.len());
+    let mut noise = Vec::with_capacity(xs.len());
+    let mut evaluated = Vec::new();
+    for x in &xs {
+        let (m, v) = evaluate(x, &mut objective);
+        ys.push(m);
+        noise.push(v);
+        evaluated.push((x.clone(), m));
+    }
+
+    // 3-4. Fit the surrogate, minimize it, evaluate the candidate, infill.
+    let gp_cfg = GpConfig::default();
+    let mut surrogate = fit(&xs, &ys, &noise, cfg, &gp_cfg)?;
+    for _ in 0..cfg.infill_rounds {
+        // Start the surrogate search from the best design point so far.
+        let best_idx = (0..ys.len())
+            .min_by(|&a, &b| ys[a].partial_cmp(&ys[b]).expect("finite"))
+            .expect("non-empty design");
+        let sur_ref = &surrogate;
+        let bounds_ref = bounds;
+        let r = nelder_mead(
+            move |x| {
+                let mut xx = x.to_vec();
+                bounds_ref.clamp(&mut xx);
+                sur_ref.predict(&xx)
+            },
+            &xs[best_idx],
+            &NelderMeadConfig {
+                max_evals: 500,
+                ..NelderMeadConfig::default()
+            },
+        )?;
+        let mut candidate = r.x;
+        bounds.clamp(&mut candidate);
+        let (m, v) = evaluate(&candidate, &mut objective);
+        evaluated.push((candidate.clone(), m));
+        xs.push(candidate);
+        ys.push(m);
+        noise.push(v);
+        surrogate = fit(&xs, &ys, &noise, cfg, &gp_cfg)?;
+    }
+
+    let best_idx = (0..ys.len())
+        .min_by(|&a, &b| ys[a].partial_cmp(&ys[b]).expect("finite"))
+        .expect("non-empty design");
+    Ok(KrigingCalResult {
+        best: OptimResult {
+            x: xs[best_idx].clone(),
+            fx: ys[best_idx],
+            evals: evaluated.len() * cfg.reps_per_point,
+            converged: false,
+        },
+        evaluated,
+        surrogate,
+    })
+}
+
+fn fit(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    noise: &[f64],
+    cfg: &KrigingCalConfig,
+    gp_cfg: &GpConfig,
+) -> mde_numeric::Result<GpModel> {
+    if cfg.reps_per_point > 1 {
+        GpModel::fit_stochastic(xs, ys, noise, gp_cfg)
+    } else {
+        GpModel::fit(xs, ys, gp_cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::random_search;
+    use mde_numeric::rng::rng_from_seed;
+
+    /// A smooth calibration-like objective with minimum at (0.6, 0.3).
+    fn smooth(x: &[f64]) -> f64 {
+        let a = x[0] - 0.6;
+        let b = x[1] - 0.3;
+        3.0 * a * a + 2.0 * b * b + 0.5 * a * b
+    }
+
+    fn unit_bounds() -> Bounds {
+        Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)])
+    }
+
+    #[test]
+    fn finds_minimum_of_smooth_objective() {
+        let mut rng = rng_from_seed(1);
+        let res = kriging_calibrate(
+            |x, _| smooth(x),
+            &unit_bounds(),
+            &KrigingCalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            (res.best.x[0] - 0.6).abs() < 0.1 && (res.best.x[1] - 0.3).abs() < 0.1,
+            "best at {:?}",
+            res.best.x
+        );
+        assert!(res.best.fx < 0.02, "J = {}", res.best.fx);
+    }
+
+    #[test]
+    fn beats_random_search_at_equal_budget() {
+        // The paper's pitch: DOE + surrogate uses expensive evaluations
+        // far more effectively than random sampling of θ.
+        let (mut kc_total, mut rs_total) = (0.0, 0.0);
+        for seed in 0..5 {
+            let mut rng = rng_from_seed(10 + seed);
+            let res = kriging_calibrate(
+                |x, _| smooth(x),
+                &unit_bounds(),
+                &KrigingCalConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+            let budget = res.evaluated.len();
+            let mut rng = rng_from_seed(90 + seed);
+            let rs = random_search(smooth, &unit_bounds(), budget, &mut rng);
+            kc_total += res.best.fx;
+            rs_total += rs.fx;
+        }
+        assert!(
+            kc_total < rs_total,
+            "kriging calibration ({kc_total}) should beat random search ({rs_total})"
+        );
+    }
+
+    #[test]
+    fn surrogate_supports_simulation_on_demand() {
+        // "once a metamodel has been fit … an approximation of the model
+        // output … can be obtained almost instantly."
+        let mut rng = rng_from_seed(2);
+        let res = kriging_calibrate(
+            |x, _| smooth(x),
+            &unit_bounds(),
+            &KrigingCalConfig {
+                design_runs: 25,
+                infill_rounds: 2,
+                ..KrigingCalConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        for &(a, b) in &[(0.2, 0.2), (0.5, 0.8), (0.7, 0.4)] {
+            let pred = res.surrogate.predict(&[a, b]);
+            assert!(
+                (pred - smooth(&[a, b])).abs() < 0.08,
+                "surrogate at ({a},{b}): {pred} vs {}",
+                smooth(&[a, b])
+            );
+        }
+    }
+
+    #[test]
+    fn stochastic_kriging_variant_handles_noise() {
+        use mde_numeric::dist::Normal;
+        let mut noise_rng = rng_from_seed(33);
+        let mut rng = rng_from_seed(3);
+        let res = kriging_calibrate(
+            |x, _rep| smooth(x) + 0.05 * Normal::sample_standard(&mut noise_rng),
+            &unit_bounds(),
+            &KrigingCalConfig {
+                reps_per_point: 5,
+                design_runs: 17,
+                infill_rounds: 3,
+                ..KrigingCalConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(res.surrogate.is_stochastic());
+        assert!(
+            (res.best.x[0] - 0.6).abs() < 0.2 && (res.best.x[1] - 0.3).abs() < 0.25,
+            "best at {:?}",
+            res.best.x
+        );
+    }
+
+    #[test]
+    fn candidate_points_respect_bounds() {
+        let mut rng = rng_from_seed(4);
+        let res = kriging_calibrate(
+            |x, _| smooth(x),
+            &unit_bounds(),
+            &KrigingCalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        for (x, _) in &res.evaluated {
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)), "out of bounds: {x:?}");
+        }
+    }
+}

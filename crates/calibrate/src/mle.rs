@@ -1,0 +1,156 @@
+//! Maximum likelihood estimation.
+//!
+//! §3.1's worked example: "consider data X = (X₁, …, Xₙ) representing i.i.d.
+//! draws from the exponential density f(x; θ) = θe^{−θx} … The likelihood
+//! is L(θ; X) = θⁿ e^{−θ ΣXᵢ} … A simple calculation yields θ̂ₙ = 1/X̄ₙ."
+//! For models whose likelihood is available but not analytically
+//! maximizable, [`mle_numeric`] maximizes the log-likelihood with
+//! Nelder–Mead; "the output of an ABS is usually highly nonlinear and
+//! complex, so that the likelihood can only be obtained in rare cases" —
+//! which is why §3.1 then moves to moment methods ([`crate::mm`],
+//! [`crate::msm`]).
+
+use mde_numeric::optim::{nelder_mead, NelderMeadConfig, OptimResult};
+use mde_numeric::NumericError;
+
+/// The closed-form exponential MLE `θ̂ = 1/X̄` from the paper.
+pub fn exponential_mle(data: &[f64]) -> mde_numeric::Result<f64> {
+    if data.is_empty() {
+        return Err(NumericError::EmptyInput {
+            context: "exponential_mle",
+        });
+    }
+    if data.iter().any(|x| *x < 0.0 || !x.is_finite()) {
+        return Err(NumericError::invalid(
+            "data",
+            "exponential data must be finite and non-negative".to_string(),
+        ));
+    }
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    if mean <= 0.0 {
+        return Err(NumericError::invalid(
+            "data",
+            "sample mean must be positive".to_string(),
+        ));
+    }
+    Ok(1.0 / mean)
+}
+
+/// The closed-form normal MLE `(μ̂, σ̂)` (population σ, per ML).
+pub fn normal_mle(data: &[f64]) -> mde_numeric::Result<(f64, f64)> {
+    if data.len() < 2 {
+        return Err(NumericError::EmptyInput {
+            context: "normal_mle (need >= 2 observations)",
+        });
+    }
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    Ok((mean, var.sqrt()))
+}
+
+/// Numeric MLE: maximize `Σᵢ ln f(xᵢ; θ)` over θ with Nelder–Mead.
+///
+/// `ln_pdf(θ, x)` must return the log-density; `-inf` outside the support
+/// is handled (mapped away by the optimizer's NaN/∞ guard).
+pub fn mle_numeric(
+    data: &[f64],
+    ln_pdf: impl Fn(&[f64], f64) -> f64,
+    theta0: &[f64],
+    max_evals: usize,
+) -> mde_numeric::Result<OptimResult> {
+    if data.is_empty() {
+        return Err(NumericError::EmptyInput { context: "mle_numeric" });
+    }
+    nelder_mead(
+        |theta| -data.iter().map(|&x| ln_pdf(theta, x)).sum::<f64>(),
+        theta0,
+        &NelderMeadConfig {
+            max_evals,
+            ..NelderMeadConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mde_numeric::dist::{Continuous, Distribution, Exponential, Normal};
+    use mde_numeric::rng::rng_from_seed;
+
+    #[test]
+    fn exponential_mle_closed_form() {
+        // θ̂ = 1/X̄ exactly.
+        let data = [1.0, 2.0, 3.0];
+        assert!((exponential_mle(&data).unwrap() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exponential_mle_recovers_rate() {
+        let d = Exponential::new(2.5).unwrap();
+        let mut rng = rng_from_seed(1);
+        let data = d.sample_n(&mut rng, 20_000);
+        let theta = exponential_mle(&data).unwrap();
+        assert!((theta - 2.5).abs() < 0.1, "θ̂ = {theta}");
+    }
+
+    #[test]
+    fn exponential_mle_errors() {
+        assert!(exponential_mle(&[]).is_err());
+        assert!(exponential_mle(&[-1.0]).is_err());
+        assert!(exponential_mle(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn normal_mle_recovers_parameters() {
+        let d = Normal::new(7.0, 2.0).unwrap();
+        let mut rng = rng_from_seed(2);
+        let data = d.sample_n(&mut rng, 20_000);
+        let (mu, sigma) = normal_mle(&data).unwrap();
+        assert!((mu - 7.0).abs() < 0.1);
+        assert!((sigma - 2.0).abs() < 0.1);
+        assert!(normal_mle(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn numeric_mle_matches_closed_form_exponential() {
+        let d = Exponential::new(1.8).unwrap();
+        let mut rng = rng_from_seed(3);
+        let data = d.sample_n(&mut rng, 5_000);
+        let closed = exponential_mle(&data).unwrap();
+        let numeric = mle_numeric(
+            &data,
+            |theta, x| match Exponential::new(theta[0]) {
+                Ok(dist) => dist.ln_pdf(x),
+                Err(_) => f64::NEG_INFINITY,
+            },
+            &[1.0],
+            2000,
+        )
+        .unwrap();
+        assert!(
+            (numeric.x[0] - closed).abs() < 1e-3,
+            "numeric {} vs closed {closed}",
+            numeric.x[0]
+        );
+    }
+
+    #[test]
+    fn numeric_mle_two_parameter_normal() {
+        let d = Normal::new(-2.0, 0.7).unwrap();
+        let mut rng = rng_from_seed(4);
+        let data = d.sample_n(&mut rng, 5_000);
+        let res = mle_numeric(
+            &data,
+            |theta, x| match Normal::new(theta[0], theta[1]) {
+                Ok(dist) => dist.ln_pdf(x),
+                Err(_) => f64::NEG_INFINITY,
+            },
+            &[0.0, 1.0],
+            4000,
+        )
+        .unwrap();
+        assert!((res.x[0] + 2.0).abs() < 0.05, "μ̂ = {}", res.x[0]);
+        assert!((res.x[1] - 0.7).abs() < 0.05, "σ̂ = {}", res.x[1]);
+    }
+}

@@ -1,0 +1,179 @@
+//! The method of moments.
+//!
+//! §3.1: "The method of moments proceeds by replacing `E[X]` by its
+//! empirical counterpart X̄ₙ and solving for θ … More generally, the
+//! procedure centers on a vector of observed statistics Y and solves the
+//! system Ȳₙ − m(θ) = 0, where m(θ) = E[Y|θ]."
+//!
+//! For one parameter, [`solve_univariate`] solves by bisection on a
+//! bracketing interval; the multivariate system is solved by minimizing
+//! `‖Ȳ − m(θ)‖²` with Nelder–Mead (exact zero when the system is
+//! solvable), which also covers the over-identified case.
+
+use mde_numeric::optim::{nelder_mead, NelderMeadConfig, OptimResult};
+use mde_numeric::NumericError;
+
+/// Empirical moment vector: `(mean, variance)` of a sample — the
+/// statistics the paper's normal example matches.
+pub fn sample_moments(data: &[f64]) -> mde_numeric::Result<(f64, f64)> {
+    if data.len() < 2 {
+        return Err(NumericError::EmptyInput {
+            context: "sample_moments (need >= 2)",
+        });
+    }
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    Ok((mean, var))
+}
+
+/// Solve the scalar moment equation `m(θ) = target` by bisection on
+/// `[lo, hi]`; `m` must be continuous and the bracket must straddle the
+/// target.
+pub fn solve_univariate(
+    m: impl Fn(f64) -> f64,
+    target: f64,
+    lo: f64,
+    hi: f64,
+) -> mde_numeric::Result<f64> {
+    if !(lo < hi) {
+        return Err(NumericError::invalid("bracket", format!("need lo < hi, got [{lo}, {hi}]")));
+    }
+    let (flo, fhi) = (m(lo) - target, m(hi) - target);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo * fhi > 0.0 {
+        return Err(NumericError::invalid(
+            "bracket",
+            format!("m(lo)-target = {flo} and m(hi)-target = {fhi} have the same sign"),
+        ));
+    }
+    let (mut a, mut b) = (lo, hi);
+    let mut fa = flo;
+    for _ in 0..200 {
+        let mid = 0.5 * (a + b);
+        let fm = m(mid) - target;
+        if fm == 0.0 || (b - a) < 1e-14 * (1.0 + mid.abs()) {
+            return Ok(mid);
+        }
+        if fa * fm < 0.0 {
+            b = mid;
+        } else {
+            a = mid;
+            fa = fm;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Solve the multivariate moment system `m(θ) = targets` by least squares
+/// (Nelder–Mead on `‖m(θ) − targets‖²`).
+pub fn solve_multivariate(
+    m: impl Fn(&[f64]) -> Vec<f64>,
+    targets: &[f64],
+    theta0: &[f64],
+    max_evals: usize,
+) -> mde_numeric::Result<OptimResult> {
+    if targets.is_empty() {
+        return Err(NumericError::EmptyInput {
+            context: "solve_multivariate",
+        });
+    }
+    nelder_mead(
+        |theta| {
+            m(theta)
+                .iter()
+                .zip(targets)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        },
+        theta0,
+        &NelderMeadConfig {
+            max_evals,
+            ..NelderMeadConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mde_numeric::dist::{Distribution, Exponential, Gamma, Normal};
+    use mde_numeric::rng::rng_from_seed;
+
+    #[test]
+    fn exponential_mm_equals_mle() {
+        // The paper's observation: for the exponential, MM gives the MLE
+        // estimator 1/X̄.
+        let d = Exponential::new(0.8).unwrap();
+        let mut rng = rng_from_seed(1);
+        let data = d.sample_n(&mut rng, 10_000);
+        let (mean, _) = sample_moments(&data).unwrap();
+        // E[X] = 1/θ: solve 1/θ = mean.
+        let theta = solve_univariate(|t| 1.0 / t, mean, 1e-3, 100.0).unwrap();
+        let mle = crate::mle::exponential_mle(&data).unwrap();
+        assert!((theta - mle).abs() < 1e-9, "MM {theta} vs MLE {mle}");
+    }
+
+    #[test]
+    fn normal_mm_two_equations() {
+        // "For a normal distribution, two equations in two unknowns."
+        let d = Normal::new(4.0, 1.5).unwrap();
+        let mut rng = rng_from_seed(2);
+        let data = d.sample_n(&mut rng, 20_000);
+        let (mean, var) = sample_moments(&data).unwrap();
+        let res = solve_multivariate(
+            |t| vec![t[0], t[1] * t[1]], // m(μ, σ) = (μ, σ²)
+            &[mean, var],
+            &[0.0, 1.0],
+            3000,
+        )
+        .unwrap();
+        assert!((res.x[0] - 4.0).abs() < 0.05);
+        assert!((res.x[1].abs() - 1.5).abs() < 0.05);
+        assert!(res.fx < 1e-10, "system should be solvable exactly");
+    }
+
+    #[test]
+    fn gamma_mm() {
+        // Gamma(k, θ): mean kθ, variance kθ².
+        let d = Gamma::new(3.0, 2.0).unwrap();
+        let mut rng = rng_from_seed(3);
+        let data = d.sample_n(&mut rng, 40_000);
+        let (mean, var) = sample_moments(&data).unwrap();
+        let res = solve_multivariate(
+            |t| vec![t[0] * t[1], t[0] * t[1] * t[1]],
+            &[mean, var],
+            &[1.0, 1.0],
+            4000,
+        )
+        .unwrap();
+        assert!((res.x[0] - 3.0).abs() < 0.2, "k̂ = {}", res.x[0]);
+        assert!((res.x[1] - 2.0).abs() < 0.15, "θ̂ = {}", res.x[1]);
+    }
+
+    #[test]
+    fn bisection_properties() {
+        // Exact root.
+        let r = solve_univariate(|t| t * t, 9.0, 0.0, 10.0).unwrap();
+        assert!((r - 3.0).abs() < 1e-10);
+        // Endpoint root.
+        let r = solve_univariate(|t| t, 0.0, 0.0, 1.0).unwrap();
+        assert_eq!(r, 0.0);
+        // Bad brackets error.
+        assert!(solve_univariate(|t| t, 5.0, 0.0, 1.0).is_err());
+        assert!(solve_univariate(|t| t, 0.5, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn sample_moments_errors() {
+        assert!(sample_moments(&[1.0]).is_err());
+        let (m, v) = sample_moments(&[1.0, 3.0]).unwrap();
+        assert_eq!(m, 2.0);
+        assert_eq!(v, 2.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Simulation-budgeted global optimizers for calibration objectives.
+//!
+//! §3.1: "Fabretti uses heuristic optimization methods, such as
+//! Nelder-Mead and genetic algorithms, to try and quickly locate the
+//! optimal parameter value. While this approach is a vast improvement over
+//! random sampling of θ values, the computational requirements can still
+//! be high." This module provides the genetic algorithm and the
+//! random-sampling baseline (Nelder–Mead lives in `mde_numeric::optim`);
+//! every optimizer reports its evaluation count so the calibration-contest
+//! experiment can compare methods at equal budgets.
+
+use mde_numeric::optim::OptimResult;
+use mde_numeric::rng::Rng;
+use rand::Rng as _;
+
+/// Box constraints for global search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    /// Per-dimension `(lo, hi)`.
+    pub ranges: Vec<(f64, f64)>,
+}
+
+impl Bounds {
+    /// Create bounds; each range must satisfy `lo < hi`.
+    pub fn new(ranges: Vec<(f64, f64)>) -> Self {
+        assert!(!ranges.is_empty(), "need at least one dimension");
+        for &(lo, hi) in &ranges {
+            assert!(lo < hi, "invalid range [{lo}, {hi}]");
+        }
+        Bounds { ranges }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// A uniform random point.
+    pub fn sample(&self, rng: &mut Rng) -> Vec<f64> {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| lo + (hi - lo) * rng.gen::<f64>())
+            .collect()
+    }
+
+    /// Clamp a point into the box.
+    pub fn clamp(&self, x: &mut [f64]) {
+        for (v, &(lo, hi)) in x.iter_mut().zip(&self.ranges) {
+            *v = v.clamp(lo, hi);
+        }
+    }
+}
+
+/// Pure random search: the baseline §3.1 says heuristics vastly improve on.
+pub fn random_search(
+    mut f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    evals: usize,
+    rng: &mut Rng,
+) -> OptimResult {
+    assert!(evals >= 1, "need at least one evaluation");
+    let mut best_x = bounds.sample(rng);
+    let mut best_f = f(&best_x);
+    for _ in 1..evals {
+        let x = bounds.sample(rng);
+        let fx = f(&x);
+        if fx < best_f {
+            best_f = fx;
+            best_x = x;
+        }
+    }
+    OptimResult {
+        x: best_x,
+        fx: best_f,
+        evals,
+        converged: false,
+    }
+}
+
+/// Genetic-algorithm configuration (Fabretti-style real-coded GA).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-coordinate Gaussian mutation scale, as a fraction of the range.
+    pub mutation_scale: f64,
+    /// Per-coordinate mutation probability.
+    pub mutation_prob: f64,
+    /// Elite individuals copied unchanged each generation.
+    pub elites: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 30,
+            generations: 20,
+            tournament: 3,
+            mutation_scale: 0.1,
+            mutation_prob: 0.3,
+            elites: 2,
+        }
+    }
+}
+
+/// Minimize with a real-coded genetic algorithm: tournament selection,
+/// blend (BLX-style) crossover, Gaussian mutation, elitism.
+pub fn genetic_algorithm(
+    mut f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    cfg: &GaConfig,
+    rng: &mut Rng,
+) -> OptimResult {
+    assert!(cfg.population >= 4, "population too small");
+    assert!(cfg.elites < cfg.population, "elites must be < population");
+    let d = bounds.dim();
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial population.
+    let mut pop: Vec<(Vec<f64>, f64)> = (0..cfg.population)
+        .map(|_| {
+            let x = bounds.sample(rng);
+            let fx = eval(&x, &mut evals);
+            (x, fx)
+        })
+        .collect();
+
+    for _ in 0..cfg.generations {
+        pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN after mapping"));
+        let mut next: Vec<(Vec<f64>, f64)> = pop[..cfg.elites].to_vec();
+        while next.len() < cfg.population {
+            let parent = |rng: &mut Rng| -> usize {
+                (0..cfg.tournament)
+                    .map(|_| rng.gen_range(0..pop.len()))
+                    .min_by(|&a, &b| pop[a].1.partial_cmp(&pop[b].1).expect("ordered"))
+                    .expect("tournament >= 1")
+            };
+            let (pa, pb) = (parent(rng), parent(rng));
+            // Blend crossover.
+            let mut child: Vec<f64> = (0..d)
+                .map(|k| {
+                    let (a, b) = (pop[pa].0[k], pop[pb].0[k]);
+                    let t: f64 = rng.gen::<f64>() * 1.5 - 0.25; // BLX-0.25
+                    a + t * (b - a)
+                })
+                .collect();
+            // Gaussian mutation.
+            for (k, v) in child.iter_mut().enumerate() {
+                if rng.gen::<f64>() < cfg.mutation_prob {
+                    let (lo, hi) = bounds.ranges[k];
+                    *v += cfg.mutation_scale
+                        * (hi - lo)
+                        * mde_numeric::dist::Normal::sample_standard(rng);
+                }
+            }
+            bounds.clamp(&mut child);
+            let fx = eval(&child, &mut evals);
+            next.push((child, fx));
+        }
+        pop = next;
+    }
+    pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("ordered"));
+    let (x, fx) = pop.swap_remove(0);
+    OptimResult {
+        x,
+        fx,
+        evals,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mde_numeric::rng::rng_from_seed;
+
+    /// A rugged multimodal objective (Rastrigin-flavored) with its global
+    /// minimum at (1, -0.5).
+    fn rugged(x: &[f64]) -> f64 {
+        let a = x[0] - 1.0;
+        let b = x[1] + 0.5;
+        a * a + b * b + 1.0 * (1.0 - (4.0 * std::f64::consts::PI * a).cos())
+            + 1.0 * (1.0 - (4.0 * std::f64::consts::PI * b).cos())
+    }
+
+    fn bounds() -> Bounds {
+        Bounds::new(vec![(-3.0, 3.0), (-3.0, 3.0)])
+    }
+
+    #[test]
+    fn bounds_sampling_and_clamping() {
+        let b = bounds();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            let x = b.sample(&mut rng);
+            assert!(x.iter().all(|v| (-3.0..=3.0).contains(v)));
+        }
+        let mut x = vec![-10.0, 10.0];
+        b.clamp(&mut x);
+        assert_eq!(x, vec![-3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_bounds_rejected() {
+        Bounds::new(vec![(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn random_search_respects_budget_and_improves() {
+        let mut rng = rng_from_seed(2);
+        let mut count = 0usize;
+        let r = random_search(
+            |x| {
+                count += 1;
+                rugged(x)
+            },
+            &bounds(),
+            500,
+            &mut rng,
+        );
+        assert_eq!(count, 500);
+        assert_eq!(r.evals, 500);
+        assert!(r.fx < rugged(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn ga_finds_near_global_minimum() {
+        let mut rng = rng_from_seed(3);
+        let r = genetic_algorithm(rugged, &bounds(), &GaConfig::default(), &mut rng);
+        assert!(r.fx < 0.5, "GA best f = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 0.3, "x = {:?}", r.x);
+        assert!((r.x[1] + 0.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn ga_beats_random_search_at_equal_budget() {
+        // "a vast improvement over random sampling of θ values" — average
+        // over several seeds to make the comparison stable.
+        let (mut ga_total, mut rs_total) = (0.0, 0.0);
+        for seed in 0..5 {
+            let mut rng = rng_from_seed(100 + seed);
+            let ga = genetic_algorithm(rugged, &bounds(), &GaConfig::default(), &mut rng);
+            let budget = ga.evals;
+            let mut rng = rng_from_seed(200 + seed);
+            let rs = random_search(rugged, &bounds(), budget, &mut rng);
+            ga_total += ga.fx;
+            rs_total += rs.fx;
+        }
+        assert!(
+            ga_total < rs_total,
+            "GA ({ga_total}) should beat random search ({rs_total})"
+        );
+    }
+
+    #[test]
+    fn ga_reproducible_given_seed() {
+        let run = |seed| {
+            let mut rng = rng_from_seed(seed);
+            genetic_algorithm(rugged, &bounds(), &GaConfig::default(), &mut rng).x
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn ga_elites_preserved() {
+        // With an easy convex objective, the best value never worsens
+        // across generations thanks to elitism — check final quality.
+        let mut rng = rng_from_seed(5);
+        let r = genetic_algorithm(
+            |x: &[f64]| x[0] * x[0] + x[1] * x[1],
+            &bounds(),
+            &GaConfig {
+                generations: 30,
+                ..GaConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(r.fx < 1e-2, "f = {}", r.fx);
+    }
+}

@@ -1,0 +1,210 @@
+//! The range of predictions for calibrated models — Shi & Brooks \[51\], the
+//! open problem §3.1 highlights.
+//!
+//! "Another interesting question is how to extend existing approaches,
+//! which calibrate against a small number of population summary
+//! statistics, to calibrate at a finer granularity. Such fine-grained
+//! calibration might have the potential for avoiding situations where
+//! multiple calibrations are all deemed acceptable but lead to very
+//! different predictions."
+//!
+//! This module operationalizes that diagnosis: [`acceptable_set`] collects
+//! *every* θ whose calibration objective clears an acceptance tolerance
+//! (LH-sampled, then polished), and [`prediction_range`] pushes the whole
+//! set through a downstream prediction — if the range is wide, the
+//! calibration is under-identified and more (or finer-grained) moments are
+//! needed. The E17 experiment shows exactly the \[51\] phenomenon and its
+//! repair.
+
+use crate::optim::Bounds;
+use mde_metamodel::design::nolh;
+use mde_numeric::optim::{nelder_mead, NelderMeadConfig};
+use mde_numeric::rng::Rng;
+
+/// All parameter vectors deemed acceptable by the calibration criterion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptableSet {
+    /// `(θ, J(θ))` pairs with `J ≤ tolerance`, deduplicated, sorted by J.
+    pub members: Vec<(Vec<f64>, f64)>,
+    /// The acceptance tolerance used.
+    pub tolerance: f64,
+    /// Total objective evaluations spent.
+    pub evals: usize,
+}
+
+/// Collect the acceptable set: LH-sample `design_runs` candidate θ over the
+/// bounds, polish each candidate below `polish_factor × tolerance` with a
+/// short Nelder–Mead, and keep everything that ends at `J ≤ tolerance`.
+/// Near-duplicate members (within `dedup_radius` in ∞-norm) are merged,
+/// keeping the better one.
+pub fn acceptable_set(
+    mut objective: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    tolerance: f64,
+    design_runs: usize,
+    rng: &mut Rng,
+) -> mde_numeric::Result<AcceptableSet> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    assert!(design_runs >= 2, "need at least two candidates");
+    let mut evals = 0usize;
+    let design = nolh(bounds.dim(), design_runs, 50, rng);
+    let candidates = design.scale_to(&bounds.ranges);
+
+    let mut members: Vec<(Vec<f64>, f64)> = Vec::new();
+    let dedup_radius: Vec<f64> = bounds
+        .ranges
+        .iter()
+        .map(|(lo, hi)| (hi - lo) * 0.05)
+        .collect();
+    // Rank candidates by their raw objective and polish from most to
+    // least promising — every candidate gets a short local search, since a
+    // fixed objective-scale cutoff would misjudge problems whose J values
+    // are large everywhere.
+    let mut ranked: Vec<(Vec<f64>, f64)> = candidates
+        .into_iter()
+        .map(|c| {
+            evals += 1;
+            let j0 = objective(&c);
+            (c, j0)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objectives"));
+    for (start, _) in ranked {
+        let result = nelder_mead(
+            |x| {
+                let mut xx = x.to_vec();
+                bounds.clamp(&mut xx);
+                evals += 1;
+                objective(&xx)
+            },
+            &start,
+            &NelderMeadConfig {
+                max_evals: 60,
+                ..NelderMeadConfig::default()
+            },
+        )?;
+        if result.fx <= tolerance {
+            let mut x = result.x;
+            bounds.clamp(&mut x);
+            // Dedup against existing members.
+            match members.iter_mut().find(|(m, _)| {
+                m.iter()
+                    .zip(&x)
+                    .zip(&dedup_radius)
+                    .all(|((a, b), r)| (a - b).abs() <= *r)
+            }) {
+                Some(existing) => {
+                    if result.fx < existing.1 {
+                        *existing = (x, result.fx);
+                    }
+                }
+                None => members.push((x, result.fx)),
+            }
+        }
+    }
+    members.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objectives"));
+    Ok(AcceptableSet {
+        members,
+        tolerance,
+        evals,
+    })
+}
+
+/// The range of a downstream prediction over an acceptable set: the \[51\]
+/// diagnostic. Returns `(min, max)`; an empty set yields `None`.
+pub fn prediction_range(
+    set: &AcceptableSet,
+    mut predict: impl FnMut(&[f64]) -> f64,
+) -> Option<(f64, f64)> {
+    let preds: Vec<f64> = set.members.iter().map(|(x, _)| predict(x)).collect();
+    if preds.is_empty() {
+        return None;
+    }
+    let min = preds.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mde_numeric::rng::rng_from_seed;
+
+    /// Under-identified calibration: only θ₀+θ₁ is pinned by the data, so
+    /// a whole ridge of (θ₀, θ₁) is acceptable.
+    fn ridge_objective(theta: &[f64]) -> f64 {
+        ((theta[0] + theta[1]) - 1.0).powi(2)
+    }
+
+    fn bounds() -> Bounds {
+        Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)])
+    }
+
+    #[test]
+    fn finds_multiple_acceptable_calibrations_on_a_ridge() {
+        let mut rng = rng_from_seed(1);
+        let set =
+            acceptable_set(ridge_objective, &bounds(), 1e-4, 33, &mut rng).unwrap();
+        assert!(set.members.len() >= 3, "found {} members", set.members.len());
+        for (x, j) in &set.members {
+            assert!(*j <= 1e-4);
+            assert!((x[0] + x[1] - 1.0).abs() < 0.02, "member off ridge: {x:?}");
+        }
+        assert!(set.evals > 0);
+    }
+
+    #[test]
+    fn divergent_predictions_detected_then_repaired_by_finer_moments() {
+        // The [51] phenomenon: acceptable calibrations agree on θ₀+θ₁ but a
+        // downstream prediction depends on θ₀−θ₁ and diverges wildly.
+        let mut rng = rng_from_seed(2);
+        let set = acceptable_set(ridge_objective, &bounds(), 1e-4, 33, &mut rng).unwrap();
+        let (lo, hi) = prediction_range(&set, |x| x[0] - x[1]).unwrap();
+        assert!(hi - lo > 0.5, "range [{lo}, {hi}] should be wide");
+
+        // Repair: add a second (finer-grained) moment pinning θ₀−θ₁ = 0.2.
+        let finer = |theta: &[f64]| {
+            ridge_objective(theta) + ((theta[0] - theta[1]) - 0.2).powi(2)
+        };
+        let mut rng = rng_from_seed(3);
+        let set2 = acceptable_set(finer, &bounds(), 1e-4, 33, &mut rng).unwrap();
+        assert!(!set2.members.is_empty());
+        let (lo2, hi2) = prediction_range(&set2, |x| x[0] - x[1]).unwrap();
+        assert!(
+            hi2 - lo2 < (hi - lo) * 0.2,
+            "finer calibration should collapse the range: [{lo2}, {hi2}] vs [{lo}, {hi}]"
+        );
+        assert!((lo2 - 0.2).abs() < 0.05 && (hi2 - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn well_identified_problem_yields_tight_set() {
+        let mut rng = rng_from_seed(4);
+        let set = acceptable_set(
+            |t: &[f64]| (t[0] - 0.3).powi(2) + (t[1] - 0.7).powi(2),
+            &bounds(),
+            1e-4,
+            33,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!set.members.is_empty());
+        let (lo, hi) = prediction_range(&set, |x| x[0]).unwrap();
+        assert!(hi - lo < 0.1, "identified problem should be tight: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn hopeless_tolerance_yields_empty_set() {
+        let mut rng = rng_from_seed(5);
+        let set = acceptable_set(
+            |_t: &[f64]| 100.0,
+            &bounds(),
+            1e-6,
+            17,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(set.members.is_empty());
+        assert!(prediction_range(&set, |x| x[0]).is_none());
+    }
+}

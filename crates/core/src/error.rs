@@ -1,0 +1,112 @@
+//! Error type for the ecosystem platform.
+
+use std::fmt;
+
+/// Errors produced by the composite-modeling platform.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A registry lookup failed.
+    NotRegistered {
+        /// What kind of artifact (model/dataset).
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// A composite model is structurally invalid (cycles, dangling ports,
+    /// arity problems).
+    InvalidComposite {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Data mismatches were detected and could not be auto-resolved.
+    UnresolvedMismatch {
+        /// Human-readable descriptions of each unresolved mismatch.
+        mismatches: Vec<String>,
+    },
+    /// An error bubbled up from the harmonization layer.
+    Harmonize(mde_harmonize::HarmonizeError),
+    /// An error bubbled up from the database engine.
+    Mcdb(mde_mcdb::McdbError),
+    /// An error bubbled up from the numeric substrate.
+    Numeric(mde_numeric::NumericError),
+    /// Metadata (de)serialization failed.
+    Metadata(String),
+}
+
+impl CoreError {
+    /// Shorthand for [`CoreError::InvalidComposite`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        CoreError::InvalidComposite {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotRegistered { kind, name } => {
+                write!(f, "{kind} `{name}` is not registered")
+            }
+            CoreError::InvalidComposite { reason } => {
+                write!(f, "invalid composite model: {reason}")
+            }
+            CoreError::UnresolvedMismatch { mismatches } => {
+                write!(f, "unresolved data mismatches: {}", mismatches.join("; "))
+            }
+            CoreError::Harmonize(e) => write!(f, "harmonization error: {e}"),
+            CoreError::Mcdb(e) => write!(f, "database error: {e}"),
+            CoreError::Numeric(e) => write!(f, "numeric error: {e}"),
+            CoreError::Metadata(m) => write!(f, "metadata error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Harmonize(e) => Some(e),
+            CoreError::Mcdb(e) => Some(e),
+            CoreError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mde_harmonize::HarmonizeError> for CoreError {
+    fn from(e: mde_harmonize::HarmonizeError) -> Self {
+        CoreError::Harmonize(e)
+    }
+}
+
+impl From<mde_mcdb::McdbError> for CoreError {
+    fn from(e: mde_mcdb::McdbError) -> Self {
+        CoreError::Mcdb(e)
+    }
+}
+
+impl From<mde_numeric::NumericError> for CoreError {
+    fn from(e: mde_numeric::NumericError) -> Self {
+        CoreError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::NotRegistered {
+            kind: "model",
+            name: "demand".into(),
+        };
+        assert!(e.to_string().contains("demand"));
+        let e = CoreError::invalid("cycle detected");
+        assert!(e.to_string().contains("cycle"));
+        let e = CoreError::UnresolvedMismatch {
+            mismatches: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("a; b"));
+    }
+}

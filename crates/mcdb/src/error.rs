@@ -1,0 +1,154 @@
+//! Error type for the Monte Carlo database engine.
+
+use std::fmt;
+
+/// Errors produced by the Monte Carlo database engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McdbError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable {
+        /// Name of the missing table.
+        name: String,
+    },
+    /// A referenced column does not exist in a schema.
+    UnknownColumn {
+        /// Name of the missing column.
+        column: String,
+        /// The columns that were available.
+        available: Vec<String>,
+    },
+    /// A value had the wrong type for an operation.
+    TypeMismatch {
+        /// Description of the operation.
+        context: String,
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A row had the wrong arity for its schema.
+    ArityMismatch {
+        /// Description of the operation.
+        context: String,
+        /// Expected number of values.
+        expected: usize,
+        /// Found number of values.
+        found: usize,
+    },
+    /// A query or spec was structurally invalid.
+    InvalidPlan {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An error from the numeric substrate (VG functions, estimators).
+    Numeric(mde_numeric::NumericError),
+    /// A Monte Carlo estimation query produced a non-scalar result.
+    NonScalarResult {
+        /// Number of rows produced.
+        rows: usize,
+        /// Number of columns produced.
+        cols: usize,
+    },
+}
+
+impl McdbError {
+    /// Shorthand for [`McdbError::InvalidPlan`].
+    pub fn invalid_plan(reason: impl Into<String>) -> Self {
+        McdbError::InvalidPlan {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for [`McdbError::TypeMismatch`].
+    pub fn type_mismatch(
+        context: impl Into<String>,
+        expected: impl Into<String>,
+        found: impl Into<String>,
+    ) -> Self {
+        McdbError::TypeMismatch {
+            context: context.into(),
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+}
+
+impl fmt::Display for McdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McdbError::UnknownTable { name } => write!(f, "unknown table `{name}`"),
+            McdbError::UnknownColumn { column, available } => {
+                write!(
+                    f,
+                    "unknown column `{column}` (available: {})",
+                    available.join(", ")
+                )
+            }
+            McdbError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            McdbError::ArityMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch in {context}: expected {expected} values, found {found}"
+            ),
+            McdbError::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
+            McdbError::Numeric(e) => write!(f, "numeric error: {e}"),
+            McdbError::NonScalarResult { rows, cols } => write!(
+                f,
+                "Monte Carlo estimation requires a scalar (1x1) query result, got {rows}x{cols}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for McdbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McdbError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mde_numeric::NumericError> for McdbError {
+    fn from(e: mde_numeric::NumericError) -> Self {
+        McdbError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = McdbError::UnknownTable { name: "T".into() };
+        assert!(e.to_string().contains("T"));
+
+        let e = McdbError::UnknownColumn {
+            column: "x".into(),
+            available: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("x"));
+        assert!(e.to_string().contains("a, b"));
+
+        let e = McdbError::type_mismatch("filter", "Bool", "Int");
+        assert!(e.to_string().contains("Bool"));
+
+        let e = McdbError::NonScalarResult { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn numeric_error_wraps_with_source() {
+        use std::error::Error as _;
+        let e: McdbError = mde_numeric::NumericError::EmptyInput { context: "q" }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,614 @@
+//! Monte Carlo query estimation — the outer loop of MCDB.
+//!
+//! "Generating a sample of each uncertain data value creates a database
+//! instance … Running an SQL query over the database instance generates a
+//! sample from the query-result distribution. Iteration of this process
+//! yields a collection of samples … that can then be used to estimate
+//! distribution features of interest such as moments and quantiles."
+//!
+//! [`MonteCarloQuery`] packages the stochastic-table specs with an
+//! aggregate query and runs `N` iterations (optionally across threads,
+//! standing in for MCDB's parallel-database backend). The result object
+//! answers the paper's analysis patterns:
+//!
+//! * moments and confidence intervals (plain MCDB);
+//! * **extreme quantiles** for risk analysis (MCDB-R, Arumugam et al.);
+//! * **threshold queries** — "Which regions will see more than a 2% decline
+//!   in sales with at least 50% probability?" (Perez et al.) — via
+//!   [`McResult::prob_above`]/[`McResult::threshold_decision`].
+
+use crate::query::{Catalog, Plan};
+use crate::random_table::RandomTableSpec;
+use mde_numeric::rng::StreamFactory;
+use mde_numeric::stats::{
+    mean_confidence_interval, proportion_confidence_interval, quantile, ConfidenceInterval,
+    Summary,
+};
+
+/// A Monte Carlo estimation task: realize the stochastic tables, run the
+/// query, collect the scalar result; repeat.
+#[derive(Debug, Clone)]
+pub struct MonteCarloQuery {
+    specs: Vec<RandomTableSpec>,
+    query: Plan,
+}
+
+impl MonteCarloQuery {
+    /// Create a task from stochastic-table specs and an aggregate query
+    /// whose result must be a single scalar per realization.
+    pub fn new(specs: Vec<RandomTableSpec>, query: Plan) -> Self {
+        MonteCarloQuery { specs, query }
+    }
+
+    /// The query plan.
+    pub fn query(&self) -> &Plan {
+        &self.query
+    }
+
+    /// Run `n` Monte Carlo iterations sequentially.
+    ///
+    /// Iteration `i` draws from stream `i` of a [`StreamFactory`] seeded
+    /// with `seed`, so results are identical to a parallel run with the
+    /// same seed.
+    pub fn run(&self, catalog: &Catalog, n: usize, seed: u64) -> crate::Result<McResult> {
+        let factory = StreamFactory::new(seed);
+        let mut scratch = catalog.clone();
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            samples.push(self.one_iteration(&mut scratch, &factory, i as u64)?);
+        }
+        Ok(McResult::new(samples))
+    }
+
+    /// Run `n` iterations across `threads` worker threads.
+    ///
+    /// Deterministic: iteration `i` uses stream `i` regardless of which
+    /// thread executes it, so `run_parallel(.., seed)` equals
+    /// `run(.., seed)` sample-for-sample.
+    pub fn run_parallel(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+        threads: usize,
+    ) -> crate::Result<McResult> {
+        let threads = threads.max(1).min(n.max(1));
+        let factory = StreamFactory::new(seed);
+        let mut results: Vec<Option<crate::Result<Vec<(usize, f64)>>>> =
+            (0..threads).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let spec = &*self;
+                let cat = catalog;
+                handles.push(scope.spawn(move |_| {
+                    let mut scratch = cat.clone();
+                    let mut out = Vec::new();
+                    // Static round-robin iteration assignment.
+                    let mut i = t;
+                    while i < n {
+                        match spec.one_iteration(&mut scratch, &factory, i as u64) {
+                            Ok(v) => out.push((i, v)),
+                            Err(e) => return Err(e),
+                        }
+                        i += threads;
+                    }
+                    Ok(out)
+                }));
+            }
+            for (slot, h) in results.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("worker thread panicked"));
+            }
+        })
+        .expect("crossbeam scope panicked");
+
+        let mut indexed = Vec::with_capacity(n);
+        for r in results.into_iter().flatten() {
+            indexed.extend(r?);
+        }
+        indexed.sort_by_key(|(i, _)| *i);
+        Ok(McResult::new(indexed.into_iter().map(|(_, v)| v).collect()))
+    }
+
+    /// Run `n` iterations through the tuple-bundle engine: realize every
+    /// stochastic table as bundles and execute the plan **once**.
+    ///
+    /// Requirements (checked, with a descriptive error): the query must be
+    /// bundle-executable (no Sort/Limit; joins and grouping on
+    /// deterministic columns). The Monte Carlo sample is statistically
+    /// equivalent to [`MonteCarloQuery::run`] but uses a different RNG
+    /// layout, so the two are not sample-for-sample identical; the bundle
+    /// engine's per-iteration equivalence with naive execution is what the
+    /// property tests pin down.
+    pub fn run_bundled(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+    ) -> crate::Result<McResult> {
+        use crate::bundle::{execute_bundled, BundledCatalog, BundledTable};
+        let factory = StreamFactory::new(seed);
+        let mut bc = BundledCatalog::new(n);
+        // Deterministic base tables are visible to the bundled plan too.
+        for name in catalog.table_names() {
+            bc.insert_const(catalog.get(name)?);
+        }
+        // Stochastic tables realize sequentially (later specs may read
+        // earlier realizations only in their deterministic parts; the
+        // bundled generator reads parameters from the *deterministic*
+        // catalog, so cross-stochastic parametrization requires `run`).
+        for (k, spec) in self.specs.iter().enumerate() {
+            let mut rng = factory.stream(k as u64);
+            let bt = BundledTable::from_spec(spec, catalog, n, &mut rng)?;
+            bc.insert(bt)?;
+        }
+        let result = execute_bundled(&self.query, &bc)?;
+        Ok(McResult::new(result.scalar_samples()?))
+    }
+
+    fn one_iteration(
+        &self,
+        scratch: &mut Catalog,
+        factory: &StreamFactory,
+        iteration: u64,
+    ) -> crate::Result<f64> {
+        let iter_factory = factory.child(iteration);
+        for (k, spec) in self.specs.iter().enumerate() {
+            let mut rng = iter_factory.stream(k as u64);
+            let t = spec.realize(scratch, &mut rng)?;
+            scratch.insert(t);
+        }
+        let result = scratch.query(&self.query)?;
+        let v = result.scalar()?;
+        if v.is_null() {
+            // SQL aggregates over empty inputs yield NULL; represent as NaN?
+            // No — surface it, the analyst must handle empty events.
+            return Err(crate::McdbError::invalid_plan(
+                "Monte Carlo query produced NULL; guard the aggregate with COUNT or COALESCE-style logic",
+            ));
+        }
+        v.as_f64()
+    }
+}
+
+/// The Monte Carlo sample of a query result, with estimation helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McResult {
+    samples: Vec<f64>,
+    summary: Summary,
+}
+
+impl McResult {
+    /// Wrap a sample vector.
+    pub fn new(samples: Vec<f64>) -> Self {
+        let summary = Summary::from_slice(&samples);
+        McResult { samples, summary }
+    }
+
+    /// The raw samples, in iteration order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of Monte Carlo iterations.
+    pub fn n(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sample mean — the MCDB estimate of the expected query result.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Sample variance of the query result distribution.
+    pub fn variance(&self) -> f64 {
+        self.summary.sample_variance()
+    }
+
+    /// Normal-theory confidence interval for the expected query result.
+    pub fn mean_ci(&self, level: f64) -> crate::Result<ConfidenceInterval> {
+        Ok(mean_confidence_interval(&self.summary, level)?)
+    }
+
+    /// Empirical quantile of the query-result distribution — including the
+    /// extreme quantiles MCDB-R targets for risk analysis (e.g. `p = 0.99`
+    /// for value-at-risk).
+    pub fn quantile(&self, p: f64) -> crate::Result<f64> {
+        Ok(quantile(&self.samples, p)?)
+    }
+
+    /// Estimated `P(result > x)` with a Wilson confidence interval.
+    pub fn prob_above(&self, x: f64, level: f64) -> crate::Result<ConfidenceInterval> {
+        let successes = self.samples.iter().filter(|&&v| v > x).count() as u64;
+        Ok(proportion_confidence_interval(
+            successes,
+            self.samples.len() as u64,
+            level,
+        )?)
+    }
+
+    /// Estimated `P(result < x)` with a Wilson confidence interval.
+    pub fn prob_below(&self, x: f64, level: f64) -> crate::Result<ConfidenceInterval> {
+        let successes = self.samples.iter().filter(|&&v| v < x).count() as u64;
+        Ok(proportion_confidence_interval(
+            successes,
+            self.samples.len() as u64,
+            level,
+        )?)
+    }
+
+    /// Threshold decision: is `P(result > x) >= p_min`?
+    ///
+    /// Returns `Some(true)`/`Some(false)` when the Wilson interval at the
+    /// given confidence level lies entirely on one side of `p_min`, and
+    /// `None` when the evidence is inconclusive (more iterations needed) —
+    /// the decision procedure behind "Which regions will see more than a 2%
+    /// decline in sales with at least 50% probability?".
+    pub fn threshold_decision(
+        &self,
+        x: f64,
+        p_min: f64,
+        level: f64,
+    ) -> crate::Result<Option<bool>> {
+        let ci = self.prob_above(x, level)?;
+        Ok(if ci.lo >= p_min {
+            Some(true)
+        } else if ci.hi < p_min {
+            Some(false)
+        } else {
+            None
+        })
+    }
+}
+
+/// A grouped Monte Carlo estimation task, for queries of the paper's shape
+/// "**Which regions** will see more than a 2% decline in sales with at
+/// least 50% probability?" — the query produces one `(group, value)` row
+/// per group per realization, and estimation runs per group.
+#[derive(Debug, Clone)]
+pub struct GroupedMonteCarloQuery {
+    specs: Vec<RandomTableSpec>,
+    query: Plan,
+    group_col: String,
+    value_col: String,
+}
+
+impl GroupedMonteCarloQuery {
+    /// Create a grouped task. The query must return, per realization, one
+    /// row per group with a `group_col` key and a numeric `value_col`.
+    pub fn new(
+        specs: Vec<RandomTableSpec>,
+        query: Plan,
+        group_col: impl Into<String>,
+        value_col: impl Into<String>,
+    ) -> Self {
+        GroupedMonteCarloQuery {
+            specs,
+            query,
+            group_col: group_col.into(),
+            value_col: value_col.into(),
+        }
+    }
+
+    /// Run `n` iterations, producing a per-group Monte Carlo sample.
+    ///
+    /// Every group must appear exactly once in every realization (the
+    /// natural outcome of a `GROUP BY` over a fixed dimension); anything
+    /// else is surfaced as an error rather than silently averaged.
+    pub fn run(&self, catalog: &Catalog, n: usize, seed: u64) -> crate::Result<McGroupedResult> {
+        let factory = StreamFactory::new(seed);
+        let mut scratch = catalog.clone();
+        let mut groups: Vec<(crate::value::Value, Vec<f64>)> = Vec::new();
+        for i in 0..n {
+            let iter_factory = factory.child(i as u64);
+            for (k, spec) in self.specs.iter().enumerate() {
+                let mut rng = iter_factory.stream(k as u64);
+                let t = spec.realize(&scratch, &mut rng)?;
+                scratch.insert(t);
+            }
+            let result = scratch.query(&self.query)?;
+            let gi = result.schema().index_of(&self.group_col)?;
+            let vi = result.schema().index_of(&self.value_col)?;
+            if i == 0 {
+                for row in result.rows() {
+                    groups.push((row[gi].clone(), Vec::with_capacity(n)));
+                }
+            }
+            if result.len() != groups.len() {
+                return Err(crate::McdbError::invalid_plan(format!(
+                    "iteration {i} produced {} groups, expected {}",
+                    result.len(),
+                    groups.len()
+                )));
+            }
+            for row in result.rows() {
+                let slot = groups
+                    .iter_mut()
+                    .find(|(g, _)| g.group_eq(&row[gi]))
+                    .ok_or_else(|| {
+                        crate::McdbError::invalid_plan(format!(
+                            "iteration {i} produced unseen group `{}`",
+                            row[gi]
+                        ))
+                    })?;
+                slot.1.push(row[vi].as_f64()?);
+            }
+        }
+        Ok(McGroupedResult {
+            groups: groups
+                .into_iter()
+                .map(|(g, samples)| (g, McResult::new(samples)))
+                .collect(),
+        })
+    }
+}
+
+/// Per-group Monte Carlo results.
+#[derive(Debug, Clone)]
+pub struct McGroupedResult {
+    /// `(group key, per-group sample)` in first-seen order.
+    pub groups: Vec<(crate::value::Value, McResult)>,
+}
+
+impl McGroupedResult {
+    /// The result for one group, if present.
+    pub fn group(&self, key: &crate::value::Value) -> Option<&McResult> {
+        self.groups
+            .iter()
+            .find(|(g, _)| g.group_eq(key))
+            .map(|(_, r)| r)
+    }
+
+    /// The paper's selection: groups whose `P(value < threshold) ≥ p_min`
+    /// is *confidently true* at the given confidence level (e.g. "regions
+    /// with a >2% decline with ≥50% probability" after projecting decline
+    /// as a value). Returns `(group, decision)` per group, where `None`
+    /// means inconclusive.
+    pub fn threshold_below(
+        &self,
+        threshold: f64,
+        p_min: f64,
+        level: f64,
+    ) -> crate::Result<Vec<(crate::value::Value, Option<bool>)>> {
+        self.groups
+            .iter()
+            .map(|(g, r)| {
+                let ci = r.prob_below(threshold, level)?;
+                let decision = if ci.lo >= p_min {
+                    Some(true)
+                } else if ci.hi < p_min {
+                    Some(false)
+                } else {
+                    None
+                };
+                Ok((g.clone(), decision))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::query::AggSpec;
+    use crate::schema::DataType;
+    use crate::table::Table;
+    use crate::value::Value;
+    use crate::vg::NormalVg;
+    use std::sync::Arc;
+
+    fn demand_catalog() -> Catalog {
+        let mut db = Catalog::new();
+        db.insert(
+            Table::build("ITEMS", &[("IID", DataType::Int)])
+                .rows((0..20).map(|i| vec![Value::from(i)]))
+                .finish()
+                .unwrap(),
+        );
+        db.insert(
+            Table::build(
+                "PARAMS",
+                &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+            )
+            .row(vec![Value::from(10.0), Value::from(2.0)])
+            .finish()
+            .unwrap(),
+        );
+        db
+    }
+
+    fn revenue_query() -> MonteCarloQuery {
+        // Total "revenue" = sum over 20 items of N(10, 2) draws; true mean
+        // is 200, true std is 2*sqrt(20) ≈ 8.94.
+        let spec = RandomTableSpec::builder("SALES")
+            .for_each(Plan::scan("ITEMS"))
+            .with_vg(Arc::new(NormalVg))
+            .vg_params_query(Plan::scan("PARAMS"))
+            .select(&[("IID", Expr::col("IID")), ("AMT", Expr::col("VALUE"))])
+            .build()
+            .unwrap();
+        let q = Plan::scan("SALES").aggregate(
+            &[],
+            vec![AggSpec::new(
+                "TOTAL",
+                crate::query::AggFunc::Sum,
+                Expr::col("AMT"),
+            )],
+        );
+        MonteCarloQuery::new(vec![spec], q)
+    }
+
+    #[test]
+    fn estimates_query_result_distribution() {
+        let db = demand_catalog();
+        let res = revenue_query().run(&db, 500, 7).unwrap();
+        assert_eq!(res.n(), 500);
+        // Mean within 5 standard errors of 200.
+        let se = res.variance().sqrt() / (res.n() as f64).sqrt();
+        assert!((res.mean() - 200.0).abs() < 5.0 * se + 1e-9);
+        // Std close to 8.94.
+        assert!((res.variance().sqrt() - 8.94).abs() < 1.5);
+        // CI covers the truth.
+        assert!(res.mean_ci(0.99).unwrap().contains(200.0));
+    }
+
+    #[test]
+    fn quantiles_and_risk() {
+        let db = demand_catalog();
+        let res = revenue_query().run(&db, 1000, 8).unwrap();
+        let q50 = res.quantile(0.5).unwrap();
+        let q99 = res.quantile(0.99).unwrap();
+        assert!((q50 - 200.0).abs() < 2.0);
+        // 99% quantile of N(200, 8.94) ≈ 200 + 2.33*8.94 ≈ 220.8.
+        assert!((q99 - 220.8).abs() < 5.0, "q99 = {q99}");
+        assert!(q99 > q50);
+    }
+
+    #[test]
+    fn threshold_queries() {
+        let db = demand_catalog();
+        let res = revenue_query().run(&db, 400, 9).unwrap();
+        // P(total > 150) is essentially 1.
+        assert_eq!(res.threshold_decision(150.0, 0.5, 0.95).unwrap(), Some(true));
+        // P(total > 250) is essentially 0.
+        assert_eq!(res.threshold_decision(250.0, 0.5, 0.95).unwrap(), Some(false));
+        // The decision is always consistent with the Wilson interval.
+        let ci = res.prob_above(200.0, 0.95).unwrap();
+        let decision = res.threshold_decision(200.0, 0.5, 0.95).unwrap();
+        match decision {
+            Some(true) => assert!(ci.lo >= 0.5),
+            Some(false) => assert!(ci.hi < 0.5),
+            None => assert!(ci.contains(0.5)),
+        }
+        let below = res.prob_below(200.0, 0.95).unwrap();
+        assert!((below.estimate + ci.estimate - 1.0).abs() < 1e-12);
+
+        // A deterministic inconclusive case: 50/100 successes straddles 0.5.
+        let balanced = McResult::new(
+            (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+        );
+        assert_eq!(balanced.threshold_decision(0.0, 0.5, 0.95).unwrap(), None);
+    }
+
+    #[test]
+    fn bundled_run_is_statistically_equivalent() {
+        let db = demand_catalog();
+        let q = revenue_query();
+        let naive = q.run(&db, 400, 21).unwrap();
+        let bundled = q.run_bundled(&db, 400, 22).unwrap();
+        assert_eq!(bundled.n(), 400);
+        // Same distribution (mean 200, sd ~8.94): means within combined
+        // standard errors.
+        let se = (naive.variance() / 400.0 + bundled.variance() / 400.0).sqrt();
+        assert!(
+            (naive.mean() - bundled.mean()).abs() < 5.0 * se,
+            "naive {} vs bundled {}",
+            naive.mean(),
+            bundled.mean()
+        );
+        assert!((bundled.variance().sqrt() - 8.94).abs() < 1.5);
+    }
+
+    #[test]
+    fn bundled_run_rejects_unbundleable_plans() {
+        let db = demand_catalog();
+        let spec = revenue_query().specs[0].clone();
+        let q = MonteCarloQuery::new(
+            vec![spec],
+            Plan::scan("SALES")
+                .aggregate(
+                    &[],
+                    vec![AggSpec::new(
+                        "TOTAL",
+                        crate::query::AggFunc::Sum,
+                        Expr::col("AMT"),
+                    )],
+                )
+                .limit(1),
+        );
+        assert!(q.run_bundled(&db, 10, 1).is_err());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let db = demand_catalog();
+        let q = revenue_query();
+        let seq = q.run(&db, 64, 13).unwrap();
+        let par = q.run_parallel(&db, 64, 13, 4).unwrap();
+        assert_eq!(seq.samples(), par.samples());
+        // Thread count must not change results.
+        let par2 = q.run_parallel(&db, 64, 13, 7).unwrap();
+        assert_eq!(seq.samples(), par2.samples());
+    }
+
+    #[test]
+    fn non_scalar_query_rejected() {
+        let db = demand_catalog();
+        let spec = revenue_query();
+        let bad = MonteCarloQuery::new(
+            vec![spec.specs[0].clone()],
+            Plan::scan("SALES"), // multi-row, multi-column
+        );
+        assert!(bad.run(&db, 2, 1).is_err());
+    }
+
+    #[test]
+    fn grouped_query_answers_the_which_regions_question() {
+        // Two regions with different demand means; ask which will fall
+        // below a sales threshold with >= 50% probability.
+        let mut db = Catalog::new();
+        db.insert(
+            Table::build(
+                "REGIONS",
+                &[("NAME", DataType::Str), ("MEAN", DataType::Float)],
+            )
+            .row(vec![Value::from("east"), Value::from(100.0)])
+            .row(vec![Value::from("west"), Value::from(80.0)])
+            .finish()
+            .unwrap(),
+        );
+        let spec = RandomTableSpec::builder("SALES")
+            .for_each(Plan::scan("REGIONS"))
+            .with_vg(std::sync::Arc::new(crate::vg::NormalVg))
+            .vg_params_exprs(&[Expr::col("MEAN"), Expr::lit(5.0)])
+            .select(&[
+                ("REGION", Expr::col("NAME")),
+                ("AMT", Expr::col("VALUE")),
+            ])
+            .build()
+            .unwrap();
+        let q = Plan::scan("SALES").aggregate(
+            &["REGION"],
+            vec![AggSpec::new("TOTAL", crate::query::AggFunc::Sum, Expr::col("AMT"))],
+        );
+        let grouped = GroupedMonteCarloQuery::new(vec![spec], q, "REGION", "TOTAL");
+        let res = grouped.run(&db, 300, 5).unwrap();
+        assert_eq!(res.groups.len(), 2);
+        // East ~ N(100, 5), west ~ N(80, 5): below 90 is a near-certain NO
+        // for east, YES for west.
+        let decisions = res.threshold_below(90.0, 0.5, 0.95).unwrap();
+        let by_name = |n: &str| {
+            decisions
+                .iter()
+                .find(|(g, _)| g.group_eq(&Value::from(n)))
+                .unwrap()
+                .1
+        };
+        assert_eq!(by_name("east"), Some(false));
+        assert_eq!(by_name("west"), Some(true));
+        // Per-group results are real MC samples.
+        let east = res.group(&Value::from("east")).unwrap();
+        assert_eq!(east.n(), 300);
+        assert!((east.mean() - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn mc_result_on_known_samples() {
+        let r = McResult::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(r.mean(), 3.0);
+        assert_eq!(r.quantile(0.5).unwrap(), 3.0);
+        let ci = r.prob_above(2.5, 0.95).unwrap();
+        assert!((ci.estimate - 0.6).abs() < 1e-12);
+    }
+}

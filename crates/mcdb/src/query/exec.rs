@@ -1,0 +1,583 @@
+//! The query executor: pull-based, materializing each operator's output.
+//!
+//! Joins are hash joins; aggregation is hash-grouped with streaming
+//! accumulators; sorting precomputes key values so the comparator never
+//! fails mid-sort. All expressions are bound once per operator.
+
+use super::{AggFunc, Catalog, Plan, SortKey};
+use crate::expr::BoundExpr;
+use crate::table::{Row, Table};
+use crate::value::{GroupKey, Value};
+use crate::McdbError;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Execute a plan against a catalog, materializing the result table.
+pub fn execute(plan: &Plan, catalog: &Catalog) -> crate::Result<Table> {
+    match plan {
+        Plan::Scan { table } => Ok(catalog.get(table)?.clone()),
+        Plan::Values { table } => Ok(table.clone()),
+        Plan::Filter { input, predicate } => {
+            let t = execute(input, catalog)?;
+            let bound = predicate.bind(t.schema())?;
+            let mut out = Table::new("filter", t.schema().clone());
+            for row in t.rows() {
+                if bound.eval_predicate(row)? {
+                    out.push_row_unchecked(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        Plan::Project { input, exprs } => {
+            let t = execute(input, catalog)?;
+            let out_schema = plan.output_schema(catalog)?;
+            let bound: Vec<BoundExpr> = exprs
+                .iter()
+                .map(|(_, e)| e.bind(t.schema()))
+                .collect::<crate::Result<_>>()?;
+            let mut out = Table::new("project", out_schema.clone());
+            for row in t.rows() {
+                let mut new_row = Vec::with_capacity(bound.len());
+                for (b, col) in bound.iter().zip(out_schema.columns()) {
+                    let v = b.eval(row)?;
+                    // Reconcile inferred static type with the runtime value:
+                    // Int literals flowing into Float columns are coerced.
+                    let v = coerce(v, col.dtype);
+                    new_row.push(v);
+                }
+                out.push_row(new_row)?;
+            }
+            Ok(out)
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            right_prefix,
+        } => {
+            let lt = execute(left, catalog)?;
+            let rt = execute(right, catalog)?;
+            if on.is_empty() {
+                return Err(McdbError::invalid_plan(
+                    "join requires at least one key pair (cross joins unsupported)",
+                ));
+            }
+            let l_idx: Vec<usize> = on
+                .iter()
+                .map(|(l, _)| lt.schema().index_of(l))
+                .collect::<crate::Result<_>>()?;
+            let r_idx: Vec<usize> = on
+                .iter()
+                .map(|(_, r)| rt.schema().index_of(r))
+                .collect::<crate::Result<_>>()?;
+
+            // Build hash table on the smaller input? The classical choice,
+            // but key order must match (left, right); build on the right for
+            // simplicity — simulation workloads have a small dimension table
+            // on the right.
+            let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+            for (i, row) in rt.rows().iter().enumerate() {
+                // SQL inner-join semantics: Null keys never match.
+                if r_idx.iter().any(|&j| row[j].is_null()) {
+                    continue;
+                }
+                let key: Vec<GroupKey> = r_idx.iter().map(|&j| row[j].group_key()).collect();
+                index.entry(key).or_default().push(i);
+            }
+
+            let out_schema = lt.schema().concat(rt.schema(), right_prefix)?;
+            let mut out = Table::new("join", out_schema);
+            for lrow in lt.rows() {
+                if l_idx.iter().any(|&j| lrow[j].is_null()) {
+                    continue;
+                }
+                let key: Vec<GroupKey> = l_idx.iter().map(|&j| lrow[j].group_key()).collect();
+                if let Some(matches) = index.get(&key) {
+                    for &ri in matches {
+                        let mut row = lrow.clone();
+                        row.extend(rt.rows()[ri].iter().cloned());
+                        out.push_row_unchecked(row);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let t = execute(input, catalog)?;
+            let out_schema = plan.output_schema(catalog)?;
+            let group_idx: Vec<usize> = group_by
+                .iter()
+                .map(|g| t.schema().index_of(g))
+                .collect::<crate::Result<_>>()?;
+            let bound_args: Vec<Option<BoundExpr>> = aggs
+                .iter()
+                .map(|a| a.arg.as_ref().map(|e| e.bind(t.schema())).transpose())
+                .collect::<crate::Result<_>>()?;
+
+            // Group rows, remembering first-seen group key values and order.
+            let mut states: HashMap<Vec<GroupKey>, (Row, Vec<AggState>)> = HashMap::new();
+            let mut order: Vec<Vec<GroupKey>> = Vec::new();
+            for row in t.rows() {
+                let key: Vec<GroupKey> =
+                    group_idx.iter().map(|&j| row[j].group_key()).collect();
+                let entry = states.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (
+                        group_idx.iter().map(|&j| row[j].clone()).collect(),
+                        aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    )
+                });
+                for (state, bound) in entry.1.iter_mut().zip(&bound_args) {
+                    let v = match bound {
+                        Some(b) => Some(b.eval(row)?),
+                        None => None,
+                    };
+                    state.update(v)?;
+                }
+            }
+
+            let mut out = Table::new("aggregate", out_schema.clone());
+            if states.is_empty() && group_by.is_empty() {
+                // Global aggregate over empty input: one row of identities.
+                let mut row: Row = Vec::new();
+                for a in aggs {
+                    row.push(AggState::new(a.func).finish());
+                }
+                // Coerce to declared output types (e.g. SUM over empty -> NULL).
+                let row = row
+                    .into_iter()
+                    .zip(out_schema.columns())
+                    .map(|(v, c)| coerce(v, c.dtype))
+                    .collect();
+                out.push_row(row)?;
+                return Ok(out);
+            }
+            for key in order {
+                let (group_vals, sts) = states.remove(&key).expect("key recorded in order");
+                let mut row = group_vals;
+                for (st, col) in sts
+                    .into_iter()
+                    .zip(out_schema.columns().iter().skip(group_by.len()))
+                {
+                    row.push(coerce(st.finish(), col.dtype));
+                }
+                out.push_row(row)?;
+            }
+            Ok(out)
+        }
+        Plan::Sort { input, keys } => {
+            let t = execute(input, catalog)?;
+            let bound: Vec<(BoundExpr, bool)> = keys
+                .iter()
+                .map(|SortKey { expr, ascending }| Ok((expr.bind(t.schema())?, *ascending)))
+                .collect::<crate::Result<_>>()?;
+            // Precompute sort keys so the comparator is infallible.
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(t.len());
+            for row in t.rows() {
+                let ks: Vec<Value> = bound
+                    .iter()
+                    .map(|(b, _)| b.eval(row))
+                    .collect::<crate::Result<_>>()?;
+                keyed.push((ks, row.clone()));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for ((a, b), (_, asc)) in ka.iter().zip(kb).zip(&bound) {
+                    let ord = sql_sort_cmp(a, b);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            let mut out = Table::new("sort", t.schema().clone());
+            for (_, row) in keyed {
+                out.push_row_unchecked(row);
+            }
+            Ok(out)
+        }
+        Plan::Limit { input, n } => {
+            let t = execute(input, catalog)?;
+            let mut out = Table::new("limit", t.schema().clone());
+            for row in t.rows().iter().take(*n) {
+                out.push_row_unchecked(row.clone());
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Total order for sorting: Nulls first, then SQL comparison; incomparable
+/// values (mixed types that slipped past typing) tie.
+fn sql_sort_cmp(a: &Value, b: &Value) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.sql_cmp(b).unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Runtime coercion to the statically inferred column type (only numeric
+/// widening; anything else passes through and is caught by validation).
+fn coerce(v: Value, dtype: crate::schema::DataType) -> Value {
+    match (&v, dtype) {
+        (Value::Int(i), crate::schema::DataType::Float) => Value::Float(*i as f64),
+        _ => v,
+    }
+}
+
+/// Streaming aggregate accumulator.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum { acc: f64, any: bool, int: bool },
+    Avg { acc: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                acc: 0.0,
+                any: false,
+                int: true,
+            },
+            AggFunc::Avg => AggState::Avg { acc: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) -> crate::Result<()> {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) counts rows; COUNT(expr) counts non-nulls.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            AggState::Sum { acc, any, int } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        if !matches!(val, Value::Int(_)) {
+                            *int = false;
+                        }
+                        *acc += val.as_f64()?;
+                        *any = true;
+                    }
+                }
+            }
+            AggState::Avg { acc, n } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *acc += val.as_f64()?;
+                        *n += 1;
+                    }
+                }
+            }
+            AggState::Min(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match best {
+                            None => true,
+                            Some(b) => val.sql_cmp(b) == Some(Ordering::Less),
+                        };
+                        if replace {
+                            *best = Some(val);
+                        }
+                    }
+                }
+            }
+            AggState::Max(best) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match best {
+                            None => true,
+                            Some(b) => val.sql_cmp(b) == Some(Ordering::Greater),
+                        };
+                        if replace {
+                            *best = Some(val);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::Sum { acc, any, int } => {
+                if !any {
+                    Value::Null
+                } else if int && acc.fract() == 0.0 && acc.abs() < 9e15 {
+                    Value::Int(acc as i64)
+                } else {
+                    Value::Float(acc)
+                }
+            }
+            AggState::Avg { acc, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(acc / n as f64)
+                }
+            }
+            AggState::Min(v) => v.unwrap_or(Value::Null),
+            AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::query::AggSpec;
+    use crate::schema::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(
+            Table::build(
+                "sales",
+                &[
+                    ("id", DataType::Int),
+                    ("region", DataType::Str),
+                    ("amount", DataType::Float),
+                ],
+            )
+            .row(vec![Value::from(1), Value::from("east"), Value::from(10.0)])
+            .row(vec![Value::from(2), Value::from("west"), Value::from(20.0)])
+            .row(vec![Value::from(3), Value::from("east"), Value::from(30.0)])
+            .row(vec![Value::from(4), Value::from("east"), Value::Null])
+            .finish()
+            .unwrap(),
+        );
+        c.insert(
+            Table::build(
+                "regions",
+                &[("name", DataType::Str), ("tax", DataType::Float)],
+            )
+            .row(vec![Value::from("east"), Value::from(0.1)])
+            .row(vec![Value::from("west"), Value::from(0.2)])
+            .finish()
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let c = catalog();
+        let t = c
+            .query(&Plan::scan("sales").filter(Expr::col("amount").gt(Expr::lit(15.0))))
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        // Null amount row dropped (NULL predicate is false).
+        let ids = t.column("id").unwrap();
+        assert_eq!(ids, vec![Value::from(2), Value::from(3)]);
+    }
+
+    #[test]
+    fn projection_computes_and_coerces() {
+        let c = catalog();
+        let t = c
+            .query(&Plan::scan("sales").project(&[
+                ("id", Expr::col("id")),
+                ("with_tax", Expr::col("amount").mul(Expr::lit(1.1))),
+            ]))
+            .unwrap();
+        assert_eq!(t.schema().names(), vec!["id", "with_tax"]);
+        assert_eq!(t.rows()[0][1], Value::from(11.0));
+        // Null propagates.
+        assert!(t.rows()[3][1].is_null());
+    }
+
+    #[test]
+    fn hash_join_inner_semantics() {
+        let c = catalog();
+        let t = c
+            .query(&Plan::scan("sales").join(Plan::scan("regions"), &[("region", "name")]))
+            .unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.schema().names(), vec!["id", "region", "amount", "name", "tax"]);
+        // Row order preserved from left side.
+        assert_eq!(t.rows()[0][4], Value::from(0.1));
+        assert_eq!(t.rows()[1][4], Value::from(0.2));
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let mut c = catalog();
+        c.insert(
+            Table::build("l", &[("k", DataType::Int)])
+                .row(vec![Value::Null])
+                .row(vec![Value::from(1)])
+                .finish()
+                .unwrap(),
+        );
+        c.insert(
+            Table::build("rr", &[("k2", DataType::Int)])
+                .row(vec![Value::Null])
+                .row(vec![Value::from(1)])
+                .finish()
+                .unwrap(),
+        );
+        let t = c
+            .query(&Plan::scan("l").join(Plan::scan("rr"), &[("k", "k2")]))
+            .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn join_requires_keys() {
+        let c = catalog();
+        let p = Plan::Join {
+            left: Box::new(Plan::scan("sales")),
+            right: Box::new(Plan::scan("regions")),
+            on: vec![],
+            right_prefix: "r".into(),
+        };
+        assert!(c.query(&p).is_err());
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let c = catalog();
+        let t = c
+            .query(&Plan::scan("sales").aggregate(
+                &["region"],
+                vec![
+                    AggSpec::count_star("n"),
+                    AggSpec::new("nn", AggFunc::Count, Expr::col("amount")),
+                    AggSpec::new("total", AggFunc::Sum, Expr::col("amount")),
+                    AggSpec::new("mean", AggFunc::Avg, Expr::col("amount")),
+                    AggSpec::new("lo", AggFunc::Min, Expr::col("amount")),
+                    AggSpec::new("hi", AggFunc::Max, Expr::col("amount")),
+                ],
+            ))
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        // Groups appear in first-seen order: east, west.
+        let east = &t.rows()[0];
+        assert_eq!(east[0], Value::from("east"));
+        assert_eq!(east[1], Value::from(3)); // COUNT(*) counts the Null row
+        assert_eq!(east[2], Value::from(2)); // COUNT(amount) does not
+        assert_eq!(east[3], Value::from(40.0));
+        assert_eq!(east[4], Value::from(20.0));
+        assert_eq!(east[5], Value::from(10.0));
+        assert_eq!(east[6], Value::from(30.0));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let c = catalog();
+        let p = Plan::scan("sales")
+            .filter(Expr::col("amount").gt(Expr::lit(1e9)))
+            .aggregate(
+                &[],
+                vec![
+                    AggSpec::count_star("n"),
+                    AggSpec::new("total", AggFunc::Sum, Expr::col("amount")),
+                ],
+            );
+        let t = c.query(&p).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], Value::from(0));
+        assert!(t.rows()[0][1].is_null());
+    }
+
+    #[test]
+    fn empty_group_by_over_nonempty_input_is_one_row() {
+        let c = catalog();
+        let t = c
+            .query(&Plan::scan("sales").aggregate(&[], vec![AggSpec::count_star("n")]))
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], Value::from(4));
+    }
+
+    #[test]
+    fn sort_with_nulls_and_direction() {
+        let c = catalog();
+        let t = c
+            .query(&Plan::scan("sales").sort(vec![SortKey::desc(Expr::col("amount"))]))
+            .unwrap();
+        let amounts = t.column("amount").unwrap();
+        // Descending: 30, 20, 10, then the Null (Nulls-first under asc
+        // reverses to last under desc).
+        assert_eq!(amounts[0], Value::from(30.0));
+        assert!(amounts[3].is_null());
+
+        let t = c
+            .query(&Plan::scan("sales").sort(vec![SortKey::asc(Expr::col("amount"))]))
+            .unwrap();
+        assert!(t.column("amount").unwrap()[0].is_null());
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let c = catalog();
+        let t = c
+            .query(&Plan::scan("sales").sort(vec![
+                SortKey::asc(Expr::col("region")),
+                SortKey::desc(Expr::col("id")),
+            ]))
+            .unwrap();
+        let ids = t.column("id").unwrap();
+        assert_eq!(
+            ids,
+            vec![Value::from(4), Value::from(3), Value::from(1), Value::from(2)]
+        );
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let c = catalog();
+        let t = c.query(&Plan::scan("sales").limit(2)).unwrap();
+        assert_eq!(t.len(), 2);
+        let t = c.query(&Plan::scan("sales").limit(100)).unwrap();
+        assert_eq!(t.len(), 4);
+        let t = c.query(&Plan::scan("sales").limit(0)).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn composed_pipeline() {
+        // Revenue by region for amounts > 5, joined with tax, computing
+        // taxed revenue — a miniature of the paper's "revenue from East
+        // Coast customers" query.
+        let c = catalog();
+        let p = Plan::scan("sales")
+            .filter(Expr::col("amount").gt(Expr::lit(5.0)))
+            .join(Plan::scan("regions"), &[("region", "name")])
+            .project(&[
+                ("region", Expr::col("region")),
+                (
+                    "net",
+                    Expr::col("amount").mul(Expr::lit(1.0).sub(Expr::col("tax"))),
+                ),
+            ])
+            .aggregate(&["region"], vec![AggSpec::new("net_total", AggFunc::Sum, Expr::col("net"))])
+            .sort(vec![SortKey::asc(Expr::col("region"))]);
+        let t = c.query(&p).unwrap();
+        assert_eq!(t.len(), 2);
+        let east = &t.rows()[0];
+        assert_eq!(east[0], Value::from("east"));
+        assert!((east[1].as_f64().unwrap() - 36.0).abs() < 1e-12); // (10+30)*0.9
+        let west = &t.rows()[1];
+        assert!((west[1].as_f64().unwrap() - 16.0).abs() < 1e-12); // 20*0.8
+    }
+}

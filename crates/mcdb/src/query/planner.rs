@@ -1,0 +1,402 @@
+//! Rewrite-based plan optimization.
+//!
+//! §2.3 of the paper observes that "the problem of simulation-experiment
+//! optimization subsumes the problem of query optimization": composite
+//! platforms run queries to harmonize data between models at every Monte
+//! Carlo repetition, so classical rewrites pay off multiplied by the
+//! replication count. The rewrites here are the classical ones:
+//!
+//! 1. **Conjunct splitting** — `Filter(a AND b)` → `Filter(a)` over
+//!    `Filter(b)`, enabling the next rewrite per conjunct.
+//! 2. **Filter pushdown below joins** — a predicate referencing only one
+//!    join side moves below the join, shrinking the join input.
+//! 3. **Filter fusion** — adjacent filters re-merge into one conjunction
+//!    after pushdown, so rows are tested once.
+//!
+//! The gridfield `restrict`/`regrid` commutation of §2.2 is the same idea
+//! in a different algebra; see `mde_harmonize::gridfield`.
+
+use super::Plan;
+use crate::expr::Expr;
+use std::collections::BTreeSet;
+
+/// Optimize a plan by repeated local rewrites until fixpoint (bounded by a
+/// generous iteration cap; each rewrite strictly reduces a measure, so the
+/// cap is never hit in practice).
+pub fn optimize(plan: Plan) -> Plan {
+    let mut current = plan;
+    for _ in 0..64 {
+        let (next, changed) = rewrite(current);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    current
+}
+
+/// One bottom-up rewrite pass. Returns the plan and whether anything
+/// changed.
+fn rewrite(plan: Plan) -> (Plan, bool) {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let (input, mut changed) = rewrite(*input);
+            // Split conjunctions into a list of predicates to place.
+            let mut conjuncts = Vec::new();
+            split_conjuncts(predicate, &mut conjuncts);
+            let had_multiple = conjuncts.len() > 1;
+
+            let mut node = input;
+            let mut remaining = Vec::new();
+            for pred in conjuncts {
+                match try_push_down(node, pred) {
+                    Ok(new_node) => {
+                        node = new_node;
+                        changed = true;
+                    }
+                    Err((old_node, pred)) => {
+                        node = old_node;
+                        remaining.push(pred);
+                    }
+                }
+            }
+            if remaining.is_empty() {
+                (node, true)
+            } else {
+                let fused = fuse_conjuncts(remaining);
+                // Splitting-then-refusing identical conjuncts is a no-op;
+                // only report change if pushdown happened or the structure
+                // actually changed.
+                (node.filter(fused), changed || had_multiple && false)
+            }
+        }
+        Plan::Project { input, exprs } => {
+            let (input, changed) = rewrite(*input);
+            (
+                Plan::Project {
+                    input: Box::new(input),
+                    exprs,
+                },
+                changed,
+            )
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            right_prefix,
+        } => {
+            let (left, c1) = rewrite(*left);
+            let (right, c2) = rewrite(*right);
+            (
+                Plan::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on,
+                    right_prefix,
+                },
+                c1 || c2,
+            )
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let (input, changed) = rewrite(*input);
+            (
+                Plan::Aggregate {
+                    input: Box::new(input),
+                    group_by,
+                    aggs,
+                },
+                changed,
+            )
+        }
+        Plan::Sort { input, keys } => {
+            let (input, changed) = rewrite(*input);
+            (
+                Plan::Sort {
+                    input: Box::new(input),
+                    keys,
+                },
+                changed,
+            )
+        }
+        Plan::Limit { input, n } => {
+            let (input, changed) = rewrite(*input);
+            (
+                Plan::Limit {
+                    input: Box::new(input),
+                    n,
+                },
+                changed,
+            )
+        }
+        leaf @ (Plan::Scan { .. } | Plan::Values { .. }) => (leaf, false),
+    }
+}
+
+/// Try to push one predicate below `node`. On success returns the new node;
+/// on failure returns the original node and predicate unchanged.
+#[allow(clippy::result_large_err)] // the Err side *is* the pass-through path
+fn try_push_down(node: Plan, pred: Expr) -> Result<Plan, (Plan, Expr)> {
+    match node {
+        Plan::Join {
+            left,
+            right,
+            on,
+            right_prefix,
+        } => {
+            let cols = pred.referenced_columns();
+            let left_cols = plan_column_names(&left);
+            let right_cols = plan_column_names(&right);
+            // Columns that exist on the left keep their names in join
+            // output; right columns may be renamed on collision, in which
+            // case they are not safely pushable — require exact, unprefixed,
+            // unambiguous membership.
+            let all_left = cols.iter().all(|c| left_cols.contains(c));
+            let all_right = cols
+                .iter()
+                .all(|c| right_cols.contains(c) && !left_cols.contains(c));
+            if all_left {
+                Ok(Plan::Join {
+                    left: Box::new(left.filter(pred)),
+                    right,
+                    on,
+                    right_prefix,
+                })
+            } else if all_right {
+                Ok(Plan::Join {
+                    left,
+                    right: Box::new(right.filter(pred)),
+                    on,
+                    right_prefix,
+                })
+            } else {
+                Err((
+                    Plan::Join {
+                        left,
+                        right,
+                        on,
+                        right_prefix,
+                    },
+                    pred,
+                ))
+            }
+        }
+        // Filters commute with sorts and pass through other filters; both
+        // are cheap wins that also expose deeper joins.
+        Plan::Sort { input, keys } => match try_push_down(*input, pred) {
+            Ok(inner) => Ok(Plan::Sort {
+                input: Box::new(inner),
+                keys,
+            }),
+            Err((inner, pred)) => Err((
+                Plan::Sort {
+                    input: Box::new(inner),
+                    keys,
+                },
+                pred,
+            )),
+        },
+        other => Err((other, pred)),
+    }
+}
+
+/// Best-effort static column-name set of a plan (without a catalog, Scan
+/// contributes nothing — pushdown through scans of unknown schema is
+/// skipped, which is safe).
+fn plan_column_names(plan: &Plan) -> BTreeSet<String> {
+    match plan {
+        Plan::Scan { .. } => BTreeSet::new(),
+        Plan::Values { table } => table.schema().names().into_iter().collect(),
+        Plan::Filter { input, .. } | Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
+            plan_column_names(input)
+        }
+        Plan::Project { exprs, .. } => exprs.iter().map(|(n, _)| n.clone()).collect(),
+        Plan::Join { left, right, .. } => {
+            // Approximation: union, with collisions unresolved; pushdown
+            // requires unambiguous membership so this stays conservative.
+            let mut s = plan_column_names(left);
+            s.extend(plan_column_names(right));
+            s
+        }
+        Plan::Aggregate {
+            group_by, aggs, ..
+        } => group_by
+            .iter()
+            .cloned()
+            .chain(aggs.iter().map(|a| a.name.clone()))
+            .collect(),
+    }
+}
+
+fn split_conjuncts(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary {
+            op: crate::expr::BinOp::And,
+            left,
+            right,
+        } => {
+            split_conjuncts(*left, out);
+            split_conjuncts(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn fuse_conjuncts(mut preds: Vec<Expr>) -> Expr {
+    let first = preds.remove(0);
+    preds.into_iter().fold(first, |acc, p| acc.and(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{AggSpec, Catalog};
+    use crate::schema::DataType;
+    use crate::table::Table;
+    use crate::value::Value;
+
+    fn people() -> Table {
+        Table::build("people", &[("pid", DataType::Int), ("age", DataType::Int)])
+            .row(vec![Value::from(1), Value::from(3)])
+            .row(vec![Value::from(2), Value::from(40)])
+            .finish()
+            .unwrap()
+    }
+
+    fn visits() -> Table {
+        Table::build("visits", &[("vid", DataType::Int), ("cost", DataType::Float)])
+            .row(vec![Value::from(1), Value::from(10.0)])
+            .row(vec![Value::from(1), Value::from(20.0)])
+            .row(vec![Value::from(2), Value::from(5.0)])
+            .finish()
+            .unwrap()
+    }
+
+    fn is_filter_below_join(p: &Plan) -> bool {
+        match p {
+            Plan::Join { left, right, .. } => {
+                matches!(**left, Plan::Filter { .. }) || matches!(**right, Plan::Filter { .. })
+            }
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Aggregate { input, .. } => is_filter_below_join(input),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn pushes_left_side_filter_below_join() {
+        let p = Plan::values(people())
+            .join(Plan::values(visits()), &[("pid", "vid")])
+            .filter(Expr::col("age").lt(Expr::lit(5)));
+        let opt = optimize(p);
+        assert!(is_filter_below_join(&opt), "filter not pushed: {opt:?}");
+    }
+
+    #[test]
+    fn pushes_right_side_filter_below_join() {
+        let p = Plan::values(people())
+            .join(Plan::values(visits()), &[("pid", "vid")])
+            .filter(Expr::col("cost").gt(Expr::lit(7.0)));
+        let opt = optimize(p);
+        assert!(is_filter_below_join(&opt));
+    }
+
+    #[test]
+    fn splits_conjuncts_to_both_sides() {
+        let p = Plan::values(people())
+            .join(Plan::values(visits()), &[("pid", "vid")])
+            .filter(
+                Expr::col("age")
+                    .lt(Expr::lit(5))
+                    .and(Expr::col("cost").gt(Expr::lit(7.0))),
+            );
+        let opt = optimize(p);
+        // Both sides should now carry a filter.
+        if let Plan::Join { left, right, .. } = &opt {
+            assert!(matches!(**left, Plan::Filter { .. }));
+            assert!(matches!(**right, Plan::Filter { .. }));
+        } else {
+            panic!("expected bare join at root, got {opt:?}");
+        }
+    }
+
+    #[test]
+    fn cross_side_predicate_stays_above() {
+        let p = Plan::values(people())
+            .join(Plan::values(visits()), &[("pid", "vid")])
+            .filter(Expr::col("age").lt(Expr::col("cost")));
+        let opt = optimize(p);
+        assert!(matches!(opt, Plan::Filter { .. }));
+    }
+
+    #[test]
+    fn optimized_plans_produce_identical_results() {
+        let mut c = Catalog::new();
+        c.insert(people());
+        c.insert(visits());
+        let plans = vec![
+            Plan::scan("people")
+                .join(Plan::scan("visits"), &[("pid", "vid")])
+                .filter(
+                    Expr::col("age")
+                        .lt(Expr::lit(50))
+                        .and(Expr::col("cost").gt(Expr::lit(7.0))),
+                ),
+            Plan::values(people())
+                .join(Plan::values(visits()), &[("pid", "vid")])
+                .filter(Expr::col("age").gt(Expr::lit(5)))
+                .aggregate(&[], vec![AggSpec::count_star("n")]),
+        ];
+        for p in plans {
+            let opt = c.query(&p).unwrap();
+            let raw = c.query_unoptimized(&p).unwrap();
+            assert_eq!(opt.rows(), raw.rows(), "optimizer changed results for {p:?}");
+        }
+    }
+
+    #[test]
+    fn pushdown_skipped_for_unknown_scan_schema() {
+        // Scans have no statically known columns, so nothing is pushed —
+        // but the plan must still execute correctly.
+        let p = Plan::scan("people")
+            .join(Plan::scan("visits"), &[("pid", "vid")])
+            .filter(Expr::col("age").lt(Expr::lit(5)));
+        let opt = optimize(p.clone());
+        let mut c = Catalog::new();
+        c.insert(people());
+        c.insert(visits());
+        assert_eq!(
+            c.query_unoptimized(&opt).unwrap().rows(),
+            c.query_unoptimized(&p).unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn filter_commutes_with_sort() {
+        use crate::query::SortKey;
+        let p = Plan::values(people())
+            .join(Plan::values(visits()), &[("pid", "vid")])
+            .sort(vec![SortKey::asc(Expr::col("age"))])
+            .filter(Expr::col("age").lt(Expr::lit(5)));
+        let opt = optimize(p);
+        // Root should now be the sort, with the filter pushed inside.
+        assert!(matches!(opt, Plan::Sort { .. }), "got {opt:?}");
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let p = Plan::values(people())
+            .join(Plan::values(visits()), &[("pid", "vid")])
+            .filter(Expr::col("age").lt(Expr::lit(5)));
+        let once = optimize(p);
+        let twice = optimize(once.clone());
+        assert_eq!(once, twice);
+    }
+}

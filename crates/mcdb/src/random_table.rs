@@ -1,0 +1,463 @@
+//! Stochastic ("random") table specifications.
+//!
+//! A [`RandomTableSpec`] is the engine's equivalent of MCDB's
+//!
+//! ```sql
+//! CREATE TABLE SBP_DATA(PID, GENDER, SBP) AS
+//!   FOR EACH p IN PATIENTS
+//!   WITH SBP AS Normal((SELECT s.MEAN, s.STD FROM SBP_PARAM s))
+//!   SELECT p.PID, p.GENDER, b.VALUE FROM SBP b
+//! ```
+//!
+//! A realization loops over the rows of the *driver* query (`FOR EACH`),
+//! invokes the VG function once per driver row — parametrized by a SQL
+//! query over the non-random tables and/or by expressions over the driver
+//! row — and assembles output rows with the `SELECT` projection, which sees
+//! the driver row's columns and the VG output's columns side by side.
+
+use crate::query::{Catalog, Plan};
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use crate::value::Value;
+use crate::vg::VgFunction;
+use crate::{expr::Expr, McdbError};
+use mde_numeric::rng::Rng;
+use std::sync::Arc;
+
+/// Specification of a stochastic table.
+#[derive(Clone)]
+pub struct RandomTableSpec {
+    name: String,
+    driver: Plan,
+    vg: Arc<dyn VgFunction>,
+    /// Parameter query evaluated once per realization over the catalog; its
+    /// single row's values prefix the VG parameter list.
+    params_query: Option<Plan>,
+    /// Per-driver-row parameter expressions, appended after the query
+    /// parameters.
+    param_exprs: Vec<Expr>,
+    /// `(output name, expression)` over driver ++ VG columns.
+    select: Vec<(String, Expr)>,
+}
+
+impl std::fmt::Debug for RandomTableSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomTableSpec")
+            .field("name", &self.name)
+            .field("vg", &self.vg.name())
+            .field("select", &self.select.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RandomTableSpec {
+    /// Start building a spec for a table with the given name.
+    pub fn builder(name: impl Into<String>) -> RandomTableSpecBuilder {
+        RandomTableSpecBuilder {
+            name: name.into(),
+            driver: None,
+            vg: None,
+            params_query: None,
+            param_exprs: Vec::new(),
+            select: Vec::new(),
+        }
+    }
+
+    /// The table name this spec realizes.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The VG function.
+    pub fn vg(&self) -> &Arc<dyn VgFunction> {
+        &self.vg
+    }
+
+    /// The driver plan (`FOR EACH`).
+    pub fn driver(&self) -> &Plan {
+        &self.driver
+    }
+
+    /// Schema of the combined (driver ++ VG) row visible to the `SELECT`
+    /// projection.
+    pub fn combined_schema(&self, catalog: &Catalog) -> crate::Result<Schema> {
+        let driver_schema = self.driver.output_schema(catalog)?;
+        driver_schema.concat(&self.vg.output_schema(), "vg")
+    }
+
+    /// Output schema of a realization.
+    pub fn output_schema(&self, catalog: &Catalog) -> crate::Result<Schema> {
+        let combined = self.combined_schema(catalog)?;
+        let mut cols = Vec::with_capacity(self.select.len());
+        for (name, e) in &self.select {
+            let dt = crate::query::infer_type(e, &combined)?
+                .unwrap_or(crate::schema::DataType::Float);
+            cols.push(crate::schema::Column::new(name.clone(), dt));
+        }
+        Schema::new(cols)
+    }
+
+    /// Evaluate the parameter query (if any) to the base parameter values.
+    fn base_params(&self, catalog: &Catalog) -> crate::Result<Vec<Value>> {
+        match &self.params_query {
+            None => Ok(Vec::new()),
+            Some(q) => {
+                let t = catalog.query(q)?;
+                if t.len() != 1 {
+                    return Err(McdbError::invalid_plan(format!(
+                        "VG parameter query for `{}` must return exactly one row, got {}",
+                        self.name,
+                        t.len()
+                    )));
+                }
+                Ok(t.rows()[0].clone())
+            }
+        }
+    }
+
+    /// Crate-internal: evaluate the parameter query to base parameters
+    /// (used by the tuple-bundle generator, which drives the VG directly).
+    pub(crate) fn base_params_values(&self, catalog: &Catalog) -> crate::Result<Vec<Value>> {
+        self.base_params(catalog)
+    }
+
+    /// Crate-internal: bind the per-row parameter expressions.
+    pub(crate) fn bind_param_exprs(
+        &self,
+        driver_schema: &Schema,
+    ) -> crate::Result<Vec<crate::expr::BoundExpr>> {
+        self.param_exprs
+            .iter()
+            .map(|e| e.bind(driver_schema))
+            .collect()
+    }
+
+    /// Crate-internal: bind the SELECT projection against the combined
+    /// schema.
+    pub(crate) fn bind_select(
+        &self,
+        combined: &Schema,
+    ) -> crate::Result<Vec<crate::expr::BoundExpr>> {
+        self.select.iter().map(|(_, e)| e.bind(combined)).collect()
+    }
+
+    /// Generate one realization of the stochastic table.
+    pub fn realize(&self, catalog: &Catalog, rng: &mut Rng) -> crate::Result<Table> {
+        let driver_table = catalog.query(&self.driver)?;
+        let combined = self.combined_schema(catalog)?;
+        let out_schema = self.output_schema(catalog)?;
+        let base_params = self.base_params(catalog)?;
+
+        let bound_param_exprs: Vec<_> = self
+            .param_exprs
+            .iter()
+            .map(|e| e.bind(driver_table.schema()))
+            .collect::<crate::Result<_>>()?;
+        let bound_select: Vec<_> = self
+            .select
+            .iter()
+            .map(|(_, e)| e.bind(&combined))
+            .collect::<crate::Result<_>>()?;
+
+        let mut out = Table::new(self.name.clone(), out_schema.clone());
+        for drow in driver_table.rows() {
+            let mut params = base_params.clone();
+            for be in &bound_param_exprs {
+                params.push(be.eval(drow)?);
+            }
+            self.vg.check_arity(&params)?;
+            for vrow in self.vg.generate(&params, rng)? {
+                let mut crow: Row = Vec::with_capacity(combined.len());
+                crow.extend(drow.iter().cloned());
+                crow.extend(vrow);
+                let mut orow = Vec::with_capacity(bound_select.len());
+                for (be, col) in bound_select.iter().zip(out_schema.columns()) {
+                    let v = be.eval(&crow)?;
+                    let v = match (&v, col.dtype) {
+                        (Value::Int(i), crate::schema::DataType::Float) => {
+                            Value::Float(*i as f64)
+                        }
+                        _ => v,
+                    };
+                    orow.push(v);
+                }
+                out.push_row(orow)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Builder for [`RandomTableSpec`].
+pub struct RandomTableSpecBuilder {
+    name: String,
+    driver: Option<Plan>,
+    vg: Option<Arc<dyn VgFunction>>,
+    params_query: Option<Plan>,
+    param_exprs: Vec<Expr>,
+    select: Vec<(String, Expr)>,
+}
+
+impl RandomTableSpecBuilder {
+    /// The `FOR EACH` driver query.
+    pub fn for_each(mut self, driver: Plan) -> Self {
+        self.driver = Some(driver);
+        self
+    }
+
+    /// The VG function.
+    pub fn with_vg(mut self, vg: Arc<dyn VgFunction>) -> Self {
+        self.vg = Some(vg);
+        self
+    }
+
+    /// Parameter query (evaluated once per realization; must yield one row
+    /// whose values prefix the VG parameter list).
+    pub fn vg_params_query(mut self, q: Plan) -> Self {
+        self.params_query = Some(q);
+        self
+    }
+
+    /// Per-driver-row parameter expressions (appended after the query
+    /// parameters).
+    pub fn vg_params_exprs(mut self, exprs: &[Expr]) -> Self {
+        self.param_exprs = exprs.to_vec();
+        self
+    }
+
+    /// The output projection over driver ++ VG columns.
+    pub fn select(mut self, exprs: &[(&str, Expr)]) -> Self {
+        self.select = exprs
+            .iter()
+            .map(|(n, e)| (n.to_string(), e.clone()))
+            .collect();
+        self
+    }
+
+    /// Validate and build the spec.
+    pub fn build(self) -> crate::Result<RandomTableSpec> {
+        let driver = self
+            .driver
+            .ok_or_else(|| McdbError::invalid_plan("random table needs a FOR EACH driver"))?;
+        let vg = self
+            .vg
+            .ok_or_else(|| McdbError::invalid_plan("random table needs a VG function"))?;
+        if self.select.is_empty() {
+            return Err(McdbError::invalid_plan(
+                "random table needs a SELECT projection",
+            ));
+        }
+        Ok(RandomTableSpec {
+            name: self.name,
+            driver,
+            vg,
+            params_query: self.params_query,
+            param_exprs: self.param_exprs,
+            select: self.select,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::vg::{BayesianDemandVg, NormalVg, PoissonVg};
+    use mde_numeric::rng::rng_from_seed;
+
+    fn patients_catalog() -> Catalog {
+        let mut db = Catalog::new();
+        db.insert(
+            Table::build(
+                "PATIENTS",
+                &[("PID", DataType::Int), ("GENDER", DataType::Str)],
+            )
+            .row(vec![Value::from(1), Value::from("F")])
+            .row(vec![Value::from(2), Value::from("M")])
+            .row(vec![Value::from(3), Value::from("F")])
+            .finish()
+            .unwrap(),
+        );
+        db.insert(
+            Table::build(
+                "SBP_PARAM",
+                &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+            )
+            .row(vec![Value::from(120.0), Value::from(15.0)])
+            .finish()
+            .unwrap(),
+        );
+        db
+    }
+
+    fn sbp_spec() -> RandomTableSpec {
+        RandomTableSpec::builder("SBP_DATA")
+            .for_each(Plan::scan("PATIENTS"))
+            .with_vg(Arc::new(NormalVg))
+            .vg_params_query(Plan::scan("SBP_PARAM"))
+            .select(&[
+                ("PID", Expr::col("PID")),
+                ("GENDER", Expr::col("GENDER")),
+                ("SBP", Expr::col("VALUE")),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sbp_example_realizes_per_patient() {
+        let db = patients_catalog();
+        let spec = sbp_spec();
+        let mut rng = rng_from_seed(42);
+        let t = spec.realize(&db, &mut rng).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.schema().names(), vec!["PID", "GENDER", "SBP"]);
+        // SBP values are plausible normal draws around 120.
+        for v in t.column_f64("SBP").unwrap() {
+            assert!((30.0..=210.0).contains(&v), "implausible SBP {v}");
+        }
+    }
+
+    #[test]
+    fn realizations_differ_across_rng_states_but_reproduce_with_seed() {
+        let db = patients_catalog();
+        let spec = sbp_spec();
+        let t1 = spec.realize(&db, &mut rng_from_seed(1)).unwrap();
+        let t2 = spec.realize(&db, &mut rng_from_seed(1)).unwrap();
+        let t3 = spec.realize(&db, &mut rng_from_seed(2)).unwrap();
+        assert_eq!(t1.rows(), t2.rows(), "same seed must reproduce");
+        assert_ne!(t1.rows(), t3.rows(), "different seeds must differ");
+    }
+
+    #[test]
+    fn per_row_params_feed_the_vg() {
+        // Each row's lambda comes from its own column.
+        let mut db = Catalog::new();
+        db.insert(
+            Table::build("CUST", &[("CID", DataType::Int), ("RATE", DataType::Float)])
+                .row(vec![Value::from(1), Value::from(1.0)])
+                .row(vec![Value::from(2), Value::from(50.0)])
+                .finish()
+                .unwrap(),
+        );
+        let spec = RandomTableSpec::builder("DEMAND")
+            .for_each(Plan::scan("CUST"))
+            .with_vg(Arc::new(PoissonVg))
+            .vg_params_exprs(&[Expr::col("RATE")])
+            .select(&[("CID", Expr::col("CID")), ("D", Expr::col("VALUE"))])
+            .build()
+            .unwrap();
+        let mut rng = rng_from_seed(5);
+        // Average a few realizations: customer 2 must dominate customer 1.
+        let (mut d1, mut d2) = (0.0, 0.0);
+        for _ in 0..50 {
+            let t = spec.realize(&db, &mut rng).unwrap();
+            d1 += t.rows()[0][1].as_i64().unwrap() as f64;
+            d2 += t.rows()[1][1].as_i64().unwrap() as f64;
+        }
+        assert!(d2 > d1 * 5.0, "demand means: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn combined_projection_uses_driver_and_vg_columns() {
+        let db = patients_catalog();
+        // Select an arithmetic combination spanning both sides.
+        let spec = RandomTableSpec::builder("X")
+            .for_each(Plan::scan("PATIENTS"))
+            .with_vg(Arc::new(NormalVg))
+            .vg_params_query(Plan::scan("SBP_PARAM"))
+            .select(&[(
+                "SHIFTED",
+                Expr::col("VALUE").add(Expr::col("PID").mul(Expr::lit(1000))),
+            )])
+            .build()
+            .unwrap();
+        let t = spec.realize(&db, &mut rng_from_seed(3)).unwrap();
+        for (i, row) in t.rows().iter().enumerate() {
+            let v = row[0].as_f64().unwrap();
+            let expected_band = (i as f64 + 1.0) * 1000.0;
+            assert!((v - expected_band).abs() < 500.0, "row {i} out of band: {v}");
+        }
+    }
+
+    #[test]
+    fn multi_row_param_query_rejected() {
+        let db = patients_catalog();
+        let spec = RandomTableSpec::builder("BAD")
+            .for_each(Plan::scan("PATIENTS"))
+            .with_vg(Arc::new(NormalVg))
+            .vg_params_query(Plan::scan("PATIENTS")) // 3 rows: invalid
+            .select(&[("V", Expr::col("VALUE"))])
+            .build()
+            .unwrap();
+        assert!(spec.realize(&db, &mut rng_from_seed(1)).is_err());
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(RandomTableSpec::builder("X").build().is_err());
+        assert!(RandomTableSpec::builder("X")
+            .for_each(Plan::scan("T"))
+            .build()
+            .is_err());
+        assert!(RandomTableSpec::builder("X")
+            .for_each(Plan::scan("T"))
+            .with_vg(Arc::new(NormalVg))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn bayesian_demand_end_to_end() {
+        // The paper's demand scenario: global model params + per-customer
+        // history, asking demand under a 5% price increase.
+        let mut db = Catalog::new();
+        db.insert(
+            Table::build(
+                "CUSTOMERS",
+                &[
+                    ("CID", DataType::Int),
+                    ("HIST_PERIODS", DataType::Float),
+                    ("HIST_UNITS", DataType::Float),
+                ],
+            )
+            .row(vec![Value::from(1), Value::from(10.0), Value::from(20.0)])
+            .row(vec![Value::from(2), Value::from(10.0), Value::from(80.0)])
+            .finish()
+            .unwrap(),
+        );
+        db.insert(
+            Table::build(
+                "DEMAND_MODEL",
+                &[("ALPHA", DataType::Float), ("BETA", DataType::Float)],
+            )
+            .row(vec![Value::from(2.0), Value::from(1.0)])
+            .finish()
+            .unwrap(),
+        );
+        let spec = RandomTableSpec::builder("DEMAND")
+            .for_each(Plan::scan("CUSTOMERS"))
+            .with_vg(Arc::new(BayesianDemandVg))
+            .vg_params_query(Plan::scan("DEMAND_MODEL"))
+            .vg_params_exprs(&[
+                Expr::col("HIST_PERIODS"),
+                Expr::col("HIST_UNITS"),
+                Expr::lit(10.5), // price after 5% increase
+                Expr::lit(10.0), // reference price
+                Expr::lit(2.0),  // elasticity
+            ])
+            .select(&[("CID", Expr::col("CID")), ("UNITS", Expr::col("VALUE"))])
+            .build()
+            .unwrap();
+        let mut rng = rng_from_seed(11);
+        let (mut u1, mut u2) = (0.0, 0.0);
+        for _ in 0..200 {
+            let t = spec.realize(&db, &mut rng).unwrap();
+            u1 += t.rows()[0][1].as_i64().unwrap() as f64;
+            u2 += t.rows()[1][1].as_i64().unwrap() as f64;
+        }
+        // Posterior means ~2 vs ~7.45 (×0.905 price factor); heavy history
+        // customer demands more.
+        assert!(u2 > u1 * 2.0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Agent-based simulation steps as self-joins (Wang et al., VLDB 2010).
+//!
+//! "A step in an agent-based simulation can be viewed as a self-join. That
+//! is, the data in each row of a table represent the internal state of an
+//! agent, so the self-join step allows agents to interact with other
+//! agents. A key observation is that agents typically interact only with a
+//! relatively small group of 'nearby' agents. Thus (with a little care) the
+//! join can be parallelized among groups of agents."
+//!
+//! [`SelfJoinSim`] implements exactly that: the agent table carries a
+//! *partition key* (spatial cell, social group, …); a step equi-joins each
+//! agent with the agents in its own and adjacent partitions and applies a
+//! pluggable stochastic [`AgentTransition`]. Partitions are processed in
+//! parallel worker threads with per-partition RNG streams, so results are
+//! bit-identical regardless of thread count — the "little care" the paper
+//! alludes to.
+
+use crate::table::{Row, Table};
+use crate::value::{GroupKey, Value};
+use crate::McdbError;
+use mde_numeric::rng::{Rng, StreamFactory};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A stochastic agent state-transition function.
+pub trait AgentTransition: Send + Sync {
+    /// Compute the agent's next-state row from its current row and the rows
+    /// of its neighbors (agents in the same or adjacent partitions,
+    /// including the agent itself). Must return a row matching the agent
+    /// table's schema.
+    fn transition(
+        &self,
+        agent: &Row,
+        neighbors: &[&Row],
+        rng: &mut Rng,
+    ) -> crate::Result<Row>;
+}
+
+/// Blanket implementation so closures can be used directly.
+impl<F> AgentTransition for F
+where
+    F: Fn(&Row, &[&Row], &mut Rng) -> crate::Result<Row> + Send + Sync,
+{
+    fn transition(&self, agent: &Row, neighbors: &[&Row], rng: &mut Rng) -> crate::Result<Row> {
+        self(agent, neighbors, rng)
+    }
+}
+
+/// An ABS engine whose step is a neighborhood-partitioned self-join.
+pub struct SelfJoinSim {
+    key_column: String,
+    adjacency: Arc<dyn Fn(&Value) -> Vec<Value> + Send + Sync>,
+    transition: Arc<dyn AgentTransition>,
+    threads: usize,
+}
+
+impl SelfJoinSim {
+    /// Create a simulator.
+    ///
+    /// * `key_column` — the partition-key column of the agent table;
+    /// * `adjacency` — maps a partition key to the *other* partition keys
+    ///   whose agents are also neighbors (the agent's own partition is
+    ///   always included automatically);
+    /// * `transition` — the per-agent stochastic update.
+    pub fn new(
+        key_column: impl Into<String>,
+        adjacency: impl Fn(&Value) -> Vec<Value> + Send + Sync + 'static,
+        transition: Arc<dyn AgentTransition>,
+    ) -> Self {
+        SelfJoinSim {
+            key_column: key_column.into(),
+            adjacency: Arc::new(adjacency),
+            transition,
+            threads: 1,
+        }
+    }
+
+    /// Use up to `threads` worker threads for the partition-parallel join.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Execute one simulation step: the self-join plus transition, in
+    /// parallel over partitions. Row order of the output matches the input.
+    pub fn step(&self, agents: &Table, seed: u64) -> crate::Result<Table> {
+        let key_idx = agents.schema().index_of(&self.key_column)?;
+
+        // Partition agents: key -> row indices, remembering encounter order
+        // of partitions so RNG stream assignment is deterministic.
+        let mut partitions: HashMap<GroupKey, usize> = HashMap::new();
+        let mut part_rows: Vec<Vec<usize>> = Vec::new();
+        let mut part_key_values: Vec<Value> = Vec::new();
+        for (i, row) in agents.rows().iter().enumerate() {
+            let k = row[key_idx].group_key();
+            let pid = *partitions.entry(k).or_insert_with(|| {
+                part_rows.push(Vec::new());
+                part_key_values.push(row[key_idx].clone());
+                part_rows.len() - 1
+            });
+            part_rows[pid].push(i);
+        }
+
+        // Resolve each partition's neighbor row set: own rows plus rows of
+        // adjacent partitions that exist.
+        let neighbor_rows_of = |pid: usize| -> Vec<&Row> {
+            let mut rows: Vec<&Row> = part_rows[pid]
+                .iter()
+                .map(|&i| &agents.rows()[i])
+                .collect();
+            for adj in (self.adjacency)(&part_key_values[pid]) {
+                if let Some(&apid) = partitions.get(&adj.group_key()) {
+                    if apid != pid {
+                        rows.extend(part_rows[apid].iter().map(|&i| &agents.rows()[i]));
+                    }
+                }
+            }
+            rows
+        };
+
+        let factory = StreamFactory::new(seed);
+        let n_parts = part_rows.len();
+        let threads = self.threads.min(n_parts.max(1));
+        let mut results: Vec<Option<crate::Result<Vec<(usize, Row)>>>> =
+            (0..threads).map(|_| None).collect();
+
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let part_rows = &part_rows;
+                let neighbor_rows_of = &neighbor_rows_of;
+                let transition = &self.transition;
+                handles.push(scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut pid = t;
+                    while pid < n_parts {
+                        let neighbors = neighbor_rows_of(pid);
+                        // Per-partition stream: deterministic across thread
+                        // counts because pid, not thread id, selects it.
+                        let mut rng = factory.stream(pid as u64);
+                        for &i in &part_rows[pid] {
+                            let agent = &agents.rows()[i];
+                            match transition.transition(agent, &neighbors, &mut rng) {
+                                Ok(new_row) => out.push((i, new_row)),
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        pid += threads;
+                    }
+                    Ok(out)
+                }));
+            }
+            for (slot, h) in results.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("partition worker panicked"));
+            }
+        })
+        .expect("crossbeam scope panicked");
+
+        let mut indexed: Vec<(usize, Row)> = Vec::with_capacity(agents.len());
+        for r in results.into_iter().flatten() {
+            indexed.extend(r?);
+        }
+        indexed.sort_by_key(|(i, _)| *i);
+        if indexed.len() != agents.len() {
+            return Err(McdbError::invalid_plan(format!(
+                "self-join step produced {} rows for {} agents",
+                indexed.len(),
+                agents.len()
+            )));
+        }
+
+        let mut out = Table::new(agents.name().to_string(), agents.schema().clone());
+        for (_, row) in indexed {
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+
+    /// Run `steps` consecutive steps, returning every intermediate state
+    /// (`steps + 1` tables including the input).
+    pub fn run(&self, agents: Table, steps: usize, seed: u64) -> crate::Result<Vec<Table>> {
+        let factory = StreamFactory::new(seed);
+        let mut states = vec![agents];
+        for s in 0..steps {
+            let next = self.step(
+                states.last().expect("seeded with initial state"),
+                factory.seed_of(s as u64),
+            )?;
+            states.push(next);
+        }
+        Ok(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    /// A 1-D "infection" model: agents live in integer cells; an agent
+    /// becomes infected if any neighbor (same or adjacent cell) is
+    /// infected. Deterministic, so the spread front is checkable.
+    fn contagion_sim(threads: usize) -> SelfJoinSim {
+        let transition = |agent: &Row, neighbors: &[&Row], _rng: &mut Rng| {
+            let infected = agent[2].as_bool()?;
+            let any_near = neighbors.iter().any(|n| n[2].as_bool().unwrap_or(false));
+            Ok(vec![
+                agent[0].clone(),
+                agent[1].clone(),
+                Value::Bool(infected || any_near),
+            ])
+        };
+        SelfJoinSim::new(
+            "cell",
+            |k: &Value| {
+                let c = k.as_i64().expect("int cell key");
+                vec![Value::Int(c - 1), Value::Int(c + 1)]
+            },
+            Arc::new(transition),
+        )
+        .with_threads(threads)
+    }
+
+    fn line_of_agents(n: i64) -> Table {
+        Table::build(
+            "agents",
+            &[
+                ("id", DataType::Int),
+                ("cell", DataType::Int),
+                ("infected", DataType::Bool),
+            ],
+        )
+        .rows((0..n).map(|i| {
+            vec![
+                Value::from(i),
+                Value::from(i), // one agent per cell
+                Value::from(i == 0),
+            ]
+        }))
+        .finish()
+        .unwrap()
+    }
+
+    fn count_infected(t: &Table) -> usize {
+        t.rows()
+            .iter()
+            .filter(|r| r[2].as_bool().unwrap())
+            .count()
+    }
+
+    #[test]
+    fn contagion_front_advances_one_cell_per_step() {
+        let sim = contagion_sim(1);
+        let states = sim.run(line_of_agents(10), 4, 9).unwrap();
+        for (t, s) in states.iter().enumerate() {
+            assert_eq!(count_infected(s), (t + 1).min(10), "at step {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let t0 = line_of_agents(30);
+        let seq = contagion_sim(1).run(t0.clone(), 5, 4).unwrap();
+        let par = contagion_sim(8).run(t0, 5, 4).unwrap();
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.rows(), b.rows());
+        }
+    }
+
+    #[test]
+    fn stochastic_transition_reproducible_across_thread_counts() {
+        // Transition flips a coin; per-partition streams must make the
+        // result independent of the thread count.
+        let make = |threads| {
+            SelfJoinSim::new(
+                "cell",
+                |_k: &Value| vec![],
+                Arc::new(|agent: &Row, _n: &[&Row], rng: &mut Rng| {
+                    use rand::Rng as _;
+                    Ok(vec![
+                        agent[0].clone(),
+                        agent[1].clone(),
+                        Value::Bool(rng.gen::<f64>() < 0.5),
+                    ])
+                }),
+            )
+            .with_threads(threads)
+        };
+        let t0 = line_of_agents(40);
+        let a = make(1).step(&t0, 123).unwrap();
+        let b = make(4).step(&t0, 123).unwrap();
+        let c = make(16).step(&t0, 123).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.rows(), c.rows());
+        // And the seed matters.
+        let d = make(4).step(&t0, 124).unwrap();
+        assert_ne!(a.rows(), d.rows());
+    }
+
+    #[test]
+    fn neighbors_include_own_partition_and_adjacent_only() {
+        // Agent counts its neighbors into its own state.
+        let sim = SelfJoinSim::new(
+            "cell",
+            |k: &Value| {
+                let c = k.as_i64().unwrap();
+                vec![Value::Int(c - 1), Value::Int(c + 1)]
+            },
+            Arc::new(|agent: &Row, neighbors: &[&Row], _rng: &mut Rng| {
+                Ok(vec![
+                    agent[0].clone(),
+                    agent[1].clone(),
+                    Value::Int(neighbors.len() as i64),
+                ])
+            }),
+        );
+        // Three agents in cell 0, two in cell 1, one in cell 5 (isolated).
+        let t = Table::build(
+            "a",
+            &[
+                ("id", DataType::Int),
+                ("cell", DataType::Int),
+                ("n", DataType::Int),
+            ],
+        )
+        .rows(vec![
+            vec![Value::from(0), Value::from(0), Value::from(0)],
+            vec![Value::from(1), Value::from(0), Value::from(0)],
+            vec![Value::from(2), Value::from(0), Value::from(0)],
+            vec![Value::from(3), Value::from(1), Value::from(0)],
+            vec![Value::from(4), Value::from(1), Value::from(0)],
+            vec![Value::from(5), Value::from(5), Value::from(0)],
+        ])
+        .finish()
+        .unwrap();
+        let out = sim.step(&t, 1).unwrap();
+        let n: Vec<i64> = out
+            .rows()
+            .iter()
+            .map(|r| r[2].as_i64().unwrap())
+            .collect();
+        // Cells 0 and 1 are mutually adjacent: everyone there sees 5.
+        // The isolated agent sees only itself.
+        assert_eq!(n, vec![5, 5, 5, 5, 5, 1]);
+    }
+
+    #[test]
+    fn bad_transition_row_is_rejected() {
+        let sim = SelfJoinSim::new(
+            "cell",
+            |_k: &Value| vec![],
+            Arc::new(|_a: &Row, _n: &[&Row], _rng: &mut Rng| {
+                Ok(vec![Value::from("wrong schema")])
+            }),
+        );
+        assert!(sim.step(&line_of_agents(3), 1).is_err());
+    }
+
+    #[test]
+    fn missing_key_column_is_an_error() {
+        let sim = contagion_sim(1);
+        let t = Table::build("a", &[("id", DataType::Int)])
+            .row(vec![Value::from(1)])
+            .finish()
+            .unwrap();
+        assert!(sim.step(&t, 1).is_err());
+    }
+}

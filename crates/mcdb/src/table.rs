@@ -1,0 +1,258 @@
+//! In-memory tables: a schema plus rows.
+
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+use std::fmt;
+
+/// A row is an ordered vector of values matching a schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory table with a name, schema, and rows.
+///
+/// Tables are the unit of exchange throughout the workspace: ordinary
+/// (deterministic) database tables, realizations of stochastic tables,
+/// query results, snapshots of agent populations, and observation exports
+/// from simulations are all `Table`s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Start a builder from `(name, type)` column pairs.
+    pub fn build(name: impl Into<String>, columns: &[(&str, DataType)]) -> TableBuilder {
+        TableBuilder {
+            name: name.into(),
+            columns: columns
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table (used when registering query results).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a validated row.
+    pub fn push_row(&mut self, row: Row) -> crate::Result<()> {
+        self.schema.validate_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append a row without validation.
+    ///
+    /// For engine-internal paths where the row provably conforms (e.g.
+    /// projections of validated rows). Not `unsafe` in the memory sense,
+    /// but misuse produces confusing downstream type errors.
+    pub(crate) fn push_row_unchecked(&mut self, row: Row) {
+        debug_assert!(self.schema.validate_row(&row).is_ok());
+        self.rows.push(row);
+    }
+
+    /// The single scalar value of a 1×1 table, or an error.
+    pub fn scalar(&self) -> crate::Result<Value> {
+        if self.rows.len() == 1 && self.schema.len() == 1 {
+            Ok(self.rows[0][0].clone())
+        } else {
+            Err(crate::McdbError::NonScalarResult {
+                rows: self.rows.len(),
+                cols: self.schema.len(),
+            })
+        }
+    }
+
+    /// Extract one column as a vector of values.
+    pub fn column(&self, name: &str) -> crate::Result<Vec<Value>> {
+        let i = self.schema.index_of(name)?;
+        Ok(self.rows.iter().map(|r| r[i].clone()).collect())
+    }
+
+    /// Extract one numeric column as `f64`s (Nulls are skipped).
+    pub fn column_f64(&self, name: &str) -> crate::Result<Vec<f64>> {
+        let i = self.schema.index_of(name)?;
+        self.rows
+            .iter()
+            .filter(|r| !r[i].is_null())
+            .map(|r| r[i].as_f64())
+            .collect()
+    }
+
+    /// Render as an aligned text table (for the figure-regeneration
+    /// binaries and debugging).
+    pub fn render_ascii(&self) -> String {
+        let names = self.schema.names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = names
+            .iter()
+            .zip(&widths)
+            .map(|(n, w)| format!("{n:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} rows)", self.name, self.rows.len())?;
+        write!(f, "{}", self.render_ascii())
+    }
+}
+
+/// Incremental table builder; validation happens at `finish`.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<(String, DataType)>,
+    rows: Vec<Row>,
+}
+
+impl TableBuilder {
+    /// Append a row (validated at [`TableBuilder::finish`]).
+    pub fn row(mut self, row: Row) -> Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Append many rows.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = Row>) -> Self {
+        self.rows.extend(rows);
+        self
+    }
+
+    /// Validate all rows and produce the table.
+    pub fn finish(self) -> crate::Result<Table> {
+        let pairs: Vec<(&str, DataType)> = self
+            .columns
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect();
+        let schema = Schema::from_pairs(&pairs)?;
+        let mut t = Table::new(self.name, schema);
+        for row in self.rows {
+            t.push_row(row)?;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::build("t", &[("id", DataType::Int), ("x", DataType::Float)])
+            .row(vec![Value::from(1), Value::from(1.5)])
+            .row(vec![Value::from(2), Value::from(2.5)])
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        let bad = Table::build("t", &[("id", DataType::Int)])
+            .row(vec![Value::from("oops")])
+            .finish();
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut t = sample();
+        assert_eq!(t.len(), 2);
+        t.push_row(vec![Value::from(3), Value::Null]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.column("id").unwrap().len(), 3);
+        // column_f64 skips Nulls.
+        assert_eq!(t.column_f64("x").unwrap(), vec![1.5, 2.5]);
+        assert!(t.column("nope").is_err());
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        let t = Table::build("s", &[("v", DataType::Float)])
+            .row(vec![Value::from(9.0)])
+            .finish()
+            .unwrap();
+        assert_eq!(t.scalar().unwrap(), Value::from(9.0));
+        assert!(sample().scalar().is_err());
+    }
+
+    #[test]
+    fn render_contains_headers_and_values() {
+        let s = sample().render_ascii();
+        assert!(s.contains("id"));
+        assert!(s.contains("2.5"));
+        assert_eq!(s.lines().count(), 4); // header + separator + 2 rows
+    }
+
+    #[test]
+    fn rename() {
+        let t = sample().with_name("renamed");
+        assert_eq!(t.name(), "renamed");
+    }
+}

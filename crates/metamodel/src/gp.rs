@@ -1,0 +1,394 @@
+//! Gaussian-process metamodels: kriging and stochastic kriging — §4.1,
+//! equations (4)–(6) of the paper.
+//!
+//! The model is `Y(x) = β₀ + M(x)` with `M` a stationary Gaussian process
+//! whose covariance is the paper's equation (5):
+//! `Σ_M(xᵢ, xⱼ) = τ² Π_k exp(−θ_k (x_{i,k} − x_{j,k})²)`.
+//! Given design-point outputs, the optimal (minimum-MSE) predictor is
+//! equation (6): `Ŷ(x₀) = β₀ + Σ_M(x₀,·)ᵀ Σ_M⁻¹ (Ȳ − β₀·1)` — which
+//! interpolates the design points exactly for deterministic simulations.
+//!
+//! **Stochastic kriging** (Ankenman–Nelson–Staum) adds per-design-point
+//! replication noise: `Σ_M⁻¹` becomes `[Σ_M + Σ_ε]⁻¹` where `Σ_ε` is the
+//! diagonal of `V(xᵢ)/nᵢ` — so the predictor smooths rather than
+//! interpolates noisy observations.
+//!
+//! "In practice the various parameters … are estimated from the data":
+//! `(τ², θ)` by Nelder–Mead on the negative log marginal likelihood with
+//! `β₀` profiled out by GLS.
+
+use mde_numeric::linalg::{Cholesky, Matrix};
+use mde_numeric::optim::{nelder_mead, NelderMeadConfig};
+use mde_numeric::NumericError;
+
+/// Configuration for GP fitting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpConfig {
+    /// Diagonal jitter added to keep Cholesky stable (deterministic
+    /// kriging's "numerical nugget").
+    pub jitter: f64,
+    /// Likelihood-evaluation budget for the hyperparameter search.
+    pub max_evals: usize,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            jitter: 1e-10,
+            max_evals: 400,
+        }
+    }
+}
+
+/// A fitted Gaussian-process metamodel.
+#[derive(Debug, Clone)]
+pub struct GpModel {
+    xs: Vec<Vec<f64>>,
+    beta0: f64,
+    tau2: f64,
+    thetas: Vec<f64>,
+    /// Per-design-point observation noise variance (all zero for
+    /// deterministic kriging).
+    noise_var: Vec<f64>,
+    /// `Σ⁻¹ (y − β₀·1)` precomputed for prediction.
+    alpha: Vec<f64>,
+    chol: Cholesky,
+}
+
+impl GpModel {
+    /// Fit deterministic kriging to design points and outputs.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: &GpConfig) -> mde_numeric::Result<GpModel> {
+        Self::fit_impl(xs, ys, &vec![0.0; ys.len()], cfg)
+    }
+
+    /// Fit stochastic kriging: `ys[i]` is the average of `n_i` replications
+    /// at `xs[i]` and `noise_var[i] = V(xᵢ)/nᵢ` is its variance.
+    pub fn fit_stochastic(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        noise_var: &[f64],
+        cfg: &GpConfig,
+    ) -> mde_numeric::Result<GpModel> {
+        if noise_var.len() != ys.len() {
+            return Err(NumericError::dim(
+                "GpModel::fit_stochastic",
+                format!("{} noise variances", ys.len()),
+                format!("{}", noise_var.len()),
+            ));
+        }
+        if noise_var.iter().any(|v| *v < 0.0) {
+            return Err(NumericError::invalid(
+                "noise_var",
+                "variances must be non-negative".to_string(),
+            ));
+        }
+        Self::fit_impl(xs, ys, noise_var, cfg)
+    }
+
+    fn fit_impl(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        noise_var: &[f64],
+        cfg: &GpConfig,
+    ) -> mde_numeric::Result<GpModel> {
+        let n = xs.len();
+        if n < 2 {
+            return Err(NumericError::EmptyInput {
+                context: "GpModel::fit (need >= 2 design points)",
+            });
+        }
+        if ys.len() != n {
+            return Err(NumericError::dim(
+                "GpModel::fit",
+                format!("{n} responses"),
+                format!("{}", ys.len()),
+            ));
+        }
+        let d = xs[0].len();
+        if d == 0 || xs.iter().any(|x| x.len() != d) {
+            return Err(NumericError::invalid(
+                "xs",
+                "design points must share a positive dimension".to_string(),
+            ));
+        }
+
+        // Initial scales: τ² ≈ var(y), θ_k ≈ 1 / range_k².
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let var_y = (ys.iter().map(|y| (y - mean_y).powi(2)).sum::<f64>() / n as f64)
+            .max(1e-8);
+        let mut log_params = vec![var_y.ln()];
+        for k in 0..d {
+            let lo = xs.iter().map(|x| x[k]).fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().map(|x| x[k]).fold(f64::NEG_INFINITY, f64::max);
+            let range = (hi - lo).max(1e-6);
+            log_params.push((1.0 / (range * range)).ln());
+        }
+
+        // Negative log marginal likelihood with GLS β₀ (profiled).
+        let nll = |lp: &[f64]| -> f64 {
+            let tau2 = lp[0].exp();
+            let thetas: Vec<f64> = lp[1..].iter().map(|l| l.exp()).collect();
+            match Self::assemble(xs, ys, noise_var, tau2, &thetas, cfg.jitter) {
+                Ok((_, _, _, value)) => value,
+                Err(_) => f64::INFINITY,
+            }
+        };
+        let result = nelder_mead(
+            nll,
+            &log_params,
+            &NelderMeadConfig {
+                max_evals: cfg.max_evals,
+                initial_step: 0.5,
+                ..NelderMeadConfig::default()
+            },
+        )?;
+
+        let tau2 = result.x[0].exp();
+        let thetas: Vec<f64> = result.x[1..].iter().map(|l| l.exp()).collect();
+        let (chol, beta0, alpha, _) =
+            Self::assemble(xs, ys, noise_var, tau2, &thetas, cfg.jitter)?;
+        Ok(GpModel {
+            xs: xs.to_vec(),
+            beta0,
+            tau2,
+            thetas,
+            noise_var: noise_var.to_vec(),
+            alpha,
+            chol,
+        })
+    }
+
+    /// Build Σ = τ²R + Σ_ε + jitter·I, factor it, compute the GLS β₀ and
+    /// the weight vector α, and return the negative log likelihood.
+    #[allow(clippy::type_complexity)]
+    fn assemble(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        noise_var: &[f64],
+        tau2: f64,
+        thetas: &[f64],
+        jitter: f64,
+    ) -> mde_numeric::Result<(Cholesky, f64, Vec<f64>, f64)> {
+        let n = xs.len();
+        let mut sigma = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = tau2 * correlation(&xs[i], &xs[j], thetas);
+                if i == j {
+                    v += noise_var[i] + jitter * (1.0 + tau2);
+                }
+                sigma[(i, j)] = v;
+            }
+        }
+        let chol = Cholesky::new(&sigma)?;
+        let ones = vec![1.0; n];
+        let si_y = chol.solve(ys)?;
+        let si_1 = chol.solve(&ones)?;
+        let denom: f64 = si_1.iter().sum();
+        let beta0 = si_y.iter().sum::<f64>() / denom;
+        let r: Vec<f64> = ys.iter().map(|y| y - beta0).collect();
+        let alpha = chol.solve(&r)?;
+        let quad: f64 = r.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let nll = 0.5 * (chol.ln_det() + quad);
+        Ok((chol, beta0, alpha, nll))
+    }
+
+    /// The fitted mean `β₀`.
+    pub fn beta0(&self) -> f64 {
+        self.beta0
+    }
+
+    /// The fitted process variance `τ²`.
+    pub fn tau2(&self) -> f64 {
+        self.tau2
+    }
+
+    /// The fitted correlation decay parameters `θ` — the §4.3 screening
+    /// statistic ("a very low value for θⱼ implies … no variability in
+    /// model response as the value of the jth parameter changes").
+    pub fn thetas(&self) -> &[f64] {
+        &self.thetas
+    }
+
+    /// The predictor of equation (6) at `x0`.
+    pub fn predict(&self, x0: &[f64]) -> f64 {
+        let k: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| self.tau2 * correlation(x0, xi, &self.thetas))
+            .collect();
+        self.beta0 + k.iter().zip(&self.alpha).map(|(a, b)| a * b).sum::<f64>()
+    }
+
+    /// The kriging variance (predictive MSE, ignoring β₀-estimation
+    /// inflation) at `x0`.
+    pub fn predict_variance(&self, x0: &[f64]) -> f64 {
+        let k: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| self.tau2 * correlation(x0, xi, &self.thetas))
+            .collect();
+        let si_k = self.chol.solve(&k).expect("factorized covariance");
+        (self.tau2 - k.iter().zip(&si_k).map(|(a, b)| a * b).sum::<f64>()).max(0.0)
+    }
+
+    /// Whether the model was fit with observation noise (stochastic
+    /// kriging).
+    pub fn is_stochastic(&self) -> bool {
+        self.noise_var.iter().any(|v| *v > 0.0)
+    }
+}
+
+/// The Gaussian correlation of equation (5), with τ² factored out.
+fn correlation(a: &[f64], b: &[f64], thetas: &[f64]) -> f64 {
+    let s: f64 = a
+        .iter()
+        .zip(b)
+        .zip(thetas)
+        .map(|((x, y), t)| t * (x - y) * (x - y))
+        .sum();
+    (-s).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mde_numeric::dist::{Distribution, Normal};
+    use mde_numeric::rng::rng_from_seed;
+
+    fn grid_1d(n: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![lo + (hi - lo) * i as f64 / (n - 1) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn interpolates_design_points_exactly() {
+        // The paper: "Ŷ(xᵢ) coincides with the observed value Y(xᵢ) at each
+        // design point".
+        let xs = grid_1d(8, 0.0, 3.0);
+        let ys: Vec<f64> = xs.iter().map(|x| (2.0 * x[0]).sin() + x[0]).collect();
+        let gp = GpModel::fit(&xs, &ys, &GpConfig::default()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x);
+            assert!((p - y).abs() < 1e-4, "at {x:?}: {p} vs {y}");
+            assert!(gp.predict_variance(x) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn predicts_smooth_function_between_design_points() {
+        let xs = grid_1d(12, 0.0, 3.0);
+        let f = |x: f64| (2.0 * x).sin() + 0.5 * x;
+        let ys: Vec<f64> = xs.iter().map(|x| f(x[0])).collect();
+        let gp = GpModel::fit(&xs, &ys, &GpConfig::default()).unwrap();
+        for i in 0..30 {
+            let x = 0.05 + i as f64 * 0.1;
+            assert!(
+                (gp.predict(&[x]) - f(x)).abs() < 0.05,
+                "at {x}: {} vs {}",
+                gp.predict(&[x]),
+                f(x)
+            );
+        }
+    }
+
+    #[test]
+    fn predictive_variance_grows_away_from_data() {
+        let xs = grid_1d(6, 0.0, 1.0);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp = GpModel::fit(&xs, &ys, &GpConfig::default()).unwrap();
+        let near = gp.predict_variance(&[0.5]);
+        let far = gp.predict_variance(&[3.0]);
+        assert!(far > near, "variance near {near}, far {far}");
+        assert!(far <= gp.tau2() + 1e-9);
+    }
+
+    #[test]
+    fn stochastic_kriging_smooths_noisy_observations() {
+        // True function linear; observations perturbed. Interpolating
+        // kriging chases the noise; SK with the correct noise variance
+        // stays closer to the truth at the design points.
+        let xs = grid_1d(15, 0.0, 2.0);
+        let truth = |x: f64| 3.0 * x;
+        let mut rng = rng_from_seed(1);
+        let noise = Normal::new(0.0, 0.4).unwrap();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| truth(x[0]) + noise.sample(&mut rng))
+            .collect();
+        let nv = vec![0.16; xs.len()];
+        let sk = GpModel::fit_stochastic(&xs, &ys, &nv, &GpConfig::default()).unwrap();
+        let krig = GpModel::fit(&xs, &ys, &GpConfig::default()).unwrap();
+        assert!(sk.is_stochastic());
+        assert!(!krig.is_stochastic());
+        let rmse = |m: &GpModel| {
+            (xs.iter()
+                .map(|x| (m.predict(x) - truth(x[0])).powi(2))
+                .sum::<f64>()
+                / xs.len() as f64)
+                .sqrt()
+        };
+        let (e_sk, e_k) = (rmse(&sk), rmse(&krig));
+        assert!(
+            e_sk < e_k,
+            "stochastic kriging ({e_sk}) should beat interpolation ({e_k}) on noisy data"
+        );
+    }
+
+    #[test]
+    fn thetas_reflect_factor_importance() {
+        // y depends strongly on x0, not at all on x1: θ₀ ≫ θ₁.
+        let mut xs = Vec::new();
+        let mut rng = rng_from_seed(2);
+        for _ in 0..30 {
+            use rand::Rng as _;
+            xs.push(vec![rng.gen::<f64>(), rng.gen::<f64>()]);
+        }
+        let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+        let gp = GpModel::fit(&xs, &ys, &GpConfig { max_evals: 800, ..GpConfig::default() }).unwrap();
+        assert!(
+            gp.thetas()[0] > 10.0 * gp.thetas()[1],
+            "thetas {:?} fail to separate important from inert factor",
+            gp.thetas()
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(GpModel::fit(&[vec![0.0]], &[1.0], &GpConfig::default()).is_err());
+        assert!(GpModel::fit(&grid_1d(3, 0.0, 1.0), &[1.0, 2.0], &GpConfig::default()).is_err());
+        assert!(GpModel::fit_stochastic(
+            &grid_1d(3, 0.0, 1.0),
+            &[1.0, 2.0, 3.0],
+            &[0.1, 0.1],
+            &GpConfig::default()
+        )
+        .is_err());
+        assert!(GpModel::fit_stochastic(
+            &grid_1d(3, 0.0, 1.0),
+            &[1.0, 2.0, 3.0],
+            &[0.1, -0.1, 0.1],
+            &GpConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn two_dimensional_prediction() {
+        let mut xs = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                xs.push(vec![i as f64 / 4.0, j as f64 / 4.0]);
+            }
+        }
+        let f = |x: &[f64]| x[0] * x[0] + 2.0 * x[1];
+        let ys: Vec<f64> = xs.iter().map(|x| f(x)).collect();
+        let gp = GpModel::fit(&xs, &ys, &GpConfig::default()).unwrap();
+        for &(a, b) in &[(0.3, 0.3), (0.6, 0.1), (0.15, 0.85)] {
+            let p = gp.predict(&[a, b]);
+            let t = f(&[a, b]);
+            assert!((p - t).abs() < 0.05, "at ({a},{b}): {p} vs {t}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Response surfaces: the thing a metamodel approximates.
+
+use mde_numeric::rng::Rng;
+
+/// A (possibly stochastic) simulation response `Y(x)`.
+pub trait ResponseSurface {
+    /// Parameter-space dimension.
+    fn dim(&self) -> usize;
+
+    /// Evaluate one replication at `x`.
+    fn eval(&self, x: &[f64], rng: &mut Rng) -> f64;
+
+    /// Average `reps` replications at `x`.
+    fn eval_mean(&self, x: &[f64], reps: usize, rng: &mut Rng) -> f64 {
+        (0..reps).map(|_| self.eval(x, rng)).sum::<f64>() / reps as f64
+    }
+}
+
+/// A deterministic response built from a closure (noise, if any, is the
+/// closure's own business).
+pub struct FnResponse<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64], &mut Rng) -> f64> FnResponse<F> {
+    /// Wrap a closure as a response surface.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnResponse { dim, f }
+    }
+}
+
+impl<F: Fn(&[f64], &mut Rng) -> f64> ResponseSurface for FnResponse<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn eval(&self, x: &[f64], rng: &mut Rng) -> f64 {
+        debug_assert_eq!(x.len(), self.dim);
+        (self.f)(x, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mde_numeric::dist::{Distribution, Normal};
+    use mde_numeric::rng::rng_from_seed;
+
+    #[test]
+    fn fn_response_evaluates() {
+        let r = FnResponse::new(2, |x: &[f64], _rng: &mut Rng| x[0] + 2.0 * x[1]);
+        let mut rng = rng_from_seed(1);
+        assert_eq!(r.eval(&[1.0, 2.0], &mut rng), 5.0);
+        assert_eq!(r.dim(), 2);
+    }
+
+    #[test]
+    fn eval_mean_reduces_noise() {
+        let r = FnResponse::new(1, |x: &[f64], rng: &mut Rng| {
+            x[0] + Normal::standard().sample(rng)
+        });
+        let mut rng = rng_from_seed(2);
+        let noisy = r.eval(&[10.0], &mut rng);
+        let averaged = r.eval_mean(&[10.0], 4000, &mut rng);
+        assert!((averaged - 10.0).abs() < 0.1);
+        // A single draw is typically farther off than the average.
+        let _ = noisy;
+    }
+}

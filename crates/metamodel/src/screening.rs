@@ -1,0 +1,214 @@
+//! Factor screening — §4.3 of the paper.
+//!
+//! "Factor screening refers to the process of identifying the subset of
+//! parameters to which the simulation response is most sensitive."
+//!
+//! * **Sequential bifurcation** (Bettonvil/Kleijnen, hybridized in Shen &
+//!   Wan): assuming a linear metamodel with Gaussian noise and
+//!   *known-positive* main effects, groups of factors are tested together
+//!   — "such group testing is much faster than testing each individual
+//!   parameter" — and groups showing an effect are recursively split.
+//! * **GP-based screening**: fit a Gaussian-process metamodel and rank
+//!   factors by the fitted correlation-decay parameters `θⱼ` (a near-zero
+//!   `θⱼ` means the response does not vary with factor `j`).
+
+use crate::design::nolh;
+use crate::gp::{GpConfig, GpModel};
+use crate::response::ResponseSurface;
+use mde_numeric::rng::Rng;
+
+/// Result of a sequential-bifurcation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreeningResult {
+    /// Indices of factors declared important, ascending.
+    pub important: Vec<usize>,
+    /// Simulation runs consumed (each run = `reps` replications).
+    pub runs_used: usize,
+}
+
+/// Configuration for sequential bifurcation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BifurcationConfig {
+    /// Declare a (group) effect important when it exceeds this threshold —
+    /// set above the noise scale and below the smallest effect of
+    /// interest.
+    pub threshold: f64,
+    /// Replications averaged per probe (noise reduction).
+    pub reps: usize,
+}
+
+impl Default for BifurcationConfig {
+    fn default() -> Self {
+        BifurcationConfig {
+            threshold: 0.5,
+            reps: 4,
+        }
+    }
+}
+
+/// Sequential bifurcation over a response with assumed-positive main
+/// effects on coded inputs (`−1` low, `+1` high).
+///
+/// A probe evaluates the response with one *prefix group* of factors high;
+/// the group effect is the difference between consecutive probes. Groups
+/// whose effect exceeds the threshold split recursively; singleton groups
+/// are declared important.
+pub fn sequential_bifurcation<R: ResponseSurface>(
+    response: &R,
+    cfg: &BifurcationConfig,
+    rng: &mut Rng,
+) -> ScreeningResult {
+    let k = response.dim();
+    let mut runs_used = 0usize;
+    // Probe cache: response with factors 0..=j high, rest low, keyed by
+    // the boundary index (SB's classic "cumulative" parametrization, which
+    // makes a group effect a difference of two probes).
+    let mut cache: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    let mut probe = |hi_upto: usize, rng: &mut Rng, runs: &mut usize| -> f64 {
+        if let Some(&v) = cache.get(&hi_upto) {
+            return v;
+        }
+        let x: Vec<f64> = (0..k)
+            .map(|j| if j < hi_upto { 1.0 } else { -1.0 })
+            .collect();
+        let v = response.eval_mean(&x, cfg.reps, rng);
+        *runs += 1;
+        cache.insert(hi_upto, v);
+        v
+    };
+
+    let mut important = Vec::new();
+    // Work queue of half-open factor ranges [lo, hi).
+    let mut queue = vec![(0usize, k)];
+    while let Some((lo, hi)) = queue.pop() {
+        if lo >= hi {
+            continue;
+        }
+        let y_hi = probe(hi, rng, &mut runs_used);
+        let y_lo = probe(lo, rng, &mut runs_used);
+        let group_effect = y_hi - y_lo;
+        if group_effect <= cfg.threshold {
+            continue; // no important factor inside
+        }
+        if hi - lo == 1 {
+            important.push(lo);
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            queue.push((lo, mid));
+            queue.push((mid, hi));
+        }
+    }
+    important.sort_unstable();
+    ScreeningResult {
+        important,
+        runs_used,
+    }
+}
+
+/// GP-based screening: fit a GP on a nearly orthogonal Latin hypercube
+/// sample of the response over `[-1, 1]^k` and return the factors ranked
+/// by descending `θⱼ`, together with the fitted values.
+pub fn gp_screening<R: ResponseSurface>(
+    response: &R,
+    design_runs: usize,
+    rng: &mut Rng,
+) -> mde_numeric::Result<Vec<(usize, f64)>> {
+    let k = response.dim();
+    let design = nolh(k, design_runs, 50, rng);
+    let ranges = vec![(-1.0, 1.0); k];
+    let xs = design.scale_to(&ranges);
+    let ys: Vec<f64> = xs.iter().map(|x| response.eval(x, rng)).collect();
+    let gp = GpModel::fit(&xs, &ys, &GpConfig::default())?;
+    let mut ranked: Vec<(usize, f64)> = gp
+        .thetas()
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite thetas"));
+    Ok(ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::FnResponse;
+    use mde_numeric::dist::Normal;
+    use mde_numeric::rng::rng_from_seed;
+
+    /// 128 factors, 8 important with effect 2, noise σ = 0.3 — the §4.3
+    /// setting: group testing finds them in far fewer than 128 probes.
+    fn sparse_response() -> FnResponse<impl Fn(&[f64], &mut Rng) -> f64> {
+        let important = [3usize, 17, 31, 64, 65, 90, 110, 127];
+        FnResponse::new(128, move |x: &[f64], rng: &mut Rng| {
+            let signal: f64 = important.iter().map(|&j| 2.0 * x[j]).sum();
+            signal + 0.3 * Normal::sample_standard(rng)
+        })
+    }
+
+    #[test]
+    fn finds_all_important_factors() {
+        let r = sparse_response();
+        let mut rng = rng_from_seed(1);
+        let res = sequential_bifurcation(&r, &BifurcationConfig::default(), &mut rng);
+        assert_eq!(res.important, vec![3, 17, 31, 64, 65, 90, 110, 127]);
+    }
+
+    #[test]
+    fn uses_far_fewer_runs_than_one_at_a_time() {
+        let r = sparse_response();
+        let mut rng = rng_from_seed(2);
+        let res = sequential_bifurcation(&r, &BifurcationConfig::default(), &mut rng);
+        // One-at-a-time needs 129 probes; 2^128 for a full factorial. SB
+        // with 8 important of 128 needs O(g·log k) ≈ 60-80 probes.
+        assert!(
+            res.runs_used < 100,
+            "sequential bifurcation used {} runs",
+            res.runs_used
+        );
+    }
+
+    #[test]
+    fn no_important_factors_costs_two_probes() {
+        let r = FnResponse::new(64, |_: &[f64], rng: &mut Rng| {
+            0.1 * Normal::sample_standard(rng)
+        });
+        let mut rng = rng_from_seed(3);
+        let res = sequential_bifurcation(&r, &BifurcationConfig::default(), &mut rng);
+        assert!(res.important.is_empty());
+        assert_eq!(res.runs_used, 2); // all-high and all-low only
+    }
+
+    #[test]
+    fn single_factor_problem() {
+        let r = FnResponse::new(1, |x: &[f64], _rng: &mut Rng| 3.0 * x[0]);
+        let mut rng = rng_from_seed(4);
+        let res = sequential_bifurcation(&r, &BifurcationConfig::default(), &mut rng);
+        assert_eq!(res.important, vec![0]);
+    }
+
+    #[test]
+    fn threshold_separates_small_effects() {
+        // Effects 2.0 (factor 0) and 0.05 (factor 1): only the first
+        // crosses a 0.5 threshold.
+        let r = FnResponse::new(2, |x: &[f64], _rng: &mut Rng| 1.0 * x[0] + 0.025 * x[1]);
+        let mut rng = rng_from_seed(5);
+        let res = sequential_bifurcation(&r, &BifurcationConfig::default(), &mut rng);
+        assert_eq!(res.important, vec![0]);
+    }
+
+    #[test]
+    fn gp_screening_ranks_active_factors_first() {
+        // 4 factors; only 0 and 2 matter.
+        let r = FnResponse::new(4, |x: &[f64], _rng: &mut Rng| {
+            (3.0 * x[0]).sin() + x[2] * x[2]
+        });
+        let mut rng = rng_from_seed(6);
+        let ranked = gp_screening(&r, 25, &mut rng).unwrap();
+        let top2: Vec<usize> = ranked[..2].iter().map(|(j, _)| *j).collect();
+        assert!(top2.contains(&0) && top2.contains(&2), "ranking {ranked:?}");
+        // Importance scores of active factors dominate inert ones.
+        let theta = |j: usize| ranked.iter().find(|(i, _)| *i == j).unwrap().1;
+        assert!(theta(0) > 5.0 * theta(1).max(theta(3)), "ranking {ranked:?}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Error type shared by the numeric substrate.
+
+use std::fmt;
+
+/// Errors produced by the numeric substrate.
+///
+/// The variants are deliberately coarse: callers in the workspace either
+/// propagate them (configuration errors surfaced to the experimenter) or
+/// treat them as bugs (dimension mismatches in internal code paths).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// A distribution or algorithm was configured with an invalid parameter
+    /// (e.g. a non-positive standard deviation).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Description of the operation that failed.
+        context: &'static str,
+        /// The dimensions that were expected.
+        expected: String,
+        /// The dimensions that were found.
+        found: String,
+    },
+    /// A matrix factorization failed (singular or not positive definite).
+    SingularMatrix {
+        /// Description of the factorization that failed.
+        context: &'static str,
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Description of the algorithm.
+        context: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An operation required data that was not available (e.g. quantile of
+    /// an empty sample).
+    EmptyInput {
+        /// Description of the operation.
+        context: &'static str,
+    },
+}
+
+impl NumericError {
+    /// Construct an [`NumericError::InvalidParameter`] with a formatted reason.
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        NumericError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    /// Construct a [`NumericError::DimensionMismatch`].
+    pub fn dim(
+        context: &'static str,
+        expected: impl Into<String>,
+        found: impl Into<String>,
+    ) -> Self {
+        NumericError::DimensionMismatch {
+            context,
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            NumericError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, found {found}"
+            ),
+            NumericError::SingularMatrix { context } => {
+                write!(f, "singular or non-positive-definite matrix in {context}")
+            }
+            NumericError::NoConvergence {
+                context,
+                iterations,
+            } => write!(f, "{context} failed to converge after {iterations} iterations"),
+            NumericError::EmptyInput { context } => {
+                write!(f, "{context} requires non-empty input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NumericError::invalid("sigma", "must be positive, got -1");
+        assert!(e.to_string().contains("sigma"));
+        assert!(e.to_string().contains("positive"));
+
+        let e = NumericError::dim("matmul", "3x4", "2x2");
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("3x4"));
+
+        let e = NumericError::SingularMatrix { context: "cholesky" };
+        assert!(e.to_string().contains("cholesky"));
+
+        let e = NumericError::NoConvergence {
+            context: "nelder-mead",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("100"));
+
+        let e = NumericError::EmptyInput { context: "quantile" };
+        assert!(e.to_string().contains("quantile"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

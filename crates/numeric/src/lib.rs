@@ -1,0 +1,40 @@
+//! Numeric substrate for the model-data ecosystems toolkit.
+//!
+//! Every other crate in the workspace builds on this one. It provides the
+//! mathematical machinery that Haas's PODS 2014 survey leans on implicitly:
+//!
+//! * [`rng`] — reproducible, splittable random-number streams so that
+//!   parallel Monte Carlo work (tuple bundles, DSGD strata, particle
+//!   filters) is deterministic given a seed.
+//! * [`dist`] — univariate probability distributions with sampling and,
+//!   where closed forms exist, pdf/cdf/quantile functions. These back the
+//!   VG-function library of the Monte Carlo database, the sensor model of
+//!   the wildfire assimilator, and the calibration test beds.
+//! * [`stats`] — streaming summary statistics (Welford), covariance,
+//!   empirical quantiles and CDFs, confidence intervals, histograms, and the
+//!   small time-series toolkit used by the Figure 1 extrapolation
+//!   experiment.
+//! * [`linalg`] — dense matrices with Cholesky and LU factorizations, a
+//!   Thomas tridiagonal solver (the cubic-spline system of §2.2), and
+//!   ordinary least squares (polynomial metamodels of §4.1).
+//! * [`kde`] — kernel density estimation with the kernels discussed in
+//!   §3.2 (Gaussian, Laplacian `e^{-|x|}`, Epanechnikov) and standard
+//!   bandwidth rules, used by the sensor-aware particle-filter proposal.
+//!
+//! The crate is deliberately dependency-light (only `rand`): the paper's
+//! systems are reproduced from scratch, so the numeric layer is too.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod error;
+pub mod kde;
+pub mod linalg;
+pub mod optim;
+pub mod rng;
+pub mod stats;
+
+pub use error::NumericError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NumericError>;

@@ -1,0 +1,194 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Kriging (§4.1) repeatedly solves systems against the design-point
+//! covariance matrix `Σ_M` (or `Σ_M + Σ_ε` for stochastic kriging); those
+//! matrices are SPD by construction, so Cholesky is the right factorization
+//! — half the work of LU and a built-in PD check that doubles as a
+//! diagnostic for ill-chosen correlation parameters.
+
+use super::Matrix;
+use crate::NumericError;
+
+/// The lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility. Returns
+    /// [`NumericError::SingularMatrix`] if a non-positive pivot appears.
+    pub fn new(a: &Matrix) -> crate::Result<Self> {
+        if !a.is_square() {
+            return Err(NumericError::dim(
+                "Cholesky::new",
+                "square matrix".to_string(),
+                format!("{}x{}", a.rows(), a.cols()),
+            ));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NumericError::SingularMatrix {
+                            context: "Cholesky::new (non-positive pivot)",
+                        });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A·x = b` by forward then backward substitution.
+    pub fn solve(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(NumericError::dim(
+                "Cholesky::solve",
+                format!("rhs of length {n}"),
+                format!("length {}", b.len()),
+            ));
+        }
+        // Forward: L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solve against a matrix right-hand side, column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> crate::Result<Matrix> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(NumericError::dim(
+                "Cholesky::solve_matrix",
+                format!("{n} rows"),
+                format!("{} rows", b.rows()),
+            ));
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// The inverse `A⁻¹` (solve against the identity). Prefer
+    /// [`Cholesky::solve`] when only products with the inverse are needed.
+    pub fn inverse(&self) -> crate::Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.l.rows()))
+    }
+
+    /// Log-determinant of `A`: `2 Σ ln L_ii`. Needed by the GP profile
+    /// likelihood.
+    pub fn ln_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_test_matrix() -> Matrix {
+        // A = Bᵀ·B + I is SPD for any B.
+        let b = Matrix::from_vec(3, 3, vec![1.0, 2.0, 0.0, 0.5, 1.0, 3.0, 2.0, 0.0, 1.0]).unwrap();
+        &(&b.transpose() * &b) + &Matrix::identity(3)
+    }
+
+    #[test]
+    fn factor_roundtrip() {
+        let a = spd_test_matrix();
+        let ch = Cholesky::new(&a).unwrap();
+        let recon = &ch.l().clone() * &ch.l().transpose();
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd_test_matrix();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_multiplies_to_identity() {
+        let a = spd_test_matrix();
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let prod = &a * &inv;
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn ln_det_matches_2x2_closed_form() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 1.0, 1.0, 3.0]).unwrap();
+        let det: f64 = 4.0 * 3.0 - 1.0;
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.ln_det() - det.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // indefinite
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::new(&a).is_err());
+        let ch = Cholesky::new(&Matrix::identity(2)).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let ch = Cholesky::new(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ch.solve(&b).unwrap(), b);
+        assert_eq!(ch.ln_det(), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! LU factorization with partial pivoting — the general-purpose dense
+//! solver (non-symmetric systems, determinants, matrix inverses).
+
+use super::Matrix;
+use crate::NumericError;
+
+/// LU decomposition with partial pivoting: `P·A = L·U`, stored compactly in
+/// a single matrix plus a permutation vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    /// +1 or -1 depending on the parity of the permutation (for the
+    /// determinant sign).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factor a square matrix. Returns [`NumericError::SingularMatrix`] if a
+    /// pivot column is numerically zero.
+    pub fn new(a: &Matrix) -> crate::Result<Self> {
+        if !a.is_square() {
+            return Err(NumericError::dim(
+                "Lu::new",
+                "square matrix".to_string(),
+                format!("{}x{}", a.rows(), a.cols()),
+            ));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in k + 1..n {
+                if lu[(i, k)].abs() > max {
+                    max = lu[(i, k)].abs();
+                    p = i;
+                }
+            }
+            if max < 1e-300 {
+                return Err(NumericError::SingularMatrix { context: "Lu::new" });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in k + 1..n {
+                    let upd = m * lu[(k, j)];
+                    lu[(i, j)] -= upd;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solve `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(NumericError::dim(
+                "Lu::solve",
+                format!("rhs of length {n}"),
+                format!("length {}", b.len()),
+            ));
+        }
+        // Apply permutation, then forward substitution (unit lower
+        // triangular), then back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in i + 1..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        (0..self.lu.rows())
+            .map(|i| self.lu[(i, i)])
+            .product::<f64>()
+            * self.sign
+    }
+
+    /// The inverse `A⁻¹` (solve against identity columns).
+    pub fn inverse(&self) -> crate::Result<Matrix> {
+        let n = self.lu.rows();
+        let mut out = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let x = self.solve(&e)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_vec(
+            3,
+            3,
+            vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0],
+        )
+        .unwrap();
+        // The textbook system with solution (2, 3, -1).
+        let b = [8.0, -11.0, -3.0];
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_vec(2, 2, vec![3.0, 8.0, 4.0, 6.0]).unwrap();
+        assert!((Lu::new(&a).unwrap().det() + 14.0).abs() < 1e-12);
+        assert!((Lu::new(&Matrix::identity(5)).unwrap().det() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutations() {
+        // A matrix that forces a row swap: [[0,1],[1,0]] has det -1.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!((Lu::new(&a).unwrap().det() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 7.0, 2.0, 3.0, 6.0, 1.0, 2.0, 5.0, 3.0]).unwrap();
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = &a * &inv;
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(
+            Lu::new(&a),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        assert!(Lu::new(&Matrix::zeros(2, 3)).is_err());
+        let lu = Lu::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 2.0, 3.0, 1.0]).unwrap();
+        let x = Lu::new(&a).unwrap().solve(&[4.0, 5.0]).unwrap();
+        // 0x + 2y = 4 => y = 2; 3x + y = 5 => x = 1.
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+}

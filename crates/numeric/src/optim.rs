@@ -1,0 +1,264 @@
+//! Derivative-free minimization: the Nelder–Mead simplex method.
+//!
+//! §3.1 of the paper cites Nelder–Mead (via Fabretti 2013) as a workhorse
+//! for calibrating agent-based models whose objectives are expensive,
+//! noisy, and gradient-free; §4.1's Gaussian-process fitting also needs a
+//! derivative-free optimizer for the correlation parameters. It lives in
+//! the numeric substrate so both use the same implementation.
+
+use crate::NumericError;
+
+/// Configuration for Nelder–Mead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex's objective spread falls below this
+    /// *and* the simplex has geometrically collapsed (see `x_tol`).
+    pub f_tol: f64,
+    /// Geometric convergence: maximum coordinate spread of the simplex.
+    /// Guards against premature stops when the objective is symmetric
+    /// around the optimum (equal f at distinct points).
+    pub x_tol: f64,
+    /// Initial simplex scale (per-coordinate step from the start point).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_evals: 2000,
+            f_tol: 1e-10,
+            x_tol: 1e-7,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a minimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Objective evaluations consumed.
+    pub evals: usize,
+    /// Whether the tolerance criterion (rather than the budget) stopped us.
+    pub converged: bool,
+}
+
+/// Minimize `f` from `x0` with the Nelder–Mead simplex
+/// (reflection/expansion/contraction/shrink with the standard
+/// coefficients 1, 2, ½, ½).
+pub fn nelder_mead(
+    f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    cfg: &NelderMeadConfig,
+) -> crate::Result<OptimResult> {
+    let mut f = f;
+    let n = x0.len();
+    if n == 0 {
+        return Err(NumericError::EmptyInput {
+            context: "nelder_mead (empty start point)",
+        });
+    }
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            // NaN objectives poison simplex ordering; treat as +inf.
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let fx0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), fx0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        xi[i] += if xi[i].abs() > 1e-12 {
+            cfg.initial_step * xi[i].abs()
+        } else {
+            cfg.initial_step
+        };
+        let fxi = eval(&xi, &mut evals);
+        simplex.push((xi, fxi));
+    }
+
+    let mut converged = false;
+    while evals < cfg.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN after mapping"));
+        let spread = simplex[n].1 - simplex[0].1;
+        let x_spread = (0..n)
+            .map(|i| {
+                let vals = simplex.iter().map(|(x, _)| x[i]);
+                let mx = vals.clone().fold(f64::NEG_INFINITY, f64::max);
+                let mn = vals.fold(f64::INFINITY, f64::min);
+                mx - mn
+            })
+            .fold(0.0f64, f64::max);
+        if spread.abs() < cfg.f_tol && x_spread < cfg.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, v) in centroid.iter_mut().zip(x) {
+                *c += v / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+
+        let point_at = |t: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + t * (c - w))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = point_at(1.0);
+        let fr = eval(&xr, &mut evals);
+        if fr < simplex[0].1 {
+            // Expansion.
+            let xe = point_at(2.0);
+            let fe = eval(&xe, &mut evals);
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (xr, fr);
+        } else {
+            // Contraction (outside if reflection helped over the worst,
+            // inside otherwise).
+            let (xc, fc) = if fr < worst.1 {
+                let xc = point_at(0.5);
+                let fc = eval(&xc, &mut evals);
+                (xc, fc)
+            } else {
+                let xc = point_at(-0.5);
+                let fc = eval(&xc, &mut evals);
+                (xc, fc)
+            };
+            if fc < worst.1.min(fr) {
+                simplex[n] = (xc, fc);
+            } else {
+                // Shrink toward the best.
+                let best = simplex[0].0.clone();
+                for (x, fx) in simplex.iter_mut().skip(1) {
+                    for (xi, bi) in x.iter_mut().zip(&best) {
+                        *xi = bi + 0.5 * (*xi - bi);
+                    }
+                    *fx = eval(x, &mut evals);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN after mapping"));
+    let (x, fx) = simplex.swap_remove(0);
+    Ok(OptimResult {
+        x,
+        fx,
+        evals,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadConfig::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "x0 = {}", r.x[0]);
+        assert!((r.x[1] + 1.0).abs() < 1e-4, "x1 = {}", r.x[1]);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let rosen = |x: &[f64]| {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let r = nelder_mead(
+            rosen,
+            &[-1.2, 1.0],
+            &NelderMeadConfig {
+                max_evals: 5000,
+                ..NelderMeadConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(r.fx < 1e-6, "f = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let mut count = 0usize;
+        let r = nelder_mead(
+            |x| {
+                count += 1;
+                x[0] * x[0]
+            },
+            &[100.0],
+            &NelderMeadConfig {
+                max_evals: 50,
+                f_tol: 0.0,
+                ..NelderMeadConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(count <= 55, "evaluations {count}"); // small slack for the final shrink pass
+        assert!(!r.converged);
+        assert_eq!(r.evals, count);
+    }
+
+    #[test]
+    fn one_dimensional_and_start_at_zero() {
+        let r = nelder_mead(
+            |x| (x[0] - 0.5).powi(2),
+            &[0.0],
+            &NelderMeadConfig::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn handles_nan_objective_regions() {
+        // sqrt of negative returns NaN; NM must not get stuck.
+        let r = nelder_mead(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 2.0).powi(2)
+                }
+            },
+            &[1.0],
+            &NelderMeadConfig::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_start_rejected() {
+        assert!(nelder_mead(|_| 0.0, &[], &NelderMeadConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Batch means: confidence intervals for *dependent* simulation output.
+//!
+//! Steady-state simulations (queues, traffic, epidemics after burn-in)
+//! produce autocorrelated output streams, for which the i.i.d. standard
+//! error `s/√n` is badly optimistic. The method of batch means groups the
+//! stream into `k` contiguous batches whose means are approximately
+//! independent, and builds the interval from the batch-mean variance —
+//! the standard output-analysis tool of the simulation community the paper
+//! speaks for.
+
+use super::Summary;
+use crate::dist::special::std_normal_quantile;
+use crate::stats::ConfidenceInterval;
+use crate::NumericError;
+
+/// Result of a batch-means analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMeans {
+    /// The per-batch means.
+    pub batch_means: Vec<f64>,
+    /// Batch size used.
+    pub batch_size: usize,
+    /// Observations discarded from the tail (when `n` is not divisible).
+    pub discarded: usize,
+}
+
+/// Group `data` into `k` equal contiguous batches (tail remainder
+/// discarded) and compute the batch means.
+pub fn batch_means(data: &[f64], k: usize) -> crate::Result<BatchMeans> {
+    if k < 2 {
+        return Err(NumericError::invalid("k", "need at least 2 batches".to_string()));
+    }
+    if data.len() < 2 * k {
+        return Err(NumericError::EmptyInput {
+            context: "batch_means (need >= 2 observations per batch)",
+        });
+    }
+    let batch_size = data.len() / k;
+    let used = batch_size * k;
+    let means = data[..used]
+        .chunks(batch_size)
+        .map(|b| b.iter().sum::<f64>() / b.len() as f64)
+        .collect();
+    Ok(BatchMeans {
+        batch_means: means,
+        batch_size,
+        discarded: data.len() - used,
+    })
+}
+
+/// Batch-means confidence interval for the steady-state mean of a
+/// (possibly autocorrelated) stationary output stream.
+pub fn batch_means_ci(
+    data: &[f64],
+    k: usize,
+    level: f64,
+) -> crate::Result<ConfidenceInterval> {
+    if !(0.0 < level && level < 1.0) {
+        return Err(NumericError::invalid(
+            "level",
+            format!("confidence level must be in (0,1), got {level}"),
+        ));
+    }
+    let bm = batch_means(data, k)?;
+    let s = Summary::from_slice(&bm.batch_means);
+    // Normal critical value; with k >= 10 batches the t-correction is
+    // second-order next to batching error.
+    let z = std_normal_quantile(0.5 + level / 2.0);
+    let hw = z * s.sample_std_dev() / (k as f64).sqrt();
+    Ok(ConfidenceInterval {
+        estimate: s.mean(),
+        lo: s.mean() - hw,
+        hi: s.mean() + hw,
+        level,
+    })
+}
+
+/// Lag-1 autocorrelation of a series — the diagnostic that decides whether
+/// naive i.i.d. intervals are trustworthy and whether batches are large
+/// enough (batch means should be nearly uncorrelated).
+pub fn lag1_autocorrelation(data: &[f64]) -> crate::Result<f64> {
+    if data.len() < 3 {
+        return Err(NumericError::EmptyInput {
+            context: "lag1_autocorrelation (need >= 3 observations)",
+        });
+    }
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var: f64 = data.iter().map(|x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return Ok(0.0);
+    }
+    let cov: f64 = data
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum();
+    Ok(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use crate::rng::rng_from_seed;
+    use crate::stats::mean_confidence_interval;
+
+    fn ar1_series(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rng_from_seed(seed);
+        let noise = Normal::new(0.0, 1.0).unwrap();
+        let mut xs = vec![0.0];
+        for _ in 1..n {
+            let prev = *xs.last().unwrap();
+            xs.push(phi * prev + noise.sample(&mut rng));
+        }
+        xs
+    }
+
+    #[test]
+    fn batching_mechanics() {
+        let data: Vec<f64> = (0..23).map(|i| i as f64).collect();
+        let bm = batch_means(&data, 4).unwrap();
+        assert_eq!(bm.batch_size, 5);
+        assert_eq!(bm.discarded, 3);
+        assert_eq!(bm.batch_means.len(), 4);
+        assert_eq!(bm.batch_means[0], 2.0); // mean of 0..5
+        assert!(batch_means(&data, 1).is_err());
+        assert!(batch_means(&data[..3], 4).is_err());
+    }
+
+    #[test]
+    fn iid_data_batch_ci_matches_naive_ci() {
+        let mut rng = rng_from_seed(1);
+        let data = Normal::new(5.0, 2.0).unwrap().sample_n(&mut rng, 10_000);
+        let naive = mean_confidence_interval(&Summary::from_slice(&data), 0.95).unwrap();
+        let batched = batch_means_ci(&data, 20, 0.95).unwrap();
+        assert!((naive.estimate - batched.estimate).abs() < 1e-9);
+        // Widths agree within batching noise.
+        let ratio = batched.half_width() / naive.half_width();
+        assert!((0.6..1.6).contains(&ratio), "width ratio {ratio}");
+    }
+
+    #[test]
+    fn autocorrelated_data_widens_the_interval() {
+        // AR(1) with phi = 0.9: naive CI is ~sqrt((1+phi)/(1-phi)) ≈ 4.4x
+        // too narrow; batch means must produce a wider (honest) interval.
+        let data = ar1_series(0.9, 50_000, 2);
+        let naive = mean_confidence_interval(&Summary::from_slice(&data), 0.95).unwrap();
+        let batched = batch_means_ci(&data, 25, 0.95).unwrap();
+        assert!(
+            batched.half_width() > 2.5 * naive.half_width(),
+            "batch hw {} vs naive hw {}",
+            batched.half_width(),
+            naive.half_width()
+        );
+        // And it covers the true mean 0.
+        assert!(batched.contains(0.0));
+    }
+
+    #[test]
+    fn coverage_on_autocorrelated_stream() {
+        // 95% batch-means CI should cover the true mean in most replicates;
+        // the naive CI should miss far more often.
+        let (mut batch_cover, mut naive_cover) = (0, 0);
+        let reps = 60;
+        for s in 0..reps {
+            let data = ar1_series(0.8, 8_000, 100 + s);
+            if batch_means_ci(&data, 20, 0.95).unwrap().contains(0.0) {
+                batch_cover += 1;
+            }
+            if mean_confidence_interval(&Summary::from_slice(&data), 0.95)
+                .unwrap()
+                .contains(0.0)
+            {
+                naive_cover += 1;
+            }
+        }
+        assert!(
+            batch_cover >= (reps as f64 * 0.85) as i32,
+            "batch coverage {batch_cover}/{reps}"
+        );
+        assert!(
+            naive_cover < batch_cover,
+            "naive {naive_cover} should under-cover vs batch {batch_cover}"
+        );
+    }
+
+    #[test]
+    fn lag1_detects_dependence() {
+        let iid = ar1_series(0.0, 5_000, 3);
+        let dep = ar1_series(0.85, 5_000, 3);
+        assert!(lag1_autocorrelation(&iid).unwrap().abs() < 0.05);
+        assert!((lag1_autocorrelation(&dep).unwrap() - 0.85).abs() < 0.05);
+        assert!(lag1_autocorrelation(&[1.0, 2.0]).is_err());
+        assert_eq!(lag1_autocorrelation(&[3.0, 3.0, 3.0]).unwrap(), 0.0);
+    }
+}

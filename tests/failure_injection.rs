@@ -1,0 +1,157 @@
+//! Failure injection: errors raised deep inside Monte Carlo loops,
+//! composite executions, and parallel workers must surface as typed errors
+//! — never panics, never silently wrong numbers.
+
+use model_data_ecosystems::core::composite::{CompositeModel, ParamAssignment};
+use model_data_ecosystems::core::registry::{
+    FnSimModel, ModelMetadata, PerfStats, PortSpec, Registry,
+};
+use model_data_ecosystems::core::CoreError;
+use model_data_ecosystems::harmonize::series::TimeSeries;
+use model_data_ecosystems::mcdb::mc::MonteCarloQuery;
+use model_data_ecosystems::mcdb::prelude::*;
+use model_data_ecosystems::mcdb::query::{AggFunc, AggSpec};
+use model_data_ecosystems::mcdb::schema::Schema;
+use model_data_ecosystems::mcdb::vg::{OutputCardinality, VgFunction};
+use std::sync::Arc;
+
+/// A VG function that errors whenever its parameter is negative.
+#[derive(Debug)]
+struct FragileVg;
+
+impl VgFunction for FragileVg {
+    fn name(&self) -> &str {
+        "Fragile"
+    }
+
+    fn output_schema(&self) -> Schema {
+        Schema::from_pairs(&[("VALUE", DataType::Float)]).unwrap()
+    }
+
+    fn arity(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn cardinality(&self) -> OutputCardinality {
+        OutputCardinality::Fixed(1)
+    }
+
+    fn generate(
+        &self,
+        params: &[Value],
+        _rng: &mut model_data_ecosystems::numeric::rng::Rng,
+    ) -> model_data_ecosystems::mcdb::Result<Vec<Vec<Value>>> {
+        let p = params[0].as_f64()?;
+        if p < 0.0 {
+            return Err(model_data_ecosystems::mcdb::McdbError::invalid_plan(
+                "negative parameter reached the stochastic model",
+            ));
+        }
+        Ok(vec![vec![Value::Float(p)]])
+    }
+}
+
+#[test]
+fn vg_failure_surfaces_from_monte_carlo_loop() {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build("T", &[("P", DataType::Float)])
+            .row(vec![Value::from(1.0)])
+            .row(vec![Value::from(-1.0)]) // poison row
+            .finish()
+            .unwrap(),
+    );
+    let spec = RandomTableSpec::builder("OUT")
+        .for_each(Plan::scan("T"))
+        .with_vg(Arc::new(FragileVg))
+        .vg_params_exprs(&[Expr::col("P")])
+        .select(&[("V", Expr::col("VALUE"))])
+        .build()
+        .unwrap();
+    let q = MonteCarloQuery::new(
+        vec![spec],
+        Plan::scan("OUT").aggregate(&[], vec![AggSpec::new("S", AggFunc::Sum, Expr::col("V"))]),
+    );
+    let err = q.run(&db, 10, 1).unwrap_err();
+    assert!(err.to_string().contains("negative parameter"), "{err}");
+    // The parallel path surfaces the same error instead of hanging or
+    // panicking a worker.
+    let err = q.run_parallel(&db, 10, 1, 4).unwrap_err();
+    assert!(err.to_string().contains("negative parameter"), "{err}");
+}
+
+#[test]
+fn composite_model_failure_surfaces_with_context() {
+    let mut reg = Registry::new();
+    reg.register_model(Arc::new(FnSimModel::new(
+        ModelMetadata {
+            name: "flaky".into(),
+            description: "fails after 2 ticks".into(),
+            inputs: vec![],
+            output: PortSpec {
+                name: "out".into(),
+                channels: vec!["x".into()],
+                tick: 1.0,
+            },
+            params: vec![],
+            perf: PerfStats::default(),
+        },
+        |_inputs, _params, rng| {
+            use rand::Rng as _;
+            if rng.gen::<f64>() < 0.5 {
+                // Structural failure inside the model: invalid series.
+                Ok(TimeSeries::univariate("x", vec![0.0, 0.0], vec![1.0, 2.0])?)
+            } else {
+                Ok(TimeSeries::univariate("x", vec![0.0, 1.0], vec![1.0, 2.0])?)
+            }
+        },
+    )));
+    let mut comp = CompositeModel::new();
+    comp.add_model("flaky");
+    let plan = comp.plan(&reg).unwrap();
+    // Across enough repetitions the flaky branch triggers; the error is a
+    // typed harmonization error, not a panic.
+    let result = plan.run_monte_carlo(&ParamAssignment::new(), 50, 3, |_| 0.0);
+    match result {
+        Err(CoreError::Harmonize(e)) => {
+            assert!(e.to_string().contains("strictly increasing"), "{e}");
+        }
+        other => panic!("expected a harmonization error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_model_in_composite_is_reported_at_plan_time() {
+    let reg = Registry::new();
+    let mut comp = CompositeModel::new();
+    comp.add_model("ghost");
+    match comp.plan(&reg) {
+        Err(CoreError::NotRegistered { kind, name }) => {
+            assert_eq!(kind, "model");
+            assert_eq!(name, "ghost");
+        }
+        Err(other) => panic!("expected NotRegistered, got {other:?}"),
+        Ok(_) => panic!("expected NotRegistered, got a valid plan"),
+    }
+}
+
+#[test]
+fn sql_runtime_errors_are_typed() {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build("t", &[("a", DataType::Int)])
+            .row(vec![Value::from(1)])
+            .finish()
+            .unwrap(),
+    );
+    // Unknown column: caught at bind time with the available columns
+    // listed.
+    let err = db.sql("SELECT b FROM t").unwrap_err();
+    assert!(err.to_string().contains('b'), "{err}");
+    // Unknown table.
+    let err = db.sql("SELECT * FROM nope").unwrap_err();
+    assert!(err.to_string().contains("nope"), "{err}");
+    // Type error in a predicate.
+    let err = db.sql("SELECT * FROM t WHERE a + 1").unwrap_err();
+    assert!(err.to_string().to_lowercase().contains("bool"), "{err}");
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the harmonization layer (§2.2): the spline /
+//! DSGD pipeline and the gridfield rewrite, across randomized inputs.
+
+use model_data_ecosystems::harmonize::align::{align, AlignSpec, InterpMethod};
+use model_data_ecosystems::harmonize::dsgd::{dsgd_solve, DsgdConfig};
+use model_data_ecosystems::harmonize::gridfield::{
+    regrid_then_restrict, restrict_then_regrid, Grid, GridField, Regrid, RegridAgg,
+};
+use model_data_ecosystems::harmonize::series::TimeSeries;
+use model_data_ecosystems::harmonize::spline::{build_spline_system, NaturalCubicSpline};
+use model_data_ecosystems::numeric::linalg::Tridiagonal;
+use model_data_ecosystems::numeric::rng::rng_from_seed;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The spline interpolates its knots exactly, for arbitrary strictly
+    /// increasing knot grids and bounded values.
+    #[test]
+    fn spline_interpolates_knots(
+        gaps in prop::collection::vec(0.05f64..3.0, 2..40),
+        values_seed in 0u64..10_000,
+    ) {
+        let mut s = vec![0.0];
+        for g in &gaps {
+            s.push(s.last().unwrap() + g);
+        }
+        let d: Vec<f64> = s
+            .iter()
+            .enumerate()
+            .map(|(i, x)| ((i as f64 + values_seed as f64) * 0.7).sin() * 5.0 + x * 0.3)
+            .collect();
+        let sp = NaturalCubicSpline::fit(&s, &d).unwrap();
+        for (si, di) in s.iter().zip(&d) {
+            prop_assert!((sp.eval(*si) - di).abs() < 1e-7,
+                "knot ({}, {}) missed: {}", si, di, sp.eval(*si));
+        }
+    }
+
+    /// DSGD solves the spline system to the same answer as Thomas, and the
+    /// residual after the run is a small fraction of the initial one.
+    #[test]
+    fn dsgd_agrees_with_thomas(
+        n in 5usize..60,
+        scale in 0.5f64..5.0,
+        seed in 0u64..100,
+    ) {
+        let s: Vec<f64> = (0..=n).map(|i| i as f64 * 0.5).collect();
+        let d: Vec<f64> = s.iter().map(|&t| (t * scale).sin() * 2.0).collect();
+        let sys = build_spline_system(&s, &d).unwrap();
+        let exact = sys.a.solve(&sys.b).unwrap();
+        let cfg = DsgdConfig {
+            cycles: 3000,
+            schedule: model_data_ecosystems::harmonize::sgd::StepSchedule {
+                epsilon0: 0.15,
+                alpha: 0.51,
+            },
+            threads: 2,
+            record_residuals: false,
+        };
+        let res = dsgd_solve(&sys.a, &sys.b, &cfg, &mut rng_from_seed(seed));
+        let max_err = res.x.iter().zip(&exact)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        let scale_ref = exact.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+        prop_assert!(max_err < 0.05 * scale_ref, "max err {} vs scale {}", max_err, scale_ref);
+    }
+
+    /// Thread count never changes a DSGD result (the race-freedom
+    /// guarantee of the stratification).
+    #[test]
+    fn dsgd_thread_invariance(
+        n in 4usize..80,
+        threads in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        let a = Tridiagonal::new(vec![1.0; n - 1], vec![4.0; n], vec![1.0; n - 1]).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let cfg1 = DsgdConfig { cycles: 20, threads: 1, ..DsgdConfig::default() };
+        let cfg2 = DsgdConfig { cycles: 20, threads, ..DsgdConfig::default() };
+        let r1 = dsgd_solve(&a, &b, &cfg1, &mut rng_from_seed(seed));
+        let r2 = dsgd_solve(&a, &b, &cfg2, &mut rng_from_seed(seed));
+        for (p, q) in r1.x.iter().zip(&r2.x) {
+            prop_assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    /// Parallel window interpolation equals serial for every method.
+    #[test]
+    fn alignment_thread_invariance(
+        n_src in 4usize..40,
+        n_tgt in 1usize..200,
+        threads in 2usize..8,
+    ) {
+        let src = TimeSeries::from_fn("v", 0.0, 0.5, n_src, |t| (t * 1.3).cos()).unwrap();
+        let span = 0.5 * (n_src - 1) as f64;
+        let targets: Vec<f64> = (0..n_tgt)
+            .map(|i| i as f64 * span / n_tgt as f64)
+            .collect();
+        for method in [InterpMethod::Nearest, InterpMethod::Linear, InterpMethod::CubicSpline] {
+            if method == InterpMethod::CubicSpline && n_src < 3 {
+                continue;
+            }
+            let serial = align(&src, &targets, AlignSpec::Interpolate(method), 1).unwrap();
+            let par = align(&src, &targets, AlignSpec::Interpolate(method), threads).unwrap();
+            prop_assert_eq!(serial, par);
+        }
+    }
+
+    /// The restrict/regrid commutation holds for arbitrary assignments and
+    /// target-cell predicates, and never costs more.
+    #[test]
+    fn gridfield_rewrite_equivalence(
+        nx in 1usize..6,
+        ny in 1usize..6,
+        keep_mask in 0u32..16,
+        agg_pick in 0u8..4,
+    ) {
+        let (fine, fidx) = Grid::structured_2d(nx * 2, ny * 2).unwrap();
+        let (coarse, cidx) = Grid::structured_2d(nx, ny).unwrap();
+        let fine = Arc::new(fine);
+        let coarse = Arc::new(coarse);
+        let faces = fine.cells_of_dim(2);
+        let gf = GridField::bind(
+            Arc::clone(&fine),
+            2,
+            faces.iter().map(|&c| c as f64 * 0.5).collect(),
+        ).unwrap();
+        let agg = [RegridAgg::Sum, RegridAgg::Mean, RegridAgg::Max, RegridAgg::Count][agg_pick as usize];
+        let op = Regrid {
+            assignment: faces.iter().map(|&c| {
+                let (i, j) = fidx.face_coords(c);
+                Some(cidx.face(i / 2, j / 2))
+            }).collect(),
+            agg,
+        };
+        // Predicate keeps coarse faces whose (i + j·nx) bit is set in the mask.
+        let keep = |c: usize| {
+            let (i, j) = cidx.face_coords(c);
+            (keep_mask >> ((i + j * nx) % 16)) & 1 == 1
+        };
+        let (naive, naive_cost) =
+            regrid_then_restrict(&gf, &coarse, 2, &op, keep).unwrap();
+        let (rewritten, rewritten_cost) =
+            restrict_then_regrid(&gf, &coarse, 2, &op, keep).unwrap();
+        prop_assert_eq!(naive, rewritten);
+        prop_assert!(rewritten_cost.accumulate_ops <= naive_cost.accumulate_ops);
+    }
+}

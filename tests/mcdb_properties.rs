@@ -1,0 +1,161 @@
+//! Property-based integration tests for the Monte Carlo database.
+//!
+//! The load-bearing invariant of MCDB's performance story (§2.1): tuple-
+//! bundle execution must be *semantically invisible* — instantiating
+//! iteration `i` of a bundled query result equals running the ordinary
+//! executor on iteration `i` of the inputs, for random queries over random
+//! stochastic tables.
+
+use model_data_ecosystems::mcdb::bundle::{execute_bundled, BundledCatalog, BundledTable};
+use model_data_ecosystems::mcdb::prelude::*;
+use model_data_ecosystems::mcdb::query::{AggFunc, AggSpec};
+use model_data_ecosystems::mcdb::vg::NormalVg;
+use model_data_ecosystems::numeric::rng::rng_from_seed;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn base_catalog(n_items: usize, mean: f64, std: f64) -> Catalog {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build(
+            "ITEMS",
+            &[("IID", DataType::Int), ("GROUP", DataType::Str)],
+        )
+        .rows((0..n_items).map(|i| {
+            vec![
+                Value::from(i as i64),
+                Value::from(["a", "b", "c"][i % 3]),
+            ]
+        }))
+        .finish()
+        .unwrap(),
+    );
+    db.insert(
+        Table::build("PARAMS", &[("MEAN", DataType::Float), ("STD", DataType::Float)])
+            .row(vec![Value::from(mean), Value::from(std)])
+            .finish()
+            .unwrap(),
+    );
+    db
+}
+
+fn sales_spec() -> RandomTableSpec {
+    RandomTableSpec::builder("SALES")
+        .for_each(Plan::scan("ITEMS"))
+        .with_vg(Arc::new(NormalVg))
+        .vg_params_query(Plan::scan("PARAMS"))
+        .select(&[
+            ("IID", Expr::col("IID")),
+            ("GROUP", Expr::col("GROUP")),
+            ("AMT", Expr::col("VALUE")),
+        ])
+        .build()
+        .unwrap()
+}
+
+/// A small family of query plans exercising filter/project/join/aggregate.
+fn plan_for(case: u8, threshold: f64) -> Plan {
+    match case % 4 {
+        0 => Plan::scan("SALES").filter(Expr::col("AMT").gt(Expr::lit(threshold))),
+        1 => Plan::scan("SALES")
+            .project(&[
+                ("IID", Expr::col("IID")),
+                ("TAXED", Expr::col("AMT").mul(Expr::lit(1.2))),
+            ])
+            .filter(Expr::col("TAXED").lt(Expr::lit(threshold * 2.0))),
+        2 => Plan::scan("SALES").aggregate(
+            &["GROUP"],
+            vec![
+                AggSpec::count_star("N"),
+                AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("AMT")),
+            ],
+        ),
+        _ => Plan::scan("SALES")
+            .join(Plan::scan("ITEMS"), &[("IID", "IID")])
+            .filter(Expr::col("AMT").gt(Expr::lit(threshold)))
+            .aggregate(&[], vec![AggSpec::new("M", AggFunc::Max, Expr::col("AMT"))]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bundled_execution_equals_naive_per_iteration(
+        n_items in 1usize..12,
+        mean in -50.0f64..50.0,
+        std in 0.5f64..20.0,
+        n_iters in 1usize..8,
+        case in 0u8..4,
+        threshold in -40.0f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        let db = base_catalog(n_items, mean, std);
+        let spec = sales_spec();
+        let mut rng = rng_from_seed(seed);
+        let bundled = BundledTable::from_spec(&spec, &db, n_iters, &mut rng).unwrap();
+
+        let mut bc = BundledCatalog::new(n_iters);
+        bc.insert(bundled.clone()).unwrap();
+        bc.insert_const(db.get("ITEMS").unwrap());
+
+        let plan = plan_for(case, threshold);
+        let bundled_result = execute_bundled(&plan, &bc).unwrap();
+
+        for i in 0..n_iters {
+            let mut cat = Catalog::new();
+            cat.insert(bundled.instantiate(i).unwrap());
+            cat.insert(db.get("ITEMS").unwrap().clone());
+            let naive = cat.query_unoptimized(&plan).unwrap();
+            let inst = bundled_result.instantiate(i).unwrap();
+            prop_assert_eq!(
+                inst.rows(), naive.rows(),
+                "divergence at iteration {} (case {})", i, case
+            );
+        }
+    }
+
+    #[test]
+    fn optimizer_never_changes_results(
+        n_items in 1usize..10,
+        threshold in -40.0f64..40.0,
+        seed in 0u64..500,
+    ) {
+        let db = base_catalog(n_items, 10.0, 5.0);
+        let spec = sales_spec();
+        let mut rng = rng_from_seed(seed);
+        let mut cat = db.clone();
+        cat.insert(spec.realize(&db, &mut rng).unwrap());
+
+        let plan = Plan::scan("SALES")
+            .join(Plan::scan("ITEMS"), &[("IID", "IID")])
+            .filter(
+                Expr::col("AMT")
+                    .gt(Expr::lit(threshold))
+                    .and(Expr::col("GROUP").ne(Expr::lit("zzz"))),
+            );
+        let optimized = cat.query(&plan).unwrap();
+        let raw = cat.query_unoptimized(&plan).unwrap();
+        prop_assert_eq!(optimized.rows(), raw.rows());
+    }
+
+    #[test]
+    fn realization_matches_schema_and_row_count(
+        n_items in 0usize..20,
+        mean in -100.0f64..100.0,
+        std in 0.1f64..50.0,
+        seed in 0u64..1000,
+    ) {
+        let db = base_catalog(n_items, mean, std);
+        let spec = sales_spec();
+        let mut rng = rng_from_seed(seed);
+        let t = spec.realize(&db, &mut rng).unwrap();
+        prop_assert_eq!(t.len(), n_items);
+        prop_assert_eq!(t.schema().names(), vec!["IID", "GROUP", "AMT"]);
+        // All values validated against the schema by construction; spot-
+        // check the numeric column is finite.
+        for v in t.column_f64("AMT").unwrap() {
+            prop_assert!(v.is_finite());
+        }
+    }
+}
