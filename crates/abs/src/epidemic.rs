@@ -170,11 +170,7 @@ impl EpidemicModel {
             adjacency[c.a].push(ci);
             adjacency[c.b].push(ci);
         }
-        let pid_index = people
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.pid, i))
-            .collect();
+        let pid_index = people.iter().enumerate().map(|(i, p)| (p.pid, i)).collect();
         EpidemicModel {
             cfg,
             people,
@@ -360,12 +356,9 @@ impl EpidemicModel {
                 continue;
             }
             // Fearful people curtail contact (behavioral damping).
-            let damp = 1.0
-                - self.cfg.fear_damping
-                    * 0.5
-                    * (self.people[src].fear + self.people[dst].fear);
-            let p = 1.0
-                - (-self.cfg.transmission_rate * c.duration * damp.max(0.0)).exp();
+            let damp =
+                1.0 - self.cfg.fear_damping * 0.5 * (self.people[src].fear + self.people[dst].fear);
+            let p = 1.0 - (-self.cfg.transmission_rate * c.duration * damp.max(0.0)).exp();
             if rng.gen::<f64>() < p {
                 newly_infected.push(dst);
                 fear_bumps.push(src);
@@ -523,7 +516,10 @@ mod tests {
     fn synthetic_population_structure() {
         let m = small_model(1);
         assert_eq!(m.people().len(), 500);
-        assert_eq!(m.infected_count(), EpidemicConfig::default().initial_infected);
+        assert_eq!(
+            m.infected_count(),
+            EpidemicConfig::default().initial_infected
+        );
         // Households exist and are dense.
         assert!(m
             .contacts()
@@ -646,7 +642,11 @@ mod tests {
             .unwrap()
             .as_i64()
             .unwrap();
-        let truth = m.people().iter().filter(|p| (0..=4).contains(&p.age)).count();
+        let truth = m
+            .people()
+            .iter()
+            .filter(|p| (0..=4).contains(&p.age))
+            .count();
         assert_eq!(preschool as usize, truth);
         // Contact table is complete.
         let contacts = catalog
@@ -680,7 +680,11 @@ mod tests {
                         .and(Expr::col("age").le(Expr::lit(4))),
                 );
                 let n_preschool = catalog
-                    .query(&preschool.clone().aggregate(&[], vec![AggSpec::count_star("n")]))
+                    .query(
+                        &preschool
+                            .clone()
+                            .aggregate(&[], vec![AggSpec::count_star("n")]),
+                    )
                     .unwrap()
                     .scalar()
                     .unwrap()

@@ -35,7 +35,11 @@ pub struct MarketParams {
 impl MarketParams {
     /// Flatten to the θ vector used by the calibration machinery.
     pub fn to_vec(&self) -> Vec<f64> {
-        vec![self.media_reach, self.wom_strength, self.purchase_propensity]
+        vec![
+            self.media_reach,
+            self.wom_strength,
+            self.purchase_propensity,
+        ]
     }
 
     /// Inverse of [`MarketParams::to_vec`]; clamps into the open unit cube
@@ -121,7 +125,10 @@ impl MarketModel {
     /// states.
     pub fn new(cfg: MarketConfig, params: MarketParams, seed: u64) -> Self {
         assert!(cfg.n >= 10, "population too small");
-        assert!(cfg.degree >= 2 && cfg.degree % 2 == 0, "degree must be even >= 2");
+        assert!(
+            cfg.degree >= 2 && cfg.degree % 2 == 0,
+            "degree must be even >= 2"
+        );
         let mut rng = rng_from_seed(seed);
         // Ring lattice + rewiring.
         let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); cfg.n];
@@ -190,11 +197,7 @@ impl MarketModel {
 
     /// Simulate once at the given θ and return the summary statistics —
     /// the `m̂(θ)` oracle for the method of simulated moments.
-    pub fn simulate_summary(
-        cfg: MarketConfig,
-        theta: &[f64],
-        seed: u64,
-    ) -> Vec<f64> {
+    pub fn simulate_summary(cfg: MarketConfig, theta: &[f64], seed: u64) -> Vec<f64> {
         let params = MarketParams::from_slice(theta);
         let mut model = MarketModel::new(cfg, params, seed);
         let history = model.run(seed ^ 0xabcd);
@@ -252,15 +255,11 @@ impl StepModel for MarketModel {
             .map(|p| p.adopted_at.is_some())
             .collect();
         for i in 0..n {
-            let influencers = self.neighbors[i]
-                .iter()
-                .filter(|&&j| adopters[j])
-                .count();
+            let influencers = self.neighbors[i].iter().filter(|&&j| adopters[j]).count();
             if influencers == 0 {
                 continue;
             }
-            let p_influence =
-                1.0 - (1.0 - self.params.wom_strength).powi(influencers as i32);
+            let p_influence = 1.0 - (1.0 - self.params.wom_strength).powi(influencers as i32);
             if rng.gen::<f64>() < p_influence {
                 if !self.personas[i].aware {
                     self.personas[i].aware = true;

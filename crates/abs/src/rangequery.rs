@@ -136,8 +136,16 @@ impl KdTree {
         }
         let axis = depth % 2;
         idx.sort_by(|&a, &b| {
-            let ka = if axis == 0 { agents[a].pos.0 } else { agents[a].pos.1 };
-            let kb = if axis == 0 { agents[b].pos.0 } else { agents[b].pos.1 };
+            let ka = if axis == 0 {
+                agents[a].pos.0
+            } else {
+                agents[a].pos.1
+            };
+            let kb = if axis == 0 {
+                agents[b].pos.0
+            } else {
+                agents[b].pos.1
+            };
             ka.partial_cmp(&kb).expect("finite positions")
         });
         let mid = idx.len() / 2;
@@ -169,7 +177,15 @@ impl KdTree {
     ) -> Vec<usize> {
         let mut out = Vec::new();
         if let Some(root) = self.root {
-            self.query_rec(root, agents, center, radius * radius, radius, &pred, &mut out);
+            self.query_rec(
+                root,
+                agents,
+                center,
+                radius * radius,
+                radius,
+                &pred,
+                &mut out,
+            );
         }
         out.sort_unstable();
         out
@@ -310,7 +326,10 @@ mod tests {
         }];
         let tree = KdTree::build(&agents);
         // Distance exactly 5.
-        assert_eq!(tree.range_query(&agents, (0.0, 0.0), 5.0, |_| true).len(), 1);
+        assert_eq!(
+            tree.range_query(&agents, (0.0, 0.0), 5.0, |_| true).len(),
+            1
+        );
         assert_eq!(
             range_query_naive(&agents, (0.0, 0.0), 5.0, |_| true).len(),
             1

@@ -73,7 +73,10 @@ impl SchellingModel {
             (0.01..0.9).contains(&cfg.empty_fraction),
             "empty fraction out of range"
         );
-        assert!((0.0..=1.0).contains(&cfg.threshold), "threshold out of range");
+        assert!(
+            (0.0..=1.0).contains(&cfg.threshold),
+            "threshold out of range"
+        );
         let mut rng = rng_from_seed(seed);
         let n = cfg.side * cfg.side;
         let mut grid: Vec<CellState> = (0..n)
@@ -105,7 +108,10 @@ impl SchellingModel {
 
     fn neighbors(&self, idx: usize) -> impl Iterator<Item = usize> + '_ {
         let side = self.cfg.side as isize;
-        let (r, c) = ((idx / self.cfg.side) as isize, (idx % self.cfg.side) as isize);
+        let (r, c) = (
+            (idx / self.cfg.side) as isize,
+            (idx % self.cfg.side) as isize,
+        );
         [-1isize, 0, 1]
             .into_iter()
             .flat_map(move |dr| [-1isize, 0, 1].into_iter().map(move |dc| (dr, dc)))
@@ -196,7 +202,11 @@ impl StepModel for SchellingModel {
             }
         }
         SchellingObs {
-            segregation: if seg_n == 0 { 0.0 } else { seg_sum / seg_n as f64 },
+            segregation: if seg_n == 0 {
+                0.0
+            } else {
+                seg_sum / seg_n as f64
+            },
             unhappy_fraction: if agents == 0 {
                 0.0
             } else {

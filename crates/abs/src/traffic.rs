@@ -95,11 +95,14 @@ impl TrafficModel {
             "density must be in (0,1), got {}",
             cfg.density
         );
-        assert!(cfg.v_max.0 >= 1 && cfg.v_max.0 <= cfg.v_max.1, "bad v_max range");
+        assert!(
+            cfg.v_max.0 >= 1 && cfg.v_max.0 <= cfg.v_max.1,
+            "bad v_max range"
+        );
         let mut rng = rng_from_seed(seed);
         let n_cells = cfg.lanes * cfg.length;
-        let n_cars = ((n_cells as f64 * cfg.density).round() as usize)
-            .clamp(1, n_cells - cfg.lanes);
+        let n_cars =
+            ((n_cells as f64 * cfg.density).round() as usize).clamp(1, n_cells - cfg.lanes);
         // Sample distinct cells by shuffling cell ids.
         let mut cells: Vec<usize> = (0..n_cells).collect();
         for i in (1..cells.len()).rev() {
@@ -191,8 +194,8 @@ impl TrafficModel {
                 let gap_there = self.gap_ahead(target, car.pos, want);
                 // Safety: a follower in the target lane must not be forced
                 // to brake — require its anticipated travel to fit.
-                let back_safe = self.gap_behind(target, car.pos, self.cfg.v_max.1)
-                    >= self.cfg.v_max.1;
+                let back_safe =
+                    self.gap_behind(target, car.pos, self.cfg.v_max.1) >= self.cfg.v_max.1;
                 if gap_there > gap_here && back_safe && rng.gen::<f64>() < self.cfg.p_change {
                     self.grid[car.lane][car.pos] = None;
                     self.grid[target][car.pos] = Some(i);
@@ -320,12 +323,7 @@ mod tests {
     #[test]
     fn construction_places_cars_consistently() {
         let m = TrafficModel::new(TrafficConfig::default(), 1);
-        let occupied: usize = m
-            .grid
-            .iter()
-            .flatten()
-            .filter(|c| c.is_some())
-            .count();
+        let occupied: usize = m.grid.iter().flatten().filter(|c| c.is_some()).count();
         assert_eq!(occupied, m.cars.len());
         assert_eq!(m.cars.len(), 40); // 200 cells * 0.2
         for (i, c) in m.cars().iter().enumerate() {
@@ -415,7 +413,11 @@ mod tests {
         let measure = |p_slow: f64| {
             let mut m = TrafficModel::new(TrafficConfig { p_slow, ..base }, 8);
             let obs = run_model(&mut m, 300, 9);
-            obs.iter().skip(100).map(|o| o.stopped_fraction).sum::<f64>() / 200.0
+            obs.iter()
+                .skip(100)
+                .map(|o| o.stopped_fraction)
+                .sum::<f64>()
+                / 200.0
         };
         let calm = measure(0.0);
         let noisy = measure(0.3);
@@ -438,7 +440,10 @@ mod tests {
         // Rising branch then falling branch.
         assert!(flows[1] > flows[0], "rising branch: {flows:?}");
         assert!(flows[1] > flows[3], "falling branch: {flows:?}");
-        assert!(flows[2] > flows[3], "monotone decline in congestion: {flows:?}");
+        assert!(
+            flows[2] > flows[3],
+            "monotone decline in congestion: {flows:?}"
+        );
         // Speeds decrease with density.
         assert!(rows[0].2 > rows[2].2 && rows[2].2 > rows[3].2);
     }
@@ -475,10 +480,7 @@ mod tests {
         };
         let run = |seed| {
             let mut m = TrafficModel::new(cfg, 1);
-            run_model(&mut m, 50, seed)
-                .last()
-                .copied()
-                .unwrap()
+            run_model(&mut m, 50, seed).last().copied().unwrap()
         };
         assert_eq!(run(5), run(5));
     }

@@ -116,12 +116,7 @@ mod tests {
         let target = Normal::new(0.5, 1.0).unwrap();
         let proposal = Normal::standard();
         let mut rng = rng_from_seed(4);
-        let s = importance_sample(
-            |x| target.ln_pdf(x) - 10_000.0,
-            &proposal,
-            10_000,
-            &mut rng,
-        );
+        let s = importance_sample(|x| target.ln_pdf(x) - 10_000.0, &proposal, 10_000, &mut rng);
         let mean = s.estimate(|x| x);
         assert!((mean - 0.5).abs() < 0.1, "mean {mean}");
         assert!(s.z_hat > 0.0 || s.z_hat == 0.0); // finite, not NaN

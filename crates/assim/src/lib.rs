@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod is;
 pub mod pf;
 pub mod proposal;
@@ -43,4 +44,8 @@ pub mod resample;
 pub mod sis;
 pub mod wildfire;
 
+pub use error::AssimError;
 pub use pf::{ParticleFilter, Proposal, StateSpaceModel};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, AssimError>;

@@ -22,6 +22,11 @@
 //! of \[57\] supplies its own KDE-estimated weight correction.
 
 use crate::resample::{effective_sample_size, systematic_resample};
+use crate::AssimError;
+use mde_numeric::resilience::{
+    catch_panic, retry_seed, supervise_replicate, AttemptFailure, FaultKind, ReplicateOutcome,
+    RunOptions, RunReport,
+};
 use mde_numeric::rng::{Rng, StreamFactory};
 
 /// A hidden Markov model: prior, transition kernel, and observation
@@ -47,13 +52,7 @@ pub trait StateSpaceModel {
 pub trait Proposal<M: StateSpaceModel> {
     /// Draw a proposed state. `prev` is `None` at the first step
     /// (`q₁(x₁|y₁)`).
-    fn sample(
-        &self,
-        model: &M,
-        prev: Option<&M::State>,
-        obs: &M::Obs,
-        rng: &mut Rng,
-    ) -> M::State;
+    fn sample(&self, model: &M, prev: Option<&M::State>, obs: &M::Obs, rng: &mut Rng) -> M::State;
 
     /// Log unnormalized weight
     /// `ln [ p(y|x)·p(x|prev) / q(x|prev, y) ]`.
@@ -73,13 +72,7 @@ pub trait Proposal<M: StateSpaceModel> {
 pub struct BootstrapProposal;
 
 impl<M: StateSpaceModel> Proposal<M> for BootstrapProposal {
-    fn sample(
-        &self,
-        model: &M,
-        prev: Option<&M::State>,
-        _obs: &M::Obs,
-        rng: &mut Rng,
-    ) -> M::State {
+    fn sample(&self, model: &M, prev: Option<&M::State>, _obs: &M::Obs, rng: &mut Rng) -> M::State {
         match prev {
             None => model.sample_initial(rng),
             Some(p) => model.sample_transition(p, rng),
@@ -135,7 +128,12 @@ impl ParticleFilter {
 
     /// Run Algorithm 2 over an observation sequence, producing one
     /// [`FilterStep`] per observation.
-    pub fn run<M, Q>(&self, model: &M, proposal: &Q, observations: &[M::Obs]) -> Vec<FilterStep<M::State>>
+    pub fn run<M, Q>(
+        &self,
+        model: &M,
+        proposal: &Q,
+        observations: &[M::Obs],
+    ) -> Vec<FilterStep<M::State>>
     where
         M: StateSpaceModel,
         Q: Proposal<M>,
@@ -179,11 +177,13 @@ impl ParticleFilter {
             };
             let ess = effective_sample_size(&weights);
 
-            // Step 4/11: resample to equal weights.
+            // Step 4/11: resample to equal weights. The weights were just
+            // normalized over a non-empty particle set, so the degenerate
+            // cases the resampler reports cannot occur here.
             let mut rng_rs = step_factory.stream(1);
-            let idx = systematic_resample(&weights, self.n_particles, &mut rng_rs);
-            let resampled: Vec<M::State> =
-                idx.into_iter().map(|i| particles[i].clone()).collect();
+            let idx = systematic_resample(&weights, self.n_particles, &mut rng_rs)
+                .expect("normalized weights are resampleable");
+            let resampled: Vec<M::State> = idx.into_iter().map(|i| particles[i].clone()).collect();
 
             steps.push(FilterStep {
                 particles: resampled.clone(),
@@ -193,6 +193,163 @@ impl ParticleFilter {
             prev = Some(resampled);
         }
         steps
+    }
+
+    /// Run Algorithm 2 under a [`mde_numeric::RunPolicy`], supervising
+    /// each observation step.
+    ///
+    /// The replicate unit is the filtering step: propose, weight,
+    /// resample for one observation, executed inside `catch_unwind`.
+    /// Failures — a panicking model or proposal, total weight collapse
+    /// (every particle impossible under the observation, which the
+    /// unsupervised [`ParticleFilter::run`] papers over with a uniform
+    /// fallback), or a non-finite evidence increment — are handled per
+    /// the policy:
+    ///
+    /// * `FailFast` aborts with a typed [`AssimError`];
+    /// * `Retry` re-runs the step on a fresh deterministic sub-seed
+    ///   derived from `(seed, step, attempt)`;
+    /// * `BestEffort` *degrades gracefully*: the failed step's posterior
+    ///   is the previous step's particles carried forward unchanged (a
+    ///   prior draw at `t = 0`), flagged with `ess = 0.0` and a NaN
+    ///   evidence increment so the degradation is visible, and recorded
+    ///   in the returned [`RunReport`].
+    ///
+    /// One [`FilterStep`] is returned per observation under every
+    /// policy, so downstream indexing is unaffected by drops.
+    pub fn run_supervised<M, Q>(
+        &self,
+        model: &M,
+        proposal: &Q,
+        observations: &[M::Obs],
+        opts: &RunOptions,
+    ) -> crate::Result<(Vec<FilterStep<M::State>>, RunReport)>
+    where
+        M: StateSpaceModel,
+        Q: Proposal<M>,
+    {
+        let factory = StreamFactory::new(self.seed);
+        let mut steps = Vec::with_capacity(observations.len());
+        let mut report = RunReport::new();
+        let mut prev: Option<Vec<M::State>> = None;
+
+        for (t, obs) in observations.iter().enumerate() {
+            let outcome = supervise_replicate(t as u64, &opts.policy, |a| {
+                // Attempt 0 keeps the legacy stream layout; reseeding
+                // retries never replay the failing stream.
+                let step_factory = if a == 0 || !opts.policy.reseeds() {
+                    factory.child(t as u64)
+                } else {
+                    StreamFactory::new(retry_seed(self.seed, t as u64, a))
+                };
+                let injected = opts.fault(t as u64, a);
+                if injected == Some(FaultKind::Error) {
+                    return Err(AttemptFailure::from_error(AssimError::Numeric(
+                        mde_numeric::NumericError::NoConvergence {
+                            context: "injected fault",
+                            iterations: 0,
+                        },
+                    )));
+                }
+                let run = catch_panic(|| -> crate::Result<FilterStep<M::State>> {
+                    if injected == Some(FaultKind::Panic) {
+                        panic!("injected fault: panic in filter step {t} attempt {a}");
+                    }
+                    let mut rng = step_factory.stream(0);
+                    let mut particles = Vec::with_capacity(self.n_particles);
+                    let mut ln_w = Vec::with_capacity(self.n_particles);
+                    for i in 0..self.n_particles {
+                        let parent = prev.as_ref().map(|p| &p[i]);
+                        let x = proposal.sample(model, parent, obs, &mut rng);
+                        let lw = proposal.ln_weight(model, parent, &x, obs, &mut rng);
+                        particles.push(x);
+                        ln_w.push(lw);
+                    }
+                    let max = ln_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    if !max.is_finite() {
+                        return Err(AssimError::StepFailed {
+                            step: t as u64,
+                            attempt: a,
+                            message: "all particle weights collapsed to zero".into(),
+                        });
+                    }
+                    let shifted: Vec<f64> = ln_w.iter().map(|lw| (lw - max).exp()).collect();
+                    let total: f64 = shifted.iter().sum();
+                    let weights: Vec<f64> = shifted.iter().map(|w| w / total).collect();
+                    let ln_evidence_increment = if injected == Some(FaultKind::Nan) {
+                        f64::NAN
+                    } else {
+                        max + (total / self.n_particles as f64).ln()
+                    };
+                    let ess = effective_sample_size(&weights);
+                    let mut rng_rs = step_factory.stream(1);
+                    let idx = systematic_resample(&weights, self.n_particles, &mut rng_rs)?;
+                    Ok(FilterStep {
+                        particles: idx.into_iter().map(|i| particles[i].clone()).collect(),
+                        ess,
+                        ln_evidence_increment,
+                    })
+                });
+                match run {
+                    Err(panic_msg) => Err(AttemptFailure::from_panic(panic_msg)),
+                    Ok(Err(e)) => Err(AttemptFailure::from_error(e)),
+                    Ok(Ok(s)) if !s.ln_evidence_increment.is_finite() => {
+                        Err(AttemptFailure::non_finite(s.ln_evidence_increment))
+                    }
+                    Ok(Ok(s)) => Ok(s),
+                }
+            });
+            report.absorb(&outcome);
+            match outcome {
+                ReplicateOutcome::Success { value, .. } => {
+                    prev = Some(value.particles.clone());
+                    steps.push(value);
+                }
+                ReplicateOutcome::Dropped { .. } => {
+                    let particles: Vec<M::State> = match &prev {
+                        Some(p) => p.clone(),
+                        None => {
+                            // No posterior yet: fall back to a prior draw
+                            // on a stream untouched by the failed attempts
+                            // (streams 0/1 are propose/resample).
+                            let mut rng = factory.child(t as u64).stream(2);
+                            (0..self.n_particles)
+                                .map(|_| model.sample_initial(&mut rng))
+                                .collect()
+                        }
+                    };
+                    prev = Some(particles.clone());
+                    steps.push(FilterStep {
+                        particles,
+                        ess: 0.0,
+                        ln_evidence_increment: f64::NAN,
+                    });
+                }
+                ReplicateOutcome::Abort { error, failures } => {
+                    return Err(error.unwrap_or_else(|| match failures.last() {
+                        Some(f) => AssimError::StepFailed {
+                            step: f.replicate,
+                            attempt: f.attempt,
+                            message: f.message.clone(),
+                        },
+                        None => AssimError::weights(
+                            "run_supervised",
+                            "step aborted without a failure record",
+                        ),
+                    }));
+                }
+            }
+        }
+        report.normalize();
+        let required = opts.policy.required_successes(observations.len());
+        if report.succeeded < required {
+            return Err(AssimError::TooManyFailures {
+                succeeded: report.succeeded,
+                attempted: report.attempted,
+                required,
+            });
+        }
+        Ok((steps, report))
     }
 }
 
@@ -283,10 +440,7 @@ mod tests {
         let kalman = kalman_means(&m, &ys);
         for (t, (step, km)) in steps.iter().zip(&kalman).enumerate() {
             let est = step.estimate(|&x| x);
-            assert!(
-                (est - km).abs() < 0.15,
-                "t={t}: PF {est} vs Kalman {km}"
-            );
+            assert!((est - km).abs() < 0.15, "t={t}: PF {est} vs Kalman {km}");
         }
     }
 
@@ -365,5 +519,82 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn rejects_degenerate_particle_count() {
         ParticleFilter::new(1, 1);
+    }
+
+    #[test]
+    fn supervised_fail_fast_matches_legacy_run() {
+        let m = model();
+        let (_, ys) = simulate(&m, 15, 20);
+        let pf = ParticleFilter::new(200, 21);
+        let legacy = pf.run(&m, &BootstrapProposal, &ys);
+        let (supervised, report) = pf
+            .run_supervised(&m, &BootstrapProposal, &ys, &RunOptions::default())
+            .unwrap();
+        assert_eq!(supervised.len(), legacy.len());
+        for (a, b) in legacy.iter().zip(&supervised) {
+            assert_eq!(a.particles, b.particles);
+            assert_eq!(a.ess, b.ess);
+            assert_eq!(a.ln_evidence_increment, b.ln_evidence_increment);
+        }
+        assert_eq!(report.succeeded, 15);
+        assert!(report.failures.is_empty());
+    }
+
+    #[test]
+    fn supervised_step_retries_on_fresh_seed() {
+        use mde_numeric::resilience::{FailureKind, FaultPlan};
+        let m = model();
+        let (_, ys) = simulate(&m, 12, 22);
+        let pf = ParticleFilter::new(150, 23);
+        let opts = RunOptions::policy(mde_numeric::RunPolicy::Retry {
+            max_attempts: 2,
+            reseed: true,
+        })
+        .with_faults(FaultPlan::new().fail_on(5, 0, FaultKind::Panic));
+        let (steps, report) = pf
+            .run_supervised(&m, &BootstrapProposal, &ys, &opts)
+            .unwrap();
+        assert_eq!(steps.len(), 12);
+        assert_eq!(report.retried, 1);
+        assert_eq!(report.failure_keys(), vec![(5, 0, FailureKind::Panic)]);
+        // Step 5 recovered on a different stream; later steps still track.
+        let clean = pf.run(&m, &BootstrapProposal, &ys);
+        assert_ne!(steps[5].particles, clean[5].particles);
+        assert!(steps[5].ln_evidence_increment.is_finite());
+    }
+
+    #[test]
+    fn best_effort_carries_particles_through_dropped_steps() {
+        use mde_numeric::resilience::FaultPlan;
+        let m = model();
+        let (_, ys) = simulate(&m, 10, 24);
+        let pf = ParticleFilter::new(100, 25);
+        let policy = mde_numeric::RunPolicy::BestEffort { min_fraction: 0.5 };
+        let fault_plan = FaultPlan::new().fail_on(3, 0, FaultKind::Nan);
+        let opts = RunOptions::policy(policy).with_faults(fault_plan.clone());
+        let (steps, report) = pf
+            .run_supervised(&m, &BootstrapProposal, &ys, &opts)
+            .unwrap();
+        assert_eq!(steps.len(), 10, "one FilterStep per observation");
+        assert_eq!(report.dropped, 1);
+        assert!(report.ci_widened);
+        assert_eq!(
+            report.failure_keys(),
+            fault_plan.expected_failure_keys(&policy)
+        );
+        // The dropped step carries step 2's posterior forward, visibly
+        // degraded.
+        assert_eq!(steps[3].particles, steps[2].particles);
+        assert_eq!(steps[3].ess, 0.0);
+        assert!(steps[3].ln_evidence_increment.is_nan());
+        // Filtering resumes normally afterwards.
+        assert!(steps[4].ln_evidence_increment.is_finite());
+        // A floor the drop violates turns into a typed error.
+        let strict = RunOptions::policy(mde_numeric::RunPolicy::BestEffort { min_fraction: 1.0 })
+            .with_faults(fault_plan);
+        assert!(matches!(
+            pf.run_supervised(&m, &BootstrapProposal, &ys, &strict),
+            Err(AssimError::TooManyFailures { .. })
+        ));
     }
 }

@@ -107,16 +107,11 @@ impl SensorAwareProposal {
 
     /// KDE log-density of `target`'s summary given `M` auxiliary draws,
     /// with the paper's Laplacian kernel, as a product over coordinates.
-    fn ln_kde(
-        model: &FireModel,
-        draws: &[FireState],
-        target: &FireState,
-    ) -> f64 {
+    fn ln_kde(model: &FireModel, draws: &[FireState], target: &FireState) -> f64 {
         let t = Self::summary(model, target);
         (0..3)
             .map(|k| {
-                let coords: Vec<f64> =
-                    draws.iter().map(|d| Self::summary(model, d)[k]).collect();
+                let coords: Vec<f64> = draws.iter().map(|d| Self::summary(model, d)[k]).collect();
                 KernelDensity::new(&coords, Kernel::Laplacian, Bandwidth::Silverman)
                     .expect("non-empty auxiliary sample")
                     .ln_eval(t[k])
@@ -164,9 +159,8 @@ impl Proposal<FireModel> for SensorAwareProposal {
                 Some(p) => model.sample_transition(p, rng),
             })
             .collect();
-        let proposal_draws: Vec<FireState> = (0..m)
-            .map(|_| self.sample(model, prev, obs, rng))
-            .collect();
+        let proposal_draws: Vec<FireState> =
+            (0..m).map(|_| self.sample(model, prev, obs, rng)).collect();
         let ln_p = Self::ln_kde(model, &transition_draws, state);
         let ln_q = Self::ln_kde(model, &proposal_draws, state);
         ll + ln_p - ln_q
@@ -282,9 +276,7 @@ mod tests {
                     .iter()
                     .zip(&truth)
                     .map(|(s, t)| {
-                        (s.estimate(|x| x.burning_count() as f64)
-                            - t.burning_count() as f64)
-                            .abs()
+                        (s.estimate(|x| x.burning_count() as f64) - t.burning_count() as f64).abs()
                     })
                     .sum::<f64>()
             };

@@ -12,8 +12,28 @@
 //! scheme are provided, plus the effective-sample-size diagnostic that
 //! quantifies collapse.
 
+use crate::AssimError;
 use mde_numeric::rng::Rng;
 use rand::Rng as _;
+
+/// Validate a weight vector for resampling: non-empty, no negative
+/// entries, positive total. Returns the total.
+fn check_weights(weights: &[f64], context: &'static str) -> crate::Result<f64> {
+    if weights.is_empty() {
+        return Err(AssimError::weights(context, "no weights to resample"));
+    }
+    let mut total = 0.0;
+    for &w in weights {
+        if w < 0.0 {
+            return Err(AssimError::weights(context, format!("negative weight {w}")));
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(AssimError::weights(context, "all weights zero"));
+    }
+    Ok(total)
+}
 
 /// Effective sample size `1 / Σ (Wⁱ)²` of normalized weights: `N` for
 /// uniform weights, `1` at full collapse.
@@ -28,32 +48,36 @@ pub fn effective_sample_size(weights: &[f64]) -> f64 {
 
 /// Multinomial resampling: draw `n` indices i.i.d. proportional to the
 /// weights.
-pub fn multinomial_resample(weights: &[f64], n: usize, rng: &mut Rng) -> Vec<usize> {
-    assert!(!weights.is_empty(), "no weights to resample");
+///
+/// Degenerate weight vectors (empty, negative entries, all zero) are
+/// surfaced as [`AssimError::InvalidWeights`] rather than panicking —
+/// collapsed weights are an expected runtime condition in §3.2, not a
+/// programming error.
+pub fn multinomial_resample(weights: &[f64], n: usize, rng: &mut Rng) -> crate::Result<Vec<usize>> {
+    let total = check_weights(weights, "multinomial_resample")?;
     // Cumulative distribution + inverse sampling.
     let mut cdf = Vec::with_capacity(weights.len());
     let mut acc = 0.0;
     for &w in weights {
-        assert!(w >= 0.0, "negative weight {w}");
         acc += w;
         cdf.push(acc);
     }
-    assert!(acc > 0.0, "all weights zero");
-    (0..n)
+    Ok((0..n)
         .map(|_| {
-            let u: f64 = rng.gen::<f64>() * acc;
+            let u: f64 = rng.gen::<f64>() * total;
             cdf.partition_point(|&c| c < u).min(weights.len() - 1)
         })
-        .collect()
+        .collect())
 }
 
 /// Systematic resampling: a single uniform offset and `n` evenly spaced
 /// pointers — unbiased like multinomial but with much lower variance, the
 /// standard practical choice for particle filters.
-pub fn systematic_resample(weights: &[f64], n: usize, rng: &mut Rng) -> Vec<usize> {
-    assert!(!weights.is_empty(), "no weights to resample");
-    let total: f64 = weights.iter().sum();
-    assert!(total > 0.0, "all weights zero");
+///
+/// Degenerate weight vectors are surfaced as
+/// [`AssimError::InvalidWeights`] rather than panicking.
+pub fn systematic_resample(weights: &[f64], n: usize, rng: &mut Rng) -> crate::Result<Vec<usize>> {
+    let total = check_weights(weights, "systematic_resample")?;
     let step = total / n as f64;
     let mut u = rng.gen::<f64>() * step;
     let mut out = Vec::with_capacity(n);
@@ -67,7 +91,7 @@ pub fn systematic_resample(weights: &[f64], n: usize, rng: &mut Rng) -> Vec<usiz
         out.push(i);
         u += step;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -91,7 +115,7 @@ mod tests {
         let weights = [0.1, 0.2, 0.3, 0.4];
         let mut rng = rng_from_seed(1);
         let n = 100_000;
-        let idx = multinomial_resample(&weights, n, &mut rng);
+        let idx = multinomial_resample(&weights, n, &mut rng).unwrap();
         let mut counts = [0usize; 4];
         for i in idx {
             counts[i] += 1;
@@ -111,7 +135,7 @@ mod tests {
         let weights = [0.1, 0.2, 0.3, 0.4];
         let mut rng = rng_from_seed(2);
         let n = 10_000;
-        let idx = systematic_resample(&weights, n, &mut rng);
+        let idx = systematic_resample(&weights, n, &mut rng).unwrap();
         let mut counts = [0usize; 4];
         for i in idx {
             counts[i] += 1;
@@ -130,10 +154,10 @@ mod tests {
     fn zero_weight_particles_never_selected() {
         let weights = [0.0, 1.0, 0.0];
         let mut rng = rng_from_seed(3);
-        for i in multinomial_resample(&weights, 1000, &mut rng) {
+        for i in multinomial_resample(&weights, 1000, &mut rng).unwrap() {
             assert_eq!(i, 1);
         }
-        for i in systematic_resample(&weights, 1000, &mut rng) {
+        for i in systematic_resample(&weights, 1000, &mut rng).unwrap() {
             assert_eq!(i, 1);
         }
     }
@@ -143,16 +167,29 @@ mod tests {
         // Both schemes normalize internally.
         let weights = [2.0, 6.0];
         let mut rng = rng_from_seed(4);
-        let idx = systematic_resample(&weights, 4000, &mut rng);
+        let idx = systematic_resample(&weights, 4000, &mut rng).unwrap();
         let ones = idx.iter().filter(|&&i| i == 1).count();
         assert!((ones as f64 / 4000.0 - 0.75).abs() < 0.01);
     }
 
     #[test]
-    #[should_panic(expected = "all weights zero")]
-    fn all_zero_weights_panic() {
+    fn degenerate_weights_are_typed_errors() {
         let mut rng = rng_from_seed(5);
-        multinomial_resample(&[0.0, 0.0], 10, &mut rng);
+        for result in [
+            multinomial_resample(&[0.0, 0.0], 10, &mut rng),
+            systematic_resample(&[0.0, 0.0], 10, &mut rng),
+            multinomial_resample(&[], 10, &mut rng),
+            multinomial_resample(&[0.5, -0.5], 10, &mut rng),
+        ] {
+            match result {
+                Err(AssimError::InvalidWeights { .. }) => {}
+                other => panic!("expected InvalidWeights, got {other:?}"),
+            }
+        }
+        assert!(multinomial_resample(&[0.0, 0.0], 10, &mut rng)
+            .unwrap_err()
+            .to_string()
+            .contains("all weights zero"));
     }
 
     #[test]
@@ -162,7 +199,7 @@ mod tests {
         let weights = [0.97, 0.01, 0.01, 0.01];
         assert!(effective_sample_size(&weights) < 1.1);
         let mut rng = rng_from_seed(6);
-        let idx = systematic_resample(&weights, 4, &mut rng);
+        let idx = systematic_resample(&weights, 4, &mut rng).unwrap();
         let new_weights = vec![0.25; idx.len()];
         assert_eq!(effective_sample_size(&new_weights), 4.0);
     }

@@ -137,7 +137,10 @@ mod tests {
         let early = steps[1].ess;
         let late = steps.last().unwrap().ess;
         assert!(early > 20.0, "early ESS {early}");
-        assert!(late < early * 0.25, "ESS did not collapse: {early} -> {late}");
+        assert!(
+            late < early * 0.25,
+            "ESS did not collapse: {early} -> {late}"
+        );
         assert!(late < 15.0, "late ESS {late}");
     }
 

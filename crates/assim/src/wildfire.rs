@@ -106,11 +106,7 @@ pub const BURNED_TEMP: f64 = 60.0;
 
 impl FireModel {
     /// Create a model with a regular `sx × sy` sensor grid.
-    pub fn new(
-        cfg: FireModelConfig,
-        sensor_grid: (usize, usize),
-        sensor_noise_std: f64,
-    ) -> Self {
+    pub fn new(cfg: FireModelConfig, sensor_grid: (usize, usize), sensor_noise_std: f64) -> Self {
         assert!(cfg.width >= 2 && cfg.height >= 2, "grid too small");
         assert!(
             cfg.fuel.is_empty() || cfg.fuel.len() == cfg.width * cfg.height,
@@ -172,19 +168,14 @@ impl FireModel {
     pub fn observe(&self, state: &FireState, rng: &mut Rng) -> Vec<f64> {
         (0..self.sensors.len())
             .map(|s| {
-                self.expected_temp(state, s)
-                    + self.sensor_noise_std * Normal::sample_standard(rng)
+                self.expected_temp(state, s) + self.sensor_noise_std * Normal::sample_standard(rng)
             })
             .collect()
     }
 
     /// Simulate a ground-truth trajectory of `steps` states with matching
     /// observations.
-    pub fn simulate_truth(
-        &self,
-        steps: usize,
-        rng: &mut Rng,
-    ) -> (Vec<FireState>, Vec<Vec<f64>>) {
+    pub fn simulate_truth(&self, steps: usize, rng: &mut Rng) -> (Vec<FireState>, Vec<Vec<f64>>) {
         let mut states = vec![self.sample_initial(rng)];
         for _ in 1..steps {
             let prev = states.last().expect("seeded");
@@ -256,8 +247,7 @@ impl StateSpaceModel for FireModel {
                             // (-dx, -dy). Wind alignment amplifies.
                             let align = if wind_norm > 0.0 {
                                 let sl = ((dx * dx + dy * dy) as f64).sqrt();
-                                (-(dx as f64) * self.cfg.wind.0
-                                    - (dy as f64) * self.cfg.wind.1)
+                                (-(dx as f64) * self.cfg.wind.0 - (dy as f64) * self.cfg.wind.1)
                                     / (sl * wind_norm)
                             } else {
                                 0.0

@@ -36,10 +36,13 @@ fn mcdb_setup(n_items: usize, n_iters: usize) -> (BundledCatalog, BundledTable, 
             .unwrap(),
     );
     db.insert(
-        Table::build("PARAMS", &[("MEAN", DataType::Float), ("STD", DataType::Float)])
-            .row(vec![Value::from(100.0), Value::from(20.0)])
-            .finish()
-            .unwrap(),
+        Table::build(
+            "PARAMS",
+            &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+        )
+        .row(vec![Value::from(100.0), Value::from(20.0)])
+        .finish()
+        .unwrap(),
     );
     let spec = RandomTableSpec::builder("SALES")
         .for_each(Plan::scan("ITEMS"))
@@ -96,9 +99,7 @@ fn bench_dsgd(c: &mut Criterion) {
                     threads,
                     ..DsgdConfig::default()
                 };
-                b.iter(|| {
-                    black_box(dsgd_solve(&sys.a, &sys.b, &cfg, &mut rng_from_seed(1)))
-                })
+                b.iter(|| black_box(dsgd_solve(&sys.a, &sys.b, &cfg, &mut rng_from_seed(1))))
             },
         );
     }
@@ -195,18 +196,26 @@ fn bench_rc(c: &mut Criterion) {
     group.sample_size(10);
     // M1 does real work (a long random walk) so caching has something to
     // save; M2 is cheap.
-    let m1 = Arc::new(FnModel::new("slow", 10.0, |_: &[f64], rng: &mut mde_numeric::rng::Rng| {
-        use rand::Rng as _;
-        let mut x = 0.0;
-        for _ in 0..20_000 {
-            x += rng.gen::<f64>() - 0.5;
-        }
-        vec![x]
-    }));
-    let m2 = Arc::new(FnModel::new("fast", 1.0, |x: &[f64], rng: &mut mde_numeric::rng::Rng| {
-        use rand::Rng as _;
-        vec![x[0] + rng.gen::<f64>()]
-    }));
+    let m1 = Arc::new(FnModel::new(
+        "slow",
+        10.0,
+        |_: &[f64], rng: &mut mde_numeric::rng::Rng| {
+            use rand::Rng as _;
+            let mut x = 0.0;
+            for _ in 0..20_000 {
+                x += rng.gen::<f64>() - 0.5;
+            }
+            vec![x]
+        },
+    ));
+    let m2 = Arc::new(FnModel::new(
+        "fast",
+        1.0,
+        |x: &[f64], rng: &mut mde_numeric::rng::Rng| {
+            use rand::Rng as _;
+            vec![x[0] + rng.gen::<f64>()]
+        },
+    ));
     let comp = SeriesComposite::new(m1, m2);
     for &alpha in &[1.0, 0.1] {
         group.bench_with_input(

@@ -130,7 +130,13 @@ pub fn calibration_contest_report() -> String {
         obs[3]
     ));
     out.push_str(&crate::render_table(
-        &["method", "theta-hat", "J(theta-hat)", "sim evals", "||theta err||"],
+        &[
+            "method",
+            "theta-hat",
+            "J(theta-hat)",
+            "sim evals",
+            "||theta err||",
+        ],
         &rows,
     ));
     out.push_str(

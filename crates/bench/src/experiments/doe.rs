@@ -52,7 +52,10 @@ pub fn fig3_report() -> String {
             ),
         ],
     ];
-    out.push_str(&crate::render_table(&["design", "runs", "resolution"], &rows));
+    out.push_str(&crate::render_table(
+        &["design", "runs", "resolution"],
+        &rows,
+    ));
     out
 }
 
@@ -93,7 +96,12 @@ pub fn fig4_report() -> String {
         ]);
     }
     out.push_str(&crate::render_table(
-        &["factor", "classical effect", "true effect", "regression beta"],
+        &[
+            "factor",
+            "classical effect",
+            "true effect",
+            "regression beta",
+        ],
         &rows,
     ));
 
@@ -188,8 +196,16 @@ mod tests {
             .map(|x| (0..8).map(|_| response(x, &mut rng)).sum::<f64>() / 8.0)
             .collect();
         let me = main_effects(&d, &ys);
-        assert!((me.effects[0] - 8.0).abs() < 0.6, "x1 effect {}", me.effects[0]);
-        assert!((me.effects[2] + 5.0).abs() < 0.6, "x3 effect {}", me.effects[2]);
+        assert!(
+            (me.effects[0] - 8.0).abs() < 0.6,
+            "x1 effect {}",
+            me.effects[0]
+        );
+        assert!(
+            (me.effects[2] + 5.0).abs() < 0.6,
+            "x3 effect {}",
+            me.effects[2]
+        );
         assert!(me.effects[1].abs() < 0.6, "x2 should be inert");
     }
 }

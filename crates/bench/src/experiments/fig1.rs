@@ -128,7 +128,11 @@ pub fn fig1_report() -> String {
                 format!("[{}, {}]", crate::f(expert_lo), crate::f(expert_hi)),
                 "-".into(),
             ],
-            vec!["actual 2011 value".into(), crate::f(actual_2011), "0%".into()],
+            vec![
+                "actual 2011 value".into(),
+                crate::f(actual_2011),
+                "0%".into(),
+            ],
         ],
     ));
     out.push_str(&format!(

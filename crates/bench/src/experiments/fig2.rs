@@ -19,24 +19,23 @@ use std::sync::Arc;
 /// The Figure 2 composite: M1 = demand (slow), M2 = queue (fast).
 /// V1 = s1² + s2², V2 = s1².
 fn composite(c1: f64, c2: f64, s1: f64, s2: f64) -> SeriesComposite {
-    let m1 = Arc::new(FnModel::new("demand", c1, move |_: &[f64], rng: &mut Rng| {
-        vec![5.0 + s1 * Normal::sample_standard(rng)]
-    }));
-    let m2 = Arc::new(FnModel::new("queue", c2, move |x: &[f64], rng: &mut Rng| {
-        vec![x[0] + s2 * Normal::sample_standard(rng)]
-    }));
+    let m1 = Arc::new(FnModel::new(
+        "demand",
+        c1,
+        move |_: &[f64], rng: &mut Rng| vec![5.0 + s1 * Normal::sample_standard(rng)],
+    ));
+    let m2 = Arc::new(FnModel::new(
+        "queue",
+        c2,
+        move |x: &[f64], rng: &mut Rng| vec![x[0] + s2 * Normal::sample_standard(rng)],
+    ));
     SeriesComposite::new(m1, m2)
 }
 
-fn empirical_scaled_variance(
-    comp: &SeriesComposite,
-    budget: f64,
-    alpha: f64,
-    reps: u64,
-) -> f64 {
+fn empirical_scaled_variance(comp: &SeriesComposite, budget: f64, alpha: f64, reps: u64) -> f64 {
     let mut acc = Summary::new();
     for seed in 0..reps {
-        if let Some(est) = run_under_budget(comp, budget, alpha, seed) {
+        if let Ok(Some(est)) = run_under_budget(comp, budget, alpha, seed) {
             acc.push(est.theta_hat);
         }
     }

@@ -44,8 +44,7 @@ pub fn gridfield_rewrite_report() -> String {
         let keep = |c: usize| cidx.face_coords(c).1 < keep_rows;
 
         let t0 = Instant::now();
-        let (naive, naive_cost) =
-            regrid_then_restrict(&gf, &coarse, 2, &op, keep).expect("naive");
+        let (naive, naive_cost) = regrid_then_restrict(&gf, &coarse, 2, &op, keep).expect("naive");
         let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
         let (rewritten, rewritten_cost) =

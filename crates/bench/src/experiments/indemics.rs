@@ -54,7 +54,11 @@ fn run(policy: Policy, seed: u64) -> (EpidemicModel, usize) {
                         .and(Expr::col("age").le(Expr::lit(4))),
                 );
                 let n_preschool = catalog
-                    .query(&preschool.clone().aggregate(&[], vec![AggSpec::count_star("n")]))
+                    .query(
+                        &preschool
+                            .clone()
+                            .aggregate(&[], vec![AggSpec::count_star("n")]),
+                    )
                     .and_then(|t| t.scalar())
                     .and_then(|v| v.as_i64())
                     .expect("count");
@@ -113,8 +117,14 @@ pub fn indemics_report() -> String {
     let mut rows = Vec::new();
     for (name, policy) in [
         ("no intervention", Policy::None),
-        ("Algorithm 1 (vaccinate preschool @ >1%)", Policy::VaccinatePreschool),
-        ("quarantine infected (test & trace)", Policy::QuarantineInfected),
+        (
+            "Algorithm 1 (vaccinate preschool @ >1%)",
+            Policy::VaccinatePreschool,
+        ),
+        (
+            "quarantine infected (test & trace)",
+            Policy::QuarantineInfected,
+        ),
     ] {
         let (mut overall, mut preschool, mut ivs) = (0.0, 0.0, 0usize);
         let reps = 3;

@@ -49,7 +49,11 @@ pub fn intro_abs_report() -> String {
             8,
         );
         let obs = run_model(&mut m, 300, 9);
-        obs.iter().skip(100).map(|o| o.stopped_fraction).sum::<f64>() / 200.0
+        obs.iter()
+            .skip(100)
+            .map(|o| o.stopped_fraction)
+            .sum::<f64>()
+            / 200.0
     };
     out.push_str(&format!(
         "\nphantom jams: stopped fraction at rho=0.25 is {:.3} without driver noise vs \

@@ -70,7 +70,9 @@ pub fn kriging_accuracy_report() -> String {
     let mut means = Vec::with_capacity(xs.len());
     let mut vars = Vec::with_capacity(xs.len());
     for x in &xs {
-        let draws: Vec<f64> = (0..reps).map(|_| truth(x) + noise.sample(&mut rng)).collect();
+        let draws: Vec<f64> = (0..reps)
+            .map(|_| truth(x) + noise.sample(&mut rng))
+            .collect();
         let m = draws.iter().sum::<f64>() / reps as f64;
         let v = draws.iter().map(|d| (d - m).powi(2)).sum::<f64>() / (reps as f64 - 1.0);
         means.push(m);

@@ -26,10 +26,13 @@ fn catalog(n_items: usize) -> Catalog {
         .expect("static"),
     );
     db.insert(
-        Table::build("PARAMS", &[("MEAN", DataType::Float), ("STD", DataType::Float)])
-            .row(vec![Value::from(100.0), Value::from(20.0)])
-            .finish()
-            .expect("static"),
+        Table::build(
+            "PARAMS",
+            &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+        )
+        .row(vec![Value::from(100.0), Value::from(20.0)])
+        .finish()
+        .expect("static"),
     );
     db
 }
@@ -52,7 +55,10 @@ fn revenue_plan() -> Plan {
     Plan::scan("SALES")
         .filter(Expr::col("REGION").eq(Expr::lit("east")))
         .project(&[("REV", Expr::col("AMT").mul(Expr::lit(1.1)))])
-        .aggregate(&[], vec![AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("REV"))])
+        .aggregate(
+            &[],
+            vec![AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("REV"))],
+        )
 }
 
 /// E3: tuple bundles vs naive N-fold execution — same answers, one plan
@@ -184,7 +190,9 @@ pub fn mcdb_risk_report() -> String {
 
     // The paper's verbatim grouped threshold query: "Which regions will
     // see more than a 2% decline in sales with at least 50% probability?"
-    out.push_str("\nWhich regions will see more than a 2% decline in sales with >= 50% probability?\n");
+    out.push_str(
+        "\nWhich regions will see more than a 2% decline in sales with >= 50% probability?\n",
+    );
     let mut db2 = Catalog::new();
     db2.insert(
         Table::build(
@@ -195,10 +203,26 @@ pub fn mcdb_risk_report() -> String {
                 ("FORECAST_MEAN", DataType::Float),
             ],
         )
-        .row(vec![Value::from("east"), Value::from(1000.0), Value::from(1010.0)])
-        .row(vec![Value::from("west"), Value::from(1000.0), Value::from(985.0)])
-        .row(vec![Value::from("north"), Value::from(1000.0), Value::from(940.0)])
-        .row(vec![Value::from("south"), Value::from(1000.0), Value::from(979.0)])
+        .row(vec![
+            Value::from("east"),
+            Value::from(1000.0),
+            Value::from(1010.0),
+        ])
+        .row(vec![
+            Value::from("west"),
+            Value::from(1000.0),
+            Value::from(985.0),
+        ])
+        .row(vec![
+            Value::from("north"),
+            Value::from(1000.0),
+            Value::from(940.0),
+        ])
+        .row(vec![
+            Value::from("south"),
+            Value::from(1000.0),
+            Value::from(979.0),
+        ])
         .finish()
         .expect("static"),
     );
@@ -221,7 +245,11 @@ pub fn mcdb_risk_report() -> String {
         vec![spec],
         Plan::scan("NEXT_SALES").aggregate(
             &["REGION"],
-            vec![AggSpec::new("CHANGE", AggFunc::Avg, Expr::col("REL_CHANGE"))],
+            vec![AggSpec::new(
+                "CHANGE",
+                AggFunc::Avg,
+                Expr::col("REL_CHANGE"),
+            )],
         ),
         "REGION",
         "CHANGE",

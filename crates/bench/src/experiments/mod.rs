@@ -19,16 +19,16 @@ mod simsql;
 mod wildfire;
 
 pub use calibration::calibration_contest_report;
-pub use intro::intro_abs_report;
-pub use predrange::prediction_range_report;
 pub use doe::{fig3_report, fig4_report, fig5_report};
 pub use dsgd::dsgd_spline_report;
 pub use fig1::fig1_report;
 pub use fig2::fig2_report;
 pub use gridfield::gridfield_rewrite_report;
 pub use indemics::indemics_report;
+pub use intro::intro_abs_report;
 pub use kriging::kriging_accuracy_report;
 pub use mcdb::{mcdb_bundles_report, mcdb_risk_report};
+pub use predrange::prediction_range_report;
 pub use rangequery::rangequery_report;
 pub use screening::factor_screening_report;
 pub use simsql::simsql_markov_report;
@@ -37,24 +37,80 @@ pub use wildfire::wildfire_assimilation_report;
 /// Every experiment as `(id, title, runner)` — the run-all battery.
 pub fn all() -> Vec<(&'static str, &'static str, fn() -> String)> {
     vec![
-        ("E0", "§1: traffic jams and segregation from simple agents", intro_abs_report as fn() -> String),
+        (
+            "E0",
+            "§1: traffic jams and segregation from simple agents",
+            intro_abs_report as fn() -> String,
+        ),
         ("E1", "Figure 1: the dangers of extrapolation", fig1_report),
-        ("E2", "Figure 2 / §2.3: result caching and g(alpha)", fig2_report),
-        ("E3", "§2.1 MCDB: tuple-bundle execution", mcdb_bundles_report),
-        ("E4", "§2.1 SimSQL: database-valued Markov chains", simsql_markov_report),
-        ("E5", "§2.2: cubic-spline DSGD vs Thomas", dsgd_spline_report),
-        ("E6", "§2.2: gridfield restrict/regrid rewrite", gridfield_rewrite_report),
-        ("E7", "§2.4 Algorithm 1: Indemics intervention", indemics_report),
+        (
+            "E2",
+            "Figure 2 / §2.3: result caching and g(alpha)",
+            fig2_report,
+        ),
+        (
+            "E3",
+            "§2.1 MCDB: tuple-bundle execution",
+            mcdb_bundles_report,
+        ),
+        (
+            "E4",
+            "§2.1 SimSQL: database-valued Markov chains",
+            simsql_markov_report,
+        ),
+        (
+            "E5",
+            "§2.2: cubic-spline DSGD vs Thomas",
+            dsgd_spline_report,
+        ),
+        (
+            "E6",
+            "§2.2: gridfield restrict/regrid rewrite",
+            gridfield_rewrite_report,
+        ),
+        (
+            "E7",
+            "§2.4 Algorithm 1: Indemics intervention",
+            indemics_report,
+        ),
         ("E8", "§2.4 PDES-MAS: range queries", rangequery_report),
-        ("E9", "§3.1: ABS calibration contest", calibration_contest_report),
-        ("E10", "§3.2 Algorithm 2: wildfire assimilation", wildfire_assimilation_report),
-        ("E11", "Figure 3: resolution III fractional factorial", fig3_report),
+        (
+            "E9",
+            "§3.1: ABS calibration contest",
+            calibration_contest_report,
+        ),
+        (
+            "E10",
+            "§3.2 Algorithm 2: wildfire assimilation",
+            wildfire_assimilation_report,
+        ),
+        (
+            "E11",
+            "Figure 3: resolution III fractional factorial",
+            fig3_report,
+        ),
         ("E12", "Figure 4: main-effects plot", fig4_report),
         ("E13", "Figure 5: Latin hypercube designs", fig5_report),
-        ("E14", "§4.3: sequential bifurcation screening", factor_screening_report),
-        ("E15", "§4.1: kriging and stochastic kriging", kriging_accuracy_report),
-        ("E16", "§2.1 MCDB-R: risk and threshold queries", mcdb_risk_report),
-        ("E17", "§3.1 open problem: the range of predictions [51]", prediction_range_report),
+        (
+            "E14",
+            "§4.3: sequential bifurcation screening",
+            factor_screening_report,
+        ),
+        (
+            "E15",
+            "§4.1: kriging and stochastic kriging",
+            kriging_accuracy_report,
+        ),
+        (
+            "E16",
+            "§2.1 MCDB-R: risk and threshold queries",
+            mcdb_risk_report,
+        ),
+        (
+            "E17",
+            "§3.1 open problem: the range of predictions [51]",
+            prediction_range_report,
+        ),
     ]
 }
 

@@ -78,7 +78,10 @@ pub fn prediction_range_report() -> String {
 
     let mut rows = Vec::new();
     let mut widths = Vec::new();
-    for (label, tol) in [("coarse (adoption only)", 4e-4), ("fine (all 4 moments)", 4e-3)] {
+    for (label, tol) in [
+        ("coarse (adoption only)", 4e-4),
+        ("fine (all 4 moments)", 4e-3),
+    ] {
         let mut rng = rng_from_seed(11);
         let set = if label.starts_with("coarse") {
             acceptable_set(coarse, &bounds, tol, 33, &mut rng).expect("set")
@@ -143,7 +146,10 @@ mod tests {
         let fine_set = acceptable_set(
             |t2| {
                 let s = simulate_stats(&embed(t2));
-                s.iter().zip(&observed).map(|(a, b)| (a - b) * (a - b)).sum()
+                s.iter()
+                    .zip(&observed)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum()
             },
             &bounds,
             4e-3,

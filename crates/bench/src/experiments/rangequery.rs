@@ -76,7 +76,10 @@ pub fn rangequery_report() -> String {
         store.len()
     ));
     let snap = store.as_of(3.7).expect("snapshot");
-    out.push_str(&format!("as-of(3.7) snapshot size: {} agents\n", snap.len()));
+    out.push_str(&format!(
+        "as-of(3.7) snapshot size: {} agents\n",
+        snap.len()
+    ));
     out
 }
 

@@ -26,7 +26,11 @@ pub fn factor_screening_report() -> String {
             g.to_string(),
             res.runs_used.to_string(),
             (k + 1).to_string(),
-            if found_all { "yes".into() } else { format!("{:?}", res.important) },
+            if found_all {
+                "yes".into()
+            } else {
+                format!("{:?}", res.important)
+            },
         ]);
     }
     out.push_str(&crate::render_table(
@@ -44,7 +48,9 @@ pub fn factor_screening_report() -> String {
          SB probe counts grow ~ g·log2(k/g), far below k+1.\n\n",
     );
 
-    out.push_str("B) GP-based screening: theta_j as the importance statistic (4 factors, 2 active)\n");
+    out.push_str(
+        "B) GP-based screening: theta_j as the importance statistic (4 factors, 2 active)\n",
+    );
     let response = FnResponse::new(4, |x: &[f64], _rng: &mut Rng| {
         (3.0 * x[0]).sin() + x[2] * x[2]
     });
@@ -55,7 +61,11 @@ pub fn factor_screening_report() -> String {
         rows.push(vec![
             format!("x{}", j + 1),
             crate::f(*theta),
-            if *j == 0 || *j == 2 { "active".into() } else { "inert".into() },
+            if *j == 0 || *j == 2 {
+                "active".into()
+            } else {
+                "inert".into()
+            },
         ]);
     }
     out.push_str(&crate::render_table(
@@ -78,12 +88,15 @@ mod tests {
         let k = 512;
         let important = [100usize, 300];
         let response = FnResponse::new(k, move |x: &[f64], rng: &mut Rng| {
-            important.iter().map(|&j| 2.0 * x[j]).sum::<f64>()
-                + 0.3 * Normal::sample_standard(rng)
+            important.iter().map(|&j| 2.0 * x[j]).sum::<f64>() + 0.3 * Normal::sample_standard(rng)
         });
         let mut rng = rng_from_seed(5);
         let res = sequential_bifurcation(&response, &BifurcationConfig::default(), &mut rng);
         assert_eq!(res.important, vec![100, 300]);
-        assert!(res.runs_used < 50, "SB used {} probes for k=512", res.runs_used);
+        assert!(
+            res.runs_used < 50,
+            "SB used {} probes for k=512",
+            res.runs_used
+        );
     }
 }

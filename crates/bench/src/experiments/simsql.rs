@@ -56,10 +56,8 @@ pub fn simsql_markov_report() -> String {
     let steps = 12;
     let traj = spec.run(&base, steps, 11).expect("chain run");
 
-    let price_q = Plan::scan("PRICE").aggregate(
-        &[],
-        vec![AggSpec::new("P", AggFunc::Avg, Expr::col("P"))],
-    );
+    let price_q =
+        Plan::scan("PRICE").aggregate(&[], vec![AggSpec::new("P", AggFunc::Avg, Expr::col("P"))]);
     let demand_q = Plan::scan("DEMAND").aggregate(
         &[],
         vec![AggSpec::new("U", AggFunc::Avg, Expr::col("UNITS"))],
@@ -152,7 +150,9 @@ fn gibbs_marginal_stats(steps: usize, burn_in: usize, seed: u64) -> (f64, f64, u
             ("A", Expr::col("A").add(Expr::lit(1)).add(Expr::lit(0.0))),
             (
                 "B",
-                Expr::lit(n_units + 1).sub(Expr::col("A")).add(Expr::lit(0.0)),
+                Expr::lit(n_units + 1)
+                    .sub(Expr::col("A"))
+                    .add(Expr::lit(0.0)),
             ),
         ]);
     let draw_p = RandomTableSpec::builder("P")
@@ -171,10 +171,8 @@ fn gibbs_marginal_stats(steps: usize, burn_in: usize, seed: u64) -> (f64, f64, u
         .expect("valid spec");
     let chain = MarkovChainSpec::new(vec![init_x, init_p], vec![draw_p, draw_x]);
     let traj = chain.run(&base, steps, seed).expect("chain run");
-    let p_query = Plan::scan("P").aggregate(
-        &[],
-        vec![AggSpec::new("P", AggFunc::Avg, Expr::col("P"))],
-    );
+    let p_query =
+        Plan::scan("P").aggregate(&[], vec![AggSpec::new("P", AggFunc::Avg, Expr::col("P"))]);
     let mut ps = Vec::new();
     for t in burn_in..=steps {
         ps.push(
@@ -199,10 +197,8 @@ mod tests {
     fn chain_drifts_at_the_configured_rate() {
         let (base, spec) = build_chain();
         let traj = spec.run(&base, 12, 3).unwrap();
-        let q = Plan::scan("PRICE").aggregate(
-            &[],
-            vec![AggSpec::new("P", AggFunc::Avg, Expr::col("P"))],
-        );
+        let q = Plan::scan("PRICE")
+            .aggregate(&[], vec![AggSpec::new("P", AggFunc::Avg, Expr::col("P"))]);
         let prices = traj.scalar_series(&q).unwrap();
         let drift = prices.last().unwrap() / prices[0];
         assert!((drift - 1.02f64.powi(12)).abs() < 0.15, "drift {drift}");

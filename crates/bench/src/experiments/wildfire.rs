@@ -63,8 +63,9 @@ pub fn wildfire_assimilation_report() -> String {
     for &n in &[25usize, 100, 400] {
         // Open loop at matched ensemble size.
         let mut orng = rng_from_seed(40);
-        let mut ensemble: Vec<FireState> =
-            (0..n).map(|_| truth_model.sample_initial(&mut orng)).collect();
+        let mut ensemble: Vec<FireState> = (0..n)
+            .map(|_| truth_model.sample_initial(&mut orng))
+            .collect();
         let mut open_err = 0.0;
         for (t, tr) in truth.iter().enumerate() {
             if t > 0 {
@@ -73,7 +74,10 @@ pub fn wildfire_assimilation_report() -> String {
                     .map(|s| truth_model.sample_transition(s, &mut orng))
                     .collect();
             }
-            let est = ensemble.iter().map(|s| s.burning_count() as f64).sum::<f64>()
+            let est = ensemble
+                .iter()
+                .map(|s| s.burning_count() as f64)
+                .sum::<f64>()
                 / n as f64;
             open_err += (est - tr.burning_count() as f64).abs();
         }
@@ -99,8 +103,7 @@ pub fn wildfire_assimilation_report() -> String {
     let filter_model = FireModel::new(wrong, (5, 5), 8.0);
     let mut rows = Vec::new();
     for &n in &[50usize, 150] {
-        let (_, boot_centroid) =
-            pf_errors(&filter_model, &BootstrapProposal, &truth, &obs, n, 42);
+        let (_, boot_centroid) = pf_errors(&filter_model, &BootstrapProposal, &truth, &obs, n, 42);
         let aware = SensorAwareProposal {
             sensor_confidence: 0.8,
             ..SensorAwareProposal::default()

@@ -282,7 +282,10 @@ mod tests {
         )
         .unwrap();
         for (x, _) in &res.evaluated {
-            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)), "out of bounds: {x:?}");
+            assert!(
+                x.iter().all(|v| (0.0..=1.0).contains(v)),
+                "out of bounds: {x:?}"
+            );
         }
     }
 }

@@ -60,7 +60,9 @@ pub fn mle_numeric(
     max_evals: usize,
 ) -> mde_numeric::Result<OptimResult> {
     if data.is_empty() {
-        return Err(NumericError::EmptyInput { context: "mle_numeric" });
+        return Err(NumericError::EmptyInput {
+            context: "mle_numeric",
+        });
     }
     nelder_mead(
         |theta| -data.iter().map(|&x| ln_pdf(theta, x)).sum::<f64>(),

@@ -37,7 +37,10 @@ pub fn solve_univariate(
     hi: f64,
 ) -> mde_numeric::Result<f64> {
     if !(lo < hi) {
-        return Err(NumericError::invalid("bracket", format!("need lo < hi, got [{lo}, {hi}]")));
+        return Err(NumericError::invalid(
+            "bracket",
+            format!("need lo < hi, got [{lo}, {hi}]"),
+        ));
     }
     let (flo, fhi) = (m(lo) - target, m(hi) - target);
     if flo == 0.0 {

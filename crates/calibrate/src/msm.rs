@@ -179,7 +179,10 @@ impl<'a> MsmProblem<'a> {
             }
         }
         // Stabilizing ridge relative to the diagonal scale.
-        let scale = (0..k).map(|i| cov[(i, i)]).fold(0.0f64, f64::max).max(1e-12);
+        let scale = (0..k)
+            .map(|i| cov[(i, i)])
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
         for i in 0..k {
             cov[(i, i)] += 1e-6 * scale;
         }

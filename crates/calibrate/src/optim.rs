@@ -192,7 +192,9 @@ mod tests {
     fn rugged(x: &[f64]) -> f64 {
         let a = x[0] - 1.0;
         let b = x[1] + 0.5;
-        a * a + b * b + 1.0 * (1.0 - (4.0 * std::f64::consts::PI * a).cos())
+        a * a
+            + b * b
+            + 1.0 * (1.0 - (4.0 * std::f64::consts::PI * a).cos())
             + 1.0 * (1.0 - (4.0 * std::f64::consts::PI * b).cos())
     }
 

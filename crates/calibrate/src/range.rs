@@ -143,9 +143,12 @@ mod tests {
     #[test]
     fn finds_multiple_acceptable_calibrations_on_a_ridge() {
         let mut rng = rng_from_seed(1);
-        let set =
-            acceptable_set(ridge_objective, &bounds(), 1e-4, 33, &mut rng).unwrap();
-        assert!(set.members.len() >= 3, "found {} members", set.members.len());
+        let set = acceptable_set(ridge_objective, &bounds(), 1e-4, 33, &mut rng).unwrap();
+        assert!(
+            set.members.len() >= 3,
+            "found {} members",
+            set.members.len()
+        );
         for (x, j) in &set.members {
             assert!(*j <= 1e-4);
             assert!((x[0] + x[1] - 1.0).abs() < 0.02, "member off ridge: {x:?}");
@@ -163,9 +166,7 @@ mod tests {
         assert!(hi - lo > 0.5, "range [{lo}, {hi}] should be wide");
 
         // Repair: add a second (finer-grained) moment pinning θ₀−θ₁ = 0.2.
-        let finer = |theta: &[f64]| {
-            ridge_objective(theta) + ((theta[0] - theta[1]) - 0.2).powi(2)
-        };
+        let finer = |theta: &[f64]| ridge_objective(theta) + ((theta[0] - theta[1]) - 0.2).powi(2);
         let mut rng = rng_from_seed(3);
         let set2 = acceptable_set(finer, &bounds(), 1e-4, 33, &mut rng).unwrap();
         assert!(!set2.members.is_empty());
@@ -190,20 +191,16 @@ mod tests {
         .unwrap();
         assert!(!set.members.is_empty());
         let (lo, hi) = prediction_range(&set, |x| x[0]).unwrap();
-        assert!(hi - lo < 0.1, "identified problem should be tight: [{lo}, {hi}]");
+        assert!(
+            hi - lo < 0.1,
+            "identified problem should be tight: [{lo}, {hi}]"
+        );
     }
 
     #[test]
     fn hopeless_tolerance_yields_empty_set() {
         let mut rng = rng_from_seed(5);
-        let set = acceptable_set(
-            |_t: &[f64]| 100.0,
-            &bounds(),
-            1e-6,
-            17,
-            &mut rng,
-        )
-        .unwrap();
+        let set = acceptable_set(|_t: &[f64]| 100.0, &bounds(), 1e-6, 17, &mut rng).unwrap();
         assert!(set.members.is_empty());
         assert!(prediction_range(&set, |x| x[0]).is_none());
     }

@@ -14,6 +14,10 @@ use crate::CoreError;
 use mde_harmonize::align::auto_align;
 use mde_harmonize::schema_map::SchemaMapping;
 use mde_harmonize::series::TimeSeries;
+use mde_numeric::resilience::{
+    catch_panic, retry_seed, supervise_replicate, AttemptFailure, FaultKind, ReplicateOutcome,
+    RunOptions, RunReport,
+};
 use mde_numeric::rng::StreamFactory;
 use mde_numeric::stats::Summary;
 use std::collections::BTreeMap;
@@ -112,7 +116,11 @@ impl CompositeModel {
     pub fn detect_mismatches(&self, registry: &Registry) -> crate::Result<Vec<Mismatch>> {
         let mut out = Vec::new();
         for (i, e) in self.edges.iter().enumerate() {
-            let src = registry.model(&self.nodes[e.from])?.metadata().output.clone();
+            let src = registry
+                .model(&self.nodes[e.from])?
+                .metadata()
+                .output
+                .clone();
             let dst_meta = registry.model(&self.nodes[e.to])?.metadata().clone();
             let port = dst_meta.inputs.get(e.to_port).ok_or_else(|| {
                 CoreError::invalid(format!(
@@ -302,9 +310,7 @@ impl ExecutablePlan<'_> {
                         for c in &port.channels {
                             m = m.field(
                                 c.clone(),
-                                mde_harmonize::schema_map::FieldSource::Copy {
-                                    channel: c.clone(),
-                                },
+                                mde_harmonize::schema_map::FieldSource::Copy { channel: c.clone() },
                             );
                         }
                         m.apply(upstream)?
@@ -313,8 +319,7 @@ impl ExecutablePlan<'_> {
 
                 // 2. Time alignment onto the port's tick grid over the
                 // upstream span.
-                let aligned = if let (Some(start), Some(end)) = (mapped.start(), mapped.end())
-                {
+                let aligned = if let (Some(start), Some(end)) = (mapped.start(), mapped.end()) {
                     let need_align = mapped
                         .typical_spacing()
                         .map(|s| (s - port.tick).abs() > 1e-9 * port.tick.max(1.0))
@@ -351,6 +356,11 @@ impl ExecutablePlan<'_> {
 
     /// Run `reps` Monte Carlo repetitions, reducing each output series to a
     /// scalar with `scalarize`.
+    ///
+    /// Equivalent to [`ExecutablePlan::run_monte_carlo_supervised`] under
+    /// [`mde_numeric::RunPolicy::FailFast`]: the first failing repetition
+    /// aborts with a typed error (a panicking model surfaces as
+    /// [`CoreError::ReplicateFailed`], never as a panic in the caller).
     pub fn run_monte_carlo(
         &self,
         params: &ParamAssignment,
@@ -358,16 +368,101 @@ impl ExecutablePlan<'_> {
         seed: u64,
         scalarize: impl Fn(&TimeSeries) -> f64,
     ) -> crate::Result<McOutput> {
+        Ok(self
+            .run_monte_carlo_supervised(params, reps, seed, scalarize, &RunOptions::default())?
+            .0)
+    }
+
+    /// Run `reps` supervised Monte Carlo repetitions under a
+    /// [`mde_numeric::RunPolicy`].
+    ///
+    /// Each repetition — the full topological sweep over the composite,
+    /// harmonization included — executes inside `catch_unwind`. Panics,
+    /// typed errors, and non-finite scalarized samples are classified and
+    /// handled per the policy: fail-fast aborts with the repetition's
+    /// typed error, retry re-runs the repetition on a fresh deterministic
+    /// sub-seed derived from `(seed, repetition, attempt)`, and
+    /// best-effort drops it and estimates from the survivors (recording
+    /// the damage in the returned [`RunReport`]). Fatal errors —
+    /// structural composite problems that would fail identically on every
+    /// attempt — abort under every policy.
+    pub fn run_monte_carlo_supervised(
+        &self,
+        params: &ParamAssignment,
+        reps: usize,
+        seed: u64,
+        scalarize: impl Fn(&TimeSeries) -> f64,
+        opts: &RunOptions,
+    ) -> crate::Result<(McOutput, RunReport)> {
         let factory = StreamFactory::new(seed);
         let mut samples = Vec::with_capacity(reps);
-        let mut summary = Summary::new();
+        let mut report = RunReport::new();
         for r in 0..reps {
-            let out = self.run_once(params, &factory.child(r as u64))?;
-            let v = scalarize(&out);
-            samples.push(v);
+            let outcome = supervise_replicate(r as u64, &opts.policy, |a| {
+                // Attempt 0 keeps the legacy stream layout; reseeding
+                // retries never replay the failing stream.
+                let rep_streams = if a == 0 || !opts.policy.reseeds() {
+                    factory.child(r as u64)
+                } else {
+                    StreamFactory::new(retry_seed(seed, r as u64, a))
+                };
+                let injected = opts.fault(r as u64, a);
+                if injected == Some(FaultKind::Error) {
+                    return Err(AttemptFailure::from_error(CoreError::Numeric(
+                        mde_numeric::NumericError::NoConvergence {
+                            context: "injected fault",
+                            iterations: 0,
+                        },
+                    )));
+                }
+                let run = catch_panic(|| -> crate::Result<f64> {
+                    if injected == Some(FaultKind::Panic) {
+                        panic!("injected fault: panic in repetition {r} attempt {a}");
+                    }
+                    let out = self.run_once(params, &rep_streams)?;
+                    Ok(if injected == Some(FaultKind::Nan) {
+                        f64::NAN
+                    } else {
+                        scalarize(&out)
+                    })
+                });
+                match run {
+                    Err(panic_msg) => Err(AttemptFailure::from_panic(panic_msg)),
+                    Ok(Err(e)) => Err(AttemptFailure::from_error(e)),
+                    Ok(Ok(v)) if !v.is_finite() => Err(AttemptFailure::non_finite(v)),
+                    Ok(Ok(v)) => Ok(v),
+                }
+            });
+            report.absorb(&outcome);
+            match outcome {
+                ReplicateOutcome::Success { value, .. } => samples.push(value),
+                ReplicateOutcome::Dropped { .. } => {}
+                ReplicateOutcome::Abort { error, failures } => {
+                    return Err(error.unwrap_or_else(|| match failures.last() {
+                        Some(f) => CoreError::ReplicateFailed {
+                            replicate: f.replicate,
+                            attempt: f.attempt,
+                            message: f.message.clone(),
+                        },
+                        None => CoreError::invalid("repetition aborted without a failure record"),
+                    }));
+                }
+            }
+        }
+        report.normalize();
+        let required = opts.policy.required_successes(reps);
+        if report.succeeded < required {
+            return Err(CoreError::TooManyFailures {
+                succeeded: report.succeeded,
+                attempted: report.attempted,
+                required,
+            });
+        }
+        let mut summary = Summary::new();
+        for &v in &samples {
             summary.push(v);
         }
-        Ok(McOutput { samples, summary })
+        Ok((McOutput { samples, summary }, report))
     }
 }
 
@@ -508,6 +603,59 @@ mod tests {
     }
 
     #[test]
+    fn supervised_composite_run_retries_and_reports() {
+        use mde_numeric::resilience::FaultPlan;
+        let reg = registry();
+        let plan = chain().plan(&reg).unwrap();
+        let params = ParamAssignment::new();
+        let mean_rev = |ts: &TimeSeries| {
+            let v = ts.channel("revenue").expect("revenue channel");
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+
+        // Injected panic + NaN under Retry: all repetitions recover, the
+        // ledger records both failures, unfaulted repetitions are
+        // untouched relative to the unsupervised run.
+        let opts = RunOptions::policy(RunPolicy::Retry {
+            max_attempts: 2,
+            reseed: true,
+        })
+        .with_faults(FaultPlan::new().fail_on(4, 0, FaultKind::Panic).fail_on(
+            9,
+            0,
+            FaultKind::Nan,
+        ));
+        let (mc, report) = plan
+            .run_monte_carlo_supervised(&params, 20, 7, mean_rev, &opts)
+            .unwrap();
+        assert_eq!(mc.samples.len(), 20);
+        assert_eq!(report.retried, 2);
+        assert_eq!(report.dropped, 0);
+        let clean = plan.run_monte_carlo(&params, 20, 7, mean_rev).unwrap();
+        for (i, (a, b)) in clean.samples.iter().zip(&mc.samples).enumerate() {
+            if i == 4 || i == 9 {
+                assert_ne!(a, b, "retried repetition {i} uses a fresh sub-seed");
+            } else {
+                assert_eq!(a, b, "unfaulted repetition {i} is bit-identical");
+            }
+        }
+
+        // BestEffort drops the faulted repetition and flags the CI.
+        let policy = RunPolicy::BestEffort { min_fraction: 0.9 };
+        let fault_plan = FaultPlan::new().fail_on(3, 0, FaultKind::Panic);
+        let opts = RunOptions::policy(policy).with_faults(fault_plan.clone());
+        let (mc, report) = plan
+            .run_monte_carlo_supervised(&params, 20, 7, mean_rev, &opts)
+            .unwrap();
+        assert_eq!(mc.samples.len(), 19);
+        assert!(report.ci_widened);
+        assert_eq!(
+            report.failure_keys(),
+            fault_plan.expected_failure_keys(&policy)
+        );
+    }
+
+    #[test]
     fn parameters_flow_to_models() {
         let reg = registry();
         let plan = chain().plan(&reg).unwrap();
@@ -516,7 +664,10 @@ mod tests {
         params.insert("revenue".into(), vec![4.0]);
         let out = plan.run_once(&params, &StreamFactory::new(3)).unwrap();
         for v in out.channel("revenue").unwrap() {
-            assert!((v - 200.0).abs() < 5.0, "revenue {v} with base 50 × price 4");
+            assert!(
+                (v - 200.0).abs() < 5.0,
+                "revenue {v} with base 50 × price 4"
+            );
         }
     }
 
@@ -540,7 +691,10 @@ mod tests {
         let b = c.add_model("revenue");
         c.connect(a, b, 0);
         c.connect(b, a, 0);
-        assert!(matches!(c.plan(&reg), Err(CoreError::InvalidComposite { .. })));
+        assert!(matches!(
+            c.plan(&reg),
+            Err(CoreError::InvalidComposite { .. })
+        ));
     }
 
     #[test]

@@ -31,6 +31,27 @@ pub enum CoreError {
     Numeric(mde_numeric::NumericError),
     /// Metadata (de)serialization failed.
     Metadata(String),
+    /// A supervised Monte Carlo repetition failed (panic caught by the
+    /// worker, or a non-finite scalarized sample) and the run policy had
+    /// no recovery left.
+    ReplicateFailed {
+        /// Zero-based repetition index.
+        replicate: u64,
+        /// Zero-based attempt on which the terminal failure occurred.
+        attempt: u32,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// A best-effort run dropped so many repetitions that the estimate
+    /// fell below the policy's minimum success fraction.
+    TooManyFailures {
+        /// Repetitions that produced a sample.
+        succeeded: usize,
+        /// Repetitions attempted.
+        attempted: usize,
+        /// Minimum successes the policy required.
+        required: usize,
+    },
 }
 
 impl CoreError {
@@ -58,6 +79,41 @@ impl fmt::Display for CoreError {
             CoreError::Mcdb(e) => write!(f, "database error: {e}"),
             CoreError::Numeric(e) => write!(f, "numeric error: {e}"),
             CoreError::Metadata(m) => write!(f, "metadata error: {m}"),
+            CoreError::ReplicateFailed {
+                replicate,
+                attempt,
+                message,
+            } => write!(
+                f,
+                "repetition {replicate} failed on attempt {attempt}: {message}"
+            ),
+            CoreError::TooManyFailures {
+                succeeded,
+                attempted,
+                required,
+            } => write!(
+                f,
+                "best-effort run degraded below its floor: {succeeded}/{attempted} repetitions \
+                 succeeded, policy required {required}"
+            ),
+        }
+    }
+}
+
+impl mde_numeric::ErrorClass for CoreError {
+    /// Wrapped lower-layer errors delegate to their own classification;
+    /// replicate-level failures are retryable; structural errors
+    /// (registry lookups, invalid composites, unresolved mismatches,
+    /// metadata problems, an exhausted best-effort floor) would fail
+    /// identically on every attempt and are fatal.
+    fn severity(&self) -> mde_numeric::Severity {
+        use mde_numeric::ErrorClass as _;
+        match self {
+            CoreError::ReplicateFailed { .. } => mde_numeric::Severity::Retryable,
+            CoreError::Harmonize(e) => e.severity(),
+            CoreError::Mcdb(e) => e.severity(),
+            CoreError::Numeric(e) => e.severity(),
+            _ => mde_numeric::Severity::Fatal,
         }
     }
 }

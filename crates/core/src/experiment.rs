@@ -219,36 +219,42 @@ pub fn bridge_chain_to_simopt(
     let dst_cost = dst_meta.perf.cost.max(1e-9);
     let n_channels = src_meta.output.channels.len();
 
-    let m1 = FnModel::new(src_meta.name.clone(), src_cost, move |_input: &[f64], rng: &mut mde_numeric::rng::Rng| {
-        let ts = src
-            .run(&[], &src_params, rng)
-            .expect("bridged source model failed");
-        // Flatten: [len, times…, row-major data…].
-        let mut flat = vec![ts.len() as f64];
-        flat.extend_from_slice(ts.times());
-        for row in ts.data() {
-            flat.extend_from_slice(row);
-        }
-        flat
-    });
+    let m1 = FnModel::new(
+        src_meta.name.clone(),
+        src_cost,
+        move |_input: &[f64], rng: &mut mde_numeric::rng::Rng| {
+            let ts = src
+                .run(&[], &src_params, rng)
+                .expect("bridged source model failed");
+            // Flatten: [len, times…, row-major data…].
+            let mut flat = vec![ts.len() as f64];
+            flat.extend_from_slice(ts.times());
+            for row in ts.data() {
+                flat.extend_from_slice(row);
+            }
+            flat
+        },
+    );
 
     let channels = src_meta.output.channels.clone();
-    let m2 = FnModel::new(dst_meta.name.clone(), dst_cost, move |input: &[f64], rng: &mut mde_numeric::rng::Rng| {
-        // Unflatten.
-        let n = input[0] as usize;
-        let times = input[1..1 + n].to_vec();
-        let data: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                input[1 + n + i * n_channels..1 + n + (i + 1) * n_channels].to_vec()
-            })
-            .collect();
-        let ts = TimeSeries::new(channels.clone(), times, data)
-            .expect("bridged payload round-trips");
-        let out = dst
-            .run(&[ts], &dst_params, rng)
-            .expect("bridged sink model failed");
-        vec![scalarize(&out)]
-    });
+    let m2 = FnModel::new(
+        dst_meta.name.clone(),
+        dst_cost,
+        move |input: &[f64], rng: &mut mde_numeric::rng::Rng| {
+            // Unflatten.
+            let n = input[0] as usize;
+            let times = input[1..1 + n].to_vec();
+            let data: Vec<Vec<f64>> = (0..n)
+                .map(|i| input[1 + n + i * n_channels..1 + n + (i + 1) * n_channels].to_vec())
+                .collect();
+            let ts = TimeSeries::new(channels.clone(), times, data)
+                .expect("bridged payload round-trips");
+            let out = dst
+                .run(&[ts], &dst_params, rng)
+                .expect("bridged sink model failed");
+            vec![scalarize(&out)]
+        },
+    );
 
     Ok(SeriesComposite::new(Arc::new(m1), Arc::new(m2)))
 }
@@ -342,9 +348,7 @@ mod tests {
         let exp = Experiment::new(&reg, c).unwrap();
         let mut rng = rng_from_seed(21);
         let design = nolh(3, 17, 50, &mut rng);
-        let gp = exp
-            .fit_gp_metamodel(&design, 12, 31, mean_revenue)
-            .unwrap();
+        let gp = exp.fit_gp_metamodel(&design, 12, 31, mean_revenue).unwrap();
         // "Simulation on demand": the surrogate predicts mean revenue ≈
         // base × price at an unseen parameter point.
         let pred = gp.predict(&[100.0, 5.0, 2.0]);
@@ -380,7 +384,9 @@ mod tests {
         // Demand noise dominates (price is deterministic): V2 ≈ V1 → α* near 1.
         assert!(alpha > 0.5, "α* = {alpha} with stats {stats:?}");
         // And the budgeted runner produces a sane estimate of 200.
-        let est = mde_simopt::budget::run_under_budget(&comp, 2000.0, alpha, 3).unwrap();
+        let est = mde_simopt::budget::run_under_budget(&comp, 2000.0, alpha, 3)
+            .unwrap()
+            .unwrap();
         assert!((est.theta_hat - 200.0).abs() < 5.0, "θ̂ = {}", est.theta_hat);
     }
 

@@ -17,6 +17,7 @@
 //! | [`composite`] | composite DAG, mismatch detection, auto-harmonization, MC execution |
 //! | [`experiment`] | experiment manager: DOE-driven runs, metamodel fitting, RC optimization |
 //! | [`whatif`] | the "data is dead without what-if" entry point over `mde-mcdb` |
+//! | [`resilience`] | supervised execution: run policies, deterministic retry, failure ledgers |
 //!
 //! # Example: attach a stochastic model to data and ask what-if
 //!
@@ -53,9 +54,11 @@ pub mod composite;
 pub mod error;
 pub mod experiment;
 pub mod registry;
+pub mod resilience;
 pub mod whatif;
 
 pub use error::CoreError;
+pub use resilience::{ErrorClass, RunOptions, RunPolicy, RunReport, Severity};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

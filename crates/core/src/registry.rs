@@ -114,8 +114,7 @@ impl Registry {
 
     /// Register a model under its metadata name.
     pub fn register_model(&mut self, model: Arc<dyn SimModel>) {
-        self.models
-            .insert(model.metadata().name.clone(), model);
+        self.models.insert(model.metadata().name.clone(), model);
     }
 
     /// Register a dataset.
@@ -125,10 +124,12 @@ impl Registry {
 
     /// Look up a model.
     pub fn model(&self, name: &str) -> crate::Result<&Arc<dyn SimModel>> {
-        self.models.get(name).ok_or_else(|| CoreError::NotRegistered {
-            kind: "model",
-            name: name.to_string(),
-        })
+        self.models
+            .get(name)
+            .ok_or_else(|| CoreError::NotRegistered {
+                kind: "model",
+                name: name.to_string(),
+            })
     }
 
     /// Look up a dataset.
@@ -164,14 +165,11 @@ impl Registry {
             models: self.models.values().map(|m| m.metadata()).collect(),
             datasets: self.datasets.values().map(|(m, _)| m).collect(),
         };
-        serde_json::to_string_pretty(&manifest)
-            .map_err(|e| CoreError::Metadata(e.to_string()))
+        serde_json::to_string_pretty(&manifest).map_err(|e| CoreError::Metadata(e.to_string()))
     }
 
     /// Parse a metadata manifest produced by [`Registry::metadata_json`].
-    pub fn parse_manifest(
-        json: &str,
-    ) -> crate::Result<(Vec<ModelMetadata>, Vec<DatasetMetadata>)> {
+    pub fn parse_manifest(json: &str) -> crate::Result<(Vec<ModelMetadata>, Vec<DatasetMetadata>)> {
         #[derive(Deserialize)]
         struct Manifest {
             models: Vec<ModelMetadata>,

@@ -1,0 +1,36 @@
+//! The resilience runtime, re-exported as the platform's public API.
+//!
+//! The vocabulary — [`Severity`]/[`ErrorClass`] classification,
+//! [`RunPolicy`], deterministic [`retry_seed`] derivation, [`RunReport`]
+//! ledgers, and the [`FaultPlan`] injector — lives in
+//! [`mde_numeric::resilience`], at the bottom of the workspace dependency
+//! graph, so that every execution layer can speak it:
+//!
+//! * [`mde_mcdb::mc::MonteCarloQuery::run_with_options`] /
+//!   [`run_parallel_with_options`](mde_mcdb::mc::MonteCarloQuery::run_parallel_with_options)
+//!   — supervised Monte Carlo query estimation;
+//! * [`crate::composite::ExecutablePlan::run_monte_carlo_supervised`] —
+//!   supervised composite-model campaigns;
+//! * the particle filter's supervised step loop in `mde-assim`.
+//!
+//! This module is the front door: downstream code uses
+//! `mde_core::resilience::{RunPolicy, RunOptions, ...}` without caring
+//! where the types physically live.
+//!
+//! # Semantics in brief
+//!
+//! Every failure is classified [`Severity::Retryable`] (data- or
+//! draw-dependent: a fresh stream may succeed) or [`Severity::Fatal`]
+//! (structural: every attempt fails identically). Fatal failures abort
+//! under every policy. Retryable failures are handled per [`RunPolicy`]:
+//! abort (`FailFast`), re-execute on a fresh sub-seed derived purely from
+//! `(seed, replicate, attempt)` (`Retry`), or drop and degrade gracefully
+//! with a [`RunReport`] ledger (`BestEffort`). Because retry sub-seeds are
+//! pure functions, sequential and parallel runs stay bit-identical at any
+//! thread count under every policy.
+
+pub use mde_numeric::resilience::{
+    catch_panic, retry_seed, supervise_replicate, AttemptFailure, ErrorClass, FailureKind,
+    FailureRecord, Fault, FaultKind, FaultPlan, ReplicateOutcome, RunOptions, RunPolicy, RunReport,
+    Severity,
+};

@@ -125,10 +125,10 @@ mod tests {
     fn descriptive_query_over_data() {
         let s = session();
         let t = s
-            .describe(&Plan::scan("STORES").aggregate(
-                &[],
-                vec![mde_mcdb::query::AggSpec::count_star("n")],
-            ))
+            .describe(
+                &Plan::scan("STORES")
+                    .aggregate(&[], vec![mde_mcdb::query::AggSpec::count_star("n")]),
+            )
             .unwrap();
         assert_eq!(t.scalar().unwrap(), Value::from(10));
     }
@@ -149,7 +149,10 @@ mod tests {
         assert!((res.mean() - 500.0).abs() < 10.0);
         assert!(res.quantile(0.95).unwrap() > res.mean());
         // Threshold decision: P(total > 400) is essentially certain.
-        assert_eq!(res.threshold_decision(400.0, 0.5, 0.95).unwrap(), Some(true));
+        assert_eq!(
+            res.threshold_decision(400.0, 0.5, 0.95).unwrap(),
+            Some(true)
+        );
         // Parallel agrees exactly.
         let par = s.what_if_parallel(&plan, 300, 4, 4).unwrap();
         assert_eq!(res.samples(), par.samples());
@@ -158,13 +161,10 @@ mod tests {
     #[test]
     fn shallow_extrapolation_over_table() {
         // Linear history: extrapolation continues the line.
-        let t = Table::build(
-            "H",
-            &[("T", DataType::Float), ("V", DataType::Float)],
-        )
-        .rows((0..20).map(|i| vec![Value::from(i as f64), Value::from(3.0 + 2.0 * i as f64)]))
-        .finish()
-        .unwrap();
+        let t = Table::build("H", &[("T", DataType::Float), ("V", DataType::Float)])
+            .rows((0..20).map(|i| vec![Value::from(i as f64), Value::from(3.0 + 2.0 * i as f64)]))
+            .finish()
+            .unwrap();
         let f = shallow_extrapolation(&t, "T", "V", 5).unwrap();
         assert!((f - (3.0 + 2.0 * 24.0)).abs() < 1e-6);
     }

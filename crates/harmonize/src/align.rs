@@ -172,11 +172,7 @@ fn aggregate(
         out.push(row);
         prev_t = t;
     }
-    TimeSeries::new(
-        source.channels().to_vec(),
-        target_times.to_vec(),
-        out,
-    )
+    TimeSeries::new(source.channels().to_vec(), target_times.to_vec(), out)
 }
 
 struct AggAcc {
@@ -263,7 +259,11 @@ fn interpolate(
                         source.data()[0][c]
                     } else {
                         let (s0, s1) = (stimes[j], stimes[j + 1]);
-                        let pick = if (t - s0).abs() <= (s1 - t).abs() { j } else { j + 1 };
+                        let pick = if (t - s0).abs() <= (s1 - t).abs() {
+                            j
+                        } else {
+                            j + 1
+                        };
                         source.data()[pick][c]
                     }
                 }
@@ -368,7 +368,13 @@ mod tests {
     fn linear_interpolation_refines() {
         let src = TimeSeries::univariate("v", vec![0.0, 2.0, 4.0], vec![0.0, 4.0, 0.0]).unwrap();
         let targets: Vec<f64> = (0..9).map(|i| i as f64 * 0.5).collect();
-        let out = align(&src, &targets, AlignSpec::Interpolate(InterpMethod::Linear), 1).unwrap();
+        let out = align(
+            &src,
+            &targets,
+            AlignSpec::Interpolate(InterpMethod::Linear),
+            1,
+        )
+        .unwrap();
         let v = out.channel("v").unwrap();
         assert_eq!(v[1], 1.0); // t = 0.5
         assert_eq!(v[4], 4.0); // t = 2
@@ -461,12 +467,6 @@ mod tests {
     fn validation_errors() {
         let src = fine_series();
         assert!(align(&src, &[], AlignSpec::Aggregate(AggMethod::Mean), 1).is_err());
-        assert!(align(
-            &src,
-            &[2.0, 1.0],
-            AlignSpec::Aggregate(AggMethod::Mean),
-            1
-        )
-        .is_err());
+        assert!(align(&src, &[2.0, 1.0], AlignSpec::Aggregate(AggMethod::Mean), 1).is_err());
     }
 }

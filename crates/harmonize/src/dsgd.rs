@@ -98,12 +98,7 @@ pub struct DsgdResult {
 /// chunk is substantial (roughly `m/(3·threads)` rows ≫ 10⁵ for the ~ns
 /// per-row update). Below that, prefer `threads: 1`; results are
 /// bit-identical either way (see the thread-invariance property test).
-pub fn dsgd_solve(
-    a: &Tridiagonal,
-    b: &[f64],
-    cfg: &DsgdConfig,
-    rng: &mut Rng,
-) -> DsgdResult {
+pub fn dsgd_solve(a: &Tridiagonal, b: &[f64], cfg: &DsgdConfig, rng: &mut Rng) -> DsgdResult {
     let n = a.n();
     assert_eq!(b.len(), n, "rhs length must match system size");
     let mut x = vec![0.0; n];
@@ -117,9 +112,7 @@ pub fn dsgd_solve(
 
     // Strata: rows congruent mod 3. Rows within a stratum are ≥ 3 apart,
     // so their update footprints {i−1, i, i+1} are pairwise disjoint.
-    let strata: Vec<Vec<usize>> = (0..3)
-        .map(|k| (k..n).step_by(3).collect())
-        .collect();
+    let strata: Vec<Vec<usize>> = (0..3).map(|k| (k..n).step_by(3).collect()).collect();
 
     let mut order: Vec<usize> = vec![0, 1, 2];
     for cycle in 0..cfg.cycles {
@@ -284,9 +277,24 @@ mod tests {
             record_residuals: false,
             ..DsgdConfig::default()
         };
-        let serial = dsgd_solve(&a, &b, &DsgdConfig { threads: 1, ..base }, &mut rng_from_seed(7));
-        let par4 = dsgd_solve(&a, &b, &DsgdConfig { threads: 4, ..base }, &mut rng_from_seed(7));
-        let par8 = dsgd_solve(&a, &b, &DsgdConfig { threads: 8, ..base }, &mut rng_from_seed(7));
+        let serial = dsgd_solve(
+            &a,
+            &b,
+            &DsgdConfig { threads: 1, ..base },
+            &mut rng_from_seed(7),
+        );
+        let par4 = dsgd_solve(
+            &a,
+            &b,
+            &DsgdConfig { threads: 4, ..base },
+            &mut rng_from_seed(7),
+        );
+        let par8 = dsgd_solve(
+            &a,
+            &b,
+            &DsgdConfig { threads: 8, ..base },
+            &mut rng_from_seed(7),
+        );
         for (s, p) in serial.x.iter().zip(&par4.x) {
             assert!((s - p).abs() < 1e-12, "thread-count changed the result");
         }
@@ -323,8 +331,7 @@ mod tests {
         assert_eq!(res.stats.boundary_values_exchanged, 90 * 2 * 4);
         // The paper's claim: DSGD's shuffle volume is negligible.
         assert!(
-            res.stats.boundary_values_exchanged * 10
-                < res.stats.exact_solve_shuffle_entries,
+            res.stats.boundary_values_exchanged * 10 < res.stats.exact_solve_shuffle_entries,
             "DSGD shuffled {} vs exact {}",
             res.stats.boundary_values_exchanged,
             res.stats.exact_solve_shuffle_entries

@@ -61,6 +61,24 @@ impl fmt::Display for HarmonizeError {
     }
 }
 
+impl mde_numeric::ErrorClass for HarmonizeError {
+    /// Series problems are data-dependent — a stochastic model can emit a
+    /// degenerate series on one unlucky draw, so a fresh stream may
+    /// succeed. Transform and grid configuration errors are structural and
+    /// fail identically on every attempt; numeric errors delegate to
+    /// their own classification.
+    fn severity(&self) -> mde_numeric::Severity {
+        use mde_numeric::ErrorClass as _;
+        match self {
+            HarmonizeError::InvalidSeries { .. } => mde_numeric::Severity::Retryable,
+            HarmonizeError::Numeric(e) => e.severity(),
+            HarmonizeError::InvalidTransform { .. } | HarmonizeError::InvalidGrid { .. } => {
+                mde_numeric::Severity::Fatal
+            }
+        }
+    }
+}
+
 impl std::error::Error for HarmonizeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -82,8 +100,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(HarmonizeError::series("x").to_string().contains("time series"));
-        assert!(HarmonizeError::transform("x").to_string().contains("transformation"));
+        assert!(HarmonizeError::series("x")
+            .to_string()
+            .contains("time series"));
+        assert!(HarmonizeError::transform("x")
+            .to_string()
+            .contains("transformation"));
         assert!(HarmonizeError::grid("x").to_string().contains("gridfield"));
         let e: HarmonizeError = mde_numeric::NumericError::EmptyInput { context: "q" }.into();
         assert!(e.to_string().contains("numeric"));

@@ -89,7 +89,11 @@ impl Grid {
 
         let total = n_nodes + n_hedges + n_vedges + n_faces;
         let mut dims = vec![0u8; total];
-        for d in dims.iter_mut().take(n_nodes + n_hedges + n_vedges).skip(n_nodes) {
+        for d in dims
+            .iter_mut()
+            .take(n_nodes + n_hedges + n_vedges)
+            .skip(n_nodes)
+        {
             *d = 1;
         }
         for d in dims.iter_mut().skip(n_nodes + n_hedges + n_vedges) {
@@ -153,7 +157,9 @@ impl Grid {
 
     /// Ids of all cells of dimension `d`, in id order.
     pub fn cells_of_dim(&self, d: u8) -> Vec<usize> {
-        (0..self.dims.len()).filter(|&c| self.dims[c] == d).collect()
+        (0..self.dims.len())
+            .filter(|&c| self.dims[c] == d)
+            .collect()
     }
 
     /// The incidence relation `x ≤ y` (reflexive, plus recorded pairs).
@@ -538,10 +544,8 @@ mod tests {
         // Keep only coarse face (0,0).
         let keep = |c: usize| c == cidx.face(0, 0);
 
-        let (naive, naive_cost) =
-            regrid_then_restrict(&gf, &coarse, 2, &op, keep).unwrap();
-        let (rewritten, rewritten_cost) =
-            restrict_then_regrid(&gf, &coarse, 2, &op, keep).unwrap();
+        let (naive, naive_cost) = regrid_then_restrict(&gf, &coarse, 2, &op, keep).unwrap();
+        let (rewritten, rewritten_cost) = restrict_then_regrid(&gf, &coarse, 2, &op, keep).unwrap();
 
         // Identical results (the commutation).
         assert_eq!(naive, rewritten);

@@ -131,9 +131,7 @@ impl SchemaMapping {
             .iter()
             .map(|(_, s)| {
                 Ok(match s {
-                    FieldSource::Copy { channel } => {
-                        Compiled::Copy(source.channel_index(channel)?)
-                    }
+                    FieldSource::Copy { channel } => Compiled::Copy(source.channel_index(channel)?),
                     FieldSource::Linear {
                         channel,
                         scale,
@@ -199,20 +197,32 @@ mod tests {
     #[test]
     fn copy_linear_sum_mean_constant() {
         let m = SchemaMapping::new()
-            .field("temp_c", FieldSource::Linear {
-                channel: "temp_f".into(),
-                scale: 5.0 / 9.0,
-                offset: -160.0 / 9.0,
-            })
-            .field("rain_total", FieldSource::Sum {
-                channels: vec!["rain_east".into(), "rain_west".into()],
-            })
-            .field("rain_mean", FieldSource::Mean {
-                channels: vec!["rain_east".into(), "rain_west".into()],
-            })
-            .field("raw_f", FieldSource::Copy {
-                channel: "temp_f".into(),
-            })
+            .field(
+                "temp_c",
+                FieldSource::Linear {
+                    channel: "temp_f".into(),
+                    scale: 5.0 / 9.0,
+                    offset: -160.0 / 9.0,
+                },
+            )
+            .field(
+                "rain_total",
+                FieldSource::Sum {
+                    channels: vec!["rain_east".into(), "rain_west".into()],
+                },
+            )
+            .field(
+                "rain_mean",
+                FieldSource::Mean {
+                    channels: vec!["rain_east".into(), "rain_west".into()],
+                },
+            )
+            .field(
+                "raw_f",
+                FieldSource::Copy {
+                    channel: "temp_f".into(),
+                },
+            )
             .field("version", FieldSource::Constant(2.0));
         let out = m.apply(&weather()).unwrap();
         assert_eq!(
@@ -232,12 +242,18 @@ mod tests {
     #[test]
     fn mismatch_detection() {
         let m = SchemaMapping::new()
-            .field("x", FieldSource::Copy {
-                channel: "temp_f".into(),
-            })
-            .field("y", FieldSource::Sum {
-                channels: vec!["rain_east".into(), "humidity".into()],
-            });
+            .field(
+                "x",
+                FieldSource::Copy {
+                    channel: "temp_f".into(),
+                },
+            )
+            .field(
+                "y",
+                FieldSource::Sum {
+                    channels: vec!["rain_east".into(), "humidity".into()],
+                },
+            );
         let missing = m.missing_channels(&weather());
         assert_eq!(missing, vec!["humidity"]);
         assert!(m.apply(&weather()).is_err());
@@ -246,14 +262,20 @@ mod tests {
     #[test]
     fn required_channels_deduped_and_sorted() {
         let m = SchemaMapping::new()
-            .field("a", FieldSource::Copy {
-                channel: "temp_f".into(),
-            })
-            .field("b", FieldSource::Linear {
-                channel: "temp_f".into(),
-                scale: 1.0,
-                offset: 0.0,
-            })
+            .field(
+                "a",
+                FieldSource::Copy {
+                    channel: "temp_f".into(),
+                },
+            )
+            .field(
+                "b",
+                FieldSource::Linear {
+                    channel: "temp_f".into(),
+                    scale: 1.0,
+                    offset: 0.0,
+                },
+            )
             .field("c", FieldSource::Constant(1.0));
         assert_eq!(m.required_channels(), vec!["temp_f"]);
     }

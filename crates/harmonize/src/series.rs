@@ -18,11 +18,7 @@ pub struct TimeSeries {
 
 impl TimeSeries {
     /// Create from channel names, timestamps, and observations.
-    pub fn new(
-        channels: Vec<String>,
-        times: Vec<f64>,
-        data: Vec<Vec<f64>>,
-    ) -> crate::Result<Self> {
+    pub fn new(channels: Vec<String>, times: Vec<f64>, data: Vec<Vec<f64>>) -> crate::Result<Self> {
         if channels.is_empty() {
             return Err(HarmonizeError::series("need at least one channel"));
         }
@@ -98,15 +94,12 @@ impl TimeSeries {
 
     /// Index of a channel by name.
     pub fn channel_index(&self, name: &str) -> crate::Result<usize> {
-        self.channels
-            .iter()
-            .position(|c| c == name)
-            .ok_or_else(|| {
-                HarmonizeError::series(format!(
-                    "unknown channel `{name}` (have: {})",
-                    self.channels.join(", ")
-                ))
-            })
+        self.channels.iter().position(|c| c == name).ok_or_else(|| {
+            HarmonizeError::series(format!(
+                "unknown channel `{name}` (have: {})",
+                self.channels.join(", ")
+            ))
+        })
     }
 
     /// Timestamps.

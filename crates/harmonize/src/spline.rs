@@ -41,12 +41,16 @@ pub fn build_spline_system(s: &[f64], d: &[f64]) -> crate::Result<SplineSystem> 
             d.len()
         )));
     }
-    let m = s.len().checked_sub(1).filter(|&m| m >= 2).ok_or_else(|| {
-        HarmonizeError::series("cubic spline needs at least 3 knots")
-    })?;
+    let m = s
+        .len()
+        .checked_sub(1)
+        .filter(|&m| m >= 2)
+        .ok_or_else(|| HarmonizeError::series("cubic spline needs at least 3 knots"))?;
     for w in s.windows(2) {
         if !(w[0] < w[1]) {
-            return Err(HarmonizeError::series("knot times must be strictly increasing"));
+            return Err(HarmonizeError::series(
+                "knot times must be strictly increasing",
+            ));
         }
     }
     let h: Vec<f64> = s.windows(2).map(|w| w[1] - w[0]).collect();

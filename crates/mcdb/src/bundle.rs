@@ -144,9 +144,16 @@ impl BundledTable {
         let out_schema = spec.output_schema(catalog)?;
 
         match spec.vg().cardinality() {
-            OutputCardinality::Fixed(k) => {
-                Self::from_spec_fixed(spec, catalog, &driver, &combined, &out_schema, k, n_iters, rng)
-            }
+            OutputCardinality::Fixed(k) => Self::from_spec_fixed(
+                spec,
+                catalog,
+                &driver,
+                &combined,
+                &out_schema,
+                k,
+                n_iters,
+                rng,
+            ),
             OutputCardinality::Variable => {
                 Self::from_spec_variable(spec, catalog, &out_schema, n_iters, rng)
             }
@@ -201,11 +208,8 @@ impl BundledTable {
                 // Combined bundled row: driver columns Const, VG columns
                 // Varying (collapsed to Const if the VG happens to be
                 // degenerate — skipped: correctness first).
-                let mut values: Vec<BundledValue> = drow
-                    .iter()
-                    .cloned()
-                    .map(BundledValue::Const)
-                    .collect();
+                let mut values: Vec<BundledValue> =
+                    drow.iter().cloned().map(BundledValue::Const).collect();
                 values.extend(
                     slot.into_iter()
                         .map(|vs| BundledValue::Varying(Arc::new(vs))),
@@ -356,9 +360,11 @@ impl BundledCatalog {
 
     /// Look up a bundled table.
     pub fn get(&self, name: &str) -> crate::Result<&BundledTable> {
-        self.tables.get(name).ok_or_else(|| McdbError::UnknownTable {
-            name: name.to_string(),
-        })
+        self.tables
+            .get(name)
+            .ok_or_else(|| McdbError::UnknownTable {
+                name: name.to_string(),
+            })
     }
 }
 
@@ -471,8 +477,10 @@ pub fn execute_bundled(plan: &Plan, catalog: &BundledCatalog) -> crate::Result<B
                 if r_idx.iter().any(|&j| row.values[j].at(0).is_null()) {
                     continue;
                 }
-                let key: Vec<GroupKey> =
-                    r_idx.iter().map(|&j| row.values[j].at(0).group_key()).collect();
+                let key: Vec<GroupKey> = r_idx
+                    .iter()
+                    .map(|&j| row.values[j].at(0).group_key())
+                    .collect();
                 index.entry(key).or_default().push(i);
             }
             let out_schema = lt.schema.concat(&rt.schema, right_prefix)?;
@@ -481,8 +489,10 @@ pub fn execute_bundled(plan: &Plan, catalog: &BundledCatalog) -> crate::Result<B
                 if l_idx.iter().any(|&j| lrow.values[j].at(0).is_null()) {
                     continue;
                 }
-                let key: Vec<GroupKey> =
-                    l_idx.iter().map(|&j| lrow.values[j].at(0).group_key()).collect();
+                let key: Vec<GroupKey> = l_idx
+                    .iter()
+                    .map(|&j| lrow.values[j].at(0).group_key())
+                    .collect();
                 if let Some(matches) = index.get(&key) {
                     for &ri in matches {
                         let rrow = &rt.rows[ri];
@@ -539,7 +549,10 @@ pub fn execute_bundled(plan: &Plan, catalog: &BundledCatalog) -> crate::Result<B
                     .or_insert_with(|| {
                         order.push(key);
                         (
-                            group_idx.iter().map(|&j| row.values[j].at(0).clone()).collect(),
+                            group_idx
+                                .iter()
+                                .map(|&j| row.values[j].at(0).clone())
+                                .collect(),
                             Vec::new(),
                         )
                     })
@@ -557,8 +570,7 @@ pub fn execute_bundled(plan: &Plan, catalog: &BundledCatalog) -> crate::Result<B
                     .collect()
             };
             for (gvals, members) in group_iter {
-                let mut agg_columns: Vec<Vec<Value>> =
-                    vec![Vec::with_capacity(n); aggs.len()];
+                let mut agg_columns: Vec<Vec<Value>> = vec![Vec::with_capacity(n); aggs.len()];
                 for i in 0..n {
                     for (a_idx, (spec, barg)) in aggs.iter().zip(&bound_args).enumerate() {
                         let mut state = BundleAggState::new(spec.func);
@@ -587,7 +599,9 @@ pub fn execute_bundled(plan: &Plan, catalog: &BundledCatalog) -> crate::Result<B
                         .map(|v| coerce_value(v, schema_col.dtype))
                         .collect();
                     // Collapse to Const when every iteration agrees.
-                    if col.windows(2).all(|w| w[0] == w[1] && !w[0].is_null() || (w[0].is_null() && w[1].is_null())) {
+                    if col.windows(2).all(|w| {
+                        w[0] == w[1] && !w[0].is_null() || (w[0].is_null() && w[1].is_null())
+                    }) {
                         values.push(BundledValue::Const(col[0].clone()));
                     } else {
                         values.push(BundledValue::Varying(Arc::new(col)));
@@ -611,14 +625,10 @@ pub fn execute_bundled(plan: &Plan, catalog: &BundledCatalog) -> crate::Result<B
     }
 }
 
-fn project_schema(
-    exprs: &[(String, crate::expr::Expr)],
-    input: &Schema,
-) -> crate::Result<Schema> {
+fn project_schema(exprs: &[(String, crate::expr::Expr)], input: &Schema) -> crate::Result<Schema> {
     let mut cols = Vec::with_capacity(exprs.len());
     for (name, e) in exprs {
-        let dt =
-            crate::query::infer_type(e, input)?.unwrap_or(crate::schema::DataType::Float);
+        let dt = crate::query::infer_type(e, input)?.unwrap_or(crate::schema::DataType::Float);
         cols.push(crate::schema::Column::new(name.clone(), dt));
     }
     Schema::new(cols)
@@ -691,7 +701,10 @@ fn eval_bundled(
     dtype: crate::schema::DataType,
 ) -> crate::Result<BundledValue> {
     if bundle_is_const(e, row) {
-        Ok(BundledValue::Const(coerce_value(eval_at(e, row, 0)?, dtype)))
+        Ok(BundledValue::Const(coerce_value(
+            eval_at(e, row, 0)?,
+            dtype,
+        )))
     } else {
         let mut vs = Vec::with_capacity(n);
         for i in 0..n {

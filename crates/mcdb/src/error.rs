@@ -49,6 +49,26 @@ pub enum McdbError {
         /// Number of columns produced.
         cols: usize,
     },
+    /// A supervised replicate failed (panic caught by the worker, or a
+    /// non-finite sample) and the run policy had no recovery left.
+    ReplicateFailed {
+        /// Zero-based replicate index.
+        replicate: u64,
+        /// Zero-based attempt on which the terminal failure occurred.
+        attempt: u32,
+        /// Human-readable cause (panic payload or offending value).
+        message: String,
+    },
+    /// A best-effort run dropped so many replicates that the estimate fell
+    /// below the policy's minimum success fraction.
+    TooManyFailures {
+        /// Replicates that produced a sample.
+        succeeded: usize,
+        /// Replicates attempted.
+        attempted: usize,
+        /// Minimum successes the policy required.
+        required: usize,
+    },
 }
 
 impl McdbError {
@@ -88,7 +108,10 @@ impl fmt::Display for McdbError {
                 context,
                 expected,
                 found,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             McdbError::ArityMismatch {
                 context,
                 expected,
@@ -103,6 +126,40 @@ impl fmt::Display for McdbError {
                 f,
                 "Monte Carlo estimation requires a scalar (1x1) query result, got {rows}x{cols}"
             ),
+            McdbError::ReplicateFailed {
+                replicate,
+                attempt,
+                message,
+            } => write!(
+                f,
+                "replicate {replicate} failed on attempt {attempt}: {message}"
+            ),
+            McdbError::TooManyFailures {
+                succeeded,
+                attempted,
+                required,
+            } => write!(
+                f,
+                "best-effort run degraded below its floor: {succeeded}/{attempted} replicates \
+                 succeeded, policy required {required}"
+            ),
+        }
+    }
+}
+
+impl mde_numeric::ErrorClass for McdbError {
+    /// Replicate-level failures are retryable (they came from one
+    /// replicate's draws); numeric errors delegate to their own
+    /// classification; everything else — unknown tables/columns, type and
+    /// arity mismatches, invalid plans, non-scalar results, an exhausted
+    /// best-effort floor — is a configuration or structural error that
+    /// would fail identically on every attempt.
+    fn severity(&self) -> mde_numeric::Severity {
+        use mde_numeric::ErrorClass as _;
+        match self {
+            McdbError::ReplicateFailed { .. } => mde_numeric::Severity::Retryable,
+            McdbError::Numeric(e) => e.severity(),
+            _ => mde_numeric::Severity::Fatal,
         }
     }
 }
@@ -150,5 +207,35 @@ mod tests {
         use std::error::Error as _;
         let e: McdbError = mde_numeric::NumericError::EmptyInput { context: "q" }.into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn severity_classification() {
+        use mde_numeric::{ErrorClass as _, Severity};
+        let e = McdbError::ReplicateFailed {
+            replicate: 3,
+            attempt: 1,
+            message: "worker panicked".into(),
+        };
+        assert_eq!(e.severity(), Severity::Retryable);
+        assert!(e.to_string().contains("replicate 3"));
+
+        let e = McdbError::TooManyFailures {
+            succeeded: 2,
+            attempted: 10,
+            required: 9,
+        };
+        assert_eq!(e.severity(), Severity::Fatal);
+        assert!(e.to_string().contains("2/10"));
+
+        assert_eq!(
+            McdbError::UnknownTable { name: "T".into() }.severity(),
+            Severity::Fatal
+        );
+        // Numeric errors delegate to their own classification.
+        let e: McdbError = mde_numeric::NumericError::SingularMatrix { context: "chol" }.into();
+        assert_eq!(e.severity(), Severity::Retryable);
+        let e: McdbError = mde_numeric::NumericError::invalid("sigma", "negative").into();
+        assert_eq!(e.severity(), Severity::Fatal);
     }
 }

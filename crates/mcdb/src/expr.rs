@@ -314,13 +314,14 @@ impl BoundExpr {
     /// Evaluate against a row.
     pub fn eval(&self, row: &[Value]) -> crate::Result<Value> {
         match self {
-            BoundExpr::Col(i) => row.get(*i).cloned().ok_or_else(|| {
-                McdbError::ArityMismatch {
+            BoundExpr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| McdbError::ArityMismatch {
                     context: "BoundExpr::eval".to_string(),
                     expected: i + 1,
                     found: row.len(),
-                }
-            }),
+                }),
             BoundExpr::Lit(v) => Ok(v.clone()),
             BoundExpr::Binary { op, left, right } => {
                 eval_binary(*op, left.eval(row)?, right.eval(row)?)
@@ -374,12 +375,12 @@ fn eval_arith(op: BinOp, l: Value, r: Value) -> crate::Result<Value> {
             _ => unreachable!("eval_arith only handles arithmetic ops"),
         });
     }
-    let a = l.as_f64().map_err(|_| {
-        McdbError::type_mismatch("arithmetic", "numeric", format!("{l}"))
-    })?;
-    let b = r.as_f64().map_err(|_| {
-        McdbError::type_mismatch("arithmetic", "numeric", format!("{r}"))
-    })?;
+    let a = l
+        .as_f64()
+        .map_err(|_| McdbError::type_mismatch("arithmetic", "numeric", format!("{l}")))?;
+    let b = r
+        .as_f64()
+        .map_err(|_| McdbError::type_mismatch("arithmetic", "numeric", format!("{r}")))?;
     let v = match op {
         BinOp::Add => a + b,
         BinOp::Sub => a - b,
@@ -597,11 +598,23 @@ mod tests {
         let t = Expr::lit(true);
         let f = Expr::lit(false);
         // false AND NULL = false; true AND NULL = NULL.
-        assert_eq!(f.clone().and(null.clone()).eval(&row(), &s).unwrap(), Value::Bool(false));
-        assert_eq!(t.clone().and(null.clone()).eval(&row(), &s).unwrap(), Value::Null);
+        assert_eq!(
+            f.clone().and(null.clone()).eval(&row(), &s).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            t.clone().and(null.clone()).eval(&row(), &s).unwrap(),
+            Value::Null
+        );
         // true OR NULL = true; false OR NULL = NULL.
-        assert_eq!(t.clone().or(null.clone()).eval(&row(), &s).unwrap(), Value::Bool(true));
-        assert_eq!(f.clone().or(null.clone()).eval(&row(), &s).unwrap(), Value::Null);
+        assert_eq!(
+            t.clone().or(null.clone()).eval(&row(), &s).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            f.clone().or(null.clone()).eval(&row(), &s).unwrap(),
+            Value::Null
+        );
         // NOT NULL = NULL.
         assert_eq!(null.clone().not().eval(&row(), &s).unwrap(), Value::Null);
     }
@@ -637,27 +650,41 @@ mod tests {
             Value::Bool(true)
         );
         assert_eq!(
-            Expr::lit(-4).func(ScalarFunc::Abs).eval(&row(), &s).unwrap(),
+            Expr::lit(-4)
+                .func(ScalarFunc::Abs)
+                .eval(&row(), &s)
+                .unwrap(),
             Value::Int(4)
         );
         assert_eq!(
-            Expr::lit(2.25).func(ScalarFunc::Sqrt).eval(&row(), &s).unwrap(),
+            Expr::lit(2.25)
+                .func(ScalarFunc::Sqrt)
+                .eval(&row(), &s)
+                .unwrap(),
             Value::Float(1.5)
         );
         // Domain errors degrade to NULL.
         assert_eq!(
-            Expr::lit(-1.0).func(ScalarFunc::Sqrt).eval(&row(), &s).unwrap(),
+            Expr::lit(-1.0)
+                .func(ScalarFunc::Sqrt)
+                .eval(&row(), &s)
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            Expr::lit(0.0).func(ScalarFunc::Ln).eval(&row(), &s).unwrap(),
+            Expr::lit(0.0)
+                .func(ScalarFunc::Ln)
+                .eval(&row(), &s)
+                .unwrap(),
             Value::Null
         );
     }
 
     #[test]
     fn referenced_columns() {
-        let e = Expr::col("x").add(Expr::col("y").mul(Expr::lit(2))).lt(Expr::col("x"));
+        let e = Expr::col("x")
+            .add(Expr::col("y").mul(Expr::lit(2)))
+            .lt(Expr::col("x"));
         let cols = e.referenced_columns();
         assert_eq!(cols.len(), 2);
         assert!(cols.contains("x") && cols.contains("y"));

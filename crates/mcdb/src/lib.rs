@@ -98,6 +98,7 @@ pub mod value;
 pub mod vg;
 
 pub use error::McdbError;
+pub use mde_numeric::resilience::{RunOptions, RunPolicy, RunReport};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, McdbError>;

@@ -38,12 +38,7 @@ impl MarkovChainSpec {
 
     /// Simulate the chain for `steps` transitions, producing the trajectory
     /// `D[0], …, D[steps]`.
-    pub fn run(
-        &self,
-        base: &Catalog,
-        steps: usize,
-        seed: u64,
-    ) -> crate::Result<ChainTrajectory> {
+    pub fn run(&self, base: &Catalog, steps: usize, seed: u64) -> crate::Result<ChainTrajectory> {
         let factory = StreamFactory::new(seed);
         let mut working = base.clone();
 
@@ -189,10 +184,8 @@ mod tests {
         // With phi = 0.5 and tiny noise, X[t] ≈ 100 * 0.5^t.
         let (base, spec) = ar1_chain(0.5, 0.01);
         let traj = spec.run(&base, 6, 4).unwrap();
-        let q = Plan::scan("X").aggregate(
-            &[],
-            vec![AggSpec::new("V", AggFunc::Avg, Expr::col("V"))],
-        );
+        let q =
+            Plan::scan("X").aggregate(&[], vec![AggSpec::new("V", AggFunc::Avg, Expr::col("V"))]);
         let series = traj.scalar_series(&q).unwrap();
         for (t, v) in series.iter().enumerate() {
             let expected = 100.0 * 0.5f64.powi(t as i32);
@@ -220,16 +213,10 @@ mod tests {
         let (base, spec) = ar1_chain(0.5, 0.01);
         let traj = spec.run(&base, 3, 5).unwrap();
         // The catalog at version 0 must show the initial X, not a later one.
-        let v0 = traj
-            .query_at(0, &Plan::scan("X"))
-            .unwrap()
-            .rows()[0][0]
+        let v0 = traj.query_at(0, &Plan::scan("X")).unwrap().rows()[0][0]
             .as_f64()
             .unwrap();
-        let v3 = traj
-            .query_at(3, &Plan::scan("X"))
-            .unwrap()
-            .rows()[0][0]
+        let v3 = traj.query_at(3, &Plan::scan("X")).unwrap().rows()[0][0]
             .as_f64()
             .unwrap();
         assert!((v0 - 100.0).abs() < 1.0);
@@ -282,21 +269,24 @@ mod tests {
 
         // Block 1: P ~ Beta(1 + Σx, 1 + n − Σx) — parameters via a SQL
         // aggregate over the previous X (the conjugate update, in-database).
-        let posterior_params = Plan::scan("X").aggregate(
-            &[],
-            vec![
-                AggSpec::new("A", AggFunc::Sum, Expr::col("V").add(Expr::lit(0))),
-            ],
-        )
-        .project(&[
-            ("A", Expr::col("A").add(Expr::lit(1)).add(Expr::lit(0.0))),
-            (
-                "B",
-                Expr::lit((n_units + 1) as i64)
-                    .sub(Expr::col("A"))
-                    .add(Expr::lit(0.0)),
-            ),
-        ]);
+        let posterior_params = Plan::scan("X")
+            .aggregate(
+                &[],
+                vec![AggSpec::new(
+                    "A",
+                    AggFunc::Sum,
+                    Expr::col("V").add(Expr::lit(0)),
+                )],
+            )
+            .project(&[
+                ("A", Expr::col("A").add(Expr::lit(1)).add(Expr::lit(0.0))),
+                (
+                    "B",
+                    Expr::lit((n_units + 1) as i64)
+                        .sub(Expr::col("A"))
+                        .add(Expr::lit(0.0)),
+                ),
+            ]);
         let draw_p = RandomTableSpec::builder("P")
             .for_each(Plan::scan("INIT_P")) // single-row driver
             .with_vg(Arc::new(BetaVg))
@@ -324,10 +314,8 @@ mod tests {
         let traj = spec.run(&base, steps, 99).unwrap();
 
         // Collect P's trajectory after burn-in.
-        let p_query = Plan::scan("P").aggregate(
-            &[],
-            vec![AggSpec::new("P", AggFunc::Avg, Expr::col("P"))],
-        );
+        let p_query =
+            Plan::scan("P").aggregate(&[], vec![AggSpec::new("P", AggFunc::Avg, Expr::col("P"))]);
         let mut ps = Vec::new();
         for t in 100..=steps {
             ps.push(

@@ -17,12 +17,24 @@
 //!   in sales with at least 50% probability?" (Perez et al.) — via
 //!   [`McResult::prob_above`]/[`McResult::threshold_decision`].
 
+//!
+//! Runs are **supervised**: per-replicate execution is wrapped in
+//! `catch_unwind`, panics and non-finite samples become typed
+//! [`McdbError::ReplicateFailed`](crate::McdbError::ReplicateFailed)
+//! failures, and a [`RunPolicy`] decides whether a failing replicate
+//! aborts the run, retries on a fresh deterministic sub-seed, or is
+//! dropped best-effort with the damage recorded in a [`RunReport`]. See
+//! [`MonteCarloQuery::run_with_options`].
+
 use crate::query::{Catalog, Plan};
 use crate::random_table::RandomTableSpec;
+use mde_numeric::resilience::{
+    catch_panic, retry_seed, supervise_replicate, AttemptFailure, FaultKind, ReplicateOutcome,
+    RunOptions, RunPolicy, RunReport,
+};
 use mde_numeric::rng::StreamFactory;
 use mde_numeric::stats::{
-    mean_confidence_interval, proportion_confidence_interval, quantile, ConfidenceInterval,
-    Summary,
+    mean_confidence_interval, proportion_confidence_interval, quantile, ConfidenceInterval, Summary,
 };
 
 /// A Monte Carlo estimation task: realize the stochastic tables, run the
@@ -49,22 +61,23 @@ impl MonteCarloQuery {
     ///
     /// Iteration `i` draws from stream `i` of a [`StreamFactory`] seeded
     /// with `seed`, so results are identical to a parallel run with the
-    /// same seed.
+    /// same seed. Equivalent to [`MonteCarloQuery::run_with_options`]
+    /// under [`RunPolicy::FailFast`]: the first failing replicate aborts
+    /// the run with a typed error (a panicking VG function surfaces as
+    /// [`McdbError::ReplicateFailed`](crate::McdbError::ReplicateFailed),
+    /// never as a panic in the caller).
     pub fn run(&self, catalog: &Catalog, n: usize, seed: u64) -> crate::Result<McResult> {
-        let factory = StreamFactory::new(seed);
-        let mut scratch = catalog.clone();
-        let mut samples = Vec::with_capacity(n);
-        for i in 0..n {
-            samples.push(self.one_iteration(&mut scratch, &factory, i as u64)?);
-        }
-        Ok(McResult::new(samples))
+        Ok(self
+            .run_with_options(catalog, n, seed, &RunOptions::default())?
+            .result)
     }
 
     /// Run `n` iterations across `threads` worker threads.
     ///
     /// Deterministic: iteration `i` uses stream `i` regardless of which
     /// thread executes it, so `run_parallel(.., seed)` equals
-    /// `run(.., seed)` sample-for-sample.
+    /// `run(.., seed)` sample-for-sample. Supervision is as in
+    /// [`MonteCarloQuery::run`] (fail-fast with typed errors).
     pub fn run_parallel(
         &self,
         catalog: &Catalog,
@@ -72,10 +85,77 @@ impl MonteCarloQuery {
         seed: u64,
         threads: usize,
     ) -> crate::Result<McResult> {
-        let threads = threads.max(1).min(n.max(1));
+        Ok(self
+            .run_parallel_with_options(catalog, n, seed, threads, &RunOptions::default())?
+            .result)
+    }
+
+    /// Run `n` supervised Monte Carlo iterations sequentially under a
+    /// [`RunPolicy`].
+    ///
+    /// Each replicate executes inside `catch_unwind`; panics, typed
+    /// errors, and non-finite samples are classified and handled per the
+    /// policy:
+    ///
+    /// * [`RunPolicy::FailFast`] — abort on the first failure with the
+    ///   replicate's typed error.
+    /// * [`RunPolicy::Retry`] — re-execute the replicate on a fresh
+    ///   deterministic sub-seed ([`retry_seed`]) up to `max_attempts`.
+    /// * [`RunPolicy::BestEffort`] — drop failing replicates; the run
+    ///   succeeds as long as at least `min_fraction` of replicates
+    ///   produce a sample, and the returned [`RunReport`] carries the
+    ///   complete failure ledger.
+    ///
+    /// Fatal errors (unknown columns, invalid plans, bad parameters —
+    /// anything that would fail identically on every attempt) abort the
+    /// run under every policy. Deterministic given `(seed, policy)`:
+    /// identical to [`MonteCarloQuery::run_parallel_with_options`] at any
+    /// thread count, including which replicates are retried or dropped.
+    pub fn run_with_options(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+        opts: &RunOptions,
+    ) -> crate::Result<McRun> {
         let factory = StreamFactory::new(seed);
-        let mut results: Vec<Option<crate::Result<Vec<(usize, f64)>>>> =
-            (0..threads).map(|_| None).collect();
+        let mut scratch = catalog.clone();
+        let mut samples = Vec::with_capacity(n);
+        let mut report = RunReport::new();
+        for i in 0..n {
+            let outcome =
+                self.supervised_iteration(catalog, &mut scratch, &factory, seed, i as u64, opts);
+            report.absorb(&outcome);
+            match outcome {
+                ReplicateOutcome::Success { value, .. } => samples.push(value),
+                ReplicateOutcome::Dropped { .. } => {}
+                ReplicateOutcome::Abort { error, failures } => {
+                    return Err(abort_error(error, &failures));
+                }
+            }
+        }
+        finish_run(samples, report, n, &opts.policy)
+    }
+
+    /// Run `n` supervised iterations across `threads` worker threads under
+    /// a [`RunPolicy`]. Policy semantics are those of
+    /// [`MonteCarloQuery::run_with_options`], and the result — samples,
+    /// retries, drops, and the [`RunReport`] ledger — is bit-identical to
+    /// the sequential run at any thread count: retry sub-seeds are a pure
+    /// function of `(seed, replicate, attempt)`, so a retried replicate
+    /// produces the same sample no matter which worker re-executes it.
+    pub fn run_parallel_with_options(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+        threads: usize,
+        opts: &RunOptions,
+    ) -> crate::Result<McRun> {
+        type WorkerOut = Result<Vec<(usize, f64)>, McdbAbort>;
+        let threads = threads.clamp(1, n.max(1));
+        let factory = StreamFactory::new(seed);
+        let mut results: Vec<Option<(WorkerOut, RunReport)>> = (0..threads).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
@@ -84,16 +164,29 @@ impl MonteCarloQuery {
                 handles.push(scope.spawn(move |_| {
                     let mut scratch = cat.clone();
                     let mut out = Vec::new();
+                    let mut report = RunReport::new();
                     // Static round-robin iteration assignment.
                     let mut i = t;
                     while i < n {
-                        match spec.one_iteration(&mut scratch, &factory, i as u64) {
-                            Ok(v) => out.push((i, v)),
-                            Err(e) => return Err(e),
+                        let outcome = spec.supervised_iteration(
+                            cat,
+                            &mut scratch,
+                            &factory,
+                            seed,
+                            i as u64,
+                            opts,
+                        );
+                        report.absorb(&outcome);
+                        match outcome {
+                            ReplicateOutcome::Success { value, .. } => out.push((i, value)),
+                            ReplicateOutcome::Dropped { .. } => {}
+                            ReplicateOutcome::Abort { error, failures } => {
+                                return (Err(McdbAbort { error, failures }), report);
+                            }
                         }
                         i += threads;
                     }
-                    Ok(out)
+                    (Ok(out), report)
                 }));
             }
             for (slot, h) in results.iter_mut().zip(handles) {
@@ -103,11 +196,84 @@ impl MonteCarloQuery {
         .expect("crossbeam scope panicked");
 
         let mut indexed = Vec::with_capacity(n);
-        for r in results.into_iter().flatten() {
-            indexed.extend(r?);
+        let mut report = RunReport::new();
+        let mut abort: Option<McdbAbort> = None;
+        for (r, worker_report) in results.into_iter().flatten() {
+            report.merge(worker_report);
+            match r {
+                Ok(chunk) => indexed.extend(chunk),
+                Err(a) => abort = Some(pick_abort(abort, a)),
+            }
+        }
+        if let Some(a) = abort {
+            return Err(abort_error(a.error, &a.failures));
         }
         indexed.sort_by_key(|(i, _)| *i);
-        Ok(McResult::new(indexed.into_iter().map(|(_, v)| v).collect()))
+        finish_run(
+            indexed.into_iter().map(|(_, v)| v).collect(),
+            report,
+            n,
+            &opts.policy,
+        )
+    }
+
+    /// Supervise one replicate to completion: run the attempt loop under
+    /// the policy, executing each attempt inside `catch_unwind`, injecting
+    /// any scheduled fault, deriving fresh sub-seeds for reseeding
+    /// retries, and resetting the scratch catalog after a failed attempt
+    /// (a panic can leave partially realized tables behind).
+    fn supervised_iteration(
+        &self,
+        catalog: &Catalog,
+        scratch: &mut Catalog,
+        factory: &StreamFactory,
+        master_seed: u64,
+        i: u64,
+        opts: &RunOptions,
+    ) -> ReplicateOutcome<f64, crate::McdbError> {
+        supervise_replicate(i, &opts.policy, |a| {
+            // Attempt 0 keeps the legacy stream layout (bit-compatible
+            // with unsupervised runs); reseeding retries derive a fresh
+            // deterministic sub-seed so they never replay the failing
+            // stream.
+            let iter_factory = if a == 0 || !opts.policy.reseeds() {
+                factory.child(i)
+            } else {
+                StreamFactory::new(retry_seed(master_seed, i, a))
+            };
+            let injected = opts.fault(i, a);
+            if injected == Some(FaultKind::Error) {
+                return Err(AttemptFailure::from_error(crate::McdbError::Numeric(
+                    mde_numeric::NumericError::NoConvergence {
+                        context: "injected fault",
+                        iterations: 0,
+                    },
+                )));
+            }
+            let run = catch_panic(|| -> crate::Result<f64> {
+                if injected == Some(FaultKind::Panic) {
+                    panic!("injected fault: panic in replicate {i} attempt {a}");
+                }
+                let v = self.realize_and_query(scratch, &iter_factory)?;
+                Ok(if injected == Some(FaultKind::Nan) {
+                    f64::NAN
+                } else {
+                    v
+                })
+            });
+            match run {
+                Err(panic_msg) => {
+                    *scratch = catalog.clone();
+                    Err(AttemptFailure::from_panic(panic_msg))
+                }
+                Ok(Err(e)) => {
+                    *scratch = catalog.clone();
+                    Err(AttemptFailure::from_error(e))
+                }
+                Ok(Ok(v)) if !v.is_finite() => Err(AttemptFailure::non_finite(v)),
+                Ok(Ok(v)) => Ok(v),
+            }
+        })
     }
 
     /// Run `n` iterations through the tuple-bundle engine: realize every
@@ -120,12 +286,7 @@ impl MonteCarloQuery {
     /// layout, so the two are not sample-for-sample identical; the bundle
     /// engine's per-iteration equivalence with naive execution is what the
     /// property tests pin down.
-    pub fn run_bundled(
-        &self,
-        catalog: &Catalog,
-        n: usize,
-        seed: u64,
-    ) -> crate::Result<McResult> {
+    pub fn run_bundled(&self, catalog: &Catalog, n: usize, seed: u64) -> crate::Result<McResult> {
         use crate::bundle::{execute_bundled, BundledCatalog, BundledTable};
         let factory = StreamFactory::new(seed);
         let mut bc = BundledCatalog::new(n);
@@ -146,13 +307,15 @@ impl MonteCarloQuery {
         Ok(McResult::new(result.scalar_samples()?))
     }
 
-    fn one_iteration(
+    /// Realize every stochastic table from `iter_factory`'s streams and
+    /// evaluate the aggregate query. The attempt body of a supervised
+    /// replicate: the caller chooses the factory (legacy `child(i)` on
+    /// attempt 0, a [`retry_seed`]-derived one on reseeding retries).
+    fn realize_and_query(
         &self,
         scratch: &mut Catalog,
-        factory: &StreamFactory,
-        iteration: u64,
+        iter_factory: &StreamFactory,
     ) -> crate::Result<f64> {
-        let iter_factory = factory.child(iteration);
         for (k, spec) in self.specs.iter().enumerate() {
             let mut rng = iter_factory.stream(k as u64);
             let t = spec.realize(scratch, &mut rng)?;
@@ -169,6 +332,85 @@ impl MonteCarloQuery {
         }
         v.as_f64()
     }
+}
+
+/// A supervised Monte Carlo run: the estimation result over the surviving
+/// replicates plus the failure ledger.
+#[derive(Debug, Clone)]
+pub struct McRun {
+    /// The Monte Carlo sample (dropped replicates simply absent).
+    pub result: McResult,
+    /// Attempted/succeeded/retried/dropped counts and per-failure causes;
+    /// [`RunReport::ci_widened`] is set whenever the estimate rests on
+    /// fewer samples than requested.
+    pub report: RunReport,
+}
+
+/// An aborting replicate as carried out of a worker: the typed error when
+/// one exists, plus the attempt ledger for synthesizing one when not.
+struct McdbAbort {
+    error: Option<crate::McdbError>,
+    failures: Vec<mde_numeric::resilience::FailureRecord>,
+}
+
+/// Prefer the abort from the earliest replicate so sequential and parallel
+/// runs surface the same error.
+fn pick_abort(current: Option<McdbAbort>, candidate: McdbAbort) -> McdbAbort {
+    match current {
+        None => candidate,
+        Some(c) => {
+            let rep = |a: &McdbAbort| a.failures.last().map(|f| f.replicate).unwrap_or(u64::MAX);
+            if rep(&candidate) < rep(&c) {
+                candidate
+            } else {
+                c
+            }
+        }
+    }
+}
+
+/// The error surfaced when a replicate aborts the run: the replicate's own
+/// typed error when it produced one, otherwise a
+/// [`ReplicateFailed`](crate::McdbError::ReplicateFailed) synthesized from
+/// the terminal failure record (panics and non-finite samples).
+fn abort_error(
+    error: Option<crate::McdbError>,
+    failures: &[mde_numeric::resilience::FailureRecord],
+) -> crate::McdbError {
+    if let Some(e) = error {
+        return e;
+    }
+    match failures.last() {
+        Some(f) => crate::McdbError::ReplicateFailed {
+            replicate: f.replicate,
+            attempt: f.attempt,
+            message: f.message.clone(),
+        },
+        None => crate::McdbError::invalid_plan("replicate aborted without a failure record"),
+    }
+}
+
+/// Seal a supervised run: enforce the best-effort success floor, normalize
+/// the ledger, and package the surviving samples.
+fn finish_run(
+    samples: Vec<f64>,
+    mut report: RunReport,
+    n: usize,
+    policy: &RunPolicy,
+) -> crate::Result<McRun> {
+    report.normalize();
+    let required = policy.required_successes(n);
+    if report.succeeded < required {
+        return Err(crate::McdbError::TooManyFailures {
+            succeeded: report.succeeded,
+            attempted: report.attempted,
+            required,
+        });
+    }
+    Ok(McRun {
+        result: McResult::new(samples),
+        report,
+    })
 }
 
 /// The Monte Carlo sample of a query result, with estimation helpers.
@@ -470,9 +712,15 @@ mod tests {
         let db = demand_catalog();
         let res = revenue_query().run(&db, 400, 9).unwrap();
         // P(total > 150) is essentially 1.
-        assert_eq!(res.threshold_decision(150.0, 0.5, 0.95).unwrap(), Some(true));
+        assert_eq!(
+            res.threshold_decision(150.0, 0.5, 0.95).unwrap(),
+            Some(true)
+        );
         // P(total > 250) is essentially 0.
-        assert_eq!(res.threshold_decision(250.0, 0.5, 0.95).unwrap(), Some(false));
+        assert_eq!(
+            res.threshold_decision(250.0, 0.5, 0.95).unwrap(),
+            Some(false)
+        );
         // The decision is always consistent with the Wilson interval.
         let ci = res.prob_above(200.0, 0.95).unwrap();
         let decision = res.threshold_decision(200.0, 0.5, 0.95).unwrap();
@@ -486,7 +734,9 @@ mod tests {
 
         // A deterministic inconclusive case: 50/100 successes straddles 0.5.
         let balanced = McResult::new(
-            (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+            (0..100)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
         );
         assert_eq!(balanced.threshold_decision(0.0, 0.5, 0.95).unwrap(), None);
     }
@@ -572,15 +822,16 @@ mod tests {
             .for_each(Plan::scan("REGIONS"))
             .with_vg(std::sync::Arc::new(crate::vg::NormalVg))
             .vg_params_exprs(&[Expr::col("MEAN"), Expr::lit(5.0)])
-            .select(&[
-                ("REGION", Expr::col("NAME")),
-                ("AMT", Expr::col("VALUE")),
-            ])
+            .select(&[("REGION", Expr::col("NAME")), ("AMT", Expr::col("VALUE"))])
             .build()
             .unwrap();
         let q = Plan::scan("SALES").aggregate(
             &["REGION"],
-            vec![AggSpec::new("TOTAL", crate::query::AggFunc::Sum, Expr::col("AMT"))],
+            vec![AggSpec::new(
+                "TOTAL",
+                crate::query::AggFunc::Sum,
+                Expr::col("AMT"),
+            )],
         );
         let grouped = GroupedMonteCarloQuery::new(vec![spec], q, "REGION", "TOTAL");
         let res = grouped.run(&db, 300, 5).unwrap();
@@ -601,6 +852,134 @@ mod tests {
         let east = res.group(&Value::from("east")).unwrap();
         assert_eq!(east.n(), 300);
         assert!((east.mean() - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn supervised_fail_fast_matches_legacy_run() {
+        let db = demand_catalog();
+        let q = revenue_query();
+        let legacy = q.run(&db, 64, 13).unwrap();
+        let supervised = q
+            .run_with_options(&db, 64, 13, &RunOptions::default())
+            .unwrap();
+        assert_eq!(legacy.samples(), supervised.result.samples());
+        assert_eq!(supervised.report.attempted, 64);
+        assert_eq!(supervised.report.succeeded, 64);
+        assert_eq!(supervised.report.retried, 0);
+        assert_eq!(supervised.report.dropped, 0);
+        assert!(!supervised.report.ci_widened);
+        assert!(supervised.report.failures.is_empty());
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_retried() {
+        use mde_numeric::resilience::FaultPlan;
+        let db = demand_catalog();
+        let q = revenue_query();
+        let opts = RunOptions::policy(RunPolicy::Retry {
+            max_attempts: 3,
+            reseed: true,
+        })
+        .with_faults(FaultPlan::new().fail_on(5, 0, FaultKind::Panic));
+        let run = q.run_with_options(&db, 32, 13, &opts).unwrap();
+        assert_eq!(run.result.n(), 32, "retried replicate still contributes");
+        assert_eq!(run.report.retried, 1);
+        assert_eq!(run.report.dropped, 0);
+        assert_eq!(
+            run.report.failure_keys(),
+            vec![(5, 0, mde_numeric::resilience::FailureKind::Panic)]
+        );
+        // The retried sample differs from the unfaulted one (fresh
+        // sub-seed), everything else is untouched.
+        let clean = q.run(&db, 32, 13).unwrap();
+        for (i, (a, b)) in clean.samples().iter().zip(run.result.samples()).enumerate() {
+            if i == 5 {
+                assert_ne!(a, b);
+            } else {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovery_is_identical_across_thread_counts() {
+        use mde_numeric::resilience::FaultPlan;
+        let db = demand_catalog();
+        let q = revenue_query();
+        let opts = RunOptions::policy(RunPolicy::Retry {
+            max_attempts: 2,
+            reseed: true,
+        })
+        .with_faults(FaultPlan::new().fail_on(2, 0, FaultKind::Panic).fail_on(
+            9,
+            0,
+            FaultKind::Nan,
+        ));
+        let seq = q.run_with_options(&db, 24, 17, &opts).unwrap();
+        for threads in [1, 3, 8] {
+            let par = q
+                .run_parallel_with_options(&db, 24, 17, threads, &opts)
+                .unwrap();
+            assert_eq!(seq.result.samples(), par.result.samples());
+            assert_eq!(seq.report, par.report);
+        }
+    }
+
+    #[test]
+    fn best_effort_ledger_matches_fault_plan() {
+        use mde_numeric::resilience::FaultPlan;
+        let db = demand_catalog();
+        let q = revenue_query();
+        let policy = RunPolicy::BestEffort { min_fraction: 0.8 };
+        let plan = FaultPlan::new()
+            .fail_on(1, 0, FaultKind::Nan)
+            .fail_on(7, 0, FaultKind::Panic)
+            .fail_on(11, 0, FaultKind::Error);
+        let opts = RunOptions::policy(policy).with_faults(plan.clone());
+        let run = q.run_with_options(&db, 20, 3, &opts).unwrap();
+        assert_eq!(run.result.n(), 17);
+        assert_eq!(run.report.dropped, 3);
+        assert!(run.report.ci_widened);
+        assert_eq!(
+            run.report.failure_keys(),
+            plan.expected_failure_keys(&policy)
+        );
+        // Degrading below the floor is a typed error.
+        let strict =
+            RunOptions::policy(RunPolicy::BestEffort { min_fraction: 0.95 }).with_faults(plan);
+        match q.run_with_options(&db, 20, 3, &strict) {
+            Err(crate::McdbError::TooManyFailures {
+                succeeded,
+                attempted,
+                required,
+            }) => {
+                assert_eq!((succeeded, attempted, required), (17, 20, 19));
+            }
+            other => panic!("expected TooManyFailures, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fatal_errors_abort_under_every_policy() {
+        // A structurally broken query (unknown table) must abort even
+        // under the most forgiving policies — retrying cannot help.
+        let db = demand_catalog();
+        let q = MonteCarloQuery::new(vec![], Plan::scan("NO_SUCH_TABLE"));
+        for policy in [
+            RunPolicy::FailFast,
+            RunPolicy::Retry {
+                max_attempts: 5,
+                reseed: true,
+            },
+            RunPolicy::BestEffort { min_fraction: 0.0 },
+        ] {
+            match q.run_with_options(&db, 4, 1, &RunOptions::policy(policy)) {
+                Err(crate::McdbError::UnknownTable { name }) => {
+                    assert_eq!(name, "NO_SUCH_TABLE")
+                }
+                other => panic!("expected UnknownTable under {policy:?}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -122,8 +122,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> crate::Result<Table> {
             let mut states: HashMap<Vec<GroupKey>, (Row, Vec<AggState>)> = HashMap::new();
             let mut order: Vec<Vec<GroupKey>> = Vec::new();
             for row in t.rows() {
-                let key: Vec<GroupKey> =
-                    group_idx.iter().map(|&j| row[j].group_key()).collect();
+                let key: Vec<GroupKey> = group_idx.iter().map(|&j| row[j].group_key()).collect();
                 let entry = states.entry(key.clone()).or_insert_with(|| {
                     order.push(key);
                     (
@@ -412,7 +411,10 @@ mod tests {
             .query(&Plan::scan("sales").join(Plan::scan("regions"), &[("region", "name")]))
             .unwrap();
         assert_eq!(t.len(), 4);
-        assert_eq!(t.schema().names(), vec!["id", "region", "amount", "name", "tax"]);
+        assert_eq!(
+            t.schema().names(),
+            vec!["id", "region", "amount", "name", "tax"]
+        );
         // Row order preserved from left side.
         assert_eq!(t.rows()[0][4], Value::from(0.1));
         assert_eq!(t.rows()[1][4], Value::from(0.2));
@@ -539,7 +541,12 @@ mod tests {
         let ids = t.column("id").unwrap();
         assert_eq!(
             ids,
-            vec![Value::from(4), Value::from(3), Value::from(1), Value::from(2)]
+            vec![
+                Value::from(4),
+                Value::from(3),
+                Value::from(1),
+                Value::from(2)
+            ]
         );
     }
 
@@ -570,7 +577,10 @@ mod tests {
                     Expr::col("amount").mul(Expr::lit(1.0).sub(Expr::col("tax"))),
                 ),
             ])
-            .aggregate(&["region"], vec![AggSpec::new("net_total", AggFunc::Sum, Expr::col("net"))])
+            .aggregate(
+                &["region"],
+                vec![AggSpec::new("net_total", AggFunc::Sum, Expr::col("net"))],
+            )
             .sort(vec![SortKey::asc(Expr::col("region"))]);
         let t = c.query(&p).unwrap();
         assert_eq!(t.len(), 2);

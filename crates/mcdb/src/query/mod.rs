@@ -36,9 +36,11 @@ impl Catalog {
 
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> crate::Result<&Table> {
-        self.tables.get(name).ok_or_else(|| McdbError::UnknownTable {
-            name: name.to_string(),
-        })
+        self.tables
+            .get(name)
+            .ok_or_else(|| McdbError::UnknownTable {
+                name: name.to_string(),
+            })
     }
 
     /// Remove a table, returning it if present.
@@ -319,14 +321,14 @@ impl Plan {
                 input.explain_into(out, depth + 1);
             }
             Plan::Project { input, exprs } => {
-                let cols: Vec<String> =
-                    exprs.iter().map(|(n, e)| format!("{n}={e}")).collect();
+                let cols: Vec<String> = exprs.iter().map(|(n, e)| format!("{n}={e}")).collect();
                 out.push_str(&format!("{pad}Project [{}]\n", cols.join(", ")));
                 input.explain_into(out, depth + 1);
             }
-            Plan::Join { left, right, on, .. } => {
-                let keys: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+            Plan::Join {
+                left, right, on, ..
+            } => {
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
                 out.push_str(&format!("{pad}HashJoin on {}\n", keys.join(" AND ")));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
@@ -347,9 +349,7 @@ impl Plan {
             Plan::Sort { input, keys } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|k| {
-                        format!("{} {}", k.expr, if k.ascending { "ASC" } else { "DESC" })
-                    })
+                    .map(|k| format!("{} {}", k.expr, if k.ascending { "ASC" } else { "DESC" }))
                     .collect();
                 out.push_str(&format!("{pad}Sort [{}]\n", ks.join(", ")));
                 input.explain_into(out, depth + 1);
@@ -489,7 +489,11 @@ mod tests {
         c.insert(
             Table::build(
                 "t",
-                &[("id", DataType::Int), ("x", DataType::Float), ("s", DataType::Str)],
+                &[
+                    ("id", DataType::Int),
+                    ("x", DataType::Float),
+                    ("s", DataType::Str),
+                ],
             )
             .row(vec![Value::from(1), Value::from(2.0), Value::from("a")])
             .finish()
@@ -532,7 +536,12 @@ mod tests {
         let types: Vec<DataType> = s.columns().iter().map(|col| col.dtype).collect();
         assert_eq!(
             types,
-            vec![DataType::Int, DataType::Float, DataType::Float, DataType::Bool]
+            vec![
+                DataType::Int,
+                DataType::Float,
+                DataType::Float,
+                DataType::Bool
+            ]
         );
     }
 

@@ -222,9 +222,7 @@ fn plan_column_names(plan: &Plan) -> BTreeSet<String> {
             s.extend(plan_column_names(right));
             s
         }
-        Plan::Aggregate {
-            group_by, aggs, ..
-        } => group_by
+        Plan::Aggregate { group_by, aggs, .. } => group_by
             .iter()
             .cloned()
             .chain(aggs.iter().map(|a| a.name.clone()))
@@ -268,12 +266,15 @@ mod tests {
     }
 
     fn visits() -> Table {
-        Table::build("visits", &[("vid", DataType::Int), ("cost", DataType::Float)])
-            .row(vec![Value::from(1), Value::from(10.0)])
-            .row(vec![Value::from(1), Value::from(20.0)])
-            .row(vec![Value::from(2), Value::from(5.0)])
-            .finish()
-            .unwrap()
+        Table::build(
+            "visits",
+            &[("vid", DataType::Int), ("cost", DataType::Float)],
+        )
+        .row(vec![Value::from(1), Value::from(10.0)])
+        .row(vec![Value::from(1), Value::from(20.0)])
+        .row(vec![Value::from(2), Value::from(5.0)])
+        .finish()
+        .unwrap()
     }
 
     fn is_filter_below_join(p: &Plan) -> bool {
@@ -357,7 +358,11 @@ mod tests {
         for p in plans {
             let opt = c.query(&p).unwrap();
             let raw = c.query_unoptimized(&p).unwrap();
-            assert_eq!(opt.rows(), raw.rows(), "optimizer changed results for {p:?}");
+            assert_eq!(
+                opt.rows(),
+                raw.rows(),
+                "optimizer changed results for {p:?}"
+            );
         }
     }
 

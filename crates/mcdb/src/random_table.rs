@@ -45,7 +45,10 @@ impl std::fmt::Debug for RandomTableSpec {
         f.debug_struct("RandomTableSpec")
             .field("name", &self.name)
             .field("vg", &self.vg.name())
-            .field("select", &self.select.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .field(
+                "select",
+                &self.select.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -90,8 +93,8 @@ impl RandomTableSpec {
         let combined = self.combined_schema(catalog)?;
         let mut cols = Vec::with_capacity(self.select.len());
         for (name, e) in &self.select {
-            let dt = crate::query::infer_type(e, &combined)?
-                .unwrap_or(crate::schema::DataType::Float);
+            let dt =
+                crate::query::infer_type(e, &combined)?.unwrap_or(crate::schema::DataType::Float);
             cols.push(crate::schema::Column::new(name.clone(), dt));
         }
         Schema::new(cols)
@@ -174,9 +177,7 @@ impl RandomTableSpec {
                 for (be, col) in bound_select.iter().zip(out_schema.columns()) {
                     let v = be.eval(&crow)?;
                     let v = match (&v, col.dtype) {
-                        (Value::Int(i), crate::schema::DataType::Float) => {
-                            Value::Float(*i as f64)
-                        }
+                        (Value::Int(i), crate::schema::DataType::Float) => Value::Float(*i as f64),
                         _ => v,
                     };
                     orow.push(v);
@@ -376,7 +377,10 @@ mod tests {
         for (i, row) in t.rows().iter().enumerate() {
             let v = row[0].as_f64().unwrap();
             let expected_band = (i as f64 + 1.0) * 1000.0;
-            assert!((v - expected_band).abs() < 500.0, "row {i} out of band: {v}");
+            assert!(
+                (v - expected_band).abs() < 500.0,
+                "row {i} out of band: {v}"
+            );
         }
     }
 

@@ -45,12 +45,7 @@ impl Schema {
 
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> crate::Result<Self> {
-        Schema::new(
-            pairs
-                .iter()
-                .map(|(n, t)| Column::new(*n, *t))
-                .collect(),
-        )
+        Schema::new(pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect())
     }
 
     /// The columns in order.
@@ -164,7 +159,9 @@ mod tests {
         let s = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]).unwrap();
         assert!(s.validate_row(&[Value::from(1), Value::from("x")]).is_ok());
         assert!(s.validate_row(&[Value::from(1)]).is_err());
-        assert!(s.validate_row(&[Value::from("x"), Value::from("y")]).is_err());
+        assert!(s
+            .validate_row(&[Value::from("x"), Value::from("y")])
+            .is_err());
         // Nulls always allowed.
         assert!(s.validate_row(&[Value::Null, Value::Null]).is_ok());
     }
@@ -181,9 +178,6 @@ mod tests {
         let a = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
         let b = Schema::from_pairs(&[("id", DataType::Int), ("y", DataType::Float)]).unwrap();
         let c = a.concat(&b, "r").unwrap();
-        assert_eq!(
-            c.names(),
-            vec!["id", "x", "r.id", "y"]
-        );
+        assert_eq!(c.names(), vec!["id", "x", "r.id", "y"]);
     }
 }

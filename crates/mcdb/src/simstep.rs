@@ -28,12 +28,7 @@ pub trait AgentTransition: Send + Sync {
     /// of its neighbors (agents in the same or adjacent partitions,
     /// including the agent itself). Must return a row matching the agent
     /// table's schema.
-    fn transition(
-        &self,
-        agent: &Row,
-        neighbors: &[&Row],
-        rng: &mut Rng,
-    ) -> crate::Result<Row>;
+    fn transition(&self, agent: &Row, neighbors: &[&Row], rng: &mut Rng) -> crate::Result<Row>;
 }
 
 /// Blanket implementation so closures can be used directly.
@@ -104,10 +99,7 @@ impl SelfJoinSim {
         // Resolve each partition's neighbor row set: own rows plus rows of
         // adjacent partitions that exist.
         let neighbor_rows_of = |pid: usize| -> Vec<&Row> {
-            let mut rows: Vec<&Row> = part_rows[pid]
-                .iter()
-                .map(|&i| &agents.rows()[i])
-                .collect();
+            let mut rows: Vec<&Row> = part_rows[pid].iter().map(|&i| &agents.rows()[i]).collect();
             for adj in (self.adjacency)(&part_key_values[pid]) {
                 if let Some(&apid) = partitions.get(&adj.group_key()) {
                     if apid != pid {
@@ -242,10 +234,7 @@ mod tests {
     }
 
     fn count_infected(t: &Table) -> usize {
-        t.rows()
-            .iter()
-            .filter(|r| r[2].as_bool().unwrap())
-            .count()
+        t.rows().iter().filter(|r| r[2].as_bool().unwrap()).count()
     }
 
     #[test]
@@ -334,11 +323,7 @@ mod tests {
         .finish()
         .unwrap();
         let out = sim.step(&t, 1).unwrap();
-        let n: Vec<i64> = out
-            .rows()
-            .iter()
-            .map(|r| r[2].as_i64().unwrap())
-            .collect();
+        let n: Vec<i64> = out.rows().iter().map(|r| r[2].as_i64().unwrap()).collect();
         // Cells 0 and 1 are mutually adjacent: everyone there sees 5.
         // The isolated agent sees only itself.
         assert_eq!(n, vec![5, 5, 5, 5, 5, 1]);
@@ -349,9 +334,7 @@ mod tests {
         let sim = SelfJoinSim::new(
             "cell",
             |_k: &Value| vec![],
-            Arc::new(|_a: &Row, _n: &[&Row], _rng: &mut Rng| {
-                Ok(vec![Value::from("wrong schema")])
-            }),
+            Arc::new(|_a: &Row, _n: &[&Row], _rng: &mut Rng| Ok(vec![Value::from("wrong schema")])),
         );
         assert!(sim.step(&line_of_agents(3), 1).is_err());
     }

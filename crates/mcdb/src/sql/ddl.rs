@@ -34,8 +34,8 @@ use crate::expr::Expr;
 use crate::query::Plan;
 use crate::random_table::RandomTableSpec;
 use crate::vg::{
-    BackwardWalkVg, BayesianDemandVg, ExponentialVg, NormalVg, PoissonVg, StockOptionVg,
-    UniformVg, VgFunction,
+    BackwardWalkVg, BayesianDemandVg, ExponentialVg, NormalVg, PoissonVg, StockOptionVg, UniformVg,
+    VgFunction,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -123,16 +123,21 @@ pub fn parse_create_random_table(
             ))
         }
     };
-    let expect_ident = |tokens: &[Token], pos: &mut usize, what: &str| -> Result<String, SqlError> {
-        match &tokens[*pos].kind {
-            TokenKind::Ident(s) => {
-                let s = s.clone();
-                *pos += 1;
-                Ok(s)
+    let expect_ident =
+        |tokens: &[Token], pos: &mut usize, what: &str| -> Result<String, SqlError> {
+            match &tokens[*pos].kind {
+                TokenKind::Ident(s) => {
+                    let s = s.clone();
+                    *pos += 1;
+                    Ok(s)
+                }
+                other => Err(err_at(
+                    tokens,
+                    *pos,
+                    format!("expected {what}, found {other}"),
+                )),
             }
-            other => Err(err_at(tokens, *pos, format!("expected {what}, found {other}"))),
-        }
-    };
+        };
     let is_sym = |tokens: &[Token], pos: usize, sym: &str| -> bool {
         matches!(&tokens[pos].kind, TokenKind::Symbol(s) if *s == sym)
     };
@@ -222,8 +227,7 @@ pub fn parse_create_random_table(
         pos = args_close + 1;
     } else {
         // Optional parenthesized subquery as the first argument.
-        if is_sym(&tokens, pos, "(")
-            && matches!(tokens[pos + 1].kind, TokenKind::Keyword("SELECT"))
+        if is_sym(&tokens, pos, "(") && matches!(tokens[pos + 1].kind, TokenKind::Keyword("SELECT"))
         {
             let sub_close = matching_close(&tokens, pos + 1)?;
             params_query = Some(parse_select_tokens(&tokens, pos + 1, sub_close)?);
@@ -298,7 +302,10 @@ pub fn parse_create_random_table(
     if !param_exprs.is_empty() {
         builder = builder.vg_params_exprs(&param_exprs);
     }
-    let refs: Vec<(&str, Expr)> = select.iter().map(|(n, e)| (n.as_str(), e.clone())).collect();
+    let refs: Vec<(&str, Expr)> = select
+        .iter()
+        .map(|(n, e)| (n.as_str(), e.clone()))
+        .collect();
     builder
         .select(&refs)
         .build()
@@ -444,13 +451,18 @@ mod tests {
         for (sql, needle) in [
             ("CREATE TULIP X AS", "TABLE"),
             ("CREATE TABLE X AS FOR EVERY T", "EACH"),
-            ("CREATE TABLE X AS FOR EACH T WITH Normal(1, 2 SELECT VALUE", "unbalanced"),
+            (
+                "CREATE TABLE X AS FOR EACH T WITH Normal(1, 2 SELECT VALUE",
+                "unbalanced",
+            ),
             (
                 "CREATE TABLE X AS FOR EACH T WITH Normal(1,2) SELECT VALUE extra",
                 "trailing",
             ),
         ] {
-            let err = parse_create_random_table(sql, &reg).unwrap_err().to_string();
+            let err = parse_create_random_table(sql, &reg)
+                .unwrap_err()
+                .to_string();
             assert!(
                 err.to_lowercase().contains(&needle.to_lowercase()),
                 "for {sql:?}: {err}"

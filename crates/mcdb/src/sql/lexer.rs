@@ -77,9 +77,9 @@ impl fmt::Display for SqlError {
 impl std::error::Error for SqlError {}
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC", "DESC", "LIMIT", "JOIN", "ON",
-    "AND", "OR", "NOT", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE", "NULL",
-    "IS", "ABS", "SQRT", "EXP", "LN", "FLOOR", "CEIL",
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC", "DESC", "LIMIT", "JOIN", "ON", "AND",
+    "OR", "NOT", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE", "NULL", "IS", "ABS",
+    "SQRT", "EXP", "LN", "FLOOR", "CEIL",
 ];
 
 /// Tokenize a SQL string. Numbers carry an `is_float` flag in a paired
@@ -150,9 +150,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                 }
             }
             let text = &input[i..j];
-            let value: f64 = text.parse().map_err(|_| {
-                SqlError::new(format!("invalid number `{text}`"), Some(start))
-            })?;
+            let value: f64 = text
+                .parse()
+                .map_err(|_| SqlError::new(format!("invalid number `{text}`"), Some(start)))?;
             out.push(Token {
                 kind: TokenKind::Number(value),
                 pos: start,
@@ -190,7 +190,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             i = j;
         } else {
             // Symbols, longest first.
-            let two = if i + 1 < bytes.len() { &input[i..i + 2] } else { "" };
+            let two = if i + 1 < bytes.len() {
+                &input[i..i + 2]
+            } else {
+                ""
+            };
             let sym2 = ["<>", "<=", ">=", "!="].iter().find(|s| **s == two);
             if let Some(&s) = sym2 {
                 out.push(Token {

@@ -46,8 +46,7 @@ pub fn plan_from_sql(sql: &str) -> Result<Plan, SqlError> {
 impl Catalog {
     /// Parse and execute a SQL SELECT against this catalog.
     pub fn sql(&self, sql: &str) -> crate::Result<Table> {
-        let plan =
-            plan_from_sql(sql).map_err(|e| crate::McdbError::invalid_plan(e.to_string()))?;
+        let plan = plan_from_sql(sql).map_err(|e| crate::McdbError::invalid_plan(e.to_string()))?;
         self.query(&plan)
     }
 }
@@ -79,12 +78,15 @@ mod tests {
             .unwrap(),
         );
         c.insert(
-            Table::build("regions", &[("name", DataType::Str), ("tax", DataType::Float)])
-                .row(vec![Value::from("east"), Value::from(0.1)])
-                .row(vec![Value::from("west"), Value::from(0.2)])
-                .row(vec![Value::from("north"), Value::from(0.0)])
-                .finish()
-                .unwrap(),
+            Table::build(
+                "regions",
+                &[("name", DataType::Str), ("tax", DataType::Float)],
+            )
+            .row(vec![Value::from("east"), Value::from(0.1)])
+            .row(vec![Value::from("west"), Value::from(0.2)])
+            .row(vec![Value::from("north"), Value::from(0.0)])
+            .finish()
+            .unwrap(),
         );
         c
     }
@@ -117,7 +119,9 @@ mod tests {
 
     #[test]
     fn is_null_and_is_not_null() {
-        let t = catalog().sql("SELECT id FROM sales WHERE amount IS NULL").unwrap();
+        let t = catalog()
+            .sql("SELECT id FROM sales WHERE amount IS NULL")
+            .unwrap();
         assert_eq!(t.column("id").unwrap(), vec![Value::from(4)]);
         let t = catalog()
             .sql("SELECT id FROM sales WHERE amount IS NOT NULL")
@@ -175,7 +179,10 @@ mod tests {
             .unwrap();
         // Nulls sort first ascending, hence last descending — top two are
         // 30 and 20.
-        assert_eq!(t.column("id").unwrap(), vec![Value::from(3), Value::from(2)]);
+        assert_eq!(
+            t.column("id").unwrap(),
+            vec![Value::from(3), Value::from(2)]
+        );
     }
 
     #[test]
@@ -223,8 +230,8 @@ mod tests {
 
     #[test]
     fn parsed_order_by_matches_hand_built() {
-        let parsed = plan_from_sql("SELECT * FROM sales ORDER BY amount DESC, id ASC LIMIT 3")
-            .unwrap();
+        let parsed =
+            plan_from_sql("SELECT * FROM sales ORDER BY amount DESC, id ASC LIMIT 3").unwrap();
         let hand = Plan::scan("sales")
             .sort(vec![
                 SortKey::desc(Expr::col("amount")),
@@ -237,10 +244,13 @@ mod tests {
     #[test]
     fn keywords_case_insensitive_identifiers_not() {
         let t = catalog()
-            .sql("select ID from SALES where AMOUNT > 5".replace("ID", "id")
-                .replace("SALES", "sales")
-                .replace("AMOUNT", "amount")
-                .as_str())
+            .sql(
+                "select ID from SALES where AMOUNT > 5"
+                    .replace("ID", "id")
+                    .replace("SALES", "sales")
+                    .replace("AMOUNT", "amount")
+                    .as_str(),
+            )
             .unwrap();
         assert_eq!(t.len(), 3);
         // Wrong-case table name fails (identifiers are case-sensitive).

@@ -17,14 +17,21 @@ pub fn parse_select(sql: &str) -> Result<Plan, SqlError> {
 /// Crate-internal: parse a SELECT from an already-lexed token slice
 /// (`[start, end)`), for the DDL parser's embedded subqueries. The slice
 /// must form a complete statement.
-pub(crate) fn parse_select_tokens(tokens: &[Token], start: usize, end: usize) -> Result<Plan, SqlError> {
+pub(crate) fn parse_select_tokens(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+) -> Result<Plan, SqlError> {
     let mut sub: Vec<Token> = tokens[start..end].to_vec();
     let eof_pos = sub.last().map(|t| t.pos).unwrap_or(0);
     sub.push(Token {
         kind: TokenKind::Eof,
         pos: eof_pos,
     });
-    let mut p = Parser { tokens: sub, pos: 0 };
+    let mut p = Parser {
+        tokens: sub,
+        pos: 0,
+    };
     let plan = p.select_statement()?;
     p.expect_eof()?;
     Ok(plan)
@@ -32,10 +39,7 @@ pub(crate) fn parse_select_tokens(tokens: &[Token], start: usize, end: usize) ->
 
 /// Crate-internal: parse one expression starting at `pos` within a token
 /// stream; returns the expression and the position just past it.
-pub(crate) fn parse_expression_at(
-    tokens: &[Token],
-    pos: usize,
-) -> Result<(Expr, usize), SqlError> {
+pub(crate) fn parse_expression_at(tokens: &[Token], pos: usize) -> Result<(Expr, usize), SqlError> {
     let mut p = Parser {
         tokens: tokens.to_vec(),
         pos,
@@ -196,7 +200,11 @@ impl Parser {
                     self.eat_kw("ASC");
                     true
                 };
-                order_keys.push(if asc { SortKey::asc(e) } else { SortKey::desc(e) });
+                order_keys.push(if asc {
+                    SortKey::asc(e)
+                } else {
+                    SortKey::desc(e)
+                });
                 if !self.eat_sym(",") {
                     break;
                 }
@@ -212,9 +220,9 @@ impl Parser {
                     limit = Some(n as usize);
                 }
                 other => {
-                    return Err(
-                        self.error_here(format!("LIMIT expects a non-negative integer, found {other}"))
-                    )
+                    return Err(self.error_here(format!(
+                        "LIMIT expects a non-negative integer, found {other}"
+                    )))
                 }
             }
         }
@@ -232,8 +240,8 @@ impl Parser {
                 .iter()
                 .all(|c| output_names.as_ref().is_none_or(|names| names.contains(c)))
         });
-        let has_agg = items.iter().any(|i| matches!(i, SelectItem::Agg { .. }))
-            || !group_by.is_empty();
+        let has_agg =
+            items.iter().any(|i| matches!(i, SelectItem::Agg { .. })) || !group_by.is_empty();
         if !order_keys.is_empty() && !keys_fit_output && !has_agg {
             plan = plan.sort(order_keys);
             plan = self.apply_select(plan, items, group_by)?;
@@ -342,7 +350,10 @@ impl Parser {
         for (i, item) in items.iter().enumerate() {
             match item {
                 SelectItem::Star => {
-                    return Err(SqlError::new("`*` is not valid with GROUP BY/aggregates", None))
+                    return Err(SqlError::new(
+                        "`*` is not valid with GROUP BY/aggregates",
+                        None,
+                    ))
                 }
                 SelectItem::Agg { func, arg, alias } => {
                     let name = alias.clone().unwrap_or_else(|| default_agg_name(*func, i));
@@ -561,9 +572,9 @@ fn select_output_names(items: &[SelectItem]) -> Option<Vec<String>> {
             .enumerate()
             .map(|(i, item)| match item {
                 SelectItem::Star => unreachable!("filtered above"),
-                SelectItem::Agg { func, alias, .. } => alias
-                    .clone()
-                    .unwrap_or_else(|| default_agg_name(*func, i)),
+                SelectItem::Agg { func, alias, .. } => {
+                    alias.clone().unwrap_or_else(|| default_agg_name(*func, i))
+                }
                 SelectItem::Expr { expr, alias } => derive_name(expr, alias.as_deref(), i),
             })
             .collect(),
@@ -596,13 +607,14 @@ mod tests {
     #[test]
     fn literal_typing_int_vs_float() {
         let p = parse_select("SELECT * FROM t WHERE a = 5").unwrap();
-        let Plan::Filter { predicate, .. } = p else { panic!() };
-        assert_eq!(
-            predicate,
-            Expr::col("a").eq(Expr::lit(Value::Int(5)))
-        );
+        let Plan::Filter { predicate, .. } = p else {
+            panic!()
+        };
+        assert_eq!(predicate, Expr::col("a").eq(Expr::lit(Value::Int(5))));
         let p = parse_select("SELECT * FROM t WHERE a = 5.0").unwrap();
-        let Plan::Filter { predicate, .. } = p else { panic!() };
+        let Plan::Filter { predicate, .. } = p else {
+            panic!()
+        };
         assert_eq!(predicate, Expr::col("a").eq(Expr::lit(5.0)));
     }
 
@@ -610,14 +622,18 @@ mod tests {
     fn operator_precedence() {
         // a + b * 2 parses as a + (b * 2).
         let p = parse_select("SELECT a + b * 2 AS x FROM t").unwrap();
-        let Plan::Project { exprs, .. } = p else { panic!() };
+        let Plan::Project { exprs, .. } = p else {
+            panic!()
+        };
         assert_eq!(
             exprs[0].1,
             Expr::col("a").add(Expr::col("b").mul(Expr::lit(Value::Int(2))))
         );
         // NOT binds tighter than AND; AND tighter than OR.
         let p = parse_select("SELECT * FROM t WHERE NOT a = 1 AND b = 2 OR c = 3").unwrap();
-        let Plan::Filter { predicate, .. } = p else { panic!() };
+        let Plan::Filter { predicate, .. } = p else {
+            panic!()
+        };
         let expected = Expr::col("a")
             .eq(Expr::lit(Value::Int(1)))
             .not()
@@ -629,8 +645,13 @@ mod tests {
     #[test]
     fn unary_minus_and_parens() {
         let p = parse_select("SELECT -(a + 1) AS x FROM t").unwrap();
-        let Plan::Project { exprs, .. } = p else { panic!() };
-        assert_eq!(exprs[0].1, Expr::col("a").add(Expr::lit(Value::Int(1))).neg());
+        let Plan::Project { exprs, .. } = p else {
+            panic!()
+        };
+        assert_eq!(
+            exprs[0].1,
+            Expr::col("a").add(Expr::lit(Value::Int(1))).neg()
+        );
     }
 
     #[test]
@@ -649,11 +670,15 @@ mod tests {
     #[test]
     fn derived_names() {
         let p = parse_select("SELECT a, a + 1 FROM t").unwrap();
-        let Plan::Project { exprs, .. } = p else { panic!() };
+        let Plan::Project { exprs, .. } = p else {
+            panic!()
+        };
         assert_eq!(exprs[0].0, "a");
         assert_eq!(exprs[1].0, "expr_2");
         let p = parse_select("SELECT COUNT(*), SUM(a) FROM t").unwrap();
-        let Plan::Aggregate { aggs, .. } = p else { panic!() };
+        let Plan::Aggregate { aggs, .. } = p else {
+            panic!()
+        };
         assert_eq!(aggs[0].name, "count_1");
         assert_eq!(aggs[1].name, "sum_2");
     }
@@ -672,11 +697,10 @@ mod tests {
 
     #[test]
     fn multi_join_chain() {
-        let p = parse_select(
-            "SELECT * FROM a JOIN b ON x = y JOIN c ON u = v AND w = z",
-        )
-        .unwrap();
-        let Plan::Join { on, left, .. } = p else { panic!() };
+        let p = parse_select("SELECT * FROM a JOIN b ON x = y JOIN c ON u = v AND w = z").unwrap();
+        let Plan::Join { on, left, .. } = p else {
+            panic!()
+        };
         assert_eq!(on.len(), 2);
         assert!(matches!(*left, Plan::Join { .. }));
     }

@@ -34,10 +34,7 @@ impl Table {
     pub fn build(name: impl Into<String>, columns: &[(&str, DataType)]) -> TableBuilder {
         TableBuilder {
             name: name.into(),
-            columns: columns
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            columns: columns.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
             rows: Vec::new(),
         }
     }
@@ -186,11 +183,8 @@ impl TableBuilder {
 
     /// Validate all rows and produce the table.
     pub fn finish(self) -> crate::Result<Table> {
-        let pairs: Vec<(&str, DataType)> = self
-            .columns
-            .iter()
-            .map(|(n, t)| (n.as_str(), *t))
-            .collect();
+        let pairs: Vec<(&str, DataType)> =
+            self.columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         let schema = Schema::from_pairs(&pairs)?;
         let mut t = Table::new(self.name, schema);
         for row in self.rows {

@@ -87,7 +87,11 @@ impl Value {
     pub fn as_i64(&self) -> crate::Result<i64> {
         match self {
             Value::Int(i) => Ok(*i),
-            other => Err(McdbError::type_mismatch("as_i64", "Int", format!("{other}"))),
+            other => Err(McdbError::type_mismatch(
+                "as_i64",
+                "Int",
+                format!("{other}"),
+            )),
         }
     }
 
@@ -95,7 +99,11 @@ impl Value {
     pub fn as_bool(&self) -> crate::Result<bool> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(McdbError::type_mismatch("as_bool", "Bool", format!("{other}"))),
+            other => Err(McdbError::type_mismatch(
+                "as_bool",
+                "Bool",
+                format!("{other}"),
+            )),
         }
     }
 
@@ -103,7 +111,11 @@ impl Value {
     pub fn as_str(&self) -> crate::Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(McdbError::type_mismatch("as_str", "Str", format!("{other}"))),
+            other => Err(McdbError::type_mismatch(
+                "as_str",
+                "Str",
+                format!("{other}"),
+            )),
         }
     }
 

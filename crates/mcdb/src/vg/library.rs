@@ -387,7 +387,11 @@ impl VgFunction for BernoulliVg {
         self.check_arity(params)?;
         let p = float_param(params, 0, self.name(), "p")?;
         let d = Bernoulli::new(p.clamp(0.0, 1.0))?;
-        Ok(vec![vec![Value::Int(if d.sample_bool(rng) { 1 } else { 0 })]])
+        Ok(vec![vec![Value::Int(if d.sample_bool(rng) {
+            1
+        } else {
+            0
+        })]])
     }
 }
 
@@ -593,7 +597,7 @@ mod tests {
         };
         let base = demand_at(10.0, &mut rng);
         let raised = demand_at(10.5, &mut rng); // the paper's 5% price increase
-        // Expected multiplier exp(-2 * 0.05) ≈ 0.905.
+                                                // Expected multiplier exp(-2 * 0.05) ≈ 0.905.
         let ratio = raised / base;
         assert!(
             (ratio - 0.905).abs() < 0.05,

@@ -85,9 +85,7 @@ impl Design {
     /// Whether every column is balanced (sums to ~0) — true for all
     /// regular two-level fractions and centered LH designs.
     pub fn is_balanced(&self) -> bool {
-        (0..self.factors()).all(|j| {
-            self.matrix.iter().map(|r| r[j]).sum::<f64>().abs() < 1e-9
-        })
+        (0..self.factors()).all(|j| self.matrix.iter().map(|r| r[j]).sum::<f64>().abs() < 1e-9)
     }
 
     /// Map coded levels into real parameter ranges: coded `c ∈ [-s, s]`
@@ -136,7 +134,10 @@ impl Design {
 
 /// The full two-level factorial `2ⁿ` in standard order.
 pub fn full_factorial(n_factors: usize) -> Design {
-    assert!(n_factors >= 1 && n_factors <= 20, "factor count out of range");
+    assert!(
+        n_factors >= 1 && n_factors <= 20,
+        "factor count out of range"
+    );
     let runs = 1usize << n_factors;
     let matrix = (0..runs)
         .map(|r| {
@@ -347,7 +348,10 @@ mod tests {
         // The headline claims of §4.2: orthogonal columns, balance,
         // resolution III.
         assert!(d.is_balanced());
-        assert!(d.max_abs_correlation() < 1e-12, "columns must be orthogonal");
+        assert!(
+            d.max_abs_correlation() < 1e-12,
+            "columns must be orthogonal"
+        );
         assert_eq!(ff.resolution(), Some(3));
         // Every run is a vector of ±1.
         assert!(d.matrix.iter().flatten().all(|v| v.abs() == 1.0));
@@ -402,7 +406,10 @@ mod tests {
         assert_eq!(d.runs(), 9);
         assert_eq!(d.factors(), 2);
         assert!(is_latin(&d));
-        assert!(d.max_abs_correlation() < 1e-12, "Figure 5 design is orthogonal");
+        assert!(
+            d.max_abs_correlation() < 1e-12,
+            "Figure 5 design is orthogonal"
+        );
         // Levels are −4..=4 in each column.
         for j in 0..2 {
             let mut col: Vec<f64> = d.matrix.iter().map(|r| r[j]).collect();

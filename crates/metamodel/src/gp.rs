@@ -114,8 +114,7 @@ impl GpModel {
 
         // Initial scales: τ² ≈ var(y), θ_k ≈ 1 / range_k².
         let mean_y = ys.iter().sum::<f64>() / n as f64;
-        let var_y = (ys.iter().map(|y| (y - mean_y).powi(2)).sum::<f64>() / n as f64)
-            .max(1e-8);
+        let var_y = (ys.iter().map(|y| (y - mean_y).powi(2)).sum::<f64>() / n as f64).max(1e-8);
         let mut log_params = vec![var_y.ln()];
         for k in 0..d {
             let lo = xs.iter().map(|x| x[k]).fold(f64::INFINITY, f64::min);
@@ -145,8 +144,7 @@ impl GpModel {
 
         let tau2 = result.x[0].exp();
         let thetas: Vec<f64> = result.x[1..].iter().map(|l| l.exp()).collect();
-        let (chol, beta0, alpha, _) =
-            Self::assemble(xs, ys, noise_var, tau2, &thetas, cfg.jitter)?;
+        let (chol, beta0, alpha, _) = Self::assemble(xs, ys, noise_var, tau2, &thetas, cfg.jitter)?;
         Ok(GpModel {
             xs: xs.to_vec(),
             beta0,
@@ -346,7 +344,15 @@ mod tests {
             xs.push(vec![rng.gen::<f64>(), rng.gen::<f64>()]);
         }
         let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
-        let gp = GpModel::fit(&xs, &ys, &GpConfig { max_evals: 800, ..GpConfig::default() }).unwrap();
+        let gp = GpModel::fit(
+            &xs,
+            &ys,
+            &GpConfig {
+                max_evals: 800,
+                ..GpConfig::default()
+            },
+        )
+        .unwrap();
         assert!(
             gp.thetas()[0] > 10.0 * gp.thetas()[1],
             "thetas {:?} fail to separate important from inert factor",

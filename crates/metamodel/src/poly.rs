@@ -27,18 +27,19 @@ pub struct PolyModel {
 impl PolyModel {
     /// Fit a polynomial metamodel of the given interaction order to design
     /// runs `xs` and responses `ys`.
-    pub fn fit(
-        xs: &[Vec<f64>],
-        ys: &[f64],
-        order: usize,
-    ) -> mde_numeric::Result<PolyModel> {
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], order: usize) -> mde_numeric::Result<PolyModel> {
         assert!(!xs.is_empty(), "need at least one run");
         let n_factors = xs[0].len();
         assert!(order >= 1, "order must be >= 1");
         let terms = build_terms(n_factors, order.min(n_factors));
         let rows: Vec<Vec<f64>> = xs
             .iter()
-            .map(|x| terms.iter().map(|t| t.iter().map(|&j| x[j]).product()).collect())
+            .map(|x| {
+                terms
+                    .iter()
+                    .map(|t| t.iter().map(|&j| x[j]).product())
+                    .collect()
+            })
             .collect();
         let fit = ols(&Matrix::from_rows(&rows)?, ys)?;
         Ok(PolyModel {
@@ -161,21 +162,13 @@ impl MainEffects {
     pub fn render_ascii(&self, names: &[&str]) -> String {
         assert_eq!(names.len(), self.effects.len(), "one name per factor");
         let mut out = String::new();
-        let all: Vec<f64> = self
-            .level_means
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let all: Vec<f64> = self.level_means.iter().flat_map(|&(a, b)| [a, b]).collect();
         let min = all.iter().copied().fold(f64::INFINITY, f64::min);
         let max = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let span = (max - min).max(1e-9);
         let width = 40usize;
         let pos = |v: f64| ((v - min) / span * (width - 1) as f64).round() as usize;
-        for ((name, &(lo, hi)), &eff) in names
-            .iter()
-            .zip(&self.level_means)
-            .zip(&self.effects)
-        {
+        for ((name, &(lo, hi)), &eff) in names.iter().zip(&self.level_means).zip(&self.effects) {
             let mut line = vec![b'.'; width];
             line[pos(lo)] = b'L';
             line[pos(hi)] = b'H';
@@ -204,7 +197,11 @@ impl MainEffects {
             .map(|(rank, j)| {
                 let p = (rank as f64 + 0.5) / m as f64;
                 // Half-normal quantile: Φ⁻¹((1 + p)/2).
-                (j, self.effects[j].abs(), std_normal_quantile((1.0 + p) / 2.0))
+                (
+                    j,
+                    self.effects[j].abs(),
+                    std_normal_quantile((1.0 + p) / 2.0),
+                )
             })
             .collect()
     }

@@ -119,12 +119,7 @@ pub fn gp_screening<R: ResponseSurface>(
     let xs = design.scale_to(&ranges);
     let ys: Vec<f64> = xs.iter().map(|x| response.eval(x, rng)).collect();
     let gp = GpModel::fit(&xs, &ys, &GpConfig::default())?;
-    let mut ranked: Vec<(usize, f64)> = gp
-        .thetas()
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut ranked: Vec<(usize, f64)> = gp.thetas().iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite thetas"));
     Ok(ranked)
 }
@@ -209,6 +204,9 @@ mod tests {
         assert!(top2.contains(&0) && top2.contains(&2), "ranking {ranked:?}");
         // Importance scores of active factors dominate inert ones.
         let theta = |j: usize| ranked.iter().find(|(i, _)| *i == j).unwrap().1;
-        assert!(theta(0) > 5.0 * theta(1).max(theta(3)), "ranking {ranked:?}");
+        assert!(
+            theta(0) > 5.0 * theta(1).max(theta(3)),
+            "ranking {ranked:?}"
+        );
     }
 }

@@ -148,7 +148,8 @@ impl Continuous for Gamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        (self.shape - 1.0) * x.ln() - x / self.scale
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
             - self.shape * self.scale.ln()
             - ln_gamma(self.shape)
     }

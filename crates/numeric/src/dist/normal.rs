@@ -36,14 +36,20 @@ impl Normal {
             ));
         }
         if !mu.is_finite() {
-            return Err(NumericError::invalid("mu", format!("mean must be finite, got {mu}")));
+            return Err(NumericError::invalid(
+                "mu",
+                format!("mean must be finite, got {mu}"),
+            ));
         }
         Ok(Normal { mu, sigma })
     }
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Normal { mu: 0.0, sigma: 1.0 }
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// The mean parameter `mu`.

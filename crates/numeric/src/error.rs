@@ -89,7 +89,10 @@ impl fmt::Display for NumericError {
             NumericError::NoConvergence {
                 context,
                 iterations,
-            } => write!(f, "{context} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{context} failed to converge after {iterations} iterations"
+            ),
             NumericError::EmptyInput { context } => {
                 write!(f, "{context} requires non-empty input")
             }
@@ -113,7 +116,9 @@ mod tests {
         assert!(e.to_string().contains("matmul"));
         assert!(e.to_string().contains("3x4"));
 
-        let e = NumericError::SingularMatrix { context: "cholesky" };
+        let e = NumericError::SingularMatrix {
+            context: "cholesky",
+        };
         assert!(e.to_string().contains("cholesky"));
 
         let e = NumericError::NoConvergence {
@@ -122,7 +127,9 @@ mod tests {
         };
         assert!(e.to_string().contains("100"));
 
-        let e = NumericError::EmptyInput { context: "quantile" };
+        let e = NumericError::EmptyInput {
+            context: "quantile",
+        };
         assert!(e.to_string().contains("quantile"));
     }
 

@@ -26,9 +26,7 @@ impl Kernel {
     /// Evaluate the (normalized) kernel at `x`.
     pub fn eval(&self, x: f64) -> f64 {
         match self {
-            Kernel::Gaussian => {
-                (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
-            }
+            Kernel::Gaussian => (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt(),
             Kernel::Laplacian => 0.5 * (-x.abs()).exp(),
             Kernel::Epanechnikov => {
                 if x.abs() <= 1.0 {
@@ -185,9 +183,7 @@ mod tests {
             }
             // Numerical integral ≈ 1.
             let dx = 0.001;
-            let total: f64 = (-20_000..20_000)
-                .map(|i| k.eval(i as f64 * dx) * dx)
-                .sum();
+            let total: f64 = (-20_000..20_000).map(|i| k.eval(i as f64 * dx) * dx).sum();
             assert!((total - 1.0).abs() < 1e-3, "{k:?} integrates to {total}");
         }
     }
@@ -207,9 +203,7 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         assert!(KernelDensity::new(&[], Kernel::Gaussian, Bandwidth::Silverman).is_err());
-        assert!(
-            KernelDensity::new(&[f64::NAN], Kernel::Gaussian, Bandwidth::Silverman).is_err()
-        );
+        assert!(KernelDensity::new(&[f64::NAN], Kernel::Gaussian, Bandwidth::Silverman).is_err());
         assert!(KernelDensity::new(&[1.0], Kernel::Gaussian, Bandwidth::Fixed(0.0)).is_err());
         assert!(KernelDensity::new(&[1.0], Kernel::Gaussian, Bandwidth::Fixed(-1.0)).is_err());
     }
@@ -260,8 +254,7 @@ mod tests {
 
     #[test]
     fn ln_eval_floors_at_tiny_value() {
-        let kde =
-            KernelDensity::new(&[0.0], Kernel::Epanechnikov, Bandwidth::Fixed(1.0)).unwrap();
+        let kde = KernelDensity::new(&[0.0], Kernel::Epanechnikov, Bandwidth::Fixed(1.0)).unwrap();
         // Outside compact support, the density is exactly 0; ln must floor.
         assert!(kde.eval(10.0) == 0.0);
         assert!(kde.ln_eval(10.0).is_finite());

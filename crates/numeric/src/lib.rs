@@ -20,6 +20,13 @@
 //! * [`kde`] — kernel density estimation with the kernels discussed in
 //!   §3.2 (Gaussian, Laplacian `e^{-|x|}`, Epanechnikov) and standard
 //!   bandwidth rules, used by the sensor-aware particle-filter proposal.
+//! * [`resilience`] — the failure vocabulary of the supervised execution
+//!   runtime: error-severity classification, run policies (fail-fast /
+//!   retry / best-effort), deterministic retry-seed derivation, run
+//!   reports, and the fault injector used by the workspace test suites.
+//!   It lives here, at the bottom of the dependency graph, so every
+//!   execution layer (Monte Carlo queries, composite plans, particle
+//!   filters) can speak it; `mde-core` re-exports it as the public API.
 //!
 //! The crate is deliberately dependency-light (only `rand`): the paper's
 //! systems are reproduced from scratch, so the numeric layer is too.
@@ -31,10 +38,12 @@ pub mod error;
 pub mod kde;
 pub mod linalg;
 pub mod optim;
+pub mod resilience;
 pub mod rng;
 pub mod stats;
 
 pub use error::NumericError;
+pub use resilience::{ErrorClass, RunPolicy, RunReport, Severity};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NumericError>;

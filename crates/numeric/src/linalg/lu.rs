@@ -127,12 +127,8 @@ mod tests {
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = Matrix::from_vec(
-            3,
-            3,
-            vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0],
-        )
-        .unwrap();
+        let a =
+            Matrix::from_vec(3, 3, vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0]).unwrap();
         // The textbook system with solution (2, 3, -1).
         let b = [8.0, -11.0, -3.0];
         let x = Lu::new(&a).unwrap().solve(&b).unwrap();

@@ -137,13 +137,7 @@ impl Matrix {
             ));
         }
         Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(x)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -205,7 +199,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -222,7 +221,12 @@ impl Sub for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

@@ -30,11 +30,7 @@ impl OlsFit {
     /// # Panics
     /// Panics if `x` has a different length than the coefficient vector.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(
-            x.len(),
-            self.coefficients.len(),
-            "regressor count mismatch"
-        );
+        assert_eq!(x.len(), self.coefficients.len(), "regressor count mismatch");
         x.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum()
     }
 
@@ -170,12 +166,7 @@ mod tests {
     #[test]
     fn collinear_design_falls_back_to_ridge() {
         // Second column is an exact copy of the first: rank deficient.
-        let x = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
         let y = [2.0, 4.0, 6.0];
         let fit = ols(&x, &y).unwrap();
         // Any split of the coefficient works; predictions must be right.

@@ -1,0 +1,803 @@
+//! The resilience runtime: typed failure classification, run policies,
+//! supervised replicate execution, and deterministic fault injection.
+//!
+//! Long-running, budget-constrained simulation campaigns (§2.3 result
+//! caching, §3 calibration loops, §4 metamodel fitting) execute thousands
+//! of replicates, and individual replicates can and do fail — a poisoned
+//! parameter row, a singular covariance draw, a panic deep inside a model.
+//! Failures must surface as *typed, classified* errors with policy-driven
+//! recovery, never as panics or silently biased estimates.
+//!
+//! This module is the shared vocabulary every execution layer builds on:
+//!
+//! * [`Severity`] / [`ErrorClass`] — is a failure worth retrying with a
+//!   fresh random stream ([`Severity::Retryable`]) or a configuration bug
+//!   that will fail identically forever ([`Severity::Fatal`])?
+//! * [`RunPolicy`] — what the campaign driver does with a retryable
+//!   failure: abort ([`RunPolicy::FailFast`]), re-execute the replicate on
+//!   a fresh deterministic sub-seed ([`RunPolicy::Retry`]), or drop it and
+//!   degrade gracefully ([`RunPolicy::BestEffort`]).
+//! * [`retry_seed`] — the splitmix-style derivation of that fresh sub-seed
+//!   from `(master_seed, replicate, attempt)`, a pure function so that
+//!   `run(seed)` and `run_parallel(seed)` stay bit-identical at any thread
+//!   count even when replicates are retried.
+//! * [`supervise_replicate`] — the generic attempt loop shared by the
+//!   Monte Carlo query engine, the composite-model executor, and the
+//!   particle filter.
+//! * [`RunReport`] — the per-campaign failure ledger (attempted /
+//!   succeeded / retried / dropped plus one [`FailureRecord`] per failed
+//!   attempt) returned alongside results so degraded estimates are never
+//!   silent.
+//! * [`FaultPlan`] — a deterministic fault injector ("fail replicate 3 on
+//!   attempt 0 with a panic") used by the workspace test suites to prove
+//!   every policy end-to-end.
+
+use crate::rng::splitmix64;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
+
+/// How a failure should be treated by a supervised campaign driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Data- or draw-dependent: a fresh random stream may succeed
+    /// (singular matrix from a random draw, non-convergence, a model panic
+    /// on one unlucky realization).
+    Retryable,
+    /// Configuration- or structure-dependent: every attempt will fail the
+    /// same way (unknown column, arity mismatch, invalid plan). Retrying
+    /// wastes budget; the error must surface immediately under every
+    /// policy.
+    Fatal,
+}
+
+/// Error classification: every workspace error type reports whether a
+/// supervised runtime may retry the failing replicate.
+pub trait ErrorClass {
+    /// Classify this error.
+    fn severity(&self) -> Severity;
+
+    /// Convenience: `severity() == Severity::Retryable`.
+    fn is_retryable(&self) -> bool {
+        self.severity() == Severity::Retryable
+    }
+}
+
+impl ErrorClass for crate::NumericError {
+    /// Draw-dependent numeric failures (singular factorization,
+    /// non-convergence, empty stochastic input) are retryable; parameter
+    /// and dimension errors are configuration bugs and fatal.
+    fn severity(&self) -> Severity {
+        use crate::NumericError::*;
+        match self {
+            SingularMatrix { .. } | NoConvergence { .. } | EmptyInput { .. } => Severity::Retryable,
+            InvalidParameter { .. } | DimensionMismatch { .. } => Severity::Fatal,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Policy
+// ---------------------------------------------------------------------------
+
+/// What a campaign driver does when a replicate fails retryably.
+///
+/// Fatal failures abort the run under *every* policy: they are
+/// configuration errors that would fail identically on all replicates, so
+/// neither retrying nor dropping can produce a meaningful estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RunPolicy {
+    /// Abort the whole run on the first failure (the pre-resilience
+    /// behavior, minus the panics).
+    #[default]
+    FailFast,
+    /// Re-execute a failed replicate up to `max_attempts` total attempts.
+    /// With `reseed` the retry draws from a fresh deterministic sub-seed
+    /// derived by [`retry_seed`] — never the failing stream, so the
+    /// estimator stays unbiased; without it the original stream is reused
+    /// (only useful when the failure source is external to the RNG).
+    Retry {
+        /// Total attempts per replicate (≥ 1; a value of 1 degenerates to
+        /// [`RunPolicy::FailFast`]).
+        max_attempts: u32,
+        /// Derive a fresh sub-seed per retry (recommended).
+        reseed: bool,
+    },
+    /// Drop failed replicates and estimate from the survivors, as long as
+    /// at least `min_fraction` of the replicates succeed; the returned
+    /// [`RunReport`] carries the failure ledger and sets
+    /// [`RunReport::ci_widened`] so the degradation is visible.
+    BestEffort {
+        /// Minimum fraction (in `[0, 1]`) of replicates that must succeed.
+        min_fraction: f64,
+    },
+}
+
+impl RunPolicy {
+    /// Total attempts allowed per replicate under this policy.
+    pub fn max_attempts(&self) -> u32 {
+        match self {
+            RunPolicy::Retry { max_attempts, .. } => (*max_attempts).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Whether retries re-derive the random stream.
+    pub fn reseeds(&self) -> bool {
+        match self {
+            RunPolicy::Retry { reseed, .. } => *reseed,
+            _ => true,
+        }
+    }
+
+    /// Number of successful replicates required out of `n` for the run to
+    /// be reported as a success.
+    pub fn required_successes(&self, n: usize) -> usize {
+        match self {
+            RunPolicy::BestEffort { min_fraction } => {
+                ((min_fraction.clamp(0.0, 1.0) * n as f64).ceil() as usize).min(n)
+            }
+            _ => n,
+        }
+    }
+
+    /// Whether failed replicates are dropped rather than aborting the run.
+    pub fn drops_failures(&self) -> bool {
+        matches!(self, RunPolicy::BestEffort { .. })
+    }
+}
+
+/// Derive the deterministic sub-seed for retry `attempt` of `replicate`.
+///
+/// SplitMix-style chained finalization of `(master_seed, replicate,
+/// attempt)`: a pure function, so a retried replicate produces the same
+/// sample no matter which worker thread re-executes it — the determinism
+/// guarantee `run(seed) ≡ run_parallel(seed)` survives every policy. The
+/// salt keeps retry streams disjoint from the attempt-0 stream family
+/// derived by [`crate::rng::StreamFactory`].
+pub fn retry_seed(master_seed: u64, replicate: u64, attempt: u32) -> u64 {
+    splitmix64(
+        splitmix64(splitmix64(master_seed ^ 0xC0DE_D15E_A5ED_5EED).wrapping_add(replicate))
+            .wrapping_add(attempt as u64),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Failure ledger
+// ---------------------------------------------------------------------------
+
+/// What kind of failure a supervised attempt produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The replicate panicked and was caught by the supervisor.
+    Panic,
+    /// The replicate returned a typed error.
+    Error,
+    /// The replicate completed but produced a non-finite sample (NaN/±inf),
+    /// which would silently poison the estimator if admitted.
+    NonFinite,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panic => write!(f, "panic"),
+            FailureKind::Error => write!(f, "error"),
+            FailureKind::NonFinite => write!(f, "non-finite sample"),
+        }
+    }
+}
+
+/// One failed attempt in a [`RunReport`] ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// Zero-based replicate (iteration / repetition / step) index.
+    pub replicate: u64,
+    /// Zero-based attempt number within the replicate.
+    pub attempt: u32,
+    /// Failure kind.
+    pub kind: FailureKind,
+    /// Human-readable cause (error display, panic payload, or the
+    /// offending value).
+    pub message: String,
+}
+
+impl FailureRecord {
+    /// The `(replicate, attempt, kind)` identity used to compare a ledger
+    /// against an injected [`FaultPlan`].
+    pub fn key(&self) -> (u64, u32, FailureKind) {
+        (self.replicate, self.attempt, self.kind)
+    }
+}
+
+/// The outcome ledger of a supervised campaign, returned alongside the
+/// estimate so that degraded runs are never silent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Replicates attempted (each counted once, however many attempts it
+    /// took).
+    pub attempted: usize,
+    /// Replicates that produced a sample.
+    pub succeeded: usize,
+    /// Retry attempts performed beyond each replicate's first attempt.
+    pub retried: usize,
+    /// Replicates dropped under [`RunPolicy::BestEffort`].
+    pub dropped: usize,
+    /// One record per failed attempt, ordered by `(replicate, attempt)`.
+    pub failures: Vec<FailureRecord>,
+    /// Set when the estimate is based on fewer samples than requested, so
+    /// confidence intervals are wider than the caller asked for.
+    pub ci_widened: bool,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RunReport::default()
+    }
+
+    /// Fold one replicate outcome into the ledger.
+    pub fn absorb<T, E>(&mut self, outcome: &ReplicateOutcome<T, E>) {
+        self.attempted += 1;
+        let failures = match outcome {
+            ReplicateOutcome::Success { failures, .. } => {
+                self.succeeded += 1;
+                self.retried += failures.len();
+                failures
+            }
+            ReplicateOutcome::Dropped { failures } => {
+                self.dropped += 1;
+                self.retried += failures.len().saturating_sub(1);
+                failures
+            }
+            ReplicateOutcome::Abort { failures, .. } => {
+                self.retried += failures.len().saturating_sub(1);
+                failures
+            }
+        };
+        self.failures.extend(failures.iter().cloned());
+        self.ci_widened = self.dropped > 0;
+    }
+
+    /// Merge another report (used to combine per-worker partial ledgers);
+    /// call [`RunReport::normalize`] afterwards to restore ordering.
+    pub fn merge(&mut self, other: RunReport) {
+        self.attempted += other.attempted;
+        self.succeeded += other.succeeded;
+        self.retried += other.retried;
+        self.dropped += other.dropped;
+        self.failures.extend(other.failures);
+        self.ci_widened = self.dropped > 0;
+    }
+
+    /// Sort the ledger by `(replicate, attempt)` so sequential and
+    /// parallel runs report identically.
+    pub fn normalize(&mut self) {
+        self.failures.sort_by_key(|f| (f.replicate, f.attempt));
+    }
+
+    /// The `(replicate, attempt, kind)` identities of every failure, in
+    /// ledger order — the shape compared against
+    /// [`FaultPlan::expected_failure_keys`].
+    pub fn failure_keys(&self) -> Vec<(u64, u32, FailureKind)> {
+        self.failures.iter().map(FailureRecord::key).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervision
+// ---------------------------------------------------------------------------
+
+/// A classified failure of one supervised attempt, produced by a layer's
+/// attempt closure and consumed by [`supervise_replicate`].
+#[derive(Debug)]
+pub struct AttemptFailure<E> {
+    /// Failure kind for the ledger.
+    pub kind: FailureKind,
+    /// Human-readable cause.
+    pub message: String,
+    /// Classification driving the policy decision.
+    pub severity: Severity,
+    /// The original typed error, when one exists (panics and non-finite
+    /// samples have none) — preserved so aborts surface the layer's own
+    /// error type, not a stringified copy.
+    pub error: Option<E>,
+}
+
+impl<E: std::error::Error + ErrorClass> AttemptFailure<E> {
+    /// Wrap a typed layer error, classifying it via [`ErrorClass`].
+    pub fn from_error(error: E) -> Self {
+        AttemptFailure {
+            kind: FailureKind::Error,
+            message: error.to_string(),
+            severity: error.severity(),
+            error: Some(error),
+        }
+    }
+}
+
+impl<E> AttemptFailure<E> {
+    /// A caught panic (always retryable: the panic was raised by one
+    /// replicate's data/draws; a fresh stream may avoid it, and if it does
+    /// not, the retry budget bounds the damage).
+    pub fn from_panic(message: impl Into<String>) -> Self {
+        AttemptFailure {
+            kind: FailureKind::Panic,
+            message: message.into(),
+            severity: Severity::Retryable,
+            error: None,
+        }
+    }
+
+    /// A non-finite sample (retryable: the offending value came from this
+    /// replicate's draws).
+    pub fn non_finite(value: f64) -> Self {
+        AttemptFailure {
+            kind: FailureKind::NonFinite,
+            message: format!("replicate produced non-finite sample {value}"),
+            severity: Severity::Retryable,
+            error: None,
+        }
+    }
+}
+
+/// The outcome of supervising one replicate to completion under a policy.
+#[derive(Debug)]
+pub enum ReplicateOutcome<T, E> {
+    /// The replicate produced a value (possibly after retries — the failed
+    /// attempts are recorded).
+    Success {
+        /// The replicate's sample.
+        value: T,
+        /// Failed attempts that preceded the success.
+        failures: Vec<FailureRecord>,
+    },
+    /// The replicate was dropped under [`RunPolicy::BestEffort`].
+    Dropped {
+        /// The attempts that failed.
+        failures: Vec<FailureRecord>,
+    },
+    /// The run must abort: a fatal failure, or retryable failures under a
+    /// policy with no recovery left.
+    Abort {
+        /// The typed error of the aborting attempt, when one exists; the
+        /// caller falls back to synthesizing an error from the last
+        /// failure record otherwise.
+        error: Option<E>,
+        /// All failed attempts, the aborting one last.
+        failures: Vec<FailureRecord>,
+    },
+}
+
+/// Run one replicate's attempt loop under `policy`.
+///
+/// `attempt(a)` executes attempt `a` (zero-based) and returns either the
+/// replicate's value or a classified [`AttemptFailure`]. The loop retries
+/// retryable failures while the policy allows, aborts immediately on fatal
+/// ones, and converts terminal retryable failures into
+/// [`ReplicateOutcome::Dropped`] under a dropping policy.
+pub fn supervise_replicate<T, E>(
+    replicate: u64,
+    policy: &RunPolicy,
+    mut attempt: impl FnMut(u32) -> Result<T, AttemptFailure<E>>,
+) -> ReplicateOutcome<T, E> {
+    let max_attempts = policy.max_attempts();
+    let mut failures: Vec<FailureRecord> = Vec::new();
+    for a in 0..max_attempts {
+        match attempt(a) {
+            Ok(value) => return ReplicateOutcome::Success { value, failures },
+            Err(f) => {
+                failures.push(FailureRecord {
+                    replicate,
+                    attempt: a,
+                    kind: f.kind,
+                    message: f.message,
+                });
+                if f.severity == Severity::Fatal {
+                    return ReplicateOutcome::Abort {
+                        error: f.error,
+                        failures,
+                    };
+                }
+                if a + 1 == max_attempts {
+                    // Retry budget exhausted (or a single-attempt policy).
+                    if policy.drops_failures() {
+                        return ReplicateOutcome::Dropped { failures };
+                    }
+                    return ReplicateOutcome::Abort {
+                        error: f.error,
+                        failures,
+                    };
+                }
+            }
+        }
+    }
+    unreachable!("attempt loop always returns");
+}
+
+/// Run a closure, converting a panic into an `Err` with the panic message.
+///
+/// The workhorse of supervised workers: per-replicate execution is wrapped
+/// so that a panicking model poisons only its own replicate, which the
+/// policy then retries, drops, or surfaces as a typed error — the panic
+/// never crosses a thread boundary or unwinds into the caller.
+pub fn catch_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic with non-string payload".to_string()
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// The fault a [`FaultPlan`] injects into one `(replicate, attempt)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic inside the supervised region (proves `catch_unwind`
+    /// containment).
+    Panic,
+    /// Return a typed, retryable error.
+    Error,
+    /// Produce a NaN sample (proves the non-finite guard).
+    Nan,
+}
+
+impl FaultKind {
+    /// The [`FailureKind`] this fault surfaces as in a [`RunReport`].
+    pub fn failure_kind(&self) -> FailureKind {
+        match self {
+            FaultKind::Panic => FailureKind::Panic,
+            FaultKind::Error => FailureKind::Error,
+            FaultKind::Nan => FailureKind::NonFinite,
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Replicate to poison.
+    pub replicate: u64,
+    /// Attempt (zero-based) on which the fault fires; retries with higher
+    /// attempt numbers run clean unless separately scheduled.
+    pub attempt: u32,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault injector: a schedule of faults keyed on
+/// `(replicate, attempt)`, consulted by supervised executors. Pure data —
+/// the same plan produces the same failures at any thread count, which is
+/// what lets tests assert that a [`RunReport`] ledger *exactly* matches
+/// the injected plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule `kind` to fire on `attempt` of `replicate`.
+    pub fn fail_on(mut self, replicate: u64, attempt: u32, kind: FaultKind) -> Self {
+        self.faults.push(Fault {
+            replicate,
+            attempt,
+            kind,
+        });
+        self
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The fault scheduled for `(replicate, attempt)`, if any.
+    pub fn lookup(&self, replicate: u64, attempt: u32) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.replicate == replicate && f.attempt == attempt)
+            .map(|f| f.kind)
+    }
+
+    /// The failure ledger this plan predicts, as `(replicate, attempt,
+    /// kind)` keys ordered like a normalized [`RunReport`] — for exact
+    /// comparison with [`RunReport::failure_keys`]. Only faults whose
+    /// attempt number is reachable under `policy` are included.
+    pub fn expected_failure_keys(&self, policy: &RunPolicy) -> Vec<(u64, u32, FailureKind)> {
+        let max_attempts = policy.max_attempts();
+        let mut keys: Vec<(u64, u32, FailureKind)> = self
+            .faults
+            .iter()
+            .filter(|f| f.attempt < max_attempts)
+            .map(|f| (f.replicate, f.attempt, f.kind.failure_kind()))
+            .collect();
+        keys.sort_by_key(|&(r, a, _)| (r, a));
+        keys
+    }
+}
+
+/// Options threaded through a supervised run: the policy plus an optional
+/// fault-injection plan (testing only; `None` in production).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOptions {
+    /// Recovery policy.
+    pub policy: RunPolicy,
+    /// Deterministic fault injection, for tests.
+    pub faults: Option<FaultPlan>,
+}
+
+impl RunOptions {
+    /// Options with the given policy and no fault injection.
+    pub fn policy(policy: RunPolicy) -> Self {
+        RunOptions {
+            policy,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The fault scheduled for `(replicate, attempt)`, if a plan is
+    /// attached.
+    pub fn fault(&self, replicate: u64, attempt: u32) -> Option<FaultKind> {
+        self.faults
+            .as_ref()
+            .and_then(|p| p.lookup(replicate, attempt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NumericError;
+
+    #[test]
+    fn numeric_error_classification() {
+        assert!(NumericError::SingularMatrix { context: "chol" }.is_retryable());
+        assert!(NumericError::NoConvergence {
+            context: "nm",
+            iterations: 9
+        }
+        .is_retryable());
+        assert!(NumericError::EmptyInput { context: "q" }.is_retryable());
+        assert_eq!(
+            NumericError::invalid("sigma", "negative").severity(),
+            Severity::Fatal
+        );
+        assert_eq!(
+            NumericError::dim("matmul", "2x2", "3x3").severity(),
+            Severity::Fatal
+        );
+    }
+
+    #[test]
+    fn retry_seed_is_pure_and_well_mixed() {
+        assert_eq!(retry_seed(7, 3, 1), retry_seed(7, 3, 1));
+        // Distinct (replicate, attempt) pairs give distinct seeds.
+        let mut seeds = Vec::new();
+        for r in 0..50u64 {
+            for a in 0..4u32 {
+                seeds.push(retry_seed(42, r, a));
+            }
+        }
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "retry seeds collided");
+        // And differ from the plain stream family.
+        let f = crate::rng::StreamFactory::new(42);
+        assert_ne!(retry_seed(42, 0, 0), f.seed_of(0));
+    }
+
+    #[test]
+    fn policy_accessors() {
+        assert_eq!(RunPolicy::FailFast.max_attempts(), 1);
+        assert_eq!(
+            RunPolicy::Retry {
+                max_attempts: 3,
+                reseed: true
+            }
+            .max_attempts(),
+            3
+        );
+        assert_eq!(
+            RunPolicy::Retry {
+                max_attempts: 0,
+                reseed: true
+            }
+            .max_attempts(),
+            1
+        );
+        assert_eq!(RunPolicy::FailFast.required_successes(10), 10);
+        assert_eq!(
+            RunPolicy::BestEffort { min_fraction: 0.5 }.required_successes(10),
+            5
+        );
+        assert_eq!(
+            RunPolicy::BestEffort { min_fraction: 0.41 }.required_successes(10),
+            5
+        );
+        assert_eq!(
+            RunPolicy::BestEffort { min_fraction: 2.0 }.required_successes(10),
+            10
+        );
+        assert!(RunPolicy::BestEffort { min_fraction: 0.5 }.drops_failures());
+        assert!(!RunPolicy::FailFast.drops_failures());
+    }
+
+    #[test]
+    fn supervisor_retries_then_succeeds() {
+        let policy = RunPolicy::Retry {
+            max_attempts: 3,
+            reseed: true,
+        };
+        let outcome = supervise_replicate::<f64, NumericError>(5, &policy, |a| {
+            if a < 2 {
+                Err(AttemptFailure::from_panic(format!("boom {a}")))
+            } else {
+                Ok(1.5)
+            }
+        });
+        match outcome {
+            ReplicateOutcome::Success { value, failures } => {
+                assert_eq!(value, 1.5);
+                assert_eq!(failures.len(), 2);
+                assert_eq!(failures[0].key(), (5, 0, FailureKind::Panic));
+                assert_eq!(failures[1].key(), (5, 1, FailureKind::Panic));
+            }
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervisor_aborts_on_fatal_even_with_retries_left() {
+        let policy = RunPolicy::Retry {
+            max_attempts: 5,
+            reseed: true,
+        };
+        let outcome = supervise_replicate::<f64, NumericError>(0, &policy, |_| {
+            Err(AttemptFailure::from_error(NumericError::invalid(
+                "sigma", "negative",
+            )))
+        });
+        match outcome {
+            ReplicateOutcome::Abort { error, failures } => {
+                assert!(matches!(error, Some(NumericError::InvalidParameter { .. })));
+                assert_eq!(failures.len(), 1, "fatal failures are not retried");
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervisor_drops_under_best_effort() {
+        let policy = RunPolicy::BestEffort { min_fraction: 0.5 };
+        let outcome = supervise_replicate::<f64, NumericError>(2, &policy, |_| {
+            Err(AttemptFailure::non_finite(f64::NAN))
+        });
+        match outcome {
+            ReplicateOutcome::Dropped { failures } => {
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].key(), (2, 0, FailureKind::NonFinite));
+            }
+            other => panic!("expected dropped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervisor_exhausts_retries_into_abort() {
+        let policy = RunPolicy::Retry {
+            max_attempts: 2,
+            reseed: false,
+        };
+        let outcome = supervise_replicate::<f64, NumericError>(1, &policy, |a| {
+            Err(AttemptFailure::from_panic(format!("always fails ({a})")))
+        });
+        match outcome {
+            ReplicateOutcome::Abort { error, failures } => {
+                assert!(error.is_none(), "panics carry no typed error");
+                assert_eq!(failures.len(), 2);
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_absorbs_outcomes_and_normalizes() {
+        let mut report = RunReport::new();
+        report.absorb(&ReplicateOutcome::<f64, NumericError>::Success {
+            value: 1.0,
+            failures: vec![FailureRecord {
+                replicate: 3,
+                attempt: 0,
+                kind: FailureKind::Panic,
+                message: "boom".into(),
+            }],
+        });
+        report.absorb(&ReplicateOutcome::<f64, NumericError>::Dropped {
+            failures: vec![FailureRecord {
+                replicate: 1,
+                attempt: 0,
+                kind: FailureKind::Error,
+                message: "bad".into(),
+            }],
+        });
+        report.absorb(&ReplicateOutcome::<f64, NumericError>::Success {
+            value: 2.0,
+            failures: vec![],
+        });
+        report.normalize();
+        assert_eq!(report.attempted, 3);
+        assert_eq!(report.succeeded, 2);
+        assert_eq!(report.retried, 1);
+        assert_eq!(report.dropped, 1);
+        assert!(report.ci_widened);
+        assert_eq!(
+            report.failure_keys(),
+            vec![(1, 0, FailureKind::Error), (3, 0, FailureKind::Panic)]
+        );
+    }
+
+    #[test]
+    fn catch_panic_preserves_messages() {
+        assert_eq!(catch_panic(|| 7).unwrap(), 7);
+        let msg = catch_panic(|| panic!("static message")).unwrap_err();
+        assert!(msg.contains("static message"));
+        let msg = catch_panic(|| panic!("formatted {}", 42)).unwrap_err();
+        assert!(msg.contains("formatted 42"));
+    }
+
+    #[test]
+    fn fault_plan_lookup_and_expected_keys() {
+        let plan = FaultPlan::new()
+            .fail_on(3, 0, FaultKind::Panic)
+            .fail_on(1, 0, FaultKind::Nan)
+            .fail_on(1, 1, FaultKind::Error);
+        assert_eq!(plan.lookup(3, 0), Some(FaultKind::Panic));
+        assert_eq!(plan.lookup(3, 1), None);
+        assert_eq!(plan.lookup(0, 0), None);
+        let retry = RunPolicy::Retry {
+            max_attempts: 3,
+            reseed: true,
+        };
+        assert_eq!(
+            plan.expected_failure_keys(&retry),
+            vec![
+                (1, 0, FailureKind::NonFinite),
+                (1, 1, FailureKind::Error),
+                (3, 0, FailureKind::Panic),
+            ]
+        );
+        // Single-attempt policies never reach attempt 1.
+        assert_eq!(plan.expected_failure_keys(&RunPolicy::FailFast).len(), 2);
+    }
+
+    #[test]
+    fn run_options_defaults() {
+        let opts = RunOptions::default();
+        assert_eq!(opts.policy, RunPolicy::FailFast);
+        assert!(opts.faults.is_none());
+        assert_eq!(opts.fault(0, 0), None);
+        let opts = RunOptions::policy(RunPolicy::BestEffort { min_fraction: 0.9 })
+            .with_faults(FaultPlan::new().fail_on(2, 0, FaultKind::Error));
+        assert_eq!(opts.fault(2, 0), Some(FaultKind::Error));
+    }
+}

@@ -113,7 +113,9 @@ mod tests {
     fn streams_are_reproducible() {
         let f = StreamFactory::new(7);
         let xs: Vec<u64> = (0..4).map(|i| f.stream(i).gen()).collect();
-        let ys: Vec<u64> = (0..4).map(|i| StreamFactory::new(7).stream(i).gen()).collect();
+        let ys: Vec<u64> = (0..4)
+            .map(|i| StreamFactory::new(7).stream(i).gen())
+            .collect();
         assert_eq!(xs, ys);
     }
 

@@ -28,7 +28,10 @@ pub struct BatchMeans {
 /// discarded) and compute the batch means.
 pub fn batch_means(data: &[f64], k: usize) -> crate::Result<BatchMeans> {
     if k < 2 {
-        return Err(NumericError::invalid("k", "need at least 2 batches".to_string()));
+        return Err(NumericError::invalid(
+            "k",
+            "need at least 2 batches".to_string(),
+        ));
     }
     if data.len() < 2 * k {
         return Err(NumericError::EmptyInput {
@@ -50,11 +53,7 @@ pub fn batch_means(data: &[f64], k: usize) -> crate::Result<BatchMeans> {
 
 /// Batch-means confidence interval for the steady-state mean of a
 /// (possibly autocorrelated) stationary output stream.
-pub fn batch_means_ci(
-    data: &[f64],
-    k: usize,
-    level: f64,
-) -> crate::Result<ConfidenceInterval> {
+pub fn batch_means_ci(data: &[f64], k: usize, level: f64) -> crate::Result<ConfidenceInterval> {
     if !(0.0 < level && level < 1.0) {
         return Err(NumericError::invalid(
             "level",
@@ -90,10 +89,7 @@ pub fn lag1_autocorrelation(data: &[f64]) -> crate::Result<f64> {
     if var == 0.0 {
         return Ok(0.0);
     }
-    let cov: f64 = data
-        .windows(2)
-        .map(|w| (w[0] - mean) * (w[1] - mean))
-        .sum();
+    let cov: f64 = data.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
     Ok(cov / var)
 }
 

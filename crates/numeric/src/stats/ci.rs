@@ -139,8 +139,12 @@ mod tests {
         for _ in 0..9900 {
             s_large.push(d.sample(&mut rng));
         }
-        let w_small = mean_confidence_interval(&s_small, 0.95).unwrap().half_width();
-        let w_large = mean_confidence_interval(&s_large, 0.95).unwrap().half_width();
+        let w_small = mean_confidence_interval(&s_small, 0.95)
+            .unwrap()
+            .half_width();
+        let w_large = mean_confidence_interval(&s_large, 0.95)
+            .unwrap()
+            .half_width();
         // 100x the data → ~10x narrower.
         assert!(w_large < w_small / 5.0);
     }

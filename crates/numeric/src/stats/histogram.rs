@@ -23,7 +23,10 @@ impl Histogram {
             ));
         }
         if bins == 0 {
-            return Err(NumericError::invalid("bins", "need at least one bin".to_string()));
+            return Err(NumericError::invalid(
+                "bins",
+                "need at least one bin".to_string(),
+            ));
         }
         Ok(Histogram {
             lo,

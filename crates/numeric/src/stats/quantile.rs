@@ -14,7 +14,9 @@ use crate::NumericError;
 /// observations are `<= x`. For `p = 0` this is the minimum.
 pub fn quantile(data: &[f64], p: f64) -> crate::Result<f64> {
     if data.is_empty() {
-        return Err(NumericError::EmptyInput { context: "quantile" });
+        return Err(NumericError::EmptyInput {
+            context: "quantile",
+        });
     }
     if !(0.0..=1.0).contains(&p) {
         return Err(NumericError::invalid(
@@ -30,7 +32,9 @@ pub fn quantile(data: &[f64], p: f64) -> crate::Result<f64> {
 /// Multiple quantiles with a single sort. Probabilities need not be sorted.
 pub fn quantiles(data: &[f64], ps: &[f64]) -> crate::Result<Vec<f64>> {
     if data.is_empty() {
-        return Err(NumericError::EmptyInput { context: "quantiles" });
+        return Err(NumericError::EmptyInput {
+            context: "quantiles",
+        });
     }
     for &p in ps {
         if !(0.0..=1.0).contains(&p) {
@@ -64,7 +68,9 @@ impl Ecdf {
     /// Build from observations (at least one).
     pub fn new(data: &[f64]) -> crate::Result<Self> {
         if data.is_empty() {
-            return Err(NumericError::EmptyInput { context: "Ecdf::new" });
+            return Err(NumericError::EmptyInput {
+                context: "Ecdf::new",
+            });
         }
         let mut sorted = data.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));

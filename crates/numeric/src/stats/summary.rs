@@ -295,8 +295,12 @@ mod tests {
 
     #[test]
     fn covariance_of_independent_streams_is_small() {
-        let xs: Vec<f64> = (0..2000).map(|i| ((i * 7919) % 1000) as f64 / 1000.0).collect();
-        let ys: Vec<f64> = (0..2000).map(|i| ((i * 104729) % 1000) as f64 / 1000.0).collect();
+        let xs: Vec<f64> = (0..2000)
+            .map(|i| ((i * 7919) % 1000) as f64 / 1000.0)
+            .collect();
+        let ys: Vec<f64> = (0..2000)
+            .map(|i| ((i * 104729) % 1000) as f64 / 1000.0)
+            .collect();
         let c = covariance(&xs, &ys);
         assert!(c.abs() < 0.01, "pseudo-independent covariance was {c}");
     }

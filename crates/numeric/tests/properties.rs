@@ -1,8 +1,12 @@
 //! Property-based tests for the numeric substrate: the invariants every
 //! downstream crate silently relies on.
 
-use mde_numeric::dist::special::{reg_inc_beta, reg_lower_gamma, std_normal_cdf, std_normal_quantile};
-use mde_numeric::dist::{Continuous, Distribution, Exponential, LogNormal, Normal, Triangular, Uniform};
+use mde_numeric::dist::special::{
+    reg_inc_beta, reg_lower_gamma, std_normal_cdf, std_normal_quantile,
+};
+use mde_numeric::dist::{
+    Continuous, Distribution, Exponential, LogNormal, Normal, Triangular, Uniform,
+};
 use mde_numeric::linalg::{solve_tridiagonal, Cholesky, Lu, Matrix, Tridiagonal};
 use mde_numeric::rng::{rng_from_seed, StreamFactory};
 use mde_numeric::stats::{quantile, quantiles, Summary};

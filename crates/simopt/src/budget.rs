@@ -10,20 +10,39 @@
 use crate::component::SeriesComposite;
 use crate::efficiency::Statistics;
 use crate::rc::{run_rc, RcConfig, RcEstimate};
+use crate::SimoptError;
 
 /// The RC cost of `n` replications: `C_n = ⌈αn⌉·c₁ + n·c₂`.
 pub fn cost_of(n: usize, alpha: f64, c1: f64, c2: f64) -> f64 {
     (alpha * n as f64).ceil().max(1.0) * c1 + n as f64 * c2
 }
 
+/// Validate the `(alpha, c1, c2)` preconditions shared by the budget
+/// functions. Bad inputs are a caller's configuration error, surfaced as
+/// [`SimoptError::InvalidBudget`] so that budget planning degrades into a
+/// typed failure instead of aborting the process.
+fn check_budget_inputs(alpha: f64, c1: f64, c2: f64) -> Result<(), SimoptError> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(SimoptError::budget(format!(
+            "alpha must be in (0, 1], got {alpha}"
+        )));
+    }
+    if !(c1 > 0.0 && c2 > 0.0) {
+        return Err(SimoptError::budget(format!(
+            "costs must be positive, got c1 = {c1}, c2 = {c2}"
+        )));
+    }
+    Ok(())
+}
+
 /// `N(c) = sup{n ≥ 0 : C_n ≤ c}` — the replication count affordable under
-/// budget `c` at replication fraction `α`. Returns 0 when even `n = 1` is
-/// unaffordable.
-pub fn n_max(budget: f64, alpha: f64, c1: f64, c2: f64) -> usize {
-    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-    assert!(c1 > 0.0 && c2 > 0.0, "costs must be positive");
+/// budget `c` at replication fraction `α`. Returns `Ok(0)` when even
+/// `n = 1` is unaffordable, and [`SimoptError::InvalidBudget`] when `α`
+/// or the costs are out of range.
+pub fn n_max(budget: f64, alpha: f64, c1: f64, c2: f64) -> Result<usize, SimoptError> {
+    check_budget_inputs(alpha, c1, c2)?;
     if cost_of(1, alpha, c1, c2) > budget {
-        return 0;
+        return Ok(0);
     }
     // C_n is nondecreasing in n: binary search the boundary.
     let mut lo = 1usize;
@@ -40,36 +59,37 @@ pub fn n_max(budget: f64, alpha: f64, c1: f64, c2: f64) -> usize {
             hi = mid;
         }
     }
-    lo
+    Ok(lo)
 }
 
 /// Run the budget-constrained RC estimator `U(c)`.
 ///
-/// Returns `None` when the budget cannot afford a single replication.
+/// Returns `Ok(None)` when the budget cannot afford a single replication,
+/// and [`SimoptError::InvalidBudget`] when the configuration is invalid.
 pub fn run_under_budget(
     composite: &SeriesComposite,
     budget: f64,
     alpha: f64,
     seed: u64,
-) -> Option<RcEstimate> {
-    let n = n_max(budget, alpha, composite.m1.cost(), composite.m2.cost());
+) -> Result<Option<RcEstimate>, SimoptError> {
+    let n = n_max(budget, alpha, composite.m1.cost(), composite.m2.cost())?;
     if n == 0 {
-        return None;
+        return Ok(None);
     }
-    Some(run_rc(composite, &RcConfig { n, alpha, seed }))
+    Ok(Some(run_rc(composite, &RcConfig { n, alpha, seed })))
 }
 
 /// Plan the asymptotically optimal budget-constrained run: pick
 /// `α* = optimal_alpha(𝒮, n_max)` (the paper's truncation "at 1/n or 1"),
 /// then size `n` to the budget.
-pub fn plan_optimal(budget: f64, stats: &Statistics) -> (f64, usize) {
+pub fn plan_optimal(budget: f64, stats: &Statistics) -> Result<(f64, usize), SimoptError> {
     // The 1/n truncation is self-referential (α depends on n, n on α);
     // resolve with the untruncated α to size n, then truncate.
     let a_raw = crate::efficiency::optimal_alpha(stats, usize::MAX);
-    let n = n_max(budget, a_raw.max(1e-12), stats.c1, stats.c2).max(1);
+    let n = n_max(budget, a_raw.clamp(1e-12, 1.0), stats.c1, stats.c2)?.max(1);
     let alpha = crate::efficiency::optimal_alpha(stats, n);
-    let n = n_max(budget, alpha, stats.c1, stats.c2);
-    (alpha, n)
+    let n = n_max(budget, alpha, stats.c1, stats.c2)?;
+    Ok((alpha, n))
 }
 
 #[cfg(test)]
@@ -104,7 +124,7 @@ mod tests {
     fn cost_and_nmax_are_consistent() {
         for &alpha in &[0.1, 0.3, 0.5, 1.0] {
             for &budget in &[15.0, 100.0, 1234.0] {
-                let n = n_max(budget, alpha, 10.0, 1.0);
+                let n = n_max(budget, alpha, 10.0, 1.0).unwrap();
                 if n > 0 {
                     assert!(cost_of(n, alpha, 10.0, 1.0) <= budget, "n affordable");
                 }
@@ -118,13 +138,43 @@ mod tests {
 
     #[test]
     fn nmax_zero_when_budget_too_small() {
-        assert_eq!(n_max(5.0, 1.0, 10.0, 1.0), 0);
-        assert!(run_under_budget(&composite(), 5.0, 1.0, 1).is_none());
+        assert_eq!(n_max(5.0, 1.0, 10.0, 1.0).unwrap(), 0);
+        assert!(run_under_budget(&composite(), 5.0, 1.0, 1)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn bad_budget_inputs_are_typed_errors() {
+        // The former `assert!` preconditions, now recoverable.
+        for (alpha, c1, c2) in [
+            (0.0, 10.0, 1.0),
+            (-0.5, 10.0, 1.0),
+            (1.5, 10.0, 1.0),
+            (f64::NAN, 10.0, 1.0),
+            (0.5, 0.0, 1.0),
+            (0.5, 10.0, -1.0),
+        ] {
+            match n_max(1000.0, alpha, c1, c2) {
+                Err(SimoptError::InvalidBudget { .. }) => {}
+                other => panic!("expected InvalidBudget for α={alpha}, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            run_under_budget(&composite(), 500.0, 2.0, 1),
+            Err(SimoptError::InvalidBudget { .. })
+        ));
+        assert!(n_max(1000.0, 2.0, 10.0, 1.0)
+            .unwrap_err()
+            .to_string()
+            .contains("(0, 1]"));
     }
 
     #[test]
     fn budgeted_run_respects_budget() {
-        let est = run_under_budget(&composite(), 500.0, 0.3162, 1).unwrap();
+        let est = run_under_budget(&composite(), 500.0, 0.3162, 1)
+            .unwrap()
+            .unwrap();
         assert!(est.cost <= 500.0);
         // And it shouldn't leave more than one replication of slack.
         assert!(est.cost + 10.0 + 1.0 + 1.0 > 500.0 * 0.9);
@@ -136,11 +186,11 @@ mod tests {
         // lower variance than at α = 1.
         let c = composite();
         let budget = 600.0;
-        let (a_star, _) = plan_optimal(budget, &stats());
+        let (a_star, _) = plan_optimal(budget, &stats()).unwrap();
         let var_at = |alpha: f64| {
             let mut acc = Summary::new();
             for seed in 0..400 {
-                if let Some(est) = run_under_budget(&c, budget, alpha, seed) {
+                if let Some(est) = run_under_budget(&c, budget, alpha, seed).unwrap() {
                     acc.push(est.theta_hat);
                 }
             }
@@ -164,7 +214,7 @@ mod tests {
         let budget = 2000.0;
         let mut acc = Summary::new();
         for seed in 0..500 {
-            let est = run_under_budget(&c, budget, 1.0, seed).unwrap();
+            let est = run_under_budget(&c, budget, 1.0, seed).unwrap().unwrap();
             acc.push(est.theta_hat);
         }
         let scaled = budget * acc.sample_variance();
@@ -176,7 +226,7 @@ mod tests {
 
     #[test]
     fn plan_optimal_produces_feasible_plan() {
-        let (alpha, n) = plan_optimal(1000.0, &stats());
+        let (alpha, n) = plan_optimal(1000.0, &stats()).unwrap();
         assert!((alpha - (0.1f64).sqrt()).abs() < 0.05);
         assert!(n > 0);
         assert!(cost_of(n, alpha, 10.0, 1.0) <= 1000.0);

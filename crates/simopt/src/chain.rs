@@ -50,10 +50,7 @@ impl ChainComposite {
     pub fn run_rc(&self, cfg: &ChainRcConfig) -> RcEstimate {
         assert!(cfg.n > 0, "need at least one replication");
         for (name, a) in [("alpha1", cfg.alpha1), ("alpha2", cfg.alpha2)] {
-            assert!(
-                a > 0.0 && a <= 1.0,
-                "{name} must be in (0, 1], got {a}"
-            );
+            assert!(a > 0.0 && a <= 1.0, "{name} must be in (0, 1], got {a}");
         }
         let m1_count = ((cfg.alpha1 * cfg.n as f64).ceil() as usize).clamp(1, cfg.n);
         let m2_count = ((cfg.alpha2 * cfg.n as f64).ceil() as usize).clamp(1, cfg.n);

@@ -85,10 +85,7 @@ impl SeriesComposite {
     }
 
     /// Add an inter-model transformation.
-    pub fn with_transform(
-        mut self,
-        t: Arc<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>,
-    ) -> Self {
+    pub fn with_transform(mut self, t: Arc<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>) -> Self {
         self.transform = Some(t);
         self
     }
@@ -140,8 +137,8 @@ mod tests {
         let m2 = Arc::new(FnModel::new("sink", 1.0, |x: &[f64], _: &mut Rng| {
             vec![x[0] * 10.0]
         }));
-        let comp = SeriesComposite::new(m1, m2)
-            .with_transform(Arc::new(|y: &[f64]| vec![y[0] + 100.0]));
+        let comp =
+            SeriesComposite::new(m1, m2).with_transform(Arc::new(|y: &[f64]| vec![y[0] + 100.0]));
         let mut rng = rng_from_seed(2);
         let y1 = comp.run_m1(&mut rng);
         assert!(y1[0] > 90.0, "transform applied: {}", y1[0]);

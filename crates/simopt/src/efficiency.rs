@@ -39,7 +39,10 @@ impl Statistics {
     /// Validate basic sanity (positive costs, `0 ≤ V₂ ≤ V₁`).
     pub fn validate(&self) -> Result<(), String> {
         if !(self.c1 > 0.0 && self.c2 > 0.0) {
-            return Err(format!("costs must be positive: c1={}, c2={}", self.c1, self.c2));
+            return Err(format!(
+                "costs must be positive: c1={}, c2={}",
+                self.c1, self.c2
+            ));
         }
         if self.v1 < 0.0 {
             return Err(format!("V1 must be non-negative: {}", self.v1));
@@ -115,7 +118,12 @@ mod tests {
         assert!(stats().validate().is_ok());
         assert!(Statistics { v2: 3.0, ..stats() }.validate().is_err());
         assert!(Statistics { c1: 0.0, ..stats() }.validate().is_err());
-        assert!(Statistics { v1: -1.0, ..stats() }.validate().is_err());
+        assert!(Statistics {
+            v1: -1.0,
+            ..stats()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

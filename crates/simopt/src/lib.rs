@@ -34,8 +34,8 @@
 //! assert!((alpha - 0.3162).abs() < 1e-3);
 //! // Under a budget of 1000 cost units, caching affords 2.4x the
 //! // downstream replications of the naive strategy.
-//! assert_eq!(n_max(1000.0, alpha, 10.0, 1.0), 240);
-//! assert_eq!(n_max(1000.0, 1.0, 10.0, 1.0), 90);
+//! assert_eq!(n_max(1000.0, alpha, 10.0, 1.0).unwrap(), 240);
+//! assert_eq!(n_max(1000.0, 1.0, 10.0, 1.0).unwrap(), 90);
 //! ```
 
 #![warn(missing_docs)]
@@ -44,10 +44,12 @@ pub mod budget;
 pub mod chain;
 pub mod component;
 pub mod efficiency;
+pub mod error;
 pub mod pilot;
 pub mod rc;
 
 pub use component::{FnModel, SeriesComposite, StochModel};
 pub use efficiency::{asymptotic_efficiency, g_exact, g_tilde, optimal_alpha, Statistics};
+pub use error::SimoptError;
 pub use pilot::{MetadataStore, PilotConfig};
 pub use rc::{RcConfig, RcEstimate};

@@ -203,7 +203,10 @@ mod tests {
     fn store_caches_and_amortizes() {
         let mut store = MetadataStore::new();
         let c = composite(1.0, 1.0);
-        let cfg = PilotConfig { pairs: 500, seed: 4 };
+        let cfg = PilotConfig {
+            pairs: 500,
+            seed: 4,
+        };
         let s1 = store.get_or_pilot("demand|queue", &c, &cfg);
         // Second call must be served from the store (same values, no rerun
         // — verified by identity of the stored record).

@@ -208,14 +208,7 @@ mod tests {
         for &alpha in &[0.1, 0.3162, 1.0] {
             let mut acc = Summary::new();
             for seed in 0..300 {
-                let est = run_rc(
-                    &composite(),
-                    &RcConfig {
-                        n: 50,
-                        alpha,
-                        seed,
-                    },
-                );
+                let est = run_rc(&composite(), &RcConfig { n: 50, alpha, seed });
                 acc.push(est.theta_hat);
             }
             let se = acc.sample_std_dev() / (acc.count() as f64).sqrt();
@@ -235,14 +228,7 @@ mod tests {
         let var_at = |alpha: f64| {
             let mut acc = Summary::new();
             for seed in 1000..2200 {
-                let est = run_rc(
-                    &composite(),
-                    &RcConfig {
-                        n: 40,
-                        alpha,
-                        seed,
-                    },
-                );
+                let est = run_rc(&composite(), &RcConfig { n: 40, alpha, seed });
                 acc.push(est.theta_hat);
             }
             acc.sample_variance()
@@ -264,9 +250,7 @@ mod tests {
         let m1 = Arc::new(FnModel::new("src", 1.0, |_: &[f64], rng: &mut Rng| {
             vec![Normal::standard().sample(rng)]
         }));
-        let m2 = Arc::new(FnModel::new("id", 1.0, |x: &[f64], _: &mut Rng| {
-            vec![x[0]]
-        }));
+        let m2 = Arc::new(FnModel::new("id", 1.0, |x: &[f64], _: &mut Rng| vec![x[0]]));
         let c = SeriesComposite::new(m1, m2);
         let est = run_rc(
             &c,
@@ -286,8 +270,22 @@ mod tests {
     fn common_random_numbers_across_alphas() {
         // Same seed ⇒ the first cached M1 outputs coincide across α values.
         let c = composite();
-        let a = run_rc(&c, &RcConfig { n: 12, alpha: 0.5, seed: 3 });
-        let b = run_rc(&c, &RcConfig { n: 12, alpha: 1.0, seed: 3 });
+        let a = run_rc(
+            &c,
+            &RcConfig {
+                n: 12,
+                alpha: 0.5,
+                seed: 3,
+            },
+        );
+        let b = run_rc(
+            &c,
+            &RcConfig {
+                n: 12,
+                alpha: 1.0,
+                seed: 3,
+            },
+        );
         // M2 run 0 consumes M1 output 0 in both cases with the same M2
         // stream, so the first samples agree exactly.
         assert_eq!(a.samples[0], b.samples[0]);

@@ -10,9 +10,7 @@
 //! Run with: `cargo run --example composite_pipeline`
 
 use model_data_ecosystems::core::composite::{CompositeModel, Mismatch, ParamAssignment};
-use model_data_ecosystems::core::experiment::{
-    bridge_chain_to_simopt, rc_plan, Experiment,
-};
+use model_data_ecosystems::core::experiment::{bridge_chain_to_simopt, rc_plan, Experiment};
 use model_data_ecosystems::core::registry::{
     FnSimModel, ModelMetadata, ParamSpec, PerfStats, PortSpec, Registry,
 };
@@ -34,10 +32,23 @@ fn register_models(reg: &mut Registry) {
                 tick: 1.0,
             },
             params: vec![
-                ParamSpec { name: "base".into(), default: 100.0, lo: 60.0, hi: 140.0 },
-                ParamSpec { name: "noise".into(), default: 8.0, lo: 1.0, hi: 20.0 },
+                ParamSpec {
+                    name: "base".into(),
+                    default: 100.0,
+                    lo: 60.0,
+                    hi: 140.0,
+                },
+                ParamSpec {
+                    name: "noise".into(),
+                    default: 8.0,
+                    lo: 1.0,
+                    hi: 20.0,
+                },
             ],
-            perf: PerfStats { cost: 25.0, ..PerfStats::default() },
+            perf: PerfStats {
+                cost: 25.0,
+                ..PerfStats::default()
+            },
         },
         |_inputs, params, rng| {
             let noise = Normal::new(0.0, params[1].max(1e-6))?;
@@ -45,10 +56,8 @@ fn register_models(reg: &mut Registry) {
             let values: Vec<f64> = times
                 .iter()
                 .map(|t| {
-                    (params[0]
-                        + 15.0 * (t * std::f64::consts::TAU / 7.0).sin()
-                        + noise.sample(rng))
-                    .max(0.0)
+                    (params[0] + 15.0 * (t * std::f64::consts::TAU / 7.0).sin() + noise.sample(rng))
+                        .max(0.0)
                 })
                 .collect();
             Ok(TimeSeries::univariate("demand", times, values)?)
@@ -70,8 +79,16 @@ fn register_models(reg: &mut Registry) {
                 channels: vec!["revenue".into()],
                 tick: 7.0,
             },
-            params: vec![ParamSpec { name: "price".into(), default: 2.5, lo: 1.0, hi: 5.0 }],
-            perf: PerfStats { cost: 1.0, ..PerfStats::default() },
+            params: vec![ParamSpec {
+                name: "price".into(),
+                default: 2.5,
+                lo: 1.0,
+                hi: 5.0,
+            }],
+            perf: PerfStats {
+                cost: 1.0,
+                ..PerfStats::default()
+            },
         },
         |inputs, params, rng| {
             // Stochastic conversion: market execution noise on top of the
@@ -144,10 +161,7 @@ fn main() {
         .main_effects(&design, 10, 13, mean_revenue)
         .expect("design run");
     println!("\n== Main effects (2^3 factorial, 10 reps/point) ==");
-    print!(
-        "{}",
-        me.render_ascii(&["base", "noise", "price"])
-    );
+    print!("{}", me.render_ascii(&["base", "noise", "price"]));
 
     // ---- Run optimization: result caching per §2.3.
     let bridged = bridge_chain_to_simopt(
@@ -167,8 +181,10 @@ fn main() {
     println!("optimal replication fraction alpha* = {alpha:.3}");
     let budget = 5_000.0;
     let opt = model_data_ecosystems::simopt::budget::run_under_budget(&bridged, budget, alpha, 3)
+        .expect("valid budget configuration")
         .expect("budget affords runs");
     let naive = model_data_ecosystems::simopt::budget::run_under_budget(&bridged, budget, 1.0, 3)
+        .expect("valid budget configuration")
         .expect("budget affords runs");
     println!(
         "under budget {budget}: alpha* affords n={} M2-replications (m={} M1 runs); \

@@ -61,7 +61,11 @@ fn main() {
         );
         // DEFINE nPreschool AS (SELECT COUNT(pid) FROM Preschool)
         let n_preschool = catalog
-            .query(&preschool.clone().aggregate(&[], vec![AggSpec::count_star("n")]))
+            .query(
+                &preschool
+                    .clone()
+                    .aggregate(&[], vec![AggSpec::count_star("n")]),
+            )
             .and_then(|t| t.scalar())
             .and_then(|v| v.as_i64())
             .expect("count query");

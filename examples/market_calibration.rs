@@ -41,9 +41,8 @@ fn main() {
     println!("  {observed:.4?}");
     println!("true theta*: {:?}\n", theta_star.to_vec());
 
-    let simulator: &Simulator = &|theta: &[f64], seed: u64| {
-        MarketModel::simulate_summary(cfg, theta, seed)
-    };
+    let simulator: &Simulator =
+        &|theta: &[f64], seed: u64| MarketModel::simulate_summary(cfg, theta, seed);
     let bounds = Bounds::new(vec![(0.005, 0.2), (0.005, 0.3), (0.05, 0.8)]);
 
     // ---- Method 1: MSM + Nelder-Mead.
@@ -90,17 +89,34 @@ fn main() {
             .sum::<f64>()
             .sqrt()
     };
-    println!("method            theta-hat                              J(theta)   sim-evals  ||err||");
+    println!(
+        "method            theta-hat                              J(theta)   sim-evals  ||err||"
+    );
     println!(
         "nelder-mead       [{:.4}, {:.4}, {:.4}]   {:>10.6}  {:>9}  {:.4}",
-        nm.x[0], nm.x[1], nm.x[2], nm.fx, nm_evals, err(&nm.x)
+        nm.x[0],
+        nm.x[1],
+        nm.x[2],
+        nm.fx,
+        nm_evals,
+        err(&nm.x)
     );
     println!(
         "genetic (Fabretti)[{:.4}, {:.4}, {:.4}]   {:>10.6}  {:>9}  {:.4}",
-        ga.x[0], ga.x[1], ga.x[2], ga.fx, ga_evals, err(&ga.x)
+        ga.x[0],
+        ga.x[1],
+        ga.x[2],
+        ga.fx,
+        ga_evals,
+        err(&ga.x)
     );
     println!(
         "kriging (S&Y)     [{:.4}, {:.4}, {:.4}]   {:>10.6}  {:>9}  {:.4}",
-        kc.best.x[0], kc.best.x[1], kc.best.x[2], kc.best.fx, kc_evals, err(&kc.best.x)
+        kc.best.x[0],
+        kc.best.x[1],
+        kc.best.x[2],
+        kc.best.fx,
+        kc_evals,
+        err(&kc.best.x)
     );
 }

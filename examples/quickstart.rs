@@ -59,15 +59,13 @@ fn main() {
 
     // ---- 2. Descriptive analytics: the past.
     let history = session
-        .describe(
-            &Plan::scan("CUSTOMERS").aggregate(
-                &["REGION"],
-                vec![
-                    AggSpec::count_star("CUSTOMERS"),
-                    AggSpec::new("UNITS_LAST_YEAR", AggFunc::Sum, Expr::col("HIST_UNITS")),
-                ],
-            ),
-        )
+        .describe(&Plan::scan("CUSTOMERS").aggregate(
+            &["REGION"],
+            vec![
+                AggSpec::count_star("CUSTOMERS"),
+                AggSpec::new("UNITS_LAST_YEAR", AggFunc::Sum, Expr::col("HIST_UNITS")),
+            ],
+        ))
         .expect("descriptive query");
     println!("== What the data says about the past ==\n{history}");
 
@@ -98,11 +96,11 @@ fn main() {
     // under the price increase (the paper's exact example query shape).
     let east_revenue = Plan::scan("NEXT_PERIOD_SALES")
         .filter(Expr::col("REGION").eq(Expr::lit("east")))
-        .project(&[(
-            "REV",
-            Expr::col("UNITS").mul(Expr::lit(price)),
-        )])
-        .aggregate(&[], vec![AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("REV"))]);
+        .project(&[("REV", Expr::col("UNITS").mul(Expr::lit(price)))])
+        .aggregate(
+            &[],
+            vec![AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("REV"))],
+        );
 
     let result = session
         .what_if_parallel(&east_revenue, 1000, 42, 4)

@@ -16,7 +16,11 @@ fn main() {
     db.insert(
         Table::build(
             "PATIENTS",
-            &[("PID", DataType::Int), ("GENDER", DataType::Str), ("AGE", DataType::Int)],
+            &[
+                ("PID", DataType::Int),
+                ("GENDER", DataType::Str),
+                ("AGE", DataType::Int),
+            ],
         )
         .rows((0..500).map(|i| {
             vec![
@@ -48,7 +52,10 @@ fn main() {
 
     // ---- One realization, inspected with SQL.
     let mut realized = db.clone();
-    realized.insert(spec.realize(&db, &mut rng_from_seed(1)).expect("realization"));
+    realized.insert(
+        spec.realize(&db, &mut rng_from_seed(1))
+            .expect("realization"),
+    );
     let by_gender = realized
         .sql(
             "SELECT GENDER, COUNT(*) AS n, AVG(SBP) AS mean_sbp, MAX(SBP) AS max_sbp \

@@ -27,8 +27,7 @@ use model_data_ecosystems::numeric::rng::rng_from_seed;
 fn centroid_x(s: &FireState, width: usize) -> f64 {
     let (mut sum, mut n) = (0.0, 0.0);
     for (i, c) in s.cells.iter().enumerate() {
-        if c.is_burning() || matches!(c, model_data_ecosystems::assim::wildfire::CellFire::Burned)
-        {
+        if c.is_burning() || matches!(c, model_data_ecosystems::assim::wildfire::CellFire::Burned) {
             sum += (i % width) as f64;
             n += 1.0;
         }

@@ -21,16 +21,22 @@ use std::sync::Arc;
 fn what_if_session_full_loop() {
     let mut session = WhatIfSession::new();
     session.add_data(
-        Table::build("ITEMS", &[("IID", DataType::Int), ("PRICE", DataType::Float)])
-            .rows((0..25).map(|i| vec![Value::from(i), Value::from(5.0 + (i % 5) as f64)]))
-            .finish()
-            .unwrap(),
+        Table::build(
+            "ITEMS",
+            &[("IID", DataType::Int), ("PRICE", DataType::Float)],
+        )
+        .rows((0..25).map(|i| vec![Value::from(i), Value::from(5.0 + (i % 5) as f64)]))
+        .finish()
+        .unwrap(),
     );
     session.add_data(
-        Table::build("PARAMS", &[("MEAN", DataType::Float), ("STD", DataType::Float)])
-            .row(vec![Value::from(20.0), Value::from(4.0)])
-            .finish()
-            .unwrap(),
+        Table::build(
+            "PARAMS",
+            &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+        )
+        .row(vec![Value::from(20.0), Value::from(4.0)])
+        .finish()
+        .unwrap(),
     );
     session.attach_stochastic(
         RandomTableSpec::builder("DEMAND")
@@ -49,7 +55,10 @@ fn what_if_session_full_loop() {
     // Revenue = Σ price × units across items.
     let q = Plan::scan("DEMAND")
         .project(&[("REV", Expr::col("PRICE").mul(Expr::col("UNITS")))])
-        .aggregate(&[], vec![AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("REV"))]);
+        .aggregate(
+            &[],
+            vec![AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("REV"))],
+        );
     let res = session.what_if(&q, 400, 3).unwrap();
 
     // E[total] = 20 × Σ price = 20 × 25 × 7 = 3500.

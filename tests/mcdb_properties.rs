@@ -17,24 +17,22 @@ use std::sync::Arc;
 fn base_catalog(n_items: usize, mean: f64, std: f64) -> Catalog {
     let mut db = Catalog::new();
     db.insert(
-        Table::build(
-            "ITEMS",
-            &[("IID", DataType::Int), ("GROUP", DataType::Str)],
-        )
-        .rows((0..n_items).map(|i| {
-            vec![
-                Value::from(i as i64),
-                Value::from(["a", "b", "c"][i % 3]),
-            ]
-        }))
-        .finish()
-        .unwrap(),
-    );
-    db.insert(
-        Table::build("PARAMS", &[("MEAN", DataType::Float), ("STD", DataType::Float)])
-            .row(vec![Value::from(mean), Value::from(std)])
+        Table::build("ITEMS", &[("IID", DataType::Int), ("GROUP", DataType::Str)])
+            .rows(
+                (0..n_items)
+                    .map(|i| vec![Value::from(i as i64), Value::from(["a", "b", "c"][i % 3])]),
+            )
             .finish()
             .unwrap(),
+    );
+    db.insert(
+        Table::build(
+            "PARAMS",
+            &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+        )
+        .row(vec![Value::from(mean), Value::from(std)])
+        .finish()
+        .unwrap(),
     );
     db
 }

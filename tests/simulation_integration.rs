@@ -143,8 +143,8 @@ fn wildfire_filter_tracks_truth() {
         total_err += (s.estimate(|x| x.burning_count() as f64) - t.burning_count() as f64).abs();
     }
     let mean_err = total_err / truth.len() as f64;
-    let mean_truth: f64 = truth.iter().map(|t| t.burning_count() as f64).sum::<f64>()
-        / truth.len() as f64;
+    let mean_truth: f64 =
+        truth.iter().map(|t| t.burning_count() as f64).sum::<f64>() / truth.len() as f64;
     assert!(
         mean_err < mean_truth * 0.5,
         "mean error {mean_err} vs mean truth {mean_truth}"
@@ -152,7 +152,9 @@ fn wildfire_filter_tracks_truth() {
     // Also verify the open-loop (no assimilation) baseline is worse — the
     // §3.2 headline.
     let mut open_rng = rng_from_seed(6);
-    let mut open: Vec<_> = (0..150).map(|_| model.sample_initial(&mut open_rng)).collect();
+    let mut open: Vec<_> = (0..150)
+        .map(|_| model.sample_initial(&mut open_rng))
+        .collect();
     let mut open_err = 0.0;
     for (t, tru) in truth.iter().enumerate() {
         if t > 0 {

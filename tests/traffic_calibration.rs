@@ -34,9 +34,8 @@ fn recovers_driver_noise_from_flow_observations() {
         }
     }
 
-    let simulator: &Simulator = &|theta: &[f64], seed: u64| {
-        flows_at(theta[0].clamp(0.0, 0.9), seed)
-    };
+    let simulator: &Simulator =
+        &|theta: &[f64], seed: u64| flows_at(theta[0].clamp(0.0, 0.9), seed);
     let problem = MsmProblem::new(observed, simulator, 3, 7);
     let res = problem.calibrate(&[0.1], 60).unwrap();
     let p_hat = res.x[0].clamp(0.0, 0.9);
