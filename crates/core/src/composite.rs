@@ -479,6 +479,7 @@ pub struct McOutput {
 mod tests {
     use super::*;
     use crate::registry::testutil::{demand_model, revenue_model};
+    use mde_numeric::resilience::RunPolicy;
 
     fn registry() -> Registry {
         let mut reg = Registry::new();

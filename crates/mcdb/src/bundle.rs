@@ -244,9 +244,11 @@ impl BundledTable {
         n_iters: usize,
         rng: &mut Rng,
     ) -> crate::Result<Self> {
+        // Plan the spec once; only realization repeats per iteration.
+        let prepared = spec.prepare(catalog)?;
         let mut rows = Vec::new();
         for i in 0..n_iters {
-            let t = spec.realize(catalog, rng)?;
+            let t = prepared.realize(catalog, rng)?;
             for r in t.rows() {
                 let mut mask = vec![false; n_iters];
                 mask[i] = true;

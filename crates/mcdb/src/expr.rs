@@ -346,7 +346,7 @@ impl BoundExpr {
     }
 }
 
-fn eval_binary(op: BinOp, l: Value, r: Value) -> crate::Result<Value> {
+pub(crate) fn eval_binary(op: BinOp, l: Value, r: Value) -> crate::Result<Value> {
     use BinOp::*;
     match op {
         Add | Sub | Mul | Div => eval_arith(op, l, r),
@@ -452,7 +452,7 @@ fn eval_logic(op: BinOp, l: Value, r: Value) -> crate::Result<Value> {
     Ok(out.map_or(Value::Null, Value::Bool))
 }
 
-fn eval_unary(op: UnOp, v: Value) -> crate::Result<Value> {
+pub(crate) fn eval_unary(op: UnOp, v: Value) -> crate::Result<Value> {
     match op {
         UnOp::IsNull => Ok(Value::Bool(v.is_null())),
         UnOp::Neg => match v {
@@ -477,7 +477,7 @@ fn eval_unary(op: UnOp, v: Value) -> crate::Result<Value> {
     }
 }
 
-fn eval_func(func: ScalarFunc, v: Value) -> crate::Result<Value> {
+pub(crate) fn eval_func(func: ScalarFunc, v: Value) -> crate::Result<Value> {
     if v.is_null() {
         return Ok(Value::Null);
     }
@@ -509,6 +509,558 @@ fn eval_func(func: ScalarFunc, v: Value) -> crate::Result<Value> {
         }
     };
     Ok(Value::Float(out))
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized evaluation
+// ---------------------------------------------------------------------------
+
+use crate::query::batch::Batch;
+use crate::query::column::{ColumnVec, NullMask};
+use std::borrow::Cow;
+
+/// Intermediate result of evaluating one expression node over a batch:
+/// either a full column (borrowed straight from the batch when no selection
+/// vector is active, owned when computed) or a single constant that has not
+/// been broadcast yet. Keeping literals as constants lets `col ⊕ const`
+/// kernels avoid materializing the constant side at all.
+enum BatchVal<'a> {
+    Col(Cow<'a, ColumnVec>),
+    Const(Value),
+}
+
+impl BatchVal<'_> {
+    fn value(&self, i: usize) -> Value {
+        match self {
+            BatchVal::Col(c) => c.value(i),
+            BatchVal::Const(v) => v.clone(),
+        }
+    }
+
+    /// Whether every lane is guaranteed Null (a Null constant or an
+    /// untyped all-null column).
+    fn is_all_null(&self) -> bool {
+        match self {
+            BatchVal::Const(v) => v.is_null(),
+            BatchVal::Col(c) => matches!(c.as_ref(), ColumnVec::AllNull { .. }),
+        }
+    }
+}
+
+/// Lane accessor over a numeric operand (Int/Float column or constant).
+enum NumAcc<'a> {
+    I(&'a [i64], &'a NullMask),
+    F(&'a [f64], &'a NullMask),
+    CI(i64),
+    CF(f64),
+}
+
+impl NumAcc<'_> {
+    fn is_int(&self) -> bool {
+        matches!(self, NumAcc::I(..) | NumAcc::CI(_))
+    }
+
+    /// `(value, is_null)` as i64 — only meaningful when [`Self::is_int`].
+    #[inline]
+    fn get_i64(&self, i: usize) -> (i64, bool) {
+        match self {
+            NumAcc::I(d, n) => (d[i], n.is_null(i)),
+            NumAcc::CI(x) => (*x, false),
+            _ => unreachable!("get_i64 on a float accessor"),
+        }
+    }
+
+    /// `(value, is_null)` widened to f64.
+    #[inline]
+    fn get_f64(&self, i: usize) -> (f64, bool) {
+        match self {
+            NumAcc::I(d, n) => (d[i] as f64, n.is_null(i)),
+            NumAcc::F(d, n) => (d[i], n.is_null(i)),
+            NumAcc::CI(x) => (*x as f64, false),
+            NumAcc::CF(x) => (*x, false),
+        }
+    }
+
+    /// The lane as a [`Value`] with its original type (for error messages
+    /// that must match the row-at-a-time engine byte for byte).
+    fn value(&self, i: usize) -> Value {
+        match self {
+            NumAcc::I(d, n) => {
+                if n.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Int(d[i])
+                }
+            }
+            NumAcc::F(d, n) => {
+                if n.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Float(d[i])
+                }
+            }
+            NumAcc::CI(x) => Value::Int(*x),
+            NumAcc::CF(x) => Value::Float(*x),
+        }
+    }
+}
+
+fn num_acc<'a>(v: &'a BatchVal<'a>) -> Option<NumAcc<'a>> {
+    match v {
+        BatchVal::Col(c) => match c.as_ref() {
+            ColumnVec::Int { data, nulls } => Some(NumAcc::I(data, nulls)),
+            ColumnVec::Float { data, nulls } => Some(NumAcc::F(data, nulls)),
+            _ => None,
+        },
+        BatchVal::Const(Value::Int(x)) => Some(NumAcc::CI(*x)),
+        BatchVal::Const(Value::Float(x)) => Some(NumAcc::CF(*x)),
+        _ => None,
+    }
+}
+
+/// Lane accessor over a string operand.
+enum StrAcc<'a> {
+    S(&'a [std::sync::Arc<str>], &'a NullMask),
+    C(&'a std::sync::Arc<str>),
+}
+
+impl StrAcc<'_> {
+    /// `(value, is_null)`; the payload is only valid when not null.
+    #[inline]
+    fn get(&self, i: usize) -> (&str, bool) {
+        match self {
+            StrAcc::S(d, n) => (&d[i], n.is_null(i)),
+            StrAcc::C(s) => (s, false),
+        }
+    }
+}
+
+fn str_acc<'a>(v: &'a BatchVal<'a>) -> Option<StrAcc<'a>> {
+    match v {
+        BatchVal::Col(c) => match c.as_ref() {
+            ColumnVec::Str { data, nulls } => Some(StrAcc::S(data, nulls)),
+            _ => None,
+        },
+        BatchVal::Const(Value::Str(s)) => Some(StrAcc::C(s)),
+        _ => None,
+    }
+}
+
+/// Lane accessor over a Kleene boolean operand (`Some(b)` or null).
+enum BoolAcc<'a> {
+    B(&'a [bool], &'a NullMask),
+    C(Option<bool>),
+    AllNull,
+}
+
+impl BoolAcc<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> Option<bool> {
+        match self {
+            BoolAcc::B(d, n) => {
+                if n.is_null(i) {
+                    None
+                } else {
+                    Some(d[i])
+                }
+            }
+            BoolAcc::C(b) => *b,
+            BoolAcc::AllNull => None,
+        }
+    }
+}
+
+fn bool_acc<'a>(v: &'a BatchVal<'a>) -> Option<BoolAcc<'a>> {
+    match v {
+        BatchVal::Col(c) => match c.as_ref() {
+            ColumnVec::Bool { data, nulls } => Some(BoolAcc::B(data, nulls)),
+            ColumnVec::AllNull { .. } => Some(BoolAcc::AllNull),
+            _ => None,
+        },
+        BatchVal::Const(Value::Bool(b)) => Some(BoolAcc::C(Some(*b))),
+        BatchVal::Const(Value::Null) => Some(BoolAcc::C(None)),
+        _ => None,
+    }
+}
+
+#[inline]
+fn cmp_to_bool(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinOp::Eq => ord == Equal,
+        BinOp::Ne => ord != Equal,
+        BinOp::Lt => ord == Less,
+        BinOp::Le => ord != Greater,
+        BinOp::Gt => ord == Greater,
+        BinOp::Ge => ord != Less,
+        _ => unreachable!("cmp_to_bool only handles comparison ops"),
+    }
+}
+
+/// Per-lane fallback through the scalar evaluator — used for operand type
+/// combinations with no dedicated kernel so error behavior is identical to
+/// the row engine by construction.
+fn map2_scalar(
+    op: BinOp,
+    l: &BatchVal<'_>,
+    r: &BatchVal<'_>,
+    lanes: usize,
+) -> crate::Result<ColumnVec> {
+    let mut out = Vec::with_capacity(lanes);
+    for i in 0..lanes {
+        out.push(eval_binary(op, l.value(i), r.value(i))?);
+    }
+    ColumnVec::from_values(out)
+}
+
+fn arith_batch(
+    op: BinOp,
+    l: &BatchVal<'_>,
+    r: &BatchVal<'_>,
+    lanes: usize,
+) -> crate::Result<ColumnVec> {
+    if l.is_all_null() || r.is_all_null() {
+        return Ok(ColumnVec::AllNull { len: lanes });
+    }
+    let (Some(la), Some(ra)) = (num_acc(l), num_acc(r)) else {
+        return map2_scalar(op, l, r, lanes);
+    };
+    if la.is_int() && ra.is_int() && op != BinOp::Div {
+        let mut data = vec![0i64; lanes];
+        let mut nulls = NullMask::all_valid(lanes);
+        for (i, slot) in data.iter_mut().enumerate() {
+            let (a, an) = la.get_i64(i);
+            let (b, bn) = ra.get_i64(i);
+            if an || bn {
+                nulls.set_null(i);
+                continue;
+            }
+            *slot = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                _ => unreachable!("int arith kernel"),
+            };
+        }
+        return Ok(ColumnVec::Int { data, nulls });
+    }
+    let mut data = vec![0.0f64; lanes];
+    let mut nulls = NullMask::all_valid(lanes);
+    for (i, slot) in data.iter_mut().enumerate() {
+        let (a, an) = la.get_f64(i);
+        let (b, bn) = ra.get_f64(i);
+        if an || bn {
+            nulls.set_null(i);
+            continue;
+        }
+        match op {
+            BinOp::Add => *slot = a + b,
+            BinOp::Sub => *slot = a - b,
+            BinOp::Mul => *slot = a * b,
+            BinOp::Div => {
+                if b == 0.0 {
+                    nulls.set_null(i);
+                } else {
+                    *slot = a / b;
+                }
+            }
+            _ => unreachable!("float arith kernel"),
+        }
+    }
+    Ok(ColumnVec::Float { data, nulls })
+}
+
+fn cmp_batch(
+    op: BinOp,
+    l: &BatchVal<'_>,
+    r: &BatchVal<'_>,
+    lanes: usize,
+) -> crate::Result<ColumnVec> {
+    if l.is_all_null() || r.is_all_null() {
+        return Ok(ColumnVec::AllNull { len: lanes });
+    }
+    if let (Some(la), Some(ra)) = (num_acc(l), num_acc(r)) {
+        let mut data = vec![false; lanes];
+        let mut nulls = NullMask::all_valid(lanes);
+        if la.is_int() && ra.is_int() {
+            // Exact i64 ordering, matching Value::sql_cmp for Int × Int.
+            for (i, slot) in data.iter_mut().enumerate() {
+                let (a, an) = la.get_i64(i);
+                let (b, bn) = ra.get_i64(i);
+                if an || bn {
+                    nulls.set_null(i);
+                    continue;
+                }
+                *slot = cmp_to_bool(op, a.cmp(&b));
+            }
+        } else {
+            for (i, slot) in data.iter_mut().enumerate() {
+                let (a, an) = la.get_f64(i);
+                let (b, bn) = ra.get_f64(i);
+                if an || bn {
+                    nulls.set_null(i);
+                    continue;
+                }
+                match a.partial_cmp(&b) {
+                    Some(ord) => *slot = cmp_to_bool(op, ord),
+                    // NaN: same error the scalar path raises.
+                    None => {
+                        return Err(McdbError::type_mismatch(
+                            "comparison",
+                            "comparable values".to_string(),
+                            format!("{} vs {}", la.value(i), ra.value(i)),
+                        ))
+                    }
+                }
+            }
+        }
+        return Ok(ColumnVec::Bool { data, nulls });
+    }
+    if let (Some(la), Some(ra)) = (str_acc(l), str_acc(r)) {
+        let mut data = vec![false; lanes];
+        let mut nulls = NullMask::all_valid(lanes);
+        for (i, slot) in data.iter_mut().enumerate() {
+            let (a, an) = la.get(i);
+            let (b, bn) = ra.get(i);
+            if an || bn {
+                nulls.set_null(i);
+                continue;
+            }
+            *slot = cmp_to_bool(op, a.cmp(b));
+        }
+        return Ok(ColumnVec::Bool { data, nulls });
+    }
+    map2_scalar(op, l, r, lanes)
+}
+
+fn logic_batch(
+    op: BinOp,
+    l: &BatchVal<'_>,
+    r: &BatchVal<'_>,
+    lanes: usize,
+) -> crate::Result<ColumnVec> {
+    let (Some(la), Some(ra)) = (bool_acc(l), bool_acc(r)) else {
+        return map2_scalar(op, l, r, lanes);
+    };
+    let mut data = vec![false; lanes];
+    let mut nulls = NullMask::all_valid(lanes);
+    for (i, slot) in data.iter_mut().enumerate() {
+        let (a, b) = (la.get(i), ra.get(i));
+        let out = match op {
+            BinOp::And => match (a, b) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (a, b) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!("logic kernel"),
+        };
+        match out {
+            Some(v) => *slot = v,
+            None => nulls.set_null(i),
+        }
+    }
+    Ok(ColumnVec::Bool { data, nulls })
+}
+
+fn unary_batch(op: UnOp, v: &BatchVal<'_>, lanes: usize) -> crate::Result<ColumnVec> {
+    match op {
+        UnOp::IsNull => {
+            let data = match v {
+                BatchVal::Const(c) => vec![c.is_null(); lanes],
+                BatchVal::Col(c) => (0..lanes).map(|i| c.is_null(i)).collect(),
+            };
+            Ok(ColumnVec::Bool {
+                data,
+                nulls: NullMask::all_valid(lanes),
+            })
+        }
+        UnOp::Neg => match v {
+            BatchVal::Col(c) => match c.as_ref() {
+                ColumnVec::Int { data, nulls } => Ok(ColumnVec::Int {
+                    data: data
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| if nulls.is_null(i) { 0 } else { -x })
+                        .collect(),
+                    nulls: nulls.clone(),
+                }),
+                ColumnVec::Float { data, nulls } => Ok(ColumnVec::Float {
+                    data: data.iter().map(|x| -x).collect(),
+                    nulls: nulls.clone(),
+                }),
+                ColumnVec::AllNull { .. } => Ok(ColumnVec::AllNull { len: lanes }),
+                _ => map1_scalar(op, v, lanes),
+            },
+            BatchVal::Const(_) => map1_scalar(op, v, lanes),
+        },
+        UnOp::Not => match bool_acc(v) {
+            Some(acc) => {
+                let mut data = vec![false; lanes];
+                let mut nulls = NullMask::all_valid(lanes);
+                for (i, slot) in data.iter_mut().enumerate() {
+                    match acc.get(i) {
+                        Some(b) => *slot = !b,
+                        None => nulls.set_null(i),
+                    }
+                }
+                Ok(ColumnVec::Bool { data, nulls })
+            }
+            None => map1_scalar(op, v, lanes),
+        },
+    }
+}
+
+fn map1_scalar(op: UnOp, v: &BatchVal<'_>, lanes: usize) -> crate::Result<ColumnVec> {
+    let mut out = Vec::with_capacity(lanes);
+    for i in 0..lanes {
+        out.push(eval_unary(op, v.value(i))?);
+    }
+    ColumnVec::from_values(out)
+}
+
+fn func_batch(func: ScalarFunc, v: &BatchVal<'_>, lanes: usize) -> crate::Result<ColumnVec> {
+    if v.is_all_null() {
+        return Ok(ColumnVec::AllNull { len: lanes });
+    }
+    if func == ScalarFunc::Abs {
+        if let BatchVal::Col(c) = v {
+            // Abs preserves Int-ness, matching the scalar path.
+            if let ColumnVec::Int { data, nulls } = c.as_ref() {
+                return Ok(ColumnVec::Int {
+                    data: data
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| if nulls.is_null(i) { 0 } else { x.abs() })
+                        .collect(),
+                    nulls: nulls.clone(),
+                });
+            }
+        }
+        if let BatchVal::Const(Value::Int(x)) = v {
+            return Ok(ColumnVec::broadcast(&Value::Int(x.abs()), lanes));
+        }
+    }
+    let Some(acc) = num_acc(v) else {
+        let mut out = Vec::with_capacity(lanes);
+        for i in 0..lanes {
+            out.push(eval_func(func, v.value(i))?);
+        }
+        return ColumnVec::from_values(out);
+    };
+    let mut data = vec![0.0f64; lanes];
+    let mut nulls = NullMask::all_valid(lanes);
+    for (i, slot) in data.iter_mut().enumerate() {
+        let (x, is_null) = acc.get_f64(i);
+        if is_null {
+            nulls.set_null(i);
+            continue;
+        }
+        match func {
+            ScalarFunc::Abs => *slot = x.abs(),
+            ScalarFunc::Floor => *slot = x.floor(),
+            ScalarFunc::Ceil => *slot = x.ceil(),
+            ScalarFunc::Sqrt => {
+                if x < 0.0 {
+                    nulls.set_null(i);
+                } else {
+                    *slot = x.sqrt();
+                }
+            }
+            ScalarFunc::Exp => *slot = x.exp(),
+            ScalarFunc::Ln => {
+                if x <= 0.0 {
+                    nulls.set_null(i);
+                } else {
+                    *slot = x.ln();
+                }
+            }
+        }
+    }
+    Ok(ColumnVec::Float { data, nulls })
+}
+
+impl BoundExpr {
+    /// Evaluate over a whole batch, producing one column.
+    ///
+    /// `sel` is an optional selection vector: only the listed row indices
+    /// are evaluated (in that order), and the result has one lane per
+    /// selected row. Semantics — null propagation, Kleene logic without
+    /// short-circuiting, wrapping integer arithmetic, division-by-zero and
+    /// function-domain Nulls, and every error message — are identical to
+    /// calling [`BoundExpr::eval`] on each selected row; typed kernels
+    /// cover the common operand shapes and anything else falls back to the
+    /// scalar evaluator per lane.
+    pub fn eval_batch(&self, batch: &Batch, sel: Option<&[u32]>) -> crate::Result<ColumnVec> {
+        let lanes = sel.map_or(batch.len(), |s| s.len());
+        if lanes == 0 {
+            // The row engine never evaluates expressions over zero rows, so
+            // neither do we (avoids raising type errors legacy cannot hit).
+            return Ok(ColumnVec::AllNull { len: 0 });
+        }
+        match self.eval_batch_inner(batch, sel, lanes)? {
+            BatchVal::Col(c) => Ok(c.into_owned()),
+            BatchVal::Const(v) => Ok(ColumnVec::broadcast(&v, lanes)),
+        }
+    }
+
+    fn eval_batch_inner<'a>(
+        &'a self,
+        batch: &'a Batch,
+        sel: Option<&[u32]>,
+        lanes: usize,
+    ) -> crate::Result<BatchVal<'a>> {
+        Ok(match self {
+            BoundExpr::Col(i) => {
+                if *i >= batch.schema().len() {
+                    return Err(McdbError::ArityMismatch {
+                        context: "BoundExpr::eval".to_string(),
+                        expected: i + 1,
+                        found: batch.schema().len(),
+                    });
+                }
+                match sel {
+                    None => BatchVal::Col(Cow::Borrowed(batch.column(*i))),
+                    Some(s) => BatchVal::Col(Cow::Owned(batch.column(*i).gather(s))),
+                }
+            }
+            BoundExpr::Lit(v) => BatchVal::Const(v.clone()),
+            BoundExpr::Binary { op, left, right } => {
+                let l = left.eval_batch_inner(batch, sel, lanes)?;
+                let r = right.eval_batch_inner(batch, sel, lanes)?;
+                if let (BatchVal::Const(a), BatchVal::Const(b)) = (&l, &r) {
+                    // Constant × constant: evaluate once (lanes > 0, so the
+                    // scalar path would evaluate it at least once too).
+                    return Ok(BatchVal::Const(eval_binary(*op, a.clone(), b.clone())?));
+                }
+                use BinOp::*;
+                let col = match op {
+                    Add | Sub | Mul | Div => arith_batch(*op, &l, &r, lanes)?,
+                    Eq | Ne | Lt | Le | Gt | Ge => cmp_batch(*op, &l, &r, lanes)?,
+                    And | Or => logic_batch(*op, &l, &r, lanes)?,
+                };
+                BatchVal::Col(Cow::Owned(col))
+            }
+            BoundExpr::Unary { op, expr } => {
+                let v = expr.eval_batch_inner(batch, sel, lanes)?;
+                if let BatchVal::Const(c) = &v {
+                    return Ok(BatchVal::Const(eval_unary(*op, c.clone())?));
+                }
+                BatchVal::Col(Cow::Owned(unary_batch(*op, &v, lanes)?))
+            }
+            BoundExpr::Func { func, arg } => {
+                let v = arg.eval_batch_inner(batch, sel, lanes)?;
+                if let BatchVal::Const(c) = &v {
+                    return Ok(BatchVal::Const(eval_func(*func, c.clone())?));
+                }
+                BatchVal::Col(Cow::Owned(func_batch(*func, &v, lanes)?))
+            }
+        })
+    }
 }
 
 #[cfg(test)]

@@ -26,8 +26,9 @@
 //! dropped best-effort with the damage recorded in a [`RunReport`]. See
 //! [`MonteCarloQuery::run_with_options`].
 
-use crate::query::{Catalog, Plan};
-use crate::random_table::RandomTableSpec;
+use crate::query::{Catalog, Plan, PreparedQuery};
+use crate::random_table::{PreparedRandomTable, RandomTableSpec};
+use crate::table::Table;
 use mde_numeric::resilience::{
     catch_panic, retry_seed, supervise_replicate, AttemptFailure, FaultKind, ReplicateOutcome,
     RunOptions, RunPolicy, RunReport,
@@ -118,13 +119,27 @@ impl MonteCarloQuery {
         seed: u64,
         opts: &RunOptions,
     ) -> crate::Result<McRun> {
+        // Plan once: specs and the aggregate query are prepared against the
+        // base catalog (plus placeholder schemas for the stochastic
+        // tables), then executed per replicate. Prepare-time errors are
+        // structural — they would fail identically on every attempt — so
+        // they abort under every policy, exactly as fatal runtime errors
+        // did when planning happened inside each replicate.
+        let prepared = prepare_task(&self.specs, &self.query, catalog)?;
         let factory = StreamFactory::new(seed);
         let mut scratch = catalog.clone();
         let mut samples = Vec::with_capacity(n);
         let mut report = RunReport::new();
         for i in 0..n {
-            let outcome =
-                self.supervised_iteration(catalog, &mut scratch, &factory, seed, i as u64, opts);
+            let outcome = self.supervised_iteration(
+                &prepared,
+                catalog,
+                &mut scratch,
+                &factory,
+                seed,
+                i as u64,
+                opts,
+            );
             report.absorb(&outcome);
             match outcome {
                 ReplicateOutcome::Success { value, .. } => samples.push(value),
@@ -154,6 +169,9 @@ impl MonteCarloQuery {
     ) -> crate::Result<McRun> {
         type WorkerOut = Result<Vec<(usize, f64)>, McdbAbort>;
         let threads = threads.clamp(1, n.max(1));
+        // Plan once, before any worker starts; every thread executes the
+        // same shared prepared plans against its own scratch catalog.
+        let prepared = prepare_task(&self.specs, &self.query, catalog)?;
         let factory = StreamFactory::new(seed);
         let mut results: Vec<Option<(WorkerOut, RunReport)>> = (0..threads).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
@@ -161,6 +179,7 @@ impl MonteCarloQuery {
             for t in 0..threads {
                 let spec = &*self;
                 let cat = catalog;
+                let prepared = &prepared;
                 handles.push(scope.spawn(move |_| {
                     let mut scratch = cat.clone();
                     let mut out = Vec::new();
@@ -169,6 +188,7 @@ impl MonteCarloQuery {
                     let mut i = t;
                     while i < n {
                         let outcome = spec.supervised_iteration(
+                            prepared,
                             cat,
                             &mut scratch,
                             &factory,
@@ -222,8 +242,10 @@ impl MonteCarloQuery {
     /// any scheduled fault, deriving fresh sub-seeds for reseeding
     /// retries, and resetting the scratch catalog after a failed attempt
     /// (a panic can leave partially realized tables behind).
+    #[allow(clippy::too_many_arguments)]
     fn supervised_iteration(
         &self,
+        prepared: &PreparedMc,
         catalog: &Catalog,
         scratch: &mut Catalog,
         factory: &StreamFactory,
@@ -254,7 +276,7 @@ impl MonteCarloQuery {
                 if injected == Some(FaultKind::Panic) {
                     panic!("injected fault: panic in replicate {i} attempt {a}");
                 }
-                let v = self.realize_and_query(scratch, &iter_factory)?;
+                let v = realize_and_query(prepared, scratch, &iter_factory)?;
                 Ok(if injected == Some(FaultKind::Nan) {
                     f64::NAN
                 } else {
@@ -306,32 +328,65 @@ impl MonteCarloQuery {
         let result = execute_bundled(&self.query, &bc)?;
         Ok(McResult::new(result.scalar_samples()?))
     }
+}
 
-    /// Realize every stochastic table from `iter_factory`'s streams and
-    /// evaluate the aggregate query. The attempt body of a supervised
-    /// replicate: the caller chooses the factory (legacy `child(i)` on
-    /// attempt 0, a [`retry_seed`]-derived one on reseeding retries).
-    fn realize_and_query(
-        &self,
-        scratch: &mut Catalog,
-        iter_factory: &StreamFactory,
-    ) -> crate::Result<f64> {
-        for (k, spec) in self.specs.iter().enumerate() {
-            let mut rng = iter_factory.stream(k as u64);
-            let t = spec.realize(scratch, &mut rng)?;
-            scratch.insert(t);
-        }
-        let result = scratch.query(&self.query)?;
-        let v = result.scalar()?;
-        if v.is_null() {
-            // SQL aggregates over empty inputs yield NULL; represent as NaN?
-            // No — surface it, the analyst must handle empty events.
-            return Err(crate::McdbError::invalid_plan(
-                "Monte Carlo query produced NULL; guard the aggregate with COUNT or COALESCE-style logic",
-            ));
-        }
-        v.as_f64()
+/// A Monte Carlo task lowered to prepared form: every spec's driver and
+/// parameter query planned, every expression bound, and the aggregate
+/// query planned against the realized-table schemas — all exactly once per
+/// run, shared by every replicate (and every worker thread).
+#[derive(Debug, Clone)]
+struct PreparedMc {
+    specs: Vec<PreparedRandomTable>,
+    query: PreparedQuery,
+}
+
+/// Prepare the specs and query against the base catalog. Specs prepare in
+/// realization order against a planning catalog that accumulates empty
+/// placeholder tables for each spec's output, so later specs and the final
+/// query can reference earlier stochastic tables by schema.
+fn prepare_task(
+    specs: &[RandomTableSpec],
+    query: &Plan,
+    catalog: &Catalog,
+) -> crate::Result<PreparedMc> {
+    let mut planning = catalog.clone();
+    let mut prepared = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let p = spec.prepare(&planning)?;
+        planning.insert(Table::new(p.name(), p.output_schema().clone()));
+        prepared.push(p);
     }
+    let query = PreparedQuery::prepare(query, &planning)?;
+    Ok(PreparedMc {
+        specs: prepared,
+        query,
+    })
+}
+
+/// Realize every stochastic table from `iter_factory`'s streams and
+/// evaluate the aggregate query. The attempt body of a supervised
+/// replicate: the caller chooses the factory (legacy `child(i)` on
+/// attempt 0, a [`retry_seed`]-derived one on reseeding retries).
+fn realize_and_query(
+    prepared: &PreparedMc,
+    scratch: &mut Catalog,
+    iter_factory: &StreamFactory,
+) -> crate::Result<f64> {
+    for (k, spec) in prepared.specs.iter().enumerate() {
+        let mut rng = iter_factory.stream(k as u64);
+        let t = spec.realize(scratch, &mut rng)?;
+        scratch.insert(t);
+    }
+    let result = prepared.query.execute(scratch)?;
+    let v = result.scalar()?;
+    if v.is_null() {
+        // SQL aggregates over empty inputs yield NULL; represent as NaN?
+        // No — surface it, the analyst must handle empty events.
+        return Err(crate::McdbError::invalid_plan(
+            "Monte Carlo query produced NULL; guard the aggregate with COUNT or COALESCE-style logic",
+        ));
+    }
+    v.as_f64()
 }
 
 /// A supervised Monte Carlo run: the estimation result over the surviving
@@ -538,19 +593,20 @@ impl GroupedMonteCarloQuery {
     /// natural outcome of a `GROUP BY` over a fixed dimension); anything
     /// else is surfaced as an error rather than silently averaged.
     pub fn run(&self, catalog: &Catalog, n: usize, seed: u64) -> crate::Result<McGroupedResult> {
+        let prepared = prepare_task(&self.specs, &self.query, catalog)?;
+        let gi = prepared.query.schema().index_of(&self.group_col)?;
+        let vi = prepared.query.schema().index_of(&self.value_col)?;
         let factory = StreamFactory::new(seed);
         let mut scratch = catalog.clone();
         let mut groups: Vec<(crate::value::Value, Vec<f64>)> = Vec::new();
         for i in 0..n {
             let iter_factory = factory.child(i as u64);
-            for (k, spec) in self.specs.iter().enumerate() {
+            for (k, spec) in prepared.specs.iter().enumerate() {
                 let mut rng = iter_factory.stream(k as u64);
                 let t = spec.realize(&scratch, &mut rng)?;
                 scratch.insert(t);
             }
-            let result = scratch.query(&self.query)?;
-            let gi = result.schema().index_of(&self.group_col)?;
-            let vi = result.schema().index_of(&self.value_col)?;
+            let result = prepared.query.execute(&scratch)?;
             if i == 0 {
                 for row in result.rows() {
                     groups.push((row[gi].clone(), Vec::with_capacity(n)));

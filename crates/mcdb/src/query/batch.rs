@@ -1,0 +1,174 @@
+//! Columnar record batches: a [`Schema`] plus one [`ColumnVec`] per column.
+//!
+//! A [`Batch`] is the unit of data flowing between physical operators in the
+//! vectorized executor. Operators that only reorder or drop rows (filter,
+//! sort, limit) never touch a `Batch` at all — they compose selection
+//! vectors over a shared `Arc<Batch>` and only the final result (or an
+//! operator that must rebuild columns, like a projection) materializes.
+
+use super::column::ColumnVec;
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+
+/// An immutable columnar batch of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    schema: Schema,
+    columns: Vec<ColumnVec>,
+    len: usize,
+}
+
+impl Batch {
+    /// Transpose a validated row-oriented table into columnar form.
+    pub fn from_table(table: &Table) -> Batch {
+        let schema = table.schema().clone();
+        let rows = table.rows();
+        let columns = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, col)| ColumnVec::from_rows(rows, i, col.dtype))
+            .collect();
+        Batch {
+            schema,
+            columns,
+            len: rows.len(),
+        }
+    }
+
+    /// Assemble a batch from pre-built columns. All columns must have the
+    /// same length and there must be one per schema column.
+    pub fn from_columns(
+        schema: Schema,
+        columns: Vec<ColumnVec>,
+        len: usize,
+    ) -> crate::Result<Batch> {
+        if columns.len() != schema.len() {
+            return Err(crate::McdbError::ArityMismatch {
+                context: "Batch::from_columns".into(),
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        for c in &columns {
+            if c.len() != len {
+                return Err(crate::McdbError::ArityMismatch {
+                    context: "Batch::from_columns".into(),
+                    expected: len,
+                    found: c.len(),
+                });
+            }
+        }
+        Ok(Batch {
+            schema,
+            columns,
+            len,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The batch schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.columns
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &ColumnVec {
+        &self.columns[i]
+    }
+
+    /// The row at index `i`, materialized.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Materialize a row-oriented [`Table`] named `name`, optionally
+    /// restricted/reordered by a selection vector.
+    pub fn to_table(&self, name: &str, sel: Option<&[u32]>) -> Table {
+        let mut out = Table::new(name, self.schema.clone());
+        match sel {
+            None => {
+                for i in 0..self.len {
+                    out.push_row_unchecked(self.row(i));
+                }
+            }
+            Some(sel) => {
+                for &i in sel {
+                    out.push_row_unchecked(self.row(i as usize));
+                }
+            }
+        }
+        out
+    }
+
+    /// Gather a new batch by row index.
+    pub fn gather(&self, sel: &[u32]) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather(sel)).collect(),
+            len: sel.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::new("score", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new("sample", schema);
+        t.push_row(vec![Value::from(1), Value::from("a"), Value::from(0.5)])
+            .unwrap();
+        t.push_row(vec![Value::from(2), Value::Null, Value::Null])
+            .unwrap();
+        t.push_row(vec![Value::from(3), Value::from("c"), Value::from(2.5)])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trips_through_columnar_form() {
+        let t = sample();
+        let b = Batch::from_table(&t);
+        assert_eq!(b.len(), 3);
+        let back = b.to_table("sample", None);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn selection_vector_restricts_and_reorders() {
+        let t = sample();
+        let b = Batch::from_table(&t);
+        let sel = [2u32, 0u32];
+        let out = b.to_table("out", Some(&sel));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.rows()[0][0], Value::from(3));
+        assert_eq!(out.rows()[1][0], Value::from(1));
+
+        let g = b.gather(&sel);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.row(0), t.rows()[2]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Typed column vectors with null bitmaps — the storage unit of the
+//! vectorized executor.
+//!
+//! A [`ColumnVec`] holds one column of a batch as a contiguous typed
+//! vector (`Vec<i64>`, `Vec<f64>`, …) plus a [`NullMask`] recording which
+//! lanes are SQL `NULL`. Keeping the type tag per *column* instead of per
+//! *value* is what lets the expression kernels in
+//! [`BoundExpr::eval_batch`](crate::expr::BoundExpr::eval_batch) run tight
+//! monomorphic loops over primitive slices instead of matching on a
+//! [`Value`] enum per row.
+
+use crate::schema::DataType;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Per-lane null bitmap with an all-valid fast path.
+///
+/// `bits: None` means "no nulls anywhere" so that fully valid columns (the
+/// common case) cost nothing to check; the bitmap is materialized lazily on
+/// the first [`NullMask::set_null`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NullMask {
+    len: usize,
+    /// One bit per lane, set = null. `None` = all lanes valid.
+    bits: Option<Vec<u64>>,
+}
+
+impl NullMask {
+    /// An all-valid mask over `len` lanes.
+    pub fn all_valid(len: usize) -> Self {
+        NullMask { len, bits: None }
+    }
+
+    /// Number of lanes covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero lanes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether lane `i` is null.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.bits {
+            None => false,
+            Some(b) => b[i / 64] & (1u64 << (i % 64)) != 0,
+        }
+    }
+
+    /// Mark lane `i` as null (materializes the bitmap on first use).
+    pub fn set_null(&mut self, i: usize) {
+        let words = self.len.div_ceil(64);
+        let bits = self.bits.get_or_insert_with(|| vec![0u64; words]);
+        bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether any lane is null.
+    pub fn any_null(&self) -> bool {
+        match &self.bits {
+            None => false,
+            Some(b) => b.iter().any(|&w| w != 0),
+        }
+    }
+
+    /// Select lanes by index, producing the gathered mask.
+    pub fn gather(&self, sel: &[u32]) -> NullMask {
+        let mut out = NullMask::all_valid(sel.len());
+        if self.any_null() {
+            for (k, &i) in sel.iter().enumerate() {
+                if self.is_null(i as usize) {
+                    out.set_null(k);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A typed column of values with a null bitmap.
+///
+/// The `AllNull` variant represents a column whose every lane is `NULL`
+/// and whose type is unconstrained (e.g. the result of evaluating a bare
+/// `NULL` literal over a batch) — it is compatible with any declared
+/// column type, mirroring how [`Value::Null`] is typeless.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnVec {
+    /// 64-bit integer column.
+    Int {
+        /// Lane values (placeholder `0` at null lanes).
+        data: Vec<i64>,
+        /// Null lanes.
+        nulls: NullMask,
+    },
+    /// 64-bit float column.
+    Float {
+        /// Lane values (placeholder `0.0` at null lanes).
+        data: Vec<f64>,
+        /// Null lanes.
+        nulls: NullMask,
+    },
+    /// Boolean column.
+    Bool {
+        /// Lane values (placeholder `false` at null lanes).
+        data: Vec<bool>,
+        /// Null lanes.
+        nulls: NullMask,
+    },
+    /// String column (reference-counted payloads; gathers clone `Arc`s).
+    Str {
+        /// Lane values (placeholder `""` at null lanes).
+        data: Vec<Arc<str>>,
+        /// Null lanes.
+        nulls: NullMask,
+    },
+    /// An untyped all-null column.
+    AllNull {
+        /// Number of lanes.
+        len: usize,
+    },
+}
+
+impl ColumnVec {
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Int { data, .. } => data.len(),
+            ColumnVec::Float { data, .. } => data.len(),
+            ColumnVec::Bool { data, .. } => data.len(),
+            ColumnVec::Str { data, .. } => data.len(),
+            ColumnVec::AllNull { len } => *len,
+        }
+    }
+
+    /// Whether the column has zero lanes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type, or `None` for an untyped all-null column.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            ColumnVec::Int { .. } => Some(DataType::Int),
+            ColumnVec::Float { .. } => Some(DataType::Float),
+            ColumnVec::Bool { .. } => Some(DataType::Bool),
+            ColumnVec::Str { .. } => Some(DataType::Str),
+            ColumnVec::AllNull { .. } => None,
+        }
+    }
+
+    /// Whether lane `i` is null.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnVec::Int { nulls, .. }
+            | ColumnVec::Float { nulls, .. }
+            | ColumnVec::Bool { nulls, .. }
+            | ColumnVec::Str { nulls, .. } => nulls.is_null(i),
+            ColumnVec::AllNull { .. } => true,
+        }
+    }
+
+    /// The value at lane `i` (strings clone their `Arc`).
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Int { data, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Int(data[i])
+                }
+            }
+            ColumnVec::Float { data, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Float(data[i])
+                }
+            }
+            ColumnVec::Bool { data, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Bool(data[i])
+                }
+            }
+            ColumnVec::Str { data, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Str(Arc::clone(&data[i]))
+                }
+            }
+            ColumnVec::AllNull { .. } => Value::Null,
+        }
+    }
+
+    /// Build a typed column from one column of row storage. Rows must
+    /// conform to the declared `dtype` (table rows are validated on
+    /// insert), so mismatches are a debug assertion, not an error.
+    pub fn from_rows(rows: &[crate::table::Row], col: usize, dtype: DataType) -> ColumnVec {
+        let n = rows.len();
+        let mut nulls = NullMask::all_valid(n);
+        match dtype {
+            DataType::Int => {
+                let mut data = vec![0i64; n];
+                for (i, row) in rows.iter().enumerate() {
+                    match &row[col] {
+                        Value::Int(v) => data[i] = *v,
+                        Value::Null => nulls.set_null(i),
+                        other => debug_assert!(false, "Int column holds {other:?}"),
+                    }
+                }
+                ColumnVec::Int { data, nulls }
+            }
+            DataType::Float => {
+                let mut data = vec![0.0f64; n];
+                for (i, row) in rows.iter().enumerate() {
+                    match &row[col] {
+                        Value::Float(v) => data[i] = *v,
+                        Value::Null => nulls.set_null(i),
+                        other => debug_assert!(false, "Float column holds {other:?}"),
+                    }
+                }
+                ColumnVec::Float { data, nulls }
+            }
+            DataType::Bool => {
+                let mut data = vec![false; n];
+                for (i, row) in rows.iter().enumerate() {
+                    match &row[col] {
+                        Value::Bool(v) => data[i] = *v,
+                        Value::Null => nulls.set_null(i),
+                        other => debug_assert!(false, "Bool column holds {other:?}"),
+                    }
+                }
+                ColumnVec::Bool { data, nulls }
+            }
+            DataType::Str => {
+                let empty: Arc<str> = Arc::from("");
+                let mut data = vec![Arc::clone(&empty); n];
+                for (i, row) in rows.iter().enumerate() {
+                    match &row[col] {
+                        Value::Str(v) => data[i] = Arc::clone(v),
+                        Value::Null => nulls.set_null(i),
+                        other => debug_assert!(false, "Str column holds {other:?}"),
+                    }
+                }
+                ColumnVec::Str { data, nulls }
+            }
+        }
+    }
+
+    /// Build a column from owned values, inferring the type from the first
+    /// non-null value. Mixed `Int`/`Float` lanes promote to `Float`; any
+    /// other mix is a type error.
+    pub fn from_values(values: Vec<Value>) -> crate::Result<ColumnVec> {
+        let dtype = values.iter().find_map(|v| v.data_type());
+        let Some(mut dtype) = dtype else {
+            return Ok(ColumnVec::AllNull { len: values.len() });
+        };
+        if dtype == DataType::Int && values.iter().any(|v| matches!(v, Value::Float(_))) {
+            dtype = DataType::Float;
+        }
+        let n = values.len();
+        let mut nulls = NullMask::all_valid(n);
+        Ok(match dtype {
+            DataType::Int => {
+                let mut data = vec![0i64; n];
+                for (i, v) in values.into_iter().enumerate() {
+                    match v {
+                        Value::Int(x) => data[i] = x,
+                        Value::Null => nulls.set_null(i),
+                        other => return Err(mixed_column_error(DataType::Int, &other)),
+                    }
+                }
+                ColumnVec::Int { data, nulls }
+            }
+            DataType::Float => {
+                let mut data = vec![0.0f64; n];
+                for (i, v) in values.into_iter().enumerate() {
+                    match v {
+                        Value::Float(x) => data[i] = x,
+                        Value::Int(x) => data[i] = x as f64,
+                        Value::Null => nulls.set_null(i),
+                        other => return Err(mixed_column_error(DataType::Float, &other)),
+                    }
+                }
+                ColumnVec::Float { data, nulls }
+            }
+            DataType::Bool => {
+                let mut data = vec![false; n];
+                for (i, v) in values.into_iter().enumerate() {
+                    match v {
+                        Value::Bool(x) => data[i] = x,
+                        Value::Null => nulls.set_null(i),
+                        other => return Err(mixed_column_error(DataType::Bool, &other)),
+                    }
+                }
+                ColumnVec::Bool { data, nulls }
+            }
+            DataType::Str => {
+                let empty: Arc<str> = Arc::from("");
+                let mut data = vec![Arc::clone(&empty); n];
+                for (i, v) in values.into_iter().enumerate() {
+                    match v {
+                        Value::Str(x) => data[i] = x,
+                        Value::Null => nulls.set_null(i),
+                        other => return Err(mixed_column_error(DataType::Str, &other)),
+                    }
+                }
+                ColumnVec::Str { data, nulls }
+            }
+        })
+    }
+
+    /// A column whose every lane holds `v`.
+    pub fn broadcast(v: &Value, len: usize) -> ColumnVec {
+        match v {
+            Value::Null => ColumnVec::AllNull { len },
+            Value::Int(x) => ColumnVec::Int {
+                data: vec![*x; len],
+                nulls: NullMask::all_valid(len),
+            },
+            Value::Float(x) => ColumnVec::Float {
+                data: vec![*x; len],
+                nulls: NullMask::all_valid(len),
+            },
+            Value::Bool(x) => ColumnVec::Bool {
+                data: vec![*x; len],
+                nulls: NullMask::all_valid(len),
+            },
+            Value::Str(s) => ColumnVec::Str {
+                data: vec![Arc::clone(s); len],
+                nulls: NullMask::all_valid(len),
+            },
+        }
+    }
+
+    /// Select lanes by index (a selection-vector gather).
+    pub fn gather(&self, sel: &[u32]) -> ColumnVec {
+        match self {
+            ColumnVec::Int { data, nulls } => ColumnVec::Int {
+                data: sel.iter().map(|&i| data[i as usize]).collect(),
+                nulls: nulls.gather(sel),
+            },
+            ColumnVec::Float { data, nulls } => ColumnVec::Float {
+                data: sel.iter().map(|&i| data[i as usize]).collect(),
+                nulls: nulls.gather(sel),
+            },
+            ColumnVec::Bool { data, nulls } => ColumnVec::Bool {
+                data: sel.iter().map(|&i| data[i as usize]).collect(),
+                nulls: nulls.gather(sel),
+            },
+            ColumnVec::Str { data, nulls } => ColumnVec::Str {
+                data: sel.iter().map(|&i| Arc::clone(&data[i as usize])).collect(),
+                nulls: nulls.gather(sel),
+            },
+            ColumnVec::AllNull { .. } => ColumnVec::AllNull { len: sel.len() },
+        }
+    }
+
+    /// Numeric widening to a declared column type: an `Int` column flowing
+    /// into a `Float` column converts whole; everything else is unchanged
+    /// (mismatches are caught by the projection validator).
+    pub fn coerce_to(self, dtype: DataType) -> ColumnVec {
+        match (self, dtype) {
+            (ColumnVec::Int { data, nulls }, DataType::Float) => ColumnVec::Float {
+                data: data.into_iter().map(|v| v as f64).collect(),
+                nulls,
+            },
+            (other, _) => other,
+        }
+    }
+}
+
+fn mixed_column_error(expected: DataType, found: &Value) -> crate::McdbError {
+    crate::McdbError::type_mismatch("column build", expected.to_string(), format!("{found}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_mask_basics() {
+        let mut m = NullMask::all_valid(70);
+        assert!(!m.any_null());
+        m.set_null(0);
+        m.set_null(69);
+        assert!(m.is_null(0) && m.is_null(69) && !m.is_null(33));
+        let g = m.gather(&[69, 1, 0]);
+        assert!(g.is_null(0) && !g.is_null(1) && g.is_null(2));
+    }
+
+    #[test]
+    fn from_values_infers_and_promotes() {
+        let c = ColumnVec::from_values(vec![Value::Null, Value::from(2), Value::from(3)]).unwrap();
+        assert_eq!(c.dtype(), Some(DataType::Int));
+        assert!(c.is_null(0));
+        assert_eq!(c.value(1), Value::from(2));
+
+        let c = ColumnVec::from_values(vec![Value::from(1), Value::from(2.5)]).unwrap();
+        assert_eq!(c.dtype(), Some(DataType::Float));
+        assert_eq!(c.value(0), Value::from(1.0));
+
+        let c = ColumnVec::from_values(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(c.dtype(), None);
+        assert!(c.value(0).is_null());
+
+        assert!(ColumnVec::from_values(vec![Value::from(1), Value::from("x")]).is_err());
+    }
+
+    #[test]
+    fn gather_and_broadcast() {
+        let c =
+            ColumnVec::from_values(vec![Value::from("a"), Value::Null, Value::from("c")]).unwrap();
+        let g = c.gather(&[2, 0, 1]);
+        assert_eq!(g.value(0), Value::from("c"));
+        assert_eq!(g.value(1), Value::from("a"));
+        assert!(g.value(2).is_null());
+
+        let b = ColumnVec::broadcast(&Value::from(true), 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.value(2), Value::from(true));
+    }
+
+    #[test]
+    fn coercion_widens_int_to_float() {
+        let c = ColumnVec::from_values(vec![Value::from(1), Value::Null]).unwrap();
+        let f = c.coerce_to(DataType::Float);
+        assert_eq!(f.dtype(), Some(DataType::Float));
+        assert_eq!(f.value(0), Value::from(1.0));
+        assert!(f.value(1).is_null());
+    }
+}

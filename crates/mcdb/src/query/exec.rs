@@ -21,9 +21,9 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> crate::Result<Table> {
             let t = execute(input, catalog)?;
             let bound = predicate.bind(t.schema())?;
             let mut out = Table::new("filter", t.schema().clone());
-            for row in t.rows() {
-                if bound.eval_predicate(row)? {
-                    out.push_row_unchecked(row.clone());
+            for row in t.into_rows() {
+                if bound.eval_predicate(&row)? {
+                    out.push_row_unchecked(row);
                 }
             }
             Ok(out)
@@ -71,34 +71,58 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> crate::Result<Table> {
                 .map(|(_, r)| rt.schema().index_of(r))
                 .collect::<crate::Result<_>>()?;
 
-            // Build hash table on the smaller input? The classical choice,
-            // but key order must match (left, right); build on the right for
-            // simplicity — simulation workloads have a small dimension table
-            // on the right.
-            let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-            for (i, row) in rt.rows().iter().enumerate() {
-                // SQL inner-join semantics: Null keys never match.
-                if r_idx.iter().any(|&j| row[j].is_null()) {
-                    continue;
-                }
-                let key: Vec<GroupKey> = r_idx.iter().map(|&j| row[j].group_key()).collect();
-                index.entry(key).or_default().push(i);
-            }
-
             let out_schema = lt.schema().concat(rt.schema(), right_prefix)?;
-            let mut out = Table::new("join", out_schema);
-            for lrow in lt.rows() {
-                if l_idx.iter().any(|&j| lrow[j].is_null()) {
-                    continue;
+
+            // Build the hash index on the smaller input (classical
+            // build-side selection) and probe with the larger one. Output
+            // order is left-major either way: probing the left visits it in
+            // row order; probing the right collects (left, right) pairs
+            // that are restored to left-major order before emitting.
+            let key_of = |row: &Row, idx: &[usize]| -> Option<Vec<GroupKey>> {
+                // SQL inner-join semantics: Null keys never match.
+                if idx.iter().any(|&j| row[j].is_null()) {
+                    return None;
                 }
-                let key: Vec<GroupKey> = l_idx.iter().map(|&j| lrow[j].group_key()).collect();
-                if let Some(matches) = index.get(&key) {
-                    for &ri in matches {
-                        let mut row = lrow.clone();
-                        row.extend(rt.rows()[ri].iter().cloned());
-                        out.push_row_unchecked(row);
+                Some(idx.iter().map(|&j| row[j].group_key()).collect())
+            };
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            if rt.len() <= lt.len() {
+                let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+                for (i, row) in rt.rows().iter().enumerate() {
+                    if let Some(key) = key_of(row, &r_idx) {
+                        index.entry(key).or_default().push(i);
                     }
                 }
+                for (i, lrow) in lt.rows().iter().enumerate() {
+                    if let Some(matches) = key_of(lrow, &l_idx).and_then(|k| index.get(&k)) {
+                        for &ri in matches {
+                            pairs.push((i, ri));
+                        }
+                    }
+                }
+            } else {
+                let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+                for (i, row) in lt.rows().iter().enumerate() {
+                    if let Some(key) = key_of(row, &l_idx) {
+                        index.entry(key).or_default().push(i);
+                    }
+                }
+                for (i, rrow) in rt.rows().iter().enumerate() {
+                    if let Some(matches) = key_of(rrow, &r_idx).and_then(|k| index.get(&k)) {
+                        for &li in matches {
+                            pairs.push((li, i));
+                        }
+                    }
+                }
+                pairs.sort_unstable();
+            }
+
+            let mut out = Table::new("join", out_schema);
+            let lrows = lt.into_rows();
+            for (li, ri) in pairs {
+                let mut row = lrows[li].clone();
+                row.extend(rt.rows()[ri].iter().cloned());
+                out.push_row_unchecked(row);
             }
             Ok(out)
         }
@@ -174,14 +198,15 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> crate::Result<Table> {
                 .iter()
                 .map(|SortKey { expr, ascending }| Ok((expr.bind(t.schema())?, *ascending)))
                 .collect::<crate::Result<_>>()?;
+            let schema = t.schema().clone();
             // Precompute sort keys so the comparator is infallible.
             let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(t.len());
-            for row in t.rows() {
+            for row in t.into_rows() {
                 let ks: Vec<Value> = bound
                     .iter()
-                    .map(|(b, _)| b.eval(row))
+                    .map(|(b, _)| b.eval(&row))
                     .collect::<crate::Result<_>>()?;
-                keyed.push((ks, row.clone()));
+                keyed.push((ks, row));
             }
             keyed.sort_by(|(ka, _), (kb, _)| {
                 for ((a, b), (_, asc)) in ka.iter().zip(kb).zip(&bound) {
@@ -193,7 +218,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> crate::Result<Table> {
                 }
                 Ordering::Equal
             });
-            let mut out = Table::new("sort", t.schema().clone());
+            let mut out = Table::new("sort", schema);
             for (_, row) in keyed {
                 out.push_row_unchecked(row);
             }
@@ -202,8 +227,8 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> crate::Result<Table> {
         Plan::Limit { input, n } => {
             let t = execute(input, catalog)?;
             let mut out = Table::new("limit", t.schema().clone());
-            for row in t.rows().iter().take(*n) {
-                out.push_row_unchecked(row.clone());
+            for row in t.into_rows().into_iter().take(*n) {
+                out.push_row_unchecked(row);
             }
             Ok(out)
         }
@@ -211,8 +236,9 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> crate::Result<Table> {
 }
 
 /// Total order for sorting: Nulls first, then SQL comparison; incomparable
-/// values (mixed types that slipped past typing) tie.
-fn sql_sort_cmp(a: &Value, b: &Value) -> Ordering {
+/// values (mixed types that slipped past typing) tie. Shared with the
+/// vectorized engine so both sort identically.
+pub(crate) fn sql_sort_cmp(a: &Value, b: &Value) -> Ordering {
     match (a.is_null(), b.is_null()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Less,
@@ -223,16 +249,18 @@ fn sql_sort_cmp(a: &Value, b: &Value) -> Ordering {
 
 /// Runtime coercion to the statically inferred column type (only numeric
 /// widening; anything else passes through and is caught by validation).
-fn coerce(v: Value, dtype: crate::schema::DataType) -> Value {
+pub(crate) fn coerce(v: Value, dtype: crate::schema::DataType) -> Value {
     match (&v, dtype) {
         (Value::Int(i), crate::schema::DataType::Float) => Value::Float(*i as f64),
         _ => v,
     }
 }
 
-/// Streaming aggregate accumulator.
+/// Streaming aggregate accumulator. Shared with the vectorized engine so
+/// both produce identical aggregate values (including the Int collapse of
+/// integral sums).
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     Sum { acc: f64, any: bool, int: bool },
     Avg { acc: f64, n: i64 },
@@ -241,7 +269,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> Self {
+    pub(crate) fn new(func: AggFunc) -> Self {
         match func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum {
@@ -255,7 +283,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Option<Value>) -> crate::Result<()> {
+    pub(crate) fn update(&mut self, v: Option<Value>) -> crate::Result<()> {
         match self {
             AggState::Count(n) => {
                 // COUNT(*) counts rows; COUNT(expr) counts non-nulls.
@@ -314,7 +342,7 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
             AggState::Sum { acc, any, int } => {
@@ -441,6 +469,49 @@ mod tests {
             .query(&Plan::scan("l").join(Plan::scan("rr"), &[("k", "k2")]))
             .unwrap();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn join_builds_on_smaller_side_preserving_left_major_order() {
+        // Small LEFT dimension table against a larger fact table: the
+        // engine builds the hash index on the left, but the output must
+        // still be in left-major order (each dim row's matches in fact-row
+        // order), exactly as if the right side had been built.
+        let mut c = Catalog::new();
+        c.insert(
+            Table::build("dim", &[("k", DataType::Int), ("label", DataType::Str)])
+                .row(vec![Value::from(2), Value::from("two")])
+                .row(vec![Value::from(1), Value::from("one")])
+                .finish()
+                .unwrap(),
+        );
+        let mut fact = Table::new(
+            "fact",
+            crate::schema::Schema::from_pairs(&[("k2", DataType::Int), ("x", DataType::Int)])
+                .unwrap(),
+        );
+        for i in 0..9i64 {
+            fact.push_row(vec![Value::from(i % 3), Value::from(i)])
+                .unwrap();
+        }
+        c.insert(fact);
+        let t = c
+            .query_unoptimized(&Plan::scan("dim").join(Plan::scan("fact"), &[("k", "k2")]))
+            .unwrap();
+        // dim row (2, "two") matches fact rows 2, 5, 8; then (1, "one")
+        // matches 1, 4, 7 — left-major, fact-row order within each.
+        assert_eq!(t.len(), 6);
+        let ks: Vec<Value> = t.column("k").unwrap();
+        assert_eq!(ks[..3], vec![Value::from(2); 3][..]);
+        assert_eq!(ks[3..], vec![Value::from(1); 3][..]);
+        let xs = t.column("x").unwrap();
+        assert_eq!(
+            xs,
+            vec![2i64, 5, 8, 1, 4, 7]
+                .into_iter()
+                .map(Value::from)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

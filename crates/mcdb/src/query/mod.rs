@@ -2,11 +2,21 @@
 //!
 //! Plans are built with a fluent API, optimized by a small rewrite planner
 //! ([`planner::optimize`] — conjunct splitting and filter pushdown below
-//! joins, the classical rewrite the paper points to when it notes that
-//! "techniques for query optimization" transfer to simulation settings),
-//! and executed against a [`Catalog`] of in-memory tables.
+//! joins, constant folding, and projection pruning: the classical rewrites
+//! the paper points to when it notes that "techniques for query
+//! optimization" transfer to simulation settings), lowered to a physical
+//! plan with expressions bound exactly once ([`physical::PreparedQuery`]),
+//! and executed against a [`Catalog`] of in-memory tables by a vectorized
+//! columnar engine ([`column`]/[`batch`]).
+//!
+//! The legacy row-at-a-time interpreter survives as
+//! [`Catalog::query_unoptimized`], which doubles as the reference
+//! implementation for differential testing of the vectorized path.
 
+pub mod batch;
+pub mod column;
 mod exec;
+pub mod physical;
 pub mod planner;
 
 use crate::expr::Expr;
@@ -14,13 +24,19 @@ use crate::schema::{Column, DataType, Schema};
 use crate::table::Table;
 use crate::McdbError;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 pub use exec::execute;
+pub use physical::PreparedQuery;
 
 /// A named collection of tables — the "database".
+///
+/// Tables are stored behind `Arc`s so cloning a catalog (the per-replicate
+/// scratch-reset pattern in the Monte Carlo runners) shares table storage
+/// instead of deep-copying every row.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
 }
 
 impl Catalog {
@@ -31,13 +47,15 @@ impl Catalog {
 
     /// Insert (or replace) a table under its own name.
     pub fn insert(&mut self, table: Table) {
-        self.tables.insert(table.name().to_string(), table);
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
     }
 
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> crate::Result<&Table> {
         self.tables
             .get(name)
+            .map(|t| t.as_ref())
             .ok_or_else(|| McdbError::UnknownTable {
                 name: name.to_string(),
             })
@@ -45,7 +63,9 @@ impl Catalog {
 
     /// Remove a table, returning it if present.
     pub fn remove(&mut self, name: &str) -> Option<Table> {
-        self.tables.remove(name)
+        self.tables
+            .remove(name)
+            .map(|t| Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone()))
     }
 
     /// Whether a table exists.
@@ -58,13 +78,20 @@ impl Catalog {
         self.tables.keys().map(|s| s.as_str()).collect()
     }
 
-    /// Execute a plan against this catalog (optimizing first).
+    /// Execute a plan against this catalog.
+    ///
+    /// The plan is optimized, lowered to a physical plan with expressions
+    /// bound once, and run on the vectorized columnar engine. Callers that
+    /// execute the same plan repeatedly should lower it themselves with
+    /// [`PreparedQuery::prepare`] and call
+    /// [`PreparedQuery::execute`] per run.
     pub fn query(&self, plan: &Plan) -> crate::Result<Table> {
-        execute(&planner::optimize(plan.clone()), self)
+        PreparedQuery::prepare(plan, self)?.execute(self)
     }
 
-    /// Execute a plan without the optimizer (used by tests comparing
-    /// optimized vs unoptimized results).
+    /// Execute a plan on the legacy row-at-a-time interpreter, without the
+    /// optimizer. Kept as the reference semantics for differential tests
+    /// of the planner and the vectorized engine.
     pub fn query_unoptimized(&self, plan: &Plan) -> crate::Result<Table> {
         execute(plan, self)
     }

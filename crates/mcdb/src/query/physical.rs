@@ -1,0 +1,901 @@
+//! Physical query plans and the vectorized columnar executor.
+//!
+//! [`PreparedQuery::prepare`] lowers a logical [`Plan`] against a catalog
+//! snapshot: the plan is optimized, every expression is bound to column
+//! indices exactly once, operator output schemas are resolved, inline
+//! `Values` tables are transposed to columnar batches, and join key columns
+//! are indexed. The resulting physical plan can then be executed any number
+//! of times with [`PreparedQuery::execute`] — the prepare-once /
+//! execute-per-replicate split that MCDB-style Monte Carlo processing is
+//! built around.
+//!
+//! Execution is vectorized: data flows between operators as
+//! [`Chunk`]s — a shared [`Batch`] plus an optional selection vector —
+//! so filters, sorts, and limits never copy rows, and expression evaluation
+//! runs whole-column kernels ([`BoundExpr::eval_batch`]). Row-level
+//! semantics (null propagation, Kleene logic, first-seen group order,
+//! Null join keys never matching, validation errors) are identical to the
+//! legacy row-at-a-time interpreter in `exec.rs`, which is retained as the
+//! reference for differential tests.
+
+use super::batch::Batch;
+use super::column::ColumnVec;
+use super::exec::{coerce, sql_sort_cmp, AggState};
+use super::{infer_type, planner, AggFunc, Catalog, Plan};
+use crate::expr::BoundExpr;
+use crate::schema::{Column, DataType, Schema};
+use crate::table::{Row, Table};
+use crate::value::GroupKey;
+use crate::McdbError;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A unit of data flowing between physical operators: a shared columnar
+/// batch plus an optional selection vector of row indices into it.
+#[derive(Debug, Clone)]
+struct Chunk {
+    batch: Arc<Batch>,
+    /// Row indices into `batch`, in output order. `None` = all rows.
+    sel: Option<Vec<u32>>,
+}
+
+impl Chunk {
+    fn from_batch(batch: Arc<Batch>) -> Chunk {
+        Chunk { batch, sel: None }
+    }
+
+    /// Number of output rows.
+    fn len(&self) -> usize {
+        self.sel.as_ref().map_or(self.batch.len(), |s| s.len())
+    }
+
+    /// The batch row index backing output lane `lane`.
+    #[inline]
+    fn index(&self, lane: usize) -> u32 {
+        match &self.sel {
+            Some(s) => s[lane],
+            None => lane as u32,
+        }
+    }
+
+    fn sel_slice(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// The value of column `col` at output lane `lane`.
+    #[inline]
+    fn value(&self, col: usize, lane: usize) -> crate::value::Value {
+        self.batch.column(col).value(self.index(lane) as usize)
+    }
+}
+
+/// A physical operator with all expressions bound and schemas resolved.
+#[derive(Debug, Clone)]
+enum PhysOp {
+    /// Scan a catalog table through its cached columnar batch.
+    Scan { table: String, schema: Schema },
+    /// An inline table, transposed to a batch at prepare time.
+    Values { name: String, batch: Arc<Batch> },
+    /// Selection-vector filter; emits no data, only indices.
+    Filter {
+        input: Box<PhysOp>,
+        predicate: BoundExpr,
+    },
+    /// Column-at-a-time projection with declared output types.
+    Project {
+        input: Box<PhysOp>,
+        exprs: Vec<BoundExpr>,
+        schema: Schema,
+    },
+    /// Hash equi-join; the build side is chosen by cardinality at runtime.
+    HashJoin {
+        left: Box<PhysOp>,
+        right: Box<PhysOp>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        schema: Schema,
+    },
+    /// Hash-grouped aggregation with pre-evaluated argument columns.
+    Aggregate {
+        input: Box<PhysOp>,
+        group_idx: Vec<usize>,
+        agg_funcs: Vec<AggFunc>,
+        agg_args: Vec<Option<BoundExpr>>,
+        schema: Schema,
+    },
+    /// Stable sort producing a permutation selection vector.
+    Sort {
+        input: Box<PhysOp>,
+        keys: Vec<(BoundExpr, bool)>,
+    },
+    /// Selection-vector truncation.
+    Limit { input: Box<PhysOp>, n: usize },
+}
+
+impl PhysOp {
+    /// The name the materialized result table carries — matching what the
+    /// row-at-a-time executor names each operator's output.
+    fn result_name(&self) -> &str {
+        match self {
+            PhysOp::Scan { table, .. } => table,
+            PhysOp::Values { name, .. } => name,
+            PhysOp::Filter { .. } => "filter",
+            PhysOp::Project { .. } => "project",
+            PhysOp::HashJoin { .. } => "join",
+            PhysOp::Aggregate { .. } => "aggregate",
+            PhysOp::Sort { .. } => "sort",
+            PhysOp::Limit { .. } => "limit",
+        }
+    }
+}
+
+/// A logical plan lowered to a physical plan against a catalog snapshot:
+/// optimized, expressions bound once, schemas resolved.
+///
+/// Prepare once, execute many times:
+///
+/// ```
+/// use mde_mcdb::prelude::*;
+/// use mde_mcdb::query::PreparedQuery;
+///
+/// let mut c = Catalog::new();
+/// c.insert(
+///     Table::build("t", &[("x", DataType::Int)])
+///         .row(vec![Value::from(1)])
+///         .row(vec![Value::from(5)])
+///         .finish()
+///         .unwrap(),
+/// );
+/// let plan = Plan::scan("t").filter(Expr::col("x").gt(Expr::lit(2)));
+/// let prepared = PreparedQuery::prepare(&plan, &c).unwrap();
+/// for _ in 0..3 {
+///     assert_eq!(prepared.execute(&c).unwrap().len(), 1);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    root: PhysOp,
+    schema: Schema,
+}
+
+impl PreparedQuery {
+    /// Optimize and lower a logical plan against a catalog.
+    ///
+    /// Errors surface anything the planner can see statically: unknown
+    /// tables or columns, unbound expressions, joins without keys,
+    /// aggregates missing arguments.
+    pub fn prepare(plan: &Plan, catalog: &Catalog) -> crate::Result<PreparedQuery> {
+        Self::lower(&planner::optimize(plan.clone()), catalog)
+    }
+
+    /// Lower a plan without running the rewrite planner first. Used by
+    /// differential tests that isolate executor semantics from planner
+    /// rewrites.
+    pub fn prepare_unoptimized(plan: &Plan, catalog: &Catalog) -> crate::Result<PreparedQuery> {
+        Self::lower(plan, catalog)
+    }
+
+    fn lower(plan: &Plan, catalog: &Catalog) -> crate::Result<PreparedQuery> {
+        let (root, schema) = build(plan, catalog)?;
+        Ok(PreparedQuery { root, schema })
+    }
+
+    /// The result schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Execute against a catalog, materializing the result table.
+    ///
+    /// The catalog may differ from the one used at prepare time (the Monte
+    /// Carlo runners prepare against a planning catalog and execute against
+    /// per-replicate scratch catalogs); scanned tables must still exist
+    /// with the schema seen at prepare time.
+    pub fn execute(&self, catalog: &Catalog) -> crate::Result<Table> {
+        let chunk = run(&self.root, catalog)?;
+        Ok(chunk
+            .batch
+            .to_table(self.root.result_name(), chunk.sel_slice()))
+    }
+}
+
+/// Lower one plan node, returning the physical operator and its output
+/// schema. Mirrors `Plan::output_schema` so error discovery order matches
+/// the legacy executor.
+fn build(plan: &Plan, catalog: &Catalog) -> crate::Result<(PhysOp, Schema)> {
+    match plan {
+        Plan::Scan { table } => {
+            let schema = catalog.get(table)?.schema().clone();
+            Ok((
+                PhysOp::Scan {
+                    table: table.clone(),
+                    schema: schema.clone(),
+                },
+                schema,
+            ))
+        }
+        Plan::Values { table } => Ok((
+            PhysOp::Values {
+                name: table.name().to_string(),
+                batch: table.batch(),
+            },
+            table.schema().clone(),
+        )),
+        Plan::Filter { input, predicate } => {
+            let (child, schema) = build(input, catalog)?;
+            let predicate = predicate.bind(&schema)?;
+            Ok((
+                PhysOp::Filter {
+                    input: Box::new(child),
+                    predicate,
+                },
+                schema,
+            ))
+        }
+        Plan::Project { input, exprs } => {
+            let (child, in_schema) = build(input, catalog)?;
+            let mut cols = Vec::with_capacity(exprs.len());
+            for (name, e) in exprs {
+                let dt = infer_type(e, &in_schema)?.unwrap_or(DataType::Float);
+                cols.push(Column::new(name.clone(), dt));
+            }
+            let schema = Schema::new(cols)?;
+            let bound: Vec<BoundExpr> = exprs
+                .iter()
+                .map(|(_, e)| e.bind(&in_schema))
+                .collect::<crate::Result<_>>()?;
+            Ok((
+                PhysOp::Project {
+                    input: Box::new(child),
+                    exprs: bound,
+                    schema: schema.clone(),
+                },
+                schema,
+            ))
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            right_prefix,
+        } => {
+            let (lchild, ls) = build(left, catalog)?;
+            let (rchild, rs) = build(right, catalog)?;
+            if on.is_empty() {
+                return Err(McdbError::invalid_plan(
+                    "join requires at least one key pair (cross joins unsupported)",
+                ));
+            }
+            let left_keys: Vec<usize> = on
+                .iter()
+                .map(|(l, _)| ls.index_of(l))
+                .collect::<crate::Result<_>>()?;
+            let right_keys: Vec<usize> = on
+                .iter()
+                .map(|(_, r)| rs.index_of(r))
+                .collect::<crate::Result<_>>()?;
+            let schema = ls.concat(&rs, right_prefix)?;
+            Ok((
+                PhysOp::HashJoin {
+                    left: Box::new(lchild),
+                    right: Box::new(rchild),
+                    left_keys,
+                    right_keys,
+                    schema: schema.clone(),
+                },
+                schema,
+            ))
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let (child, in_schema) = build(input, catalog)?;
+            let group_idx: Vec<usize> = group_by
+                .iter()
+                .map(|g| in_schema.index_of(g))
+                .collect::<crate::Result<_>>()?;
+            let mut cols = Vec::with_capacity(group_idx.len() + aggs.len());
+            for &j in &group_idx {
+                cols.push(in_schema.columns()[j].clone());
+            }
+            for a in aggs {
+                let dt = match (a.func, &a.arg) {
+                    (AggFunc::Count, _) => DataType::Int,
+                    (_, None) => {
+                        return Err(McdbError::invalid_plan(format!(
+                            "aggregate `{}` requires an argument",
+                            a.name
+                        )))
+                    }
+                    (AggFunc::Avg, Some(_)) => DataType::Float,
+                    (AggFunc::Sum, Some(e)) | (AggFunc::Min, Some(e)) | (AggFunc::Max, Some(e)) => {
+                        infer_type(e, &in_schema)?.unwrap_or(DataType::Float)
+                    }
+                };
+                cols.push(Column::new(a.name.clone(), dt));
+            }
+            let schema = Schema::new(cols)?;
+            let agg_args: Vec<Option<BoundExpr>> = aggs
+                .iter()
+                .map(|a| a.arg.as_ref().map(|e| e.bind(&in_schema)).transpose())
+                .collect::<crate::Result<_>>()?;
+            Ok((
+                PhysOp::Aggregate {
+                    input: Box::new(child),
+                    group_idx,
+                    agg_funcs: aggs.iter().map(|a| a.func).collect(),
+                    agg_args,
+                    schema: schema.clone(),
+                },
+                schema,
+            ))
+        }
+        Plan::Sort { input, keys } => {
+            let (child, schema) = build(input, catalog)?;
+            let keys: Vec<(BoundExpr, bool)> = keys
+                .iter()
+                .map(|k| Ok((k.expr.bind(&schema)?, k.ascending)))
+                .collect::<crate::Result<_>>()?;
+            Ok((
+                PhysOp::Sort {
+                    input: Box::new(child),
+                    keys,
+                },
+                schema,
+            ))
+        }
+        Plan::Limit { input, n } => {
+            let (child, schema) = build(input, catalog)?;
+            Ok((
+                PhysOp::Limit {
+                    input: Box::new(child),
+                    n: *n,
+                },
+                schema,
+            ))
+        }
+    }
+}
+
+fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
+    match op {
+        PhysOp::Scan { table, schema } => {
+            let t = catalog.get(table)?;
+            if t.schema() != schema {
+                return Err(McdbError::invalid_plan(format!(
+                    "prepared plan is stale: schema of table `{table}` changed since prepare"
+                )));
+            }
+            Ok(Chunk::from_batch(t.batch()))
+        }
+        PhysOp::Values { batch, .. } => Ok(Chunk::from_batch(Arc::clone(batch))),
+        PhysOp::Filter { input, predicate } => {
+            let chunk = run(input, catalog)?;
+            let pred = predicate.eval_batch(&chunk.batch, chunk.sel_slice())?;
+            let mut sel = Vec::new();
+            match &pred {
+                ColumnVec::Bool { data, nulls } => {
+                    for (lane, &keep) in data.iter().enumerate() {
+                        if keep && !nulls.is_null(lane) {
+                            sel.push(chunk.index(lane));
+                        }
+                    }
+                }
+                // All-null predicate: NULL is not true, keep nothing.
+                ColumnVec::AllNull { .. } => {}
+                other => {
+                    // Same error the row engine raises at the first row
+                    // whose predicate value is non-Bool and non-Null.
+                    if let Some(i) = (0..other.len()).find(|&i| !other.is_null(i)) {
+                        return Err(McdbError::type_mismatch(
+                            "filter predicate",
+                            "Bool or NULL",
+                            format!("{}", other.value(i)),
+                        ));
+                    }
+                }
+            }
+            Ok(Chunk {
+                batch: chunk.batch,
+                sel: Some(sel),
+            })
+        }
+        PhysOp::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let chunk = run(input, catalog)?;
+            let len = chunk.len();
+            let mut cols = Vec::with_capacity(exprs.len());
+            for (b, col) in exprs.iter().zip(schema.columns()) {
+                let c = b
+                    .eval_batch(&chunk.batch, chunk.sel_slice())?
+                    .coerce_to(col.dtype);
+                validate_column(&c, col)?;
+                cols.push(c);
+            }
+            let batch = Batch::from_columns(schema.clone(), cols, len)?;
+            Ok(Chunk::from_batch(Arc::new(batch)))
+        }
+        PhysOp::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            schema,
+        } => {
+            let lc = run(left, catalog)?;
+            let rc = run(right, catalog)?;
+            let (l_lanes, r_lanes) = (lc.len(), rc.len());
+
+            // Lane-space join key; None when any key part is Null (SQL
+            // inner-join semantics: Null keys never match).
+            let key_of = |c: &Chunk, keys: &[usize], lane: usize| -> Option<Vec<GroupKey>> {
+                let mut key = Vec::with_capacity(keys.len());
+                for &j in keys {
+                    let v = c.value(j, lane);
+                    if v.is_null() {
+                        return None;
+                    }
+                    key.push(v.group_key());
+                }
+                Some(key)
+            };
+
+            // Matching (left lane, right lane) pairs in the reference
+            // output order: ascending left lane, then ascending right lane.
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            if r_lanes <= l_lanes {
+                // Build on the right (ties keep the legacy choice), probe
+                // the left in lane order — pairs come out ordered already.
+                let mut index: HashMap<Vec<GroupKey>, Vec<u32>> = HashMap::new();
+                for lane in 0..r_lanes {
+                    if let Some(key) = key_of(&rc, right_keys, lane) {
+                        index.entry(key).or_default().push(lane as u32);
+                    }
+                }
+                for lane in 0..l_lanes {
+                    if let Some(key) = key_of(&lc, left_keys, lane) {
+                        if let Some(matches) = index.get(&key) {
+                            for &r in matches {
+                                pairs.push((lane as u32, r));
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Smaller left side: build on the left, probe the right,
+                // then restore left-major order so the output is
+                // bit-identical to the right-build plan.
+                let mut index: HashMap<Vec<GroupKey>, Vec<u32>> = HashMap::new();
+                for lane in 0..l_lanes {
+                    if let Some(key) = key_of(&lc, left_keys, lane) {
+                        index.entry(key).or_default().push(lane as u32);
+                    }
+                }
+                for lane in 0..r_lanes {
+                    if let Some(key) = key_of(&rc, right_keys, lane) {
+                        if let Some(matches) = index.get(&key) {
+                            for &l in matches {
+                                pairs.push((l, lane as u32));
+                            }
+                        }
+                    }
+                }
+                pairs.sort_unstable();
+            }
+
+            let l_sel: Vec<u32> = pairs.iter().map(|&(l, _)| lc.index(l as usize)).collect();
+            let r_sel: Vec<u32> = pairs.iter().map(|&(_, r)| rc.index(r as usize)).collect();
+            let mut cols = Vec::with_capacity(schema.len());
+            for c in lc.batch.columns() {
+                cols.push(c.gather(&l_sel));
+            }
+            for c in rc.batch.columns() {
+                cols.push(c.gather(&r_sel));
+            }
+            let batch = Batch::from_columns(schema.clone(), cols, pairs.len())?;
+            Ok(Chunk::from_batch(Arc::new(batch)))
+        }
+        PhysOp::Aggregate {
+            input,
+            group_idx,
+            agg_funcs,
+            agg_args,
+            schema,
+        } => {
+            let chunk = run(input, catalog)?;
+            let lanes = chunk.len();
+            // Argument expressions evaluate once as whole columns.
+            let arg_cols: Vec<Option<ColumnVec>> = agg_args
+                .iter()
+                .map(|a| {
+                    a.as_ref()
+                        .map(|b| b.eval_batch(&chunk.batch, chunk.sel_slice()))
+                        .transpose()
+                })
+                .collect::<crate::Result<_>>()?;
+
+            let mut states: HashMap<Vec<GroupKey>, (Row, Vec<AggState>)> = HashMap::new();
+            let mut order: Vec<Vec<GroupKey>> = Vec::new();
+            for lane in 0..lanes {
+                let key: Vec<GroupKey> = group_idx
+                    .iter()
+                    .map(|&j| chunk.value(j, lane).group_key())
+                    .collect();
+                let entry = states.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (
+                        group_idx.iter().map(|&j| chunk.value(j, lane)).collect(),
+                        agg_funcs.iter().map(|&f| AggState::new(f)).collect(),
+                    )
+                });
+                for (state, col) in entry.1.iter_mut().zip(&arg_cols) {
+                    let v = col.as_ref().map(|c| c.value(lane));
+                    state.update(v)?;
+                }
+            }
+
+            let mut out = Table::new("aggregate", schema.clone());
+            if states.is_empty() && group_idx.is_empty() {
+                // Global aggregate over empty input: one row of identities.
+                let row: Row = agg_funcs
+                    .iter()
+                    .map(|&f| AggState::new(f).finish())
+                    .zip(schema.columns())
+                    .map(|(v, c)| coerce(v, c.dtype))
+                    .collect();
+                out.push_row(row)?;
+            } else {
+                for key in order {
+                    let (group_vals, sts) = states.remove(&key).expect("key recorded in order");
+                    let mut row = group_vals;
+                    for (st, col) in sts
+                        .into_iter()
+                        .zip(schema.columns().iter().skip(group_idx.len()))
+                    {
+                        row.push(coerce(st.finish(), col.dtype));
+                    }
+                    out.push_row(row)?;
+                }
+            }
+            Ok(Chunk::from_batch(out.batch()))
+        }
+        PhysOp::Sort { input, keys } => {
+            let chunk = run(input, catalog)?;
+            let lanes = chunk.len();
+            // Precompute whole key columns so the comparator is infallible.
+            let key_cols: Vec<(ColumnVec, bool)> = keys
+                .iter()
+                .map(|(b, asc)| Ok((b.eval_batch(&chunk.batch, chunk.sel_slice())?, *asc)))
+                .collect::<crate::Result<_>>()?;
+            let mut perm: Vec<u32> = (0..lanes as u32).collect();
+            perm.sort_by(|&a, &b| {
+                for (col, asc) in &key_cols {
+                    let ord = sql_sort_cmp(&col.value(a as usize), &col.value(b as usize));
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            let sel: Vec<u32> = perm.into_iter().map(|l| chunk.index(l as usize)).collect();
+            Ok(Chunk {
+                batch: chunk.batch,
+                sel: Some(sel),
+            })
+        }
+        PhysOp::Limit { input, n } => {
+            let chunk = run(input, catalog)?;
+            let n = *n;
+            let sel = match chunk.sel {
+                Some(mut s) => {
+                    s.truncate(n);
+                    Some(s)
+                }
+                None => {
+                    if chunk.batch.len() <= n {
+                        None
+                    } else {
+                        Some((0..n as u32).collect())
+                    }
+                }
+            };
+            Ok(Chunk {
+                batch: chunk.batch,
+                sel,
+            })
+        }
+    }
+}
+
+/// Column-level analogue of `Schema::validate_row`: the computed column
+/// must match the declared type (untyped all-null columns match anything)
+/// and Float columns must not contain NaN. Errors carry the same messages
+/// row validation produces.
+fn validate_column(c: &ColumnVec, col: &Column) -> crate::Result<()> {
+    match c.dtype() {
+        None => Ok(()),
+        Some(t) if t == col.dtype => {
+            if let ColumnVec::Float { data, nulls } = c {
+                for (i, v) in data.iter().enumerate() {
+                    if v.is_nan() && !nulls.is_null(i) {
+                        return Err(McdbError::type_mismatch(
+                            format!("column `{}`", col.name),
+                            "finite float or NULL",
+                            "NaN",
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+        Some(t) => Err(McdbError::type_mismatch(
+            format!("column `{}`", col.name),
+            col.dtype.to_string(),
+            t.to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::query::{AggSpec, SortKey};
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(
+            Table::build(
+                "sales",
+                &[
+                    ("id", DataType::Int),
+                    ("region", DataType::Str),
+                    ("amount", DataType::Float),
+                ],
+            )
+            .row(vec![Value::from(1), Value::from("east"), Value::from(10.0)])
+            .row(vec![Value::from(2), Value::from("west"), Value::from(20.0)])
+            .row(vec![Value::from(3), Value::from("east"), Value::from(30.0)])
+            .row(vec![Value::from(4), Value::from("east"), Value::Null])
+            .finish()
+            .unwrap(),
+        );
+        c.insert(
+            Table::build(
+                "regions",
+                &[("name", DataType::Str), ("tax", DataType::Float)],
+            )
+            .row(vec![Value::from("east"), Value::from(0.1)])
+            .row(vec![Value::from("west"), Value::from(0.2)])
+            .finish()
+            .unwrap(),
+        );
+        c
+    }
+
+    /// Both engines, same plan, same catalog — results must agree exactly
+    /// (the unoptimized reference is executed on the optimized plan so the
+    /// comparison isolates the engine, not the planner).
+    fn assert_engines_agree(c: &Catalog, plan: &Plan) {
+        let optimized = planner::optimize(plan.clone());
+        let legacy = super::super::execute(&optimized, c);
+        let vectorized =
+            PreparedQuery::prepare_unoptimized(&optimized, c).and_then(|p| p.execute(c));
+        match (legacy, vectorized) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "engines diverged for {}", plan.explain()),
+            (Err(a), Err(b)) => assert_eq!(a, b, "errors diverged for {}", plan.explain()),
+            (a, b) => panic!("status diverged for {}: {a:?} vs {b:?}", plan.explain()),
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_core_operators() {
+        let c = catalog();
+        let plans = vec![
+            Plan::scan("sales"),
+            Plan::scan("sales").filter(Expr::col("amount").gt(Expr::lit(15.0))),
+            Plan::scan("sales").project(&[
+                ("id", Expr::col("id")),
+                ("taxed", Expr::col("amount").mul(Expr::lit(1.1))),
+                ("flag", Expr::col("amount").is_null()),
+            ]),
+            Plan::scan("sales").join(Plan::scan("regions"), &[("region", "name")]),
+            Plan::scan("sales").aggregate(
+                &["region"],
+                vec![
+                    AggSpec::count_star("n"),
+                    AggSpec::new("total", AggFunc::Sum, Expr::col("amount")),
+                    AggSpec::new("mean", AggFunc::Avg, Expr::col("amount")),
+                    AggSpec::new("lo", AggFunc::Min, Expr::col("amount")),
+                    AggSpec::new("hi", AggFunc::Max, Expr::col("amount")),
+                ],
+            ),
+            Plan::scan("sales").sort(vec![
+                SortKey::asc(Expr::col("region")),
+                SortKey::desc(Expr::col("amount")),
+            ]),
+            Plan::scan("sales").limit(2),
+            Plan::scan("sales")
+                .filter(Expr::col("amount").gt(Expr::lit(5.0)))
+                .join(Plan::scan("regions"), &[("region", "name")])
+                .project(&[
+                    ("region", Expr::col("region")),
+                    (
+                        "net",
+                        Expr::col("amount").mul(Expr::lit(1.0).sub(Expr::col("tax"))),
+                    ),
+                ])
+                .aggregate(
+                    &["region"],
+                    vec![AggSpec::new("net_total", AggFunc::Sum, Expr::col("net"))],
+                )
+                .sort(vec![SortKey::asc(Expr::col("region"))])
+                .limit(10),
+        ];
+        for p in &plans {
+            assert_engines_agree(&c, p);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_null_and_edge_semantics() {
+        let mut c = catalog();
+        c.insert(
+            Table::build("l", &[("k", DataType::Int), ("v", DataType::Float)])
+                .row(vec![Value::Null, Value::from(1.0)])
+                .row(vec![Value::from(1), Value::from(2.0)])
+                .row(vec![Value::from(2), Value::Null])
+                .finish()
+                .unwrap(),
+        );
+        c.insert(
+            Table::build("rr", &[("k2", DataType::Int), ("w", DataType::Int)])
+                .row(vec![Value::Null, Value::from(7)])
+                .row(vec![Value::from(1), Value::from(8)])
+                .row(vec![Value::from(1), Value::from(9)])
+                .finish()
+                .unwrap(),
+        );
+        let plans = vec![
+            // Null join keys never match, and duplicate build keys fan out.
+            Plan::scan("l").join(Plan::scan("rr"), &[("k", "k2")]),
+            // Null grouping keys form their own group.
+            Plan::scan("l").aggregate(
+                &["k"],
+                vec![AggSpec::new("s", AggFunc::Sum, Expr::col("v"))],
+            ),
+            // Kleene logic without short-circuit, NULL predicate is false.
+            Plan::scan("l").filter(
+                Expr::col("v")
+                    .gt(Expr::lit(0.5))
+                    .and(Expr::col("k").is_null().not()),
+            ),
+            // Division by zero degrades to NULL; Int/Int division floats.
+            Plan::scan("l").project(&[
+                ("d", Expr::col("k").div(Expr::lit(0))),
+                ("e", Expr::col("v").div(Expr::col("v"))),
+                ("f", Expr::col("k").div(Expr::lit(2))),
+            ]),
+            // Int literal flowing into a Float output column coerces.
+            Plan::scan("l")
+                .project(&[("c", Expr::lit(1))])
+                .project(&[("c2", Expr::col("c").add(Expr::lit(0.5)))]),
+            // Sqrt/Ln domain errors degrade to NULL; Abs keeps Int.
+            Plan::scan("l").project(&[
+                (
+                    "s",
+                    Expr::col("v").neg().func(crate::expr::ScalarFunc::Sqrt),
+                ),
+                ("a", Expr::col("k").neg().func(crate::expr::ScalarFunc::Abs)),
+                ("ln", Expr::lit(0.0).func(crate::expr::ScalarFunc::Ln)),
+            ]),
+            // Nulls sort first ascending, last descending; stable ties.
+            Plan::scan("l").sort(vec![
+                SortKey::desc(Expr::col("v")),
+                SortKey::asc(Expr::col("k")),
+            ]),
+            // Empty input: filter drops all, aggregate still yields identity.
+            Plan::scan("l")
+                .filter(Expr::lit(false))
+                .aggregate(&[], vec![AggSpec::count_star("n")]),
+            // Non-Bool filter predicate errors identically.
+            Plan::scan("l").filter(Expr::col("k")),
+            // Wrapping integer arithmetic.
+            Plan::scan("l").project(&[(
+                "w",
+                Expr::col("k").mul(Expr::lit(i64::MAX)).add(Expr::lit(1)),
+            )]),
+        ];
+        for p in &plans {
+            assert_engines_agree(&c, p);
+        }
+    }
+
+    #[test]
+    fn join_builds_on_smaller_side_with_identical_output() {
+        // Big left (fact) × small right (dimension) and the mirror image:
+        // both orientations must equal the reference row engine's output.
+        let mut c = Catalog::new();
+        let mut fact = Table::new(
+            "fact",
+            Schema::from_pairs(&[("k", DataType::Int), ("x", DataType::Int)]).unwrap(),
+        );
+        for i in 0..100i64 {
+            fact.push_row(vec![Value::from(i % 7), Value::from(i)])
+                .unwrap();
+        }
+        c.insert(fact);
+        c.insert(
+            Table::build("dim", &[("k2", DataType::Int), ("label", DataType::Str)])
+                .row(vec![Value::from(1), Value::from("one")])
+                .row(vec![Value::from(3), Value::from("three")])
+                .finish()
+                .unwrap(),
+        );
+        // Small right: build side is the right (legacy orientation).
+        assert_engines_agree(
+            &c,
+            &Plan::scan("fact").join(Plan::scan("dim"), &[("k", "k2")]),
+        );
+        // Small LEFT: the engine flips the build side; output order must
+        // still match the reference exactly.
+        assert_engines_agree(
+            &c,
+            &Plan::scan("dim").join(Plan::scan("fact"), &[("k2", "k")]),
+        );
+    }
+
+    #[test]
+    fn prepared_query_reuses_plan_and_detects_schema_drift() {
+        let c = catalog();
+        let plan = Plan::scan("sales")
+            .filter(Expr::col("amount").gt(Expr::lit(5.0)))
+            .aggregate(
+                &[],
+                vec![AggSpec::new("s", AggFunc::Sum, Expr::col("amount"))],
+            );
+        let prepared = PreparedQuery::prepare(&plan, &c).unwrap();
+        assert_eq!(prepared.schema().names(), vec!["s"]);
+        let a = prepared.execute(&c).unwrap();
+        let b = prepared.execute(&c).unwrap();
+        assert_eq!(a, b);
+
+        // Same table name, different schema: execution fails loudly
+        // instead of producing garbage.
+        let mut drifted = Catalog::new();
+        drifted.insert(
+            Table::build("sales", &[("amount", DataType::Float)])
+                .finish()
+                .unwrap(),
+        );
+        let err = prepared.execute(&drifted).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+        // A missing table is an UnknownTable error, as with direct queries.
+        assert!(matches!(
+            prepared.execute(&Catalog::new()).unwrap_err(),
+            McdbError::UnknownTable { .. }
+        ));
+    }
+
+    #[test]
+    fn selection_vectors_compose_through_filter_sort_limit() {
+        let c = catalog();
+        let plan = Plan::scan("sales")
+            .filter(Expr::col("amount").is_null().not())
+            .sort(vec![SortKey::desc(Expr::col("amount"))])
+            .limit(2);
+        let t = c.query(&plan).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][2], Value::from(30.0));
+        assert_eq!(t.rows()[1][2], Value::from(20.0));
+        assert_eq!(t.name(), "limit");
+    }
+}

@@ -12,11 +12,15 @@
 //!    join side moves below the join, shrinking the join input.
 //! 3. **Filter fusion** — adjacent filters re-merge into one conjunction
 //!    after pushdown, so rows are tested once.
+//! 4. **Constant folding** — literal-only subexpressions evaluate at plan
+//!    time, so per-replicate execution never recomputes them.
+//! 5. **Projection pruning** — a projection (or aggregation) stacked on
+//!    another projection drops inner columns nothing references.
 //!
 //! The gridfield `restrict`/`regrid` commutation of §2.2 is the same idea
 //! in a different algebra; see `mde_harmonize::gridfield`.
 
-use super::Plan;
+use super::{AggSpec, Plan, SortKey};
 use crate::expr::Expr;
 use std::collections::BTreeSet;
 
@@ -41,6 +45,8 @@ fn rewrite(plan: Plan) -> (Plan, bool) {
     match plan {
         Plan::Filter { input, predicate } => {
             let (input, mut changed) = rewrite(*input);
+            let (predicate, folded) = fold_expr(predicate);
+            changed |= folded;
             // Split conjunctions into a list of predicates to place.
             let mut conjuncts = Vec::new();
             split_conjuncts(predicate, &mut conjuncts);
@@ -71,7 +77,21 @@ fn rewrite(plan: Plan) -> (Plan, bool) {
             }
         }
         Plan::Project { input, exprs } => {
-            let (input, changed) = rewrite(*input);
+            let (input, mut changed) = rewrite(*input);
+            let exprs: Vec<(String, Expr)> = exprs
+                .into_iter()
+                .map(|(n, e)| {
+                    let (e, c) = fold_expr(e);
+                    changed |= c;
+                    (n, e)
+                })
+                .collect();
+            let needed: BTreeSet<String> = exprs
+                .iter()
+                .flat_map(|(_, e)| e.referenced_columns())
+                .collect();
+            let (input, pruned) = prune_projection(input, &needed);
+            changed |= pruned;
             (
                 Plan::Project {
                     input: Box::new(input),
@@ -103,7 +123,29 @@ fn rewrite(plan: Plan) -> (Plan, bool) {
             group_by,
             aggs,
         } => {
-            let (input, changed) = rewrite(*input);
+            let (input, mut changed) = rewrite(*input);
+            let aggs: Vec<AggSpec> = aggs
+                .into_iter()
+                .map(|mut a| {
+                    if let Some(arg) = a.arg.take() {
+                        let (arg, c) = fold_expr(arg);
+                        changed |= c;
+                        a.arg = Some(arg);
+                    }
+                    a
+                })
+                .collect();
+            let needed: BTreeSet<String> = group_by
+                .iter()
+                .cloned()
+                .chain(
+                    aggs.iter()
+                        .filter_map(|a| a.arg.as_ref())
+                        .flat_map(Expr::referenced_columns),
+                )
+                .collect();
+            let (input, pruned) = prune_projection(input, &needed);
+            changed |= pruned;
             (
                 Plan::Aggregate {
                     input: Box::new(input),
@@ -114,7 +156,15 @@ fn rewrite(plan: Plan) -> (Plan, bool) {
             )
         }
         Plan::Sort { input, keys } => {
-            let (input, changed) = rewrite(*input);
+            let (input, mut changed) = rewrite(*input);
+            let keys: Vec<SortKey> = keys
+                .into_iter()
+                .map(|SortKey { expr, ascending }| {
+                    let (expr, c) = fold_expr(expr);
+                    changed |= c;
+                    SortKey { expr, ascending }
+                })
+                .collect();
             (
                 Plan::Sort {
                     input: Box::new(input),
@@ -134,6 +184,102 @@ fn rewrite(plan: Plan) -> (Plan, bool) {
             )
         }
         leaf @ (Plan::Scan { .. } | Plan::Values { .. }) => (leaf, false),
+    }
+}
+
+/// Fold literal-only subexpressions bottom-up through the scalar
+/// evaluator, so prepared plans never recompute them per row.
+///
+/// A node folds only when every operand is a literal, evaluation succeeds,
+/// **and** the result is non-Null: an erroring subexpression must keep
+/// erroring at execution time, and folding to a Null literal would erase
+/// the statically inferred output type (`infer_type` gives `1 = 1` type
+/// Bool but a bare Null literal type Float). The rewrite is idempotent —
+/// a folded node is a literal, and literals never fold again.
+fn fold_expr(e: Expr) -> (Expr, bool) {
+    match e {
+        Expr::Binary { op, left, right } => {
+            let (left, c1) = fold_expr(*left);
+            let (right, c2) = fold_expr(*right);
+            if let (Expr::Lit(l), Expr::Lit(r)) = (&left, &right) {
+                if let Ok(v) = crate::expr::eval_binary(op, l.clone(), r.clone()) {
+                    if !v.is_null() {
+                        return (Expr::Lit(v), true);
+                    }
+                }
+            }
+            (
+                Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                c1 || c2,
+            )
+        }
+        Expr::Unary { op, expr } => {
+            let (expr, c) = fold_expr(*expr);
+            if let Expr::Lit(v) = &expr {
+                if let Ok(v) = crate::expr::eval_unary(op, v.clone()) {
+                    if !v.is_null() {
+                        return (Expr::Lit(v), true);
+                    }
+                }
+            }
+            (
+                Expr::Unary {
+                    op,
+                    expr: Box::new(expr),
+                },
+                c,
+            )
+        }
+        Expr::Func { func, arg } => {
+            let (arg, c) = fold_expr(*arg);
+            if let Expr::Lit(v) = &arg {
+                if let Ok(v) = crate::expr::eval_func(func, v.clone()) {
+                    if !v.is_null() {
+                        return (Expr::Lit(v), true);
+                    }
+                }
+            }
+            (
+                Expr::Func {
+                    func,
+                    arg: Box::new(arg),
+                },
+                c,
+            )
+        }
+        leaf @ (Expr::Col(_) | Expr::Lit(_)) => (leaf, false),
+    }
+}
+
+/// If `input` is a projection, drop its output columns that `needed` does
+/// not reference (the consumer is another projection or an aggregation, so
+/// anything unreferenced is dead). Conservative: only drops — never
+/// rewrites surviving expressions — and only looks one projection deep.
+fn prune_projection(input: Plan, needed: &BTreeSet<String>) -> (Plan, bool) {
+    match input {
+        Plan::Project {
+            input: inner,
+            exprs,
+        } => {
+            let before = exprs.len();
+            let kept: Vec<(String, Expr)> = exprs
+                .into_iter()
+                .filter(|(n, _)| needed.contains(n))
+                .collect();
+            let changed = kept.len() < before;
+            (
+                Plan::Project {
+                    input: inner,
+                    exprs: kept,
+                },
+                changed,
+            )
+        }
+        other => (other, false),
     }
 }
 
@@ -403,5 +549,108 @@ mod tests {
         let once = optimize(p);
         let twice = optimize(once.clone());
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn folds_literal_subexpressions() {
+        // 1 + 2 * 3 folds all the way to 7 inside a projection.
+        let p = Plan::values(people())
+            .project(&[("x", Expr::lit(1).add(Expr::lit(2).mul(Expr::lit(3))))]);
+        match optimize(p) {
+            Plan::Project { exprs, .. } => assert_eq!(exprs[0].1, Expr::lit(7)),
+            other => panic!("expected project, got {other:?}"),
+        }
+        // Mixed literal/column expressions fold only the literal part.
+        let p = Plan::values(people()).filter(Expr::col("age").lt(Expr::lit(10).mul(Expr::lit(4))));
+        match optimize(p) {
+            Plan::Filter { predicate, .. } => {
+                assert_eq!(predicate, Expr::col("age").lt(Expr::lit(40)));
+            }
+            other => panic!("expected filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folding_preserves_null_and_error_semantics() {
+        // NULL + 1 evaluates to Null, which must NOT fold: a literal Null
+        // has no static type, so folding would change the inferred schema.
+        let p = Plan::values(people()).project(&[("x", Expr::lit(Value::Null).add(Expr::lit(1)))]);
+        match optimize(p) {
+            Plan::Project { exprs, .. } => {
+                assert!(matches!(exprs[0].1, Expr::Binary { .. }))
+            }
+            other => panic!("expected project, got {other:?}"),
+        }
+        // 1 / 0 degrades to Null at runtime — likewise left in place, and
+        // still identical between optimized and reference execution.
+        let mut c = Catalog::new();
+        c.insert(people());
+        let p = Plan::scan("people").project(&[("x", Expr::lit(1).div(Expr::lit(0)))]);
+        assert_eq!(
+            c.query(&p).unwrap().rows(),
+            c.query_unoptimized(&p).unwrap().rows()
+        );
+        // A type error stays a runtime error in both engines.
+        let bad = Plan::scan("people").project(&[("x", Expr::lit("s").add(Expr::lit(1)))]);
+        assert!(c.query(&bad).is_err());
+        assert!(c.query_unoptimized(&bad).is_err());
+    }
+
+    #[test]
+    fn prunes_unreferenced_projection_columns() {
+        // Project over Project: the inner "b" column is never used.
+        let p = Plan::values(people())
+            .project(&[
+                ("a", Expr::col("pid")),
+                ("b", Expr::col("age").mul(Expr::lit(2))),
+            ])
+            .project(&[("a2", Expr::col("a").add(Expr::lit(1)))]);
+        let opt = optimize(p.clone());
+        match &opt {
+            Plan::Project { input, .. } => match input.as_ref() {
+                Plan::Project { exprs, .. } => {
+                    assert_eq!(exprs.len(), 1);
+                    assert_eq!(exprs[0].0, "a");
+                }
+                other => panic!("expected inner project, got {other:?}"),
+            },
+            other => panic!("expected project, got {other:?}"),
+        }
+        // Aggregate over Project: only grouped/aggregated columns survive.
+        let agg = Plan::values(people())
+            .project(&[
+                ("a", Expr::col("pid")),
+                ("b", Expr::col("age").mul(Expr::lit(2))),
+                ("c", Expr::col("age")),
+            ])
+            .aggregate(
+                &["a"],
+                vec![AggSpec::new(
+                    "s",
+                    super::super::AggFunc::Sum,
+                    Expr::col("c"),
+                )],
+            );
+        match optimize(agg.clone()) {
+            Plan::Aggregate { input, .. } => match *input {
+                Plan::Project { exprs, .. } => {
+                    let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
+                    assert_eq!(names, vec!["a", "c"]);
+                }
+                other => panic!("expected inner project, got {other:?}"),
+            },
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+        // Results are unchanged by pruning, and pruning is idempotent.
+        let mut c = Catalog::new();
+        c.insert(people());
+        for plan in [p, agg] {
+            assert_eq!(
+                c.query(&plan).unwrap().rows(),
+                c.query_unoptimized(&plan).unwrap().rows()
+            );
+            let once = optimize(plan);
+            assert_eq!(once.clone(), optimize(once));
+        }
     }
 }

@@ -15,7 +15,8 @@
 //! row — and assembles output rows with the `SELECT` projection, which sees
 //! the driver row's columns and the VG output's columns side by side.
 
-use crate::query::{Catalog, Plan};
+use crate::expr::BoundExpr;
+use crate::query::{Catalog, Plan, PreparedQuery};
 use crate::schema::Schema;
 use crate::table::{Row, Table};
 use crate::value::Value;
@@ -144,37 +145,127 @@ impl RandomTableSpec {
         self.select.iter().map(|(_, e)| e.bind(combined)).collect()
     }
 
+    /// Prepare this spec against a catalog snapshot: plan the driver and
+    /// parameter queries once, bind every expression, and resolve the
+    /// output schema. The result realizes any number of replicates without
+    /// re-planning — the MCDB prepare-once / sample-per-replicate split.
+    ///
+    /// Tables the driver or parameter query scan must exist in `catalog`
+    /// with their execution-time schemas (the Monte Carlo runners register
+    /// empty placeholder tables for not-yet-realized stochastic inputs).
+    pub fn prepare(&self, catalog: &Catalog) -> crate::Result<PreparedRandomTable> {
+        let driver = PreparedQuery::prepare(&self.driver, catalog)?;
+        let combined = driver.schema().concat(&self.vg.output_schema(), "vg")?;
+        let mut cols = Vec::with_capacity(self.select.len());
+        for (name, e) in &self.select {
+            let dt =
+                crate::query::infer_type(e, &combined)?.unwrap_or(crate::schema::DataType::Float);
+            cols.push(crate::schema::Column::new(name.clone(), dt));
+        }
+        let out_schema = Schema::new(cols)?;
+        let params_query = self
+            .params_query
+            .as_ref()
+            .map(|q| PreparedQuery::prepare(q, catalog))
+            .transpose()?;
+        let bound_param_exprs = self.bind_param_exprs(driver.schema())?;
+        let bound_select = self.bind_select(&combined)?;
+        Ok(PreparedRandomTable {
+            name: self.name.clone(),
+            vg: Arc::clone(&self.vg),
+            driver,
+            params_query,
+            bound_param_exprs,
+            bound_select,
+            combined_len: combined.len(),
+            out_schema,
+        })
+    }
+
     /// Generate one realization of the stochastic table.
+    ///
+    /// Convenience wrapper that prepares and realizes in one step; loops
+    /// should call [`RandomTableSpec::prepare`] once and realize the
+    /// prepared form per replicate.
     pub fn realize(&self, catalog: &Catalog, rng: &mut Rng) -> crate::Result<Table> {
-        let driver_table = catalog.query(&self.driver)?;
-        let combined = self.combined_schema(catalog)?;
-        let out_schema = self.output_schema(catalog)?;
-        let base_params = self.base_params(catalog)?;
+        self.prepare(catalog)?.realize(catalog, rng)
+    }
+}
 
-        let bound_param_exprs: Vec<_> = self
-            .param_exprs
-            .iter()
-            .map(|e| e.bind(driver_table.schema()))
-            .collect::<crate::Result<_>>()?;
-        let bound_select: Vec<_> = self
-            .select
-            .iter()
-            .map(|(_, e)| e.bind(&combined))
-            .collect::<crate::Result<_>>()?;
+/// A [`RandomTableSpec`] with its driver and parameter queries planned and
+/// every expression bound, ready to realize once per replicate.
+///
+/// The driver and parameter queries still *execute* per realization (they
+/// may read tables realized earlier in the same replicate), but planning,
+/// binding, and schema resolution happen exactly once, at
+/// [`RandomTableSpec::prepare`] time.
+#[derive(Clone)]
+pub struct PreparedRandomTable {
+    name: String,
+    vg: Arc<dyn VgFunction>,
+    driver: PreparedQuery,
+    params_query: Option<PreparedQuery>,
+    bound_param_exprs: Vec<BoundExpr>,
+    bound_select: Vec<BoundExpr>,
+    combined_len: usize,
+    out_schema: Schema,
+}
 
-        let mut out = Table::new(self.name.clone(), out_schema.clone());
+impl std::fmt::Debug for PreparedRandomTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedRandomTable")
+            .field("name", &self.name)
+            .field("vg", &self.vg.name())
+            .field("out_schema", &self.out_schema)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreparedRandomTable {
+    /// The table name this realizes.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output schema of a realization (resolved at prepare time).
+    pub fn output_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// Generate one realization using the prepared plans.
+    ///
+    /// RNG consumption is identical to the unprepared path: one VG
+    /// invocation per driver row, in driver order.
+    pub fn realize(&self, catalog: &Catalog, rng: &mut Rng) -> crate::Result<Table> {
+        let driver_table = self.driver.execute(catalog)?;
+        let base_params = match &self.params_query {
+            None => Vec::new(),
+            Some(q) => {
+                let t = q.execute(catalog)?;
+                if t.len() != 1 {
+                    return Err(McdbError::invalid_plan(format!(
+                        "VG parameter query for `{}` must return exactly one row, got {}",
+                        self.name,
+                        t.len()
+                    )));
+                }
+                t.rows()[0].clone()
+            }
+        };
+
+        let mut out = Table::new(self.name.clone(), self.out_schema.clone());
         for drow in driver_table.rows() {
             let mut params = base_params.clone();
-            for be in &bound_param_exprs {
+            for be in &self.bound_param_exprs {
                 params.push(be.eval(drow)?);
             }
             self.vg.check_arity(&params)?;
             for vrow in self.vg.generate(&params, rng)? {
-                let mut crow: Row = Vec::with_capacity(combined.len());
+                let mut crow: Row = Vec::with_capacity(self.combined_len);
                 crow.extend(drow.iter().cloned());
                 crow.extend(vrow);
-                let mut orow = Vec::with_capacity(bound_select.len());
-                for (be, col) in bound_select.iter().zip(out_schema.columns()) {
+                let mut orow = Vec::with_capacity(self.bound_select.len());
+                for (be, col) in self.bound_select.iter().zip(self.out_schema.columns()) {
                     let v = be.eval(&crow)?;
                     let v = match (&v, col.dtype) {
                         (Value::Int(i), crate::schema::DataType::Float) => Value::Float(*i as f64),

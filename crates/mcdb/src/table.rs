@@ -1,8 +1,10 @@
 //! In-memory tables: a schema plus rows.
 
+use crate::query::batch::Batch;
 use crate::schema::{DataType, Schema};
 use crate::value::Value;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A row is an ordered vector of values matching a schema.
 pub type Row = Vec<Value>;
@@ -13,11 +15,24 @@ pub type Row = Vec<Value>;
 /// (deterministic) database tables, realizations of stochastic tables,
 /// query results, snapshots of agent populations, and observation exports
 /// from simulations are all `Table`s.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Tables also lazily cache a columnar [`Batch`] view of themselves (see
+/// [`Table::batch`]); the vectorized executor scans through that cache so
+/// repeated queries over the same table transpose it exactly once. The
+/// cache is invalidated whenever a row is appended and is ignored by
+/// equality comparison.
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
     rows: Vec<Row>,
+    batch_cache: OnceLock<Arc<Batch>>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl Table {
@@ -27,6 +42,7 @@ impl Table {
             name: name.into(),
             schema,
             rows: Vec::new(),
+            batch_cache: OnceLock::new(),
         }
     }
 
@@ -70,9 +86,25 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Consume the table, yielding its rows (engine-internal; lets
+    /// operators that own their input avoid per-row clones).
+    pub(crate) fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// The columnar [`Batch`] view of this table, transposed on first use
+    /// and cached. Appending rows invalidates the cache.
+    pub fn batch(&self) -> Arc<Batch> {
+        Arc::clone(
+            self.batch_cache
+                .get_or_init(|| Arc::new(Batch::from_table(self))),
+        )
+    }
+
     /// Append a validated row.
     pub fn push_row(&mut self, row: Row) -> crate::Result<()> {
         self.schema.validate_row(&row)?;
+        self.batch_cache.take();
         self.rows.push(row);
         Ok(())
     }
@@ -84,6 +116,7 @@ impl Table {
     /// but misuse produces confusing downstream type errors.
     pub(crate) fn push_row_unchecked(&mut self, row: Row) {
         debug_assert!(self.schema.validate_row(&row).is_ok());
+        self.batch_cache.take();
         self.rows.push(row);
     }
 
@@ -248,5 +281,25 @@ mod tests {
     fn rename() {
         let t = sample().with_name("renamed");
         assert_eq!(t.name(), "renamed");
+    }
+
+    #[test]
+    fn batch_cache_reuses_until_mutated() {
+        let mut t = sample();
+        let b1 = t.batch();
+        assert!(Arc::ptr_eq(&b1, &t.batch()));
+        assert_eq!(b1.len(), 2);
+        t.push_row(vec![Value::from(3), Value::Null]).unwrap();
+        let b2 = t.batch();
+        assert!(!Arc::ptr_eq(&b1, &b2));
+        assert_eq!(b2.len(), 3);
+        // The cache is invisible to equality.
+        let fresh = sample().with_name("t");
+        let warmed = {
+            let t = sample();
+            let _ = t.batch();
+            t
+        };
+        assert_eq!(fresh, warmed);
     }
 }

@@ -7,6 +7,7 @@
 //! stochastic tables.
 
 use model_data_ecosystems::mcdb::bundle::{execute_bundled, BundledCatalog, BundledTable};
+use model_data_ecosystems::mcdb::expr::ScalarFunc;
 use model_data_ecosystems::mcdb::prelude::*;
 use model_data_ecosystems::mcdb::query::{AggFunc, AggSpec};
 use model_data_ecosystems::mcdb::vg::NormalVg;
@@ -75,6 +76,107 @@ fn plan_for(case: u8, threshold: f64) -> Plan {
     }
 }
 
+/// A catalog with NULLs sprinkled into join/group keys and values so the
+/// differential test hits the semantic edges (NULL keys never match, NULL
+/// groups do group together, NULL predicates mean "drop the row").
+fn edge_catalog(n_rows: usize, null_every: usize) -> Catalog {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build(
+            "FACT",
+            &[
+                ("K", DataType::Int),
+                ("V", DataType::Float),
+                ("Q", DataType::Int),
+            ],
+        )
+        .rows((0..n_rows).map(|i| {
+            let k = if i % null_every == 0 {
+                Value::Null
+            } else {
+                Value::from((i % 5) as i64)
+            };
+            let v = if i % (null_every + 2) == 0 {
+                Value::Null
+            } else {
+                Value::from(i as f64 - 7.5)
+            };
+            vec![k, v, Value::from(i as i64 - 3)]
+        }))
+        .finish()
+        .unwrap(),
+    );
+    db.insert(
+        Table::build("DIM", &[("K", DataType::Int), ("LABEL", DataType::Str)])
+            .rows((0..4).map(|j| {
+                let k = if j == 0 {
+                    Value::Null
+                } else {
+                    Value::from(j as i64)
+                };
+                vec![k, Value::from(["none", "lo", "mid", "hi"][j])]
+            }))
+            .finish()
+            .unwrap(),
+    );
+    db
+}
+
+/// Edge-case plan family: each arm stresses one semantic corner that a
+/// vectorized engine can easily get subtly wrong.
+fn edge_plan_for(case: u8, divisor: i64, threshold: f64, limit: usize) -> Plan {
+    match case % 6 {
+        // NULL join keys must never match, and fact-major row order must
+        // survive regardless of which side the hash table is built on.
+        0 => Plan::scan("FACT")
+            .join(Plan::scan("DIM"), &[("K", "K")])
+            .filter(Expr::col("V").gt(Expr::lit(threshold))),
+        // Int/Int division coerces to Float; divisor 0 yields NULL, which
+        // as a filter predicate drops the row (no error).
+        1 => Plan::scan("FACT")
+            .project(&[
+                ("K", Expr::col("K")),
+                ("RATIO", Expr::col("Q").div(Expr::lit(divisor))),
+            ])
+            .filter(Expr::col("RATIO").ge(Expr::lit(0))),
+        // NULL group keys group together; SUM over all-NULL groups is NULL.
+        2 => Plan::scan("FACT").aggregate(
+            &["K"],
+            vec![
+                AggSpec::count_star("N"),
+                AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("V")),
+                AggSpec::new("PEAK", AggFunc::Max, Expr::col("Q")),
+            ],
+        ),
+        // Kleene three-valued logic: NULL OR true = true, NULL AND x = NULL
+        // or false — no short-circuit divergence allowed.
+        3 => Plan::scan("FACT").filter(
+            Expr::col("V")
+                .gt(Expr::lit(threshold))
+                .or(Expr::col("K").is_null())
+                .and(Expr::col("Q").ne(Expr::lit(divisor))),
+        ),
+        // Sqrt of negatives is NULL; projection then sort puts NULLs first.
+        4 => Plan::scan("FACT")
+            .project(&[
+                ("K", Expr::col("K")),
+                ("ROOT", Expr::col("V").func(ScalarFunc::Sqrt)),
+            ])
+            .sort(vec![model_data_ecosystems::mcdb::query::SortKey::asc(
+                Expr::col("ROOT"),
+            )])
+            .limit(limit),
+        // Selection vectors composing through filter → sort → limit, with
+        // a wrapping-arithmetic expression in the sort key.
+        _ => Plan::scan("FACT")
+            .filter(Expr::col("Q").mul(Expr::lit(3)).le(Expr::lit(divisor * 7)))
+            .sort(vec![model_data_ecosystems::mcdb::query::SortKey::desc(
+                Expr::col("V"),
+            )])
+            .limit(limit),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -135,6 +237,54 @@ proptest! {
         let optimized = cat.query(&plan).unwrap();
         let raw = cat.query_unoptimized(&plan).unwrap();
         prop_assert_eq!(optimized.rows(), raw.rows());
+    }
+
+    /// The vectorized columnar engine (the default `Catalog::query` path)
+    /// must be observationally identical to the legacy row-at-a-time
+    /// executor on plans exercising NULL join keys, NULL group keys,
+    /// Kleene logic, division by zero, Int→Float coercion, and
+    /// filter→sort→limit selection-vector composition.
+    #[test]
+    fn vectorized_engine_matches_legacy_on_edge_plans(
+        n_rows in 0usize..40,
+        null_every in 1usize..5,
+        divisor in -2i64..3,
+        threshold in -10.0f64..10.0,
+        case in 0u8..6,
+        limit in 1usize..12,
+    ) {
+        let db = edge_catalog(n_rows, null_every);
+        let plan = edge_plan_for(case, divisor, threshold, limit);
+        match (db.query(&plan), db.query_unoptimized(&plan)) {
+            (Ok(vectorized), Ok(legacy)) => {
+                prop_assert_eq!(vectorized.schema(), legacy.schema(), "schema divergence (case {})", case);
+                prop_assert_eq!(vectorized.rows(), legacy.rows(), "row divergence (case {})", case);
+            }
+            (Err(_), Err(_)) => {} // both engines reject the plan/data
+            (v, l) => prop_assert!(
+                false,
+                "engine status divergence (case {}): vectorized={:?} legacy={:?}",
+                case, v.map(|t| t.len()), l.map(|t| t.len())
+            ),
+        }
+    }
+
+    #[test]
+    fn prepared_realization_equals_direct_realization(
+        n_items in 0usize..15,
+        mean in -50.0f64..50.0,
+        std in 0.5f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        let db = base_catalog(n_items, mean, std);
+        let spec = sales_spec();
+        let prepared = spec.prepare(&db).unwrap();
+        let direct = spec.realize(&db, &mut rng_from_seed(seed)).unwrap();
+        let via_prepared = prepared.realize(&db, &mut rng_from_seed(seed)).unwrap();
+        prop_assert_eq!(direct.rows(), via_prepared.rows());
+        // Reuse of the same prepared spec must be deterministic given the seed.
+        let again = prepared.realize(&db, &mut rng_from_seed(seed)).unwrap();
+        prop_assert_eq!(via_prepared.rows(), again.rows());
     }
 
     #[test]

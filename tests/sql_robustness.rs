@@ -94,4 +94,37 @@ proptest! {
         let via_plan = db.query(&hand).unwrap();
         prop_assert_eq!(via_sql.rows(), via_plan.rows(), "sql: {}", sql);
     }
+
+    /// Every generated well-formed query must produce the same result (or
+    /// the same failure status) under the default vectorized engine and the
+    /// legacy row-at-a-time executor, including coercion edges like integer
+    /// division and comparisons mixing Int and Float columns.
+    #[test]
+    fn generated_queries_identical_under_both_engines(
+        threshold in -5i64..15,
+        divisor in -3i64..4,
+        pick_col in 0usize..3,
+        desc in any::<bool>(),
+        limit in 1usize..10,
+    ) {
+        let col = ["a", "b", "s"][pick_col];
+        let sql = format!(
+            "SELECT a, b / {divisor} AS r FROM t WHERE {col} <> '{threshold}' ORDER BY b {} LIMIT {limit}",
+            if desc { "DESC" } else { "ASC" },
+        );
+        let db = catalog();
+        if let Ok(plan) = plan_from_sql(&sql) {
+            match (db.query(&plan), db.query_unoptimized(&plan)) {
+                (Ok(vectorized), Ok(legacy)) => {
+                    prop_assert_eq!(vectorized.rows(), legacy.rows(), "sql: {}", sql);
+                }
+                (Err(_), Err(_)) => {}
+                (v, l) => prop_assert!(
+                    false,
+                    "engine status divergence for {}: vectorized={:?} legacy={:?}",
+                    sql, v.map(|t| t.len()), l.map(|t| t.len())
+                ),
+            }
+        }
+    }
 }
