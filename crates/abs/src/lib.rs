@@ -46,7 +46,10 @@
 
 pub mod engine;
 pub mod epidemic;
+pub mod error;
 pub mod market;
 pub mod rangequery;
 pub mod schelling;
 pub mod traffic;
+
+pub use error::AbsError;

@@ -16,6 +16,7 @@
 //! method of simulated moments in `mde-calibrate` matches against data.
 
 use crate::engine::StepModel;
+use crate::error::AbsError;
 use mde_numeric::rng::{rng_from_seed, Rng};
 use rand::Rng as _;
 
@@ -79,6 +80,43 @@ impl Default for MarketConfig {
     }
 }
 
+impl MarketConfig {
+    /// Typed validation of the persona-network configuration: too few
+    /// personas, an odd or out-of-range lattice degree, a rewiring
+    /// probability outside `[0, 1]`, or a zero-tick horizon is rejected
+    /// with a fatal [`AbsError::InvalidConfig`] instead of a panic.
+    pub fn validate(&self) -> Result<(), AbsError> {
+        let reject = |reason: String| {
+            Err(AbsError::InvalidConfig {
+                context: "market model",
+                reason,
+            })
+        };
+        if self.n < 10 {
+            return reject("population too small".into());
+        }
+        if self.degree < 2 || !self.degree.is_multiple_of(2) {
+            return reject("degree must be even >= 2".into());
+        }
+        if self.degree >= self.n {
+            return reject(format!(
+                "degree {} must be < population {}",
+                self.degree, self.n
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.rewire) {
+            return reject(format!(
+                "rewire probability must be in [0,1], got {}",
+                self.rewire
+            ));
+        }
+        if self.ticks == 0 {
+            return reject("horizon must be at least one tick".into());
+        }
+        Ok(())
+    }
+}
+
 /// A persona's state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Persona {
@@ -124,11 +162,12 @@ impl MarketModel {
     /// Build the persona network (Watts–Strogatz small world) and initial
     /// states.
     pub fn new(cfg: MarketConfig, params: MarketParams, seed: u64) -> Self {
-        assert!(cfg.n >= 10, "population too small");
-        assert!(
-            cfg.degree >= 2 && cfg.degree % 2 == 0,
-            "degree must be even >= 2"
-        );
+        MarketModel::try_new(cfg, params, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: [`MarketConfig::validate`] then build.
+    pub fn try_new(cfg: MarketConfig, params: MarketParams, seed: u64) -> Result<Self, AbsError> {
+        cfg.validate()?;
         let mut rng = rng_from_seed(seed);
         // Ring lattice + rewiring.
         let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); cfg.n];
@@ -152,7 +191,7 @@ impl MarketModel {
                 adopted_at: None,
             })
             .collect();
-        MarketModel {
+        Ok(MarketModel {
             cfg,
             params,
             personas,
@@ -163,7 +202,7 @@ impl MarketModel {
             media_attributed: 0,
             purchase_log: Vec::new(),
             aware_via: vec![None; cfg.n],
-        }
+        })
     }
 
     /// The personas.
@@ -315,6 +354,32 @@ mod tests {
             wom_strength: 0.08,
             purchase_propensity: 0.25,
         }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_with_typed_errors() {
+        let params = MarketParams {
+            media_reach: 0.05,
+            wom_strength: 0.1,
+            purchase_propensity: 0.2,
+        };
+        let bad = |cfg: MarketConfig| match MarketModel::try_new(cfg, params, 1) {
+            Err(AbsError::InvalidConfig { context, reason }) => {
+                assert_eq!(context, "market model");
+                reason
+            }
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| "model")),
+        };
+        let base = MarketConfig::default();
+        assert!(bad(MarketConfig { n: 5, ..base }).contains("population"));
+        assert!(bad(MarketConfig { degree: 3, ..base }).contains("even"));
+        assert!(bad(MarketConfig {
+            rewire: 1.5,
+            ..base
+        })
+        .contains("rewire"));
+        assert!(bad(MarketConfig { ticks: 0, ..base }).contains("tick"));
+        assert!(MarketModel::try_new(base, params, 1).is_ok());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! congested branch is the signature of real traffic.
 
 use crate::engine::StepModel;
+use crate::error::AbsError;
 use mde_numeric::rng::{rng_from_seed, Rng};
 use rand::Rng as _;
 
@@ -47,6 +48,38 @@ impl Default for TrafficConfig {
             p_slow: 0.25,
             p_change: 0.5,
         }
+    }
+}
+
+impl TrafficConfig {
+    /// Typed validation of the road configuration: a degenerate road,
+    /// a density outside `(0, 1)`, a bad top-speed range, or an invalid
+    /// probability is rejected with a fatal [`AbsError::InvalidConfig`]
+    /// instead of a panic, so a supervised campaign can surface bad
+    /// input as a classified error.
+    pub fn validate(&self) -> Result<(), AbsError> {
+        let reject = |reason: String| {
+            Err(AbsError::InvalidConfig {
+                context: "traffic model",
+                reason,
+            })
+        };
+        if self.lanes < 1 || self.length < 2 {
+            return reject("degenerate road".into());
+        }
+        if !(self.density > 0.0 && self.density < 1.0) {
+            return reject(format!("density must be in (0,1), got {}", self.density));
+        }
+        if self.v_max.0 < 1 || self.v_max.0 > self.v_max.1 {
+            return reject("bad v_max range".into());
+        }
+        if !(0.0..=1.0).contains(&self.p_slow) || !(0.0..=1.0).contains(&self.p_change) {
+            return reject(format!(
+                "probabilities must be in [0,1], got p_slow={}, p_change={}",
+                self.p_slow, self.p_change
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -89,16 +122,12 @@ pub struct TrafficModel {
 impl TrafficModel {
     /// Populate a road uniformly at random at the configured density.
     pub fn new(cfg: TrafficConfig, seed: u64) -> Self {
-        assert!(cfg.lanes >= 1 && cfg.length >= 2, "degenerate road");
-        assert!(
-            cfg.density > 0.0 && cfg.density < 1.0,
-            "density must be in (0,1), got {}",
-            cfg.density
-        );
-        assert!(
-            cfg.v_max.0 >= 1 && cfg.v_max.0 <= cfg.v_max.1,
-            "bad v_max range"
-        );
+        TrafficModel::try_new(cfg, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: [`TrafficConfig::validate`] then build.
+    pub fn try_new(cfg: TrafficConfig, seed: u64) -> Result<Self, AbsError> {
+        cfg.validate()?;
         let mut rng = rng_from_seed(seed);
         let n_cells = cfg.lanes * cfg.length;
         let n_cars =
@@ -123,12 +152,12 @@ impl TrafficModel {
                 v_max,
             });
         }
-        TrafficModel {
+        Ok(TrafficModel {
             cfg,
             grid,
             cars,
             last_flow: 0,
-        }
+        })
     }
 
     /// The cars (for inspection and tests).
@@ -341,6 +370,35 @@ mod tests {
             },
             1,
         );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_with_typed_errors() {
+        let bad = |cfg: TrafficConfig| match TrafficModel::try_new(cfg, 1) {
+            Err(AbsError::InvalidConfig { context, reason }) => {
+                assert_eq!(context, "traffic model");
+                reason
+            }
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| "model")),
+        };
+        let base = TrafficConfig::default();
+        assert!(bad(TrafficConfig {
+            density: 1.5,
+            ..base
+        })
+        .contains("density"));
+        assert!(bad(TrafficConfig { length: 1, ..base }).contains("degenerate"));
+        assert!(bad(TrafficConfig {
+            v_max: (3, 2),
+            ..base
+        })
+        .contains("v_max"));
+        assert!(bad(TrafficConfig {
+            p_slow: -0.1,
+            ..base
+        })
+        .contains("p_slow"));
+        assert!(TrafficModel::try_new(base, 1).is_ok());
     }
 
     #[test]

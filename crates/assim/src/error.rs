@@ -37,6 +37,8 @@ pub enum AssimError {
     },
     /// An error from the numeric substrate.
     Numeric(mde_numeric::NumericError),
+    /// Durable-campaign checkpoint persistence or validation failed.
+    Checkpoint(mde_numeric::CheckpointError),
 }
 
 impl AssimError {
@@ -73,6 +75,7 @@ impl fmt::Display for AssimError {
                  succeeded, policy required {required}"
             ),
             AssimError::Numeric(e) => write!(f, "numeric error: {e}"),
+            AssimError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -81,6 +84,7 @@ impl std::error::Error for AssimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AssimError::Numeric(e) => Some(e),
+            AssimError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -92,15 +96,21 @@ impl From<mde_numeric::NumericError> for AssimError {
     }
 }
 
+impl From<mde_numeric::CheckpointError> for AssimError {
+    fn from(e: mde_numeric::CheckpointError) -> Self {
+        AssimError::Checkpoint(e)
+    }
+}
+
 impl mde_numeric::ErrorClass for AssimError {
     /// Step failures are draw-dependent and retryable; weight problems
     /// handed in by the caller and an exhausted best-effort floor are
     /// fatal; numeric errors delegate to their own classification.
     fn severity(&self) -> mde_numeric::Severity {
-        use mde_numeric::ErrorClass as _;
         match self {
             AssimError::StepFailed { .. } => mde_numeric::Severity::Retryable,
             AssimError::Numeric(e) => e.severity(),
+            AssimError::Checkpoint(e) => e.severity(),
             AssimError::InvalidWeights { .. } | AssimError::TooManyFailures { .. } => {
                 mde_numeric::Severity::Fatal
             }
@@ -137,5 +147,12 @@ mod tests {
 
         let e: AssimError = mde_numeric::NumericError::SingularMatrix { context: "c" }.into();
         assert_eq!(e.severity(), Severity::Retryable);
+
+        let e: AssimError = mde_numeric::CheckpointError::Corrupt {
+            reason: "truncated".into(),
+        }
+        .into();
+        assert_eq!(e.severity(), Severity::Fatal);
+        assert!(e.to_string().contains("truncated"));
     }
 }

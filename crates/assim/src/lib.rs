@@ -45,7 +45,7 @@ pub mod sis;
 pub mod wildfire;
 
 pub use error::AssimError;
-pub use pf::{ParticleFilter, Proposal, StateSpaceModel};
+pub use pf::{ParticleFilter, ParticleState, PfRun, Proposal, StateSpaceModel};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, AssimError>;

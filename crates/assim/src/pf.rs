@@ -23,11 +23,16 @@
 
 use crate::resample::{effective_sample_size, systematic_resample};
 use crate::AssimError;
+use mde_numeric::checkpoint::{CampaignState, CheckpointError, Fingerprint};
 use mde_numeric::resilience::{
     catch_panic, retry_seed, supervise_replicate, AttemptFailure, FaultKind, ReplicateOutcome,
-    RunOptions, RunReport,
+    RunOptions, RunReport, StopCause,
 };
 use mde_numeric::rng::{Rng, StreamFactory};
+use std::path::Path;
+
+/// Campaign tag written into every particle-filter checkpoint.
+const CAMPAIGN_PF: &str = "assim.particle-filter";
 
 /// A hidden Markov model: prior, transition kernel, and observation
 /// likelihood.
@@ -234,71 +239,15 @@ impl ParticleFilter {
         let mut prev: Option<Vec<M::State>> = None;
 
         for (t, obs) in observations.iter().enumerate() {
-            let outcome = supervise_replicate(t as u64, &opts.policy, |a| {
-                // Attempt 0 keeps the legacy stream layout; reseeding
-                // retries never replay the failing stream.
-                let step_factory = if a == 0 || !opts.policy.reseeds() {
-                    factory.child(t as u64)
-                } else {
-                    StreamFactory::new(retry_seed(self.seed, t as u64, a))
-                };
-                let injected = opts.fault(t as u64, a);
-                if injected == Some(FaultKind::Error) {
-                    return Err(AttemptFailure::from_error(AssimError::Numeric(
-                        mde_numeric::NumericError::NoConvergence {
-                            context: "injected fault",
-                            iterations: 0,
-                        },
-                    )));
-                }
-                let run = catch_panic(|| -> crate::Result<FilterStep<M::State>> {
-                    if injected == Some(FaultKind::Panic) {
-                        panic!("injected fault: panic in filter step {t} attempt {a}");
-                    }
-                    let mut rng = step_factory.stream(0);
-                    let mut particles = Vec::with_capacity(self.n_particles);
-                    let mut ln_w = Vec::with_capacity(self.n_particles);
-                    for i in 0..self.n_particles {
-                        let parent = prev.as_ref().map(|p| &p[i]);
-                        let x = proposal.sample(model, parent, obs, &mut rng);
-                        let lw = proposal.ln_weight(model, parent, &x, obs, &mut rng);
-                        particles.push(x);
-                        ln_w.push(lw);
-                    }
-                    let max = ln_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                    if !max.is_finite() {
-                        return Err(AssimError::StepFailed {
-                            step: t as u64,
-                            attempt: a,
-                            message: "all particle weights collapsed to zero".into(),
-                        });
-                    }
-                    let shifted: Vec<f64> = ln_w.iter().map(|lw| (lw - max).exp()).collect();
-                    let total: f64 = shifted.iter().sum();
-                    let weights: Vec<f64> = shifted.iter().map(|w| w / total).collect();
-                    let ln_evidence_increment = if injected == Some(FaultKind::Nan) {
-                        f64::NAN
-                    } else {
-                        max + (total / self.n_particles as f64).ln()
-                    };
-                    let ess = effective_sample_size(&weights);
-                    let mut rng_rs = step_factory.stream(1);
-                    let idx = systematic_resample(&weights, self.n_particles, &mut rng_rs)?;
-                    Ok(FilterStep {
-                        particles: idx.into_iter().map(|i| particles[i].clone()).collect(),
-                        ess,
-                        ln_evidence_increment,
-                    })
-                });
-                match run {
-                    Err(panic_msg) => Err(AttemptFailure::from_panic(panic_msg)),
-                    Ok(Err(e)) => Err(AttemptFailure::from_error(e)),
-                    Ok(Ok(s)) if !s.ln_evidence_increment.is_finite() => {
-                        Err(AttemptFailure::non_finite(s.ln_evidence_increment))
-                    }
-                    Ok(Ok(s)) => Ok(s),
-                }
-            });
+            let outcome = self.supervised_step(
+                model,
+                proposal,
+                obs,
+                t as u64,
+                prev.as_deref(),
+                &factory,
+                opts,
+            );
             report.absorb(&outcome);
             match outcome {
                 ReplicateOutcome::Success { value, .. } => {
@@ -306,37 +255,12 @@ impl ParticleFilter {
                     steps.push(value);
                 }
                 ReplicateOutcome::Dropped { .. } => {
-                    let particles: Vec<M::State> = match &prev {
-                        Some(p) => p.clone(),
-                        None => {
-                            // No posterior yet: fall back to a prior draw
-                            // on a stream untouched by the failed attempts
-                            // (streams 0/1 are propose/resample).
-                            let mut rng = factory.child(t as u64).stream(2);
-                            (0..self.n_particles)
-                                .map(|_| model.sample_initial(&mut rng))
-                                .collect()
-                        }
-                    };
-                    prev = Some(particles.clone());
-                    steps.push(FilterStep {
-                        particles,
-                        ess: 0.0,
-                        ln_evidence_increment: f64::NAN,
-                    });
+                    let step = self.degraded_step(model, t as u64, prev.as_deref(), &factory);
+                    prev = Some(step.particles.clone());
+                    steps.push(step);
                 }
                 ReplicateOutcome::Abort { error, failures } => {
-                    return Err(error.unwrap_or_else(|| match failures.last() {
-                        Some(f) => AssimError::StepFailed {
-                            step: f.replicate,
-                            attempt: f.attempt,
-                            message: f.message.clone(),
-                        },
-                        None => AssimError::weights(
-                            "run_supervised",
-                            "step aborted without a failure record",
-                        ),
-                    }));
+                    return Err(abort_error(error, &failures));
                 }
             }
         }
@@ -351,6 +275,413 @@ impl ParticleFilter {
         }
         Ok((steps, report))
     }
+
+    /// Supervise one observation step: the attempt loop of
+    /// [`ParticleFilter::run_supervised`], shared with the durable
+    /// campaign path so both execute bit-identical filtering.
+    fn supervised_step<M, Q>(
+        &self,
+        model: &M,
+        proposal: &Q,
+        obs: &M::Obs,
+        t: u64,
+        prev: Option<&[M::State]>,
+        factory: &StreamFactory,
+        opts: &RunOptions,
+    ) -> ReplicateOutcome<FilterStep<M::State>, AssimError>
+    where
+        M: StateSpaceModel,
+        Q: Proposal<M>,
+    {
+        supervise_replicate(t, &opts.policy, |a| {
+            // Attempt 0 keeps the legacy stream layout; reseeding
+            // retries never replay the failing stream.
+            let step_factory = if a == 0 || !opts.policy.reseeds() {
+                factory.child(t)
+            } else {
+                StreamFactory::new(retry_seed(self.seed, t, a))
+            };
+            let injected = opts.fault(t, a);
+            if injected == Some(FaultKind::Error) {
+                return Err(AttemptFailure::from_error(AssimError::Numeric(
+                    mde_numeric::NumericError::NoConvergence {
+                        context: "injected fault",
+                        iterations: 0,
+                    },
+                )));
+            }
+            let run = catch_panic(|| -> crate::Result<FilterStep<M::State>> {
+                if injected == Some(FaultKind::Panic) {
+                    panic!("injected fault: panic in filter step {t} attempt {a}");
+                }
+                let mut rng = step_factory.stream(0);
+                let mut particles = Vec::with_capacity(self.n_particles);
+                let mut ln_w = Vec::with_capacity(self.n_particles);
+                for i in 0..self.n_particles {
+                    let parent = prev.map(|p| &p[i]);
+                    let x = proposal.sample(model, parent, obs, &mut rng);
+                    let lw = proposal.ln_weight(model, parent, &x, obs, &mut rng);
+                    particles.push(x);
+                    ln_w.push(lw);
+                }
+                let max = ln_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if !max.is_finite() {
+                    return Err(AssimError::StepFailed {
+                        step: t,
+                        attempt: a,
+                        message: "all particle weights collapsed to zero".into(),
+                    });
+                }
+                let shifted: Vec<f64> = ln_w.iter().map(|lw| (lw - max).exp()).collect();
+                let total: f64 = shifted.iter().sum();
+                let weights: Vec<f64> = shifted.iter().map(|w| w / total).collect();
+                let ln_evidence_increment = if injected == Some(FaultKind::Nan) {
+                    f64::NAN
+                } else {
+                    max + (total / self.n_particles as f64).ln()
+                };
+                let ess = effective_sample_size(&weights);
+                let mut rng_rs = step_factory.stream(1);
+                let idx = systematic_resample(&weights, self.n_particles, &mut rng_rs)?;
+                Ok(FilterStep {
+                    particles: idx.into_iter().map(|i| particles[i].clone()).collect(),
+                    ess,
+                    ln_evidence_increment,
+                })
+            });
+            match run {
+                Err(panic_msg) => Err(AttemptFailure::from_panic(panic_msg)),
+                Ok(Err(e)) => Err(AttemptFailure::from_error(e)),
+                Ok(Ok(s)) if !s.ln_evidence_increment.is_finite() => {
+                    Err(AttemptFailure::non_finite(s.ln_evidence_increment))
+                }
+                Ok(Ok(s)) => Ok(s),
+            }
+        })
+    }
+
+    /// The graceful-degradation posterior for a dropped step: the
+    /// previous step's particles carried forward unchanged (a prior draw
+    /// at `t = 0` on a stream untouched by the failed attempts — streams
+    /// 0/1 are propose/resample), flagged with `ess = 0` and a NaN
+    /// evidence increment.
+    fn degraded_step<M>(
+        &self,
+        model: &M,
+        t: u64,
+        prev: Option<&[M::State]>,
+        factory: &StreamFactory,
+    ) -> FilterStep<M::State>
+    where
+        M: StateSpaceModel,
+    {
+        let particles: Vec<M::State> = match prev {
+            Some(p) => p.to_vec(),
+            None => {
+                let mut rng = factory.child(t).stream(2);
+                (0..self.n_particles)
+                    .map(|_| model.sample_initial(&mut rng))
+                    .collect()
+            }
+        };
+        FilterStep {
+            particles,
+            ess: 0.0,
+            ln_evidence_increment: f64::NAN,
+        }
+    }
+
+    /// Run the supervised filter as a **durable campaign**: one checkpoint
+    /// boundary per observation step, with deadline/cancel/preempt checks
+    /// before each step and (optionally) a crash-consistent
+    /// [`CampaignState`] written per step.
+    ///
+    /// The filter is inherently sequential — each step conditions on the
+    /// previous posterior — so the checkpoint ledger carries the full
+    /// particle set of every completed step (via the [`ParticleState`]
+    /// codec bound) and a resumed run replays nothing: estimates, RNG
+    /// draw order, and the [`RunReport`] ledger are bit-identical to an
+    /// uninterrupted run. Step supervision (retry, best-effort
+    /// degradation) is exactly that of
+    /// [`ParticleFilter::run_supervised`].
+    pub fn run_durable<M, Q>(
+        &self,
+        model: &M,
+        proposal: &Q,
+        observations: &[M::Obs],
+        opts: &RunOptions,
+    ) -> crate::Result<PfRun<M::State>>
+    where
+        M: StateSpaceModel,
+        M::State: ParticleState,
+        Q: Proposal<M>,
+    {
+        let state = CampaignState::new(
+            CAMPAIGN_PF,
+            self.fingerprint::<M>(observations.len()),
+            self.seed,
+            observations.len() as u64,
+        );
+        self.campaign(model, proposal, observations, opts, state)
+    }
+
+    /// Resume a durable filter run from an in-memory [`CampaignState`]
+    /// (as returned in [`PfRun::checkpoint`]). Refuses — with a typed
+    /// [`AssimError::Checkpoint`] — states whose campaign tag or
+    /// fingerprint (particle count, seed, observation count, state
+    /// dimension) does not match.
+    pub fn resume_durable<M, Q>(
+        &self,
+        model: &M,
+        proposal: &Q,
+        observations: &[M::Obs],
+        opts: &RunOptions,
+        state: CampaignState,
+    ) -> crate::Result<PfRun<M::State>>
+    where
+        M: StateSpaceModel,
+        M::State: ParticleState,
+        Q: Proposal<M>,
+    {
+        state.validate(CAMPAIGN_PF, self.fingerprint::<M>(observations.len()))?;
+        self.campaign(model, proposal, observations, opts, state)
+    }
+
+    /// Resume a durable filter run from a checkpoint file.
+    pub fn resume_durable_from<M, Q>(
+        &self,
+        model: &M,
+        proposal: &Q,
+        observations: &[M::Obs],
+        opts: &RunOptions,
+        path: &Path,
+    ) -> crate::Result<PfRun<M::State>>
+    where
+        M: StateSpaceModel,
+        M::State: ParticleState,
+        Q: Proposal<M>,
+    {
+        let state = CampaignState::load(path)?;
+        self.resume_durable(model, proposal, observations, opts, state)
+    }
+
+    /// Campaign identity: tag, particle count, seed, observation count,
+    /// and state dimension. (Observation *values* are not hashed — the
+    /// caller owns keeping the observation sequence stable across
+    /// resumption, as with any externally stored input.)
+    fn fingerprint<M>(&self, n_obs: usize) -> u64
+    where
+        M: StateSpaceModel,
+        M::State: ParticleState,
+    {
+        Fingerprint::new(CAMPAIGN_PF)
+            .push_u64(self.n_particles as u64)
+            .push_u64(self.seed)
+            .push_u64(n_obs as u64)
+            .push_u64(M::State::DIM as u64)
+            .finish()
+    }
+
+    /// The durable campaign loop over observation steps.
+    fn campaign<M, Q>(
+        &self,
+        model: &M,
+        proposal: &Q,
+        observations: &[M::Obs],
+        opts: &RunOptions,
+        mut state: CampaignState,
+    ) -> crate::Result<PfRun<M::State>>
+    where
+        M: StateSpaceModel,
+        M::State: ParticleState,
+        Q: Proposal<M>,
+    {
+        let factory = StreamFactory::new(self.seed);
+        // Reconstruct completed steps (and the running posterior) from
+        // the ledger; a fresh state reconstructs nothing.
+        let mut steps: Vec<FilterStep<M::State>> = Vec::with_capacity(observations.len());
+        for (t, payload) in &state.completed {
+            if *t != steps.len() as u64 {
+                return Err(AssimError::Checkpoint(CheckpointError::Corrupt {
+                    reason: format!("ledger entry {t} out of order at position {}", steps.len()),
+                }));
+            }
+            steps.push(decode_step::<M::State>(payload, self.n_particles)?);
+        }
+        if steps.len() as u64 != state.cursor {
+            return Err(AssimError::Checkpoint(CheckpointError::Corrupt {
+                reason: format!(
+                    "cursor {} disagrees with {} ledger entries",
+                    state.cursor,
+                    steps.len()
+                ),
+            }));
+        }
+        let mut prev: Option<Vec<M::State>> = steps.last().map(|s| s.particles.clone());
+        let mut stopped = None;
+
+        for t in state.cursor..observations.len() as u64 {
+            if let Some(cause) = opts.stop_cause(t) {
+                stopped = Some(cause);
+                break;
+            }
+            let obs = &observations[t as usize];
+            let outcome =
+                self.supervised_step(model, proposal, obs, t, prev.as_deref(), &factory, opts);
+            state.report.absorb(&outcome);
+            let step = match outcome {
+                ReplicateOutcome::Success { value, .. } => value,
+                ReplicateOutcome::Dropped { .. } => {
+                    self.degraded_step(model, t, prev.as_deref(), &factory)
+                }
+                ReplicateOutcome::Abort { error, failures } => {
+                    return Err(abort_error(error, &failures));
+                }
+            };
+            prev = Some(step.particles.clone());
+            state.completed.push((t, encode_step(&step)));
+            steps.push(step);
+            state.cursor = t + 1;
+            if let Some(spec) = &opts.checkpoint {
+                if spec.due(state.cursor) {
+                    state.save(&spec.path).map_err(AssimError::from)?;
+                }
+            }
+        }
+        state.report.normalize();
+        if stopped.is_none() {
+            let required = opts.policy.required_successes(observations.len());
+            if state.report.succeeded < required {
+                return Err(AssimError::TooManyFailures {
+                    succeeded: state.report.succeeded,
+                    attempted: state.report.attempted,
+                    required,
+                });
+            }
+        }
+        if let Some(spec) = &opts.checkpoint {
+            state.save(&spec.path).map_err(AssimError::from)?;
+        }
+        Ok(PfRun {
+            steps,
+            report: state.report.clone(),
+            stopped,
+            checkpoint: Some(state),
+        })
+    }
+}
+
+/// The error surfaced when a step aborts the run: the step's own typed
+/// error when it produced one, otherwise synthesized from the terminal
+/// failure record.
+fn abort_error(
+    error: Option<AssimError>,
+    failures: &[mde_numeric::resilience::FailureRecord],
+) -> AssimError {
+    error.unwrap_or_else(|| match failures.last() {
+        Some(f) => AssimError::StepFailed {
+            step: f.replicate,
+            attempt: f.attempt,
+            message: f.message.clone(),
+        },
+        None => AssimError::weights("run_supervised", "step aborted without a failure record"),
+    })
+}
+
+/// A durable supervised filter run: the per-observation steps, the
+/// failure ledger, and — when the run stopped early — why, plus the final
+/// campaign state to resume from.
+#[derive(Debug, Clone)]
+pub struct PfRun<S> {
+    /// One [`FilterStep`] per *completed* observation (all of them for a
+    /// run that finished; a prefix for a stopped run).
+    pub steps: Vec<FilterStep<S>>,
+    /// The failure ledger over the completed steps.
+    pub report: RunReport,
+    /// Why the run stopped early, if it did.
+    pub stopped: Option<StopCause>,
+    /// The final campaign state; pass to
+    /// [`ParticleFilter::resume_durable`] to continue.
+    pub checkpoint: Option<CampaignState>,
+}
+
+/// Fixed-dimension encoding of a particle state into checkpoint floats —
+/// the bound [`ParticleFilter::run_durable`] needs to persist posteriors.
+/// Implemented for `f64` (scalar states) and `[f64; N]` (fixed vectors);
+/// user state types implement it in one obvious way.
+pub trait ParticleState: Clone {
+    /// Floats per particle.
+    const DIM: usize;
+
+    /// Append exactly [`ParticleState::DIM`] floats.
+    fn encode(&self, out: &mut Vec<f64>);
+
+    /// Rebuild from exactly [`ParticleState::DIM`] floats.
+    fn decode(floats: &[f64]) -> Self;
+}
+
+impl ParticleState for f64 {
+    const DIM: usize = 1;
+
+    fn encode(&self, out: &mut Vec<f64>) {
+        out.push(*self);
+    }
+
+    fn decode(floats: &[f64]) -> Self {
+        floats[0]
+    }
+}
+
+impl<const N: usize> ParticleState for [f64; N] {
+    const DIM: usize = N;
+
+    fn encode(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(self);
+    }
+
+    fn decode(floats: &[f64]) -> Self {
+        let mut v = [0.0; N];
+        v.copy_from_slice(&floats[..N]);
+        v
+    }
+}
+
+/// Ledger payload of one completed step: `[ess, ln_evidence_increment,
+/// particle₀…, particle₁…, …]`.
+fn encode_step<S: ParticleState>(step: &FilterStep<S>) -> Vec<f64> {
+    let mut out = Vec::with_capacity(2 + step.particles.len() * S::DIM);
+    out.push(step.ess);
+    out.push(step.ln_evidence_increment);
+    for p in &step.particles {
+        p.encode(&mut out);
+    }
+    out
+}
+
+/// Decode a ledger payload, surfacing shape mismatches as typed
+/// checkpoint corruption.
+fn decode_step<S: ParticleState>(
+    payload: &[f64],
+    n_particles: usize,
+) -> crate::Result<FilterStep<S>> {
+    let expected = 2 + n_particles * S::DIM;
+    if payload.len() != expected {
+        return Err(AssimError::Checkpoint(CheckpointError::Corrupt {
+            reason: format!(
+                "step payload has {} floats, expected {expected}",
+                payload.len()
+            ),
+        }));
+    }
+    let particles = payload[2..]
+        .chunks_exact(S::DIM)
+        .map(S::decode)
+        .collect::<Vec<S>>();
+    Ok(FilterStep {
+        particles,
+        ess: payload[0],
+        ln_evidence_increment: payload[1],
+    })
 }
 
 #[cfg(test)]
@@ -595,6 +926,59 @@ mod tests {
         assert!(matches!(
             pf.run_supervised(&m, &BootstrapProposal, &ys, &strict),
             Err(AssimError::TooManyFailures { .. })
+        ));
+    }
+
+    #[test]
+    fn durable_run_matches_supervised_and_resumes_bit_identically() {
+        use mde_numeric::resilience::FaultPlan;
+        let m = model();
+        let (_, ys) = simulate(&m, 12, 30);
+        let pf = ParticleFilter::new(80, 31);
+        let (clean_steps, clean_report) = pf
+            .run_supervised(&m, &BootstrapProposal, &ys, &RunOptions::default())
+            .unwrap();
+        let durable = pf
+            .run_durable(&m, &BootstrapProposal, &ys, &RunOptions::default())
+            .unwrap();
+        assert!(durable.stopped.is_none());
+        assert_eq!(durable.report, clean_report);
+        for (a, b) in clean_steps.iter().zip(&durable.steps) {
+            assert_eq!(a.particles, b.particles);
+            assert_eq!(a.ess, b.ess);
+        }
+        // Preempt mid-run, resume, compare.
+        let opts = RunOptions::default().with_faults(FaultPlan::new().preempt_at(5));
+        let partial = pf.run_durable(&m, &BootstrapProposal, &ys, &opts).unwrap();
+        assert_eq!(partial.stopped, Some(StopCause::Preempted));
+        assert_eq!(partial.steps.len(), 5);
+        let state = partial.checkpoint.unwrap();
+        // The checkpoint round-trips through the binary codec losslessly.
+        let state = CampaignState::decode(&state.encode()).unwrap();
+        let resumed = pf
+            .resume_durable(&m, &BootstrapProposal, &ys, &RunOptions::default(), state)
+            .unwrap();
+        assert!(resumed.stopped.is_none());
+        assert_eq!(resumed.steps.len(), 12);
+        for (a, b) in clean_steps.iter().zip(&resumed.steps) {
+            assert_eq!(a.particles, b.particles);
+            assert_eq!(a.ess, b.ess);
+            assert_eq!(
+                a.ln_evidence_increment.to_bits(),
+                b.ln_evidence_increment.to_bits()
+            );
+        }
+        assert_eq!(resumed.report, clean_report);
+        // A foreign checkpoint (different particle count) is refused.
+        let other = ParticleFilter::new(81, 31);
+        let foreign = other
+            .run_durable(&m, &BootstrapProposal, &ys, &opts)
+            .unwrap()
+            .checkpoint
+            .unwrap();
+        assert!(matches!(
+            pf.resume_durable(&m, &BootstrapProposal, &ys, &RunOptions::default(), foreign),
+            Err(AssimError::Checkpoint(CheckpointError::Mismatch { .. }))
         ));
     }
 }

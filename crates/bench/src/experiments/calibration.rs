@@ -38,7 +38,8 @@ pub fn calibration_contest_report() -> String {
     let obs = observed(cfg, &theta_star);
     let simulator: &Simulator =
         &|theta: &[f64], seed: u64| MarketModel::simulate_summary(cfg, theta, seed);
-    let bounds = Bounds::new(vec![(0.005, 0.15), (0.005, 0.25), (0.05, 0.6)]);
+    let bounds =
+        Bounds::new(vec![(0.005, 0.15), (0.005, 0.25), (0.05, 0.6)]).expect("valid bounds");
     let err = |x: &[f64]| {
         x.iter()
             .zip(theta_star.to_vec())
@@ -165,7 +166,8 @@ mod tests {
         let obs = observed(cfg, &theta_star);
         let simulator: &Simulator =
             &|theta: &[f64], seed: u64| MarketModel::simulate_summary(cfg, theta, seed);
-        let bounds = Bounds::new(vec![(0.005, 0.15), (0.005, 0.25), (0.05, 0.6)]);
+        let bounds =
+            Bounds::new(vec![(0.005, 0.15), (0.005, 0.25), (0.05, 0.6)]).expect("valid bounds");
         let p1 = MsmProblem::new(obs.clone(), simulator, 3, 5);
         let nm = p1.calibrate(&[0.05, 0.05, 0.3], 100).unwrap();
         let p2 = MsmProblem::new(obs, simulator, 3, 5);

@@ -55,7 +55,7 @@ pub fn prediction_range_report() -> String {
     let observed = simulate_stats(&theta_star);
     // Calibrate only (media_reach, wom_strength); propensity fixed at truth
     // to keep the demonstration 2-D and fast.
-    let bounds = Bounds::new(vec![(0.005, 0.12), (0.005, 0.2)]);
+    let bounds = Bounds::new(vec![(0.005, 0.12), (0.005, 0.2)]).expect("valid bounds");
     let embed = |t2: &[f64]| vec![t2[0], t2[1], theta_star[2]];
 
     let coarse = |t2: &[f64]| {
@@ -127,7 +127,7 @@ mod tests {
     fn fine_moments_narrow_the_prediction_range() {
         let theta_star = [0.03, 0.08, 0.25];
         let observed = simulate_stats(&theta_star);
-        let bounds = Bounds::new(vec![(0.005, 0.12), (0.005, 0.2)]);
+        let bounds = Bounds::new(vec![(0.005, 0.12), (0.005, 0.2)]).expect("valid bounds");
         let embed = |t2: &[f64]| vec![t2[0], t2[1], theta_star[2]];
 
         let mut rng = rng_from_seed(11);

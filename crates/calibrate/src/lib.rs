@@ -37,9 +37,15 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod kriging_cal;
 pub mod mle;
 pub mod mm;
 pub mod msm;
 pub mod optim;
 pub mod range;
+
+pub use error::CalibrateError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CalibrateError>;

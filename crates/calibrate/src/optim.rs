@@ -8,10 +8,27 @@
 //! random-sampling baseline (Nelder–Mead lives in `mde_numeric::optim`);
 //! every optimizer reports its evaluation count so the calibration-contest
 //! experiment can compare methods at equal budgets.
+//!
+//! Both optimizers also come in **durable campaign** form
+//! ([`genetic_algorithm_durable`], [`random_search_durable`]): the search
+//! is decomposed into checkpoint boundaries (one GA generation, one
+//! random-search evaluation), each boundary draws its randomness from a
+//! stream derived purely from `(seed, boundary)`, and the campaign can be
+//! stopped by a deadline, a cancellation token, or an injected preemption
+//! notice and later resumed bit-identically from its [`CampaignState`].
 
+use std::path::Path;
+
+use mde_numeric::checkpoint::{CampaignState, CheckpointError, Fingerprint};
 use mde_numeric::optim::OptimResult;
-use mde_numeric::rng::Rng;
+use mde_numeric::resilience::{
+    catch_panic, retry_seed, supervise_replicate, AttemptFailure, FailureRecord, FaultKind,
+    ReplicateOutcome, RunOptions, RunReport, StopCause,
+};
+use mde_numeric::rng::{Rng, StreamFactory};
 use rand::Rng as _;
+
+use crate::error::CalibrateError;
 
 /// Box constraints for global search.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,13 +38,24 @@ pub struct Bounds {
 }
 
 impl Bounds {
-    /// Create bounds; each range must satisfy `lo < hi`.
-    pub fn new(ranges: Vec<(f64, f64)>) -> Self {
-        assert!(!ranges.is_empty(), "need at least one dimension");
-        for &(lo, hi) in &ranges {
-            assert!(lo < hi, "invalid range [{lo}, {hi}]");
+    /// Create bounds. Each range must have finite endpoints with
+    /// `lo <= hi`; a degenerate range (`lo == hi`) pins that dimension.
+    /// Empty or malformed ranges yield a typed [`CalibrateError`] rather
+    /// than a panic, so a calibration service can surface bad user input
+    /// as a fatal-but-reportable configuration error.
+    pub fn new(ranges: Vec<(f64, f64)>) -> crate::Result<Self> {
+        if ranges.is_empty() {
+            return Err(CalibrateError::InvalidConfig {
+                context: "bounds",
+                reason: "need at least one dimension".into(),
+            });
         }
-        Bounds { ranges }
+        for (index, &(lo, hi)) in ranges.iter().enumerate() {
+            if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                return Err(CalibrateError::InvalidBounds { index, lo, hi });
+            }
+        }
+        Ok(Bounds { ranges })
     }
 
     /// Dimension.
@@ -107,6 +135,102 @@ impl Default for GaConfig {
     }
 }
 
+impl GaConfig {
+    /// Typed validation used by the durable campaign entry points (the
+    /// in-process [`genetic_algorithm`] keeps its assertion contract).
+    fn validate(&self) -> crate::Result<()> {
+        let reject = |reason: &str| {
+            Err(CalibrateError::InvalidConfig {
+                context: "genetic algorithm",
+                reason: reason.into(),
+            })
+        };
+        if self.population < 4 {
+            return reject("population too small (need >= 4)");
+        }
+        if self.elites >= self.population {
+            return reject("elites must be < population");
+        }
+        if self.tournament == 0 {
+            return reject("tournament size must be >= 1");
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate `f`, mapping NaN to `+inf` so ordering stays total.
+fn guarded_eval(f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64]) -> f64 {
+    let v = f(x);
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
+    }
+}
+
+/// Sample and evaluate an initial population of `n` individuals.
+fn seeded_population(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    n: usize,
+    rng: &mut Rng,
+) -> Vec<(Vec<f64>, f64)> {
+    (0..n)
+        .map(|_| {
+            let x = bounds.sample(rng);
+            let fx = guarded_eval(f, &x);
+            (x, fx)
+        })
+        .collect()
+}
+
+/// Evolve one generation: tournament selection, BLX-0.25 blend crossover,
+/// Gaussian mutation, elitism. Pure in `(pop, rng)` — the durable campaign
+/// relies on this to re-derive any generation from the previous population
+/// and a per-boundary stream.
+fn next_generation(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    pop: &[(Vec<f64>, f64)],
+    bounds: &Bounds,
+    cfg: &GaConfig,
+    rng: &mut Rng,
+) -> Vec<(Vec<f64>, f64)> {
+    let d = bounds.dim();
+    let mut ranked = pop.to_vec();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN after mapping"));
+    let mut next: Vec<(Vec<f64>, f64)> = ranked[..cfg.elites].to_vec();
+    while next.len() < cfg.population {
+        let parent = |rng: &mut Rng| -> usize {
+            (0..cfg.tournament)
+                .map(|_| rng.gen_range(0..ranked.len()))
+                .min_by(|&a, &b| ranked[a].1.partial_cmp(&ranked[b].1).expect("ordered"))
+                .expect("tournament >= 1")
+        };
+        let (pa, pb) = (parent(rng), parent(rng));
+        // Blend crossover.
+        let mut child: Vec<f64> = (0..d)
+            .map(|k| {
+                let (a, b) = (ranked[pa].0[k], ranked[pb].0[k]);
+                let t: f64 = rng.gen::<f64>() * 1.5 - 0.25; // BLX-0.25
+                a + t * (b - a)
+            })
+            .collect();
+        // Gaussian mutation.
+        for (k, v) in child.iter_mut().enumerate() {
+            if rng.gen::<f64>() < cfg.mutation_prob {
+                let (lo, hi) = bounds.ranges[k];
+                *v += cfg.mutation_scale
+                    * (hi - lo)
+                    * mde_numeric::dist::Normal::sample_standard(rng);
+            }
+        }
+        bounds.clamp(&mut child);
+        let fx = guarded_eval(f, &child);
+        next.push((child, fx));
+    }
+    next
+}
+
 /// Minimize with a real-coded genetic algorithm: tournament selection,
 /// blend (BLX-style) crossover, Gaussian mutation, elitism.
 pub fn genetic_algorithm(
@@ -117,62 +241,12 @@ pub fn genetic_algorithm(
 ) -> OptimResult {
     assert!(cfg.population >= 4, "population too small");
     assert!(cfg.elites < cfg.population, "elites must be < population");
-    let d = bounds.dim();
-    let mut evals = 0usize;
-    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
-        *evals += 1;
-        let v = f(x);
-        if v.is_nan() {
-            f64::INFINITY
-        } else {
-            v
-        }
-    };
-
-    // Initial population.
-    let mut pop: Vec<(Vec<f64>, f64)> = (0..cfg.population)
-        .map(|_| {
-            let x = bounds.sample(rng);
-            let fx = eval(&x, &mut evals);
-            (x, fx)
-        })
-        .collect();
-
+    let mut pop = seeded_population(&mut f, bounds, cfg.population, rng);
     for _ in 0..cfg.generations {
-        pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN after mapping"));
-        let mut next: Vec<(Vec<f64>, f64)> = pop[..cfg.elites].to_vec();
-        while next.len() < cfg.population {
-            let parent = |rng: &mut Rng| -> usize {
-                (0..cfg.tournament)
-                    .map(|_| rng.gen_range(0..pop.len()))
-                    .min_by(|&a, &b| pop[a].1.partial_cmp(&pop[b].1).expect("ordered"))
-                    .expect("tournament >= 1")
-            };
-            let (pa, pb) = (parent(rng), parent(rng));
-            // Blend crossover.
-            let mut child: Vec<f64> = (0..d)
-                .map(|k| {
-                    let (a, b) = (pop[pa].0[k], pop[pb].0[k]);
-                    let t: f64 = rng.gen::<f64>() * 1.5 - 0.25; // BLX-0.25
-                    a + t * (b - a)
-                })
-                .collect();
-            // Gaussian mutation.
-            for (k, v) in child.iter_mut().enumerate() {
-                if rng.gen::<f64>() < cfg.mutation_prob {
-                    let (lo, hi) = bounds.ranges[k];
-                    *v += cfg.mutation_scale
-                        * (hi - lo)
-                        * mde_numeric::dist::Normal::sample_standard(rng);
-                }
-            }
-            bounds.clamp(&mut child);
-            let fx = eval(&child, &mut evals);
-            next.push((child, fx));
-        }
-        pop = next;
+        pop = next_generation(&mut f, &pop, bounds, cfg, rng);
     }
     pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("ordered"));
+    let evals = cfg.population + cfg.generations * (cfg.population - cfg.elites);
     let (x, fx) = pop.swap_remove(0);
     OptimResult {
         x,
@@ -182,10 +256,531 @@ pub fn genetic_algorithm(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durable campaigns: checkpoint-per-generation GA and per-evaluation
+// random search
+// ---------------------------------------------------------------------------
+
+const CAMPAIGN_GA: &str = "calibrate.genetic-algorithm";
+const CAMPAIGN_RS: &str = "calibrate.random-search";
+
+/// The result of a durable optimizer campaign: the best point found over
+/// the completed boundaries (if any completed), the supervision ledger,
+/// why the run stopped early (if it did), and the final campaign state
+/// for resumption.
+#[derive(Debug, Clone)]
+pub struct OptimRun {
+    /// Best point over the completed boundaries; `None` when the campaign
+    /// stopped before any boundary completed.
+    pub best: Option<OptimResult>,
+    /// Normalized supervision ledger (attempts, retries, drops).
+    pub report: RunReport,
+    /// Why the campaign stopped early, or `None` if it ran to completion.
+    pub stopped: Option<StopCause>,
+    /// Final campaign state — pass to the matching `resume_*` function
+    /// (or persist with [`CampaignState::save`]) to continue the run.
+    pub checkpoint: Option<CampaignState>,
+}
+
+/// Run the genetic algorithm as a **durable campaign**.
+///
+/// Boundary `0` seeds the initial population; boundaries `1..=generations`
+/// each evolve one generation, so the campaign has `generations + 1`
+/// boundaries in total. Every boundary draws its randomness from
+/// `StreamFactory::new(seed).child(boundary)` — never from a carried RNG —
+/// so a resumed campaign replays nothing and its remaining generations,
+/// evaluation count, and final population are bit-identical to an
+/// uninterrupted run. The checkpoint ledger stores each completed
+/// population (flattened `[x.., fx]` per individual); deadline, cancel,
+/// and preemption notices are honored before each boundary.
+pub fn genetic_algorithm_durable(
+    f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    cfg: &GaConfig,
+    seed: u64,
+    opts: &RunOptions,
+) -> crate::Result<OptimRun> {
+    cfg.validate()?;
+    let state = CampaignState::new(
+        CAMPAIGN_GA,
+        ga_fingerprint(bounds, cfg, seed),
+        seed,
+        cfg.generations as u64 + 1,
+    );
+    ga_campaign(f, bounds, cfg, seed, opts, state)
+}
+
+/// Resume a durable GA campaign from an in-memory [`CampaignState`] (as
+/// returned in [`OptimRun::checkpoint`]). Refuses — with a typed
+/// [`CalibrateError::Checkpoint`] — states whose campaign tag or
+/// fingerprint (seed, bounds, GA configuration) does not match.
+pub fn resume_genetic_algorithm(
+    f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    cfg: &GaConfig,
+    seed: u64,
+    opts: &RunOptions,
+    state: CampaignState,
+) -> crate::Result<OptimRun> {
+    cfg.validate()?;
+    state.validate(CAMPAIGN_GA, ga_fingerprint(bounds, cfg, seed))?;
+    ga_campaign(f, bounds, cfg, seed, opts, state)
+}
+
+/// Resume a durable GA campaign from a checkpoint file.
+pub fn resume_genetic_algorithm_from(
+    f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    cfg: &GaConfig,
+    seed: u64,
+    opts: &RunOptions,
+    path: &Path,
+) -> crate::Result<OptimRun> {
+    let state = CampaignState::load(path)?;
+    resume_genetic_algorithm(f, bounds, cfg, seed, opts, state)
+}
+
+/// Campaign identity for the durable GA: tag, seed, bounds, and every
+/// configuration field that shapes the draw sequence.
+fn ga_fingerprint(bounds: &Bounds, cfg: &GaConfig, seed: u64) -> u64 {
+    let mut fp = Fingerprint::new(CAMPAIGN_GA)
+        .push_u64(seed)
+        .push_u64(bounds.dim() as u64)
+        .push_u64(cfg.population as u64)
+        .push_u64(cfg.generations as u64)
+        .push_u64(cfg.tournament as u64)
+        .push_u64(cfg.elites as u64)
+        .push_f64(cfg.mutation_scale)
+        .push_f64(cfg.mutation_prob);
+    for &(lo, hi) in &bounds.ranges {
+        fp = fp.push_f64(lo).push_f64(hi);
+    }
+    fp.finish()
+}
+
+/// The durable GA campaign loop over generation boundaries.
+fn ga_campaign(
+    mut f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    cfg: &GaConfig,
+    seed: u64,
+    opts: &RunOptions,
+    mut state: CampaignState,
+) -> crate::Result<OptimRun> {
+    let factory = StreamFactory::new(seed);
+    let d = bounds.dim();
+    let total = cfg.generations as u64 + 1;
+    let mut pop = decode_ledger_population(&state, cfg.population, d)?;
+    let mut evals = state.ints.first().copied().unwrap_or(0);
+    let mut stopped = None;
+
+    for b in state.cursor..total {
+        if let Some(cause) = opts.stop_cause(b) {
+            stopped = Some(cause);
+            break;
+        }
+        let outcome: ReplicateOutcome<Vec<(Vec<f64>, f64)>, CalibrateError> =
+            supervise_replicate(b, &opts.policy, |a| {
+                // Attempt 0 keeps the per-boundary stream layout;
+                // reseeding retries never replay the failing stream.
+                let gen_factory = if a == 0 || !opts.policy.reseeds() {
+                    factory.child(b)
+                } else {
+                    StreamFactory::new(retry_seed(seed, b, a))
+                };
+                let injected = opts.fault(b, a);
+                if injected == Some(FaultKind::Error) {
+                    return Err(AttemptFailure::from_error(
+                        CalibrateError::GenerationFailed {
+                            generation: b,
+                            attempt: a,
+                            message: "injected fault".into(),
+                        },
+                    ));
+                }
+                let run = catch_panic(|| {
+                    if injected == Some(FaultKind::Panic) {
+                        panic!("injected fault: panic in optimizer boundary {b} attempt {a}");
+                    }
+                    let mut rng = gen_factory.stream(0);
+                    if b == 0 || pop.is_empty() {
+                        // Boundary 0 — or a recovery from an all-dropped
+                        // prefix — seeds a fresh population.
+                        seeded_population(&mut f, bounds, cfg.population, &mut rng)
+                    } else {
+                        next_generation(&mut f, &pop, bounds, cfg, &mut rng)
+                    }
+                });
+                match run {
+                    Err(panic_msg) => Err(AttemptFailure::from_panic(panic_msg)),
+                    Ok(next) => {
+                        let best = next.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+                        let checked = if injected == Some(FaultKind::Nan) {
+                            f64::NAN
+                        } else {
+                            best
+                        };
+                        // A generation whose entire population evaluated
+                        // to NaN (mapped to +inf) is unusable — retryable.
+                        if !checked.is_finite() {
+                            Err(AttemptFailure::non_finite(checked))
+                        } else {
+                            Ok(next)
+                        }
+                    }
+                }
+            });
+        state.report.absorb(&outcome);
+        match outcome {
+            ReplicateOutcome::Success { value, .. } => {
+                evals += if pop.is_empty() {
+                    cfg.population as u64
+                } else {
+                    (cfg.population - cfg.elites) as u64
+                };
+                pop = value;
+                state.completed.push((b, encode_population(&pop)));
+            }
+            // A dropped boundary carries the population forward unchanged
+            // (graceful degradation, like a dropped filter step).
+            ReplicateOutcome::Dropped { .. } => {}
+            ReplicateOutcome::Abort { error, failures } => {
+                return Err(abort_error(error, &failures));
+            }
+        }
+        state.cursor = b + 1;
+        state.ints = vec![evals];
+        if let Some(spec) = &opts.checkpoint {
+            if spec.due(state.cursor) {
+                state.save(&spec.path).map_err(CalibrateError::from)?;
+            }
+        }
+    }
+    state.ints = vec![evals];
+    seal_state(&mut state, total, opts, stopped)?;
+    let best = pop
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN after mapping"))
+        .map(|(x, fx)| OptimResult {
+            x: x.clone(),
+            fx: *fx,
+            evals: evals as usize,
+            converged: false,
+        });
+    Ok(OptimRun {
+        best,
+        report: state.report.clone(),
+        stopped,
+        checkpoint: Some(state),
+    })
+}
+
+/// Run pure random search as a **durable campaign**: one boundary per
+/// evaluation, each drawing its point from
+/// `StreamFactory::new(seed).child(i)`. The ledger stores each completed
+/// evaluation as `[x.., fx]`; a non-finite objective value is a retryable
+/// failure rather than a silent `+inf`.
+pub fn random_search_durable(
+    f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    evals: usize,
+    seed: u64,
+    opts: &RunOptions,
+) -> crate::Result<OptimRun> {
+    if evals == 0 {
+        return Err(CalibrateError::InvalidConfig {
+            context: "random search",
+            reason: "need at least one evaluation".into(),
+        });
+    }
+    let state = CampaignState::new(
+        CAMPAIGN_RS,
+        rs_fingerprint(bounds, evals, seed),
+        seed,
+        evals as u64,
+    );
+    rs_campaign(f, bounds, opts, state)
+}
+
+/// Resume a durable random-search campaign from an in-memory
+/// [`CampaignState`]; tag/fingerprint mismatches yield a typed
+/// [`CalibrateError::Checkpoint`].
+pub fn resume_random_search(
+    f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    evals: usize,
+    seed: u64,
+    opts: &RunOptions,
+    state: CampaignState,
+) -> crate::Result<OptimRun> {
+    state.validate(CAMPAIGN_RS, rs_fingerprint(bounds, evals, seed))?;
+    rs_campaign(f, bounds, opts, state)
+}
+
+/// Resume a durable random-search campaign from a checkpoint file.
+pub fn resume_random_search_from(
+    f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    evals: usize,
+    seed: u64,
+    opts: &RunOptions,
+    path: &Path,
+) -> crate::Result<OptimRun> {
+    let state = CampaignState::load(path)?;
+    resume_random_search(f, bounds, evals, seed, opts, state)
+}
+
+/// Campaign identity for durable random search.
+fn rs_fingerprint(bounds: &Bounds, evals: usize, seed: u64) -> u64 {
+    let mut fp = Fingerprint::new(CAMPAIGN_RS)
+        .push_u64(seed)
+        .push_u64(evals as u64)
+        .push_u64(bounds.dim() as u64);
+    for &(lo, hi) in &bounds.ranges {
+        fp = fp.push_f64(lo).push_f64(hi);
+    }
+    fp.finish()
+}
+
+/// The durable random-search campaign loop over evaluation boundaries.
+fn rs_campaign(
+    mut f: impl FnMut(&[f64]) -> f64,
+    bounds: &Bounds,
+    opts: &RunOptions,
+    mut state: CampaignState,
+) -> crate::Result<OptimRun> {
+    let seed = state.master_seed;
+    let factory = StreamFactory::new(seed);
+    let d = bounds.dim();
+    let total = state.total;
+    validate_rs_ledger(&state, d)?;
+    let mut stopped = None;
+
+    for i in state.cursor..total {
+        if let Some(cause) = opts.stop_cause(i) {
+            stopped = Some(cause);
+            break;
+        }
+        let outcome: ReplicateOutcome<(Vec<f64>, f64), CalibrateError> =
+            supervise_replicate(i, &opts.policy, |a| {
+                let eval_factory = if a == 0 || !opts.policy.reseeds() {
+                    factory.child(i)
+                } else {
+                    StreamFactory::new(retry_seed(seed, i, a))
+                };
+                let injected = opts.fault(i, a);
+                if injected == Some(FaultKind::Error) {
+                    return Err(AttemptFailure::from_error(
+                        CalibrateError::GenerationFailed {
+                            generation: i,
+                            attempt: a,
+                            message: "injected fault".into(),
+                        },
+                    ));
+                }
+                let run = catch_panic(|| {
+                    if injected == Some(FaultKind::Panic) {
+                        panic!("injected fault: panic in optimizer boundary {i} attempt {a}");
+                    }
+                    let mut rng = eval_factory.stream(0);
+                    let x = bounds.sample(&mut rng);
+                    let fx = f(&x);
+                    (x, fx)
+                });
+                match run {
+                    Err(panic_msg) => Err(AttemptFailure::from_panic(panic_msg)),
+                    Ok((x, fx)) => {
+                        let checked = if injected == Some(FaultKind::Nan) {
+                            f64::NAN
+                        } else {
+                            fx
+                        };
+                        if !checked.is_finite() {
+                            Err(AttemptFailure::non_finite(checked))
+                        } else {
+                            Ok((x, checked))
+                        }
+                    }
+                }
+            });
+        state.report.absorb(&outcome);
+        match outcome {
+            ReplicateOutcome::Success { value: (x, fx), .. } => {
+                let mut payload = x;
+                payload.push(fx);
+                state.completed.push((i, payload));
+            }
+            ReplicateOutcome::Dropped { .. } => {}
+            ReplicateOutcome::Abort { error, failures } => {
+                return Err(abort_error(error, &failures));
+            }
+        }
+        state.cursor = i + 1;
+        if let Some(spec) = &opts.checkpoint {
+            if spec.due(state.cursor) {
+                state.save(&spec.path).map_err(CalibrateError::from)?;
+            }
+        }
+    }
+    seal_state(&mut state, total, opts, stopped)?;
+    // Best over all completed evaluations; `evals` counts them.
+    let n = state.completed.len();
+    let best = state
+        .completed
+        .iter()
+        .min_by(|a, b| a.1[d].partial_cmp(&b.1[d]).expect("finite fx"))
+        .map(|(_, payload)| OptimResult {
+            x: payload[..d].to_vec(),
+            fx: payload[d],
+            evals: n,
+            converged: false,
+        });
+    Ok(OptimRun {
+        best,
+        report: state.report.clone(),
+        stopped,
+        checkpoint: Some(state),
+    })
+}
+
+/// Shared campaign epilogue: normalize the report, enforce the
+/// best-effort floor only on runs that reached every boundary (a stopped
+/// run returns its partial result rather than an error), and write the
+/// final checkpoint.
+fn seal_state(
+    state: &mut CampaignState,
+    total: u64,
+    opts: &RunOptions,
+    stopped: Option<StopCause>,
+) -> crate::Result<()> {
+    state.report.normalize();
+    if stopped.is_none() {
+        let required = opts.policy.required_successes(total as usize);
+        if state.report.succeeded < required {
+            return Err(CalibrateError::TooManyFailures {
+                succeeded: state.report.succeeded,
+                attempted: state.report.attempted,
+                required,
+            });
+        }
+    }
+    if let Some(spec) = &opts.checkpoint {
+        state.save(&spec.path).map_err(CalibrateError::from)?;
+    }
+    Ok(())
+}
+
+/// Flatten a scored population into a ledger payload: `[x.., fx]` per
+/// individual, in population order.
+fn encode_population(pop: &[(Vec<f64>, f64)]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(pop.len() * (pop.first().map_or(0, |p| p.0.len()) + 1));
+    for (x, fx) in pop {
+        out.extend_from_slice(x);
+        out.push(*fx);
+    }
+    out
+}
+
+/// Reconstruct the running population from the checkpoint ledger: entries
+/// must be strictly ascending and each payload exactly
+/// `population * (d + 1)` floats; the *last* entry is the live
+/// population. Structural disagreements surface as typed
+/// [`CheckpointError::Corrupt`] — never a panic.
+fn decode_ledger_population(
+    state: &CampaignState,
+    population: usize,
+    d: usize,
+) -> crate::Result<Vec<(Vec<f64>, f64)>> {
+    let width = d + 1;
+    let mut last_boundary = None;
+    for (b, payload) in &state.completed {
+        if last_boundary.is_some_and(|prev| *b <= prev) {
+            return Err(CalibrateError::Checkpoint(CheckpointError::Corrupt {
+                reason: format!("ledger entry {b} out of order"),
+            }));
+        }
+        if *b >= state.cursor {
+            return Err(CalibrateError::Checkpoint(CheckpointError::Corrupt {
+                reason: format!("ledger entry {b} beyond cursor {}", state.cursor),
+            }));
+        }
+        if payload.len() != population * width {
+            return Err(CalibrateError::Checkpoint(CheckpointError::Corrupt {
+                reason: format!(
+                    "ledger entry {b} has {} floats, expected {}",
+                    payload.len(),
+                    population * width
+                ),
+            }));
+        }
+        last_boundary = Some(*b);
+    }
+    Ok(state
+        .completed
+        .last()
+        .map(|(_, payload)| {
+            payload
+                .chunks_exact(width)
+                .map(|chunk| (chunk[..d].to_vec(), chunk[d]))
+                .collect()
+        })
+        .unwrap_or_default())
+}
+
+/// Validate the random-search ledger: ascending boundaries below the
+/// cursor, each payload exactly `d + 1` floats.
+fn validate_rs_ledger(state: &CampaignState, d: usize) -> crate::Result<()> {
+    let mut last_boundary = None;
+    for (b, payload) in &state.completed {
+        if last_boundary.is_some_and(|prev| *b <= prev) {
+            return Err(CalibrateError::Checkpoint(CheckpointError::Corrupt {
+                reason: format!("ledger entry {b} out of order"),
+            }));
+        }
+        if *b >= state.cursor {
+            return Err(CalibrateError::Checkpoint(CheckpointError::Corrupt {
+                reason: format!("ledger entry {b} beyond cursor {}", state.cursor),
+            }));
+        }
+        if payload.len() != d + 1 {
+            return Err(CalibrateError::Checkpoint(CheckpointError::Corrupt {
+                reason: format!(
+                    "ledger entry {b} has {} floats, expected {}",
+                    payload.len(),
+                    d + 1
+                ),
+            }));
+        }
+        last_boundary = Some(*b);
+    }
+    Ok(())
+}
+
+/// The error surfaced when a boundary aborts the campaign: the boundary's
+/// own typed error when it produced one, otherwise synthesized from the
+/// terminal failure record.
+fn abort_error(error: Option<CalibrateError>, failures: &[FailureRecord]) -> CalibrateError {
+    error.unwrap_or_else(|| match failures.last() {
+        Some(rec) => CalibrateError::GenerationFailed {
+            generation: rec.replicate,
+            attempt: rec.attempt,
+            message: rec.message.clone(),
+        },
+        None => CalibrateError::GenerationFailed {
+            generation: 0,
+            attempt: 0,
+            message: "aborted with no failure record".into(),
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mde_numeric::resilience::{FaultPlan, RunPolicy};
     use mde_numeric::rng::rng_from_seed;
+    use mde_numeric::Deadline;
+    use std::time::Duration;
 
     /// A rugged multimodal objective (Rastrigin-flavored) with its global
     /// minimum at (1, -0.5).
@@ -199,7 +794,7 @@ mod tests {
     }
 
     fn bounds() -> Bounds {
-        Bounds::new(vec![(-3.0, 3.0), (-3.0, 3.0)])
+        Bounds::new(vec![(-3.0, 3.0), (-3.0, 3.0)]).expect("valid bounds")
     }
 
     #[test]
@@ -216,9 +811,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid range")]
-    fn bad_bounds_rejected() {
-        Bounds::new(vec![(1.0, 1.0)]);
+    fn bad_bounds_rejected_with_typed_error() {
+        // Reversed range: typed error naming the offending dimension.
+        match Bounds::new(vec![(0.0, 1.0), (2.0, 1.0)]) {
+            Err(CalibrateError::InvalidBounds { index, lo, hi }) => {
+                assert_eq!(index, 1);
+                assert_eq!((lo, hi), (2.0, 1.0));
+            }
+            other => panic!("expected InvalidBounds, got {other:?}"),
+        }
+        // Non-finite endpoints are rejected.
+        assert!(matches!(
+            Bounds::new(vec![(f64::NAN, 1.0)]),
+            Err(CalibrateError::InvalidBounds { index: 0, .. })
+        ));
+        assert!(matches!(
+            Bounds::new(vec![(0.0, f64::INFINITY)]),
+            Err(CalibrateError::InvalidBounds { index: 0, .. })
+        ));
+        // No dimensions at all is a configuration error.
+        assert!(matches!(
+            Bounds::new(vec![]),
+            Err(CalibrateError::InvalidConfig { .. })
+        ));
+        // A degenerate range pins the dimension — allowed.
+        let pinned = Bounds::new(vec![(1.0, 1.0)]).expect("degenerate range pins");
+        let mut rng = rng_from_seed(4);
+        assert_eq!(pinned.sample(&mut rng), vec![1.0]);
     }
 
     #[test]
@@ -293,5 +912,166 @@ mod tests {
             &mut rng,
         );
         assert!(r.fx < 1e-2, "f = {}", r.fx);
+    }
+
+    fn small_cfg() -> GaConfig {
+        GaConfig {
+            population: 10,
+            generations: 8,
+            ..GaConfig::default()
+        }
+    }
+
+    fn bits(x: &[f64]) -> Vec<u64> {
+        x.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn durable_ga_finds_minimum_and_reports_evals() {
+        let opts = RunOptions::default();
+        let run = genetic_algorithm_durable(rugged, &bounds(), &GaConfig::default(), 3, &opts)
+            .expect("durable GA");
+        assert!(run.stopped.is_none());
+        let best = run.best.expect("completed run has a best");
+        assert!(best.fx < 0.5, "durable GA best f = {}", best.fx);
+        assert_eq!(best.evals, 30 + 20 * 28);
+        assert_eq!(run.report.succeeded, 21);
+    }
+
+    #[test]
+    fn durable_ga_preempt_resume_is_bit_identical() {
+        let cfg = small_cfg();
+        let baseline =
+            genetic_algorithm_durable(rugged, &bounds(), &cfg, 11, &RunOptions::default())
+                .expect("uninterrupted");
+        let base_best = baseline.best.expect("best");
+
+        for cut in 0..=(cfg.generations as u64) {
+            let opts = RunOptions::default().with_faults(FaultPlan::new().preempt_at(cut));
+            let partial = genetic_algorithm_durable(rugged, &bounds(), &cfg, 11, &opts)
+                .expect("preempted run is not an error");
+            assert_eq!(partial.stopped, Some(StopCause::Preempted));
+            let state = partial.checkpoint.expect("partial checkpoint");
+            assert_eq!(state.cursor, cut);
+            let resumed = resume_genetic_algorithm(
+                rugged,
+                &bounds(),
+                &cfg,
+                11,
+                &RunOptions::default(),
+                state,
+            )
+            .expect("resume");
+            assert!(resumed.stopped.is_none());
+            let best = resumed.best.expect("best");
+            assert_eq!(bits(&best.x), bits(&base_best.x), "cut at {cut}");
+            assert_eq!(best.fx.to_bits(), base_best.fx.to_bits());
+            assert_eq!(best.evals, base_best.evals);
+            assert_eq!(
+                resumed.report.failure_keys(),
+                baseline.report.failure_keys()
+            );
+        }
+    }
+
+    #[test]
+    fn durable_ga_rejects_foreign_checkpoint() {
+        let cfg = small_cfg();
+        let run = genetic_algorithm_durable(rugged, &bounds(), &cfg, 11, &RunOptions::default())
+            .expect("run");
+        let state = run.checkpoint.expect("state");
+        // Different seed → fingerprint mismatch, surfaced as a typed error.
+        let err =
+            resume_genetic_algorithm(rugged, &bounds(), &cfg, 12, &RunOptions::default(), state)
+                .expect_err("mismatched seed must be refused");
+        assert!(matches!(
+            err,
+            CalibrateError::Checkpoint(CheckpointError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn durable_ga_retries_injected_faults_deterministically() {
+        let cfg = small_cfg();
+        let opts = RunOptions::policy(RunPolicy::Retry {
+            max_attempts: 3,
+            reseed: true,
+        })
+        .with_faults(FaultPlan::new().fail_on(2, 0, FaultKind::Panic).fail_on(
+            4,
+            0,
+            FaultKind::Nan,
+        ));
+        let run = genetic_algorithm_durable(rugged, &bounds(), &cfg, 11, &opts).expect("run");
+        assert!(run.stopped.is_none());
+        assert_eq!(
+            run.report.failure_keys(),
+            opts.faults
+                .as_ref()
+                .unwrap()
+                .expected_failure_keys(&opts.policy)
+        );
+        assert!(run.best.expect("best").fx.is_finite());
+    }
+
+    #[test]
+    fn durable_rs_preempt_resume_is_bit_identical() {
+        let evals = 40;
+        let baseline = random_search_durable(rugged, &bounds(), evals, 11, &RunOptions::default())
+            .expect("uninterrupted");
+        let base_best = baseline.best.expect("best");
+        assert_eq!(base_best.evals, evals);
+
+        for cut in [0u64, 1, 7, 20, 39] {
+            let opts = RunOptions::default().with_faults(FaultPlan::new().preempt_at(cut));
+            let partial = random_search_durable(rugged, &bounds(), evals, 11, &opts)
+                .expect("preempted run is not an error");
+            assert_eq!(partial.stopped, Some(StopCause::Preempted));
+            let resumed = resume_random_search(
+                rugged,
+                &bounds(),
+                evals,
+                11,
+                &RunOptions::default(),
+                partial.checkpoint.expect("state"),
+            )
+            .expect("resume");
+            let best = resumed.best.expect("best");
+            assert_eq!(bits(&best.x), bits(&base_best.x), "cut at {cut}");
+            assert_eq!(best.fx.to_bits(), base_best.fx.to_bits());
+            assert_eq!(best.evals, evals);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_optim_run_not_error() {
+        let opts = RunOptions::default().with_deadline(Deadline::after(Duration::ZERO));
+        let run = random_search_durable(rugged, &bounds(), 20, 11, &opts)
+            .expect("expired deadline is not an error");
+        assert_eq!(run.stopped, Some(StopCause::Deadline));
+        assert!(run.best.is_none(), "no boundary completed");
+        let state = run.checkpoint.expect("state");
+        assert_eq!(state.cursor, 0);
+        // The checkpoint resumes to the full result once time allows.
+        let resumed =
+            resume_random_search(rugged, &bounds(), 20, 11, &RunOptions::default(), state)
+                .expect("resume");
+        assert_eq!(resumed.best.expect("best").evals, 20);
+    }
+
+    #[test]
+    fn durable_ga_invalid_config_is_typed() {
+        let cfg = GaConfig {
+            population: 2,
+            ..GaConfig::default()
+        };
+        assert!(matches!(
+            genetic_algorithm_durable(rugged, &bounds(), &cfg, 1, &RunOptions::default()),
+            Err(CalibrateError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            random_search_durable(rugged, &bounds(), 0, 1, &RunOptions::default()),
+            Err(CalibrateError::InvalidConfig { .. })
+        ));
     }
 }

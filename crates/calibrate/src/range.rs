@@ -137,7 +137,7 @@ mod tests {
     }
 
     fn bounds() -> Bounds {
-        Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)])
+        Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)]).expect("valid bounds")
     }
 
     #[test]

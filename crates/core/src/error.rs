@@ -107,7 +107,6 @@ impl mde_numeric::ErrorClass for CoreError {
     /// metadata problems, an exhausted best-effort floor) would fail
     /// identically on every attempt and are fatal.
     fn severity(&self) -> mde_numeric::Severity {
-        use mde_numeric::ErrorClass as _;
         match self {
             CoreError::ReplicateFailed { .. } => mde_numeric::Severity::Retryable,
             CoreError::Harmonize(e) => e.severity(),

@@ -28,9 +28,22 @@
 //! with a [`RunReport`] ledger (`BestEffort`). Because retry sub-seeds are
 //! pure functions, sequential and parallel runs stay bit-identical at any
 //! thread count under every policy.
+//!
+//! # Durable campaigns
+//!
+//! Long campaigns additionally speak the checkpoint/resume vocabulary:
+//! a [`CampaignState`] (seed, spec [`Fingerprint`], completed-boundary
+//! ledger, [`RunReport`], progress cursor) written crash-consistently by
+//! [`CampaignState::save`], plus [`Deadline`] wall-clock budgets,
+//! [`CancelToken`] cooperative cancellation, and the
+//! [`FaultKind::Preempt`] chaos fault. A stopped run is *not* an error:
+//! every durable surface returns its partial result, the partial report,
+//! a [`StopCause`], and a final checkpoint from which resumption is
+//! bit-identical to an uninterrupted run.
 
+pub use mde_numeric::checkpoint::{CampaignState, CheckpointError, Fingerprint};
 pub use mde_numeric::resilience::{
-    catch_panic, retry_seed, supervise_replicate, AttemptFailure, ErrorClass, FailureKind,
-    FailureRecord, Fault, FaultKind, FaultPlan, ReplicateOutcome, RunOptions, RunPolicy, RunReport,
-    Severity,
+    catch_panic, retry_seed, supervise_replicate, AttemptFailure, CancelToken, CheckpointSpec,
+    Deadline, ErrorClass, FailureKind, FailureRecord, Fault, FaultKind, FaultPlan,
+    ReplicateOutcome, RunOptions, RunPolicy, RunReport, Severity, StopCause,
 };

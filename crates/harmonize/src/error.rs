@@ -68,7 +68,6 @@ impl mde_numeric::ErrorClass for HarmonizeError {
     /// fail identically on every attempt; numeric errors delegate to
     /// their own classification.
     fn severity(&self) -> mde_numeric::Severity {
-        use mde_numeric::ErrorClass as _;
         match self {
             HarmonizeError::InvalidSeries { .. } => mde_numeric::Severity::Retryable,
             HarmonizeError::Numeric(e) => e.severity(),

@@ -69,6 +69,10 @@ pub enum McdbError {
         /// Minimum successes the policy required.
         required: usize,
     },
+    /// Durable-campaign checkpoint persistence or validation failed
+    /// (unwritable path, corrupt file, or a checkpoint that belongs to a
+    /// different campaign).
+    Checkpoint(mde_numeric::CheckpointError),
 }
 
 impl McdbError {
@@ -143,6 +147,7 @@ impl fmt::Display for McdbError {
                 "best-effort run degraded below its floor: {succeeded}/{attempted} replicates \
                  succeeded, policy required {required}"
             ),
+            McdbError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -155,10 +160,10 @@ impl mde_numeric::ErrorClass for McdbError {
     /// best-effort floor — is a configuration or structural error that
     /// would fail identically on every attempt.
     fn severity(&self) -> mde_numeric::Severity {
-        use mde_numeric::ErrorClass as _;
         match self {
             McdbError::ReplicateFailed { .. } => mde_numeric::Severity::Retryable,
             McdbError::Numeric(e) => e.severity(),
+            McdbError::Checkpoint(e) => e.severity(),
             _ => mde_numeric::Severity::Fatal,
         }
     }
@@ -168,6 +173,7 @@ impl std::error::Error for McdbError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             McdbError::Numeric(e) => Some(e),
+            McdbError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -176,6 +182,12 @@ impl std::error::Error for McdbError {
 impl From<mde_numeric::NumericError> for McdbError {
     fn from(e: mde_numeric::NumericError) -> Self {
         McdbError::Numeric(e)
+    }
+}
+
+impl From<mde_numeric::CheckpointError> for McdbError {
+    fn from(e: mde_numeric::CheckpointError) -> Self {
+        McdbError::Checkpoint(e)
     }
 }
 
@@ -237,5 +249,15 @@ mod tests {
         assert_eq!(e.severity(), Severity::Retryable);
         let e: McdbError = mde_numeric::NumericError::invalid("sigma", "negative").into();
         assert_eq!(e.severity(), Severity::Fatal);
+        // Checkpoint failures are always fatal: re-reading a corrupt or
+        // foreign checkpoint fails identically every time.
+        let e: McdbError = mde_numeric::CheckpointError::Corrupt {
+            reason: "bad magic".into(),
+        }
+        .into();
+        assert_eq!(e.severity(), Severity::Fatal);
+        assert!(e.to_string().contains("bad magic"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
     }
 }

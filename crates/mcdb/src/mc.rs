@@ -25,18 +25,35 @@
 //! aborts the run, retries on a fresh deterministic sub-seed, or is
 //! dropped best-effort with the damage recorded in a [`RunReport`]. See
 //! [`MonteCarloQuery::run_with_options`].
+//!
+//! Runs are also **durable campaigns**: attach a
+//! [`CheckpointSpec`](mde_numeric::CheckpointSpec) and the run persists a
+//! crash-consistent [`CampaignState`] every `k` replicates (and always at
+//! stop/completion); attach a [`Deadline`](mde_numeric::Deadline) or
+//! [`CancelToken`](mde_numeric::CancelToken) and the run stops at the next
+//! replicate boundary with a partial [`McRun`] — samples so far, partial
+//! ledger, final checkpoint — rather than an error. A preempted or
+//! expired campaign resumed via [`MonteCarloQuery::resume_from`] is
+//! bit-identical to one that was never interrupted, sequentially and in
+//! parallel.
 
 use crate::query::{Catalog, Plan, PreparedQuery};
 use crate::random_table::{PreparedRandomTable, RandomTableSpec};
 use crate::table::Table;
+use mde_numeric::checkpoint::{CampaignState, Fingerprint};
 use mde_numeric::resilience::{
     catch_panic, retry_seed, supervise_replicate, AttemptFailure, FaultKind, ReplicateOutcome,
-    RunOptions, RunPolicy, RunReport,
+    RunOptions, RunReport, StopCause,
 };
 use mde_numeric::rng::StreamFactory;
 use mde_numeric::stats::{
     mean_confidence_interval, proportion_confidence_interval, quantile, ConfidenceInterval, Summary,
 };
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Campaign tag written into every Monte Carlo checkpoint.
+const CAMPAIGN_MC: &str = "mcdb.monte-carlo";
 
 /// A Monte Carlo estimation task: realize the stochastic tables, run the
 /// query, collect the scalar result; repeat.
@@ -119,6 +136,69 @@ impl MonteCarloQuery {
         seed: u64,
         opts: &RunOptions,
     ) -> crate::Result<McRun> {
+        let state = CampaignState::new(CAMPAIGN_MC, self.fingerprint(n, seed), seed, n as u64);
+        self.campaign(catalog, n, seed, opts, state)
+    }
+
+    /// Resume a sequential supervised run from an in-memory
+    /// [`CampaignState`] (as returned in [`McRun::checkpoint`]). The state
+    /// must carry this campaign's tag and seed/spec fingerprint —
+    /// anything else is a typed
+    /// [`McdbError::Checkpoint`](crate::McdbError::Checkpoint) — and the
+    /// run continues from the state's cursor, producing a final [`McRun`]
+    /// bit-identical to an uninterrupted run.
+    pub fn resume_with_options(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+        opts: &RunOptions,
+        state: CampaignState,
+    ) -> crate::Result<McRun> {
+        state.validate(CAMPAIGN_MC, self.fingerprint(n, seed))?;
+        self.campaign(catalog, n, seed, opts, state)
+    }
+
+    /// Resume a sequential supervised run from a checkpoint file written
+    /// by a previous (interrupted) run. Validates the checksum and the
+    /// campaign fingerprint before continuing from the cursor.
+    pub fn resume_from(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+        opts: &RunOptions,
+        path: &Path,
+    ) -> crate::Result<McRun> {
+        let state = CampaignState::load(path)?;
+        self.resume_with_options(catalog, n, seed, opts, state)
+    }
+
+    /// The digest that ties a checkpoint to this exact campaign: tag,
+    /// master seed, replicate count, and the debug shape of the specs and
+    /// query plan. Resuming with a different query, spec set, seed, or
+    /// `n` is refused.
+    fn fingerprint(&self, n: usize, seed: u64) -> u64 {
+        Fingerprint::new(CAMPAIGN_MC)
+            .push_u64(seed)
+            .push_u64(n as u64)
+            .push_str(&format!("{:?}", self.specs))
+            .push_str(&format!("{:?}", self.query))
+            .finish()
+    }
+
+    /// The sequential campaign loop: continue from `state.cursor`, check
+    /// for deadline/cancel/preempt before each replicate, absorb outcomes
+    /// into the state, and persist periodic checkpoints at the
+    /// [`CheckpointSpec`](mde_numeric::CheckpointSpec) cadence.
+    fn campaign(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+        opts: &RunOptions,
+        mut state: CampaignState,
+    ) -> crate::Result<McRun> {
         // Plan once: specs and the aggregate query are prepared against the
         // base catalog (plus placeholder schemas for the stochastic
         // tables), then executed per replicate. Prepare-time errors are
@@ -128,28 +208,37 @@ impl MonteCarloQuery {
         let prepared = prepare_task(&self.specs, &self.query, catalog)?;
         let factory = StreamFactory::new(seed);
         let mut scratch = catalog.clone();
-        let mut samples = Vec::with_capacity(n);
-        let mut report = RunReport::new();
-        for i in 0..n {
+        let mut stopped = None;
+        for i in state.cursor..n as u64 {
+            if let Some(cause) = opts.stop_cause(i) {
+                stopped = Some(cause);
+                break;
+            }
             let outcome = self.supervised_iteration(
                 &prepared,
                 catalog,
                 &mut scratch,
                 &factory,
                 seed,
-                i as u64,
+                i,
                 opts,
             );
-            report.absorb(&outcome);
+            state.report.absorb(&outcome);
             match outcome {
-                ReplicateOutcome::Success { value, .. } => samples.push(value),
+                ReplicateOutcome::Success { value, .. } => state.completed.push((i, vec![value])),
                 ReplicateOutcome::Dropped { .. } => {}
                 ReplicateOutcome::Abort { error, failures } => {
                     return Err(abort_error(error, &failures));
                 }
             }
+            state.cursor = i + 1;
+            if let Some(spec) = &opts.checkpoint {
+                if spec.due(state.cursor) {
+                    state.save(&spec.path).map_err(crate::McdbError::from)?;
+                }
+            }
         }
-        finish_run(samples, report, n, &opts.policy)
+        seal(state, n, opts, stopped)
     }
 
     /// Run `n` supervised iterations across `threads` worker threads under
@@ -167,46 +256,111 @@ impl MonteCarloQuery {
         threads: usize,
         opts: &RunOptions,
     ) -> crate::Result<McRun> {
-        type WorkerOut = Result<Vec<(usize, f64)>, McdbAbort>;
-        let threads = threads.clamp(1, n.max(1));
+        let state = CampaignState::new(CAMPAIGN_MC, self.fingerprint(n, seed), seed, n as u64);
+        self.campaign_parallel(catalog, n, seed, threads, opts, state)
+    }
+
+    /// Resume a parallel supervised run from an in-memory
+    /// [`CampaignState`]. Checkpoints are interchangeable between the
+    /// sequential and parallel paths: a sequentially written checkpoint
+    /// resumes in parallel (and vice versa) with bit-identical results.
+    pub fn resume_parallel_with_options(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+        threads: usize,
+        opts: &RunOptions,
+        state: CampaignState,
+    ) -> crate::Result<McRun> {
+        state.validate(CAMPAIGN_MC, self.fingerprint(n, seed))?;
+        self.campaign_parallel(catalog, n, seed, threads, opts, state)
+    }
+
+    /// Resume a parallel supervised run from a checkpoint file.
+    pub fn resume_parallel_from(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+        threads: usize,
+        opts: &RunOptions,
+        path: &Path,
+    ) -> crate::Result<McRun> {
+        let state = CampaignState::load(path)?;
+        self.resume_parallel_with_options(catalog, n, seed, threads, opts, state)
+    }
+
+    /// The parallel campaign loop. Workers claim replicates round-robin
+    /// from the resume cursor; a shared `stop_at` watermark (lowered with
+    /// `fetch_min` by whichever worker first observes a stop condition or
+    /// an abort) makes every worker halt at its next boundary, and the
+    /// merge keeps only replicates below the final watermark — so a
+    /// stopped parallel run commits exactly the same contiguous prefix a
+    /// sequential run would, at any thread count.
+    fn campaign_parallel(
+        &self,
+        catalog: &Catalog,
+        n: usize,
+        seed: u64,
+        threads: usize,
+        opts: &RunOptions,
+        mut state: CampaignState,
+    ) -> crate::Result<McRun> {
+        type Entry = (u64, ReplicateOutcome<f64, crate::McdbError>);
+        type WorkerOut = (Vec<Entry>, Option<(u64, StopCause)>);
+        let start = state.cursor;
+        let remaining = (n as u64).saturating_sub(start) as usize;
+        let threads = threads.clamp(1, remaining.max(1));
         // Plan once, before any worker starts; every thread executes the
         // same shared prepared plans against its own scratch catalog.
         let prepared = prepare_task(&self.specs, &self.query, catalog)?;
         let factory = StreamFactory::new(seed);
-        let mut results: Vec<Option<(WorkerOut, RunReport)>> = (0..threads).map(|_| None).collect();
+        let stop_at = AtomicU64::new(n as u64);
+        let mut results: Vec<Option<WorkerOut>> = (0..threads).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let spec = &*self;
                 let cat = catalog;
                 let prepared = &prepared;
+                let stop_at = &stop_at;
                 handles.push(scope.spawn(move |_| {
                     let mut scratch = cat.clone();
-                    let mut out = Vec::new();
-                    let mut report = RunReport::new();
-                    // Static round-robin iteration assignment.
-                    let mut i = t;
-                    while i < n {
+                    let mut entries: Vec<Entry> = Vec::new();
+                    let mut local_stop: Option<(u64, StopCause)> = None;
+                    // Static round-robin iteration assignment from the
+                    // resume cursor.
+                    let mut i = start + t as u64;
+                    while i < n as u64 {
+                        if i >= stop_at.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Some(cause) = opts.stop_cause(i) {
+                            stop_at.fetch_min(i, Ordering::AcqRel);
+                            local_stop = Some((i, cause));
+                            break;
+                        }
                         let outcome = spec.supervised_iteration(
                             prepared,
                             cat,
                             &mut scratch,
                             &factory,
                             seed,
-                            i as u64,
+                            i,
                             opts,
                         );
-                        report.absorb(&outcome);
-                        match outcome {
-                            ReplicateOutcome::Success { value, .. } => out.push((i, value)),
-                            ReplicateOutcome::Dropped { .. } => {}
-                            ReplicateOutcome::Abort { error, failures } => {
-                                return (Err(McdbAbort { error, failures }), report);
-                            }
+                        let aborts = matches!(outcome, ReplicateOutcome::Abort { .. });
+                        entries.push((i, outcome));
+                        if aborts {
+                            // No worker needs to proceed past an abort; the
+                            // merge decides whether it survives a stop.
+                            stop_at.fetch_min(i, Ordering::AcqRel);
+                            break;
                         }
-                        i += threads;
+                        i += threads as u64;
                     }
-                    (Ok(out), report)
+                    (entries, local_stop)
                 }));
             }
             for (slot, h) in results.iter_mut().zip(handles) {
@@ -215,26 +369,54 @@ impl MonteCarloQuery {
         })
         .expect("crossbeam scope panicked");
 
-        let mut indexed = Vec::with_capacity(n);
-        let mut report = RunReport::new();
-        let mut abort: Option<McdbAbort> = None;
-        for (r, worker_report) in results.into_iter().flatten() {
-            report.merge(worker_report);
-            match r {
-                Ok(chunk) => indexed.extend(chunk),
-                Err(a) => abort = Some(pick_abort(abort, a)),
+        // Merge: earliest stop boundary vs earliest abort decides the
+        // outcome, exactly as the sequential loop encountering them in
+        // replicate order would.
+        let mut entries: Vec<Entry> = Vec::new();
+        let mut stop: Option<(u64, StopCause)> = None;
+        for (chunk, local_stop) in results.into_iter().flatten() {
+            entries.extend(chunk);
+            if let Some((b, cause)) = local_stop {
+                stop = Some(match stop {
+                    Some((sb, sc)) if sb <= b => (sb, sc),
+                    _ => (b, cause),
+                });
             }
         }
-        if let Some(a) = abort {
-            return Err(abort_error(a.error, &a.failures));
+        entries.sort_by_key(|(i, _)| *i);
+        let abort_at = entries
+            .iter()
+            .find(|(_, o)| matches!(o, ReplicateOutcome::Abort { .. }))
+            .map(|(i, _)| *i);
+        if let Some(a) = abort_at {
+            if stop.map(|(s, _)| a < s).unwrap_or(true) {
+                // The abort happens before any stop boundary: the
+                // sequential loop would have hit it and surfaced the error.
+                let (_, outcome) = entries
+                    .into_iter()
+                    .find(|(i, _)| *i == a)
+                    .expect("abort entry present");
+                if let ReplicateOutcome::Abort { error, failures } = outcome {
+                    return Err(abort_error(error, &failures));
+                }
+                unreachable!("entry at abort index is an abort");
+            }
         }
-        indexed.sort_by_key(|(i, _)| *i);
-        finish_run(
-            indexed.into_iter().map(|(_, v)| v).collect(),
-            report,
-            n,
-            &opts.policy,
-        )
+        let cut = stop.map(|(b, _)| b).unwrap_or(n as u64);
+        for (i, outcome) in entries {
+            // Replicates at or past the stop boundary were executed by
+            // workers that had not yet observed the stop; the sequential
+            // run never reaches them, so they are discarded unabsorbed.
+            if i >= cut {
+                continue;
+            }
+            state.report.absorb(&outcome);
+            if let ReplicateOutcome::Success { value, .. } = outcome {
+                state.completed.push((i, vec![value]));
+            }
+        }
+        state.cursor = cut;
+        seal(state, n, opts, stop.map(|(_, c)| c))
     }
 
     /// Supervise one replicate to completion: run the attempt loop under
@@ -390,7 +572,8 @@ fn realize_and_query(
 }
 
 /// A supervised Monte Carlo run: the estimation result over the surviving
-/// replicates plus the failure ledger.
+/// replicates plus the failure ledger, and — for durable campaigns — the
+/// stop cause and final campaign state.
 #[derive(Debug, Clone)]
 pub struct McRun {
     /// The Monte Carlo sample (dropped replicates simply absent).
@@ -399,29 +582,15 @@ pub struct McRun {
     /// [`RunReport::ci_widened`] is set whenever the estimate rests on
     /// fewer samples than requested.
     pub report: RunReport,
-}
-
-/// An aborting replicate as carried out of a worker: the typed error when
-/// one exists, plus the attempt ledger for synthesizing one when not.
-struct McdbAbort {
-    error: Option<crate::McdbError>,
-    failures: Vec<mde_numeric::resilience::FailureRecord>,
-}
-
-/// Prefer the abort from the earliest replicate so sequential and parallel
-/// runs surface the same error.
-fn pick_abort(current: Option<McdbAbort>, candidate: McdbAbort) -> McdbAbort {
-    match current {
-        None => candidate,
-        Some(c) => {
-            let rep = |a: &McdbAbort| a.failures.last().map(|f| f.replicate).unwrap_or(u64::MAX);
-            if rep(&candidate) < rep(&c) {
-                candidate
-            } else {
-                c
-            }
-        }
-    }
+    /// Why the run stopped before completing all replicates, when it did
+    /// (deadline expiry, cancellation, or an injected preemption); `None`
+    /// for a run that completed.
+    pub stopped: Option<StopCause>,
+    /// The final campaign state — resume a stopped run by passing it to
+    /// [`MonteCarloQuery::resume_with_options`] (it is also what
+    /// [`MonteCarloQuery::resume_from`] reads back from disk when a
+    /// [`CheckpointSpec`](mde_numeric::CheckpointSpec) is attached).
+    pub checkpoint: Option<CampaignState>,
 }
 
 /// The error surfaced when a replicate aborts the run: the replicate's own
@@ -445,26 +614,37 @@ fn abort_error(
     }
 }
 
-/// Seal a supervised run: enforce the best-effort success floor, normalize
-/// the ledger, and package the surviving samples.
-fn finish_run(
-    samples: Vec<f64>,
-    mut report: RunReport,
+/// Seal a supervised run: normalize the ledger, enforce the best-effort
+/// success floor (completed runs only — a stopped run is partial by
+/// design and is returned with whatever it has, plus its checkpoint),
+/// persist the final checkpoint, and package the surviving samples.
+fn seal(
+    mut state: CampaignState,
     n: usize,
-    policy: &RunPolicy,
+    opts: &RunOptions,
+    stopped: Option<StopCause>,
 ) -> crate::Result<McRun> {
-    report.normalize();
-    let required = policy.required_successes(n);
-    if report.succeeded < required {
-        return Err(crate::McdbError::TooManyFailures {
-            succeeded: report.succeeded,
-            attempted: report.attempted,
-            required,
-        });
+    state.report.normalize();
+    state.completed.sort_by_key(|(i, _)| *i);
+    if stopped.is_none() {
+        let required = opts.policy.required_successes(n);
+        if state.report.succeeded < required {
+            return Err(crate::McdbError::TooManyFailures {
+                succeeded: state.report.succeeded,
+                attempted: state.report.attempted,
+                required,
+            });
+        }
     }
+    if let Some(spec) = &opts.checkpoint {
+        state.save(&spec.path).map_err(crate::McdbError::from)?;
+    }
+    let samples = state.completed.iter().map(|(_, v)| v[0]).collect();
     Ok(McRun {
         result: McResult::new(samples),
-        report,
+        report: state.report.clone(),
+        stopped,
+        checkpoint: Some(state),
     })
 }
 
@@ -694,6 +874,7 @@ mod tests {
     use crate::table::Table;
     use crate::value::Value;
     use crate::vg::NormalVg;
+    use mde_numeric::resilience::RunPolicy;
     use std::sync::Arc;
 
     fn demand_catalog() -> Catalog {
@@ -1036,6 +1217,70 @@ mod tests {
                 other => panic!("expected UnknownTable under {policy:?}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn preempted_run_resumes_bit_identically() {
+        use mde_numeric::resilience::FaultPlan;
+        let db = demand_catalog();
+        let q = revenue_query();
+        let clean = q
+            .run_with_options(&db, 24, 13, &RunOptions::default())
+            .unwrap();
+        assert!(clean.stopped.is_none());
+        // Preempt at replicate 9, then resume with a clean plan.
+        let opts = RunOptions::default().with_faults(FaultPlan::new().preempt_at(9));
+        let partial = q.run_with_options(&db, 24, 13, &opts).unwrap();
+        assert_eq!(partial.stopped, Some(StopCause::Preempted));
+        assert_eq!(partial.result.n(), 9);
+        assert_eq!(partial.result.samples(), &clean.result.samples()[..9]);
+        let state = partial.checkpoint.unwrap();
+        assert_eq!(state.cursor, 9);
+        let resumed = q
+            .resume_with_options(&db, 24, 13, &RunOptions::default(), state.clone())
+            .unwrap();
+        assert!(resumed.stopped.is_none());
+        assert_eq!(resumed.result.samples(), clean.result.samples());
+        assert_eq!(resumed.report, clean.report);
+        // A sequential checkpoint resumes in parallel identically.
+        let par = q
+            .resume_parallel_with_options(&db, 24, 13, 4, &RunOptions::default(), state.clone())
+            .unwrap();
+        assert_eq!(par.result.samples(), clean.result.samples());
+        // Resuming under a different (seed, n) is refused with a typed
+        // error, never a silent wrong resume.
+        match q.resume_with_options(&db, 24, 14, &RunOptions::default(), state) {
+            Err(crate::McdbError::Checkpoint(mde_numeric::CheckpointError::Mismatch {
+                field,
+                ..
+            })) => assert_eq!(field, "fingerprint"),
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_partial_run_not_error() {
+        use mde_numeric::Deadline;
+        let db = demand_catalog();
+        let q = revenue_query();
+        let opts = RunOptions::default().with_deadline(Deadline::at(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        ));
+        let run = q.run_with_options(&db, 16, 5, &opts).unwrap();
+        assert_eq!(run.stopped, Some(StopCause::Deadline));
+        assert_eq!(run.result.n(), 0);
+        let state = run.checkpoint.unwrap();
+        assert_eq!(state.cursor, 0);
+        // The partial state resumes to the full run.
+        let resumed = q
+            .resume_with_options(&db, 16, 5, &RunOptions::default(), state)
+            .unwrap();
+        let clean = q.run(&db, 16, 5).unwrap();
+        assert_eq!(resumed.result.samples(), clean.samples());
+        // Parallel deadline expiry is equally graceful.
+        let par = q.run_parallel_with_options(&db, 16, 5, 3, &opts).unwrap();
+        assert_eq!(par.stopped, Some(StopCause::Deadline));
+        assert_eq!(par.result.n(), 0);
     }
 
     #[test]

@@ -50,7 +50,6 @@ fn rewrite(plan: Plan) -> (Plan, bool) {
             // Split conjunctions into a list of predicates to place.
             let mut conjuncts = Vec::new();
             split_conjuncts(predicate, &mut conjuncts);
-            let had_multiple = conjuncts.len() > 1;
 
             let mut node = input;
             let mut remaining = Vec::new();
@@ -71,9 +70,8 @@ fn rewrite(plan: Plan) -> (Plan, bool) {
             } else {
                 let fused = fuse_conjuncts(remaining);
                 // Splitting-then-refusing identical conjuncts is a no-op;
-                // only report change if pushdown happened or the structure
-                // actually changed.
-                (node.filter(fused), changed || had_multiple && false)
+                // only report change if a pushdown actually happened.
+                (node.filter(fused), changed)
             }
         }
         Plan::Project { input, exprs } => {

@@ -39,7 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod design;
+pub mod error;
 pub mod gp;
 pub mod poly;
 pub mod response;
 pub mod screening;
+
+pub use error::MetamodelError;
+pub use screening::{ScreeningResult, ScreeningRun};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MetamodelError>;

@@ -12,10 +12,19 @@
 //!   factors by the fitted correlation-decay parameters `θⱼ` (a near-zero
 //!   `θⱼ` means the response does not vary with factor `j`).
 
+use std::collections::BTreeMap;
+use std::path::Path;
+
 use crate::design::nolh;
+use crate::error::MetamodelError;
 use crate::gp::{GpConfig, GpModel};
 use crate::response::ResponseSurface;
-use mde_numeric::rng::Rng;
+use mde_numeric::checkpoint::{CampaignState, CheckpointError, Fingerprint};
+use mde_numeric::resilience::{
+    catch_panic, retry_seed, supervise_replicate, AttemptFailure, FailureRecord, FaultKind,
+    ReplicateOutcome, RunOptions, RunReport, StopCause,
+};
+use mde_numeric::rng::{Rng, StreamFactory};
 
 /// Result of a sequential-bifurcation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +114,391 @@ pub fn sequential_bifurcation<R: ResponseSurface>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durable campaign: checkpoint-per-round sequential bifurcation
+// ---------------------------------------------------------------------------
+
+const CAMPAIGN_SB: &str = "metamodel.seq-bifurcation";
+
+/// The result of a durable screening campaign: the screening result when
+/// every bisection round resolved, the supervision ledger, why the run
+/// stopped early (if it did), and the final campaign state for
+/// resumption.
+#[derive(Debug, Clone)]
+pub struct ScreeningRun {
+    /// The completed screening result, or `None` when the campaign
+    /// stopped with unresolved factor groups still queued.
+    pub result: Option<ScreeningResult>,
+    /// Normalized supervision ledger (attempts, retries, drops).
+    pub report: RunReport,
+    /// Why the campaign stopped early, or `None` if it ran to completion.
+    pub stopped: Option<StopCause>,
+    /// Final campaign state — pass to
+    /// [`resume_sequential_bifurcation`] (or persist with
+    /// [`CampaignState::save`]) to continue the run.
+    pub checkpoint: Option<CampaignState>,
+}
+
+/// Run sequential bifurcation as a **durable campaign**: one checkpoint
+/// boundary per bisection round (the resolution of one queued factor
+/// group), with deadline/cancel/preempt checks before each round.
+///
+/// Unlike [`sequential_bifurcation`], which threads one RNG through every
+/// probe, each probe here draws from a stream derived purely from
+/// `(seed, probe boundary index)` and lands in a probe cache carried in
+/// the checkpoint, so a resumed campaign replays nothing: the surviving
+/// work queue, probe cache, run count, and important-factor set continue
+/// bit-identically from where the interrupted run stopped. The campaign
+/// is open-ended (the queue grows as groups split), so the checkpoint's
+/// `total` is 0 and completion is "queue drained".
+pub fn sequential_bifurcation_durable<R: ResponseSurface>(
+    response: &R,
+    cfg: &BifurcationConfig,
+    seed: u64,
+    opts: &RunOptions,
+) -> crate::Result<ScreeningRun> {
+    let k = response.dim();
+    validate_sb_config(cfg, k)?;
+    let state = CampaignState::new(CAMPAIGN_SB, sb_fingerprint(cfg, seed, k), seed, 0);
+    sb_campaign(response, cfg, seed, opts, state)
+}
+
+/// Resume a durable screening campaign from an in-memory
+/// [`CampaignState`] (as returned in [`ScreeningRun::checkpoint`]).
+/// Refuses — with a typed [`MetamodelError::Checkpoint`] — states whose
+/// campaign tag or fingerprint (seed, dimension, threshold, reps) does
+/// not match.
+pub fn resume_sequential_bifurcation<R: ResponseSurface>(
+    response: &R,
+    cfg: &BifurcationConfig,
+    seed: u64,
+    opts: &RunOptions,
+    state: CampaignState,
+) -> crate::Result<ScreeningRun> {
+    let k = response.dim();
+    validate_sb_config(cfg, k)?;
+    state.validate(CAMPAIGN_SB, sb_fingerprint(cfg, seed, k))?;
+    sb_campaign(response, cfg, seed, opts, state)
+}
+
+/// Resume a durable screening campaign from a checkpoint file.
+pub fn resume_sequential_bifurcation_from<R: ResponseSurface>(
+    response: &R,
+    cfg: &BifurcationConfig,
+    seed: u64,
+    opts: &RunOptions,
+    path: &Path,
+) -> crate::Result<ScreeningRun> {
+    let state = CampaignState::load(path)?;
+    resume_sequential_bifurcation(response, cfg, seed, opts, state)
+}
+
+fn validate_sb_config(cfg: &BifurcationConfig, k: usize) -> crate::Result<()> {
+    let reject = |reason: &str| {
+        Err(MetamodelError::InvalidConfig {
+            context: "sequential bifurcation",
+            reason: reason.into(),
+        })
+    };
+    if k == 0 {
+        return reject("response has zero factors");
+    }
+    if cfg.reps == 0 {
+        return reject("need at least one replication per probe");
+    }
+    if !cfg.threshold.is_finite() {
+        return reject("threshold must be finite");
+    }
+    Ok(())
+}
+
+/// Campaign identity: tag, seed, dimension, and the probing
+/// configuration.
+fn sb_fingerprint(cfg: &BifurcationConfig, seed: u64, k: usize) -> u64 {
+    Fingerprint::new(CAMPAIGN_SB)
+        .push_u64(seed)
+        .push_u64(k as u64)
+        .push_u64(cfg.reps as u64)
+        .push_f64(cfg.threshold)
+        .finish()
+}
+
+/// The durable campaign loop over bisection rounds.
+fn sb_campaign<R: ResponseSurface>(
+    response: &R,
+    cfg: &BifurcationConfig,
+    seed: u64,
+    opts: &RunOptions,
+    mut state: CampaignState,
+) -> crate::Result<ScreeningRun> {
+    let k = response.dim();
+    let factory = StreamFactory::new(seed);
+    let (mut runs_used, mut important, mut queue, mut cache) = decode_sb_state(&state, k)?;
+    let mut stopped = None;
+
+    while let Some(&(lo, hi)) = queue.last() {
+        let b = state.cursor;
+        if let Some(cause) = opts.stop_cause(b) {
+            stopped = Some(cause);
+            break;
+        }
+        queue.pop();
+        type ProbeValue = ((usize, f64, bool), (usize, f64, bool));
+        let outcome: ReplicateOutcome<ProbeValue, MetamodelError> =
+            supervise_replicate(b, &opts.policy, |a| {
+                let injected = opts.fault(b, a);
+                if injected == Some(FaultKind::Error) {
+                    return Err(AttemptFailure::from_error(MetamodelError::RoundFailed {
+                        round: b,
+                        attempt: a,
+                        message: "injected fault".into(),
+                    }));
+                }
+                let run = catch_panic(|| {
+                    if injected == Some(FaultKind::Panic) {
+                        panic!("injected fault: panic in bifurcation round {b} attempt {a}");
+                    }
+                    // A probe's stream is keyed on its boundary index
+                    // (`hi_upto`), not the round, so the cache stays
+                    // coherent; reseeding retries salt by attempt and
+                    // commit only on success.
+                    let probe = |hi_upto: usize| -> (f64, bool) {
+                        if let Some(&v) = cache.get(&hi_upto) {
+                            return (v, false);
+                        }
+                        let mut rng = if a == 0 || !opts.policy.reseeds() {
+                            factory.child(hi_upto as u64).stream(0)
+                        } else {
+                            StreamFactory::new(retry_seed(seed, hi_upto as u64, a)).stream(0)
+                        };
+                        let x: Vec<f64> = (0..k)
+                            .map(|j| if j < hi_upto { 1.0 } else { -1.0 })
+                            .collect();
+                        (response.eval_mean(&x, cfg.reps, &mut rng), true)
+                    };
+                    let (y_hi, fresh_hi) = probe(hi);
+                    let (y_lo, fresh_lo) = probe(lo);
+                    let y_hi = if injected == Some(FaultKind::Nan) {
+                        f64::NAN
+                    } else {
+                        y_hi
+                    };
+                    ((hi, y_hi, fresh_hi), (lo, y_lo, fresh_lo))
+                });
+                match run {
+                    Err(panic_msg) => Err(AttemptFailure::from_panic(panic_msg)),
+                    Ok(value) => {
+                        let ((_, y_hi, _), (_, y_lo, _)) = value;
+                        if !y_hi.is_finite() {
+                            Err(AttemptFailure::non_finite(y_hi))
+                        } else if !y_lo.is_finite() {
+                            Err(AttemptFailure::non_finite(y_lo))
+                        } else {
+                            Ok(value)
+                        }
+                    }
+                }
+            });
+        state.report.absorb(&outcome);
+        match outcome {
+            ReplicateOutcome::Success {
+                value: ((hi_key, y_hi, fresh_hi), (lo_key, y_lo, fresh_lo)),
+                ..
+            } => {
+                if fresh_hi {
+                    cache.insert(hi_key, y_hi);
+                    runs_used += 1;
+                }
+                if fresh_lo {
+                    cache.insert(lo_key, y_lo);
+                    runs_used += 1;
+                }
+                if y_hi - y_lo > cfg.threshold {
+                    if hi - lo == 1 {
+                        important.push(lo);
+                    } else {
+                        let mid = lo + (hi - lo) / 2;
+                        queue.push((lo, mid));
+                        queue.push((mid, hi));
+                    }
+                }
+            }
+            // A dropped round leaves its factor group unresolved: the
+            // subtree is abandoned (graceful degradation) rather than
+            // poisoning the campaign.
+            ReplicateOutcome::Dropped { .. } => {}
+            ReplicateOutcome::Abort { error, failures } => {
+                return Err(sb_abort_error(error, &failures));
+            }
+        }
+        state.cursor = b + 1;
+        encode_sb_state(&mut state, runs_used, &important, &queue, &cache);
+        if let Some(spec) = &opts.checkpoint {
+            if spec.due(state.cursor) {
+                state.save(&spec.path).map_err(MetamodelError::from)?;
+            }
+        }
+    }
+    state.report.normalize();
+    if stopped.is_none() {
+        // The campaign is open-ended, so the best-effort floor is taken
+        // over the rounds actually attempted.
+        let required = opts.policy.required_successes(state.report.attempted);
+        if state.report.succeeded < required {
+            return Err(MetamodelError::TooManyFailures {
+                succeeded: state.report.succeeded,
+                attempted: state.report.attempted,
+                required,
+            });
+        }
+    }
+    encode_sb_state(&mut state, runs_used, &important, &queue, &cache);
+    if let Some(spec) = &opts.checkpoint {
+        state.save(&spec.path).map_err(MetamodelError::from)?;
+    }
+    let result = if queue.is_empty() {
+        let mut important = important;
+        important.sort_unstable();
+        Some(ScreeningResult {
+            important,
+            runs_used: runs_used as usize,
+        })
+    } else {
+        None
+    };
+    Ok(ScreeningRun {
+        result,
+        report: state.report.clone(),
+        stopped,
+        checkpoint: Some(state),
+    })
+}
+
+/// Serialize the campaign's working set into the checkpoint scratch
+/// fields: `ints = [runs_used, |important|, important.., |queue|,
+/// (lo, hi).., |cache|, cache keys..]`, `floats = cache values` (in key
+/// order — the cache is a `BTreeMap` precisely so this is canonical).
+fn encode_sb_state(
+    state: &mut CampaignState,
+    runs_used: u64,
+    important: &[usize],
+    queue: &[(usize, usize)],
+    cache: &BTreeMap<usize, f64>,
+) {
+    let mut ints = Vec::with_capacity(3 + important.len() + 2 * queue.len() + cache.len());
+    ints.push(runs_used);
+    ints.push(important.len() as u64);
+    ints.extend(important.iter().map(|&j| j as u64));
+    ints.push(queue.len() as u64);
+    for &(lo, hi) in queue {
+        ints.push(lo as u64);
+        ints.push(hi as u64);
+    }
+    ints.push(cache.len() as u64);
+    ints.extend(cache.keys().map(|&key| key as u64));
+    state.ints = ints;
+    state.floats = cache.values().copied().collect();
+}
+
+/// Inverse of [`encode_sb_state`], with typed [`CheckpointError::Corrupt`]
+/// on structural disagreement. A fresh state (`cursor == 0`, empty
+/// scratch) decodes to the initial working set with the whole factor
+/// range queued.
+#[allow(clippy::type_complexity)]
+fn decode_sb_state(
+    state: &CampaignState,
+    k: usize,
+) -> crate::Result<(u64, Vec<usize>, Vec<(usize, usize)>, BTreeMap<usize, f64>)> {
+    if state.cursor == 0 && state.ints.is_empty() {
+        return Ok((0, Vec::new(), vec![(0, k)], BTreeMap::new()));
+    }
+    let corrupt = |reason: String| {
+        Err(MetamodelError::Checkpoint(CheckpointError::Corrupt {
+            reason,
+        }))
+    };
+    fn take<'a>(ints: &'a [u64], at: &mut usize, n: usize) -> Option<&'a [u64]> {
+        let end = at.checked_add(n)?;
+        let slice = ints.get(*at..end)?;
+        *at = end;
+        Some(slice)
+    }
+    let ints = &state.ints[..];
+    let mut at = 0usize;
+    let Some(&[runs_used]) = take(ints, &mut at, 1) else {
+        return corrupt("screening scratch missing run count".into());
+    };
+    let Some(&[n_imp]) = take(ints, &mut at, 1) else {
+        return corrupt("screening scratch missing important count".into());
+    };
+    let Some(imp) = take(ints, &mut at, n_imp as usize) else {
+        return corrupt(format!(
+            "screening scratch truncated: {n_imp} important factors"
+        ));
+    };
+    let important: Vec<usize> = imp.iter().map(|&j| j as usize).collect();
+    let Some(&[n_queue]) = take(ints, &mut at, 1) else {
+        return corrupt("screening scratch missing queue length".into());
+    };
+    let queue_ints = (n_queue as usize).checked_mul(2).unwrap_or(usize::MAX);
+    let Some(pairs) = take(ints, &mut at, queue_ints) else {
+        return corrupt(format!(
+            "screening scratch truncated: {n_queue} queued groups"
+        ));
+    };
+    let queue: Vec<(usize, usize)> = pairs
+        .chunks_exact(2)
+        .map(|p| (p[0] as usize, p[1] as usize))
+        .collect();
+    let Some(&[n_cache]) = take(ints, &mut at, 1) else {
+        return corrupt("screening scratch missing cache length".into());
+    };
+    let Some(keys) = take(ints, &mut at, n_cache as usize) else {
+        return corrupt(format!("screening scratch truncated: {n_cache} cache keys"));
+    };
+    if at != ints.len() {
+        return corrupt(format!(
+            "{} trailing ints in screening scratch",
+            ints.len() - at
+        ));
+    }
+    if state.floats.len() != n_cache as usize {
+        return corrupt(format!(
+            "cache has {} keys but {} values",
+            n_cache,
+            state.floats.len()
+        ));
+    }
+    if important.iter().any(|&j| j >= k)
+        || queue.iter().any(|&(lo, hi)| lo >= hi || hi > k)
+        || keys.iter().any(|&key| key as usize > k)
+    {
+        return corrupt(format!("screening scratch indexes outside 0..={k}"));
+    }
+    let cache: BTreeMap<usize, f64> = keys
+        .iter()
+        .map(|&key| key as usize)
+        .zip(state.floats.iter().copied())
+        .collect();
+    Ok((runs_used, important, queue, cache))
+}
+
+/// The error surfaced when a round aborts the campaign.
+fn sb_abort_error(error: Option<MetamodelError>, failures: &[FailureRecord]) -> MetamodelError {
+    error.unwrap_or_else(|| match failures.last() {
+        Some(rec) => MetamodelError::RoundFailed {
+            round: rec.replicate,
+            attempt: rec.attempt,
+            message: rec.message.clone(),
+        },
+        None => MetamodelError::RoundFailed {
+            round: 0,
+            attempt: 0,
+            message: "aborted with no failure record".into(),
+        },
+    })
+}
+
 /// GP-based screening: fit a GP on a nearly orthogonal Latin hypercube
 /// sample of the response over `[-1, 1]^k` and return the factors ranked
 /// by descending `θⱼ`, together with the fitted values.
@@ -190,6 +584,121 @@ mod tests {
         let mut rng = rng_from_seed(5);
         let res = sequential_bifurcation(&r, &BifurcationConfig::default(), &mut rng);
         assert_eq!(res.important, vec![0]);
+    }
+
+    use mde_numeric::resilience::FaultPlan;
+    use mde_numeric::Deadline;
+    use std::time::Duration;
+
+    /// 16 factors, 3 important — small enough that the durable preempt
+    /// sweep over every round stays fast.
+    fn small_sparse_response() -> FnResponse<impl Fn(&[f64], &mut Rng) -> f64> {
+        let important = [2usize, 7, 13];
+        FnResponse::new(16, move |x: &[f64], rng: &mut Rng| {
+            let signal: f64 = important.iter().map(|&j| 2.0 * x[j]).sum();
+            signal + 0.2 * Normal::sample_standard(rng)
+        })
+    }
+
+    #[test]
+    fn durable_bifurcation_finds_important_factors() {
+        let r = small_sparse_response();
+        let run = sequential_bifurcation_durable(
+            &r,
+            &BifurcationConfig::default(),
+            7,
+            &RunOptions::default(),
+        )
+        .expect("durable screening");
+        assert!(run.stopped.is_none());
+        let result = run.result.expect("completed run has a result");
+        assert_eq!(result.important, vec![2, 7, 13]);
+        assert!(result.runs_used >= 2);
+    }
+
+    #[test]
+    fn durable_bifurcation_preempt_resume_is_bit_identical() {
+        let r = small_sparse_response();
+        let cfg = BifurcationConfig::default();
+        let baseline = sequential_bifurcation_durable(&r, &cfg, 7, &RunOptions::default())
+            .expect("uninterrupted");
+        let base = baseline.result.expect("result");
+        let rounds = baseline.checkpoint.as_ref().expect("state").cursor;
+        assert!(rounds >= 4, "expected several rounds, got {rounds}");
+
+        for cut in 0..rounds {
+            let opts = RunOptions::default().with_faults(FaultPlan::new().preempt_at(cut));
+            let partial = sequential_bifurcation_durable(&r, &cfg, 7, &opts)
+                .expect("preempted run is not an error");
+            assert_eq!(partial.stopped, Some(StopCause::Preempted));
+            assert!(partial.result.is_none(), "cut at {cut} leaves queued work");
+            let state = partial.checkpoint.expect("state");
+            assert_eq!(state.cursor, cut);
+            // Round-trip the state through the binary codec, as a real
+            // preemption would.
+            let state = CampaignState::decode(&state.encode()).expect("codec");
+            let resumed = resume_sequential_bifurcation(&r, &cfg, 7, &RunOptions::default(), state)
+                .expect("resume");
+            let result = resumed.result.expect("resumed to completion");
+            assert_eq!(result, base, "cut at {cut}");
+            let final_state = resumed.checkpoint.expect("final state");
+            assert_eq!(final_state.cursor, rounds);
+            assert_eq!(
+                final_state.floats,
+                baseline.checkpoint.as_ref().unwrap().floats,
+                "probe cache must be bit-identical after resume at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn durable_bifurcation_rejects_foreign_checkpoint() {
+        let r = small_sparse_response();
+        let cfg = BifurcationConfig::default();
+        let run = sequential_bifurcation_durable(&r, &cfg, 7, &RunOptions::default()).expect("run");
+        let state = run.checkpoint.expect("state");
+        let err = resume_sequential_bifurcation(&r, &cfg, 8, &RunOptions::default(), state)
+            .expect_err("mismatched seed must be refused");
+        assert!(matches!(
+            err,
+            MetamodelError::Checkpoint(CheckpointError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn durable_bifurcation_corrupt_scratch_is_typed() {
+        let r = small_sparse_response();
+        let cfg = BifurcationConfig::default();
+        let run = sequential_bifurcation_durable(&r, &cfg, 7, &RunOptions::default()).expect("run");
+        let mut state = run.checkpoint.expect("state");
+        // Claim more cached probes than there are stored values.
+        let last = state.ints.len() - 1;
+        state.ints[last - state.floats.len()] += 1;
+        let err = resume_sequential_bifurcation(&r, &cfg, 7, &RunOptions::default(), state)
+            .expect_err("structural mismatch must be refused");
+        assert!(
+            matches!(
+                err,
+                MetamodelError::Checkpoint(CheckpointError::Corrupt { .. })
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_screening_not_error() {
+        let r = small_sparse_response();
+        let cfg = BifurcationConfig::default();
+        let opts = RunOptions::default().with_deadline(Deadline::after(Duration::ZERO));
+        let run = sequential_bifurcation_durable(&r, &cfg, 7, &opts)
+            .expect("expired deadline is not an error");
+        assert_eq!(run.stopped, Some(StopCause::Deadline));
+        assert!(run.result.is_none());
+        let state = run.checkpoint.expect("state");
+        assert_eq!(state.cursor, 0);
+        let resumed = resume_sequential_bifurcation(&r, &cfg, 7, &RunOptions::default(), state)
+            .expect("resume");
+        assert_eq!(resumed.result.expect("result").important, vec![2, 7, 13]);
     }
 
     #[test]

@@ -1,0 +1,680 @@
+//! Durable campaign checkpoints: crash-consistent persistence of
+//! long-running simulation campaigns.
+//!
+//! The paper's workloads are *campaigns*, not calls: thousands of Monte
+//! Carlo replicates (§2), iterative calibration loops (§3), sequential
+//! screening experiments (§4). A killed process must not lose the
+//! campaign, and a wall-clock budget must be able to stop one early with
+//! its progress intact. This module provides the shared persistence layer
+//! every execution surface builds on:
+//!
+//! * [`CampaignState`] — the serializable snapshot of a supervised
+//!   campaign: campaign tag, seed/spec [`fingerprint`](Fingerprint),
+//!   master seed, progress cursor, the completed-replicate ledger, the
+//!   accumulated [`RunReport`], and two surface-specific payload slots.
+//! * A hand-rolled, versioned binary codec (magic `MDECKPT1`, FNV-1a
+//!   checksum header) — no external serialization dependency, and every
+//!   decode failure is a typed [`CheckpointError`], never a panic.
+//! * Crash-consistent [`CampaignState::save`]: write to a temporary
+//!   sibling, `fsync` the file, atomically rename over the destination,
+//!   then `fsync` the directory — a reader observes either the old or the
+//!   new checkpoint, never a torn one.
+//! * [`CampaignState::validate`] — rejects checkpoints whose campaign tag
+//!   or seed/spec fingerprint does not match the campaign being resumed,
+//!   so a checkpoint can never silently resume the wrong campaign.
+//!
+//! Because every adopting surface derives its random streams as a pure
+//! function of `(master_seed, boundary_index)`, resuming from a checkpoint
+//! reproduces the uninterrupted run bit for bit: same estimates, same RNG
+//! draw order, same failure ledger, at any thread count.
+
+use crate::resilience::{FailureKind, FailureRecord, RunReport};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File magic: `MDECKPT` + format version `1`.
+pub const MAGIC: [u8; 8] = *b"MDECKPT1";
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Typed failures of checkpoint persistence, decoding, and validation.
+///
+/// All checkpoint errors are [`Severity::Fatal`](crate::Severity::Fatal):
+/// a corrupt or mismatched checkpoint will not repair itself on retry —
+/// the caller must fall back to a fresh run (or an older checkpoint).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// Path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file is not a decodable checkpoint (bad magic, truncation,
+    /// or a structurally impossible field).
+    Corrupt {
+        /// What the decoder tripped over.
+        reason: String,
+    },
+    /// The body does not hash to the stored checksum — the file was
+    /// altered or torn after it was written.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        expected: u64,
+        /// Checksum of the body as found.
+        found: u64,
+    },
+    /// The checkpoint belongs to a different campaign (wrong tag, or a
+    /// seed/spec fingerprint that does not match the resuming campaign).
+    Mismatch {
+        /// Which identity field disagreed (`"campaign"`, `"fingerprint"`).
+        field: &'static str,
+        /// Value the resuming campaign expected.
+        expected: String,
+        /// Value found in the checkpoint.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "checkpoint I/O error at {path}: {message}")
+            }
+            CheckpointError::Corrupt { reason } => write!(f, "corrupt checkpoint: {reason}"),
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {expected:#018x}, body hashes to \
+                 {found:#018x}"
+            ),
+            CheckpointError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint {field} mismatch: campaign expects {expected}, checkpoint has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl crate::resilience::ErrorClass for CheckpointError {
+    /// Checkpoint failures are never draw-dependent: re-reading a corrupt
+    /// or foreign checkpoint fails identically every time.
+    fn severity(&self) -> crate::resilience::Severity {
+        crate::resilience::Severity::Fatal
+    }
+}
+
+/// Result alias for checkpoint operations.
+pub type Result<T> = std::result::Result<T, CheckpointError>;
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+/// FNV-1a accumulator for campaign fingerprints: a stable 64-bit digest of
+/// a campaign's identity (tag, seed, replicate count, spec shape) that a
+/// checkpoint must match before a resume is allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl Fingerprint {
+    /// Start a fingerprint from a campaign tag.
+    pub fn new(tag: &str) -> Self {
+        Fingerprint(fnv1a(FNV_OFFSET, tag.as_bytes()))
+    }
+
+    /// Absorb a 64-bit integer.
+    pub fn push_u64(self, v: u64) -> Self {
+        Fingerprint(fnv1a(self.0, &v.to_le_bytes()))
+    }
+
+    /// Absorb a float (by bit pattern, so `-0.0` and `0.0` differ and NaN
+    /// payloads are covered).
+    pub fn push_f64(self, v: f64) -> Self {
+        self.push_u64(v.to_bits())
+    }
+
+    /// Absorb a string (length-prefixed, so concatenations cannot
+    /// collide).
+    pub fn push_str(self, s: &str) -> Self {
+        Fingerprint(fnv1a(
+            fnv1a(self.0, &(s.len() as u64).to_le_bytes()),
+            s.as_bytes(),
+        ))
+    }
+
+    /// The digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign state
+// ---------------------------------------------------------------------------
+
+/// The serializable snapshot of a durable campaign, written at replicate /
+/// step / generation boundaries and consumed by each surface's
+/// `resume_from` entry point.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignState {
+    /// Which execution surface wrote this checkpoint (e.g.
+    /// `"mcdb.monte-carlo"`); resume refuses a foreign tag.
+    pub campaign: String,
+    /// Digest of the campaign identity (seed, replicate count, spec
+    /// shape); resume refuses a mismatch.
+    pub fingerprint: u64,
+    /// The campaign's master seed.
+    pub master_seed: u64,
+    /// Boundaries planned in total (`0` for open-ended campaigns such as
+    /// sequential bifurcation, whose round count is data-dependent).
+    pub total: u64,
+    /// Boundaries completed: the resumed run continues at this index.
+    pub cursor: u64,
+    /// Completed-replicate ledger: `(boundary index, payload)` for every
+    /// boundary whose result must survive the crash (samples, filter
+    /// steps). Surfaces that only need a running aggregate leave it empty
+    /// and use [`CampaignState::floats`] / [`CampaignState::ints`].
+    pub completed: Vec<(u64, Vec<f64>)>,
+    /// The failure ledger accumulated over `[0, cursor)`.
+    pub report: RunReport,
+    /// Surface-specific float payload (GA population, incumbent best,
+    /// probe cache values, …).
+    pub floats: Vec<f64>,
+    /// Surface-specific integer payload (evaluation counters, work
+    /// queues, cache keys, …).
+    pub ints: Vec<u64>,
+}
+
+impl CampaignState {
+    /// A fresh state at cursor 0.
+    pub fn new(
+        campaign: impl Into<String>,
+        fingerprint: u64,
+        master_seed: u64,
+        total: u64,
+    ) -> Self {
+        CampaignState {
+            campaign: campaign.into(),
+            fingerprint,
+            master_seed,
+            total,
+            ..CampaignState::default()
+        }
+    }
+
+    /// Whether the campaign this state describes has run to completion
+    /// (meaningless for open-ended campaigns, whose `total` is 0).
+    pub fn is_complete(&self) -> bool {
+        self.total > 0 && self.cursor >= self.total
+    }
+
+    /// Check that this checkpoint belongs to the campaign identified by
+    /// `(campaign, fingerprint)`; a mismatch is a typed error, so a
+    /// checkpoint can never silently resume the wrong campaign.
+    pub fn validate(&self, campaign: &str, fingerprint: u64) -> Result<()> {
+        if self.campaign != campaign {
+            return Err(CheckpointError::Mismatch {
+                field: "campaign",
+                expected: campaign.to_string(),
+                found: self.campaign.clone(),
+            });
+        }
+        if self.fingerprint != fingerprint {
+            return Err(CheckpointError::Mismatch {
+                field: "fingerprint",
+                expected: format!("{fingerprint:#018x}"),
+                found: format!("{:#018x}", self.fingerprint),
+            });
+        }
+        Ok(())
+    }
+
+    // -- binary codec -------------------------------------------------------
+
+    /// Encode to the on-disk byte layout: magic, FNV-1a checksum of the
+    /// body, then the length-prefixed body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(128 + 8 * self.completed.len());
+        put_str(&mut body, &self.campaign);
+        put_u64(&mut body, self.fingerprint);
+        put_u64(&mut body, self.master_seed);
+        put_u64(&mut body, self.total);
+        put_u64(&mut body, self.cursor);
+        // Report.
+        put_u64(&mut body, self.report.attempted as u64);
+        put_u64(&mut body, self.report.succeeded as u64);
+        put_u64(&mut body, self.report.retried as u64);
+        put_u64(&mut body, self.report.dropped as u64);
+        body.push(self.report.ci_widened as u8);
+        put_u64(&mut body, self.report.failures.len() as u64);
+        for fr in &self.report.failures {
+            put_u64(&mut body, fr.replicate);
+            put_u64(&mut body, fr.attempt as u64);
+            body.push(encode_failure_kind(fr.kind));
+            put_str(&mut body, &fr.message);
+        }
+        // Completed ledger.
+        put_u64(&mut body, self.completed.len() as u64);
+        for (idx, payload) in &self.completed {
+            put_u64(&mut body, *idx);
+            put_f64s(&mut body, payload);
+        }
+        put_f64s(&mut body, &self.floats);
+        put_u64(&mut body, self.ints.len() as u64);
+        for v in &self.ints {
+            put_u64(&mut body, *v);
+        }
+
+        let mut out = Vec::with_capacity(16 + body.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&fnv1a(FNV_OFFSET, &body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode from the on-disk byte layout, verifying magic and checksum.
+    pub fn decode(bytes: &[u8]) -> Result<CampaignState> {
+        if bytes.len() < 16 {
+            return Err(CheckpointError::Corrupt {
+                reason: format!("file is {} bytes, header needs 16", bytes.len()),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(CheckpointError::Corrupt {
+                reason: "bad magic: not an MDE checkpoint".into(),
+            });
+        }
+        let expected = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let body = &bytes[16..];
+        let found = fnv1a(FNV_OFFSET, body);
+        if expected != found {
+            return Err(CheckpointError::ChecksumMismatch { expected, found });
+        }
+
+        let mut cur = Cursor { body, pos: 0 };
+        let campaign = cur.take_str()?;
+        let fingerprint = cur.take_u64()?;
+        let master_seed = cur.take_u64()?;
+        let total = cur.take_u64()?;
+        let cursor = cur.take_u64()?;
+        let mut report = RunReport::new();
+        report.attempted = cur.take_len()?;
+        report.succeeded = cur.take_len()?;
+        report.retried = cur.take_len()?;
+        report.dropped = cur.take_len()?;
+        report.ci_widened = cur.take_u8()? != 0;
+        let n_failures = cur.take_len()?;
+        for _ in 0..n_failures {
+            let replicate = cur.take_u64()?;
+            let attempt = cur.take_u64()? as u32;
+            let kind = decode_failure_kind(cur.take_u8()?)?;
+            let message = cur.take_str()?;
+            report.failures.push(FailureRecord {
+                replicate,
+                attempt,
+                kind,
+                message,
+            });
+        }
+        let n_completed = cur.take_len()?;
+        let mut completed = Vec::with_capacity(n_completed.min(1 << 20));
+        for _ in 0..n_completed {
+            let idx = cur.take_u64()?;
+            let payload = cur.take_f64s()?;
+            completed.push((idx, payload));
+        }
+        let floats = cur.take_f64s()?;
+        let n_ints = cur.take_len()?;
+        let mut ints = Vec::with_capacity(n_ints.min(1 << 20));
+        for _ in 0..n_ints {
+            ints.push(cur.take_u64()?);
+        }
+        if cur.pos != cur.body.len() {
+            return Err(CheckpointError::Corrupt {
+                reason: format!(
+                    "{} trailing bytes after a well-formed body",
+                    cur.body.len() - cur.pos
+                ),
+            });
+        }
+        Ok(CampaignState {
+            campaign,
+            fingerprint,
+            master_seed,
+            total,
+            cursor,
+            completed,
+            report,
+            floats,
+            ints,
+        })
+    }
+
+    // -- crash-consistent persistence ---------------------------------------
+
+    /// Persist crash-consistently: encode, write to a temporary sibling,
+    /// `fsync` it, atomically rename over `path`, then `fsync` the parent
+    /// directory so the rename itself is durable. A crash at any point
+    /// leaves either the previous checkpoint or this one — never a torn
+    /// file.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let io_err = |e: std::io::Error, p: &Path| CheckpointError::Io {
+            path: p.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let bytes = self.encode();
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err(e, &tmp))?;
+            f.write_all(&bytes).map_err(|e| io_err(e, &tmp))?;
+            f.sync_all().map_err(|e| io_err(e, &tmp))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| io_err(e, path))?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Durability of the rename requires the directory entry to hit
+            // disk too; best-effort on platforms where directories cannot
+            // be opened for sync.
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Load and fully verify a checkpoint from disk (magic, checksum,
+    /// structural decode). Identity is checked separately by each
+    /// surface's resume entry point via [`CampaignState::validate`].
+    pub fn load(path: &Path) -> Result<CampaignState> {
+        let bytes = fs::read(path).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        CampaignState::decode(&bytes)
+    }
+}
+
+fn encode_failure_kind(kind: FailureKind) -> u8 {
+    match kind {
+        FailureKind::Panic => 0,
+        FailureKind::Error => 1,
+        FailureKind::NonFinite => 2,
+    }
+}
+
+fn decode_failure_kind(b: u8) -> Result<FailureKind> {
+    match b {
+        0 => Ok(FailureKind::Panic),
+        1 => Ok(FailureKind::Error),
+        2 => Ok(FailureKind::NonFinite),
+        other => Err(CheckpointError::Corrupt {
+            reason: format!("unknown failure kind tag {other}"),
+        }),
+    }
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
+    put_u64(buf, vs.len() as u64);
+    for v in vs {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Bounds-checked body reader: every overrun is a typed `Corrupt` error.
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.body.len() - self.pos < n {
+            return Err(CheckpointError::Corrupt {
+                reason: format!(
+                    "truncated body: wanted {n} bytes at offset {}, {} remain",
+                    self.pos,
+                    self.body.len() - self.pos
+                ),
+            });
+        }
+        let s = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// A u64 that must fit in `usize` and be plausible as an element count
+    /// for the remaining bytes (each element is at least one byte), so a
+    /// corrupted length cannot trigger an absurd allocation.
+    fn take_len(&mut self) -> Result<usize> {
+        let v = self.take_u64()?;
+        let remaining = (self.body.len() - self.pos) as u64;
+        if v > remaining {
+            return Err(CheckpointError::Corrupt {
+                reason: format!("length {v} exceeds {remaining} remaining bytes"),
+            });
+        }
+        Ok(v as usize)
+    }
+
+    fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    fn take_f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.take_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.take_f64()?);
+        }
+        Ok(out)
+    }
+
+    fn take_str(&mut self) -> Result<String> {
+        let n = self.take_len()?;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| CheckpointError::Corrupt {
+            reason: "string field is not UTF-8".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::{ErrorClass as _, Severity};
+
+    fn sample_state() -> CampaignState {
+        let mut s = CampaignState::new("test.campaign", 0xDEAD_BEEF, 42, 100);
+        s.cursor = 7;
+        s.completed = vec![(0, vec![1.5]), (1, vec![f64::NAN, -0.0]), (6, vec![])];
+        s.report.attempted = 7;
+        s.report.succeeded = 6;
+        s.report.dropped = 1;
+        s.report.ci_widened = true;
+        s.report.failures.push(FailureRecord {
+            replicate: 3,
+            attempt: 0,
+            kind: FailureKind::Panic,
+            message: "boom — unicode too: ∞".into(),
+        });
+        s.floats = vec![3.25, f64::INFINITY];
+        s.ints = vec![9, u64::MAX];
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_including_nan_bits() {
+        let s = sample_state();
+        let decoded = CampaignState::decode(&s.encode()).unwrap();
+        // NaN != NaN, so compare bitwise through the encoding.
+        assert_eq!(s.encode(), decoded.encode());
+        assert_eq!(decoded.campaign, "test.campaign");
+        assert_eq!(decoded.cursor, 7);
+        assert!(decoded.completed[1].1[0].is_nan());
+        assert!(decoded.completed[1].1[1].is_sign_negative());
+        assert_eq!(decoded.report.failures[0].message, "boom — unicode too: ∞");
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample_state().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let r = CampaignState::decode(&bad);
+            assert!(r.is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample_state().encode();
+        for n in 0..bytes.len() {
+            let r = CampaignState::decode(&bytes[..n]);
+            assert!(r.is_err(), "truncation to {n} bytes went undetected");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = sample_state().encode();
+        bytes.push(0);
+        // The appended byte changes the body, so the checksum catches it.
+        assert!(CampaignState::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_foreign_checkpoints() {
+        let s = sample_state();
+        assert!(s.validate("test.campaign", 0xDEAD_BEEF).is_ok());
+        match s.validate("other.campaign", 0xDEAD_BEEF) {
+            Err(CheckpointError::Mismatch { field, .. }) => assert_eq!(field, "campaign"),
+            other => panic!("expected campaign mismatch, got {other:?}"),
+        }
+        match s.validate("test.campaign", 1) {
+            Err(CheckpointError::Mismatch { field, .. }) => assert_eq!(field, "fingerprint"),
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_atomic_tmp_cleanup() {
+        let dir = std::env::temp_dir().join(format!("mde-ckpt-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.ckpt");
+        let s = sample_state();
+        s.save(&path).unwrap();
+        // Overwrite with a newer cursor — atomic replacement.
+        let mut s2 = s.clone();
+        s2.cursor = 8;
+        s2.save(&path).unwrap();
+        let loaded = CampaignState::load(&path).unwrap();
+        assert_eq!(loaded.cursor, 8);
+        assert!(
+            !dir.join("campaign.ckpt.tmp").exists(),
+            "tmp file left behind"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_file_is_typed_io_error() {
+        let r = CampaignState::load(Path::new("/nonexistent/dir/nope.ckpt"));
+        assert!(matches!(r, Err(CheckpointError::Io { .. })));
+    }
+
+    #[test]
+    fn fingerprints_separate_campaigns() {
+        let a = Fingerprint::new("mc").push_u64(1).push_f64(0.5).finish();
+        let b = Fingerprint::new("mc").push_u64(1).push_f64(0.25).finish();
+        let c = Fingerprint::new("pf").push_u64(1).push_f64(0.5).finish();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Length prefixing keeps concatenations apart.
+        let d = Fingerprint::new("t").push_str("ab").push_str("c").finish();
+        let e = Fingerprint::new("t").push_str("a").push_str("bc").finish();
+        assert_ne!(d, e);
+        // Pure function.
+        assert_eq!(a, Fingerprint::new("mc").push_u64(1).push_f64(0.5).finish());
+    }
+
+    #[test]
+    fn checkpoint_errors_are_fatal_and_display() {
+        let e = CheckpointError::Corrupt {
+            reason: "bad".into(),
+        };
+        assert_eq!(e.severity(), Severity::Fatal);
+        assert!(e.to_string().contains("bad"));
+        let e = CheckpointError::ChecksumMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert_eq!(e.severity(), Severity::Fatal);
+        assert!(e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn absurd_length_fields_do_not_allocate() {
+        // Hand-craft a body claiming a gigantic ledger; the checksum is
+        // recomputed so the length check itself must catch it.
+        let mut body = Vec::new();
+        put_str(&mut body, "c");
+        put_u64(&mut body, 0); // fingerprint
+        put_u64(&mut body, 0); // seed
+        put_u64(&mut body, 0); // total
+        put_u64(&mut body, 0); // cursor
+        for _ in 0..4 {
+            put_u64(&mut body, 0); // report counters
+        }
+        body.push(0); // ci_widened
+        put_u64(&mut body, u64::MAX); // failure count — absurd
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&fnv1a(FNV_OFFSET, &body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        match CampaignState::decode(&bytes) {
+            Err(CheckpointError::Corrupt { reason }) => assert!(reason.contains("exceeds")),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+}

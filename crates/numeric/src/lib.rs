@@ -27,12 +27,18 @@
 //!   It lives here, at the bottom of the dependency graph, so every
 //!   execution layer (Monte Carlo queries, composite plans, particle
 //!   filters) can speak it; `mde-core` re-exports it as the public API.
+//! * [`checkpoint`] — durable-campaign persistence: the serializable
+//!   [`CampaignState`] with its crash-consistent on-disk codec and the
+//!   seed/spec [`Fingerprint`] that guards resumption, shared by every
+//!   surface that supports checkpoint/resume, deadlines, and
+//!   cancellation.
 //!
 //! The crate is deliberately dependency-light (only `rand`): the paper's
 //! systems are reproduced from scratch, so the numeric layer is too.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod dist;
 pub mod error;
 pub mod kde;
@@ -42,8 +48,11 @@ pub mod resilience;
 pub mod rng;
 pub mod stats;
 
+pub use checkpoint::{CampaignState, CheckpointError, Fingerprint};
 pub use error::NumericError;
-pub use resilience::{ErrorClass, RunPolicy, RunReport, Severity};
+pub use resilience::{
+    CancelToken, CheckpointSpec, Deadline, ErrorClass, RunPolicy, RunReport, Severity, StopCause,
+};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NumericError>;

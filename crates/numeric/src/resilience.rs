@@ -34,6 +34,10 @@
 
 use crate::rng::splitmix64;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Classification
@@ -449,15 +453,25 @@ pub enum FaultKind {
     Error,
     /// Produce a NaN sample (proves the non-finite guard).
     Nan,
+    /// Preempt the campaign: stop gracefully at the scheduled boundary
+    /// (and any later one — parallel workers each observe the notice at
+    /// their own next boundary), as a spot-instance preemption notice
+    /// would. Unlike the other kinds it fails no replicate; it forces a
+    /// partial run + final checkpoint, which the chaos harness then
+    /// resumes and compares bit-for-bit against an uninterrupted run.
+    Preempt,
 }
 
 impl FaultKind {
-    /// The [`FailureKind`] this fault surfaces as in a [`RunReport`].
-    pub fn failure_kind(&self) -> FailureKind {
+    /// The [`FailureKind`] this fault surfaces as in a [`RunReport`] —
+    /// `None` for [`FaultKind::Preempt`], which stops the campaign
+    /// without failing any replicate.
+    pub fn failure_kind(&self) -> Option<FailureKind> {
         match self {
-            FaultKind::Panic => FailureKind::Panic,
-            FaultKind::Error => FailureKind::Error,
-            FaultKind::Nan => FailureKind::NonFinite,
+            FaultKind::Panic => Some(FailureKind::Panic),
+            FaultKind::Error => Some(FailureKind::Error),
+            FaultKind::Nan => Some(FailureKind::NonFinite),
+            FaultKind::Preempt => None,
         }
     }
 }
@@ -500,17 +514,43 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a preemption notice at boundary `at`: the campaign stops
+    /// gracefully before executing boundary `at` (or the first boundary a
+    /// worker reaches after it) and writes its final checkpoint.
+    pub fn preempt_at(mut self, at: u64) -> Self {
+        self.faults.push(Fault {
+            replicate: at,
+            attempt: 0,
+            kind: FaultKind::Preempt,
+        });
+        self
+    }
+
     /// The scheduled faults.
     pub fn faults(&self) -> &[Fault] {
         &self.faults
     }
 
-    /// The fault scheduled for `(replicate, attempt)`, if any.
+    /// The fault scheduled for `(replicate, attempt)`, if any. Preemption
+    /// notices are not per-replicate faults and are never returned here;
+    /// see [`FaultPlan::preempts`].
     pub fn lookup(&self, replicate: u64, attempt: u32) -> Option<FaultKind> {
         self.faults
             .iter()
-            .find(|f| f.replicate == replicate && f.attempt == attempt)
+            .find(|f| {
+                f.kind != FaultKind::Preempt && f.replicate == replicate && f.attempt == attempt
+            })
             .map(|f| f.kind)
+    }
+
+    /// Whether a preemption notice has fired by `boundary`: true when any
+    /// scheduled preempt has `at <= boundary`, mirroring how a real
+    /// preemption notice stays raised once delivered (a parallel worker
+    /// striding past the exact boundary still observes it).
+    pub fn preempts(&self, boundary: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.kind == FaultKind::Preempt && f.replicate <= boundary)
     }
 
     /// The failure ledger this plan predicts, as `(replicate, attempt,
@@ -523,21 +563,162 @@ impl FaultPlan {
             .faults
             .iter()
             .filter(|f| f.attempt < max_attempts)
-            .map(|f| (f.replicate, f.attempt, f.kind.failure_kind()))
+            .filter_map(|f| Some((f.replicate, f.attempt, f.kind.failure_kind()?)))
             .collect();
         keys.sort_by_key(|&(r, a, _)| (r, a));
         keys
     }
 }
 
-/// Options threaded through a supervised run: the policy plus an optional
-/// fault-injection plan (testing only; `None` in production).
+// ---------------------------------------------------------------------------
+// Durable campaign control: deadlines, cancellation, checkpoints
+// ---------------------------------------------------------------------------
+
+/// Why a durable campaign stopped before completing every boundary.
+///
+/// A stopped run is *not* an error: the surface returns whatever partial
+/// estimate the completed boundaries support, the partial [`RunReport`],
+/// and a final checkpoint the campaign can resume from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopCause {
+    /// The wall-clock [`Deadline`] expired.
+    Deadline,
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+    /// A [`FaultKind::Preempt`] notice fired (chaos testing).
+    Preempted,
+}
+
+impl fmt::Display for StopCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopCause::Deadline => write!(f, "deadline expired"),
+            StopCause::Cancelled => write!(f, "cancelled"),
+            StopCause::Preempted => write!(f, "preempted"),
+        }
+    }
+}
+
+/// A wall-clock budget for a campaign, checked at replicate / step /
+/// generation boundaries. Expiry stops the run at the next boundary with
+/// a partial report and a final checkpoint — never an error, and never
+/// mid-replicate (a boundary either fully commits or does not run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    deadline: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            deadline: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(deadline: Instant) -> Self {
+        Deadline { deadline }
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.deadline
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.deadline.saturating_duration_since(Instant::now())
+    }
+}
+
+/// A cooperative cancellation handle: clone it, hand one clone to the
+/// campaign, trigger the other from anywhere (signal handler, UI thread,
+/// supervisor). Campaigns poll it at boundaries; cancellation stops the
+/// run exactly like a deadline — partial report plus final checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+impl PartialEq for CancelToken {
+    /// Tokens compare by identity: two tokens are equal when they share
+    /// the underlying flag (i.e. one is a clone of the other).
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+/// Where and how often a campaign persists its [`CampaignState`]
+/// (crate::checkpoint::CampaignState): the checkpoint file path plus the
+/// boundary interval. A final checkpoint is always written when a run
+/// stops early or completes, independent of the interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Destination file (written crash-consistently; see
+    /// `CampaignState::save`).
+    pub path: PathBuf,
+    /// Write a checkpoint every `every` completed boundaries (≥ 1).
+    /// Parallel surfaces may commit only at stop/completion — the
+    /// interval is a sequential-surface cadence, not a durability
+    /// guarantee between boundaries.
+    pub every: u64,
+}
+
+impl CheckpointSpec {
+    /// Checkpoint to `path` at every boundary.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            every: 1,
+        }
+    }
+
+    /// Set the boundary interval (values of 0 are treated as 1).
+    pub fn every(mut self, every: u64) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Whether a periodic checkpoint is due after `completed` boundaries.
+    pub fn due(&self, completed: u64) -> bool {
+        completed > 0 && completed % self.every.max(1) == 0
+    }
+}
+
+/// Options threaded through a supervised run: the recovery policy, an
+/// optional fault-injection plan (testing only; `None` in production),
+/// and the durable-campaign controls — wall-clock deadline, cooperative
+/// cancellation, and checkpoint persistence.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunOptions {
     /// Recovery policy.
     pub policy: RunPolicy,
     /// Deterministic fault injection, for tests.
     pub faults: Option<FaultPlan>,
+    /// Wall-clock budget, checked at boundaries.
+    pub deadline: Option<Deadline>,
+    /// Cooperative cancellation, checked at boundaries.
+    pub cancel: Option<CancelToken>,
+    /// Checkpoint persistence (path + interval).
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl RunOptions {
@@ -545,7 +726,7 @@ impl RunOptions {
     pub fn policy(policy: RunPolicy) -> Self {
         RunOptions {
             policy,
-            faults: None,
+            ..RunOptions::default()
         }
     }
 
@@ -555,12 +736,54 @@ impl RunOptions {
         self
     }
 
+    /// Attach a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cancellation token (keep a clone to trigger it).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attach checkpoint persistence.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointSpec) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
     /// The fault scheduled for `(replicate, attempt)`, if a plan is
     /// attached.
     pub fn fault(&self, replicate: u64, attempt: u32) -> Option<FaultKind> {
         self.faults
             .as_ref()
             .and_then(|p| p.lookup(replicate, attempt))
+    }
+
+    /// Should the campaign stop before executing `boundary`? Checked by
+    /// every durable surface at each replicate / step / generation
+    /// boundary. Deterministic preemption notices are checked first so
+    /// chaos tests stop at an exact, reproducible boundary regardless of
+    /// wall-clock state.
+    pub fn stop_cause(&self, boundary: u64) -> Option<StopCause> {
+        if let Some(plan) = &self.faults {
+            if plan.preempts(boundary) {
+                return Some(StopCause::Preempted);
+            }
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopCause::Cancelled);
+            }
+        }
+        if let Some(deadline) = &self.deadline {
+            if deadline.expired() {
+                return Some(StopCause::Deadline);
+            }
+        }
+        None
     }
 }
 
@@ -795,9 +1018,88 @@ mod tests {
         let opts = RunOptions::default();
         assert_eq!(opts.policy, RunPolicy::FailFast);
         assert!(opts.faults.is_none());
+        assert!(opts.deadline.is_none());
+        assert!(opts.cancel.is_none());
+        assert!(opts.checkpoint.is_none());
         assert_eq!(opts.fault(0, 0), None);
+        assert_eq!(opts.stop_cause(0), None);
         let opts = RunOptions::policy(RunPolicy::BestEffort { min_fraction: 0.9 })
             .with_faults(FaultPlan::new().fail_on(2, 0, FaultKind::Error));
         assert_eq!(opts.fault(2, 0), Some(FaultKind::Error));
+    }
+
+    #[test]
+    fn preempt_notices_stay_raised_and_never_fail_replicates() {
+        let plan = FaultPlan::new()
+            .preempt_at(3)
+            .fail_on(1, 0, FaultKind::Error);
+        assert!(!plan.preempts(0));
+        assert!(!plan.preempts(2));
+        assert!(plan.preempts(3));
+        assert!(plan.preempts(100), "notice stays raised past the boundary");
+        // Preempts are invisible to per-replicate fault lookup and to the
+        // expected failure ledger.
+        assert_eq!(plan.lookup(3, 0), None);
+        assert_eq!(
+            plan.expected_failure_keys(&RunPolicy::FailFast),
+            vec![(1, 0, FailureKind::Error)]
+        );
+        assert_eq!(FaultKind::Preempt.failure_kind(), None);
+        let opts = RunOptions::default().with_faults(plan);
+        assert_eq!(opts.stop_cause(2), None);
+        assert_eq!(opts.stop_cause(3), Some(StopCause::Preempted));
+    }
+
+    #[test]
+    fn deadline_expiry_and_remaining() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(3000));
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+        let opts = RunOptions::default().with_deadline(past);
+        assert_eq!(opts.stop_cause(0), Some(StopCause::Deadline));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        let opts = RunOptions::default().with_cancel(clone);
+        assert_eq!(opts.stop_cause(5), None);
+        token.cancel();
+        assert_eq!(opts.stop_cause(5), Some(StopCause::Cancelled));
+        assert_eq!(token, opts.cancel.clone().unwrap());
+        assert_ne!(token, CancelToken::new(), "identity equality");
+    }
+
+    #[test]
+    fn preempt_outranks_wallclock_stops() {
+        // Deterministic chaos stops must win over wall-clock ones so the
+        // harness stops at an exact boundary.
+        let opts = RunOptions::default()
+            .with_faults(FaultPlan::new().preempt_at(0))
+            .with_deadline(Deadline::at(Instant::now() - Duration::from_millis(1)));
+        assert_eq!(opts.stop_cause(0), Some(StopCause::Preempted));
+    }
+
+    #[test]
+    fn checkpoint_spec_cadence() {
+        let spec = CheckpointSpec::new("/tmp/c.ckpt");
+        assert_eq!(spec.every, 1);
+        assert!(!spec.due(0));
+        assert!(spec.due(1));
+        let spec = spec.every(5);
+        assert!(!spec.due(4));
+        assert!(spec.due(5));
+        assert!(!spec.due(6));
+        assert!(spec.due(10));
+        // A zero interval behaves as 1 rather than dividing by zero.
+        assert!(CheckpointSpec::new("x").every(0).due(1));
+        assert_eq!(StopCause::Deadline.to_string(), "deadline expired");
+        assert_eq!(StopCause::Cancelled.to_string(), "cancelled");
+        assert_eq!(StopCause::Preempted.to_string(), "preempted");
     }
 }

@@ -43,7 +43,7 @@ fn main() {
 
     let simulator: &Simulator =
         &|theta: &[f64], seed: u64| MarketModel::simulate_summary(cfg, theta, seed);
-    let bounds = Bounds::new(vec![(0.005, 0.2), (0.005, 0.3), (0.05, 0.8)]);
+    let bounds = Bounds::new(vec![(0.005, 0.2), (0.005, 0.3), (0.05, 0.8)]).expect("valid bounds");
 
     // ---- Method 1: MSM + Nelder-Mead.
     let problem = MsmProblem::new(observed.clone(), simulator, 5, 99);

@@ -87,7 +87,7 @@ fn kriging_surrogate_calibration_runs_on_abs_objective() {
     let mut rng = rng_from_seed(11);
     let res = kriging_calibrate(
         |theta, _| problem.objective(theta),
-        &Bounds::new(vec![(0.005, 0.15), (0.005, 0.2), (0.05, 0.6)]),
+        &Bounds::new(vec![(0.005, 0.15), (0.005, 0.2), (0.05, 0.6)]).expect("valid bounds"),
         &KrigingCalConfig {
             design_runs: 17,
             infill_rounds: 3,

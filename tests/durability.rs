@@ -1,0 +1,725 @@
+//! The preemption chaos harness: durable campaigns interrupted at every
+//! boundary must resume **bit-identically** — same estimates, same RNG
+//! draw order, same [`RunReport`] ledger — at any thread count, whether
+//! the checkpoint travelled through memory or through disk.
+//!
+//! The second half attacks the checkpoint files themselves: flipped
+//! bytes, truncation, and foreign fingerprints must surface as typed
+//! [`CheckpointError`]s — never panics, never silently wrong numbers.
+//!
+//! The master seed comes from `MDE_CHAOS_SEED` (default 11) so CI can
+//! sweep a seed matrix over the same assertions.
+
+use model_data_ecosystems::assim::pf::{BootstrapProposal, ParticleFilter, StateSpaceModel};
+use model_data_ecosystems::assim::AssimError;
+use model_data_ecosystems::calibrate::optim::{
+    genetic_algorithm_durable, random_search_durable, resume_genetic_algorithm_from,
+    resume_random_search, Bounds, GaConfig,
+};
+use model_data_ecosystems::calibrate::CalibrateError;
+use model_data_ecosystems::core::resilience::{
+    CampaignState, CancelToken, CheckpointError, CheckpointSpec, Deadline, FaultPlan, RunOptions,
+    StopCause,
+};
+use model_data_ecosystems::mcdb::mc::{McRun, MonteCarloQuery};
+use model_data_ecosystems::mcdb::prelude::*;
+use model_data_ecosystems::mcdb::query::AggSpec;
+use model_data_ecosystems::mcdb::vg::NormalVg;
+use model_data_ecosystems::mcdb::McdbError;
+use model_data_ecosystems::metamodel::response::FnResponse;
+use model_data_ecosystems::metamodel::screening::{
+    resume_sequential_bifurcation_from, sequential_bifurcation_durable, BifurcationConfig,
+    ScreeningRun,
+};
+use model_data_ecosystems::metamodel::MetamodelError;
+use model_data_ecosystems::numeric::dist::{Continuous, Normal};
+use model_data_ecosystems::numeric::rng::Rng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The master seed for every campaign in this harness. CI sweeps a seed
+/// matrix by exporting `MDE_CHAOS_SEED`; locally the default applies.
+fn chaos_seed() -> u64 {
+    std::env::var("MDE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11)
+}
+
+/// A scratch checkpoint path unique to this process and test.
+struct ScratchFile(PathBuf);
+
+impl ScratchFile {
+    fn new(name: &str) -> Self {
+        ScratchFile(std::env::temp_dir().join(format!(
+            "mde-durability-{}-{}-{name}.ckpt",
+            std::process::id(),
+            chaos_seed()
+        )))
+    }
+
+    fn path(&self) -> &PathBuf {
+        &self.0
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monte Carlo queries (mcdb)
+// ---------------------------------------------------------------------------
+
+/// A catalog with a `MU` column plus a query that sums one `Normal(mu, 1)`
+/// draw per row — a genuinely stochastic campaign whose sample sequence
+/// exposes any RNG drift across preemption and resumption.
+fn normal_setup() -> (Catalog, MonteCarloQuery) {
+    let mut db = Catalog::new();
+    let mut builder = Table::build("T", &[("MU", DataType::Float)]);
+    for mu in [0.0, 1.0, 2.5, -1.5] {
+        builder = builder.row(vec![Value::from(mu)]);
+    }
+    db.insert(builder.finish().unwrap());
+    let spec = RandomTableSpec::builder("OUT")
+        .for_each(Plan::scan("T"))
+        .with_vg(Arc::new(NormalVg))
+        .vg_params_exprs(&[Expr::col("MU"), Expr::lit(1.0)])
+        .select(&[("V", Expr::col("VALUE"))])
+        .build()
+        .unwrap();
+    let q = MonteCarloQuery::new(
+        vec![spec],
+        Plan::scan("OUT").aggregate(&[], vec![AggSpec::new("S", AggFunc::Sum, Expr::col("V"))]),
+    );
+    (db, q)
+}
+
+/// Preempt exactly before `cut` and return the partial run.
+fn preempt_opts(cut: u64) -> RunOptions {
+    RunOptions::default().with_faults(FaultPlan::new().preempt_at(cut))
+}
+
+fn assert_mc_runs_identical(resumed: &McRun, baseline: &McRun, context: &str) {
+    let a: Vec<u64> = resumed
+        .result
+        .samples()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let b: Vec<u64> = baseline
+        .result
+        .samples()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(a, b, "{context}: samples diverged");
+    assert_eq!(
+        resumed.report, baseline.report,
+        "{context}: ledgers diverged"
+    );
+    assert_eq!(
+        resumed.stopped, None,
+        "{context}: resumed run did not finish"
+    );
+}
+
+#[test]
+fn mc_preempted_runs_resume_bit_identically_at_every_boundary() {
+    let seed = chaos_seed();
+    let n = 24;
+    let (db, q) = normal_setup();
+    let baseline = q
+        .run_with_options(&db, n, seed, &RunOptions::default())
+        .unwrap();
+    assert_eq!(baseline.result.n(), n);
+
+    for cut in 0..n as u64 {
+        let partial = q
+            .run_with_options(&db, n, seed, &preempt_opts(cut))
+            .unwrap();
+        assert_eq!(partial.stopped, Some(StopCause::Preempted), "cut {cut}");
+        assert_eq!(partial.result.n(), cut as usize, "cut {cut}");
+        let state = partial
+            .checkpoint
+            .clone()
+            .expect("stopped run carries a checkpoint");
+        assert_eq!(state.cursor, cut);
+
+        // Sequential resume.
+        let resumed = q
+            .resume_with_options(&db, n, seed, &RunOptions::default(), state.clone())
+            .unwrap();
+        assert_mc_runs_identical(&resumed, &baseline, &format!("seq resume at {cut}"));
+
+        // The same checkpoint resumes on every thread count — including a
+        // sequentially written checkpoint picked up by the parallel path.
+        for threads in [1, 2, 4] {
+            let resumed = q
+                .resume_parallel_with_options(
+                    &db,
+                    n,
+                    seed,
+                    threads,
+                    &RunOptions::default(),
+                    state.clone(),
+                )
+                .unwrap();
+            assert_mc_runs_identical(
+                &resumed,
+                &baseline,
+                &format!("parallel({threads}) resume at {cut}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn mc_parallel_preemption_stops_at_the_sequential_boundary() {
+    let seed = chaos_seed();
+    let n = 20;
+    let (db, q) = normal_setup();
+    let baseline = q
+        .run_with_options(&db, n, seed, &RunOptions::default())
+        .unwrap();
+
+    for cut in [0u64, 1, 7, 13, 19] {
+        for threads in [2, 4] {
+            let partial = q
+                .run_parallel_with_options(&db, n, seed, threads, &preempt_opts(cut))
+                .unwrap();
+            assert_eq!(partial.stopped, Some(StopCause::Preempted));
+            // A stopped parallel run commits exactly the contiguous prefix
+            // the sequential run would.
+            assert_eq!(
+                partial.result.n(),
+                cut as usize,
+                "threads {threads}, cut {cut}"
+            );
+            let state = partial.checkpoint.clone().unwrap();
+            let resumed = q
+                .resume_with_options(&db, n, seed, &RunOptions::default(), state)
+                .unwrap();
+            assert_mc_runs_identical(
+                &resumed,
+                &baseline,
+                &format!("parallel({threads}) preempt at {cut}, seq resume"),
+            );
+        }
+    }
+}
+
+#[test]
+fn mc_checkpoint_survives_the_disk_round_trip() {
+    let seed = chaos_seed();
+    let n = 16;
+    let (db, q) = normal_setup();
+    let baseline = q
+        .run_with_options(&db, n, seed, &RunOptions::default())
+        .unwrap();
+
+    let scratch = ScratchFile::new("mc-disk");
+    let opts = preempt_opts(9).with_checkpoint(CheckpointSpec::new(scratch.path()).every(1));
+    let partial = q.run_with_options(&db, n, seed, &opts).unwrap();
+    assert_eq!(partial.stopped, Some(StopCause::Preempted));
+
+    // The stopped run left its final state on disk; both resume paths read
+    // it back and finish bit-identically.
+    let resumed = q
+        .resume_from(&db, n, seed, &RunOptions::default(), scratch.path())
+        .unwrap();
+    assert_mc_runs_identical(&resumed, &baseline, "resume_from disk");
+    let resumed = q
+        .resume_parallel_from(&db, n, seed, 3, &RunOptions::default(), scratch.path())
+        .unwrap();
+    assert_mc_runs_identical(&resumed, &baseline, "resume_parallel_from disk");
+}
+
+#[test]
+fn mc_deadline_and_cancellation_stop_cleanly_with_partial_results() {
+    let seed = chaos_seed();
+    let n = 12;
+    let (db, q) = normal_setup();
+    let baseline = q
+        .run_with_options(&db, n, seed, &RunOptions::default())
+        .unwrap();
+
+    // An already-expired deadline: zero replicates, but a valid checkpoint
+    // and no error.
+    let opts = RunOptions::default().with_deadline(Deadline::after(Duration::ZERO));
+    let run = q.run_with_options(&db, n, seed, &opts).unwrap();
+    assert_eq!(run.stopped, Some(StopCause::Deadline));
+    assert_eq!(run.result.n(), 0);
+    let resumed = q
+        .resume_with_options(
+            &db,
+            n,
+            seed,
+            &RunOptions::default(),
+            run.checkpoint.unwrap(),
+        )
+        .unwrap();
+    assert_mc_runs_identical(&resumed, &baseline, "resume after deadline");
+
+    // A pre-cancelled token behaves the same, sequentially and in parallel.
+    let token = CancelToken::new();
+    token.cancel();
+    let opts = RunOptions::default().with_cancel(token.clone());
+    let run = q.run_with_options(&db, n, seed, &opts).unwrap();
+    assert_eq!(run.stopped, Some(StopCause::Cancelled));
+    assert_eq!(run.result.n(), 0);
+    let run = q
+        .run_parallel_with_options(&db, n, seed, 4, &RunOptions::default().with_cancel(token))
+        .unwrap();
+    assert_eq!(run.stopped, Some(StopCause::Cancelled));
+    let resumed = q
+        .resume_with_options(
+            &db,
+            n,
+            seed,
+            &RunOptions::default(),
+            run.checkpoint.unwrap(),
+        )
+        .unwrap();
+    assert_mc_runs_identical(&resumed, &baseline, "resume after cancellation");
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint files under attack
+// ---------------------------------------------------------------------------
+
+/// Write a valid mid-campaign checkpoint to disk and return its bytes.
+fn checkpointed_mc_state(scratch: &ScratchFile) -> (Catalog, MonteCarloQuery, Vec<u8>) {
+    let (db, q) = normal_setup();
+    let opts = preempt_opts(5).with_checkpoint(CheckpointSpec::new(scratch.path()).every(1));
+    let run = q.run_with_options(&db, 10, chaos_seed(), &opts).unwrap();
+    assert_eq!(run.stopped, Some(StopCause::Preempted));
+    let bytes = std::fs::read(scratch.path()).unwrap();
+    (db, q, bytes)
+}
+
+#[test]
+fn corrupt_checkpoints_yield_typed_errors_never_panics() {
+    let scratch = ScratchFile::new("mc-corrupt");
+    let (db, q, bytes) = checkpointed_mc_state(&scratch);
+    let seed = chaos_seed();
+
+    // Flip one byte at a sweep of offsets: magic, header, checksum, and
+    // body corruption must all decode to a typed CheckpointError.
+    for offset in [0, 4, 9, 17, bytes.len() / 2, bytes.len() - 1] {
+        let mut torn = bytes.clone();
+        torn[offset] ^= 0xA5;
+        std::fs::write(scratch.path(), &torn).unwrap();
+        let err = q
+            .resume_from(&db, 10, seed, &RunOptions::default(), scratch.path())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                McdbError::Checkpoint(
+                    CheckpointError::Corrupt { .. } | CheckpointError::ChecksumMismatch { .. }
+                )
+            ),
+            "flipped byte {offset}: unexpected error {err}"
+        );
+    }
+
+    // Truncation at every prefix length — header-only, mid-body, empty.
+    for keep in [0, 7, 16, bytes.len() / 3, bytes.len() - 1] {
+        std::fs::write(scratch.path(), &bytes[..keep]).unwrap();
+        let err = q
+            .resume_from(&db, 10, seed, &RunOptions::default(), scratch.path())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                McdbError::Checkpoint(
+                    CheckpointError::Corrupt { .. } | CheckpointError::ChecksumMismatch { .. }
+                )
+            ),
+            "truncated to {keep}: unexpected error {err}"
+        );
+    }
+
+    // A missing file is a typed I/O error.
+    std::fs::remove_file(scratch.path()).unwrap();
+    let err = q
+        .resume_from(&db, 10, seed, &RunOptions::default(), scratch.path())
+        .unwrap_err();
+    assert!(
+        matches!(err, McdbError::Checkpoint(CheckpointError::Io { .. })),
+        "{err}"
+    );
+}
+
+#[test]
+fn foreign_checkpoints_are_refused_across_every_surface() {
+    let scratch = ScratchFile::new("mc-foreign");
+    let (db, q, _) = checkpointed_mc_state(&scratch);
+    let seed = chaos_seed();
+
+    // Same campaign, different seed → fingerprint mismatch.
+    let err = q
+        .resume_from(&db, 10, seed + 1, &RunOptions::default(), scratch.path())
+        .unwrap_err();
+    assert!(
+        matches!(err, McdbError::Checkpoint(CheckpointError::Mismatch { .. })),
+        "{err}"
+    );
+
+    // Same campaign, different replicate count → fingerprint mismatch.
+    let err = q
+        .resume_from(&db, 11, seed, &RunOptions::default(), scratch.path())
+        .unwrap_err();
+    assert!(
+        matches!(err, McdbError::Checkpoint(CheckpointError::Mismatch { .. })),
+        "{err}"
+    );
+
+    // A Monte Carlo checkpoint handed to the other durable surfaces is
+    // refused by campaign tag, not misinterpreted.
+    let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+    let err = resume_genetic_algorithm_from(
+        |x| x[0],
+        &bounds,
+        &GaConfig::default(),
+        seed,
+        &RunOptions::default(),
+        scratch.path(),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CalibrateError::Checkpoint(CheckpointError::Mismatch { .. })
+        ),
+        "{err}"
+    );
+
+    let response = FnResponse::new(4, |x: &[f64], _rng: &mut Rng| x.iter().sum());
+    let err = resume_sequential_bifurcation_from(
+        &response,
+        &BifurcationConfig::default(),
+        seed,
+        &RunOptions::default(),
+        scratch.path(),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MetamodelError::Checkpoint(CheckpointError::Mismatch { .. })
+        ),
+        "{err}"
+    );
+
+    let state = CampaignState::load(scratch.path()).unwrap();
+    let pf = ParticleFilter::new(64, seed);
+    let ys = vec![0.0; 6];
+    let err = pf
+        .resume_durable(
+            &ar1_model(),
+            &BootstrapProposal,
+            &ys,
+            &RunOptions::default(),
+            state,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            AssimError::Checkpoint(CheckpointError::Mismatch { .. })
+        ),
+        "{err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Particle filter (assim)
+// ---------------------------------------------------------------------------
+
+/// Scalar AR(1) state-space model with Gaussian observation noise.
+struct Ar1 {
+    phi: f64,
+    q: f64,
+    r: f64,
+}
+
+impl StateSpaceModel for Ar1 {
+    type State = f64;
+    type Obs = f64;
+
+    fn sample_initial(&self, rng: &mut Rng) -> f64 {
+        2.0 * Normal::sample_standard(rng)
+    }
+
+    fn sample_transition(&self, prev: &f64, rng: &mut Rng) -> f64 {
+        self.phi * prev + self.q * Normal::sample_standard(rng)
+    }
+
+    fn ln_likelihood(&self, state: &f64, obs: &f64) -> f64 {
+        Normal::new(*state, self.r).unwrap().ln_pdf(*obs)
+    }
+}
+
+fn ar1_model() -> Ar1 {
+    Ar1 {
+        phi: 0.9,
+        q: 0.4,
+        r: 0.6,
+    }
+}
+
+/// A fixed observation sequence — the filter does not care that it came
+/// from a formula rather than the model.
+fn ar1_observations(t: usize) -> Vec<f64> {
+    (0..t).map(|i| (i as f64 * 0.7).sin() * 2.0).collect()
+}
+
+fn assert_pf_runs_identical(
+    resumed: &model_data_ecosystems::assim::PfRun<f64>,
+    baseline: &model_data_ecosystems::assim::PfRun<f64>,
+    context: &str,
+) {
+    assert_eq!(
+        resumed.steps.len(),
+        baseline.steps.len(),
+        "{context}: step counts"
+    );
+    for (t, (a, b)) in resumed.steps.iter().zip(&baseline.steps).enumerate() {
+        let pa: Vec<u64> = a.particles.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u64> = b.particles.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pa, pb, "{context}: particles diverged at step {t}");
+        assert_eq!(
+            a.ess.to_bits(),
+            b.ess.to_bits(),
+            "{context}: ESS diverged at step {t}"
+        );
+        assert_eq!(
+            a.ln_evidence_increment.to_bits(),
+            b.ln_evidence_increment.to_bits(),
+            "{context}: evidence diverged at step {t}"
+        );
+    }
+    assert_eq!(
+        resumed.report, baseline.report,
+        "{context}: ledgers diverged"
+    );
+    assert_eq!(
+        resumed.stopped, None,
+        "{context}: resumed run did not finish"
+    );
+}
+
+#[test]
+fn pf_preempted_runs_resume_bit_identically_at_every_step() {
+    let seed = chaos_seed();
+    let t = 10;
+    let model = ar1_model();
+    let ys = ar1_observations(t);
+    let pf = ParticleFilter::new(200, seed);
+    let baseline = pf
+        .run_durable(&model, &BootstrapProposal, &ys, &RunOptions::default())
+        .unwrap();
+    assert_eq!(baseline.steps.len(), t);
+
+    for cut in 0..t as u64 {
+        let partial = pf
+            .run_durable(&model, &BootstrapProposal, &ys, &preempt_opts(cut))
+            .unwrap();
+        assert_eq!(partial.stopped, Some(StopCause::Preempted), "cut {cut}");
+        assert_eq!(partial.steps.len(), cut as usize);
+        let resumed = pf
+            .resume_durable(
+                &model,
+                &BootstrapProposal,
+                &ys,
+                &RunOptions::default(),
+                partial.checkpoint.unwrap(),
+            )
+            .unwrap();
+        assert_pf_runs_identical(&resumed, &baseline, &format!("pf resume at {cut}"));
+    }
+}
+
+#[test]
+fn pf_checkpoint_survives_the_disk_round_trip() {
+    let seed = chaos_seed();
+    let model = ar1_model();
+    let ys = ar1_observations(8);
+    let pf = ParticleFilter::new(150, seed);
+    let baseline = pf
+        .run_durable(&model, &BootstrapProposal, &ys, &RunOptions::default())
+        .unwrap();
+
+    let scratch = ScratchFile::new("pf-disk");
+    let opts = preempt_opts(4).with_checkpoint(CheckpointSpec::new(scratch.path()).every(1));
+    let partial = pf
+        .run_durable(&model, &BootstrapProposal, &ys, &opts)
+        .unwrap();
+    assert_eq!(partial.stopped, Some(StopCause::Preempted));
+    let resumed = pf
+        .resume_durable_from(
+            &model,
+            &BootstrapProposal,
+            &ys,
+            &RunOptions::default(),
+            scratch.path(),
+        )
+        .unwrap();
+    assert_pf_runs_identical(&resumed, &baseline, "pf resume_from disk");
+}
+
+// ---------------------------------------------------------------------------
+// Optimizers (calibrate)
+// ---------------------------------------------------------------------------
+
+fn rosenbrock(x: &[f64]) -> f64 {
+    (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+}
+
+fn assert_optim_runs_identical(
+    resumed: &model_data_ecosystems::calibrate::optim::OptimRun,
+    baseline: &model_data_ecosystems::calibrate::optim::OptimRun,
+    context: &str,
+) {
+    let a = resumed.best.as_ref().expect("resumed best");
+    let b = baseline.best.as_ref().expect("baseline best");
+    let ax: Vec<u64> = a.x.iter().map(|v| v.to_bits()).collect();
+    let bx: Vec<u64> = b.x.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(ax, bx, "{context}: best point diverged");
+    assert_eq!(
+        a.fx.to_bits(),
+        b.fx.to_bits(),
+        "{context}: best value diverged"
+    );
+    assert_eq!(a.evals, b.evals, "{context}: evaluation counts diverged");
+    assert_eq!(
+        resumed.report, baseline.report,
+        "{context}: ledgers diverged"
+    );
+    assert_eq!(
+        resumed.stopped, None,
+        "{context}: resumed run did not finish"
+    );
+}
+
+#[test]
+fn ga_checkpoint_survives_the_disk_round_trip() {
+    let seed = chaos_seed();
+    let bounds = Bounds::new(vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+    let cfg = GaConfig {
+        population: 12,
+        generations: 6,
+        ..GaConfig::default()
+    };
+    let baseline =
+        genetic_algorithm_durable(rosenbrock, &bounds, &cfg, seed, &RunOptions::default()).unwrap();
+
+    for cut in 0..=cfg.generations as u64 {
+        let scratch = ScratchFile::new(&format!("ga-disk-{cut}"));
+        let opts = preempt_opts(cut).with_checkpoint(CheckpointSpec::new(scratch.path()).every(1));
+        let partial = genetic_algorithm_durable(rosenbrock, &bounds, &cfg, seed, &opts).unwrap();
+        assert_eq!(partial.stopped, Some(StopCause::Preempted), "cut {cut}");
+        let resumed = resume_genetic_algorithm_from(
+            rosenbrock,
+            &bounds,
+            &cfg,
+            seed,
+            &RunOptions::default(),
+            scratch.path(),
+        )
+        .unwrap();
+        assert_optim_runs_identical(&resumed, &baseline, &format!("ga disk resume at {cut}"));
+    }
+}
+
+#[test]
+fn random_search_deadline_checkpoint_resumes_to_the_full_budget() {
+    let seed = chaos_seed();
+    let bounds = Bounds::new(vec![(-3.0, 3.0), (-3.0, 3.0)]).unwrap();
+    let evals = 32;
+    let baseline =
+        random_search_durable(rosenbrock, &bounds, evals, seed, &RunOptions::default()).unwrap();
+
+    let opts = RunOptions::default().with_deadline(Deadline::after(Duration::ZERO));
+    let partial = random_search_durable(rosenbrock, &bounds, evals, seed, &opts).unwrap();
+    assert_eq!(partial.stopped, Some(StopCause::Deadline));
+    assert!(partial.best.is_none());
+    let resumed = resume_random_search(
+        rosenbrock,
+        &bounds,
+        evals,
+        seed,
+        &RunOptions::default(),
+        partial.checkpoint.unwrap(),
+    )
+    .unwrap();
+    assert_optim_runs_identical(&resumed, &baseline, "rs resume after deadline");
+}
+
+// ---------------------------------------------------------------------------
+// Screening (metamodel)
+// ---------------------------------------------------------------------------
+
+fn screening_response() -> FnResponse<impl Fn(&[f64], &mut Rng) -> f64> {
+    let effects = [(2usize, 4.0), (9, 3.0), (13, 5.0)];
+    FnResponse::new(16, move |x: &[f64], rng: &mut Rng| {
+        let signal: f64 = effects.iter().map(|&(i, b)| b * x[i]).sum();
+        signal + 0.2 * Normal::sample_standard(rng)
+    })
+}
+
+fn assert_screening_runs_identical(resumed: &ScreeningRun, baseline: &ScreeningRun, context: &str) {
+    let a = resumed.result.as_ref().expect("resumed result");
+    let b = baseline.result.as_ref().expect("baseline result");
+    assert_eq!(
+        a.important, b.important,
+        "{context}: important factors diverged"
+    );
+    assert_eq!(a.runs_used, b.runs_used, "{context}: run counts diverged");
+    assert_eq!(
+        resumed.report, baseline.report,
+        "{context}: ledgers diverged"
+    );
+    assert_eq!(
+        resumed.stopped, None,
+        "{context}: resumed run did not finish"
+    );
+}
+
+#[test]
+fn screening_checkpoint_survives_the_disk_round_trip() {
+    let seed = chaos_seed();
+    let cfg = BifurcationConfig {
+        threshold: 1.0,
+        reps: 4,
+    };
+    let response = screening_response();
+    let baseline =
+        sequential_bifurcation_durable(&response, &cfg, seed, &RunOptions::default()).unwrap();
+    let total_rounds = baseline.report.attempted as u64;
+
+    for cut in 0..total_rounds {
+        let scratch = ScratchFile::new(&format!("sb-disk-{cut}"));
+        let opts = preempt_opts(cut).with_checkpoint(CheckpointSpec::new(scratch.path()).every(1));
+        let partial = sequential_bifurcation_durable(&response, &cfg, seed, &opts).unwrap();
+        assert_eq!(partial.stopped, Some(StopCause::Preempted), "cut {cut}");
+        assert!(
+            partial.result.is_none(),
+            "cut {cut}: queue should not be drained"
+        );
+        let resumed = resume_sequential_bifurcation_from(
+            &response,
+            &cfg,
+            seed,
+            &RunOptions::default(),
+            scratch.path(),
+        )
+        .unwrap();
+        assert_screening_runs_identical(&resumed, &baseline, &format!("sb disk resume at {cut}"));
+    }
+}
