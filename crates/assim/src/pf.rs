@@ -251,11 +251,14 @@ impl ParticleFilter {
             report.absorb(&outcome);
             match outcome {
                 ReplicateOutcome::Success { value, .. } => {
+                    report.metrics.observe("pf.ess", value.ess);
+                    report.metrics.inc("pf.resamples");
                     prev = Some(value.particles.clone());
                     steps.push(value);
                 }
                 ReplicateOutcome::Dropped { .. } => {
                     let step = self.degraded_step(model, t as u64, prev.as_deref(), &factory);
+                    report.metrics.observe("pf.ess", step.ess);
                     prev = Some(step.particles.clone());
                     steps.push(step);
                 }
@@ -530,7 +533,10 @@ impl ParticleFilter {
                 self.supervised_step(model, proposal, obs, t, prev.as_deref(), &factory, opts);
             state.report.absorb(&outcome);
             let step = match outcome {
-                ReplicateOutcome::Success { value, .. } => value,
+                ReplicateOutcome::Success { value, .. } => {
+                    state.report.metrics.inc("pf.resamples");
+                    value
+                }
                 ReplicateOutcome::Dropped { .. } => {
                     self.degraded_step(model, t, prev.as_deref(), &factory)
                 }
@@ -538,13 +544,15 @@ impl ParticleFilter {
                     return Err(abort_error(error, &failures));
                 }
             };
+            state.report.metrics.observe("pf.ess", step.ess);
             prev = Some(step.particles.clone());
             state.completed.push((t, encode_step(&step)));
             steps.push(step);
             state.cursor = t + 1;
             if let Some(spec) = &opts.checkpoint {
                 if spec.due(state.cursor) {
-                    state.save(&spec.path).map_err(AssimError::from)?;
+                    let stats = state.save_stats(&spec.path).map_err(AssimError::from)?;
+                    stats.record_into(&mut state.report.metrics);
                 }
             }
         }
@@ -560,7 +568,8 @@ impl ParticleFilter {
             }
         }
         if let Some(spec) = &opts.checkpoint {
-            state.save(&spec.path).map_err(AssimError::from)?;
+            let stats = state.save_stats(&spec.path).map_err(AssimError::from)?;
+            stats.record_into(&mut state.report.metrics);
         }
         Ok(PfRun {
             steps,

@@ -433,12 +433,16 @@ fn ga_campaign(
         state.report.absorb(&outcome);
         match outcome {
             ReplicateOutcome::Success { value, .. } => {
-                evals += if pop.is_empty() {
+                let delta = if pop.is_empty() {
                     cfg.population as u64
                 } else {
                     (cfg.population - cfg.elites) as u64
                 };
+                evals += delta;
+                state.report.metrics.add("optim.evals", delta);
                 pop = value;
+                let gen_best = pop.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+                state.report.metrics.observe("optim.best", gen_best);
                 state.completed.push((b, encode_population(&pop)));
             }
             // A dropped boundary carries the population forward unchanged
@@ -452,7 +456,8 @@ fn ga_campaign(
         state.ints = vec![evals];
         if let Some(spec) = &opts.checkpoint {
             if spec.due(state.cursor) {
-                state.save(&spec.path).map_err(CalibrateError::from)?;
+                let stats = state.save_stats(&spec.path).map_err(CalibrateError::from)?;
+                stats.record_into(&mut state.report.metrics);
             }
         }
     }
@@ -606,6 +611,8 @@ fn rs_campaign(
         state.report.absorb(&outcome);
         match outcome {
             ReplicateOutcome::Success { value: (x, fx), .. } => {
+                state.report.metrics.inc("optim.evals");
+                state.report.metrics.observe("optim.objective", fx);
                 let mut payload = x;
                 payload.push(fx);
                 state.completed.push((i, payload));
@@ -618,7 +625,8 @@ fn rs_campaign(
         state.cursor = i + 1;
         if let Some(spec) = &opts.checkpoint {
             if spec.due(state.cursor) {
-                state.save(&spec.path).map_err(CalibrateError::from)?;
+                let stats = state.save_stats(&spec.path).map_err(CalibrateError::from)?;
+                stats.record_into(&mut state.report.metrics);
             }
         }
     }
@@ -665,7 +673,8 @@ fn seal_state(
         }
     }
     if let Some(spec) = &opts.checkpoint {
-        state.save(&spec.path).map_err(CalibrateError::from)?;
+        let stats = state.save_stats(&spec.path).map_err(CalibrateError::from)?;
+        stats.record_into(&mut state.report.metrics);
     }
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! | [`experiment`] | experiment manager: DOE-driven runs, metamodel fitting, RC optimization |
 //! | [`whatif`] | the "data is dead without what-if" entry point over `mde-mcdb` |
 //! | [`resilience`] | supervised execution: run policies, deterministic retry, failure ledgers |
+//! | [`obs`] | observability: structured tracing, metrics ledgers, deterministic telemetry |
 //!
 //! # Example: attach a stochastic model to data and ask what-if
 //!
@@ -53,6 +54,7 @@
 pub mod composite;
 pub mod error;
 pub mod experiment;
+pub mod obs;
 pub mod registry;
 pub mod resilience;
 pub mod whatif;

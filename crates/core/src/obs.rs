@@ -1,0 +1,37 @@
+//! The observability layer, re-exported as the platform's public API.
+//!
+//! The substrate — [`Span`]-style structured tracing with pluggable
+//! [`TraceSink`]s ([`MemorySink`] for golden-trace tests, [`JsonlSink`]
+//! for streaming one JSON object per span), lock-free [`Counter`]s and
+//! [`Gauge`]s, the mergeable log-linear [`Histogram`], and the per-run
+//! [`RunMetrics`] ledger carried by every
+//! [`RunReport`](crate::resilience::RunReport) — lives in
+//! [`mde_numeric::obs`], at the bottom of the workspace dependency graph,
+//! so every execution layer reports through the same vocabulary:
+//!
+//! * the vectorized query executor traces per-operator row counts, batch
+//!   materializations, and plan/table-cache reuse
+//!   ([`PreparedQuery::execute_traced`](mde_mcdb::query::PreparedQuery::execute_traced));
+//! * the Monte Carlo runners ledger replicate/attempt counters, a
+//!   deterministic sample-value histogram, and out-of-band replicate
+//!   latency;
+//! * the particle filter ledgers its ESS trajectory and resample count;
+//! * the optimizers ledger evaluation counts and best-so-far traces;
+//! * the checkpoint codec reports bytes written and fsync/rename latency
+//!   ([`SaveStats`](mde_numeric::SaveStats)).
+//!
+//! # The determinism contract
+//!
+//! Metric *values* (counts, rows, evaluations, sample/ESS histograms) are
+//! bit-identical across thread counts and across checkpoint/resume; they
+//! participate in [`RunReport`](crate::resilience::RunReport) equality
+//! and persist in checkpoints. Wall-clock durations and I/O volumes are
+//! carried out-of-band: excluded from equality, absent from fingerprints,
+//! never written to or resumed from checkpoints. [`RunMetrics::merge`] is
+//! associative and order-insensitive, so parallel shards aggregate to
+//! exactly the sequential ledger.
+
+pub use mde_numeric::obs::{
+    span_record_json, Counter, FieldValue, Gauge, Histogram, JsonlSink, MemorySink, RunMetrics,
+    Span, SpanRecord, TraceSink, Tracer,
+};

@@ -41,7 +41,7 @@
 //! a [`StopCause`], and a final checkpoint from which resumption is
 //! bit-identical to an uninterrupted run.
 
-pub use mde_numeric::checkpoint::{CampaignState, CheckpointError, Fingerprint};
+pub use mde_numeric::checkpoint::{CampaignState, CheckpointError, Fingerprint, SaveStats};
 pub use mde_numeric::resilience::{
     catch_panic, retry_seed, supervise_replicate, AttemptFailure, CancelToken, CheckpointSpec,
     Deadline, ErrorClass, FailureKind, FailureRecord, Fault, FaultKind, FaultPlan,

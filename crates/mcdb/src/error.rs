@@ -40,6 +40,16 @@ pub enum McdbError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A row index (e.g. in a selection vector) pointed past the end of
+    /// the batch it selects from.
+    RowOutOfBounds {
+        /// The operation that consumed the index.
+        context: String,
+        /// The offending row index.
+        index: u64,
+        /// Number of rows actually available.
+        rows: usize,
+    },
     /// An error from the numeric substrate (VG functions, estimators).
     Numeric(mde_numeric::NumericError),
     /// A Monte Carlo estimation query produced a non-scalar result.
@@ -125,6 +135,14 @@ impl fmt::Display for McdbError {
                 "arity mismatch in {context}: expected {expected} values, found {found}"
             ),
             McdbError::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
+            McdbError::RowOutOfBounds {
+                context,
+                index,
+                rows,
+            } => write!(
+                f,
+                "row index {index} out of bounds in {context}: batch has {rows} rows"
+            ),
             McdbError::Numeric(e) => write!(f, "numeric error: {e}"),
             McdbError::NonScalarResult { rows, cols } => write!(
                 f,

@@ -214,6 +214,7 @@ impl MonteCarloQuery {
                 stopped = Some(cause);
                 break;
             }
+            let t0 = std::time::Instant::now();
             let outcome = self.supervised_iteration(
                 &prepared,
                 catalog,
@@ -224,8 +225,15 @@ impl MonteCarloQuery {
                 opts,
             );
             state.report.absorb(&outcome);
+            state
+                .report
+                .metrics
+                .observe_duration("mc.replicate", t0.elapsed());
             match outcome {
-                ReplicateOutcome::Success { value, .. } => state.completed.push((i, vec![value])),
+                ReplicateOutcome::Success { value, .. } => {
+                    state.report.metrics.observe("mc.sample", value);
+                    state.completed.push((i, vec![value]))
+                }
                 ReplicateOutcome::Dropped { .. } => {}
                 ReplicateOutcome::Abort { error, failures } => {
                     return Err(abort_error(error, &failures));
@@ -234,7 +242,10 @@ impl MonteCarloQuery {
             state.cursor = i + 1;
             if let Some(spec) = &opts.checkpoint {
                 if spec.due(state.cursor) {
-                    state.save(&spec.path).map_err(crate::McdbError::from)?;
+                    let stats = state
+                        .save_stats(&spec.path)
+                        .map_err(crate::McdbError::from)?;
+                    stats.record_into(&mut state.report.metrics);
                 }
             }
         }
@@ -307,7 +318,11 @@ impl MonteCarloQuery {
         opts: &RunOptions,
         mut state: CampaignState,
     ) -> crate::Result<McRun> {
-        type Entry = (u64, ReplicateOutcome<f64, crate::McdbError>);
+        type Entry = (
+            u64,
+            ReplicateOutcome<f64, crate::McdbError>,
+            std::time::Duration,
+        );
         type WorkerOut = (Vec<Entry>, Option<(u64, StopCause)>);
         let start = state.cursor;
         let remaining = (n as u64).saturating_sub(start) as usize;
@@ -341,6 +356,7 @@ impl MonteCarloQuery {
                             local_stop = Some((i, cause));
                             break;
                         }
+                        let t0 = std::time::Instant::now();
                         let outcome = spec.supervised_iteration(
                             prepared,
                             cat,
@@ -351,7 +367,7 @@ impl MonteCarloQuery {
                             opts,
                         );
                         let aborts = matches!(outcome, ReplicateOutcome::Abort { .. });
-                        entries.push((i, outcome));
+                        entries.push((i, outcome, t0.elapsed()));
                         if aborts {
                             // No worker needs to proceed past an abort; the
                             // merge decides whether it survives a stop.
@@ -383,18 +399,18 @@ impl MonteCarloQuery {
                 });
             }
         }
-        entries.sort_by_key(|(i, _)| *i);
+        entries.sort_by_key(|(i, _, _)| *i);
         let abort_at = entries
             .iter()
-            .find(|(_, o)| matches!(o, ReplicateOutcome::Abort { .. }))
-            .map(|(i, _)| *i);
+            .find(|(_, o, _)| matches!(o, ReplicateOutcome::Abort { .. }))
+            .map(|(i, _, _)| *i);
         if let Some(a) = abort_at {
             if stop.map(|(s, _)| a < s).unwrap_or(true) {
                 // The abort happens before any stop boundary: the
                 // sequential loop would have hit it and surfaced the error.
-                let (_, outcome) = entries
+                let (_, outcome, _) = entries
                     .into_iter()
-                    .find(|(i, _)| *i == a)
+                    .find(|(i, _, _)| *i == a)
                     .expect("abort entry present");
                 if let ReplicateOutcome::Abort { error, failures } = outcome {
                     return Err(abort_error(error, &failures));
@@ -403,7 +419,7 @@ impl MonteCarloQuery {
             }
         }
         let cut = stop.map(|(b, _)| b).unwrap_or(n as u64);
-        for (i, outcome) in entries {
+        for (i, outcome, elapsed) in entries {
             // Replicates at or past the stop boundary were executed by
             // workers that had not yet observed the stop; the sequential
             // run never reaches them, so they are discarded unabsorbed.
@@ -411,7 +427,12 @@ impl MonteCarloQuery {
                 continue;
             }
             state.report.absorb(&outcome);
+            state
+                .report
+                .metrics
+                .observe_duration("mc.replicate", elapsed);
             if let ReplicateOutcome::Success { value, .. } = outcome {
+                state.report.metrics.observe("mc.sample", value);
                 state.completed.push((i, vec![value]));
             }
         }
@@ -637,7 +658,10 @@ fn seal(
         }
     }
     if let Some(spec) = &opts.checkpoint {
-        state.save(&spec.path).map_err(crate::McdbError::from)?;
+        let stats = state
+            .save_stats(&spec.path)
+            .map_err(crate::McdbError::from)?;
+        stats.record_into(&mut state.report.metrics);
     }
     let samples = state.completed.iter().map(|(_, v)| v[0]).collect();
     Ok(McRun {

@@ -96,9 +96,27 @@ impl Batch {
         self.columns.iter().map(|c| c.value(i)).collect()
     }
 
+    /// Check that every index in a selection vector addresses a row of
+    /// this batch — the typed guard in front of the gather kernels, which
+    /// index unchecked. A malformed selection vector (an executor bug, or
+    /// a caller-supplied one) surfaces as
+    /// [`McdbError::RowOutOfBounds`](crate::McdbError::RowOutOfBounds)
+    /// instead of a panic deep inside a column kernel.
+    fn validate_sel(&self, context: &str, sel: &[u32]) -> crate::Result<()> {
+        match sel.iter().find(|&&i| i as usize >= self.len) {
+            None => Ok(()),
+            Some(&i) => Err(crate::McdbError::RowOutOfBounds {
+                context: context.into(),
+                index: i as u64,
+                rows: self.len,
+            }),
+        }
+    }
+
     /// Materialize a row-oriented [`Table`] named `name`, optionally
-    /// restricted/reordered by a selection vector.
-    pub fn to_table(&self, name: &str, sel: Option<&[u32]>) -> Table {
+    /// restricted/reordered by a selection vector. Fails with a typed
+    /// error if the selection vector addresses rows past the batch end.
+    pub fn to_table(&self, name: &str, sel: Option<&[u32]>) -> crate::Result<Table> {
         let mut out = Table::new(name, self.schema.clone());
         match sel {
             None => {
@@ -107,21 +125,24 @@ impl Batch {
                 }
             }
             Some(sel) => {
+                self.validate_sel("Batch::to_table", sel)?;
                 for &i in sel {
                     out.push_row_unchecked(self.row(i as usize));
                 }
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Gather a new batch by row index.
-    pub fn gather(&self, sel: &[u32]) -> Batch {
-        Batch {
+    /// Gather a new batch by row index. Fails with a typed error if the
+    /// selection vector addresses rows past the batch end.
+    pub fn gather(&self, sel: &[u32]) -> crate::Result<Batch> {
+        self.validate_sel("Batch::gather", sel)?;
+        Ok(Batch {
             schema: self.schema.clone(),
             columns: self.columns.iter().map(|c| c.gather(sel)).collect(),
             len: sel.len(),
-        }
+        })
     }
 }
 
@@ -153,7 +174,7 @@ mod tests {
         let t = sample();
         let b = Batch::from_table(&t);
         assert_eq!(b.len(), 3);
-        let back = b.to_table("sample", None);
+        let back = b.to_table("sample", None).unwrap();
         assert_eq!(back, t);
     }
 
@@ -162,13 +183,42 @@ mod tests {
         let t = sample();
         let b = Batch::from_table(&t);
         let sel = [2u32, 0u32];
-        let out = b.to_table("out", Some(&sel));
+        let out = b.to_table("out", Some(&sel)).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.rows()[0][0], Value::from(3));
         assert_eq!(out.rows()[1][0], Value::from(1));
 
-        let g = b.gather(&sel);
+        let g = b.gather(&sel).unwrap();
         assert_eq!(g.len(), 2);
         assert_eq!(g.row(0), t.rows()[2]);
+    }
+
+    #[test]
+    fn out_of_range_selection_is_a_typed_error_not_a_panic() {
+        let b = Batch::from_table(&sample());
+        let sel = [0u32, 3u32]; // batch has rows 0..=2
+        match b.to_table("out", Some(&sel)) {
+            Err(crate::McdbError::RowOutOfBounds {
+                context,
+                index,
+                rows,
+            }) => {
+                assert_eq!(context, "Batch::to_table");
+                assert_eq!((index, rows), (3, 3));
+            }
+            other => panic!("expected RowOutOfBounds, got {other:?}"),
+        }
+        match b.gather(&[u32::MAX]) {
+            Err(crate::McdbError::RowOutOfBounds { index, rows, .. }) => {
+                assert_eq!((index, rows), (u32::MAX as u64, 3));
+            }
+            other => panic!("expected RowOutOfBounds, got {other:?}"),
+        }
+        // The error is classified fatal: a malformed selection vector
+        // fails identically on every attempt.
+        use mde_numeric::{ErrorClass as _, Severity};
+        let e = b.gather(&[9]).unwrap_err();
+        assert_eq!(e.severity(), Severity::Fatal);
+        assert!(e.to_string().contains("row index 9"));
     }
 }

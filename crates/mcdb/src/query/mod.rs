@@ -89,6 +89,17 @@ impl Catalog {
         PreparedQuery::prepare(plan, self)?.execute(self)
     }
 
+    /// Execute a plan with structured tracing: one `query` root span plus
+    /// one child span per physical operator, routed to `tracer`'s sink.
+    /// See [`PreparedQuery::execute_traced`].
+    pub fn query_traced(
+        &self,
+        plan: &Plan,
+        tracer: &mde_numeric::obs::Tracer,
+    ) -> crate::Result<Table> {
+        PreparedQuery::prepare(plan, self)?.execute_traced(self, tracer)
+    }
+
     /// Execute a plan on the legacy row-at-a-time interpreter, without the
     /// optimizer. Kept as the reference semantics for differential tests
     /// of the planner and the vectorized engine.

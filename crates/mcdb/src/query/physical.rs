@@ -27,6 +27,7 @@ use crate::schema::{Column, DataType, Schema};
 use crate::table::{Row, Table};
 use crate::value::GroupKey;
 use crate::McdbError;
+use mde_numeric::obs::{Counter, Span, Tracer};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -157,6 +158,8 @@ impl PhysOp {
 pub struct PreparedQuery {
     root: PhysOp,
     schema: Schema,
+    /// Lifetime execution count of this prepared plan (clones snapshot).
+    executions: Counter,
 }
 
 impl PreparedQuery {
@@ -178,12 +181,21 @@ impl PreparedQuery {
 
     fn lower(plan: &Plan, catalog: &Catalog) -> crate::Result<PreparedQuery> {
         let (root, schema) = build(plan, catalog)?;
-        Ok(PreparedQuery { root, schema })
+        Ok(PreparedQuery {
+            root,
+            schema,
+            executions: Counter::new(),
+        })
     }
 
     /// The result schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// How many times this prepared plan has been executed.
+    pub fn executions(&self) -> u64 {
+        self.executions.get()
     }
 
     /// Execute against a catalog, materializing the result table.
@@ -193,10 +205,24 @@ impl PreparedQuery {
     /// per-replicate scratch catalogs); scanned tables must still exist
     /// with the schema seen at prepare time.
     pub fn execute(&self, catalog: &Catalog) -> crate::Result<Table> {
-        let chunk = run(&self.root, catalog)?;
-        Ok(chunk
+        self.execute_traced(catalog, &Tracer::disabled())
+    }
+
+    /// Execute with structured tracing: one `query` root span, one child
+    /// span per physical operator (in execution order) carrying row counts
+    /// and — for scans — table names and batch-cache reuse. With the
+    /// disabled tracer this is exactly [`PreparedQuery::execute`]: spans
+    /// are inert and nothing allocates.
+    pub fn execute_traced(&self, catalog: &Catalog, tracer: &Tracer) -> crate::Result<Table> {
+        self.executions.inc();
+        let mut span = tracer.root("query");
+        span.record("exec", self.executions.get());
+        let chunk = run(&self.root, catalog, &span)?;
+        let table = chunk
             .batch
-            .to_table(self.root.result_name(), chunk.sel_slice()))
+            .to_table(self.root.result_name(), chunk.sel_slice())?;
+        span.record("rows_out", table.len());
+        Ok(table)
     }
 }
 
@@ -360,20 +386,32 @@ fn build(plan: &Plan, catalog: &Catalog) -> crate::Result<(PhysOp, Schema)> {
     }
 }
 
-fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
+fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
     match op {
         PhysOp::Scan { table, schema } => {
+            let mut span = parent.child("scan");
             let t = catalog.get(table)?;
             if t.schema() != schema {
                 return Err(McdbError::invalid_plan(format!(
                     "prepared plan is stale: schema of table `{table}` changed since prepare"
                 )));
             }
-            Ok(Chunk::from_batch(t.batch()))
+            span.record("table", table.as_str());
+            span.record("cache_hit", t.batch_is_cached());
+            let chunk = Chunk::from_batch(t.batch());
+            span.record("rows", chunk.len());
+            Ok(chunk)
         }
-        PhysOp::Values { batch, .. } => Ok(Chunk::from_batch(Arc::clone(batch))),
+        PhysOp::Values { name, batch } => {
+            let mut span = parent.child("values");
+            span.record("table", name.as_str());
+            span.record("rows", batch.len());
+            Ok(Chunk::from_batch(Arc::clone(batch)))
+        }
         PhysOp::Filter { input, predicate } => {
-            let chunk = run(input, catalog)?;
+            let mut span = parent.child("filter");
+            let chunk = run(input, catalog, &span)?;
+            span.record("rows_in", chunk.len());
             let pred = predicate.eval_batch(&chunk.batch, chunk.sel_slice())?;
             let mut sel = Vec::new();
             match &pred {
@@ -398,6 +436,7 @@ fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
                     }
                 }
             }
+            span.record("rows_out", sel.len());
             Ok(Chunk {
                 batch: chunk.batch,
                 sel: Some(sel),
@@ -408,8 +447,10 @@ fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
             exprs,
             schema,
         } => {
-            let chunk = run(input, catalog)?;
+            let mut span = parent.child("project");
+            let chunk = run(input, catalog, &span)?;
             let len = chunk.len();
+            span.record("rows", len);
             let mut cols = Vec::with_capacity(exprs.len());
             for (b, col) in exprs.iter().zip(schema.columns()) {
                 let c = b
@@ -428,9 +469,12 @@ fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
             right_keys,
             schema,
         } => {
-            let lc = run(left, catalog)?;
-            let rc = run(right, catalog)?;
+            let mut span = parent.child("join");
+            let lc = run(left, catalog, &span)?;
+            let rc = run(right, catalog, &span)?;
             let (l_lanes, r_lanes) = (lc.len(), rc.len());
+            span.record("left_rows", l_lanes);
+            span.record("right_rows", r_lanes);
 
             // Lane-space join key; None when any key part is Null (SQL
             // inner-join semantics: Null keys never match).
@@ -498,6 +542,7 @@ fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
             for c in rc.batch.columns() {
                 cols.push(c.gather(&r_sel));
             }
+            span.record("rows_out", pairs.len());
             let batch = Batch::from_columns(schema.clone(), cols, pairs.len())?;
             Ok(Chunk::from_batch(Arc::new(batch)))
         }
@@ -508,8 +553,10 @@ fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
             agg_args,
             schema,
         } => {
-            let chunk = run(input, catalog)?;
+            let mut span = parent.child("aggregate");
+            let chunk = run(input, catalog, &span)?;
             let lanes = chunk.len();
+            span.record("rows_in", lanes);
             // Argument expressions evaluate once as whole columns.
             let arg_cols: Vec<Option<ColumnVec>> = agg_args
                 .iter()
@@ -563,11 +610,14 @@ fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
                     out.push_row(row)?;
                 }
             }
+            span.record("groups", out.len());
             Ok(Chunk::from_batch(out.batch()))
         }
         PhysOp::Sort { input, keys } => {
-            let chunk = run(input, catalog)?;
+            let mut span = parent.child("sort");
+            let chunk = run(input, catalog, &span)?;
             let lanes = chunk.len();
+            span.record("rows", lanes);
             // Precompute whole key columns so the comparator is infallible.
             let key_cols: Vec<(ColumnVec, bool)> = keys
                 .iter()
@@ -591,7 +641,9 @@ fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
             })
         }
         PhysOp::Limit { input, n } => {
-            let chunk = run(input, catalog)?;
+            let mut span = parent.child("limit");
+            let chunk = run(input, catalog, &span)?;
+            span.record("rows_in", chunk.len());
             let n = *n;
             let sel = match chunk.sel {
                 Some(mut s) => {
@@ -606,10 +658,12 @@ fn run(op: &PhysOp, catalog: &Catalog) -> crate::Result<Chunk> {
                     }
                 }
             };
-            Ok(Chunk {
+            let out = Chunk {
                 batch: chunk.batch,
                 sel,
-            })
+            };
+            span.record("rows_out", out.len());
+            Ok(out)
         }
     }
 }

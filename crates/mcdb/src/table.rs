@@ -101,6 +101,13 @@ impl Table {
         )
     }
 
+    /// Whether the columnar batch is already transposed and cached — i.e.
+    /// whether the next [`Table::batch`] call is a cache hit. Exposed so
+    /// the traced executor can report batch-cache reuse per scan.
+    pub fn batch_is_cached(&self) -> bool {
+        self.batch_cache.get().is_some()
+    }
+
     /// Append a validated row.
     pub fn push_row(&mut self, row: Row) -> crate::Result<()> {
         self.schema.validate_row(&row)?;

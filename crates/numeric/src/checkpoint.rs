@@ -33,6 +33,37 @@ use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// What one crash-consistent [`CampaignState::save_stats`] cost: the
+/// encoded size and the latency of the two durability syscalls. These are
+/// out-of-band measurements — callers record them via
+/// [`RunMetrics::add_io`](crate::obs::RunMetrics::add_io) /
+/// [`observe_duration`](crate::obs::RunMetrics::observe_duration), never
+/// in deterministic state.
+#[derive(Debug, Clone, Copy)]
+pub struct SaveStats {
+    /// Bytes written (header + body).
+    pub bytes: u64,
+    /// Wall-clock time of the temp-file `fsync`.
+    pub fsync: Duration,
+    /// Wall-clock time of the atomic rename plus the parent-directory
+    /// sync.
+    pub rename: Duration,
+}
+
+impl SaveStats {
+    /// Fold this save into a ledger's out-of-band section: `ckpt.bytes`
+    /// and `ckpt.saves` I/O counters, `ckpt.fsync` and `ckpt.rename`
+    /// duration histograms. Out-of-band by construction — none of it
+    /// enters equality, fingerprints, or resumed state.
+    pub fn record_into(&self, metrics: &mut crate::obs::RunMetrics) {
+        metrics.add_io("ckpt.bytes", self.bytes);
+        metrics.add_io("ckpt.saves", 1);
+        metrics.observe_duration("ckpt.fsync", self.fsync);
+        metrics.observe_duration("ckpt.rename", self.rename);
+    }
+}
 
 /// File magic: `MDECKPT` + format version `1`.
 pub const MAGIC: [u8; 8] = *b"MDECKPT1";
@@ -276,6 +307,29 @@ impl CampaignState {
             body.push(encode_failure_kind(fr.kind));
             put_str(&mut body, &fr.message);
         }
+        // Metrics ledger — deterministic values only. Out-of-band
+        // wall-clock/I/O measurements never persist, so a resumed run
+        // restarts them from zero without affecting report equality.
+        let metrics = &self.report.metrics;
+        put_u64(&mut body, metrics.counter_entries().count() as u64);
+        for (name, v) in metrics.counter_entries() {
+            put_str(&mut body, name);
+            put_u64(&mut body, v);
+        }
+        put_u64(&mut body, metrics.histogram_entries().count() as u64);
+        for (name, h) in metrics.histogram_entries() {
+            put_str(&mut body, name);
+            put_u64(&mut body, h.nonfinite());
+            // Option<f64> with a NaN sentinel: observed extrema are
+            // always finite, so NaN is unambiguous.
+            put_u64(&mut body, h.min().unwrap_or(f64::NAN).to_bits());
+            put_u64(&mut body, h.max().unwrap_or(f64::NAN).to_bits());
+            put_u64(&mut body, h.raw_buckets().count() as u64);
+            for (key, count) in h.raw_buckets() {
+                put_u64(&mut body, key as u64);
+                put_u64(&mut body, count);
+            }
+        }
         // Completed ledger.
         put_u64(&mut body, self.completed.len() as u64);
         for (idx, payload) in &self.completed {
@@ -339,6 +393,30 @@ impl CampaignState {
                 message,
             });
         }
+        let n_counters = cur.take_len()?;
+        for _ in 0..n_counters {
+            let name = cur.take_str()?;
+            let v = cur.take_u64()?;
+            report.metrics.set_counter(name, v);
+        }
+        let n_hists = cur.take_len()?;
+        for _ in 0..n_hists {
+            let name = cur.take_str()?;
+            let nonfinite = cur.take_u64()?;
+            let min = Some(cur.take_f64()?).filter(|v| !v.is_nan());
+            let max = Some(cur.take_f64()?).filter(|v| !v.is_nan());
+            let n_buckets = cur.take_len()?;
+            let mut buckets = Vec::with_capacity(n_buckets);
+            for _ in 0..n_buckets {
+                let key = cur.take_u64()? as i64;
+                let count = cur.take_u64()?;
+                buckets.push((key, count));
+            }
+            report.metrics.set_histogram(
+                name,
+                crate::obs::Histogram::from_raw(buckets, nonfinite, min, max),
+            );
+        }
         let n_completed = cur.take_len()?;
         let mut completed = Vec::with_capacity(n_completed.min(1 << 20));
         for _ in 0..n_completed {
@@ -381,6 +459,16 @@ impl CampaignState {
     /// leaves either the previous checkpoint or this one — never a torn
     /// file.
     pub fn save(&self, path: &Path) -> Result<()> {
+        self.save_stats(path).map(|_| ())
+    }
+
+    /// [`CampaignState::save`], additionally reporting how much was
+    /// written and how long the durability syscalls took — the codec's
+    /// observability surface. Callers feed the stats into a
+    /// [`RunMetrics`](crate::obs::RunMetrics) ledger's *out-of-band*
+    /// section: bytes and latencies vary run to run, so they must never
+    /// enter fingerprints, equality, or resumed state.
+    pub fn save_stats(&self, path: &Path) -> Result<SaveStats> {
         let io_err = |e: std::io::Error, p: &Path| CheckpointError::Io {
             path: p.display().to_string(),
             message: e.to_string(),
@@ -389,11 +477,15 @@ impl CampaignState {
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
         let bytes = self.encode();
+        let fsync;
         {
             let mut f = fs::File::create(&tmp).map_err(|e| io_err(e, &tmp))?;
             f.write_all(&bytes).map_err(|e| io_err(e, &tmp))?;
+            let t0 = Instant::now();
             f.sync_all().map_err(|e| io_err(e, &tmp))?;
+            fsync = t0.elapsed();
         }
+        let t0 = Instant::now();
         fs::rename(&tmp, path).map_err(|e| io_err(e, path))?;
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             // Durability of the rename requires the directory entry to hit
@@ -403,7 +495,11 @@ impl CampaignState {
                 let _ = d.sync_all();
             }
         }
-        Ok(())
+        Ok(SaveStats {
+            bytes: bytes.len() as u64,
+            fsync,
+            rename: t0.elapsed(),
+        })
     }
 
     /// Load and fully verify a checkpoint from disk (magic, checksum,
@@ -539,6 +635,15 @@ mod tests {
         });
         s.floats = vec![3.25, f64::INFINITY];
         s.ints = vec![9, u64::MAX];
+        s.report.metrics.add("replicates.attempted", 7);
+        s.report.metrics.observe("mc.sample", 1.5);
+        s.report.metrics.observe("mc.sample", -20.0);
+        s.report.metrics.observe("mc.sample", f64::NAN);
+        // Out-of-band entries must NOT survive the codec.
+        s.report.metrics.add_io("ckpt.bytes", 4096);
+        s.report
+            .metrics
+            .observe_duration("mc.replicate", Duration::from_millis(3));
         s
     }
 
@@ -553,6 +658,15 @@ mod tests {
         assert!(decoded.completed[1].1[0].is_nan());
         assert!(decoded.completed[1].1[1].is_sign_negative());
         assert_eq!(decoded.report.failures[0].message, "boom — unicode too: ∞");
+        // Deterministic metrics round-trip; out-of-band entries do not.
+        assert_eq!(decoded.report.metrics, sample_state().report.metrics);
+        assert_eq!(decoded.report.metrics.counter("replicates.attempted"), 7);
+        let h = decoded.report.metrics.histogram("mc.sample").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nonfinite(), 1);
+        assert_eq!((h.min(), h.max()), (Some(-20.0), Some(1.5)));
+        assert_eq!(decoded.report.metrics.io_counter("ckpt.bytes"), 0);
+        assert!(decoded.report.metrics.duration("mc.replicate").is_none());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   It lives here, at the bottom of the dependency graph, so every
 //!   execution layer (Monte Carlo queries, composite plans, particle
 //!   filters) can speak it; `mde-core` re-exports it as the public API.
+//! * [`obs`] — the observability substrate: span-style structured
+//!   tracing with pluggable sinks, lock-free counters/gauges, mergeable
+//!   log-linear histograms, and the per-run [`RunMetrics`](obs::RunMetrics)
+//!   ledger attached to every [`RunReport`] — deterministic metric values
+//!   (bit-identical across thread counts and checkpoint/resume) with
+//!   wall-clock measurements carried out-of-band.
 //! * [`checkpoint`] — durable-campaign persistence: the serializable
 //!   [`CampaignState`] with its crash-consistent on-disk codec and the
 //!   seed/spec [`Fingerprint`] that guards resumption, shared by every
@@ -43,13 +49,15 @@ pub mod dist;
 pub mod error;
 pub mod kde;
 pub mod linalg;
+pub mod obs;
 pub mod optim;
 pub mod resilience;
 pub mod rng;
 pub mod stats;
 
-pub use checkpoint::{CampaignState, CheckpointError, Fingerprint};
+pub use checkpoint::{CampaignState, CheckpointError, Fingerprint, SaveStats};
 pub use error::NumericError;
+pub use obs::{Counter, Gauge, Histogram, RunMetrics, Span, TraceSink, Tracer};
 pub use resilience::{
     CancelToken, CheckpointSpec, Deadline, ErrorClass, RunPolicy, RunReport, Severity, StopCause,
 };

@@ -234,6 +234,14 @@ pub struct RunReport {
     /// Set when the estimate is based on fewer samples than requested, so
     /// confidence intervals are wider than the caller asked for.
     pub ci_widened: bool,
+    /// The per-run metrics ledger (see [`crate::obs`]): replicate
+    /// counters accumulate here automatically on every
+    /// [`RunReport::absorb`], and execution surfaces add their own
+    /// counters, value histograms, and out-of-band latency/I/O
+    /// measurements. Deterministic values are bit-identical across
+    /// thread counts and checkpoint/resume; out-of-band entries are
+    /// excluded from equality and persistence.
+    pub metrics: crate::obs::RunMetrics,
 }
 
 impl RunReport {
@@ -242,25 +250,36 @@ impl RunReport {
         RunReport::default()
     }
 
-    /// Fold one replicate outcome into the ledger.
+    /// Fold one replicate outcome into the ledger. The metrics ledger
+    /// accumulates the same counts, so every supervised surface carries
+    /// deterministic `replicates.*` / `attempts.*` metrics for free.
     pub fn absorb<T, E>(&mut self, outcome: &ReplicateOutcome<T, E>) {
         self.attempted += 1;
+        self.metrics.inc("replicates.attempted");
         let failures = match outcome {
             ReplicateOutcome::Success { failures, .. } => {
                 self.succeeded += 1;
+                self.metrics.inc("replicates.succeeded");
                 self.retried += failures.len();
+                self.metrics.add("attempts.retried", failures.len() as u64);
                 failures
             }
             ReplicateOutcome::Dropped { failures } => {
                 self.dropped += 1;
-                self.retried += failures.len().saturating_sub(1);
+                self.metrics.inc("replicates.dropped");
+                let r = failures.len().saturating_sub(1);
+                self.retried += r;
+                self.metrics.add("attempts.retried", r as u64);
                 failures
             }
             ReplicateOutcome::Abort { failures, .. } => {
-                self.retried += failures.len().saturating_sub(1);
+                let r = failures.len().saturating_sub(1);
+                self.retried += r;
+                self.metrics.add("attempts.retried", r as u64);
                 failures
             }
         };
+        self.metrics.add("attempts.failed", failures.len() as u64);
         self.failures.extend(failures.iter().cloned());
         self.ci_widened = self.dropped > 0;
     }
@@ -274,6 +293,7 @@ impl RunReport {
         self.dropped += other.dropped;
         self.failures.extend(other.failures);
         self.ci_widened = self.dropped > 0;
+        self.metrics.merge(&other.metrics);
     }
 
     /// Sort the ledger by `(replicate, attempt)` so sequential and

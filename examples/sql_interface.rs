@@ -5,11 +5,14 @@
 //!
 //! Run with: `cargo run --example sql_interface`
 
+use model_data_ecosystems::core::obs::{JsonlSink, Tracer};
+use model_data_ecosystems::core::resilience::RunOptions;
 use model_data_ecosystems::mcdb::mc::MonteCarloQuery;
 use model_data_ecosystems::mcdb::prelude::*;
 use model_data_ecosystems::mcdb::query::PreparedQuery;
 use model_data_ecosystems::mcdb::sql::{parse_create_random_table, plan_from_sql, VgRegistry};
 use model_data_ecosystems::numeric::rng::rng_from_seed;
+use std::sync::Arc;
 
 fn main() {
     // ---- Ordinary tables.
@@ -92,7 +95,10 @@ fn main() {
     let question = "SELECT COUNT(*) AS n FROM SBP_DATA WHERE SBP >= 140 AND AGE > 50";
     let plan = plan_from_sql(question).expect("valid SQL");
     let mc = MonteCarloQuery::new(vec![spec], plan);
-    let res = mc.run_parallel(&db, 500, 7, 4).expect("Monte Carlo run");
+    let run = mc
+        .run_parallel_with_options(&db, 500, 7, 4, &RunOptions::default())
+        .expect("Monte Carlo run");
+    let res = &run.result;
     println!("Monte Carlo over: {question}");
     println!(
         "  mean count: {:.1}   95% of realizations within [{:.0}, {:.0}]",
@@ -102,4 +108,23 @@ fn main() {
     );
     let ci = res.mean_ci(0.95).expect("ci");
     println!("  95% CI for the mean: [{:.1}, {:.1}]", ci.lo, ci.hi);
+
+    // ---- Every run carries a metrics ledger: deterministic counters and
+    // value histograms (bit-identical at any thread count) plus
+    // out-of-band latency/IO observations.
+    println!("\nrun metrics ledger:\n{}", run.report.metrics.render());
+
+    // ---- Optionally attach a structured trace: set MDE_TRACE_JSONL to a
+    // file path to capture one traced execution of the analysis query as
+    // one JSON object per span.
+    if let Ok(path) = std::env::var("MDE_TRACE_JSONL") {
+        let file = std::fs::File::create(&path).expect("trace file");
+        let sink = Arc::new(JsonlSink::new(file));
+        let tracer = Tracer::new(sink);
+        realized
+            .query_traced(&analysis, &tracer)
+            .expect("traced query");
+        drop(tracer);
+        println!("span trace written to {path}");
+    }
 }
