@@ -1,0 +1,145 @@
+//! Criterion benchmarks for the GP/kriging kernel layer: workspace-cached
+//! blocked fits vs the retained rebuild-everything oracle, stochastic
+//! kriging, batch prediction, and the kriging-calibration infill loop
+//! with and without incremental (rank-1 border) surrogate updates.
+//!
+//! Run with `cargo bench -p mde-bench --bench gp_kernels`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mde_calibrate::kriging_cal::{kriging_calibrate, KrigingCalConfig};
+use mde_calibrate::optim::Bounds;
+use mde_metamodel::gp::{GpConfig, GpModel};
+use mde_numeric::rng::rng_from_seed;
+use rand::Rng as _;
+
+const DIM: usize = 3;
+/// Equal likelihood-evaluation budget on both fit paths so the bench
+/// compares per-evaluation cost, not search luck.
+const FIT_EVALS: usize = 40;
+
+fn design(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = rng_from_seed(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (3.0 * x[0]).sin() * (1.0 + x[1]) + 0.5 * x[2] * x[2])
+        .collect();
+    (xs, ys)
+}
+
+fn fit_cfg(threads: usize) -> GpConfig {
+    GpConfig {
+        max_evals: FIT_EVALS,
+        threads,
+        ..GpConfig::default()
+    }
+}
+
+/// Workspace/blocked fit vs the rebuild-everything scalar oracle.
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit");
+    group.sample_size(10);
+    for n in [64usize, 256, 512] {
+        let (xs, ys) = design(n, 21);
+        let noise = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("workspace_blocked", n), &n, |b, _| {
+            b.iter(|| black_box(GpModel::fit(black_box(&xs), &ys, &fit_cfg(1)).unwrap()))
+        });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("unoptimized_oracle", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        GpModel::fit_unoptimized(black_box(&xs), &ys, &noise, &fit_cfg(1)).unwrap(),
+                    )
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("workspace_blocked_t8", n), &n, |b, _| {
+            b.iter(|| black_box(GpModel::fit(black_box(&xs), &ys, &fit_cfg(8)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Stochastic kriging (replication-noise diagonal) at the same sizes.
+fn bench_fit_stochastic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit_stochastic");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let (xs, ys) = design(n, 22);
+        let noise = vec![0.05; n];
+        group.bench_with_input(BenchmarkId::new("workspace_blocked", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    GpModel::fit_stochastic(black_box(&xs), &ys, &noise, &fit_cfg(1)).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Batch prediction: sequential vs 8 row-partitioned workers.
+fn bench_predict(c: &mut Criterion) {
+    let (xs, ys) = design(256, 23);
+    let gp = GpModel::fit(&xs, &ys, &fit_cfg(1)).unwrap();
+    let queries: Vec<Vec<f64>> = design(2048, 24).0;
+    let mut group = c.benchmark_group("gp_predict_batch");
+    group.sample_size(10);
+    for threads in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("predict_2048", threads),
+            &threads,
+            |b, &t| b.iter(|| black_box(gp.predict_batch(black_box(&queries), t))),
+        );
+    }
+    group.finish();
+}
+
+/// The kriging-calibration infill loop: full refit every round vs rank-1
+/// incremental updates between anchor refits.
+fn bench_infill(c: &mut Criterion) {
+    let bounds = Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)]).unwrap();
+    let objective = |x: &[f64], _rep: usize| {
+        let a = x[0] - 0.6;
+        let b = x[1] - 0.3;
+        3.0 * a * a + 2.0 * b * b + 0.5 * a * b
+    };
+    let mut group = c.benchmark_group("gp_infill");
+    group.sample_size(10);
+    for (label, refit_every) in [("refit_every_round", 1usize), ("incremental", 3)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(11);
+                black_box(
+                    kriging_calibrate(
+                        objective,
+                        &bounds,
+                        &KrigingCalConfig {
+                            design_runs: 33,
+                            infill_rounds: 6,
+                            refit_every,
+                            ..KrigingCalConfig::default()
+                        },
+                        &mut rng,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fit,
+    bench_fit_stochastic,
+    bench_predict,
+    bench_infill
+);
+criterion_main!(benches);

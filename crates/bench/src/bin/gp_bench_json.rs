@@ -1,0 +1,301 @@
+//! Emit `BENCH_gp.json`: wall-clock measurements of the GP kernel layer —
+//! workspace/blocked fits vs the rebuild-everything oracle, and the
+//! kriging-calibration infill loop vs the retained pre-optimization loop
+//! (scalar refit every round).
+//!
+//! Usage: `cargo run --release -p mde-bench --bin gp_bench_json [-- --quick]`
+//!
+//! Writes `BENCH_gp.json` into the current directory and prints it to
+//! stdout. `--quick` shrinks sizes and repetitions to a CI smoke run (and
+//! skips the file write so CI never dirties the tree). The RNG seed is
+//! taken from `MDE_CHAOS_SEED` when set (the CI chaos matrix), so the
+//! smoke run exercises different designs per lane while staying
+//! deterministic within one.
+//!
+//! Methodology: every speedup is measured as the **median of per-rep
+//! ratios with the two paths timed back-to-back inside each rep**, so
+//! slow load drift on a shared machine cancels out of the ratio instead
+//! of polluting one side.
+
+use std::time::Instant;
+
+use mde_calibrate::kriging_cal::{
+    kriging_calibrate_unoptimized, kriging_calibrate_with, KrigingCalConfig,
+};
+use mde_calibrate::optim::Bounds;
+use mde_metamodel::gp::{GpConfig, GpModel};
+use mde_numeric::obs::RunMetrics;
+use mde_numeric::rng::rng_from_seed;
+use rand::Rng as _;
+
+const DIM: usize = 3;
+const FIT_EVALS: usize = 40;
+
+fn design(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = rng_from_seed(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (3.0 * x[0]).sin() * (1.0 + x[1]) + 0.5 * x[2] * x[2])
+        .collect();
+    (xs, ys)
+}
+
+fn fit_cfg(threads: usize) -> GpConfig {
+    GpConfig {
+        max_evals: FIT_EVALS,
+        threads,
+        ..GpConfig::default()
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn once_ms(f: &mut dyn FnMut()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Median-of-`reps` wall time, in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    median((0..reps).map(|_| once_ms(&mut f)).collect())
+}
+
+/// Interleaved measurement of several paths: each rep times every closure
+/// back-to-back. Returns per-path median times in closure order.
+fn time_interleaved(reps: usize, fs: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); fs.len()];
+    for _ in 0..reps {
+        for (slot, f) in samples.iter_mut().zip(fs.iter_mut()) {
+            slot.push(once_ms(*f));
+        }
+    }
+    samples.into_iter().map(median).collect()
+}
+
+/// Median of per-rep `slow/fast` ratios, both timed inside the same rep.
+fn speedup(reps: usize, mut fast: impl FnMut(), mut slow: impl FnMut()) -> (f64, f64, f64) {
+    let mut tf = Vec::with_capacity(reps);
+    let mut ts = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let f = once_ms(&mut fast);
+        let s = once_ms(&mut slow);
+        tf.push(f);
+        ts.push(s);
+        ratios.push(s / f);
+    }
+    (median(tf), median(ts), median(ratios))
+}
+
+struct Entry {
+    name: String,
+    value_ms: f64,
+    note: String,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed: u64 = std::env::var("MDE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let reps = if quick { 1 } else { 7 };
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 256, 512] };
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Fit: workspace/blocked vs the rebuild-everything oracle, timed
+    // back-to-back per rep.
+    for &n in sizes {
+        let (xs, ys) = design(n, seed);
+        let noise = vec![0.0; n];
+        if n <= 256 {
+            let (fast, slow, ratio) = speedup(
+                reps,
+                || {
+                    GpModel::fit(&xs, &ys, &fit_cfg(1)).expect("fit");
+                },
+                || {
+                    GpModel::fit_unoptimized(&xs, &ys, &noise, &fit_cfg(1)).expect("fit");
+                },
+            );
+            entries.push(Entry {
+                name: format!("fit_workspace_blocked_n{n}"),
+                value_ms: fast,
+                note: format!("{FIT_EVALS}-eval NM search, cached workspace + blocked Cholesky"),
+            });
+            entries.push(Entry {
+                name: format!("fit_unoptimized_oracle_n{n}"),
+                value_ms: slow,
+                note: "same search, per-eval rebuild + scalar Cholesky (pre-PR path)".into(),
+            });
+            entries.push(Entry {
+                name: format!("fit_speedup_n{n}"),
+                value_ms: ratio,
+                note: "median per-rep oracle/blocked wall-time ratio (x)".into(),
+            });
+        } else {
+            let fast = time_ms(reps, || {
+                GpModel::fit(&xs, &ys, &fit_cfg(1)).expect("fit");
+            });
+            entries.push(Entry {
+                name: format!("fit_workspace_blocked_n{n}"),
+                value_ms: fast,
+                note: format!("{FIT_EVALS}-eval NM search, cached workspace + blocked Cholesky"),
+            });
+        }
+        if n >= 256 {
+            let par = time_ms(reps, || {
+                GpModel::fit(&xs, &ys, &fit_cfg(8)).expect("fit");
+            });
+            entries.push(Entry {
+                name: format!("fit_workspace_blocked_t8_n{n}"),
+                value_ms: par,
+                note: "8-thread row-partitioned assembly (bit-identical)".into(),
+            });
+        }
+    }
+
+    // Infill loop: the retained pre-PR loop (scalar refit every round)
+    // vs the new path refitting every round vs incremental borders.
+    let bounds = Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)]).expect("bounds");
+    let objective = |x: &[f64], _rep: usize| {
+        let a = x[0] - 0.6;
+        let b = x[1] - 0.3;
+        3.0 * a * a + 2.0 * b * b + 0.5 * a * b
+    };
+    let (design_runs, infill_rounds) = if quick { (17, 3) } else { (65, 8) };
+    let cal_cfg = |refit_every: usize| KrigingCalConfig {
+        design_runs,
+        infill_rounds,
+        refit_every,
+        ..KrigingCalConfig::default()
+    };
+    let mut m_full = RunMetrics::new();
+    let mut m_incr = RunMetrics::new();
+    {
+        let infill_reps = if quick { 1 } else { 5 };
+        let mut ratios = Vec::with_capacity(infill_reps);
+        let mut times: [Vec<f64>; 3] = std::array::from_fn(|_| Vec::new());
+        for _ in 0..infill_reps {
+            let mut pre_pr = || {
+                let mut rng = rng_from_seed(seed ^ 0x5eed);
+                kriging_calibrate_unoptimized(objective, &bounds, &cal_cfg(1), &mut rng)
+                    .expect("calibration");
+            };
+            let mut full = || {
+                let mut rng = rng_from_seed(seed ^ 0x5eed);
+                m_full = RunMetrics::new();
+                kriging_calibrate_with(
+                    objective,
+                    &bounds,
+                    &cal_cfg(1),
+                    &mut rng,
+                    Some(&mut m_full),
+                )
+                .expect("calibration");
+            };
+            let mut incr = || {
+                let mut rng = rng_from_seed(seed ^ 0x5eed);
+                m_incr = RunMetrics::new();
+                kriging_calibrate_with(
+                    objective,
+                    &bounds,
+                    &cal_cfg(3),
+                    &mut rng,
+                    Some(&mut m_incr),
+                )
+                .expect("calibration");
+            };
+            let t = time_interleaved(1, &mut [&mut pre_pr, &mut full, &mut incr]);
+            ratios.push(t[0] / t[2]);
+            for (slot, v) in times.iter_mut().zip(&t) {
+                slot.push(*v);
+            }
+        }
+        let labels = [
+            (
+                "infill_pre_pr_ms",
+                "retained pre-PR loop: scalar refit every round".to_string(),
+            ),
+            (
+                "infill_refit_every_round_ms",
+                format!(
+                    "fast fit every round; factorizations={}",
+                    m_full.counter("gp.factorizations")
+                ),
+            ),
+            (
+                "infill_incremental_ms",
+                format!(
+                    "anchor refits + rank-1 borders; factorizations={} extends={}",
+                    m_incr.counter("gp.factorizations"),
+                    m_incr.counter("gp.extends")
+                ),
+            ),
+        ];
+        for ((name, note), t) in labels.into_iter().zip(times) {
+            entries.push(Entry {
+                name: name.to_string(),
+                value_ms: median(t),
+                note: format!("{design_runs}-run NOLH + {infill_rounds} rounds; {note}"),
+            });
+        }
+        entries.push(Entry {
+            name: "infill_speedup".into(),
+            value_ms: median(ratios),
+            note: "median per-rep pre-PR/incremental wall-time ratio (x)".into(),
+        });
+    }
+
+    // Batch prediction scaling.
+    {
+        let n = if quick { 64 } else { 256 };
+        let (xs, ys) = design(n, seed);
+        let gp = GpModel::fit(&xs, &ys, &fit_cfg(1)).expect("fit");
+        let queries = design(2048, seed ^ 0xbeef).0;
+        for threads in [1usize, 8] {
+            let t = time_ms(reps, || {
+                gp.predict_batch(&queries, threads);
+            });
+            entries.push(Entry {
+                name: format!("predict_batch_2048_t{threads}"),
+                value_ms: t,
+                note: format!("2048 predictions on an n={n} surrogate"),
+            });
+        }
+    }
+
+    // Hand-rolled JSON: stable field order, no serializer dependency.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"gp_kernels\",\n  \"seed\": {seed},\n"
+    ));
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"value\": {:.3}, \"note\": \"{}\"}}{}\n",
+            e.name,
+            e.value_ms,
+            e.note,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    print!("{json}");
+    if !quick {
+        std::fs::write("BENCH_gp.json", &json).expect("write BENCH_gp.json");
+        eprintln!("wrote BENCH_gp.json");
+    }
+}

@@ -1,0 +1,355 @@
+//! Kernel-matrix workspaces for GP fitting — the memoized half of the
+//! §4.1 hot path.
+//!
+//! Every negative-log-likelihood evaluation inside [`crate::gp::GpModel`]
+//! needs the covariance matrix of equation (5),
+//! `Σ_M(xᵢ, xⱼ) = τ² Π_k exp(−θ_k (x_{i,k} − x_{j,k})²)`, at a fresh
+//! `(τ², θ)`. The design points never change during a fit, so the
+//! per-dimension squared differences `(x_{i,k} − x_{j,k})²` are computed
+//! **once** here and stored dimension-major over the packed strict lower
+//! triangle; each candidate evaluation is then a cached fill —
+//! `Σ θ_k·sqd_k` streamed over contiguous slices, one `exp` per pair —
+//! followed by an in-place blocked factorization, with zero allocation.
+//!
+//! The workspace survives [`KernelWorkspace::push`] (infill appends only
+//! the new point's pair row), so kriging-assisted calibration reuses it
+//! across *all* hyperparameter candidates *and* all infill rounds.
+//!
+//! Assembly can be row-partitioned across scoped threads
+//! ([`crate::gp::GpConfig::threads`]). Every matrix entry is a pure
+//! function of the inputs and each thread writes a disjoint row band, so
+//! the filled matrix is bit-identical at any thread count — the same
+//! determinism contract as the `mc.rs`/`dsgd.rs` runners.
+
+use mde_numeric::linalg::{kernels, Matrix};
+use mde_numeric::NumericError;
+
+/// Pre-computed pairwise squared differences plus the scratch buffers for
+/// allocation-free likelihood evaluations.
+#[derive(Debug, Clone)]
+pub struct KernelWorkspace {
+    xs: Vec<Vec<f64>>,
+    d: usize,
+    /// Dimension-major packed strict-lower-triangle squared differences:
+    /// `sqd[k][p(i, j)] = (x_{i,k} − x_{j,k})²` with `p(i, j) = i(i−1)/2 + j`
+    /// for `j < i`. Row-contiguous, so appending a design point appends
+    /// `n` entries to each dimension's vector.
+    sqd: Vec<Vec<f64>>,
+    /// Scratch covariance; refilled (lower triangle) then factored in
+    /// place each evaluation. The strict upper triangle is permanently
+    /// zero: `fill` writes the lower triangle only, and the blocked
+    /// factorization zeroes the upper on success.
+    sigma: Matrix,
+    /// Right-hand-side scratch for the profile-likelihood solves.
+    rhs_y: Vec<f64>,
+    rhs_ones: Vec<f64>,
+    resid: Vec<f64>,
+    alpha: Vec<f64>,
+}
+
+impl KernelWorkspace {
+    /// Build a workspace for a design. Validates that the points share a
+    /// positive dimension.
+    pub fn new(xs: &[Vec<f64>]) -> mde_numeric::Result<Self> {
+        if xs.is_empty() {
+            return Err(NumericError::EmptyInput {
+                context: "KernelWorkspace::new",
+            });
+        }
+        let d = xs[0].len();
+        if d == 0 || xs.iter().any(|x| x.len() != d) {
+            return Err(NumericError::invalid(
+                "xs",
+                "design points must share a positive dimension".to_string(),
+            ));
+        }
+        let n = xs.len();
+        let npairs = n * (n - 1) / 2;
+        let mut sqd = vec![Vec::with_capacity(npairs.max(n)); d];
+        for i in 1..n {
+            for j in 0..i {
+                for (k, col) in sqd.iter_mut().enumerate() {
+                    let diff = xs[i][k] - xs[j][k];
+                    col.push(diff * diff);
+                }
+            }
+        }
+        Ok(KernelWorkspace {
+            xs: xs.to_vec(),
+            d,
+            sqd,
+            sigma: Matrix::zeros(n, n),
+            rhs_y: vec![0.0; n],
+            rhs_ones: vec![0.0; n],
+            resid: vec![0.0; n],
+            alpha: vec![0.0; n],
+        })
+    }
+
+    /// Number of design points currently held.
+    pub fn n(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Design-point dimension.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The design points.
+    pub fn xs(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// Append a design point: computes only the new point's `n` squared
+    /// differences per dimension (a contiguous append in the packed
+    /// layout) and regrows the scratch buffers.
+    pub fn push(&mut self, x: &[f64]) -> mde_numeric::Result<()> {
+        if x.len() != self.d {
+            return Err(NumericError::dim(
+                "KernelWorkspace::push",
+                format!("point of dimension {}", self.d),
+                format!("dimension {}", x.len()),
+            ));
+        }
+        for xi in &self.xs {
+            for (k, col) in self.sqd.iter_mut().enumerate() {
+                let diff = x[k] - xi[k];
+                col.push(diff * diff);
+            }
+        }
+        self.xs.push(x.to_vec());
+        let n = self.xs.len();
+        self.sigma = Matrix::zeros(n, n);
+        self.rhs_y.resize(n, 0.0);
+        self.rhs_ones.resize(n, 0.0);
+        self.resid.resize(n, 0.0);
+        self.alpha.resize(n, 0.0);
+        Ok(())
+    }
+
+    /// Fill the lower triangle of the covariance buffer with
+    /// `Σ = τ²R(θ) + diag(noise) + jitter·(1+τ²)·I` from the cached
+    /// squared differences. Row-partitioned across `threads` scoped
+    /// workers; bit-identical to the sequential fill at any thread count.
+    pub fn fill(
+        &mut self,
+        tau2: f64,
+        thetas: &[f64],
+        noise_var: &[f64],
+        jitter: f64,
+        threads: usize,
+    ) {
+        let n = self.xs.len();
+        debug_assert_eq!(thetas.len(), self.d);
+        debug_assert_eq!(noise_var.len(), n);
+        let threads = threads.clamp(1, n);
+        let KernelWorkspace { sqd, sigma, .. } = self;
+        let sigma_data = sigma.data_mut();
+        if threads == 1 || n < 2 * kernels::BLOCK {
+            fill_band(sqd, thetas, tau2, noise_var, jitter, 0, n, sigma_data, n);
+            return;
+        }
+        let bounds = band_bounds(n, threads);
+        crossbeam::thread::scope(|scope| {
+            let mut sig_rest: &mut [f64] = sigma_data;
+            for w in 0..threads {
+                let (r0, r1) = (bounds[w], bounds[w + 1]);
+                let (sig_band, rest) = sig_rest.split_at_mut((r1 - r0) * n);
+                sig_rest = rest;
+                let sqd = &*sqd;
+                scope.spawn(move |_| {
+                    fill_band(sqd, thetas, tau2, noise_var, jitter, r0, r1, sig_band, n);
+                });
+            }
+        })
+        .expect("kernel assembly worker panicked");
+    }
+
+    /// Assemble and factor `Σ`, profile out `β₀` by GLS, and return
+    /// `(β₀, nll)` with the factor left in the internal buffer and the
+    /// prediction weights in `alpha`. Zero allocation per call.
+    ///
+    /// This is the per-candidate body of the GP likelihood search; the
+    /// final accepted candidate's factor/weights are extracted with
+    /// [`KernelWorkspace::take_factored`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        &mut self,
+        tau2: f64,
+        thetas: &[f64],
+        noise_var: &[f64],
+        ys: &[f64],
+        jitter: f64,
+        threads: usize,
+    ) -> mde_numeric::Result<(f64, f64)> {
+        self.fill(tau2, thetas, noise_var, jitter, threads);
+        kernels::cholesky_in_place(&mut self.sigma)?;
+        let n = self.xs.len();
+        // ln|Σ| from the factor diagonal.
+        let ln_det: f64 = (0..n).map(|i| self.sigma[(i, i)].ln()).sum::<f64>() * 2.0;
+        // GLS β₀: (1ᵀΣ⁻¹y) / (1ᵀΣ⁻¹1).
+        self.rhs_y.copy_from_slice(ys);
+        kernels::solve_in_place(&self.sigma, &mut self.rhs_y)?;
+        self.rhs_ones.fill(1.0);
+        kernels::solve_in_place(&self.sigma, &mut self.rhs_ones)?;
+        let denom: f64 = self.rhs_ones.iter().sum();
+        let beta0 = self.rhs_y.iter().sum::<f64>() / denom;
+        // α = Σ⁻¹(y − β₀·1) = Σ⁻¹y − β₀·Σ⁻¹1 by linearity — reuses the
+        // two solves above instead of running a third.
+        for (r, y) in self.resid.iter_mut().zip(ys) {
+            *r = y - beta0;
+        }
+        for ((a, &sy), &s1) in self.alpha.iter_mut().zip(&self.rhs_y).zip(&self.rhs_ones) {
+            *a = sy - beta0 * s1;
+        }
+        let quad = kernels::dot(&self.resid, &self.alpha);
+        let nll = 0.5 * (ln_det + quad);
+        Ok((beta0, nll))
+    }
+
+    /// Clone out the factored covariance and prediction weights left by
+    /// the last successful [`KernelWorkspace::assemble`].
+    pub(crate) fn take_factored(&self) -> (Matrix, Vec<f64>) {
+        (self.sigma.clone(), self.alpha.clone())
+    }
+}
+
+/// Row boundaries giving each of `threads` bands an approximately equal
+/// share of the `n(n−1)/2` strict-lower-triangle pairs: cumulative pair
+/// count up to row `r` grows like `r²/2`, so boundaries go as `n·√(t/T)`.
+fn band_bounds(n: usize, threads: usize) -> Vec<usize> {
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0);
+    for t in 1..threads {
+        let r = ((n as f64) * ((t as f64) / threads as f64).sqrt()).round() as usize;
+        bounds.push(r.clamp(*bounds.last().expect("non-empty"), n));
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Fill rows `r0..r1` in a single fused pass: per row, hand the
+/// dimension-major cached columns to [`kernels::exp_neg_weighted`], which
+/// fuses the `Σ_k θ_k·sqd_k[p]` reduction with a vectorized `exp(−s)` and
+/// writes `τ²·exp(−s)` straight into the strict lower triangle, then set
+/// the nugget-augmented diagonal. Each entry is a pure function of the
+/// inputs with a fixed summation order and a fixed (per-index) scalar
+/// tail, so the fill is bit-identical under any row partition.
+#[allow(clippy::too_many_arguments)]
+fn fill_band(
+    sqd: &[Vec<f64>],
+    thetas: &[f64],
+    tau2: f64,
+    noise_var: &[f64],
+    jitter: f64,
+    r0: usize,
+    r1: usize,
+    sigma_band: &mut [f64],
+    n: usize,
+) {
+    let nugget = jitter * (1.0 + tau2);
+    let cols: Vec<&[f64]> = sqd.iter().map(|c| c.as_slice()).collect();
+    let mut p = r0 * r0.saturating_sub(1) / 2;
+    for i in r0..r1 {
+        let row = &mut sigma_band[(i - r0) * n..(i - r0) * n + n];
+        kernels::exp_neg_weighted(&mut row[..i], tau2, thetas, &cols, p);
+        p += i;
+        row[i] = tau2 + noise_var[i] + nugget;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_xs() -> Vec<Vec<f64>> {
+        (0..12)
+            .map(|i| vec![i as f64 * 0.3, (i as f64 * 0.7).sin()])
+            .collect()
+    }
+
+    #[test]
+    fn fill_matches_direct_kernel_evaluation() {
+        let xs = toy_xs();
+        let (tau2, thetas, jitter) = (1.7, vec![0.9, 2.3], 1e-10);
+        let noise = vec![0.05; xs.len()];
+        let mut ws = KernelWorkspace::new(&xs).unwrap();
+        ws.fill(tau2, &thetas, &noise, jitter, 1);
+        for i in 0..xs.len() {
+            for j in 0..=i {
+                let s: f64 = xs[i]
+                    .iter()
+                    .zip(&xs[j])
+                    .zip(&thetas)
+                    .map(|((a, b), t)| t * (a - b) * (a - b))
+                    .sum();
+                let mut want = tau2 * (-s).exp();
+                if i == j {
+                    want = tau2 + noise[i] + jitter * (1.0 + tau2);
+                }
+                assert!(
+                    (ws.sigma[(i, j)] - want).abs() < 1e-12,
+                    "entry ({i},{j}): {} vs {want}",
+                    ws.sigma[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fill_is_bit_identical() {
+        // Force the parallel path with a design above the threshold.
+        let xs: Vec<Vec<f64>> = (0..160)
+            .map(|i| vec![(i as f64 * 0.11).sin(), (i as f64 * 0.07).cos()])
+            .collect();
+        let noise = vec![0.0; xs.len()];
+        let mut seq = KernelWorkspace::new(&xs).unwrap();
+        seq.fill(2.0, &[1.1, 0.4], &noise, 1e-10, 1);
+        for threads in [2usize, 3, 8] {
+            let mut par = KernelWorkspace::new(&xs).unwrap();
+            par.fill(2.0, &[1.1, 0.4], &noise, 1e-10, threads);
+            assert_eq!(
+                seq.sigma.data(),
+                par.sigma.data(),
+                "assembly diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn push_matches_fresh_workspace() {
+        let mut xs = toy_xs();
+        let mut ws = KernelWorkspace::new(&xs).unwrap();
+        ws.push(&[9.9, -0.4]).unwrap();
+        xs.push(vec![9.9, -0.4]);
+        let fresh = KernelWorkspace::new(&xs).unwrap();
+        let noise = vec![0.0; xs.len()];
+        let mut a = ws.clone();
+        let mut b = fresh;
+        a.fill(1.0, &[1.0, 1.0], &noise, 1e-10, 1);
+        b.fill(1.0, &[1.0, 1.0], &noise, 1e-10, 1);
+        assert_eq!(a.sigma.data(), b.sigma.data());
+    }
+
+    #[test]
+    fn band_bounds_cover_range_monotonically() {
+        for n in [2usize, 7, 64, 257] {
+            for threads in [1usize, 2, 3, 8] {
+                let b = band_bounds(n, threads.min(n));
+                assert_eq!(*b.first().unwrap(), 0);
+                assert_eq!(*b.last().unwrap(), n);
+                assert!(b.windows(2).all(|w| w[0] <= w[1]), "{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(KernelWorkspace::new(&[]).is_err());
+        assert!(KernelWorkspace::new(&[vec![]]).is_err());
+        assert!(KernelWorkspace::new(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let mut ws = KernelWorkspace::new(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(ws.push(&[1.0, 2.0]).is_err());
+    }
+}

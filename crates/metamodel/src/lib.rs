@@ -15,6 +15,7 @@
 //! | [`design`] | full/fractional factorials (Fig 3), Latin hypercubes (Fig 5), NOLH |
 //! | [`poly`] | polynomial metamodels (eq. 3), main effects (Fig 4), half-normal diagnostics |
 //! | [`gp`] | Gaussian-process metamodels (eqs. 4–6), kriging and stochastic kriging |
+//! | [`kernel`] | cached kernel-matrix workspaces behind the GP hot path |
 //! | [`screening`] | sequential bifurcation and GP-based factor screening (§4.3) |
 //!
 //! # Example: 8 runs estimate 7 main effects (Figure 3 + Figure 4)
@@ -41,6 +42,7 @@
 pub mod design;
 pub mod error;
 pub mod gp;
+pub mod kernel;
 pub mod poly;
 pub mod response;
 pub mod screening;

@@ -31,6 +31,18 @@ pub enum NumericError {
         /// Description of the factorization that failed.
         context: &'static str,
     },
+    /// A factorization failed even after escalating diagonal
+    /// regularization — the matrix is ill-conditioned beyond what a ridge
+    /// can repair, which usually means structurally collinear data rather
+    /// than round-off.
+    IllConditioned {
+        /// Description of the operation that gave up.
+        context: &'static str,
+        /// Factorization attempts made (including the unregularized one).
+        attempts: usize,
+        /// The largest ridge added to the diagonal before giving up.
+        max_ridge: f64,
+    },
     /// An iterative algorithm failed to converge within its iteration budget.
     NoConvergence {
         /// Description of the algorithm.
@@ -86,6 +98,15 @@ impl fmt::Display for NumericError {
             NumericError::SingularMatrix { context } => {
                 write!(f, "singular or non-positive-definite matrix in {context}")
             }
+            NumericError::IllConditioned {
+                context,
+                attempts,
+                max_ridge,
+            } => write!(
+                f,
+                "{context}: matrix stayed non-positive-definite through {attempts} \
+                 factorization attempts (ridge escalated to {max_ridge:e})"
+            ),
             NumericError::NoConvergence {
                 context,
                 iterations,

@@ -5,8 +5,16 @@
 //! matrices are SPD by construction, so Cholesky is the right factorization
 //! — half the work of LU and a built-in PD check that doubles as a
 //! diagnostic for ill-chosen correlation parameters.
+//!
+//! [`Cholesky::new`] and [`Cholesky::solve`] run on the cache-blocked
+//! kernels of [`super::kernels`]; the original element-indexed
+//! implementations are retained as [`Cholesky::new_unblocked`] /
+//! [`Cholesky::solve_unblocked`] and serve as differential oracles, the
+//! same pattern as the row-at-a-time `query_unoptimized` executor.
+//! [`Cholesky::extend`] grows a factorization by one row/column in O(n²) —
+//! the incremental-surrogate primitive behind `GpModel::append_point`.
 
-use super::Matrix;
+use super::{kernels, Matrix};
 use crate::NumericError;
 
 /// The lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
@@ -16,12 +24,36 @@ pub struct Cholesky {
 }
 
 impl Cholesky {
-    /// Factor a symmetric positive-definite matrix.
+    /// Factor a symmetric positive-definite matrix with the blocked
+    /// right-looking kernel.
     ///
     /// Only the lower triangle of `a` is read; symmetry of the upper
     /// triangle is the caller's responsibility. Returns
     /// [`NumericError::SingularMatrix`] if a non-positive pivot appears.
     pub fn new(a: &Matrix) -> crate::Result<Self> {
+        Self::factor(a.clone())
+    }
+
+    /// Factor a matrix in place, consuming it — [`Cholesky::new`] without
+    /// the defensive copy, for callers that already own a scratch matrix.
+    pub fn factor(mut a: Matrix) -> crate::Result<Self> {
+        kernels::cholesky_in_place(&mut a)?;
+        Ok(Cholesky { l: a })
+    }
+
+    /// Wrap an already-factored lower-triangular matrix (as produced by
+    /// [`kernels::cholesky_in_place`]) without refactoring.
+    ///
+    /// The caller asserts `l` is a valid Cholesky factor: lower triangular
+    /// with strictly positive diagonal. No checking is performed.
+    pub fn from_factor(l: Matrix) -> Self {
+        Cholesky { l }
+    }
+
+    /// The unblocked scalar factorization — the differential oracle for
+    /// [`Cholesky::new`]. Semantics are identical (same pivot test, same
+    /// error), only the loop structure differs.
+    pub fn new_unblocked(a: &Matrix) -> crate::Result<Self> {
         if !a.is_square() {
             return Err(NumericError::dim(
                 "Cholesky::new",
@@ -57,8 +89,27 @@ impl Cholesky {
         &self.l
     }
 
-    /// Solve `A·x = b` by forward then backward substitution.
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `A·x = b` with the fused forward/backward kernel.
     pub fn solve(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+        let mut x = b.to_vec();
+        kernels::solve_in_place(&self.l, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solve `A·x = b` in place: `b` enters as the right-hand side and
+    /// leaves as the solution. Zero allocation — the NLL-evaluation form.
+    pub fn solve_in_place(&self, b: &mut [f64]) -> crate::Result<()> {
+        kernels::solve_in_place(&self.l, b)
+    }
+
+    /// The original two-buffer substitution — the differential oracle for
+    /// [`Cholesky::solve`].
+    pub fn solve_unblocked(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
         let n = self.l.rows();
         if b.len() != n {
             return Err(NumericError::dim(
@@ -88,6 +139,42 @@ impl Cholesky {
         Ok(x)
     }
 
+    /// Extend the factorization by one bordered row/column in O(n²): given
+    /// the new covariance column `col = A[0..n, n]` and diagonal entry
+    /// `diag = A[n, n]`, computes `l₂₁ = L⁻¹·col` by forward substitution
+    /// and `l₂₂ = √(diag − l₂₁ᵀ·l₂₁)`, so the result factors the bordered
+    /// matrix `[[A, col], [colᵀ, diag]]`.
+    ///
+    /// Returns [`NumericError::SingularMatrix`] when the bordered matrix is
+    /// not positive definite (Schur complement ≤ 0); the factorization is
+    /// unchanged in that case.
+    pub fn extend(&mut self, col: &[f64], diag: f64) -> crate::Result<()> {
+        let n = self.l.rows();
+        if col.len() != n {
+            return Err(NumericError::dim(
+                "Cholesky::extend",
+                format!("column of length {n}"),
+                format!("length {}", col.len()),
+            ));
+        }
+        let mut l21 = col.to_vec();
+        kernels::forward_solve_in_place(&self.l, &mut l21)?;
+        let schur = diag - kernels::dot(&l21, &l21);
+        if schur <= 0.0 || !schur.is_finite() {
+            return Err(NumericError::SingularMatrix {
+                context: "Cholesky::extend (non-positive pivot)",
+            });
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            grown.row_mut(i)[..n].copy_from_slice(self.l.row(i));
+        }
+        grown.row_mut(n)[..n].copy_from_slice(&l21);
+        grown[(n, n)] = schur.sqrt();
+        self.l = grown;
+        Ok(())
+    }
+
     /// Solve against a matrix right-hand side, column by column.
     pub fn solve_matrix(&self, b: &Matrix) -> crate::Result<Matrix> {
         let n = self.l.rows();
@@ -99,11 +186,14 @@ impl Cholesky {
             ));
         }
         let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
         for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve(&col)?;
             for i in 0..n {
-                out[(i, j)] = x[i];
+                col[i] = b[(i, j)];
+            }
+            kernels::solve_in_place(&self.l, &mut col)?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
             }
         }
         Ok(out)
@@ -141,6 +231,20 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matches_unblocked_oracle() {
+        let a = spd_test_matrix();
+        let fast = Cholesky::new(&a).unwrap();
+        let oracle = Cholesky::new_unblocked(&a).unwrap();
+        assert!(fast.l().max_abs_diff(oracle.l()).unwrap() < 1e-13);
+        let b = vec![1.0, -2.0, 0.5];
+        let xf = fast.solve(&b).unwrap();
+        let xo = oracle.solve_unblocked(&b).unwrap();
+        for (f, o) in xf.iter().zip(&xo) {
+            assert!((f - o).abs() < 1e-13);
+        }
+    }
+
+    #[test]
     fn solve_recovers_known_solution() {
         let a = spd_test_matrix();
         let x_true = vec![1.0, -2.0, 0.5];
@@ -149,6 +253,57 @@ mod tests {
         for (xi, ti) in x.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = spd_test_matrix();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![0.3, 1.0, -4.0];
+        let x = ch.solve(&b).unwrap();
+        let mut y = b;
+        ch.solve_in_place(&mut y).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn extend_matches_from_scratch() {
+        // Factor the 3x3 leading principal block of a 4x4 SPD matrix, then
+        // border it with the fourth row/column.
+        let b = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                1.0, 2.0, 0.0, 1.0, 0.5, 1.0, 3.0, -1.0, 2.0, 0.0, 1.0, 0.5, 0.0, 1.0, 1.0, 2.0,
+            ],
+        )
+        .unwrap();
+        let a = &(&b.transpose() * &b) + &Matrix::identity(4);
+        let mut lead = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                lead[(i, j)] = a[(i, j)];
+            }
+        }
+        let mut ch = Cholesky::new(&lead).unwrap();
+        ch.extend(&[a[(0, 3)], a[(1, 3)], a[(2, 3)]], a[(3, 3)])
+            .unwrap();
+        let full = Cholesky::new(&a).unwrap();
+        assert!(ch.l().max_abs_diff(full.l()).unwrap() < 1e-12);
+        assert!((ch.ln_det() - full.ln_det()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_rejects_non_spd_border() {
+        let mut ch = Cholesky::new(&Matrix::identity(2)).unwrap();
+        // Border with an identical row: singular.
+        assert!(matches!(
+            ch.extend(&[1.0, 0.0], 1.0),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+        assert_eq!(ch.dim(), 2, "failed extend must leave the factor intact");
+        assert!(ch.extend(&[0.5, 0.0], 1.0).is_ok());
+        assert_eq!(ch.dim(), 3);
     }
 
     #[test]
@@ -174,14 +329,22 @@ mod tests {
             Cholesky::new(&a),
             Err(NumericError::SingularMatrix { .. })
         ));
+        assert!(matches!(
+            Cholesky::new_unblocked(&a),
+            Err(NumericError::SingularMatrix { .. })
+        ));
     }
 
     #[test]
     fn rejects_non_square_and_bad_rhs() {
         let a = Matrix::zeros(2, 3);
         assert!(Cholesky::new(&a).is_err());
+        assert!(Cholesky::new_unblocked(&a).is_err());
         let ch = Cholesky::new(&Matrix::identity(2)).unwrap();
         assert!(ch.solve(&[1.0]).is_err());
+        assert!(ch.solve_unblocked(&[1.0]).is_err());
+        let mut ch = ch;
+        assert!(ch.extend(&[1.0], 1.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,794 @@
+//! Cache-blocked dense kernels for SPD factorization and triangular solves.
+//!
+//! The GP/kriging hot path (§4.1) factors one covariance matrix per
+//! likelihood evaluation — hundreds of factorizations per fit. The naive
+//! element-indexed Cholesky in [`super::Cholesky::new_unblocked`] pays an
+//! index computation and a bounds check per multiply-add and walks columns
+//! of a row-major matrix in its inner loop. The kernels here restate the
+//! same arithmetic over contiguous row slices:
+//!
+//! * [`cholesky_in_place`] — right-looking factorization in panels of
+//!   [`BLOCK`] columns. Each panel is factored with short in-panel dot
+//!   products (the diagonal micro-kernel plus a TRSM micro-kernel per
+//!   trailing row), then the trailing submatrix absorbs the panel via a
+//!   SYRK/GEMM-shaped update whose inner loop is a length-[`BLOCK`] dot
+//!   product of two contiguous slices — the cache-friendly, vectorizable
+//!   shape that carries ~all of the O(n³) work.
+//! * [`solve_in_place`] — fused forward/backward substitution in a single
+//!   right-hand-side buffer: the forward pass consumes contiguous row
+//!   prefixes, the backward pass is run in outer-product (saxpy) form so it
+//!   also streams rows instead of striding down columns.
+//! * [`forward_solve_in_place`] — the forward half alone, used by the
+//!   rank-1 append ([`super::Cholesky::extend`]): appending design point
+//!   `x` to a factored `A = L·Lᵀ` needs only `l₂₁ = L⁻¹k` and
+//!   `l₂₂ = √(κ − l₂₁ᵀl₂₁)`.
+//!
+//! The unblocked implementations on [`super::Cholesky`] are retained as
+//! differential oracles (the `query_unoptimized` pattern):
+//! `tests/linalg_kernels.rs` holds both paths to ≤1e-12 of each other
+//! across block-boundary sizes.
+//!
+//! Everything here is sequential and allocation-free; determinism is by
+//! construction (a fixed summation order, independent of call site).
+
+use super::Matrix;
+use crate::NumericError;
+
+/// Panel width of the blocked factorization. 64 columns = a 512-byte row
+/// segment per panel row: two such segments (the SYRK operands) sit in L1
+/// while the trailing row is updated.
+pub const BLOCK: usize = 64;
+
+/// Dot product of two equal-length slices with four independent
+/// accumulators, so the compiler can keep the multiply-adds in flight.
+///
+/// On x86-64 with AVX2+FMA available at runtime, this dispatches to a
+/// fused-multiply-add vector kernel (the default `x86-64` target only
+/// emits SSE2, leaving 4x of machine peak on the table). The dispatch is
+/// decided once per process, so results are deterministic within a run;
+/// across machines the summation *order* is fixed but the rounding
+/// differs (FMA vs separate multiply-add), which is why equivalence
+/// tests compare against the scalar oracle with an analytic tolerance
+/// instead of bit equality.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: AVX2 and FMA were just verified at runtime.
+        return unsafe { simd::dot_fma(a, b) };
+    }
+    dot_portable(a, b)
+}
+
+/// Portable four-lane fallback for [`dot`].
+#[inline]
+fn dot_portable(a: &[f64], b: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        lanes[0] += ca[0] * cb[0];
+        lanes[1] += ca[1] * cb[1];
+        lanes[2] += ca[2] * cb[2];
+        lanes[3] += ca[3] * cb[3];
+    }
+    let mut s = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+/// Four simultaneous dot products of one shared slice `a` against four
+/// equal-length slices — the SYRK micro-kernel. Sharing the `a` loads
+/// across four accumulator streams roughly doubles the arithmetic per
+/// byte moved compared with four independent [`dot`] calls.
+///
+/// Two accumulator lanes per stream (even/odd), remainder last — a fixed
+/// summation order, deterministic but (like [`dot`]) not bit-identical to
+/// a single-accumulator loop. Dispatches to the AVX2+FMA kernel under the
+/// same once-per-process runtime check as [`dot`].
+#[inline]
+pub fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: AVX2 and FMA were just verified at runtime.
+        return unsafe { simd::dot4_fma(a, b0, b1, b2, b3) };
+    }
+    dot4_portable(a, b0, b1, b2, b3)
+}
+
+/// Eight simultaneous dot products — two shared slices `a0`, `a1` against
+/// four slices `b0..b3` — the 2x4 register-tile GEMM micro-kernel. Each
+/// `b` strip is loaded once and consumed by both `a` streams, which
+/// balances the load ports against FMA throughput (plain [`dot4`] is
+/// load-bound). Returns `[a0·b0..a0·b3, a1·b0..a1·b3]`.
+#[inline]
+pub fn dot2x4(a0: &[f64], a1: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 8] {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: AVX2 and FMA were just verified at runtime.
+        return unsafe { simd::dot2x4_fma(a0, a1, b0, b1, b2, b3) };
+    }
+    let lo = dot4_portable(a0, b0, b1, b2, b3);
+    let hi = dot4_portable(a1, b0, b1, b2, b3);
+    [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]]
+}
+
+/// Portable even/odd-lane fallback for [`dot4`].
+#[inline]
+fn dot4_portable(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    let n = a.len();
+    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+    let mut even = [0.0f64; 4];
+    let mut odd = [0.0f64; 4];
+    let pairs = n & !1;
+    let mut i = 0;
+    while i < pairs {
+        let (a0, a1) = (a[i], a[i + 1]);
+        even[0] += a0 * b0[i];
+        odd[0] += a1 * b0[i + 1];
+        even[1] += a0 * b1[i];
+        odd[1] += a1 * b1[i + 1];
+        even[2] += a0 * b2[i];
+        odd[2] += a1 * b2[i + 1];
+        even[3] += a0 * b3[i];
+        odd[3] += a1 * b3[i + 1];
+        i += 2;
+    }
+    let mut out = [
+        even[0] + odd[0],
+        even[1] + odd[1],
+        even[2] + odd[2],
+        even[3] + odd[3],
+    ];
+    if i < n {
+        let a0 = a[i];
+        out[0] += a0 * b0[i];
+        out[1] += a0 * b1[i];
+        out[2] += a0 * b2[i];
+        out[3] += a0 * b3[i];
+    }
+    out
+}
+
+/// Fused weighted-distance exponential — the kernel-matrix fill micro-
+/// kernel: `out[j] = scale · exp(−Σ_k thetas[k] · cols[k][offset + j])`.
+///
+/// This is the per-pair body of the Gaussian-correlation fill (squared
+/// per-dimension distances are cached in `cols`, dimension-major). On
+/// x86-64 with AVX2+FMA it runs four pairs at a time with a Cody–Waite /
+/// polynomial `exp` (≈1e-14 relative accuracy, exact 1 at distance 0,
+/// hard zero below `exp(−708)`); elsewhere, and for the sub-vector tail,
+/// it falls back to the scalar sum + libm `exp`. Each output index is a
+/// pure function of the inputs, so results are deterministic and
+/// independent of how callers partition rows across threads.
+pub fn exp_neg_weighted(
+    out: &mut [f64],
+    scale: f64,
+    thetas: &[f64],
+    cols: &[&[f64]],
+    offset: usize,
+) {
+    debug_assert_eq!(thetas.len(), cols.len());
+    debug_assert!(cols.iter().all(|c| c.len() >= offset + out.len()));
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: AVX2 and FMA were just verified at runtime.
+        unsafe { simd::exp_neg_weighted_fma(out, scale, thetas, cols, offset) };
+        return;
+    }
+    exp_neg_weighted_portable(out, scale, thetas, cols, offset);
+}
+
+/// Portable scalar fallback for [`exp_neg_weighted`].
+fn exp_neg_weighted_portable(
+    out: &mut [f64],
+    scale: f64,
+    thetas: &[f64],
+    cols: &[&[f64]],
+    offset: usize,
+) {
+    for (j, v) in out.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for (&th, col) in thetas.iter().zip(cols) {
+            s += th * col[offset + j];
+        }
+        *v = scale * (-s).exp();
+    }
+}
+
+/// AVX2+FMA micro-kernels, selected at runtime by [`dot`]/[`dot4`]. The
+/// `is_x86_feature_detected!` result is cached by std in an atomic, so
+/// the per-call dispatch cost is one relaxed load and a predictable
+/// branch.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use core::arch::x86_64::*;
+
+    /// Horizontal sum in the same fixed order as the portable kernels:
+    /// `(x₀ + x₂) + (x₁ + x₃)`.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum(v: __m256d) -> f64 {
+        let mut buf = [0.0f64; 4];
+        _mm256_storeu_pd(buf.as_mut_ptr(), v);
+        (buf[0] + buf[2]) + (buf[1] + buf[3])
+    }
+
+    /// Four horizontal sums at once via `hadd`/`permute`/`blend` — a
+    /// handful of shuffles instead of four store-and-add reductions. The
+    /// multi-output kernels reduce every accumulator this way; otherwise
+    /// the reductions rival the dot products themselves at panel length.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum4(v0: __m256d, v1: __m256d, v2: __m256d, v3: __m256d) -> [f64; 4] {
+        // hadd pairs within 128-bit halves: [v0₀+v0₁, v1₀+v1₁, v0₂+v0₃, v1₂+v1₃].
+        let t01 = _mm256_hadd_pd(v0, v1);
+        let t23 = _mm256_hadd_pd(v2, v3);
+        // Cross-half swap + blend aligns the partial sums per source.
+        let swap = _mm256_permute2f128_pd(t01, t23, 0x21);
+        let blend = _mm256_blend_pd(t01, t23, 0b1100);
+        let mut out = [0.0f64; 4];
+        _mm256_storeu_pd(out.as_mut_ptr(), _mm256_add_pd(swap, blend));
+        out
+    }
+
+    /// FMA dot product: four 4-wide accumulators (16 elements in flight),
+    /// vector remainder, then a scalar tail.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_fma(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut acc2 = _mm256_setzero_pd();
+        let mut acc3 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(pa.add(i + 4)),
+                _mm256_loadu_pd(pb.add(i + 4)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(pa.add(i + 8)),
+                _mm256_loadu_pd(pb.add(i + 8)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(pa.add(i + 12)),
+                _mm256_loadu_pd(pb.add(i + 12)),
+                acc3,
+            );
+            i += 16;
+        }
+        while i + 4 <= n {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i)), acc0);
+            i += 4;
+        }
+        let mut s = hsum(_mm256_add_pd(
+            _mm256_add_pd(acc0, acc2),
+            _mm256_add_pd(acc1, acc3),
+        ));
+        while i < n {
+            s += a[i] * b[i];
+            i += 1;
+        }
+        s
+    }
+
+    /// FMA SYRK micro-kernel: four dot products sharing the `a` loads.
+    /// Two 4-wide accumulators per stream hide the FMA latency; eight
+    /// accumulators plus two shared `a` vectors fit the 16 ymm registers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot4_fma(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+        let n = a.len();
+        let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        let pa = a.as_ptr();
+        let pb = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+        let mut lo = [_mm256_setzero_pd(); 4];
+        let mut hi = [_mm256_setzero_pd(); 4];
+        let mut i = 0;
+        while i + 8 <= n {
+            let va0 = _mm256_loadu_pd(pa.add(i));
+            let va1 = _mm256_loadu_pd(pa.add(i + 4));
+            for k in 0..4 {
+                lo[k] = _mm256_fmadd_pd(va0, _mm256_loadu_pd(pb[k].add(i)), lo[k]);
+                hi[k] = _mm256_fmadd_pd(va1, _mm256_loadu_pd(pb[k].add(i + 4)), hi[k]);
+            }
+            i += 8;
+        }
+        while i + 4 <= n {
+            let va0 = _mm256_loadu_pd(pa.add(i));
+            for k in 0..4 {
+                lo[k] = _mm256_fmadd_pd(va0, _mm256_loadu_pd(pb[k].add(i)), lo[k]);
+            }
+            i += 4;
+        }
+        let mut out = hsum4(
+            _mm256_add_pd(lo[0], hi[0]),
+            _mm256_add_pd(lo[1], hi[1]),
+            _mm256_add_pd(lo[2], hi[2]),
+            _mm256_add_pd(lo[3], hi[3]),
+        );
+        while i < n {
+            let a0 = a[i];
+            out[0] += a0 * b0[i];
+            out[1] += a0 * b1[i];
+            out[2] += a0 * b2[i];
+            out[3] += a0 * b3[i];
+            i += 1;
+        }
+        out
+    }
+
+    /// FMA 2x4 register-tile kernel: eight single accumulators (exactly
+    /// the chain count that saturates two FMA ports at 4-cycle latency);
+    /// each `b` vector is loaded once and fed to both `a` streams.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot2x4_fma(
+        a0: &[f64],
+        a1: &[f64],
+        b0: &[f64],
+        b1: &[f64],
+        b2: &[f64],
+        b3: &[f64],
+    ) -> [f64; 8] {
+        let n = a0.len();
+        let (a1, b0, b1, b2, b3) = (&a1[..n], &b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        let (pa0, pa1) = (a0.as_ptr(), a1.as_ptr());
+        let pb = [b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr()];
+        let mut acc = [_mm256_setzero_pd(); 8];
+        let mut i = 0;
+        while i + 4 <= n {
+            let va0 = _mm256_loadu_pd(pa0.add(i));
+            let va1 = _mm256_loadu_pd(pa1.add(i));
+            for k in 0..4 {
+                let vb = _mm256_loadu_pd(pb[k].add(i));
+                acc[k] = _mm256_fmadd_pd(va0, vb, acc[k]);
+                acc[4 + k] = _mm256_fmadd_pd(va1, vb, acc[4 + k]);
+            }
+            i += 4;
+        }
+        let lo = hsum4(acc[0], acc[1], acc[2], acc[3]);
+        let hi = hsum4(acc[4], acc[5], acc[6], acc[7]);
+        let mut out = [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]];
+        while i < n {
+            let (x0, x1) = (a0[i], a1[i]);
+            out[0] += x0 * b0[i];
+            out[1] += x0 * b1[i];
+            out[2] += x0 * b2[i];
+            out[3] += x0 * b3[i];
+            out[4] += x1 * b0[i];
+            out[5] += x1 * b1[i];
+            out[6] += x1 * b2[i];
+            out[7] += x1 * b3[i];
+            i += 1;
+        }
+        out
+    }
+
+    /// Vector `exp(−s)` for `s ≥ 0`: Cody–Waite range reduction
+    /// (`x = −s = n·ln2 + r`, `|r| ≤ ln2/2`), degree-11 Horner polynomial
+    /// for `exp(r)`, exponent reassembly by integer bit manipulation, and
+    /// a hard-zero clamp below `x < −708` (which also disarms the garbage
+    /// exponent the saturated integer conversion would produce there).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn exp_neg_pd(s: __m256d) -> __m256d {
+        const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+        const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+        // 1/k! for k = 11 down to 0.
+        const COEFFS: [f64; 11] = [
+            1.0 / 3_628_800.0,
+            1.0 / 362_880.0,
+            1.0 / 40_320.0,
+            1.0 / 5_040.0,
+            1.0 / 720.0,
+            1.0 / 120.0,
+            1.0 / 24.0,
+            1.0 / 6.0,
+            0.5,
+            1.0,
+            1.0,
+        ];
+        let x = _mm256_sub_pd(_mm256_setzero_pd(), s);
+        let n = _mm256_round_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_mul_pd(x, _mm256_set1_pd(core::f64::consts::LOG2_E)),
+        );
+        let r = _mm256_fnmadd_pd(n, _mm256_set1_pd(LN2_HI), x);
+        let r = _mm256_fnmadd_pd(n, _mm256_set1_pd(LN2_LO), r);
+        let mut p = _mm256_set1_pd(1.0 / 39_916_800.0); // 1/11!
+        for c in COEFFS {
+            p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(c));
+        }
+        // 2^n via (n + 1023) << 52 in the exponent field.
+        let n64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+        let pow2 = _mm256_slli_epi64::<52>(_mm256_add_epi64(n64, _mm256_set1_epi64x(1023)));
+        let res = _mm256_mul_pd(p, _mm256_castsi256_pd(pow2));
+        let tiny = _mm256_cmp_pd::<_CMP_LT_OQ>(x, _mm256_set1_pd(-708.0));
+        _mm256_andnot_pd(tiny, res)
+    }
+
+    /// Fused Gaussian-correlation fill: four pairs per iteration — the
+    /// θ-weighted distance sum by FMA over the cached dimension columns,
+    /// then the vector `exp` — with a scalar libm tail.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn exp_neg_weighted_fma(
+        out: &mut [f64],
+        scale: f64,
+        thetas: &[f64],
+        cols: &[&[f64]],
+        offset: usize,
+    ) {
+        let m = out.len();
+        let vscale = _mm256_set1_pd(scale);
+        let mut j = 0;
+        while j + 4 <= m {
+            let mut s = _mm256_setzero_pd();
+            for (&th, col) in thetas.iter().zip(cols) {
+                s = _mm256_fmadd_pd(
+                    _mm256_set1_pd(th),
+                    _mm256_loadu_pd(col.as_ptr().add(offset + j)),
+                    s,
+                );
+            }
+            _mm256_storeu_pd(
+                out.as_mut_ptr().add(j),
+                _mm256_mul_pd(vscale, exp_neg_pd(s)),
+            );
+            j += 4;
+        }
+        while j < m {
+            let mut s = 0.0;
+            for (&th, col) in thetas.iter().zip(cols) {
+                s += th * col[offset + j];
+            }
+            out[j] = scale * (-s).exp();
+            j += 1;
+        }
+    }
+}
+
+/// Split row-major storage at row `i`: all rows above it (shared) and row
+/// `i` itself (exclusive).
+#[inline]
+fn split_row(data: &mut [f64], n: usize, i: usize) -> (&[f64], &mut [f64]) {
+    let (above, rest) = data.split_at_mut(i * n);
+    (&*above, &mut rest[..n])
+}
+
+/// Factor a symmetric positive-definite matrix in place: on success the
+/// lower triangle of `a` holds `L` (with `A = L·Lᵀ`) and the strict upper
+/// triangle is zeroed. Only the lower triangle of the input is read.
+///
+/// Returns [`NumericError::SingularMatrix`] on a non-positive or
+/// non-finite pivot, exactly as the unblocked oracle does; `a` is left in
+/// an unspecified (partially factored) state on error.
+pub fn cholesky_in_place(a: &mut Matrix) -> crate::Result<()> {
+    if !a.is_square() {
+        return Err(NumericError::dim(
+            "cholesky_in_place",
+            "square matrix".to_string(),
+            format!("{}x{}", a.rows(), a.cols()),
+        ));
+    }
+    let n = a.rows();
+    let data = a.data_mut();
+    let mut k = 0;
+    while k < n {
+        let kb = BLOCK.min(n - k);
+        // Diagonal block: unblocked factor of rows k..k+kb over the panel
+        // columns. Contributions from earlier panels were already removed
+        // by their trailing updates.
+        for i in k..k + kb {
+            let (above, row_i) = split_row(data, n, i);
+            for j in k..i {
+                let row_j = &above[j * n..j * n + n];
+                let s = row_i[j] - dot(&row_i[k..j], &row_j[k..j]);
+                row_i[j] = s / row_j[j];
+            }
+            let s = row_i[i] - dot(&row_i[k..i], &row_i[k..i]);
+            if s <= 0.0 || !s.is_finite() {
+                return Err(NumericError::SingularMatrix {
+                    context: "cholesky_in_place (non-positive pivot)",
+                });
+            }
+            row_i[i] = s.sqrt();
+        }
+        // Trailing rows in groups of four. The TRSM solves of distinct
+        // trailing rows are independent, so four rows share each diagonal-
+        // block row load and the serial per-column divide chain is
+        // amortized 4x ([`dot4`] with the diagonal-block row as the shared
+        // operand). Rows are finalized top-down, so every dot reads
+        // completed panel segments — including a group row reading the
+        // TRSM-finalized panels of earlier rows in its own group.
+        let mut i = k + kb;
+        while i + 4 <= n {
+            let (above, rest) = data.split_at_mut(i * n);
+            let (r0, rest) = rest.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, rest) = rest.split_at_mut(n);
+            let r3 = &mut rest[..n];
+            // 4-row TRSM against the factored diagonal block.
+            for j in k..k + kb {
+                let row_j = &above[j * n..j * n + n];
+                let s = dot4(&row_j[k..j], &r0[k..j], &r1[k..j], &r2[k..j], &r3[k..j]);
+                let d = row_j[j];
+                r0[j] = (r0[j] - s[0]) / d;
+                r1[j] = (r1[j] - s[1]) / d;
+                r2[j] = (r2[j] - s[2]) / d;
+                r3[j] = (r3[j] - s[3]) / d;
+            }
+            // SYRK/GEMM trailing update: group rows in pairs, so each
+            // quad-column strip of finalized rows is loaded once and
+            // consumed by two trailing rows (the 2x4 register tile).
+            let mut group = [r0, r1, r2, r3];
+            for p in 0..2 {
+                let (done, cur) = group.split_at_mut(2 * p);
+                let (ra_s, rb_s) = cur.split_at_mut(1);
+                let ra: &mut [f64] = ra_s[0];
+                let rb: &mut [f64] = rb_s[0];
+                let ia = i + 2 * p;
+                let panel = k..k + kb;
+                let row_panel = |j: usize| -> &[f64] {
+                    if j < i {
+                        &above[j * n + k..j * n + k + kb]
+                    } else {
+                        &done[j - i][k..k + kb]
+                    }
+                };
+                // Columns below both rows, in 2x4 tiles.
+                let mut j = k + kb;
+                while j + 4 <= ia {
+                    let s = dot2x4(
+                        &ra[panel.clone()],
+                        &rb[panel.clone()],
+                        row_panel(j),
+                        row_panel(j + 1),
+                        row_panel(j + 2),
+                        row_panel(j + 3),
+                    );
+                    ra[j] -= s[0];
+                    ra[j + 1] -= s[1];
+                    ra[j + 2] -= s[2];
+                    ra[j + 3] -= s[3];
+                    rb[j] -= s[4];
+                    rb[j + 1] -= s[5];
+                    rb[j + 2] -= s[6];
+                    rb[j + 3] -= s[7];
+                    j += 4;
+                }
+                while j < ia {
+                    let rj = row_panel(j);
+                    ra[j] -= dot(&ra[panel.clone()], rj);
+                    rb[j] -= dot(&rb[panel.clone()], rj);
+                    j += 1;
+                }
+                // Row b's extra column under row a, then both diagonals.
+                rb[ia] -= dot(&rb[panel.clone()], &ra[panel.clone()]);
+                let da = dot(&ra[panel.clone()], &ra[panel.clone()]);
+                ra[ia] -= da;
+                let db = dot(&rb[panel.clone()], &rb[panel.clone()]);
+                rb[ia + 1] -= db;
+            }
+            i += 4;
+        }
+        // Remainder trailing rows (fewer than four left): single-row path.
+        while i < n {
+            let (above, row_i) = split_row(data, n, i);
+            for j in k..k + kb {
+                let row_j = &above[j * n..j * n + n];
+                let s = row_i[j] - dot(&row_i[k..j], &row_j[k..j]);
+                row_i[j] = s / row_j[j];
+            }
+            let panel = k..k + kb;
+            let mut j = k + kb;
+            while j + 4 <= i {
+                let s = dot4(
+                    &row_i[panel.clone()],
+                    &above[j * n + k..j * n + k + kb],
+                    &above[(j + 1) * n + k..(j + 1) * n + k + kb],
+                    &above[(j + 2) * n + k..(j + 2) * n + k + kb],
+                    &above[(j + 3) * n + k..(j + 3) * n + k + kb],
+                );
+                row_i[j] -= s[0];
+                row_i[j + 1] -= s[1];
+                row_i[j + 2] -= s[2];
+                row_i[j + 3] -= s[3];
+                j += 4;
+            }
+            while j < i {
+                let row_j = &above[j * n..j * n + n];
+                row_i[j] -= dot(&row_i[panel.clone()], &row_j[panel.clone()]);
+                j += 1;
+            }
+            let d = dot(&row_i[panel.clone()], &row_i[panel]);
+            row_i[i] -= d;
+            i += 1;
+        }
+        k += kb;
+    }
+    // Zero the strict upper triangle so `L·Lᵀ` reconstructions and
+    // `l().transpose()` see a clean factor.
+    for i in 0..n {
+        let row = &mut data[i * n..(i + 1) * n];
+        for v in &mut row[i + 1..] {
+            *v = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Fused forward/backward solve `L·Lᵀ·x = b` in place: `b` enters as the
+/// right-hand side and leaves as the solution, with no intermediate
+/// allocation. `l` must be a lower-triangular Cholesky factor.
+pub fn solve_in_place(l: &Matrix, b: &mut [f64]) -> crate::Result<()> {
+    forward_solve_in_place(l, b)?;
+    let n = l.rows();
+    let data = l.data();
+    // Backward pass in outer-product form: once x[i] is final, its
+    // contribution is swept from all remaining components using the
+    // contiguous row i instead of striding down column i.
+    for i in (0..n).rev() {
+        let row = &data[i * n..i * n + n];
+        let xi = b[i] / row[i];
+        b[i] = xi;
+        for (bk, &lik) in b[..i].iter_mut().zip(&row[..i]) {
+            *bk -= xi * lik;
+        }
+    }
+    Ok(())
+}
+
+/// Forward substitution `L·y = b` in place.
+pub fn forward_solve_in_place(l: &Matrix, b: &mut [f64]) -> crate::Result<()> {
+    let n = l.rows();
+    if b.len() != n {
+        return Err(NumericError::dim(
+            "forward_solve_in_place",
+            format!("rhs of length {n}"),
+            format!("length {}", b.len()),
+        ));
+    }
+    let data = l.data();
+    for i in 0..n {
+        let row = &data[i * n..i * n + n];
+        let s = dot(&row[..i], &b[..i]);
+        b[i] = (b[i] - s) / row[i];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // A = BᵀB + I from a cheap deterministic generator.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect()).unwrap();
+        &(&b.transpose() * &b) + &Matrix::identity(n)
+    }
+
+    #[test]
+    fn blocked_factor_reconstructs_matrix() {
+        for n in [1usize, 3, 17, 64, 65, 130] {
+            let a = spd(n, n as u64);
+            let mut l = a.clone();
+            cholesky_in_place(&mut l).unwrap();
+            let recon = &l * &l.transpose();
+            assert!(
+                recon.max_abs_diff(&a).unwrap() < 1e-10,
+                "reconstruction failed at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_solve_matches_direct_substitution() {
+        let a = spd(37, 5);
+        let mut l = a.clone();
+        cholesky_in_place(&mut l).unwrap();
+        let x_true: Vec<f64> = (0..37).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut b = a.mul_vec(&x_true).unwrap();
+        solve_in_place(&l, &mut b).unwrap();
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_and_non_square() {
+        let mut a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            cholesky_in_place(&mut a),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+        let mut a = Matrix::zeros(2, 3);
+        assert!(cholesky_in_place(&mut a).is_err());
+        let l = Matrix::identity(3);
+        assert!(forward_solve_in_place(&l, &mut [1.0]).is_err());
+    }
+
+    #[test]
+    fn dispatched_kernels_match_portable() {
+        // Whatever path the runtime dispatch picks, it must agree with the
+        // portable kernels to rounding accuracy, across remainder shapes.
+        for n in [0usize, 1, 3, 4, 7, 8, 16, 23, 64, 137] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+            let bs: Vec<Vec<f64>> = (0..4)
+                .map(|k| (0..n).map(|i| ((i + k) as f64 * 0.17).cos()).collect())
+                .collect();
+            let scale = 1.0 + n as f64;
+            assert!((dot(&a, &bs[0]) - dot_portable(&a, &bs[0])).abs() < 1e-12 * scale);
+            let got = dot4(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            let want = dot4_portable(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-12 * scale, "n={n}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_neg_weighted_matches_libm() {
+        // The dispatched fused fill must agree with scalar libm exp to a
+        // few ulps across: exact zero (exp(0) = 1), tiny and mid-range
+        // weighted sums, the deep-underflow clamp, and remainder shapes.
+        for m in [0usize, 1, 3, 4, 5, 8, 13, 64, 129] {
+            let cols_owned: Vec<Vec<f64>> = (0..3)
+                .map(|k| {
+                    (0..m + 7)
+                        .map(|i| match (i + k) % 5 {
+                            0 => 0.0,
+                            1 => 1e-12,
+                            2 => (i as f64 * 0.13).sin().abs() * 4.0,
+                            3 => i as f64 * 0.9,
+                            _ => 400.0,
+                        })
+                        .collect()
+                })
+                .collect();
+            let cols: Vec<&[f64]> = cols_owned.iter().map(|c| c.as_slice()).collect();
+            let thetas = [0.7, 1.3, 0.05];
+            let scale = 2.25;
+            for offset in [0usize, 3] {
+                let mut got = vec![0.0; m];
+                exp_neg_weighted(&mut got, scale, &thetas, &cols, offset);
+                for (j, g) in got.iter().enumerate() {
+                    let s: f64 = thetas
+                        .iter()
+                        .zip(&cols)
+                        .map(|(&th, c)| th * c[offset + j])
+                        .sum();
+                    let want = scale * (-s).exp();
+                    assert!(
+                        (g - want).abs() <= 1e-13 * want.abs() + 1e-300,
+                        "m={m} offset={offset} j={j}: {g} vs {want}"
+                    );
+                    if s == 0.0 {
+                        assert_eq!(*g, scale, "exp(0) must be exact");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        let a: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..11).map(|i| (i as f64) * 0.5).collect();
+        let expect: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - expect).abs() < 1e-12);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

@@ -101,6 +101,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable raw row-major data — the entry point for the in-place
+    /// kernels in [`crate::linalg::kernels`].
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// A single row as a slice.
     pub fn row(&self, i: usize) -> &[f64] {
         &self.data[i * self.cols..(i + 1) * self.cols]

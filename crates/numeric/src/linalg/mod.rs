@@ -14,6 +14,7 @@
 //!   Figure 1 trend fit.
 
 mod cholesky;
+pub mod kernels;
 mod lu;
 mod matrix;
 mod ols;

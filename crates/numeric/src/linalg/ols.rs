@@ -46,8 +46,11 @@ impl OlsFit {
 ///
 /// `x` is the `n × p` model matrix (callers include an intercept column
 /// themselves if wanted). Requires `n >= p`. If the Gram matrix `XᵀX` is
-/// not positive definite (collinear columns), a small ridge (`1e-10·I`) is
-/// added and the fit is retried; if that also fails the error propagates.
+/// not positive definite (collinear columns), an escalating ridge
+/// (`1e-10·I` up to `1e-6·I`) is added *to the already-built Gram matrix*
+/// — it is assembled and stored exactly once — and the factorization is
+/// retried; if every escalation fails, a [`NumericError::IllConditioned`]
+/// diagnostic reports how far the ridge went.
 pub fn ols(x: &Matrix, y: &[f64]) -> crate::Result<OlsFit> {
     let n = x.rows();
     let p = x.cols();
@@ -66,22 +69,34 @@ pub fn ols(x: &Matrix, y: &[f64]) -> crate::Result<OlsFit> {
     }
 
     let xt = x.transpose();
-    let gram = &xt * x;
+    let mut gram = &xt * x;
     let xty = xt.mul_vec(y)?;
 
-    let beta = match Cholesky::new(&gram) {
-        Ok(ch) => ch.solve(&xty)?,
-        Err(_) => {
-            // Ridge fallback for collinear designs.
-            let mut g = gram;
+    // Escalating in-place ridge: each attempt adds only the increment over
+    // the ridge already applied, so the Gram product is never rebuilt.
+    const RIDGES: [f64; 4] = [0.0, 1e-10, 1e-8, 1e-6];
+    let mut applied = 0.0;
+    let mut factored = None;
+    for &ridge in &RIDGES {
+        if ridge > applied {
+            let delta = ridge - applied;
             for i in 0..p {
-                g[(i, i)] += 1e-10;
+                gram[(i, i)] += delta;
             }
-            Cholesky::new(&g)
-                .map_err(|_| NumericError::SingularMatrix { context: "ols" })?
-                .solve(&xty)?
+            applied = ridge;
         }
-    };
+        if let Ok(ch) = Cholesky::new(&gram) {
+            factored = Some(ch);
+            break;
+        }
+    }
+    let beta = factored
+        .ok_or(NumericError::IllConditioned {
+            context: "ols (Gram matrix)",
+            attempts: RIDGES.len(),
+            max_ridge: applied,
+        })?
+        .solve(&xty)?;
 
     let fitted = x.mul_vec(&beta)?;
     let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
@@ -172,6 +187,25 @@ mod tests {
         // Any split of the coefficient works; predictions must be right.
         let yhat = fit.predict(&[2.0, 2.0]);
         assert!((yhat - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unrepairable_gram_reports_ill_conditioned() {
+        // A non-finite regressor poisons the Gram matrix beyond what any
+        // ridge can fix: the typed diagnostic must say how far it tried.
+        let x = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![2.0, 1.0]]).unwrap();
+        let err = ols(&x, &[1.0, 2.0]).unwrap_err();
+        match err {
+            NumericError::IllConditioned {
+                attempts,
+                max_ridge,
+                ..
+            } => {
+                assert_eq!(attempts, 4);
+                assert!((max_ridge - 1e-6).abs() < 1e-20);
+            }
+            other => panic!("expected IllConditioned, got {other:?}"),
+        }
     }
 
     #[test]

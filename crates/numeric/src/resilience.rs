@@ -76,7 +76,10 @@ impl ErrorClass for crate::NumericError {
     fn severity(&self) -> Severity {
         use crate::NumericError::*;
         match self {
-            SingularMatrix { .. } | NoConvergence { .. } | EmptyInput { .. } => Severity::Retryable,
+            SingularMatrix { .. }
+            | IllConditioned { .. }
+            | NoConvergence { .. }
+            | EmptyInput { .. } => Severity::Retryable,
             InvalidParameter { .. } | DimensionMismatch { .. } => Severity::Fatal,
         }
     }
