@@ -1,0 +1,203 @@
+//! Scheduler adapter: runs a durable [`ParticleFilter`] campaign as a
+//! schedulable [`Campaign`].
+//!
+//! Each slice continues the filter from the last checkpointed observation
+//! step; the scheduler's control block (cancel token + deadline) is
+//! threaded into the filter's per-step boundary checks, so preemption and
+//! shedding land exactly between observation updates. The campaign's
+//! scalar summary is the filter's total log evidence over the completed
+//! steps — the model-comparison quantity an overload-aware analyst would
+//! track across degraded runs.
+
+use crate::pf::{ParticleFilter, ParticleState, PfRun, Proposal, StateSpaceModel};
+use mde_numeric::resilience::{RunOptions, RunPolicy, StopCause};
+use mde_numeric::{
+    Campaign, CampaignCtl, CampaignError, CampaignOutput, CampaignState, CampaignStep, ErrorClass,
+};
+
+/// A durable particle-filter run packaged as a schedulable campaign.
+pub struct PfCampaign<M, Q>
+where
+    M: StateSpaceModel,
+    M::State: ParticleState,
+    Q: Proposal<M>,
+{
+    filter: ParticleFilter,
+    model: M,
+    proposal: Q,
+    observations: Vec<M::Obs>,
+    opts: RunOptions,
+    state: Option<CampaignState>,
+}
+
+impl<M, Q> PfCampaign<M, Q>
+where
+    M: StateSpaceModel,
+    M::State: ParticleState,
+    Q: Proposal<M>,
+{
+    /// Package a filter run over an observation sequence as a campaign.
+    pub fn new(
+        filter: ParticleFilter,
+        model: M,
+        proposal: Q,
+        observations: Vec<M::Obs>,
+        opts: RunOptions,
+    ) -> Self {
+        PfCampaign {
+            filter,
+            model,
+            proposal,
+            observations,
+            opts,
+            state: None,
+        }
+    }
+
+    fn absorbs_shedding(&self) -> bool {
+        matches!(self.opts.policy, RunPolicy::BestEffort { .. })
+    }
+
+    fn run_slice(&mut self, ctl: &CampaignCtl) -> crate::Result<PfRun<M::State>> {
+        let mut opts = self.opts.clone();
+        opts.cancel = Some(ctl.cancel.clone());
+        if ctl.deadline.is_some() {
+            opts.deadline = ctl.deadline;
+        }
+        match self.state.take() {
+            Some(state) => self.filter.resume_durable(
+                &self.model,
+                &self.proposal,
+                &self.observations,
+                &opts,
+                state,
+            ),
+            None => self
+                .filter
+                .run_durable(&self.model, &self.proposal, &self.observations, &opts),
+        }
+    }
+}
+
+impl<M, Q> Campaign for PfCampaign<M, Q>
+where
+    M: StateSpaceModel + Send,
+    M::State: ParticleState + Send,
+    M::Obs: Send,
+    Q: Proposal<M> + Send,
+{
+    fn run(&mut self, ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+        let n_obs = self.observations.len() as u64;
+        let run = self.run_slice(ctl).map_err(|e| CampaignError {
+            message: e.to_string(),
+            severity: e.severity(),
+        })?;
+        let output = |run: PfRun<M::State>| {
+            let evidence: f64 = run
+                .steps
+                .iter()
+                .map(|s| s.ln_evidence_increment)
+                .filter(|v| v.is_finite())
+                .sum();
+            let value = (!run.steps.is_empty()).then_some(evidence);
+            CampaignOutput {
+                value,
+                report: run.report,
+            }
+        };
+        match run.stopped {
+            None => Ok(CampaignStep::Done(output(run))),
+            Some(StopCause::Shed) if self.absorbs_shedding() => {
+                let mut run = run;
+                let cursor = run.checkpoint.as_ref().map(|s| s.cursor).unwrap_or(n_obs);
+                run.report.record_shed(n_obs.saturating_sub(cursor));
+                Ok(CampaignStep::Done(output(run)))
+            }
+            Some(_) => {
+                let resumable = run.checkpoint.is_some();
+                self.state = run.checkpoint;
+                Ok(CampaignStep::Boundary { resumable })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pf::BootstrapProposal;
+    use mde_numeric::dist::Continuous;
+    use mde_numeric::resilience::CancelReason;
+    use mde_numeric::rng::Rng;
+
+    /// Scalar random-walk model with Gaussian observations.
+    struct Walk;
+
+    impl StateSpaceModel for Walk {
+        type State = f64;
+        type Obs = f64;
+
+        fn sample_initial(&self, rng: &mut Rng) -> f64 {
+            mde_numeric::dist::Normal::sample_standard(rng)
+        }
+
+        fn sample_transition(&self, prev: &f64, rng: &mut Rng) -> f64 {
+            prev + 0.3 * mde_numeric::dist::Normal::sample_standard(rng)
+        }
+
+        fn ln_likelihood(&self, state: &f64, obs: &f64) -> f64 {
+            mde_numeric::dist::Normal::new(*state, 0.5)
+                .unwrap()
+                .ln_pdf(*obs)
+        }
+    }
+
+    fn walk_campaign(policy: RunPolicy) -> PfCampaign<Walk, BootstrapProposal> {
+        let obs: Vec<f64> = (0..6).map(|t| (t as f64) * 0.1).collect();
+        PfCampaign::new(
+            ParticleFilter::new(64, 11),
+            Walk,
+            BootstrapProposal,
+            obs,
+            RunOptions::policy(policy),
+        )
+    }
+
+    #[test]
+    fn preempt_then_resume_matches_uninterrupted() {
+        let mut base = walk_campaign(RunPolicy::FailFast);
+        let baseline = match base.run(&CampaignCtl::new()).expect("baseline") {
+            CampaignStep::Done(out) => out,
+            other => panic!("expected Done, got {other:?}"),
+        };
+
+        let mut c = walk_campaign(RunPolicy::FailFast);
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Preempt);
+        match c.run(&ctl).expect("preempted slice") {
+            CampaignStep::Boundary { resumable } => assert!(resumable),
+            other => panic!("expected Boundary, got {other:?}"),
+        }
+        let resumed = match c.run(&CampaignCtl::new()).expect("resumed") {
+            CampaignStep::Done(out) => out,
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_eq!(resumed.value, baseline.value);
+        assert_eq!(resumed.report.succeeded, baseline.report.succeeded);
+    }
+
+    #[test]
+    fn best_effort_absorbs_shedding() {
+        let mut c = walk_campaign(RunPolicy::BestEffort { min_fraction: 0.0 });
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Shed);
+        match c.run(&ctl).expect("shed slice") {
+            CampaignStep::Done(out) => {
+                assert_eq!(out.report.shed, 6);
+                assert!(out.report.ci_widened);
+                assert_eq!(out.value, None);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Emit `BENCH_sched.json`: throughput and queue-wait tails for the
+//! overload-resilient campaign scheduler under a mixed multi-tenant
+//! workload — real Monte Carlo query campaigns alongside synthetic
+//! retryable work, with injected slowdowns and a pressure-shedding
+//! admission queue.
+//!
+//! Usage: `cargo run --release -p mde-bench --bin sched_bench_json [-- --quick]`
+//!
+//! Writes `BENCH_sched.json` into the current directory and prints it to
+//! stdout. `--quick` shrinks the workload to a CI smoke run (and skips
+//! the file write so CI never dirties the tree). The fault-placement
+//! seed is taken from `MDE_CHAOS_SEED` when set, so the CI matrix
+//! exercises different overload victims per lane while staying
+//! deterministic within one.
+//!
+//! Reported per worker-thread count: campaigns-per-second throughput,
+//! queue-wait p50/p99, end-to-end drain time, and the deterministic
+//! admission ledger (admitted/completed/shed/preempted/retries) — the
+//! ledger half is asserted identical across thread counts before
+//! anything is emitted, so a nondeterminism regression fails the bench
+//! instead of publishing garbage.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mde_core::resilience::{
+    CampaignCtl, CampaignError, CampaignOutput, CampaignStep, FaultPlan, Priority, RunOptions,
+    RunPolicy, RunReport,
+};
+use mde_core::sched::{CampaignSpec, SchedConfig, SchedRun, Scheduler};
+use mde_mcdb::mc::MonteCarloQuery;
+use mde_mcdb::prelude::*;
+use mde_mcdb::query::{AggFunc, AggSpec, Plan};
+use mde_mcdb::sched::McCampaign;
+use mde_mcdb::vg::NormalVg;
+use mde_numeric::resilience::sched::Campaign;
+use mde_numeric::{BackoffConfig, BreakerConfig};
+
+/// Synthetic campaign: fails retryably `failures` times, then completes.
+struct Flaky {
+    failures: u32,
+}
+
+impl Campaign for Flaky {
+    fn run(&mut self, ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+        if ctl.cancel.is_cancelled() {
+            return Ok(CampaignStep::Boundary { resumable: true });
+        }
+        if self.failures > 0 {
+            self.failures -= 1;
+            return Err(CampaignError::retryable("injected transient failure"));
+        }
+        Ok(CampaignStep::Done(CampaignOutput {
+            value: Some(1.0),
+            report: RunReport::new(),
+        }))
+    }
+}
+
+fn mc_campaign(n: usize, seed: u64, policy: RunPolicy) -> McCampaign {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build("ITEMS", &[("IID", DataType::Int)])
+            .rows((0..8).map(|i| vec![Value::from(i)]))
+            .finish()
+            .expect("items table"),
+    );
+    db.insert(
+        Table::build(
+            "PARAMS",
+            &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+        )
+        .row(vec![Value::from(10.0), Value::from(2.0)])
+        .finish()
+        .expect("params table"),
+    );
+    let spec = RandomTableSpec::builder("SALES")
+        .for_each(Plan::scan("ITEMS"))
+        .with_vg(Arc::new(NormalVg))
+        .vg_params_query(Plan::scan("PARAMS"))
+        .select(&[("IID", Expr::col("IID")), ("AMT", Expr::col("VALUE"))])
+        .build()
+        .expect("random table spec");
+    let plan = Plan::scan("SALES").aggregate(
+        &[],
+        vec![AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("AMT"))],
+    );
+    McCampaign::new(
+        MonteCarloQuery::new(vec![spec], plan),
+        db,
+        n,
+        seed,
+        RunOptions::policy(policy),
+    )
+}
+
+fn workload_cfg(seed: u64) -> SchedConfig {
+    // Slow down two seed-selected campaigns so queue waits have a tail.
+    let faults = FaultPlan::new()
+        .slow_worker(seed % 4, 3)
+        .slow_worker(4 + seed % 4, 2);
+    SchedConfig {
+        // Tight enough that the full workload (32 submissions per tenant)
+        // actually exercises admission control: low-priority victims are
+        // shed and some submissions take typed QueueFull rejections.
+        queue_capacity: 24,
+        max_attempts: 4,
+        backoff: BackoffConfig {
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(2),
+            jitter: 0.5,
+        },
+        breaker: BreakerConfig {
+            trip_after: 16,
+            cooldown: 4,
+        },
+        stall_ms: 5,
+        faults: Some(faults),
+        ..SchedConfig::default()
+    }
+}
+
+/// Submit `n_campaigns` across three tenants; every third is a real
+/// Monte Carlo query, the rest are synthetic with varying retry depth.
+fn submit_workload(s: &mut Scheduler, n_campaigns: u64, mc_reps: usize, seed: u64) -> u64 {
+    let tenants = ["acme", "globex", "initech"];
+    let mut admitted = 0;
+    for i in 0..n_campaigns {
+        // Priority cycles independently of tenant ((i / 3) vs i) so every
+        // tenant's queue mixes priorities and shedding has victims.
+        let spec = CampaignSpec::new(tenants[(i % 3) as usize], format!("c{i}"))
+            .on_resource(if i % 2 == 0 { "mcdb" } else { "sim" })
+            .with_priority(match (i / 3) % 3 {
+                0 => Priority::Interactive,
+                1 => Priority::Batch,
+                _ => Priority::BestEffort,
+            });
+        let campaign: Box<dyn Campaign> = if i % 3 == 0 {
+            Box::new(mc_campaign(
+                mc_reps,
+                seed ^ i,
+                RunPolicy::BestEffort { min_fraction: 0.0 },
+            ))
+        } else {
+            Box::new(Flaky {
+                failures: (i % 3) as u32,
+            })
+        };
+        if s.submit(spec, campaign).is_ok() {
+            admitted += 1;
+        }
+    }
+    admitted
+}
+
+struct Lane {
+    threads: usize,
+    drain_ms: f64,
+    throughput_cps: f64,
+    queue_wait_p50_ms: f64,
+    queue_wait_p99_ms: f64,
+    breaker_trips: u64,
+    ledger: Vec<(String, u64)>,
+}
+
+fn run_lane(threads: usize, n_campaigns: u64, mc_reps: usize, seed: u64) -> (Lane, SchedRun) {
+    let mut s = Scheduler::new(workload_cfg(seed));
+    let admitted = submit_workload(&mut s, n_campaigns, mc_reps, seed);
+    let t = Instant::now();
+    let run = s.run(threads);
+    let drain = t.elapsed().as_secs_f64();
+    let wait = run.metrics.duration("sched.queue_wait");
+    let q = |p: f64| {
+        wait.and_then(|h| h.quantile(p))
+            .map(|v| v * 1e3)
+            .unwrap_or(0.0)
+    };
+    // `sched.breaker_trips` is deliberately NOT in the deterministic
+    // ledger: with failures arriving from several campaigns on one
+    // resource, the streak the breaker sees depends on worker
+    // interleaving. Trips are flow control — they delay dispatch but
+    // never change campaign outcomes — so they are per-lane telemetry.
+    let ledger = [
+        "sched.admitted",
+        "sched.rejected",
+        "sched.completed",
+        "sched.shed",
+        "sched.preempted",
+        "sched.retries",
+        "sched.failed",
+    ]
+    .iter()
+    .map(|k| (k.to_string(), run.metrics.counter(k)))
+    .collect();
+    let lane = Lane {
+        threads,
+        drain_ms: drain * 1e3,
+        throughput_cps: admitted as f64 / drain.max(1e-9),
+        queue_wait_p50_ms: q(0.5),
+        queue_wait_p99_ms: q(0.99),
+        breaker_trips: run.metrics.counter("sched.breaker_trips"),
+        ledger,
+    };
+    (lane, run)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed: u64 = std::env::var("MDE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let (n_campaigns, mc_reps) = if quick { (24, 16) } else { (96, 64) };
+
+    let mut lanes = Vec::new();
+    let mut ledgers = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        let (lane, _run) = run_lane(threads, n_campaigns, mc_reps, seed);
+        ledgers.push(lane.ledger.clone());
+        lanes.push(lane);
+    }
+
+    // Guardrail: the deterministic ledger half must not depend on the
+    // worker-thread count. Fail loudly rather than publish numbers from a
+    // scheduler that lost its determinism contract.
+    for l in &ledgers[1..] {
+        assert_eq!(
+            &ledgers[0], l,
+            "deterministic ledger diverged across thread counts"
+        );
+    }
+
+    // Hand-rolled JSON: stable field order, no serializer dependency.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"sched_overload\",\n  \"seed\": {seed},\n"
+    ));
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"campaigns\": {n_campaigns},\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str("  \"ledger\": {");
+    for (i, (k, v)) in ledgers[0].iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"{}\": {}",
+            if i == 0 { "" } else { ", " },
+            k.strip_prefix("sched.").unwrap_or(k),
+            v
+        ));
+    }
+    json.push_str("},\n");
+    json.push_str("  \"lanes\": [\n");
+    for (i, l) in lanes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"drain_ms\": {:.3}, \"throughput_cps\": {:.1}, \
+             \"queue_wait_p50_ms\": {:.3}, \"queue_wait_p99_ms\": {:.3}, \
+             \"breaker_trips\": {}}}{}\n",
+            l.threads,
+            l.drain_ms,
+            l.throughput_cps,
+            l.queue_wait_p50_ms,
+            l.queue_wait_p99_ms,
+            l.breaker_trips,
+            if i + 1 < lanes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    print!("{json}");
+    if !quick {
+        std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
+        eprintln!("wrote BENCH_sched.json");
+    }
+}

@@ -1,0 +1,161 @@
+//! Scheduler adapter: runs a durable random-search calibration as a
+//! schedulable [`Campaign`].
+//!
+//! Each slice continues the search from the last checkpointed evaluation;
+//! the scheduler's cancel token and deadline ride through the search's
+//! per-evaluation boundary checks. The campaign's scalar summary is the
+//! best objective value found over the completed evaluations.
+
+use crate::optim::{random_search_durable, resume_random_search, Bounds, OptimRun};
+use mde_numeric::resilience::{RunOptions, RunPolicy, StopCause};
+use mde_numeric::{
+    Campaign, CampaignCtl, CampaignError, CampaignOutput, CampaignState, CampaignStep, ErrorClass,
+};
+
+/// A boxed objective function the scheduler can own and move across
+/// worker threads.
+pub type BoxedObjective = Box<dyn FnMut(&[f64]) -> f64 + Send>;
+
+/// A durable random-search calibration packaged as a schedulable
+/// campaign. The objective is boxed so the campaign is an object-safe
+/// unit the scheduler can own.
+pub struct SearchCampaign {
+    objective: BoxedObjective,
+    bounds: Bounds,
+    evals: usize,
+    seed: u64,
+    opts: RunOptions,
+    state: Option<CampaignState>,
+}
+
+impl SearchCampaign {
+    /// Package a random search over `bounds` as a campaign of `evals`
+    /// objective evaluations.
+    pub fn new(
+        objective: impl FnMut(&[f64]) -> f64 + Send + 'static,
+        bounds: Bounds,
+        evals: usize,
+        seed: u64,
+        opts: RunOptions,
+    ) -> Self {
+        SearchCampaign {
+            objective: Box::new(objective),
+            bounds,
+            evals,
+            seed,
+            opts,
+            state: None,
+        }
+    }
+
+    fn absorbs_shedding(&self) -> bool {
+        matches!(self.opts.policy, RunPolicy::BestEffort { .. })
+    }
+
+    fn run_slice(&mut self, ctl: &CampaignCtl) -> crate::Result<OptimRun> {
+        let mut opts = self.opts.clone();
+        opts.cancel = Some(ctl.cancel.clone());
+        if ctl.deadline.is_some() {
+            opts.deadline = ctl.deadline;
+        }
+        match self.state.take() {
+            Some(state) => resume_random_search(
+                &mut self.objective,
+                &self.bounds,
+                self.evals,
+                self.seed,
+                &opts,
+                state,
+            ),
+            None => random_search_durable(
+                &mut self.objective,
+                &self.bounds,
+                self.evals,
+                self.seed,
+                &opts,
+            ),
+        }
+    }
+}
+
+impl Campaign for SearchCampaign {
+    fn run(&mut self, ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+        let evals = self.evals as u64;
+        let run = self.run_slice(ctl).map_err(|e| CampaignError {
+            message: e.to_string(),
+            severity: e.severity(),
+        })?;
+        let output = |run: OptimRun| CampaignOutput {
+            value: run.best.as_ref().map(|b| b.fx),
+            report: run.report,
+        };
+        match run.stopped {
+            None => Ok(CampaignStep::Done(output(run))),
+            Some(StopCause::Shed) if self.absorbs_shedding() => {
+                let mut run = run;
+                let cursor = run.checkpoint.as_ref().map(|s| s.cursor).unwrap_or(evals);
+                run.report.record_shed(evals.saturating_sub(cursor));
+                Ok(CampaignStep::Done(output(run)))
+            }
+            Some(_) => {
+                let resumable = run.checkpoint.is_some();
+                self.state = run.checkpoint;
+                Ok(CampaignStep::Boundary { resumable })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mde_numeric::resilience::CancelReason;
+
+    fn sphere_campaign(policy: RunPolicy) -> SearchCampaign {
+        SearchCampaign::new(
+            |x: &[f64]| x.iter().map(|v| v * v).sum(),
+            Bounds::new(vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap(),
+            24,
+            5,
+            RunOptions::policy(policy),
+        )
+    }
+
+    #[test]
+    fn preempt_then_resume_matches_uninterrupted() {
+        let mut base = sphere_campaign(RunPolicy::FailFast);
+        let baseline = match base.run(&CampaignCtl::new()).expect("baseline") {
+            CampaignStep::Done(out) => out,
+            other => panic!("expected Done, got {other:?}"),
+        };
+
+        let mut c = sphere_campaign(RunPolicy::FailFast);
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Preempt);
+        match c.run(&ctl).expect("preempted slice") {
+            CampaignStep::Boundary { resumable } => assert!(resumable),
+            other => panic!("expected Boundary, got {other:?}"),
+        }
+        let resumed = match c.run(&CampaignCtl::new()).expect("resumed") {
+            CampaignStep::Done(out) => out,
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_eq!(resumed.value, baseline.value);
+        assert_eq!(resumed.report.succeeded, baseline.report.succeeded);
+    }
+
+    #[test]
+    fn best_effort_absorbs_shedding_with_partial_best() {
+        let mut c = sphere_campaign(RunPolicy::BestEffort { min_fraction: 0.0 });
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Shed);
+        match c.run(&ctl).expect("shed slice") {
+            CampaignStep::Done(out) => {
+                assert_eq!(out.report.shed, 24);
+                assert!(out.report.ci_widened);
+                assert_eq!(out.value, None, "nothing evaluated before the shed");
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+}

@@ -57,10 +57,12 @@ pub mod experiment;
 pub mod obs;
 pub mod registry;
 pub mod resilience;
+pub mod sched;
 pub mod whatif;
 
 pub use error::CoreError;
 pub use resilience::{ErrorClass, RunOptions, RunPolicy, RunReport, Severity};
+pub use sched::{CampaignReport, CampaignSpec, CampaignStatus, SchedConfig, SchedRun, Scheduler};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -42,8 +42,13 @@
 //! bit-identical to an uninterrupted run.
 
 pub use mde_numeric::checkpoint::{CampaignState, CheckpointError, Fingerprint, SaveStats};
+pub use mde_numeric::resilience::backoff::{Backoff, BackoffConfig};
+pub use mde_numeric::resilience::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use mde_numeric::resilience::sched::{
+    Campaign, CampaignCtl, CampaignError, CampaignOutput, CampaignStep, Overloaded, Priority,
+};
 pub use mde_numeric::resilience::{
-    catch_panic, retry_seed, supervise_replicate, AttemptFailure, CancelToken, CheckpointSpec,
-    Deadline, ErrorClass, FailureKind, FailureRecord, Fault, FaultKind, FaultPlan,
+    catch_panic, retry_seed, supervise_replicate, AttemptFailure, CancelReason, CancelToken,
+    CheckpointSpec, Deadline, ErrorClass, FailureKind, FailureRecord, Fault, FaultKind, FaultPlan,
     ReplicateOutcome, RunOptions, RunPolicy, RunReport, Severity, StopCause,
 };

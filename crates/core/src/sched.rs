@@ -1,0 +1,1279 @@
+//! Overload-resilient campaign scheduler: admission control over bounded
+//! per-tenant queues, deadline-aware (EDF) dispatch, a deterministic
+//! retry ladder with seeded-jitter backoff, per-resource circuit
+//! breakers, and graceful load shedding.
+//!
+//! # Model
+//!
+//! Work arrives as [`Campaign`] boxes (any execution surface adapted to
+//! the slice protocol of [`mde_numeric::resilience::sched`]) tagged with
+//! a [`CampaignSpec`] — tenant, resource, [`Priority`], cost, optional
+//! [`Deadline`], and a fingerprint that seeds the campaign's backoff
+//! jitter. [`Scheduler::submit`] is the admission controller: it either
+//! accepts the campaign into its tenant's bounded queue or rejects it
+//! with a typed [`Overloaded`] error. Under queue pressure it prefers
+//! shedding already-queued lower-priority work over rejecting the
+//! incoming submission; when no victim outranks the newcomer, the
+//! newcomer is rejected.
+//!
+//! [`Scheduler::run`] drains the admitted queue over a worker pool.
+//! Dispatch is earliest-deadline-first (deadlined campaigns before
+//! undeadlined ones, then higher priority, then submission order). Every
+//! slice runs under a fresh [`CampaignCtl`]; the scheduler triggers
+//! [`CancelReason::Shed`] / [`CancelReason::Preempt`] through the control
+//! block, so campaigns stop at their own replicate boundaries — never
+//! mid-replicate.
+//!
+//! # Determinism
+//!
+//! The scheduler's ledger splits the same way every run report does:
+//! admission decisions, shed/preempt/retry counts, retry backoff
+//! schedules, and terminal statuses are pure functions of the submission
+//! sequence and the fault plan — bit-identical at any worker count —
+//! while queue-wait and latency measurements ride out-of-band in the
+//! metrics ledger, excluded from deterministic equality.
+//!
+//! # Chaos faults
+//!
+//! A [`FaultPlan`] in [`SchedConfig::faults`] drives the overload chaos
+//! harness: `stall_worker`/`slow_worker` delay the dispatching worker
+//! (timing only), `queue_full_at` forces an admission rejection,
+//! `shed_campaign_at`/`preempt_campaign_at` trigger mid-run control
+//! signals before a keyed dispatch slice.
+
+use crate::resilience::{CancelToken, Deadline, ErrorClass, FaultPlan};
+use mde_numeric::obs::RunMetrics;
+use mde_numeric::resilience::CancelReason;
+use mde_numeric::{
+    Backoff, BackoffConfig, BreakerConfig, Campaign, CampaignCtl, CampaignOutput, CampaignStep,
+    CircuitBreaker, Fingerprint, Overloaded, Priority,
+};
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduler configuration: queue bounds, budgets, the retry ladder, and
+/// breaker thresholds.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Bound on each tenant's waiting queue; admission beyond it sheds a
+    /// lower-priority queued campaign or rejects with
+    /// [`Overloaded::QueueFull`].
+    pub queue_capacity: usize,
+    /// Bound on the summed [`CampaignSpec::cost`] of admitted,
+    /// not-yet-finished campaigns; admission beyond it rejects with
+    /// [`Overloaded::CostBudget`].
+    pub cost_budget: u64,
+    /// When the total waiting depth exceeds this at dispatch time, the
+    /// scheduler sheds lowest-priority waiting campaigns (typed
+    /// [`Overloaded::Shed`]) until the depth is back under the line.
+    pub pressure_depth: usize,
+    /// Terminal attempt bound for the retry ladder: a campaign whose
+    /// slice fails retryably is re-dispatched with backoff until it has
+    /// consumed this many attempts.
+    pub max_attempts: u32,
+    /// Backoff ladder shape; jitter is seeded per-campaign from the spec
+    /// fingerprint, so schedules are deterministic and de-synchronized.
+    pub backoff: BackoffConfig,
+    /// Per-resource circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// How long a [`FaultKind::StalledWorker`](crate::resilience::FaultKind)
+    /// fault blocks the dispatching worker, in milliseconds.
+    pub stall_ms: u64,
+    /// Deterministic chaos injection (tests only; `None` in production).
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            queue_capacity: 8,
+            cost_budget: u64::MAX,
+            pressure_depth: usize::MAX,
+            max_attempts: 3,
+            backoff: BackoffConfig::default(),
+            breaker: BreakerConfig::default(),
+            stall_ms: 25,
+            faults: None,
+        }
+    }
+}
+
+/// Identity and placement metadata for one submitted campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Owning tenant (its queue bound applies).
+    pub tenant: String,
+    /// Human-readable campaign name (appears in typed rejections).
+    pub name: String,
+    /// The resource the campaign executes against; one circuit breaker
+    /// per distinct resource.
+    pub resource: String,
+    /// Dispatch priority class.
+    pub priority: Priority,
+    /// Admission cost against [`SchedConfig::cost_budget`].
+    pub cost: u64,
+    /// Wall-clock deadline: EDF-ordered at dispatch, expired campaigns
+    /// are rejected with [`Overloaded::DeadlineExpired`] instead of run.
+    pub deadline: Option<Deadline>,
+    /// Seeds the campaign's backoff jitter; defaults to a digest of
+    /// tenant and name.
+    pub fingerprint: u64,
+}
+
+impl CampaignSpec {
+    /// A batch-priority, cost-1 spec on the `"default"` resource.
+    pub fn new(tenant: impl Into<String>, name: impl Into<String>) -> Self {
+        let tenant = tenant.into();
+        let name = name.into();
+        let fingerprint = Fingerprint::new("sched.campaign")
+            .push_str(&tenant)
+            .push_str(&name)
+            .finish();
+        CampaignSpec {
+            tenant,
+            name,
+            resource: "default".to_string(),
+            priority: Priority::Batch,
+            cost: 1,
+            deadline: None,
+            fingerprint,
+        }
+    }
+
+    /// Set the resource (breaker key).
+    pub fn on_resource(mut self, resource: impl Into<String>) -> Self {
+        self.resource = resource.into();
+        self
+    }
+
+    /// Set the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the admission cost.
+    pub fn with_cost(mut self, cost: u64) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Attach a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Override the backoff-jitter fingerprint.
+    pub fn with_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.fingerprint = fingerprint;
+        self
+    }
+}
+
+/// How one admitted campaign terminated.
+#[derive(Debug)]
+pub enum CampaignStatus {
+    /// Ran to completion (possibly degraded — the output's report says).
+    Completed(CampaignOutput),
+    /// Admitted but never completed: shed from the queue under pressure,
+    /// or its deadline expired before dispatch.
+    Rejected(Overloaded),
+    /// Shed mid-run under a strict policy: the campaign stopped at a
+    /// boundary and, when `resumable`, retains its checkpoint — reclaim
+    /// the campaign box with [`SchedRun::reclaim`] and resubmit to
+    /// continue from where it stopped.
+    Preempted {
+        /// Whether the campaign checkpointed and resumes at its cursor.
+        resumable: bool,
+    },
+    /// The retry ladder was exhausted or the campaign failed fatally.
+    Failed {
+        /// Terminal failure message.
+        message: String,
+    },
+}
+
+/// Per-campaign accounting for one scheduler run.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Submission id (as returned by [`Scheduler::submit`]).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Campaign name.
+    pub name: String,
+    /// Priority class it was scheduled under.
+    pub priority: Priority,
+    /// Terminal status.
+    pub status: CampaignStatus,
+    /// Failed attempts consumed on the retry ladder.
+    pub attempts: u32,
+    /// Dispatch slices executed (re-dispatches after preemption and
+    /// retries each count one).
+    pub slices: u32,
+    /// Times the campaign was preempted and re-queued.
+    pub preemptions: u32,
+    /// The deterministic backoff delays scheduled between retries, in
+    /// ladder order.
+    pub retry_schedule: Vec<Duration>,
+}
+
+/// The result of draining a scheduler queue: per-campaign reports (in
+/// submission order) plus the scheduler's own metrics ledger.
+pub struct SchedRun {
+    /// One report per admitted campaign, ordered by submission id.
+    pub reports: Vec<CampaignReport>,
+    /// Scheduler ledger: deterministic counters (`sched.admitted`,
+    /// `sched.shed`, `sched.preempted`, `sched.retries`,
+    /// `sched.breaker_trips`, `sched.completed`, `sched.failed`, and
+    /// per-tenant variants) plus out-of-band queue-wait and slice
+    /// latency histograms.
+    pub metrics: RunMetrics,
+    resumable: HashMap<u64, Box<dyn Campaign>>,
+}
+
+impl SchedRun {
+    /// The report for submission `id`.
+    pub fn report(&self, id: u64) -> Option<&CampaignReport> {
+        self.reports.iter().find(|r| r.id == id)
+    }
+
+    /// Take back the campaign box of a mid-run-shed campaign (status
+    /// [`CampaignStatus::Preempted`] with `resumable: true`) so it can be
+    /// resubmitted; it resumes from its retained checkpoint.
+    pub fn reclaim(&mut self, id: u64) -> Option<Box<dyn Campaign>> {
+        self.resumable.remove(&id)
+    }
+}
+
+impl std::fmt::Debug for SchedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedRun")
+            .field("reports", &self.reports)
+            .field("metrics", &self.metrics)
+            .field("resumable", &self.resumable.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+enum EntryState {
+    Waiting { not_before: Option<Instant> },
+    Running,
+    Terminal(CampaignStatus),
+}
+
+struct Entry {
+    id: u64,
+    spec: CampaignSpec,
+    campaign: Option<Box<dyn Campaign>>,
+    state: EntryState,
+    attempts: u32,
+    slices: u32,
+    preemptions: u32,
+    retry_schedule: Vec<Duration>,
+    backoff: Backoff,
+    ready_at: Instant,
+}
+
+impl Entry {
+    fn is_waiting(&self) -> bool {
+        matches!(self.state, EntryState::Waiting { .. })
+    }
+}
+
+/// The admission-controlled, overload-resilient campaign scheduler.
+///
+/// Lifecycle: [`Scheduler::submit`] campaigns (admission control runs
+/// synchronously, in submission order), then [`Scheduler::run`] to drain
+/// the queue over a worker pool. Circuit breakers persist across runs, so
+/// a resource that tripped during one run fast-rejects admissions in the
+/// next until its cooldown elapses.
+pub struct Scheduler {
+    cfg: SchedConfig,
+    entries: Vec<Entry>,
+    submissions: u64,
+    admitted_cost: u64,
+    breakers: HashMap<String, CircuitBreaker>,
+    metrics: RunMetrics,
+}
+
+impl Scheduler {
+    /// A scheduler with the given configuration.
+    pub fn new(cfg: SchedConfig) -> Self {
+        Scheduler {
+            cfg,
+            entries: Vec::new(),
+            submissions: 0,
+            admitted_cost: 0,
+            breakers: HashMap::new(),
+            metrics: RunMetrics::new(),
+        }
+    }
+
+    /// Campaigns currently admitted and waiting.
+    pub fn queued(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_waiting()).count()
+    }
+
+    /// Admit a campaign or reject it with a typed [`Overloaded`] error.
+    ///
+    /// Admission checks run in order: injected queue-full faults, the
+    /// tenant's queue bound (shedding a strictly lower-priority queued
+    /// victim when one exists), the global cost budget, and the
+    /// resource's circuit breaker. Decisions are deterministic in the
+    /// submission sequence.
+    pub fn submit(
+        &mut self,
+        spec: CampaignSpec,
+        campaign: Box<dyn Campaign>,
+    ) -> Result<u64, Overloaded> {
+        let seq = self.submissions;
+        self.submissions += 1;
+
+        let injected_full = self.cfg.faults.as_ref().is_some_and(|f| f.queue_full(seq));
+        let tenant_depth = self
+            .entries
+            .iter()
+            .filter(|e| e.is_waiting() && e.spec.tenant == spec.tenant)
+            .count();
+        if injected_full || tenant_depth >= self.cfg.queue_capacity {
+            // Prefer shedding queued work that the newcomer outranks over
+            // bouncing the newcomer; an injected fault brooks no victim.
+            let victim = if injected_full {
+                None
+            } else {
+                self.entries
+                    .iter_mut()
+                    .filter(|e| {
+                        e.is_waiting()
+                            && e.spec.tenant == spec.tenant
+                            && e.spec.priority < spec.priority
+                    })
+                    .min_by_key(|e| (e.spec.priority, std::cmp::Reverse(e.id)))
+            };
+            match victim {
+                Some(v) => {
+                    let cost = v.spec.cost;
+                    let tenant = v.spec.tenant.clone();
+                    v.state = EntryState::Terminal(CampaignStatus::Rejected(Overloaded::Shed {
+                        tenant: v.spec.tenant.clone(),
+                        campaign: v.spec.name.clone(),
+                    }));
+                    v.campaign = None;
+                    self.admitted_cost = self.admitted_cost.saturating_sub(cost);
+                    self.metrics.inc("sched.shed");
+                    self.metrics.inc(&format!("sched.tenant.{tenant}.shed"));
+                }
+                None => {
+                    self.metrics.inc("sched.rejected");
+                    return Err(Overloaded::QueueFull {
+                        tenant: spec.tenant,
+                        depth: tenant_depth,
+                        capacity: self.cfg.queue_capacity,
+                    });
+                }
+            }
+        }
+
+        if self.admitted_cost.saturating_add(spec.cost) > self.cfg.cost_budget {
+            self.metrics.inc("sched.rejected");
+            return Err(Overloaded::CostBudget {
+                cost: spec.cost,
+                in_flight: self.admitted_cost,
+                budget: self.cfg.cost_budget,
+            });
+        }
+
+        if let Some(b) = self.breakers.get(&spec.resource) {
+            if b.state() == mde_numeric::BreakerState::Open {
+                self.metrics.inc("sched.rejected");
+                return Err(Overloaded::BreakerOpen {
+                    resource: spec.resource,
+                });
+            }
+        }
+
+        let id = seq;
+        self.admitted_cost += spec.cost;
+        self.metrics.inc("sched.admitted");
+        self.metrics
+            .inc(&format!("sched.tenant.{}.admitted", spec.tenant));
+        let backoff = Backoff::new(self.cfg.backoff, spec.fingerprint);
+        self.entries.push(Entry {
+            id,
+            spec,
+            campaign: Some(campaign),
+            state: EntryState::Waiting { not_before: None },
+            attempts: 0,
+            slices: 0,
+            preemptions: 0,
+            retry_schedule: Vec::new(),
+            backoff,
+            ready_at: Instant::now(),
+        });
+        Ok(id)
+    }
+
+    /// Drain the admitted queue over `threads` workers and return the
+    /// per-campaign reports and the scheduler ledger. Never deadlocks:
+    /// every worker wait is bounded, stalled/slow workers only delay their
+    /// own slice, and every admitted campaign terminates in one of the
+    /// [`CampaignStatus`] arms.
+    pub fn run(&mut self, threads: usize) -> SchedRun {
+        // Pressure shedding: the cheapest place to relieve overload is
+        // before dispatch ever starts — drop lowest-priority (then
+        // newest) waiting work until the backlog fits.
+        while self.queued() > self.cfg.pressure_depth {
+            let victim = self
+                .entries
+                .iter_mut()
+                .filter(|e| e.is_waiting())
+                .min_by_key(|e| (e.spec.priority, std::cmp::Reverse(e.id)));
+            match victim {
+                Some(v) => {
+                    let tenant = v.spec.tenant.clone();
+                    v.state = EntryState::Terminal(CampaignStatus::Rejected(Overloaded::Shed {
+                        tenant: v.spec.tenant.clone(),
+                        campaign: v.spec.name.clone(),
+                    }));
+                    v.campaign = None;
+                    self.metrics.inc("sched.shed");
+                    self.metrics.inc(&format!("sched.tenant.{tenant}.shed"));
+                }
+                None => break,
+            }
+        }
+
+        let pool = Pool {
+            state: Mutex::new(PoolState {
+                entries: std::mem::take(&mut self.entries),
+                running: 0,
+                breakers: std::mem::take(&mut self.breakers),
+                metrics: std::mem::take(&mut self.metrics),
+            }),
+            cv: Condvar::new(),
+            cfg: self.cfg.clone(),
+        };
+
+        let workers = threads.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| pool.worker());
+            }
+        });
+
+        let state = pool.state.into_inner().unwrap_or_else(|p| p.into_inner());
+        self.breakers = state.breakers;
+        self.admitted_cost = 0;
+        let mut entries = state.entries;
+        entries.sort_by_key(|e| e.id);
+        let mut resumable = HashMap::new();
+        let reports = entries
+            .into_iter()
+            .map(|mut e| {
+                let status = match e.state {
+                    EntryState::Terminal(s) => s,
+                    // Unreachable for well-formed runs: workers only exit
+                    // once nothing is waiting or running.
+                    _ => CampaignStatus::Failed {
+                        message: "campaign left unfinished by worker pool".to_string(),
+                    },
+                };
+                if let (CampaignStatus::Preempted { resumable: true }, Some(c)) =
+                    (&status, e.campaign.take())
+                {
+                    resumable.insert(e.id, c);
+                }
+                CampaignReport {
+                    id: e.id,
+                    tenant: e.spec.tenant,
+                    name: e.spec.name,
+                    priority: e.spec.priority,
+                    status,
+                    attempts: e.attempts,
+                    slices: e.slices,
+                    preemptions: e.preemptions,
+                    retry_schedule: e.retry_schedule,
+                }
+            })
+            .collect();
+        SchedRun {
+            reports,
+            metrics: state.metrics,
+            resumable,
+        }
+    }
+}
+
+struct PoolState {
+    entries: Vec<Entry>,
+    running: usize,
+    breakers: HashMap<String, CircuitBreaker>,
+    metrics: RunMetrics,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    cfg: SchedConfig,
+}
+
+/// What the dispatcher decided to do with the slice it picked.
+struct Dispatch {
+    idx: usize,
+    campaign: Box<dyn Campaign>,
+    ctl: CampaignCtl,
+    shed_issued: bool,
+    stall: Option<Duration>,
+}
+
+impl Pool {
+    /// Worker loop: pick a slice under the lock, execute it outside the
+    /// lock, settle the outcome under the lock again. All waits are
+    /// bounded (`wait_timeout`), so a stalled peer can never wedge the
+    /// pool.
+    fn worker(&self) {
+        let mut guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            let now = Instant::now();
+            match self.pick(&mut guard, now) {
+                Pick::Dispatch(mut d) => {
+                    guard.running += 1;
+                    drop(guard);
+                    let outcome = Self::execute(&mut d);
+                    guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
+                    self.settle(&mut guard, d, outcome);
+                    guard.running -= 1;
+                    self.cv.notify_all();
+                }
+                Pick::Wait(timeout) => {
+                    let (g, _) = self
+                        .cv
+                        .wait_timeout(guard, timeout)
+                        .unwrap_or_else(|p| p.into_inner());
+                    guard = g;
+                }
+                Pick::Done => {
+                    self.cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// EDF dispatch under the lock: deadlined entries first (earliest
+    /// expiry), then priority (highest first), then submission order.
+    /// Expired deadlines terminate the entry instead of dispatching it;
+    /// an open breaker skips its entries (each skip serves cooldown).
+    fn pick(&self, st: &mut PoolState, now: Instant) -> Pick {
+        // Terminate waiting entries whose deadline has already expired.
+        for e in st.entries.iter_mut() {
+            if e.is_waiting() && e.spec.deadline.is_some_and(|d| d.expired()) {
+                e.state =
+                    EntryState::Terminal(CampaignStatus::Rejected(Overloaded::DeadlineExpired {
+                        campaign: e.spec.name.clone(),
+                    }));
+                e.campaign = None;
+                st.metrics.inc("sched.deadline_expired");
+            }
+        }
+
+        let mut order: Vec<usize> = (0..st.entries.len())
+            .filter(|&i| st.entries[i].is_waiting())
+            .collect();
+        if order.is_empty() {
+            return if st.running == 0 {
+                Pick::Done
+            } else {
+                Pick::Wait(Duration::from_millis(5))
+            };
+        }
+        order.sort_by(|&a, &b| {
+            let (ea, eb) = (&st.entries[a], &st.entries[b]);
+            let da = ea.spec.deadline.and_then(|d| d.expires_at());
+            let db = eb.spec.deadline.and_then(|d| d.expires_at());
+            match (da, db) {
+                (Some(x), Some(y)) => x.cmp(&y),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            }
+            .then(eb.spec.priority.cmp(&ea.spec.priority))
+            .then(ea.id.cmp(&eb.id))
+        });
+
+        let mut earliest_retry: Option<Instant> = None;
+        for idx in order {
+            let ready = match st.entries[idx].state {
+                EntryState::Waiting { not_before: None } => true,
+                EntryState::Waiting {
+                    not_before: Some(t),
+                } => {
+                    if t <= now {
+                        true
+                    } else {
+                        earliest_retry = Some(earliest_retry.map_or(t, |e: Instant| e.min(t)));
+                        false
+                    }
+                }
+                _ => false,
+            };
+            if !ready {
+                continue;
+            }
+            let resource = st.entries[idx].spec.resource.clone();
+            let breaker = st
+                .breakers
+                .entry(resource)
+                .or_insert_with(|| CircuitBreaker::new(self.cfg.breaker));
+            if !breaker.try_acquire() {
+                continue;
+            }
+            let e = &mut st.entries[idx];
+            let campaign = match e.campaign.take() {
+                Some(c) => c,
+                None => {
+                    // Defensive: a waiting entry always owns its box; if
+                    // the invariant ever breaks, fail the campaign rather
+                    // than poison the pool with a panic.
+                    e.state = EntryState::Terminal(CampaignStatus::Failed {
+                        message: "campaign box missing at dispatch".to_string(),
+                    });
+                    continue;
+                }
+            };
+            let slice = e.slices;
+            e.slices += 1;
+            e.state = EntryState::Running;
+            st.metrics.observe_duration(
+                "sched.queue_wait",
+                now.saturating_duration_since(e.ready_at),
+            );
+            let ctl = CampaignCtl {
+                cancel: CancelToken::new(),
+                deadline: e.spec.deadline,
+            };
+            let mut shed_issued = false;
+            let mut stall = None;
+            if let Some(f) = &self.cfg.faults {
+                if f.sheds_campaign(e.id, slice) {
+                    ctl.cancel.cancel_for(CancelReason::Shed);
+                    shed_issued = true;
+                } else if f.preempts_campaign(e.id, slice) {
+                    ctl.cancel.cancel_for(CancelReason::Preempt);
+                }
+                if f.stalls_worker(e.id) {
+                    stall = Some(Duration::from_millis(self.cfg.stall_ms));
+                } else if let Some(ms) = f.slow_worker_ms(e.id) {
+                    stall = Some(Duration::from_millis(ms as u64));
+                }
+            }
+            return Pick::Dispatch(Dispatch {
+                idx,
+                campaign,
+                ctl,
+                shed_issued,
+                stall,
+            });
+        }
+        // Nothing dispatchable right now: retries pending, breakers
+        // cooling down, or peers still running. Bounded wait, re-scan.
+        let timeout = earliest_retry
+            .map(|t| {
+                t.saturating_duration_since(now)
+                    .max(Duration::from_millis(1))
+            })
+            .unwrap_or(Duration::from_millis(5))
+            .min(Duration::from_millis(50));
+        Pick::Wait(timeout)
+    }
+
+    /// Execute one slice outside the lock. Panics escaping the campaign
+    /// (outside any supervised region it manages internally) are caught
+    /// and fed to the retry ladder like any retryable failure.
+    fn execute(d: &mut Dispatch) -> Result<CampaignStep, mde_numeric::CampaignError> {
+        if let Some(pause) = d.stall {
+            std::thread::sleep(pause);
+        }
+        let campaign = &mut d.campaign;
+        let ctl = &d.ctl;
+        match mde_numeric::resilience::catch_panic(move || campaign.run(ctl)) {
+            Ok(step) => step,
+            Err(msg) => Err(mde_numeric::CampaignError::retryable(format!(
+                "campaign panicked outside its supervised region: {msg}"
+            ))),
+        }
+    }
+
+    /// Settle a finished slice back into the pool state.
+    fn settle(
+        &self,
+        st: &mut PoolState,
+        d: Dispatch,
+        outcome: Result<CampaignStep, mde_numeric::CampaignError>,
+    ) {
+        let e = &mut st.entries[d.idx];
+        let tenant = e.spec.tenant.clone();
+        let breaker = st
+            .breakers
+            .get_mut(&e.spec.resource)
+            .expect("breaker created at dispatch");
+        match outcome {
+            Ok(CampaignStep::Done(out)) => {
+                breaker.on_success();
+                e.state = EntryState::Terminal(CampaignStatus::Completed(out));
+                st.metrics.inc("sched.completed");
+                st.metrics.inc(&format!("sched.tenant.{tenant}.completed"));
+            }
+            Ok(CampaignStep::Boundary { resumable }) => {
+                if d.shed_issued {
+                    e.campaign = Some(d.campaign);
+                    e.state = EntryState::Terminal(CampaignStatus::Preempted { resumable });
+                    st.metrics.inc("sched.shed");
+                    st.metrics.inc(&format!("sched.tenant.{tenant}.shed"));
+                } else {
+                    e.campaign = Some(d.campaign);
+                    e.preemptions += 1;
+                    e.ready_at = Instant::now();
+                    e.state = EntryState::Waiting { not_before: None };
+                    st.metrics.inc("sched.preempted");
+                }
+            }
+            Err(err) => {
+                if breaker.on_failure() {
+                    st.metrics.inc("sched.breaker_trips");
+                }
+                e.attempts += 1;
+                if err.is_retryable() && e.attempts < self.cfg.max_attempts {
+                    let delay = e.backoff.delay(e.attempts);
+                    e.retry_schedule.push(delay);
+                    e.campaign = Some(d.campaign);
+                    e.ready_at = Instant::now();
+                    e.state = EntryState::Waiting {
+                        not_before: Some(Instant::now() + delay),
+                    };
+                    st.metrics.inc("sched.retries");
+                } else {
+                    e.campaign = None;
+                    drop(d.campaign);
+                    e.state = EntryState::Terminal(CampaignStatus::Failed {
+                        message: err.message,
+                    });
+                    st.metrics.inc("sched.failed");
+                    st.metrics.inc(&format!("sched.tenant.{tenant}.failed"));
+                }
+            }
+        }
+    }
+}
+
+enum Pick {
+    Dispatch(Dispatch),
+    Wait(Duration),
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::{CampaignError, RunReport};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn fast_cfg() -> SchedConfig {
+        SchedConfig {
+            backoff: BackoffConfig {
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(4),
+                jitter: 0.0,
+            },
+            ..SchedConfig::default()
+        }
+    }
+
+    fn done(value: f64) -> CampaignStep {
+        CampaignStep::Done(CampaignOutput {
+            value: Some(value),
+            report: RunReport::new(),
+        })
+    }
+
+    /// Completes immediately unless its control block is cancelled, in
+    /// which case it stops at a resumable boundary.
+    struct Pausable {
+        value: f64,
+        slices: Arc<AtomicU32>,
+    }
+
+    impl Pausable {
+        fn new(value: f64) -> (Self, Arc<AtomicU32>) {
+            let slices = Arc::new(AtomicU32::new(0));
+            (
+                Pausable {
+                    value,
+                    slices: slices.clone(),
+                },
+                slices,
+            )
+        }
+    }
+
+    impl Campaign for Pausable {
+        fn run(&mut self, ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+            self.slices.fetch_add(1, Ordering::SeqCst);
+            if ctl.cancel.is_cancelled() {
+                return Ok(CampaignStep::Boundary { resumable: true });
+            }
+            Ok(done(self.value))
+        }
+    }
+
+    /// Fails retryably `failures` times, then completes.
+    struct Flaky {
+        failures: u32,
+    }
+
+    impl Campaign for Flaky {
+        fn run(&mut self, _ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err(CampaignError::retryable("transient sim failure"));
+            }
+            Ok(done(1.0))
+        }
+    }
+
+    struct Panicky {
+        panics: u32,
+    }
+
+    impl Campaign for Panicky {
+        fn run(&mut self, _ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+            if self.panics > 0 {
+                self.panics -= 1;
+                panic!("worker blew up");
+            }
+            Ok(done(2.0))
+        }
+    }
+
+    #[test]
+    fn admission_bounds_tenant_queue() {
+        let mut s = Scheduler::new(SchedConfig {
+            queue_capacity: 2,
+            ..fast_cfg()
+        });
+        for i in 0..2 {
+            let (c, _) = Pausable::new(i as f64);
+            s.submit(CampaignSpec::new("acme", format!("c{i}")), Box::new(c))
+                .expect("under capacity");
+        }
+        let (c, _) = Pausable::new(9.0);
+        let err = s
+            .submit(CampaignSpec::new("acme", "c2"), Box::new(c))
+            .expect_err("over capacity");
+        assert!(matches!(
+            err,
+            Overloaded::QueueFull {
+                depth: 2,
+                capacity: 2,
+                ..
+            }
+        ));
+        // A different tenant still has room.
+        let (c, _) = Pausable::new(3.0);
+        s.submit(CampaignSpec::new("globex", "g0"), Box::new(c))
+            .expect("separate tenant queue");
+    }
+
+    #[test]
+    fn admission_sheds_lower_priority_victim() {
+        let mut s = Scheduler::new(SchedConfig {
+            queue_capacity: 1,
+            ..fast_cfg()
+        });
+        let (c, _) = Pausable::new(0.0);
+        let victim_id = s
+            .submit(
+                CampaignSpec::new("acme", "cheap").with_priority(Priority::BestEffort),
+                Box::new(c),
+            )
+            .unwrap();
+        let (c, _) = Pausable::new(1.0);
+        let vip_id = s
+            .submit(
+                CampaignSpec::new("acme", "urgent").with_priority(Priority::Interactive),
+                Box::new(c),
+            )
+            .expect("admitted by shedding the best-effort victim");
+        let run = s.run(1);
+        let victim = run.report(victim_id).unwrap();
+        assert!(matches!(
+            victim.status,
+            CampaignStatus::Rejected(Overloaded::Shed { .. })
+        ));
+        let vip = run.report(vip_id).unwrap();
+        assert!(matches!(vip.status, CampaignStatus::Completed(_)));
+        assert_eq!(run.metrics.counter("sched.shed"), 1);
+        assert_eq!(run.metrics.counter("sched.tenant.acme.shed"), 1);
+    }
+
+    #[test]
+    fn admission_enforces_cost_budget() {
+        let mut s = Scheduler::new(SchedConfig {
+            cost_budget: 10,
+            ..fast_cfg()
+        });
+        let (c, _) = Pausable::new(0.0);
+        s.submit(CampaignSpec::new("t", "big").with_cost(8), Box::new(c))
+            .unwrap();
+        let (c, _) = Pausable::new(0.0);
+        let err = s
+            .submit(CampaignSpec::new("t", "too-big").with_cost(3), Box::new(c))
+            .expect_err("budget breach");
+        assert!(matches!(
+            err,
+            Overloaded::CostBudget {
+                cost: 3,
+                in_flight: 8,
+                budget: 10
+            }
+        ));
+    }
+
+    #[test]
+    fn injected_queue_full_rejects_regardless_of_depth() {
+        let mut s = Scheduler::new(SchedConfig {
+            faults: Some(FaultPlan::new().queue_full_at(0)),
+            ..fast_cfg()
+        });
+        let (c, _) = Pausable::new(0.0);
+        let err = s
+            .submit(CampaignSpec::new("t", "c"), Box::new(c))
+            .expect_err("fault-injected rejection");
+        assert!(matches!(err, Overloaded::QueueFull { .. }));
+        // The next submission (no fault) is admitted.
+        let (c, _) = Pausable::new(0.0);
+        s.submit(CampaignSpec::new("t", "c2"), Box::new(c)).unwrap();
+    }
+
+    #[test]
+    fn retry_ladder_is_deterministic_and_bounded() {
+        let mut s = Scheduler::new(SchedConfig {
+            max_attempts: 4,
+            ..fast_cfg()
+        });
+        let spec = CampaignSpec::new("t", "flaky");
+        let fp = spec.fingerprint;
+        let id = s.submit(spec, Box::new(Flaky { failures: 2 })).unwrap();
+        let run = s.run(1);
+        let r = run.report(id).unwrap();
+        assert!(matches!(r.status, CampaignStatus::Completed(_)));
+        assert_eq!(r.attempts, 2);
+        let ladder = Backoff::new(
+            BackoffConfig {
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(4),
+                jitter: 0.0,
+            },
+            fp,
+        );
+        assert_eq!(r.retry_schedule, vec![ladder.delay(1), ladder.delay(2)]);
+        assert_eq!(run.metrics.counter("sched.retries"), 2);
+    }
+
+    #[test]
+    fn retry_ladder_exhaustion_fails_campaign() {
+        let mut s = Scheduler::new(SchedConfig {
+            max_attempts: 2,
+            ..fast_cfg()
+        });
+        let id = s
+            .submit(
+                CampaignSpec::new("t", "doomed"),
+                Box::new(Flaky { failures: 10 }),
+            )
+            .unwrap();
+        let run = s.run(1);
+        let r = run.report(id).unwrap();
+        assert!(matches!(r.status, CampaignStatus::Failed { .. }));
+        assert_eq!(r.attempts, 2);
+        assert_eq!(r.retry_schedule.len(), 1, "one retry before exhaustion");
+        assert_eq!(run.metrics.counter("sched.failed"), 1);
+    }
+
+    #[test]
+    fn fatal_error_skips_the_ladder() {
+        struct Broken;
+        impl Campaign for Broken {
+            fn run(&mut self, _ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+                Err(CampaignError::fatal("bad configuration"))
+            }
+        }
+        let mut s = Scheduler::new(fast_cfg());
+        let id = s
+            .submit(CampaignSpec::new("t", "broken"), Box::new(Broken))
+            .unwrap();
+        let run = s.run(1);
+        let r = run.report(id).unwrap();
+        assert!(matches!(r.status, CampaignStatus::Failed { .. }));
+        assert_eq!(r.retry_schedule.len(), 0);
+        assert_eq!(run.metrics.counter("sched.retries"), 0);
+    }
+
+    #[test]
+    fn escaped_panic_climbs_the_ladder() {
+        let mut s = Scheduler::new(fast_cfg());
+        let id = s
+            .submit(
+                CampaignSpec::new("t", "panicky"),
+                Box::new(Panicky { panics: 1 }),
+            )
+            .unwrap();
+        let run = s.run(1);
+        let r = run.report(id).unwrap();
+        assert!(matches!(r.status, CampaignStatus::Completed(_)));
+        assert_eq!(r.attempts, 1);
+    }
+
+    #[test]
+    fn preempt_fault_requeues_and_completes() {
+        let (c, slices) = Pausable::new(5.0);
+        let mut s = Scheduler::new(SchedConfig {
+            faults: Some(FaultPlan::new().preempt_campaign_at(0, 0)),
+            ..fast_cfg()
+        });
+        let id = s.submit(CampaignSpec::new("t", "c"), Box::new(c)).unwrap();
+        let run = s.run(1);
+        let r = run.report(id).unwrap();
+        assert!(matches!(r.status, CampaignStatus::Completed(_)));
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.slices, 2);
+        assert_eq!(slices.load(Ordering::SeqCst), 2);
+        assert_eq!(run.metrics.counter("sched.preempted"), 1);
+    }
+
+    #[test]
+    fn mid_run_shed_is_terminal_and_reclaimable() {
+        let (c, _) = Pausable::new(5.0);
+        let mut s = Scheduler::new(SchedConfig {
+            faults: Some(FaultPlan::new().shed_campaign_at(0, 0)),
+            ..fast_cfg()
+        });
+        let id = s.submit(CampaignSpec::new("t", "c"), Box::new(c)).unwrap();
+        let mut run = s.run(1);
+        let r = run.report(id).unwrap();
+        assert!(matches!(
+            r.status,
+            CampaignStatus::Preempted { resumable: true }
+        ));
+        assert_eq!(run.metrics.counter("sched.shed"), 1);
+
+        // The shed campaign is reclaimable and finishes on resubmission.
+        let reclaimed = run.reclaim(id).expect("resumable campaign box");
+        let mut s2 = Scheduler::new(fast_cfg());
+        let id2 = s2.submit(CampaignSpec::new("t", "c"), reclaimed).unwrap();
+        let run2 = s2.run(1);
+        assert!(matches!(
+            run2.report(id2).unwrap().status,
+            CampaignStatus::Completed(_)
+        ));
+    }
+
+    #[test]
+    fn pressure_shedding_drops_lowest_priority_first() {
+        let mut s = Scheduler::new(SchedConfig {
+            pressure_depth: 2,
+            ..fast_cfg()
+        });
+        let (c, _) = Pausable::new(0.0);
+        let be = s
+            .submit(
+                CampaignSpec::new("t", "be").with_priority(Priority::BestEffort),
+                Box::new(c),
+            )
+            .unwrap();
+        let mut others = Vec::new();
+        for i in 0..2 {
+            let (c, _) = Pausable::new(0.0);
+            others.push(
+                s.submit(CampaignSpec::new("t", format!("b{i}")), Box::new(c))
+                    .unwrap(),
+            );
+        }
+        let run = s.run(2);
+        assert!(matches!(
+            run.report(be).unwrap().status,
+            CampaignStatus::Rejected(Overloaded::Shed { .. })
+        ));
+        for id in others {
+            assert!(matches!(
+                run.report(id).unwrap().status,
+                CampaignStatus::Completed(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_rejects_before_dispatch() {
+        let mut s = Scheduler::new(fast_cfg());
+        let (c, slices) = Pausable::new(0.0);
+        let id = s
+            .submit(
+                CampaignSpec::new("t", "late").with_deadline(Deadline::after(Duration::ZERO)),
+                Box::new(c),
+            )
+            .unwrap();
+        let run = s.run(1);
+        assert!(matches!(
+            run.report(id).unwrap().status,
+            CampaignStatus::Rejected(Overloaded::DeadlineExpired { .. })
+        ));
+        assert_eq!(slices.load(Ordering::SeqCst), 0, "never dispatched");
+    }
+
+    #[test]
+    fn edf_orders_deadlined_work_first() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        struct Tracker {
+            label: u32,
+            order: Arc<Mutex<Vec<u32>>>,
+        }
+        impl Campaign for Tracker {
+            fn run(&mut self, _ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+                self.order.lock().unwrap().push(self.label);
+                Ok(CampaignStep::Done(CampaignOutput {
+                    value: None,
+                    report: RunReport::new(),
+                }))
+            }
+        }
+        let mut s = Scheduler::new(fast_cfg());
+        // Submitted first, no deadline, highest priority.
+        s.submit(
+            CampaignSpec::new("t", "nodeadline").with_priority(Priority::Interactive),
+            Box::new(Tracker {
+                label: 0,
+                order: order.clone(),
+            }),
+        )
+        .unwrap();
+        // Later deadline.
+        s.submit(
+            CampaignSpec::new("t", "loose")
+                .with_deadline(Deadline::after(Duration::from_secs(600))),
+            Box::new(Tracker {
+                label: 1,
+                order: order.clone(),
+            }),
+        )
+        .unwrap();
+        // Earliest deadline: dispatched first despite being submitted last.
+        s.submit(
+            CampaignSpec::new("t", "tight").with_deadline(Deadline::after(Duration::from_secs(60))),
+            Box::new(Tracker {
+                label: 2,
+                order: order.clone(),
+            }),
+        )
+        .unwrap();
+        s.run(1);
+        assert_eq!(*order.lock().unwrap(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn breaker_trips_on_streak_and_gates_admission() {
+        let mut s = Scheduler::new(SchedConfig {
+            max_attempts: 1, // every failure is terminal: three failing campaigns = a streak of 3
+            breaker: BreakerConfig {
+                trip_after: 3,
+                cooldown: 1_000_000, // effectively never half-opens during the test
+            },
+            ..fast_cfg()
+        });
+        for i in 0..3 {
+            s.submit(
+                CampaignSpec::new("t", format!("f{i}")).on_resource("sim"),
+                Box::new(Flaky { failures: 10 }),
+            )
+            .unwrap();
+        }
+        let run = s.run(1);
+        assert_eq!(run.metrics.counter("sched.breaker_trips"), 1);
+        // The tripped breaker now fast-rejects admission to that resource…
+        let (c, _) = Pausable::new(0.0);
+        let err = s
+            .submit(
+                CampaignSpec::new("t", "next").on_resource("sim"),
+                Box::new(c),
+            )
+            .expect_err("breaker open");
+        assert!(matches!(err, Overloaded::BreakerOpen { .. }));
+        // …while other resources are unaffected.
+        let (c, _) = Pausable::new(0.0);
+        s.submit(CampaignSpec::new("t", "ok").on_resource("gp"), Box::new(c))
+            .unwrap();
+    }
+
+    #[test]
+    fn deterministic_half_is_thread_count_invariant() {
+        let run_once = |threads: usize| {
+            let mut s = Scheduler::new(SchedConfig {
+                max_attempts: 4,
+                faults: Some(
+                    FaultPlan::new()
+                        .preempt_campaign_at(1, 0)
+                        .shed_campaign_at(2, 0),
+                ),
+                ..fast_cfg()
+            });
+            let mut ids = Vec::new();
+            for i in 0..6u32 {
+                let spec = CampaignSpec::new(format!("t{}", i % 2), format!("c{i}"));
+                let c: Box<dyn Campaign> = if i == 3 {
+                    Box::new(Flaky { failures: 2 })
+                } else {
+                    Box::new(Pausable::new(i as f64).0)
+                };
+                ids.push(s.submit(spec, c).unwrap());
+            }
+            let run = s.run(threads);
+            let counters = [
+                "sched.admitted",
+                "sched.completed",
+                "sched.shed",
+                "sched.preempted",
+                "sched.retries",
+                "sched.failed",
+                "sched.breaker_trips",
+            ]
+            .iter()
+            .map(|k| run.metrics.counter(k))
+            .collect::<Vec<_>>();
+            let shape = run
+                .reports
+                .iter()
+                .map(|r| {
+                    (
+                        r.id,
+                        r.attempts,
+                        r.preemptions,
+                        r.retry_schedule.clone(),
+                        match &r.status {
+                            CampaignStatus::Completed(_) => 0u8,
+                            CampaignStatus::Rejected(_) => 1,
+                            CampaignStatus::Preempted { .. } => 2,
+                            CampaignStatus::Failed { .. } => 3,
+                        },
+                    )
+                })
+                .collect::<Vec<_>>();
+            (counters, shape)
+        };
+        let single = run_once(1);
+        assert_eq!(single, run_once(2));
+        assert_eq!(single, run_once(8));
+    }
+}

@@ -83,6 +83,15 @@ pub enum McdbError {
     /// (unwritable path, corrupt file, or a checkpoint that belongs to a
     /// different campaign).
     Checkpoint(mde_numeric::CheckpointError),
+    /// A worker thread or the scoped pool itself was lost (a panic
+    /// *outside* the supervised per-replicate region, or scope teardown
+    /// failure). Unlike a replicate panic this is infrastructure loss:
+    /// the run's results are unaccounted for, so it surfaces as a typed
+    /// fatal error instead of propagating the panic into the caller.
+    WorkerLost {
+        /// Where the worker was lost.
+        context: String,
+    },
 }
 
 impl McdbError {
@@ -90,6 +99,13 @@ impl McdbError {
     pub fn invalid_plan(reason: impl Into<String>) -> Self {
         McdbError::InvalidPlan {
             reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for [`McdbError::WorkerLost`].
+    pub fn worker_lost(context: impl Into<String>) -> Self {
+        McdbError::WorkerLost {
+            context: context.into(),
         }
     }
 
@@ -166,6 +182,9 @@ impl fmt::Display for McdbError {
                  succeeded, policy required {required}"
             ),
             McdbError::Checkpoint(e) => write!(f, "{e}"),
+            McdbError::WorkerLost { context } => {
+                write!(f, "worker thread lost: {context}")
+            }
         }
     }
 }

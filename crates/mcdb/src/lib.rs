@@ -90,6 +90,7 @@ pub mod markov;
 pub mod mc;
 pub mod query;
 pub mod random_table;
+pub mod sched;
 pub mod schema;
 pub mod simstep;
 pub mod sql;
@@ -99,6 +100,7 @@ pub mod vg;
 
 pub use error::McdbError;
 pub use mde_numeric::resilience::{RunOptions, RunPolicy, RunReport};
+pub use sched::McCampaign;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, McdbError>;

@@ -380,10 +380,21 @@ impl MonteCarloQuery {
                 }));
             }
             for (slot, h) in results.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("worker thread panicked"));
+                // A join failure is a panic outside the supervised
+                // per-replicate region — infrastructure loss, surfaced as
+                // a typed fatal error rather than propagated.
+                match h.join() {
+                    Ok(out) => *slot = Some(out),
+                    Err(_) => {
+                        return Err(crate::McdbError::worker_lost(
+                            "Monte Carlo worker panicked outside the supervised region",
+                        ))
+                    }
+                }
             }
+            Ok(())
         })
-        .expect("crossbeam scope panicked");
+        .map_err(|_| crate::McdbError::worker_lost("Monte Carlo scoped worker pool panicked"))??;
 
         // Merge: earliest stop boundary vs earliest abort decides the
         // outcome, exactly as the sequential loop encountering them in
@@ -408,14 +419,20 @@ impl MonteCarloQuery {
             if stop.map(|(s, _)| a < s).unwrap_or(true) {
                 // The abort happens before any stop boundary: the
                 // sequential loop would have hit it and surfaced the error.
-                let (_, outcome, _) = entries
-                    .into_iter()
-                    .find(|(i, _, _)| *i == a)
-                    .expect("abort entry present");
+                let (_, outcome, _) = match entries.into_iter().find(|(i, _, _)| *i == a) {
+                    Some(entry) => entry,
+                    None => {
+                        return Err(crate::McdbError::worker_lost(
+                            "abort bookkeeping lost its ledger entry during merge",
+                        ))
+                    }
+                };
                 if let ReplicateOutcome::Abort { error, failures } = outcome {
                     return Err(abort_error(error, &failures));
                 }
-                unreachable!("entry at abort index is an abort");
+                return Err(crate::McdbError::worker_lost(
+                    "abort index does not point at an abort outcome",
+                ));
             }
         }
         let cut = stop.map(|(b, _)| b).unwrap_or(n as u64);

@@ -1,0 +1,280 @@
+//! Scheduler adapter: runs a [`MonteCarloQuery`] as a schedulable
+//! [`Campaign`].
+//!
+//! The adapter owns everything the query needs (catalog, replicate count,
+//! seed, run options) plus the in-memory [`CampaignState`] that survives
+//! preemption: when the scheduler stops a slice at a replicate boundary,
+//! the checkpoint is kept and the next slice resumes from its cursor, so
+//! a preempted campaign is bit-identical to an uninterrupted one.
+//!
+//! Shedding is absorbed, not fatal, for best-effort work: a
+//! [`StopCause::Shed`] stop under [`RunPolicy::BestEffort`] finishes the
+//! campaign with the partial estimate, counts the unexecuted replicates
+//! in the ledger's `sched.shed` counter, and widens the confidence
+//! interval. Any other policy treats shedding like preemption — the
+//! checkpoint is kept and the campaign reports a resumable boundary.
+
+use crate::mc::{McRun, MonteCarloQuery};
+use crate::query::Catalog;
+use mde_numeric::resilience::{RunOptions, RunPolicy, StopCause};
+use mde_numeric::{
+    Campaign, CampaignCtl, CampaignError, CampaignOutput, CampaignState, CampaignStep, ErrorClass,
+};
+
+/// A Monte Carlo estimation query packaged as a schedulable campaign.
+///
+/// Each [`Campaign::run`] slice executes replicates from the saved cursor
+/// until completion or until the scheduler's control block stops it at a
+/// replicate boundary. `threads > 1` uses the parallel execution path;
+/// results are bit-identical at any thread count.
+pub struct McCampaign {
+    query: MonteCarloQuery,
+    catalog: Catalog,
+    n: usize,
+    seed: u64,
+    opts: RunOptions,
+    threads: usize,
+    state: Option<CampaignState>,
+}
+
+impl McCampaign {
+    /// Package a query as a campaign over `n` replicates.
+    pub fn new(
+        query: MonteCarloQuery,
+        catalog: Catalog,
+        n: usize,
+        seed: u64,
+        opts: RunOptions,
+    ) -> Self {
+        McCampaign {
+            query,
+            catalog,
+            n,
+            seed,
+            opts,
+            threads: 1,
+            state: None,
+        }
+    }
+
+    /// Use `threads` worker threads per slice (deterministic: the result
+    /// is bit-identical to the sequential path).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Whether a shed stop finishes with a partial estimate (best-effort
+    /// policy) instead of re-queueing.
+    fn absorbs_shedding(&self) -> bool {
+        matches!(self.opts.policy, RunPolicy::BestEffort { .. })
+    }
+
+    fn run_slice(&mut self, ctl: &CampaignCtl) -> crate::Result<McRun> {
+        let mut opts = self.opts.clone();
+        opts.cancel = Some(ctl.cancel.clone());
+        if ctl.deadline.is_some() {
+            opts.deadline = ctl.deadline;
+        }
+        match self.state.take() {
+            Some(state) if self.threads > 1 => self.query.resume_parallel_with_options(
+                &self.catalog,
+                self.n,
+                self.seed,
+                self.threads,
+                &opts,
+                state,
+            ),
+            Some(state) => {
+                self.query
+                    .resume_with_options(&self.catalog, self.n, self.seed, &opts, state)
+            }
+            None if self.threads > 1 => self.query.run_parallel_with_options(
+                &self.catalog,
+                self.n,
+                self.seed,
+                self.threads,
+                &opts,
+            ),
+            None => self
+                .query
+                .run_with_options(&self.catalog, self.n, self.seed, &opts),
+        }
+    }
+}
+
+impl Campaign for McCampaign {
+    fn run(&mut self, ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+        let run = self.run_slice(ctl).map_err(|e| CampaignError {
+            message: e.to_string(),
+            severity: e.severity(),
+        })?;
+        let output = |run: McRun| {
+            let value = (run.result.n() > 0).then(|| run.result.mean());
+            CampaignOutput {
+                value,
+                report: run.report,
+            }
+        };
+        match run.stopped {
+            None => Ok(CampaignStep::Done(output(run))),
+            Some(StopCause::Shed) if self.absorbs_shedding() => {
+                // Count the replicates that never ran as shed, not failed:
+                // they are excluded from the estimate but visible in the
+                // deterministic ledger, and the CI is flagged as widened.
+                let mut run = run;
+                let cursor = run
+                    .checkpoint
+                    .as_ref()
+                    .map(|s| s.cursor)
+                    .unwrap_or(self.n as u64);
+                run.report
+                    .record_shed((self.n as u64).saturating_sub(cursor));
+                Ok(CampaignStep::Done(output(run)))
+            }
+            Some(_) => {
+                // Preempted / shed under a strict policy / deadline: keep
+                // the checkpoint so the next slice resumes at the cursor.
+                let resumable = run.checkpoint.is_some();
+                self.state = run.checkpoint;
+                Ok(CampaignStep::Boundary { resumable })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::query::{AggSpec, Plan};
+    use crate::random_table::RandomTableSpec;
+    use crate::schema::DataType;
+    use crate::table::Table;
+    use crate::value::Value;
+    use crate::vg::NormalVg;
+    use mde_numeric::resilience::CancelReason;
+    use std::sync::Arc;
+
+    fn demand_campaign(n: usize, policy: RunPolicy) -> McCampaign {
+        let mut db = Catalog::new();
+        db.insert(
+            Table::build("ITEMS", &[("IID", DataType::Int)])
+                .rows((0..8).map(|i| vec![Value::from(i)]))
+                .finish()
+                .unwrap(),
+        );
+        db.insert(
+            Table::build(
+                "PARAMS",
+                &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+            )
+            .row(vec![Value::from(10.0), Value::from(2.0)])
+            .finish()
+            .unwrap(),
+        );
+        let spec = RandomTableSpec::builder("SALES")
+            .for_each(Plan::scan("ITEMS"))
+            .with_vg(Arc::new(NormalVg))
+            .vg_params_query(Plan::scan("PARAMS"))
+            .select(&[("IID", Expr::col("IID")), ("AMT", Expr::col("VALUE"))])
+            .build()
+            .unwrap();
+        let plan = Plan::scan("SALES").aggregate(
+            &[],
+            vec![AggSpec::new(
+                "TOTAL",
+                crate::query::AggFunc::Sum,
+                Expr::col("AMT"),
+            )],
+        );
+        McCampaign::new(
+            MonteCarloQuery::new(vec![spec], plan),
+            db,
+            n,
+            7,
+            RunOptions::policy(policy),
+        )
+    }
+
+    #[test]
+    fn completes_in_one_slice() {
+        let mut c = demand_campaign(16, RunPolicy::FailFast);
+        let step = c.run(&CampaignCtl::new()).expect("campaign runs");
+        match step {
+            CampaignStep::Done(out) => {
+                assert_eq!(out.report.succeeded, 16);
+                let v = out.value.expect("estimate present");
+                assert!(v.is_finite() && v > 0.0);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preempt_then_resume_matches_uninterrupted() {
+        // Uninterrupted baseline.
+        let mut base = demand_campaign(24, RunPolicy::FailFast);
+        let baseline = match base.run(&CampaignCtl::new()).expect("baseline") {
+            CampaignStep::Done(out) => out,
+            other => panic!("expected Done, got {other:?}"),
+        };
+
+        // Preempt immediately: the first slice stops at replicate 0 and
+        // reports a resumable boundary.
+        let mut c = demand_campaign(24, RunPolicy::FailFast);
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Preempt);
+        match c.run(&ctl).expect("preempted slice") {
+            CampaignStep::Boundary { resumable } => assert!(resumable),
+            other => panic!("expected Boundary, got {other:?}"),
+        }
+
+        // Second slice with a fresh token finishes and matches bit-for-bit.
+        let resumed = match c.run(&CampaignCtl::new()).expect("resumed slice") {
+            CampaignStep::Done(out) => out,
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_eq!(resumed.value, baseline.value);
+        assert_eq!(resumed.report.succeeded, baseline.report.succeeded);
+    }
+
+    #[test]
+    fn best_effort_absorbs_shedding_with_partial_estimate() {
+        let mut c = demand_campaign(12, RunPolicy::BestEffort { min_fraction: 0.0 });
+        // Run a prefix, preempt, then shed the rest.
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Preempt);
+        match c.run(&ctl).expect("preempted slice") {
+            CampaignStep::Boundary { resumable } => assert!(resumable),
+            other => panic!("expected Boundary, got {other:?}"),
+        }
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Shed);
+        match c.run(&ctl).expect("shed slice") {
+            CampaignStep::Done(out) => {
+                assert_eq!(out.report.shed, 12, "all replicates shed before running");
+                assert!(out.report.ci_widened, "shedding widens the CI");
+                assert_eq!(out.value, None, "no replicates ran, no estimate");
+                assert_eq!(out.report.metrics.counter("sched.shed"), 12);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_policy_treats_shed_as_resumable_boundary() {
+        let mut c = demand_campaign(12, RunPolicy::FailFast);
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Shed);
+        match c.run(&ctl).expect("shed slice") {
+            CampaignStep::Boundary { resumable } => assert!(resumable),
+            other => panic!("expected Boundary, got {other:?}"),
+        }
+        let resumed = c.run(&CampaignCtl::new()).expect("resumed");
+        match resumed {
+            CampaignStep::Done(out) => assert_eq!(out.report.succeeded, 12),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+}

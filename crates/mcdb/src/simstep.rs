@@ -143,10 +143,18 @@ impl SelfJoinSim {
                 }));
             }
             for (slot, h) in results.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("partition worker panicked"));
+                match h.join() {
+                    Ok(out) => *slot = Some(out),
+                    Err(_) => {
+                        return Err(McdbError::worker_lost(
+                            "self-join partition worker panicked outside the transition",
+                        ))
+                    }
+                }
             }
+            Ok(())
         })
-        .expect("crossbeam scope panicked");
+        .map_err(|_| McdbError::worker_lost("self-join scoped worker pool panicked"))??;
 
         let mut indexed: Vec<(usize, Row)> = Vec::with_capacity(agents.len());
         for r in results.into_iter().flatten() {

@@ -1,0 +1,130 @@
+//! Scheduler adapter: runs a durable sequential-bifurcation screening as
+//! a schedulable [`Campaign`].
+//!
+//! Each slice continues the bisection from the last checkpointed round.
+//! The screening queue is open-ended (groups split as they resolve), so
+//! shedding cannot "absorb" unexecuted rounds the way a fixed replicate
+//! budget can: an incomplete screen answers a different question than a
+//! degraded estimate. A shed or preempted screen therefore always reports
+//! a resumable boundary, and only a drained queue finishes the campaign.
+//! The scalar summary is the number of factors declared important.
+
+use crate::response::ResponseSurface;
+use crate::screening::{
+    resume_sequential_bifurcation, sequential_bifurcation_durable, BifurcationConfig, ScreeningRun,
+};
+use mde_numeric::resilience::RunOptions;
+use mde_numeric::{
+    Campaign, CampaignCtl, CampaignError, CampaignOutput, CampaignState, CampaignStep, ErrorClass,
+};
+
+/// A durable factor-screening run packaged as a schedulable campaign.
+pub struct ScreeningCampaign<R: ResponseSurface> {
+    response: R,
+    cfg: BifurcationConfig,
+    seed: u64,
+    opts: RunOptions,
+    state: Option<CampaignState>,
+}
+
+impl<R: ResponseSurface> ScreeningCampaign<R> {
+    /// Package a sequential-bifurcation screen as a campaign.
+    pub fn new(response: R, cfg: BifurcationConfig, seed: u64, opts: RunOptions) -> Self {
+        ScreeningCampaign {
+            response,
+            cfg,
+            seed,
+            opts,
+            state: None,
+        }
+    }
+
+    fn run_slice(&mut self, ctl: &CampaignCtl) -> crate::Result<ScreeningRun> {
+        let mut opts = self.opts.clone();
+        opts.cancel = Some(ctl.cancel.clone());
+        if ctl.deadline.is_some() {
+            opts.deadline = ctl.deadline;
+        }
+        match self.state.take() {
+            Some(state) => {
+                resume_sequential_bifurcation(&self.response, &self.cfg, self.seed, &opts, state)
+            }
+            None => sequential_bifurcation_durable(&self.response, &self.cfg, self.seed, &opts),
+        }
+    }
+}
+
+impl<R: ResponseSurface + Send> Campaign for ScreeningCampaign<R> {
+    fn run(&mut self, ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+        let run = self.run_slice(ctl).map_err(|e| CampaignError {
+            message: e.to_string(),
+            severity: e.severity(),
+        })?;
+        match run.stopped {
+            None => Ok(CampaignStep::Done(CampaignOutput {
+                value: run.result.as_ref().map(|r| r.important.len() as f64),
+                report: run.report,
+            })),
+            Some(_) => {
+                let resumable = run.checkpoint.is_some();
+                self.state = run.checkpoint;
+                Ok(CampaignStep::Boundary { resumable })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::FnResponse;
+    use mde_numeric::resilience::CancelReason;
+
+    fn screen_campaign(
+    ) -> ScreeningCampaign<FnResponse<impl Fn(&[f64], &mut mde_numeric::rng::Rng) -> f64>> {
+        // 8 factors, two important (indices 2 and 5).
+        let response = FnResponse::new(8, |x: &[f64], _rng: &mut mde_numeric::rng::Rng| {
+            3.0 * x[2] + 2.0 * x[5]
+        });
+        ScreeningCampaign::new(
+            response,
+            BifurcationConfig::default(),
+            13,
+            RunOptions::default(),
+        )
+    }
+
+    #[test]
+    fn preempt_then_resume_matches_uninterrupted() {
+        let mut base = screen_campaign();
+        let baseline = match base.run(&CampaignCtl::new()).expect("baseline") {
+            CampaignStep::Done(out) => out,
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_eq!(baseline.value, Some(2.0), "two important factors");
+
+        let mut c = screen_campaign();
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Preempt);
+        match c.run(&ctl).expect("preempted slice") {
+            CampaignStep::Boundary { resumable } => assert!(resumable),
+            other => panic!("expected Boundary, got {other:?}"),
+        }
+        let resumed = match c.run(&CampaignCtl::new()).expect("resumed") {
+            CampaignStep::Done(out) => out,
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_eq!(resumed.value, baseline.value);
+    }
+
+    #[test]
+    fn shed_screen_is_resumable_not_partial() {
+        let mut c = screen_campaign();
+        let ctl = CampaignCtl::new();
+        ctl.cancel.cancel_for(CancelReason::Shed);
+        match c.run(&ctl).expect("shed slice") {
+            CampaignStep::Boundary { resumable } => assert!(resumable),
+            other => panic!("expected Boundary, got {other:?}"),
+        }
+    }
+}

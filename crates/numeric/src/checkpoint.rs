@@ -65,8 +65,14 @@ impl SaveStats {
     }
 }
 
-/// File magic: `MDECKPT` + format version `1`.
-pub const MAGIC: [u8; 8] = *b"MDECKPT1";
+/// File magic: `MDECKPT` + format version `2`.
+///
+/// Version history: `1` — original layout; `2` — adds the report's
+/// `shed` counter after `dropped`. Version-1 checkpoints fail decoding
+/// with a bad-magic error, which surfaces as the fatal
+/// [`CheckpointError::Corrupt`] — the safe behavior, since a pre-shed
+/// ledger cannot be distinguished from one that shed zero replicates.
+pub const MAGIC: [u8; 8] = *b"MDECKPT2";
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -299,6 +305,7 @@ impl CampaignState {
         put_u64(&mut body, self.report.succeeded as u64);
         put_u64(&mut body, self.report.retried as u64);
         put_u64(&mut body, self.report.dropped as u64);
+        put_u64(&mut body, self.report.shed as u64);
         body.push(self.report.ci_widened as u8);
         put_u64(&mut body, self.report.failures.len() as u64);
         for fr in &self.report.failures {
@@ -379,6 +386,7 @@ impl CampaignState {
         report.succeeded = cur.take_len()?;
         report.retried = cur.take_len()?;
         report.dropped = cur.take_len()?;
+        report.shed = cur.take_len()?;
         report.ci_widened = cur.take_u8()? != 0;
         let n_failures = cur.take_len()?;
         for _ in 0..n_failures {
@@ -777,8 +785,8 @@ mod tests {
         put_u64(&mut body, 0); // seed
         put_u64(&mut body, 0); // total
         put_u64(&mut body, 0); // cursor
-        for _ in 0..4 {
-            put_u64(&mut body, 0); // report counters
+        for _ in 0..5 {
+            put_u64(&mut body, 0); // report counters (incl. shed)
         }
         body.push(0); // ci_widened
         put_u64(&mut body, u64::MAX); // failure count — absurd

@@ -58,8 +58,14 @@ pub mod stats;
 pub use checkpoint::{CampaignState, CheckpointError, Fingerprint, SaveStats};
 pub use error::NumericError;
 pub use obs::{Counter, Gauge, Histogram, RunMetrics, Span, TraceSink, Tracer};
+pub use resilience::backoff::{Backoff, BackoffConfig};
+pub use resilience::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use resilience::sched::{
+    Campaign, CampaignCtl, CampaignError, CampaignOutput, CampaignStep, Overloaded, Priority,
+};
 pub use resilience::{
-    CancelToken, CheckpointSpec, Deadline, ErrorClass, RunPolicy, RunReport, Severity, StopCause,
+    CancelReason, CancelToken, CheckpointSpec, Deadline, ErrorClass, RunPolicy, RunReport,
+    Severity, StopCause,
 };
 
 /// Convenience result alias used throughout the crate.

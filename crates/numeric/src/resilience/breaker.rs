@@ -1,0 +1,227 @@
+//! Per-resource circuit breaker: closed → open → half-open.
+//!
+//! When a shared resource (a simulator binary, a catalog partition, a
+//! remote model service) fails repeatedly, retrying every queued campaign
+//! against it multiplies the damage: each one burns its retry budget and a
+//! worker slot discovering the same outage. The breaker watches
+//! consecutive retryable-failure streaks per resource and, once tripped,
+//! converts dispatches into fast typed rejections until a cooldown has
+//! passed; then a single half-open probe decides between reset and
+//! re-trip.
+//!
+//! Cooldown is counted in *rejected acquisitions*, not wall-clock time:
+//! the scheduler's deterministic half must behave identically at any
+//! worker-thread count, and an elapsed-time cooldown would couple state
+//! transitions to timing.
+
+use std::fmt;
+
+/// Breaker state machine states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Healthy: dispatches flow, failure streaks are counted.
+    Closed,
+    /// Tripped: dispatches are rejected fast until the cooldown has been
+    /// served.
+    Open,
+    /// Cooldown served: exactly one probe dispatch is allowed through;
+    /// its outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive retryable failures that trip the breaker (≥ 1).
+    pub trip_after: u32,
+    /// Rejected acquisitions to serve while open before allowing the
+    /// half-open probe.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 3,
+            cooldown: 2,
+        }
+    }
+}
+
+/// A per-resource circuit breaker. Not thread-safe by itself — the
+/// scheduler consults it under its dispatch lock, which also keeps the
+/// trip/probe sequence deterministic.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Consecutive retryable failures while closed.
+    streak: u32,
+    /// Rejections served while open.
+    rejected: u32,
+    /// Lifetime trip count (for the obs ledger).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            streak: 0,
+            rejected: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime trip count.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Ask to dispatch against the resource. `true` admits the dispatch;
+    /// `false` is a fast rejection (the campaign should surface a typed
+    /// `Overloaded::BreakerOpen`). While open, each rejection serves one
+    /// unit of cooldown; once served, the breaker half-opens and admits a
+    /// single probe.
+    pub fn try_acquire(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.rejected += 1;
+                if self.rejected >= self.cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                }
+                false
+            }
+        }
+    }
+
+    /// Report a successful dispatch: clears the streak; a successful
+    /// half-open probe closes the breaker.
+    pub fn on_success(&mut self) {
+        self.streak = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+        }
+    }
+
+    /// Report a retryable failure. A failed half-open probe re-opens
+    /// immediately; while closed, a streak of `trip_after` failures trips
+    /// the breaker. Returns `true` when this call tripped it.
+    pub fn on_failure(&mut self) -> bool {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.trip();
+                true
+            }
+            BreakerState::Closed => {
+                self.streak += 1;
+                if self.streak >= self.cfg.trip_after.max(1) {
+                    self.trip();
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.streak = 0;
+        self.rejected = 0;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after: 3,
+            cooldown: 2,
+        })
+    }
+
+    #[test]
+    fn trips_on_a_streak_not_on_scattered_failures() {
+        let mut b = breaker();
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        b.on_success(); // streak broken
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.on_failure(), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_rejects_then_half_opens_after_cooldown() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_acquire(), "first rejection serves cooldown");
+        assert!(!b.try_acquire(), "second rejection serves cooldown");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.try_acquire(), "probe admitted");
+    }
+
+    #[test]
+    fn successful_probe_resets() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        while !b.try_acquire() {}
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Fresh streak required to trip again.
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_retrips_immediately() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        while !b.try_acquire() {}
+        assert!(b.on_failure(), "failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BreakerState::Closed.to_string(), "closed");
+        assert_eq!(BreakerState::Open.to_string(), "open");
+        assert_eq!(BreakerState::HalfOpen.to_string(), "half-open");
+    }
+}

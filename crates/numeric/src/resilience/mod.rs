@@ -32,10 +32,14 @@
 //!   attempt 0 with a panic") used by the workspace test suites to prove
 //!   every policy end-to-end.
 
+pub mod backoff;
+pub mod breaker;
+pub mod sched;
+
 use crate::rng::splitmix64;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -232,6 +236,11 @@ pub struct RunReport {
     pub retried: usize,
     /// Replicates dropped under [`RunPolicy::BestEffort`].
     pub dropped: usize,
+    /// Replicates shed by an overloaded scheduler *before* execution (see
+    /// `resilience::sched`): counted here so partially-shed best-effort
+    /// batches are auditable, but never attempted, so they are excluded
+    /// from `attempted`/`succeeded` and from aggregate estimates.
+    pub shed: usize,
     /// One record per failed attempt, ordered by `(replicate, attempt)`.
     pub failures: Vec<FailureRecord>,
     /// Set when the estimate is based on fewer samples than requested, so
@@ -284,7 +293,18 @@ impl RunReport {
         };
         self.metrics.add("attempts.failed", failures.len() as u64);
         self.failures.extend(failures.iter().cloned());
-        self.ci_widened = self.dropped > 0;
+        self.ci_widened = self.dropped > 0 || self.shed > 0;
+    }
+
+    /// Record `n` replicates shed by the scheduler before execution. The
+    /// estimate is now based on fewer samples than requested, so the
+    /// report is flagged exactly like a best-effort drop — but the shed
+    /// replicates never ran, so `attempted` is untouched and the
+    /// deterministic `sched.shed` counter carries the audit trail.
+    pub fn record_shed(&mut self, n: u64) {
+        self.shed += n as usize;
+        self.metrics.add("sched.shed", n);
+        self.ci_widened = self.dropped > 0 || self.shed > 0;
     }
 
     /// Merge another report (used to combine per-worker partial ledgers);
@@ -294,8 +314,9 @@ impl RunReport {
         self.succeeded += other.succeeded;
         self.retried += other.retried;
         self.dropped += other.dropped;
+        self.shed += other.shed;
         self.failures.extend(other.failures);
-        self.ci_widened = self.dropped > 0;
+        self.ci_widened = self.dropped > 0 || self.shed > 0;
         self.metrics.merge(&other.metrics);
     }
 
@@ -483,18 +504,43 @@ pub enum FaultKind {
     /// partial run + final checkpoint, which the chaos harness then
     /// resumes and compares bit-for-bit against an uninterrupted run.
     Preempt,
+    /// Stall the worker executing the keyed campaign: the worker blocks
+    /// for the scheduler's stall budget before making progress, modelling
+    /// a hung simulator process. Fails no replicate; the overload harness
+    /// uses it to prove dispatch never deadlocks behind a stuck worker.
+    StalledWorker,
+    /// Slow the worker executing the keyed campaign by the given number
+    /// of milliseconds per dispatch — a degraded-but-alive straggler.
+    /// Fails no replicate.
+    SlowWorker(u32),
+    /// Report the keyed submission's tenant queue as full at admission,
+    /// forcing a typed `Overloaded` rejection regardless of actual depth.
+    /// Fails no replicate.
+    QueueFull,
+    /// Shed the keyed campaign mid-run: the scheduler triggers a
+    /// [`CancelReason::Shed`] cancellation before the keyed dispatch
+    /// slice, so best-effort campaigns absorb the cut into a partial
+    /// result and strict campaigns stop at a resumable boundary. Fails no
+    /// replicate.
+    Shed,
 }
 
 impl FaultKind {
     /// The [`FailureKind`] this fault surfaces as in a [`RunReport`] —
-    /// `None` for [`FaultKind::Preempt`], which stops the campaign
-    /// without failing any replicate.
+    /// `None` for the scheduling faults ([`FaultKind::Preempt`],
+    /// [`FaultKind::StalledWorker`], [`FaultKind::SlowWorker`],
+    /// [`FaultKind::QueueFull`]), which disturb scheduling without
+    /// failing any replicate.
     pub fn failure_kind(&self) -> Option<FailureKind> {
         match self {
             FaultKind::Panic => Some(FailureKind::Panic),
             FaultKind::Error => Some(FailureKind::Error),
             FaultKind::Nan => Some(FailureKind::NonFinite),
-            FaultKind::Preempt => None,
+            FaultKind::Preempt
+            | FaultKind::StalledWorker
+            | FaultKind::SlowWorker(_)
+            | FaultKind::QueueFull
+            | FaultKind::Shed => None,
         }
     }
 }
@@ -554,14 +600,16 @@ impl FaultPlan {
         &self.faults
     }
 
-    /// The fault scheduled for `(replicate, attempt)`, if any. Preemption
-    /// notices are not per-replicate faults and are never returned here;
-    /// see [`FaultPlan::preempts`].
+    /// The fault scheduled for `(replicate, attempt)`, if any. Scheduling
+    /// faults (preemption notices, stalls, slowdowns, queue-full
+    /// injections) are not per-replicate failures and are never returned
+    /// here; see [`FaultPlan::preempts`], [`FaultPlan::stalls_worker`],
+    /// [`FaultPlan::slow_worker_ms`], and [`FaultPlan::queue_full`].
     pub fn lookup(&self, replicate: u64, attempt: u32) -> Option<FaultKind> {
         self.faults
             .iter()
             .find(|f| {
-                f.kind != FaultKind::Preempt && f.replicate == replicate && f.attempt == attempt
+                f.kind.failure_kind().is_some() && f.replicate == replicate && f.attempt == attempt
             })
             .map(|f| f.kind)
     }
@@ -574,6 +622,103 @@ impl FaultPlan {
         self.faults
             .iter()
             .any(|f| f.kind == FaultKind::Preempt && f.replicate <= boundary)
+    }
+
+    /// Schedule a worker stall while executing campaign `campaign` (keyed
+    /// on the scheduler's campaign id).
+    pub fn stall_worker(mut self, campaign: u64) -> Self {
+        self.faults.push(Fault {
+            replicate: campaign,
+            attempt: 0,
+            kind: FaultKind::StalledWorker,
+        });
+        self
+    }
+
+    /// Schedule a `ms`-millisecond slowdown for every dispatch of campaign
+    /// `campaign`.
+    pub fn slow_worker(mut self, campaign: u64, ms: u32) -> Self {
+        self.faults.push(Fault {
+            replicate: campaign,
+            attempt: 0,
+            kind: FaultKind::SlowWorker(ms),
+        });
+        self
+    }
+
+    /// Schedule a queue-full rejection for submission sequence `submission`
+    /// (zero-based order of `Scheduler::submit` calls).
+    pub fn queue_full_at(mut self, submission: u64) -> Self {
+        self.faults.push(Fault {
+            replicate: submission,
+            attempt: 0,
+            kind: FaultKind::QueueFull,
+        });
+        self
+    }
+
+    /// Whether campaign `campaign` is scheduled to stall its worker.
+    pub fn stalls_worker(&self, campaign: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.kind == FaultKind::StalledWorker && f.replicate == campaign)
+    }
+
+    /// The scheduled per-dispatch slowdown for campaign `campaign`, if any.
+    pub fn slow_worker_ms(&self, campaign: u64) -> Option<u32> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::SlowWorker(ms) if f.replicate == campaign => Some(ms),
+            _ => None,
+        })
+    }
+
+    /// Whether submission sequence `submission` is scheduled to see its
+    /// tenant queue as full.
+    pub fn queue_full(&self, submission: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.kind == FaultKind::QueueFull && f.replicate == submission)
+    }
+
+    /// Schedule a mid-run shed of campaign `campaign` before its dispatch
+    /// slice `slice` (zero-based count of times the campaign has been
+    /// dispatched).
+    pub fn shed_campaign_at(mut self, campaign: u64, slice: u32) -> Self {
+        self.faults.push(Fault {
+            replicate: campaign,
+            attempt: slice,
+            kind: FaultKind::Shed,
+        });
+        self
+    }
+
+    /// Whether campaign `campaign` is scheduled to be shed before its
+    /// dispatch slice `slice`.
+    pub fn sheds_campaign(&self, campaign: u64, slice: u32) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.kind == FaultKind::Shed && f.replicate == campaign && f.attempt == slice)
+    }
+
+    /// Schedule a preemption of campaign `campaign` before its dispatch
+    /// slice `slice` — the scheduler-level analogue of
+    /// [`FaultPlan::preempt_at`], keyed on campaign id instead of
+    /// replicate boundary.
+    pub fn preempt_campaign_at(mut self, campaign: u64, slice: u32) -> Self {
+        self.faults.push(Fault {
+            replicate: campaign,
+            attempt: slice,
+            kind: FaultKind::Preempt,
+        });
+        self
+    }
+
+    /// Whether campaign `campaign` is scheduled for preemption before its
+    /// dispatch slice `slice`.
+    pub fn preempts_campaign(&self, campaign: u64, slice: u32) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.kind == FaultKind::Preempt && f.replicate == campaign && f.attempt == slice)
     }
 
     /// The failure ledger this plan predicts, as `(replicate, attempt,
@@ -610,6 +755,11 @@ pub enum StopCause {
     Cancelled,
     /// A [`FaultKind::Preempt`] notice fired (chaos testing).
     Preempted,
+    /// An overloaded scheduler shed the campaign's remaining work
+    /// (see `resilience::sched`): best-effort campaigns absorb the cut
+    /// into their partial-result semantics, checkpointable ones stop
+    /// resumable.
+    Shed,
 }
 
 impl fmt::Display for StopCause {
@@ -618,6 +768,7 @@ impl fmt::Display for StopCause {
             StopCause::Deadline => write!(f, "deadline expired"),
             StopCause::Cancelled => write!(f, "cancelled"),
             StopCause::Preempted => write!(f, "preempted"),
+            StopCause::Shed => write!(f, "shed by scheduler"),
         }
     }
 }
@@ -628,31 +779,70 @@ impl fmt::Display for StopCause {
 /// mid-replicate (a boundary either fully commits or does not run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Deadline {
-    deadline: Instant,
+    /// `None` means the deadline never expires — the saturating result of
+    /// a budget too large to represent as an `Instant`.
+    deadline: Option<Instant>,
 }
 
 impl Deadline {
-    /// A deadline `budget` from now.
+    /// A deadline `budget` from now. Saturating: a budget that overflows
+    /// the `Instant` range yields a deadline that never expires, rather
+    /// than panicking.
     pub fn after(budget: Duration) -> Self {
         Deadline {
-            deadline: Instant::now() + budget,
+            deadline: Instant::now().checked_add(budget),
         }
     }
 
     /// A deadline at an absolute instant.
     pub fn at(deadline: Instant) -> Self {
-        Deadline { deadline }
+        Deadline {
+            deadline: Some(deadline),
+        }
     }
 
-    /// Whether the budget is spent.
+    /// A deadline that never expires — the explicit form of a saturated
+    /// [`Deadline::after`], useful as an EDF sort key for campaigns
+    /// without a wall-clock budget.
+    pub fn never() -> Self {
+        Deadline { deadline: None }
+    }
+
+    /// The absolute expiry instant, or `None` for a never-expiring
+    /// deadline. Earliest-deadline-first dispatch orders `Some` before
+    /// `None`.
+    pub fn expires_at(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the budget is spent (never true for a saturated deadline).
     pub fn expired(&self) -> bool {
-        Instant::now() >= self.deadline
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
-    /// Time left before expiry (zero once expired).
+    /// Time left before expiry (zero once expired, `Duration::MAX` for a
+    /// never-expiring deadline).
     pub fn remaining(&self) -> Duration {
-        self.deadline.saturating_duration_since(Instant::now())
+        match self.deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()),
+            None => Duration::MAX,
+        }
     }
+}
+
+/// Who asked a [`CancelToken`] to stop — so a campaign's [`StopCause`]
+/// distinguishes a user's ctrl-C from a scheduler's shed or preempt
+/// decision, and downstream policy (re-queue resumable vs. discard) can
+/// differ per reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// A human or supervisor explicitly cancelled the campaign.
+    User,
+    /// An overloaded scheduler shed the campaign's remaining work.
+    Shed,
+    /// The scheduler preempted the campaign to free capacity; it will be
+    /// re-queued resumable.
+    Preempt,
 }
 
 /// A cooperative cancellation handle: clone it, hand one clone to the
@@ -662,6 +852,9 @@ impl Deadline {
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// 0 = none, 1 = user, 2 = shed, 3 = preempt. Written once by the
+    /// first cancel; later cancels keep the original reason.
+    reason: Arc<AtomicU8>,
 }
 
 impl CancelToken {
@@ -670,14 +863,43 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// Request cancellation. Idempotent; visible to all clones.
+    /// Request cancellation on behalf of a user. Idempotent; visible to
+    /// all clones.
     pub fn cancel(&self) {
+        self.cancel_for(CancelReason::User);
+    }
+
+    /// Request cancellation with an explicit reason. The first cancel
+    /// wins: a later cancel (any reason) never overwrites the recorded
+    /// reason, so the eventual [`StopCause`] reflects who stopped the
+    /// campaign first.
+    pub fn cancel_for(&self, reason: CancelReason) {
+        let code = match reason {
+            CancelReason::User => 1,
+            CancelReason::Shed => 2,
+            CancelReason::Preempt => 3,
+        };
+        let _ = self
+            .reason
+            .compare_exchange(0, code, Ordering::AcqRel, Ordering::Acquire);
         self.flag.store(true, Ordering::Release);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Acquire)
+    }
+
+    /// Why the token was cancelled (`None` while untriggered).
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        Some(match self.reason.load(Ordering::Acquire) {
+            2 => CancelReason::Shed,
+            3 => CancelReason::Preempt,
+            _ => CancelReason::User,
+        })
     }
 }
 
@@ -798,7 +1020,11 @@ impl RunOptions {
         }
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
-                return Some(StopCause::Cancelled);
+                return Some(match token.cancel_reason() {
+                    Some(CancelReason::Shed) => StopCause::Shed,
+                    Some(CancelReason::Preempt) => StopCause::Preempted,
+                    _ => StopCause::Cancelled,
+                });
             }
         }
         if let Some(deadline) = &self.deadline {
