@@ -1,0 +1,163 @@
+//! Emit `BENCH_query.json`: vectorized-vs-legacy executor timings on the
+//! star-schema operator suite (the same scenarios as the
+//! `query_engine` criterion bench, packaged as a schema-stable JSON
+//! artifact CI can smoke-run and diff).
+//!
+//! Usage: `cargo run --release -p mde-bench --bin query_bench_json [-- --quick]`
+//!
+//! Writes `BENCH_query.json` into the current directory and prints it to
+//! stdout. `--quick` shrinks the catalog to a CI smoke run (and skips
+//! the file write so CI never dirties the tree). `MDE_CHAOS_SEED`
+//! perturbs the value scramble so the CI matrix exercises different data
+//! while staying deterministic within one lane.
+//!
+//! Before anything is emitted, every vectorized result is checked
+//! against the legacy row-at-a-time executor — a correctness regression
+//! fails the bench instead of publishing numbers for a wrong answer.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use mde_mcdb::prelude::*;
+use mde_mcdb::query::{AggFunc, AggSpec, Plan};
+
+const DIM_ROWS: usize = 1_000;
+
+/// The deterministic star-schema catalog from the criterion bench:
+/// FACT(K, G, V, Q) with a 1000-key join column and a 16-way group
+/// column, DIM(K, LABEL). `seed` offsets the scramble.
+fn star_catalog(fact_rows: usize, seed: u64) -> Catalog {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build(
+            "FACT",
+            &[
+                ("K", DataType::Int),
+                ("G", DataType::Int),
+                ("V", DataType::Float),
+                ("Q", DataType::Int),
+            ],
+        )
+        .rows((0..fact_rows).map(|i| {
+            let h = (i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 100_003;
+            vec![
+                Value::from((h % DIM_ROWS as u64) as i64),
+                Value::from((h % 16) as i64),
+                Value::from(h as f64 / 100.0 - 450.0),
+                Value::from(i as i64),
+            ]
+        }))
+        .finish()
+        .unwrap(),
+    );
+    db.insert(
+        Table::build("DIM", &[("K", DataType::Int), ("LABEL", DataType::Str)])
+            .rows((0..DIM_ROWS).map(|j| {
+                vec![
+                    Value::from(j as i64),
+                    Value::from(["red", "green", "blue"][j % 3]),
+                ]
+            }))
+            .finish()
+            .unwrap(),
+    );
+    db
+}
+
+fn op_plans(fact_rows: usize) -> Vec<(&'static str, Plan)> {
+    vec![
+        (
+            "filter",
+            Plan::scan("FACT").filter(
+                Expr::col("V")
+                    .gt(Expr::lit(0.0))
+                    .and(Expr::col("Q").le(Expr::lit((fact_rows / 2) as i64))),
+            ),
+        ),
+        (
+            "join",
+            Plan::scan("FACT")
+                .join(Plan::scan("DIM"), &[("K", "K")])
+                .filter(Expr::col("V").gt(Expr::lit(250.0))),
+        ),
+        (
+            "group_by",
+            Plan::scan("FACT").aggregate(
+                &["G"],
+                vec![
+                    AggSpec::count_star("N"),
+                    AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("V")),
+                    AggSpec::new("PEAK", AggFunc::Max, Expr::col("V")),
+                ],
+            ),
+        ),
+    ]
+}
+
+/// Median wall time (ms) over `reps` runs of `f`.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed: u64 = std::env::var("MDE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let (fact_rows, reps) = if quick { (10_000, 3) } else { (100_000, 9) };
+    let db = star_catalog(fact_rows, seed);
+
+    let mut ops = Vec::new();
+    for (name, plan) in op_plans(fact_rows) {
+        let vectorized = db.query(&plan).expect("vectorized execution");
+        let legacy = db.query_unoptimized(&plan).expect("legacy execution");
+        assert_eq!(
+            vectorized.rows(),
+            legacy.rows(),
+            "executor divergence on `{name}` — refusing to publish numbers"
+        );
+        let rows_out = vectorized.len();
+        let vec_ms = time_ms(reps, || {
+            black_box(db.query(black_box(&plan)).unwrap());
+        });
+        let legacy_ms = time_ms(reps, || {
+            black_box(db.query_unoptimized(black_box(&plan)).unwrap());
+        });
+        ops.push((name, rows_out, vec_ms, legacy_ms));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"query_engine\",\n  \"seed\": {seed},\n  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"fact_rows\": {fact_rows},\n  \"dim_rows\": {DIM_ROWS},\n  \"ops\": [\n"
+    ));
+    for (i, (name, rows_out, vec_ms, legacy_ms)) in ops.iter().enumerate() {
+        let mrows_s = fact_rows as f64 / 1e6 / (vec_ms / 1e3).max(1e-9);
+        json.push_str(&format!(
+            "    {{\"op\": \"{name}\", \"rows_out\": {rows_out}, \
+             \"vectorized_ms\": {vec_ms:.3}, \"legacy_ms\": {legacy_ms:.3}, \
+             \"speedup\": {:.2}, \"scan_mrows_s\": {mrows_s:.2}}}{}\n",
+            legacy_ms / vec_ms.max(1e-9),
+            if i + 1 < ops.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    print!("{json}");
+    if !quick {
+        std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+        eprintln!("wrote BENCH_query.json");
+    }
+}

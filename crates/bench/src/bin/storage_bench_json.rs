@@ -1,0 +1,226 @@
+//! Emit `BENCH_storage.json`: out-of-core paged-table throughput at
+//! working sets below, above, and far above the buffer pool's frame
+//! budget (0.5×, 2×, 8×), with the pool's hit rate and eviction churn
+//! per lane.
+//!
+//! Usage: `cargo run --release -p mde-bench --bin storage_bench_json [-- --quick]`
+//!
+//! Writes `BENCH_storage.json` into the current directory and prints it
+//! to stdout. `--quick` shrinks page count and repetitions for a CI
+//! smoke run (and skips the file write so CI never dirties the tree).
+//! `MDE_CHAOS_SEED` perturbs the value scramble; lanes stay
+//! deterministic within one seed.
+//!
+//! Guardrails enforced before anything is emitted:
+//! - every paged result is bit-identical to the in-memory oracle;
+//! - frame residency never exceeds the pool budget, even at 8×.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mde_mcdb::prelude::*;
+use mde_mcdb::query::{AggFunc, AggSpec, Plan};
+use mde_mcdb::storage::BufferPool;
+
+const DIM_ROWS: usize = 200;
+
+/// Star-schema fact table sized to `fact_rows`, values scrambled by
+/// `seed` (same family as the query bench, narrower dim for join reuse).
+fn star_catalog(fact_rows: usize, seed: u64) -> Catalog {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build(
+            "FACT",
+            &[
+                ("K", DataType::Int),
+                ("G", DataType::Int),
+                ("V", DataType::Float),
+                ("Q", DataType::Int),
+            ],
+        )
+        .rows((0..fact_rows).map(|i| {
+            let h = (i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 100_003;
+            vec![
+                Value::from((h % DIM_ROWS as u64) as i64),
+                Value::from((h % 16) as i64),
+                Value::from(h as f64 / 100.0 - 450.0),
+                Value::from(i as i64),
+            ]
+        }))
+        .finish()
+        .unwrap(),
+    );
+    db.insert(
+        Table::build("DIM", &[("K", DataType::Int), ("LABEL", DataType::Str)])
+            .rows((0..DIM_ROWS).map(|j| {
+                vec![
+                    Value::from(j as i64),
+                    Value::from(["red", "green", "blue"][j % 3]),
+                ]
+            }))
+            .finish()
+            .unwrap(),
+    );
+    db
+}
+
+fn op_plans() -> Vec<(&'static str, Plan)> {
+    vec![
+        ("scan", Plan::scan("FACT")),
+        (
+            "filter",
+            Plan::scan("FACT").filter(Expr::col("V").gt(Expr::lit(0.0))),
+        ),
+        (
+            "join",
+            Plan::scan("FACT")
+                .join(Plan::scan("DIM"), &[("K", "K")])
+                .aggregate(
+                    &["LABEL"],
+                    vec![
+                        AggSpec::count_star("N"),
+                        AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("V")),
+                    ],
+                ),
+        ),
+    ]
+}
+
+/// Median wall time (ms) over `reps` runs of `f`.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct LaneResult {
+    working_set: &'static str,
+    rows: usize,
+    pages: usize,
+    ops: Vec<(&'static str, f64, f64)>, // (op, ms, mrows/s)
+    hit_rate: f64,
+    evictions: u64,
+    resident: usize,
+}
+
+fn run_lane(
+    working_set: &'static str,
+    ratio: f64,
+    budget: usize,
+    page_size: usize,
+    reps: usize,
+    seed: u64,
+    dir: &std::path::Path,
+) -> LaneResult {
+    // ~`values_per_page` values fit one page body; 4 fact columns. Size
+    // the row count so the fact file is ~`ratio` × the frame budget.
+    let values_per_page = (page_size - 28) / 8;
+    let fact_rows = ((ratio * budget as f64 / 4.0) * values_per_page as f64).ceil() as usize;
+    let db = star_catalog(fact_rows.max(values_per_page), seed);
+
+    let pool = BufferPool::new(budget);
+    let paged = db
+        .to_paged(&dir.join(working_set), page_size, Arc::clone(&pool))
+        .expect("paged twin");
+    let pages = paged.get("FACT").unwrap().paged_store().unwrap().n_pages();
+
+    let mut ops = Vec::new();
+    for (name, plan) in op_plans() {
+        let oracle = db.query(&plan).expect("oracle execution");
+        let got = paged.query(&plan).expect("paged execution");
+        assert_eq!(
+            oracle.rows(),
+            got.rows(),
+            "paged `{name}` diverged from the in-memory oracle at {working_set}"
+        );
+        let ms = time_ms(reps, || {
+            black_box(paged.query(black_box(&plan)).unwrap());
+        });
+        let rows = db.get("FACT").unwrap().len();
+        ops.push((name, ms, rows as f64 / 1e6 / (ms / 1e3).max(1e-9)));
+    }
+
+    let stats = pool.stats();
+    assert!(
+        stats.resident <= budget,
+        "resident {} frames exceeds budget {budget} at {working_set}",
+        stats.resident
+    );
+    LaneResult {
+        working_set,
+        rows: db.get("FACT").unwrap().len(),
+        pages,
+        ops,
+        hit_rate: stats.hit_rate(),
+        evictions: stats.evictions,
+        resident: stats.resident,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed: u64 = std::env::var("MDE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let (budget, page_size, reps) = if quick { (32, 1024, 3) } else { (64, 4096, 9) };
+    let dir = std::env::temp_dir().join(format!("mde_storage_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+
+    let mut lanes = Vec::new();
+    for (working_set, ratio) in [("0.5x", 0.5), ("2x", 2.0), ("8x", 8.0)] {
+        lanes.push(run_lane(
+            working_set,
+            ratio,
+            budget,
+            page_size,
+            reps,
+            seed,
+            &dir,
+        ));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"paged_storage\",\n  \"seed\": {seed},\n  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"page_size\": {page_size},\n  \"pool_budget_frames\": {budget},\n  \"lanes\": [\n"
+    ));
+    for (i, l) in lanes.iter().enumerate() {
+        let mut op_json = String::new();
+        for (name, ms, mrows) in &l.ops {
+            op_json.push_str(&format!(
+                "\"{name}_ms\": {ms:.3}, \"{name}_mrows_s\": {mrows:.2}, "
+            ));
+        }
+        json.push_str(&format!(
+            "    {{\"working_set\": \"{}\", \"rows\": {}, \"pages\": {}, {}\
+             \"pool_hit_rate\": {:.4}, \"evictions\": {}, \"resident\": {}}}{}\n",
+            l.working_set,
+            l.rows,
+            l.pages,
+            op_json,
+            l.hit_rate,
+            l.evictions,
+            l.resident,
+            if i + 1 < lanes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    print!("{json}");
+    if !quick {
+        std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+        eprintln!("wrote BENCH_storage.json");
+    }
+}

@@ -49,8 +49,42 @@ use mde_numeric::{
     CircuitBreaker, Fingerprint, Overloaded, Priority,
 };
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// A sampled external pressure signal for admission control — typically
+/// the occupancy of a storage buffer pool (`resident / budget` in
+/// `[0, 1]`). The probe is polled at each [`Scheduler::submit`]; when it
+/// reads above [`SchedConfig::pressure_limit`], admission rejects with
+/// [`Overloaded::PoolPressure`] so the campaign can be retried once the
+/// pool drains rather than queued onto a memory-starved system.
+#[derive(Clone)]
+pub struct PressureProbe(Arc<dyn Fn() -> f64 + Send + Sync>);
+
+impl PressureProbe {
+    /// Wrap a sampling closure. The closure should be cheap and
+    /// lock-light: it runs inline on every admission decision.
+    pub fn new(f: impl Fn() -> f64 + Send + Sync + 'static) -> Self {
+        PressureProbe(Arc::new(f))
+    }
+
+    /// Sample the current pressure. Non-finite readings are treated as
+    /// zero (a broken probe must not wedge admission shut).
+    pub fn sample(&self) -> f64 {
+        let v = (self.0)();
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Debug for PressureProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PressureProbe").finish_non_exhaustive()
+    }
+}
 
 /// Scheduler configuration: queue bounds, budgets, the retry ladder, and
 /// breaker thresholds.
@@ -82,6 +116,12 @@ pub struct SchedConfig {
     pub stall_ms: u64,
     /// Deterministic chaos injection (tests only; `None` in production).
     pub faults: Option<FaultPlan>,
+    /// Optional external pressure signal (e.g. buffer pool occupancy)
+    /// polled at admission; `None` disables the check.
+    pub pressure_probe: Option<PressureProbe>,
+    /// Admission ceiling for the probe reading, in `[0, 1]`. Readings
+    /// strictly above it reject with [`Overloaded::PoolPressure`].
+    pub pressure_limit: f64,
 }
 
 impl Default for SchedConfig {
@@ -95,6 +135,8 @@ impl Default for SchedConfig {
             breaker: BreakerConfig::default(),
             stall_ms: 25,
             faults: None,
+            pressure_probe: None,
+            pressure_limit: 1.0,
         }
     }
 }
@@ -384,6 +426,18 @@ impl Scheduler {
                 in_flight: self.admitted_cost,
                 budget: self.cfg.cost_budget,
             });
+        }
+
+        if let Some(probe) = &self.cfg.pressure_probe {
+            let pressure = probe.sample();
+            if pressure > self.cfg.pressure_limit {
+                self.metrics.inc("sched.rejected");
+                self.metrics.inc("sched.pool_pressure_rejected");
+                return Err(Overloaded::PoolPressure {
+                    pressure_pct: (pressure * 100.0).round() as u32,
+                    limit_pct: (self.cfg.pressure_limit * 100.0).round() as u32,
+                });
+            }
         }
 
         if let Some(b) = self.breakers.get(&spec.resource) {
@@ -886,6 +940,43 @@ mod tests {
         let (c, _) = Pausable::new(3.0);
         s.submit(CampaignSpec::new("globex", "g0"), Box::new(c))
             .expect("separate tenant queue");
+    }
+
+    #[test]
+    fn admission_rejects_on_pool_pressure_and_recovers() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // A stand-in for `BufferPool::pressure()`: occupancy in [0, 1]
+        // that the test drives up and back down.
+        let occupancy = Arc::new(AtomicU64::new(90));
+        let probe_view = Arc::clone(&occupancy);
+        let mut s = Scheduler::new(SchedConfig {
+            pressure_probe: Some(PressureProbe::new(move || {
+                probe_view.load(Ordering::Relaxed) as f64 / 100.0
+            })),
+            pressure_limit: 0.75,
+            ..fast_cfg()
+        });
+        let (c, _) = Pausable::new(1.0);
+        let err = s
+            .submit(CampaignSpec::new("acme", "hot"), Box::new(c))
+            .expect_err("pool too full");
+        assert!(matches!(
+            err,
+            Overloaded::PoolPressure {
+                pressure_pct: 90,
+                limit_pct: 75,
+            }
+        ));
+        assert!(err.to_string().contains("90%"), "{err}");
+        // Overload is a state of the system, not the request: once the
+        // pool drains the same submission is admitted.
+        occupancy.store(40, Ordering::Relaxed);
+        let (c, _) = Pausable::new(1.0);
+        s.submit(CampaignSpec::new("acme", "hot"), Box::new(c))
+            .expect("admitted after pressure drained");
+        let run = s.run(1);
+        assert_eq!(run.metrics.counter("sched.pool_pressure_rejected"), 1);
+        assert_eq!(run.metrics.counter("sched.admitted"), 1);
     }
 
     #[test]

@@ -83,6 +83,40 @@ pub enum McdbError {
     /// (unwritable path, corrupt file, or a checkpoint that belongs to a
     /// different campaign).
     Checkpoint(mde_numeric::CheckpointError),
+    /// A page in a paged table file (or spill partition) could not be
+    /// decoded: bad magic, truncation, an unknown encoding/type tag, or a
+    /// structurally impossible field. Data loss surfaces as this typed
+    /// error — never as a silently wrong query result.
+    PageCorrupt {
+        /// File the page was read from.
+        path: String,
+        /// Zero-based page index within the file (or `u64::MAX` when the
+        /// file header itself is corrupt).
+        page: u64,
+        /// What the decoder tripped over.
+        reason: String,
+    },
+    /// A page's content does not hash to its stored FNV-1a checksum —
+    /// the frame was altered or torn after it was written.
+    PageChecksumMismatch {
+        /// File the page was read from.
+        path: String,
+        /// Zero-based page index within the file.
+        page: u64,
+        /// Checksum stored in the page header.
+        expected: u64,
+        /// Checksum of the frame as found.
+        found: u64,
+    },
+    /// The buffer pool could not make room: every resident frame is
+    /// pinned by an in-flight reader. Retryable — pins are transient, so
+    /// a later attempt (or a larger frame budget) can succeed.
+    PoolExhausted {
+        /// Frame budget of the pool.
+        budget: usize,
+        /// Frames that were pinned when eviction gave up.
+        pinned: usize,
+    },
     /// A worker thread or the scoped pool itself was lost (a panic
     /// *outside* the supervised per-replicate region, or scope teardown
     /// failure). Unlike a replicate panic this is infrastructure loss:
@@ -182,6 +216,27 @@ impl fmt::Display for McdbError {
                  succeeded, policy required {required}"
             ),
             McdbError::Checkpoint(e) => write!(f, "{e}"),
+            McdbError::PageCorrupt { path, page, reason } => {
+                if *page == u64::MAX {
+                    write!(f, "corrupt table file `{path}`: {reason}")
+                } else {
+                    write!(f, "corrupt page {page} in `{path}`: {reason}")
+                }
+            }
+            McdbError::PageChecksumMismatch {
+                path,
+                page,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch on page {page} in `{path}`: stored {expected:#018x}, \
+                 found {found:#018x}"
+            ),
+            McdbError::PoolExhausted { budget, pinned } => write!(
+                f,
+                "buffer pool exhausted: all {pinned} of {budget} frames pinned"
+            ),
             McdbError::WorkerLost { context } => {
                 write!(f, "worker thread lost: {context}")
             }
@@ -199,6 +254,10 @@ impl mde_numeric::ErrorClass for McdbError {
     fn severity(&self) -> mde_numeric::Severity {
         match self {
             McdbError::ReplicateFailed { .. } => mde_numeric::Severity::Retryable,
+            // Pool pins are transient (readers release them), so a retry
+            // can find an evictable frame. Corruption is not: re-reading a
+            // damaged page fails identically every time.
+            McdbError::PoolExhausted { .. } => mde_numeric::Severity::Retryable,
             McdbError::Numeric(e) => e.severity(),
             McdbError::Checkpoint(e) => e.severity(),
             _ => mde_numeric::Severity::Fatal,

@@ -94,6 +94,7 @@ pub mod sched;
 pub mod schema;
 pub mod simstep;
 pub mod sql;
+pub mod storage;
 pub mod table;
 pub mod value;
 pub mod vg;

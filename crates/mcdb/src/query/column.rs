@@ -65,6 +65,22 @@ impl NullMask {
         }
     }
 
+    /// The raw bitmap words, or `None` when the mask never materialized
+    /// (all lanes valid). Lets the page-codec tests assert that decoded
+    /// masks reproduce the all-valid fast path verbatim.
+    #[cfg(test)]
+    pub(crate) fn words(&self) -> Option<&[u64]> {
+        self.bits.as_deref()
+    }
+
+    /// Rebuild a mask from persisted bitmap words. `words: None` must be
+    /// used exactly when the original mask was all-valid so that decoded
+    /// masks compare equal (`PartialEq`) to their pre-encode originals.
+    pub(crate) fn from_words(len: usize, words: Option<Vec<u64>>) -> NullMask {
+        debug_assert!(words.as_ref().is_none_or(|w| w.len() == len.div_ceil(64)));
+        NullMask { len, bits: words }
+    }
+
     /// Select lanes by index, producing the gathered mask.
     pub fn gather(&self, sel: &[u32]) -> NullMask {
         let mut out = NullMask::all_valid(sel.len());
@@ -72,6 +88,26 @@ impl NullMask {
             for (k, &i) in sel.iter().enumerate() {
                 if self.is_null(i as usize) {
                     out.set_null(k);
+                }
+            }
+        }
+        out
+    }
+
+    /// Concatenate two masks lane-wise. Preserves the all-valid fast
+    /// path: the result only materializes a bitmap if either input has
+    /// null lanes.
+    pub(crate) fn concat(&self, tail: &NullMask) -> NullMask {
+        let mut out = NullMask::all_valid(self.len + tail.len);
+        if self.any_null() || tail.any_null() {
+            for i in 0..self.len {
+                if self.is_null(i) {
+                    out.set_null(i);
+                }
+            }
+            for j in 0..tail.len {
+                if tail.is_null(j) {
+                    out.set_null(self.len + j);
                 }
             }
         }
@@ -362,6 +398,85 @@ impl ColumnVec {
         }
     }
 
+    /// Concatenate two columns of the same type, lane-wise. Used by the
+    /// paged table backend to splice the in-memory append tail onto the
+    /// decoded on-disk base. Untyped all-null columns adopt the other
+    /// side's type (placeholder values, all lanes null), matching what
+    /// [`ColumnVec::from_rows`] would build for the combined rows.
+    ///
+    /// # Panics
+    ///
+    /// If the two columns carry different concrete types — impossible
+    /// when both conform to one schema column, which is the only way the
+    /// engine calls this.
+    pub(crate) fn concat(&self, tail: &ColumnVec) -> ColumnVec {
+        fn typed_nulls(len: usize, dtype: DataType) -> ColumnVec {
+            let mut nulls = NullMask::all_valid(len);
+            for i in 0..len {
+                nulls.set_null(i);
+            }
+            match dtype {
+                DataType::Int => ColumnVec::Int {
+                    data: vec![0; len],
+                    nulls,
+                },
+                DataType::Float => ColumnVec::Float {
+                    data: vec![0.0; len],
+                    nulls,
+                },
+                DataType::Bool => ColumnVec::Bool {
+                    data: vec![false; len],
+                    nulls,
+                },
+                DataType::Str => ColumnVec::Str {
+                    data: vec![Arc::from(""); len],
+                    nulls,
+                },
+            }
+        }
+        match (self, tail) {
+            (ColumnVec::AllNull { len: a }, ColumnVec::AllNull { len: b }) => {
+                ColumnVec::AllNull { len: a + b }
+            }
+            (ColumnVec::AllNull { len }, other) => {
+                typed_nulls(*len, other.dtype().expect("non-AllNull has a dtype")).concat(other)
+            }
+            (other, ColumnVec::AllNull { len }) => other.concat(&typed_nulls(
+                *len,
+                other.dtype().expect("non-AllNull has a dtype"),
+            )),
+            (ColumnVec::Int { data: a, nulls: na }, ColumnVec::Int { data: b, nulls: nb }) => {
+                ColumnVec::Int {
+                    data: a.iter().chain(b).copied().collect(),
+                    nulls: na.concat(nb),
+                }
+            }
+            (ColumnVec::Float { data: a, nulls: na }, ColumnVec::Float { data: b, nulls: nb }) => {
+                ColumnVec::Float {
+                    data: a.iter().chain(b).copied().collect(),
+                    nulls: na.concat(nb),
+                }
+            }
+            (ColumnVec::Bool { data: a, nulls: na }, ColumnVec::Bool { data: b, nulls: nb }) => {
+                ColumnVec::Bool {
+                    data: a.iter().chain(b).copied().collect(),
+                    nulls: na.concat(nb),
+                }
+            }
+            (ColumnVec::Str { data: a, nulls: na }, ColumnVec::Str { data: b, nulls: nb }) => {
+                ColumnVec::Str {
+                    data: a.iter().chain(b).map(Arc::clone).collect(),
+                    nulls: na.concat(nb),
+                }
+            }
+            (a, b) => unreachable!(
+                "concat of mismatched column types {:?} and {:?}",
+                a.dtype(),
+                b.dtype()
+            ),
+        }
+    }
+
     /// Numeric widening to a declared column type: an `Int` column flowing
     /// into a `Float` column converts whole; everything else is unchanged
     /// (mismatches are caught by the projection validator).
@@ -425,6 +540,40 @@ mod tests {
         let b = ColumnVec::broadcast(&Value::from(true), 3);
         assert_eq!(b.len(), 3);
         assert_eq!(b.value(2), Value::from(true));
+    }
+
+    #[test]
+    fn concat_splices_tails_and_adopts_types() {
+        let base = ColumnVec::from_values(vec![Value::from(1), Value::Null]).unwrap();
+        let tail = ColumnVec::from_values(vec![Value::from(3)]).unwrap();
+        let joined = base.concat(&tail);
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined.value(0), Value::from(1));
+        assert!(joined.value(1).is_null());
+        assert_eq!(joined.value(2), Value::from(3));
+
+        // All-valid fast path survives concat.
+        let a = ColumnVec::from_values(vec![Value::from("x")]).unwrap();
+        let b = ColumnVec::from_values(vec![Value::from("y")]).unwrap();
+        match a.concat(&b) {
+            ColumnVec::Str { nulls, .. } => assert!(nulls.words().is_none()),
+            other => panic!("expected Str, got {other:?}"),
+        }
+
+        // Untyped all-null sides adopt the typed side's dtype.
+        let n = ColumnVec::AllNull { len: 2 };
+        let typed = n.concat(&tail);
+        assert_eq!(typed.dtype(), Some(DataType::Int));
+        assert!(typed.value(0).is_null() && typed.value(1).is_null());
+        assert_eq!(typed.value(2), Value::from(3));
+        let back = tail.concat(&n);
+        assert_eq!(back.dtype(), Some(DataType::Int));
+        assert_eq!(back.value(0), Value::from(3));
+        assert!(back.value(2).is_null());
+        assert_eq!(
+            n.concat(&ColumnVec::AllNull { len: 1 }),
+            ColumnVec::AllNull { len: 3 }
+        );
     }
 
     #[test]

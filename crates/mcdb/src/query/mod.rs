@@ -21,9 +21,11 @@ pub mod planner;
 
 use crate::expr::Expr;
 use crate::schema::{Column, DataType, Schema};
+use crate::storage::{BufferPool, SpillConfig};
 use crate::table::Table;
 use crate::McdbError;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 pub use exec::execute;
@@ -34,9 +36,14 @@ pub use physical::PreparedQuery;
 /// Tables are stored behind `Arc`s so cloning a catalog (the per-replicate
 /// scratch-reset pattern in the Monte Carlo runners) shares table storage
 /// instead of deep-copying every row.
+///
+/// A catalog also carries the [`SpillConfig`] governing when the executor
+/// degrades hash-join builds and group-by hash tables to out-of-core
+/// Grace partitioning (default: effectively never — a 2²⁰-row threshold).
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, Arc<Table>>,
+    spill: SpillConfig,
 }
 
 impl Catalog {
@@ -76,6 +83,49 @@ impl Catalog {
     /// Names of all tables (unordered).
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// The spill policy the executor applies to hash joins and group-by.
+    pub fn spill_config(&self) -> &SpillConfig {
+        &self.spill
+    }
+
+    /// Replace the spill policy (e.g. to force out-of-core execution in
+    /// tests, or to share one buffer pool between tables and spills).
+    pub fn set_spill_config(&mut self, spill: SpillConfig) {
+        self.spill = spill;
+    }
+
+    /// Persist every table as a paged columnar file under `dir` (one
+    /// `<table>.mdet` per table) and return a catalog of paged tables
+    /// reading back through the shared `pool`. Spill partitions written
+    /// by the new catalog reuse the same pool and directory, so one
+    /// frame budget governs the whole query workload. The source catalog
+    /// is untouched — it is the differential oracle for the paged twin.
+    pub fn to_paged(
+        &self,
+        dir: &Path,
+        page_size: usize,
+        pool: Arc<BufferPool>,
+    ) -> crate::Result<Catalog> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            McdbError::invalid_plan(format!("cannot create paged catalog dir: {e}"))
+        })?;
+        let mut out = Catalog::new();
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort(); // deterministic write order
+        for name in names {
+            let t = &self.tables[name];
+            let path = dir.join(format!("{name}.mdet"));
+            out.insert(t.to_paged(&path, page_size, Arc::clone(&pool))?);
+        }
+        out.spill = SpillConfig {
+            dir: Some(dir.to_path_buf()),
+            page_size,
+            pool,
+            ..self.spill.clone()
+        };
+        Ok(out)
     }
 
     /// Execute a plan against this catalog.

@@ -24,6 +24,7 @@ use super::exec::{coerce, sql_sort_cmp, AggState};
 use super::{infer_type, planner, AggFunc, Catalog, Plan};
 use crate::expr::BoundExpr;
 use crate::schema::{Column, DataType, Schema};
+use crate::storage::spill::{partition_of, SpilledBatch};
 use crate::table::{Row, Table};
 use crate::value::GroupKey;
 use crate::McdbError;
@@ -398,7 +399,15 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
             }
             span.record("table", table.as_str());
             span.record("cache_hit", t.batch_is_cached());
-            let chunk = Chunk::from_batch(t.batch());
+            // Logical page reads are deterministic (a pure function of the
+            // queries executed), so they may live on the span; the pool's
+            // hit/eviction counters are timing-dependent and stay
+            // out-of-band in `PoolStats`.
+            let reads_before = t.paged_store().map(|s| s.logical_reads());
+            let chunk = Chunk::from_batch(t.try_batch()?);
+            if let (Some(before), Some(store)) = (reads_before, t.paged_store()) {
+                span.record("storage.page_reads", store.logical_reads() - before);
+            }
             span.record("rows", chunk.len());
             Ok(chunk)
         }
@@ -493,7 +502,86 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
             // Matching (left lane, right lane) pairs in the reference
             // output order: ascending left lane, then ascending right lane.
             let mut pairs: Vec<(u32, u32)> = Vec::new();
-            if r_lanes <= l_lanes {
+            let spill = catalog.spill_config();
+            if l_lanes.min(r_lanes) > spill.threshold_rows {
+                // Grace hash join: the build side exceeds the spill
+                // threshold, so both inputs are hash-partitioned by join
+                // key (deterministic FNV — identical sharding every run),
+                // each partition is persisted through the page codec, and
+                // partitions are joined one at a time. Every key lives
+                // wholly in one partition, and the final lane-pair sort
+                // restores the reference output order exactly, so results
+                // are bit-identical to the in-memory path.
+                let parts = spill.partitions.max(1);
+                span.record("spilled", true);
+                span.record("partitions", parts);
+                let mut l_parts: Vec<Vec<u32>> = vec![Vec::new(); parts];
+                for lane in 0..l_lanes {
+                    if let Some(key) = key_of(&lc, left_keys, lane) {
+                        l_parts[partition_of(&key, parts)].push(lane as u32);
+                    }
+                }
+                let mut r_parts: Vec<Vec<u32>> = vec![Vec::new(); parts];
+                for lane in 0..r_lanes {
+                    if let Some(key) = key_of(&rc, right_keys, lane) {
+                        r_parts[partition_of(&key, parts)].push(lane as u32);
+                    }
+                }
+                let bkey = |b: &Batch, keys: &[usize], row: usize| -> Vec<GroupKey> {
+                    keys.iter()
+                        .map(|&j| b.column(j).value(row).group_key())
+                        .collect()
+                };
+                let mut spill_rows = 0u64;
+                for p in 0..parts {
+                    let (lp, rp) = (&l_parts[p], &r_parts[p]);
+                    if lp.is_empty() || rp.is_empty() {
+                        continue;
+                    }
+                    let l_sel: Vec<u32> = lp.iter().map(|&l| lc.index(l as usize)).collect();
+                    let r_sel: Vec<u32> = rp.iter().map(|&r| rc.index(r as usize)).collect();
+                    let ls = SpilledBatch::write(&lc.batch, &l_sel, spill, &format!("jl{p}"))?;
+                    let rs = SpilledBatch::write(&rc.batch, &r_sel, spill, &format!("jr{p}"))?;
+                    spill_rows += (ls.n_rows() + rs.n_rows()) as u64;
+                    let lb = ls.read()?;
+                    let rb = rs.read()?;
+                    // In-memory hash table bounded to one partition's
+                    // smaller side (ties keep the legacy right build).
+                    if rb.len() <= lb.len() {
+                        let mut index: HashMap<Vec<GroupKey>, Vec<u32>> = HashMap::new();
+                        for (row, &rlane) in rp.iter().enumerate() {
+                            index
+                                .entry(bkey(&rb, right_keys, row))
+                                .or_default()
+                                .push(rlane);
+                        }
+                        for (row, &llane) in lp.iter().enumerate() {
+                            if let Some(matches) = index.get(&bkey(&lb, left_keys, row)) {
+                                for &r in matches {
+                                    pairs.push((llane, r));
+                                }
+                            }
+                        }
+                    } else {
+                        let mut index: HashMap<Vec<GroupKey>, Vec<u32>> = HashMap::new();
+                        for (row, &llane) in lp.iter().enumerate() {
+                            index
+                                .entry(bkey(&lb, left_keys, row))
+                                .or_default()
+                                .push(llane);
+                        }
+                        for (row, &rlane) in rp.iter().enumerate() {
+                            if let Some(matches) = index.get(&bkey(&rb, right_keys, row)) {
+                                for &l in matches {
+                                    pairs.push((l, rlane));
+                                }
+                            }
+                        }
+                    }
+                }
+                span.record("spill_rows", spill_rows);
+                pairs.sort_unstable();
+            } else if r_lanes <= l_lanes {
                 // Build on the right (ties keep the legacy choice), probe
                 // the left in lane order — pairs come out ordered already.
                 let mut index: HashMap<Vec<GroupKey>, Vec<u32>> = HashMap::new();
@@ -557,6 +645,83 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
             let chunk = run(input, catalog, &span)?;
             let lanes = chunk.len();
             span.record("rows_in", lanes);
+            let spill = catalog.spill_config();
+            if lanes > spill.threshold_rows && !group_idx.is_empty() {
+                // Grace-partitioned aggregation: the input exceeds the
+                // spill threshold, so lanes are hash-partitioned by group
+                // key, each partition is persisted and aggregated on its
+                // own, and groups are re-emitted in global first-seen
+                // order. Every group lives wholly in one partition and
+                // its lanes keep ascending order, so accumulation order —
+                // and therefore floating-point sums — is bit-identical to
+                // the unspilled path. (A global aggregate with no group
+                // keys holds O(1) state and never needs to spill.)
+                let parts = spill.partitions.max(1);
+                span.record("spilled", true);
+                span.record("partitions", parts);
+                let mut lane_parts: Vec<Vec<u32>> = vec![Vec::new(); parts];
+                for lane in 0..lanes {
+                    let key: Vec<GroupKey> = group_idx
+                        .iter()
+                        .map(|&j| chunk.value(j, lane).group_key())
+                        .collect();
+                    lane_parts[partition_of(&key, parts)].push(lane as u32);
+                }
+                // (first global lane, group values, accumulators) per group.
+                let mut groups: Vec<(u32, Row, Vec<AggState>)> = Vec::new();
+                let mut spill_rows = 0u64;
+                for (p, part) in lane_parts.iter().enumerate() {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let sel: Vec<u32> = part.iter().map(|&l| chunk.index(l as usize)).collect();
+                    let spilled =
+                        SpilledBatch::write(&chunk.batch, &sel, spill, &format!("agg{p}"))?;
+                    spill_rows += spilled.n_rows() as u64;
+                    let pb = Arc::new(spilled.read()?);
+                    let arg_cols: Vec<Option<ColumnVec>> = agg_args
+                        .iter()
+                        .map(|a| a.as_ref().map(|b| b.eval_batch(&pb, None)).transpose())
+                        .collect::<crate::Result<_>>()?;
+                    let mut slot: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+                    let first = groups.len();
+                    for (row, &global_lane) in part.iter().enumerate() {
+                        let key: Vec<GroupKey> = group_idx
+                            .iter()
+                            .map(|&j| pb.column(j).value(row).group_key())
+                            .collect();
+                        let idx = *slot.entry(key).or_insert_with(|| {
+                            groups.push((
+                                global_lane,
+                                group_idx.iter().map(|&j| pb.column(j).value(row)).collect(),
+                                agg_funcs.iter().map(|&f| AggState::new(f)).collect(),
+                            ));
+                            groups.len() - 1
+                        });
+                        for (state, col) in groups[idx].2.iter_mut().zip(&arg_cols) {
+                            state.update(col.as_ref().map(|c| c.value(row)))?;
+                        }
+                    }
+                    debug_assert!(groups[first..].windows(2).all(|w| w[0].0 < w[1].0));
+                }
+                span.record("spill_rows", spill_rows);
+                // Partitions interleave in lane space; first-seen group
+                // order is the order of each group's first global lane.
+                groups.sort_by_key(|g| g.0);
+                let mut out = Table::new("aggregate", schema.clone());
+                for (_, group_vals, sts) in groups {
+                    let mut row = group_vals;
+                    for (st, col) in sts
+                        .into_iter()
+                        .zip(schema.columns().iter().skip(group_idx.len()))
+                    {
+                        row.push(coerce(st.finish(), col.dtype));
+                    }
+                    out.push_row(row)?;
+                }
+                span.record("groups", out.len());
+                return Ok(Chunk::from_batch(out.batch()));
+            }
             // Argument expressions evaluate once as whole columns.
             let arg_cols: Vec<Option<ColumnVec>> = agg_args
                 .iter()
@@ -905,6 +1070,78 @@ mod tests {
             &c,
             &Plan::scan("dim").join(Plan::scan("fact"), &[("k2", "k")]),
         );
+    }
+
+    #[test]
+    fn spilled_join_and_aggregate_match_in_memory_results() {
+        use crate::storage::SpillConfig;
+        // Large enough that keys repeat and floats accumulate in a
+        // meaningful order; small spill threshold forces Grace
+        // partitioning on both the join build and the group-by.
+        let mut c = Catalog::new();
+        let mut fact = Table::new(
+            "fact",
+            Schema::from_pairs(&[
+                ("k", DataType::Int),
+                ("x", DataType::Float),
+                ("tag", DataType::Str),
+            ])
+            .unwrap(),
+        );
+        for i in 0..500i64 {
+            fact.push_row(vec![
+                Value::from(i % 23),
+                if i % 17 == 0 {
+                    Value::Null
+                } else {
+                    Value::from((i as f64) * 0.1)
+                },
+                Value::str(["a", "b", "c"][(i % 3) as usize]),
+            ])
+            .unwrap();
+        }
+        c.insert(fact);
+        c.insert(
+            Table::build("dim", &[("k2", DataType::Int), ("w", DataType::Float)])
+                .rows((0..23).map(|i| vec![Value::from(i as i64), Value::from(i as f64 * 2.0)]))
+                .finish()
+                .unwrap(),
+        );
+        let plans = vec![
+            Plan::scan("fact").join(Plan::scan("dim"), &[("k", "k2")]),
+            Plan::scan("fact").aggregate(
+                &["k", "tag"],
+                vec![
+                    AggSpec::count_star("n"),
+                    AggSpec::new("s", AggFunc::Sum, Expr::col("x")),
+                ],
+            ),
+            Plan::scan("fact")
+                .join(Plan::scan("dim"), &[("k", "k2")])
+                .aggregate(
+                    &["tag"],
+                    vec![AggSpec::new("t", AggFunc::Sum, Expr::col("w"))],
+                )
+                .sort(vec![SortKey::asc(Expr::col("tag"))]),
+        ];
+        let dir = std::env::temp_dir().join(format!("mde_phys_spill_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spilled = c.clone();
+        spilled.set_spill_config(SpillConfig {
+            threshold_rows: 16,
+            partitions: 5,
+            dir: Some(dir.clone()),
+            page_size: 512,
+            ..SpillConfig::default()
+        });
+        for p in &plans {
+            let plain = c.query(p).unwrap();
+            let out_of_core = spilled.query(p).unwrap();
+            assert_eq!(plain, out_of_core, "spill diverged for {}", p.explain());
+        }
+        // Partition files are transient: all deleted once consumed.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

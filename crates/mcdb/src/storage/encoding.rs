@@ -1,0 +1,794 @@
+//! Per-page column encodings: plain, RLE, bit-packed integers, and
+//! dictionary strings.
+//!
+//! A page body is one encoded chunk of one column. The writer encodes
+//! every candidate applicable to the column's type and keeps the smallest
+//! — a deterministic, local decision recorded in the page header so the
+//! reader needs no global state. Null lanes hold the same placeholder
+//! values the in-memory [`ColumnVec`] uses (`0`, `0.0`, `false`, `""`)
+//! and are encoded as ordinary values alongside a verbatim copy of the
+//! null bitmap, so a decoded column compares equal (`PartialEq`) to the
+//! column that was written — the property the differential suite leans on
+//! for bit-identical paged vs in-memory query results. Floats are
+//! encoded by bit pattern (`to_bits`), never re-parsed.
+
+use super::codec::{put_i64, put_str, put_u32, put_u64, Cursor};
+use crate::query::column::{ColumnVec, NullMask};
+use crate::schema::DataType;
+use std::sync::Arc;
+
+/// How a page body is encoded. Tags are part of the on-disk format:
+/// never renumber, only append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Values verbatim (floats by bit pattern, bools as a bitmap).
+    Plain,
+    /// Run-length: `(count, value)` pairs; wins on constant or sorted
+    /// low-cardinality chunks.
+    Rle,
+    /// Frame-of-reference bit-packing for integers: a base plus
+    /// fixed-width deltas.
+    BitPack,
+    /// Dictionary strings: distinct payloads once, lanes as bit-packed
+    /// indices; wins on low-cardinality string chunks.
+    Dict,
+    /// An untyped all-null chunk (no body at all).
+    AllNull,
+}
+
+impl Encoding {
+    pub(crate) fn to_tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Rle => 1,
+            Encoding::BitPack => 2,
+            Encoding::Dict => 3,
+            Encoding::AllNull => 4,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Encoding> {
+        match tag {
+            0 => Some(Encoding::Plain),
+            1 => Some(Encoding::Rle),
+            2 => Some(Encoding::BitPack),
+            3 => Some(Encoding::Dict),
+            4 => Some(Encoding::AllNull),
+            _ => None,
+        }
+    }
+}
+
+/// Column-type tag for an untyped all-null chunk (see
+/// [`DataType::to_tag`] for the typed tags 0–3).
+pub(crate) const ALL_NULL_TAG: u8 = 4;
+
+// ---------------------------------------------------------------------------
+// Bit packing
+// ---------------------------------------------------------------------------
+
+fn pack_bits(values: impl Iterator<Item = u64>, n: usize, width: u32, out: &mut Vec<u8>) {
+    debug_assert!(width <= 64);
+    if width == 0 {
+        return;
+    }
+    let total_bits = n * width as usize;
+    let start = out.len();
+    out.resize(start + total_bits.div_ceil(8), 0);
+    let bytes = &mut out[start..];
+    let mut bit = 0usize;
+    for v in values {
+        for k in 0..width as usize {
+            if v >> k & 1 == 1 {
+                bytes[bit / 8] |= 1 << (bit % 8);
+            }
+            bit += 1;
+        }
+    }
+}
+
+fn unpack_bits(cur: &mut Cursor<'_>, n: usize, width: u32) -> crate::Result<Vec<u64>> {
+    if width > 64 {
+        return Err(cur.corrupt(format!("bit width {width} exceeds 64")));
+    }
+    if width == 0 {
+        return Ok(vec![0; n]);
+    }
+    let total_bits = n * width as usize;
+    let bytes = cur.bytes(total_bits.div_ceil(8))?;
+    let mut out = Vec::with_capacity(n);
+    let mut bit = 0usize;
+    for _ in 0..n {
+        let mut v = 0u64;
+        for k in 0..width as usize {
+            if bytes[bit / 8] >> (bit % 8) & 1 == 1 {
+                v |= 1 << k;
+            }
+            bit += 1;
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn width_for(max: u64) -> u32 {
+    64 - max.leading_zeros()
+}
+
+// ---------------------------------------------------------------------------
+// Run-length helper
+// ---------------------------------------------------------------------------
+
+/// Collect `(count, index-of-representative)` runs of adjacent equal
+/// values under `eq`.
+fn runs_of<T, F: Fn(&T, &T) -> bool>(data: &[T], eq: F) -> Vec<(u32, usize)> {
+    let mut runs: Vec<(u32, usize)> = Vec::new();
+    for (i, v) in data.iter().enumerate() {
+        match runs.last_mut() {
+            Some((count, rep)) if eq(&data[*rep], v) && *count < u32::MAX => *count += 1,
+            _ => runs.push((1, i)),
+        }
+    }
+    runs
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encode lanes `[start, start + len)` of `col` into a page body:
+/// `dtype_tag, encoding_tag, has_nulls, [null words], data`. Returns the
+/// winning encoding (for telemetry/tests).
+pub(crate) fn encode_page_body(
+    col: &ColumnVec,
+    start: usize,
+    len: usize,
+    out: &mut Vec<u8>,
+) -> Encoding {
+    // Untyped all-null chunk: tag + encoding only.
+    if let ColumnVec::AllNull { .. } = col {
+        out.push(ALL_NULL_TAG);
+        out.push(Encoding::AllNull.to_tag());
+        out.push(0);
+        return Encoding::AllNull;
+    }
+    let dtype = col.dtype().expect("typed column");
+    out.push(dtype.to_tag());
+    let enc_pos = out.len();
+    out.push(0); // encoding tag, patched below
+    let has_nulls = (start..start + len).any(|i| col.is_null(i));
+    out.push(has_nulls as u8);
+    if has_nulls {
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for i in 0..len {
+            if col.is_null(start + i) {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        for w in &words {
+            put_u64(out, *w);
+        }
+    }
+    let enc = match col {
+        ColumnVec::Int { data, .. } => encode_int(&data[start..start + len], out),
+        ColumnVec::Float { data, .. } => encode_float(&data[start..start + len], out),
+        ColumnVec::Bool { data, .. } => encode_bool(&data[start..start + len], out),
+        ColumnVec::Str { data, .. } => encode_str(&data[start..start + len], out),
+        ColumnVec::AllNull { .. } => unreachable!(),
+    };
+    out[enc_pos] = enc.to_tag();
+    enc
+}
+
+/// Encode each candidate, append the smallest to `out`, return its tag.
+fn pick_smallest(out: &mut Vec<u8>, candidates: Vec<(Encoding, Vec<u8>)>) -> Encoding {
+    let (enc, body) = candidates
+        .into_iter()
+        .min_by_key(|(_, b)| b.len())
+        .expect("at least one candidate");
+    out.extend_from_slice(&body);
+    enc
+}
+
+fn encode_int(data: &[i64], out: &mut Vec<u8>) -> Encoding {
+    let mut plain = Vec::with_capacity(data.len() * 8);
+    for &v in data {
+        put_i64(&mut plain, v);
+    }
+
+    let mut packed = Vec::new();
+    let min = data.iter().copied().min().unwrap_or(0);
+    let width = data
+        .iter()
+        .map(|&v| width_for(v.wrapping_sub(min) as u64))
+        .max()
+        .unwrap_or(0);
+    put_i64(&mut packed, min);
+    packed.push(width as u8);
+    pack_bits(
+        data.iter().map(|&v| v.wrapping_sub(min) as u64),
+        data.len(),
+        width,
+        &mut packed,
+    );
+
+    let runs = runs_of(data, |a, b| a == b);
+    let mut rle = Vec::with_capacity(4 + runs.len() * 12);
+    put_u32(&mut rle, runs.len() as u32);
+    for (count, rep) in &runs {
+        put_u32(&mut rle, *count);
+        put_i64(&mut rle, data[*rep]);
+    }
+
+    pick_smallest(
+        out,
+        vec![
+            (Encoding::Plain, plain),
+            (Encoding::BitPack, packed),
+            (Encoding::Rle, rle),
+        ],
+    )
+}
+
+fn encode_float(data: &[f64], out: &mut Vec<u8>) -> Encoding {
+    let mut plain = Vec::with_capacity(data.len() * 8);
+    for &v in data {
+        put_u64(&mut plain, v.to_bits());
+    }
+
+    let runs = runs_of(data, |a, b| a.to_bits() == b.to_bits());
+    let mut rle = Vec::with_capacity(4 + runs.len() * 12);
+    put_u32(&mut rle, runs.len() as u32);
+    for (count, rep) in &runs {
+        put_u32(&mut rle, *count);
+        put_u64(&mut rle, data[*rep].to_bits());
+    }
+
+    pick_smallest(out, vec![(Encoding::Plain, plain), (Encoding::Rle, rle)])
+}
+
+fn encode_bool(data: &[bool], out: &mut Vec<u8>) -> Encoding {
+    let mut plain = vec![0u8; data.len().div_ceil(8)];
+    for (i, &v) in data.iter().enumerate() {
+        if v {
+            plain[i / 8] |= 1 << (i % 8);
+        }
+    }
+
+    let runs = runs_of(data, |a, b| a == b);
+    let mut rle = Vec::with_capacity(4 + runs.len() * 5);
+    put_u32(&mut rle, runs.len() as u32);
+    for (count, rep) in &runs {
+        put_u32(&mut rle, *count);
+        rle.push(data[*rep] as u8);
+    }
+
+    pick_smallest(out, vec![(Encoding::Plain, plain), (Encoding::Rle, rle)])
+}
+
+fn encode_str(data: &[Arc<str>], out: &mut Vec<u8>) -> Encoding {
+    let mut plain = Vec::new();
+    for v in data {
+        put_str(&mut plain, v);
+    }
+
+    // Dictionary in first-occurrence order so encoding is deterministic.
+    let mut dict: Vec<&Arc<str>> = Vec::new();
+    let mut indices = Vec::with_capacity(data.len());
+    for v in data {
+        let idx = match dict.iter().position(|d| d.as_ref() == v.as_ref()) {
+            Some(i) => i,
+            None => {
+                dict.push(v);
+                dict.len() - 1
+            }
+        };
+        indices.push(idx as u64);
+    }
+    let width = if dict.len() <= 1 {
+        0
+    } else {
+        width_for(dict.len() as u64 - 1)
+    };
+    let mut dicted = Vec::new();
+    put_u32(&mut dicted, dict.len() as u32);
+    for d in &dict {
+        put_str(&mut dicted, d);
+    }
+    dicted.push(width as u8);
+    pack_bits(indices.iter().copied(), data.len(), width, &mut dicted);
+
+    let runs = runs_of(data, |a, b| a.as_ref() == b.as_ref());
+    let mut rle = Vec::new();
+    put_u32(&mut rle, runs.len() as u32);
+    for (count, rep) in &runs {
+        put_u32(&mut rle, *count);
+        put_str(&mut rle, &data[*rep]);
+    }
+
+    pick_smallest(
+        out,
+        vec![
+            (Encoding::Plain, plain),
+            (Encoding::Dict, dicted),
+            (Encoding::Rle, rle),
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Incrementally rebuilds one column from its pages, in row order.
+///
+/// The builder's type is fixed by the first page's type tag; `finish`
+/// checks the declared schema type and total row count, and reproduces
+/// the null mask verbatim (materialized iff any page carried nulls) so
+/// the result is `PartialEq`-identical to the column that was written.
+pub(crate) struct ColumnAssembler {
+    total: usize,
+    filled: usize,
+    builder: Option<Builder>,
+    nulls: Option<Vec<u64>>,
+}
+
+enum Builder {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<Arc<str>>),
+    AllNull,
+}
+
+impl ColumnAssembler {
+    /// An assembler expecting `total` rows across all pages.
+    pub(crate) fn new(total: usize) -> Self {
+        ColumnAssembler {
+            total,
+            filled: 0,
+            builder: None,
+            nulls: None,
+        }
+    }
+
+    /// Decode one page body (positioned after the page header) and append
+    /// its `n_values` lanes.
+    pub(crate) fn push_page(&mut self, cur: &mut Cursor<'_>, n_values: usize) -> crate::Result<()> {
+        if self.filled + n_values > self.total {
+            return Err(cur.corrupt(format!(
+                "page overflows column: {} + {n_values} rows > {} declared",
+                self.filled, self.total
+            )));
+        }
+        let dtype_tag = cur.u8()?;
+        let enc_tag = cur.u8()?;
+        let enc = Encoding::from_tag(enc_tag)
+            .ok_or_else(|| cur.corrupt(format!("unknown encoding tag {enc_tag}")))?;
+        let has_nulls = match cur.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(cur.corrupt(format!("bad null flag {other}"))),
+        };
+
+        if dtype_tag == ALL_NULL_TAG {
+            if enc != Encoding::AllNull || has_nulls {
+                return Err(cur.corrupt("malformed all-null chunk"));
+            }
+            match self.builder.get_or_insert(Builder::AllNull) {
+                Builder::AllNull => {}
+                _ => return Err(cur.corrupt("all-null chunk in a typed column")),
+            }
+            self.filled += n_values;
+            return Ok(());
+        }
+        let dtype = DataType::from_tag(dtype_tag)
+            .ok_or_else(|| cur.corrupt(format!("unknown column type tag {dtype_tag}")))?;
+
+        if has_nulls {
+            let words = cur.bytes(n_values.div_ceil(64) * 8)?;
+            let global = self
+                .nulls
+                .get_or_insert_with(|| vec![0u64; self.total.div_ceil(64)]);
+            for i in 0..n_values {
+                if words[i / 64 * 8 + i % 64 / 8] >> (i % 8) & 1 == 1 {
+                    let g = self.filled + i;
+                    global[g / 64] |= 1 << (g % 64);
+                }
+            }
+        }
+
+        let builder = self.builder.get_or_insert_with(|| match dtype {
+            DataType::Int => Builder::Int(Vec::with_capacity(self.total)),
+            DataType::Float => Builder::Float(Vec::with_capacity(self.total)),
+            DataType::Bool => Builder::Bool(Vec::with_capacity(self.total)),
+            DataType::Str => Builder::Str(Vec::with_capacity(self.total)),
+        });
+        match (builder, dtype) {
+            (Builder::Int(data), DataType::Int) => decode_int(cur, enc, n_values, data)?,
+            (Builder::Float(data), DataType::Float) => decode_float(cur, enc, n_values, data)?,
+            (Builder::Bool(data), DataType::Bool) => decode_bool(cur, enc, n_values, data)?,
+            (Builder::Str(data), DataType::Str) => decode_str(cur, enc, n_values, data)?,
+            _ => return Err(cur.corrupt("column type tag changed between pages")),
+        }
+        self.filled += n_values;
+        Ok(())
+    }
+
+    /// Produce the finished column, checking row count and the declared
+    /// schema type.
+    pub(crate) fn finish(self, declared: DataType, path: &str) -> crate::Result<ColumnVec> {
+        let corrupt = |reason: String| crate::McdbError::PageCorrupt {
+            path: path.to_string(),
+            page: u64::MAX,
+            reason,
+        };
+        if self.filled != self.total {
+            return Err(corrupt(format!(
+                "column has {} rows, file declares {}",
+                self.filled, self.total
+            )));
+        }
+        let nulls = NullMask::from_words(self.total, self.nulls);
+        Ok(match self.builder {
+            None if self.total == 0 => empty_column(declared),
+            None => return Err(corrupt("no pages for a non-empty column".into())),
+            Some(Builder::AllNull) => ColumnVec::AllNull { len: self.total },
+            Some(Builder::Int(data)) if declared == DataType::Int => ColumnVec::Int { data, nulls },
+            Some(Builder::Float(data)) if declared == DataType::Float => {
+                ColumnVec::Float { data, nulls }
+            }
+            Some(Builder::Bool(data)) if declared == DataType::Bool => {
+                ColumnVec::Bool { data, nulls }
+            }
+            Some(Builder::Str(data)) if declared == DataType::Str => ColumnVec::Str { data, nulls },
+            Some(_) => {
+                return Err(corrupt(format!(
+                    "column type does not match declared schema type {declared}"
+                )))
+            }
+        })
+    }
+}
+
+fn empty_column(dtype: DataType) -> ColumnVec {
+    let nulls = NullMask::all_valid(0);
+    match dtype {
+        DataType::Int => ColumnVec::Int {
+            data: Vec::new(),
+            nulls,
+        },
+        DataType::Float => ColumnVec::Float {
+            data: Vec::new(),
+            nulls,
+        },
+        DataType::Bool => ColumnVec::Bool {
+            data: Vec::new(),
+            nulls,
+        },
+        DataType::Str => ColumnVec::Str {
+            data: Vec::new(),
+            nulls,
+        },
+    }
+}
+
+fn read_runs(cur: &mut Cursor<'_>, n: usize) -> crate::Result<usize> {
+    let n_runs = cur.u32()? as usize;
+    if n_runs > n {
+        return Err(cur.corrupt(format!("{n_runs} runs for {n} values")));
+    }
+    Ok(n_runs)
+}
+
+fn decode_int(
+    cur: &mut Cursor<'_>,
+    enc: Encoding,
+    n: usize,
+    out: &mut Vec<i64>,
+) -> crate::Result<()> {
+    match enc {
+        Encoding::Plain => {
+            for _ in 0..n {
+                out.push(cur.i64()?);
+            }
+        }
+        Encoding::BitPack => {
+            let min = cur.i64()?;
+            let width = cur.u8()? as u32;
+            let deltas = unpack_bits(cur, n, width)?;
+            out.extend(deltas.into_iter().map(|d| min.wrapping_add(d as i64)));
+        }
+        Encoding::Rle => {
+            let mut remaining = n;
+            for _ in 0..read_runs(cur, n)? {
+                let count = cur.u32()? as usize;
+                let v = cur.i64()?;
+                if count > remaining {
+                    return Err(cur.corrupt("run overflows chunk"));
+                }
+                remaining -= count;
+                out.extend(std::iter::repeat_n(v, count));
+            }
+            if remaining != 0 {
+                return Err(cur.corrupt("runs cover fewer values than chunk declares"));
+            }
+        }
+        other => return Err(cur.corrupt(format!("encoding {other:?} invalid for Int"))),
+    }
+    Ok(())
+}
+
+fn decode_float(
+    cur: &mut Cursor<'_>,
+    enc: Encoding,
+    n: usize,
+    out: &mut Vec<f64>,
+) -> crate::Result<()> {
+    match enc {
+        Encoding::Plain => {
+            for _ in 0..n {
+                out.push(f64::from_bits(cur.u64()?));
+            }
+        }
+        Encoding::Rle => {
+            let mut remaining = n;
+            for _ in 0..read_runs(cur, n)? {
+                let count = cur.u32()? as usize;
+                let v = f64::from_bits(cur.u64()?);
+                if count > remaining {
+                    return Err(cur.corrupt("run overflows chunk"));
+                }
+                remaining -= count;
+                out.extend(std::iter::repeat_n(v, count));
+            }
+            if remaining != 0 {
+                return Err(cur.corrupt("runs cover fewer values than chunk declares"));
+            }
+        }
+        other => return Err(cur.corrupt(format!("encoding {other:?} invalid for Float"))),
+    }
+    Ok(())
+}
+
+fn decode_bool(
+    cur: &mut Cursor<'_>,
+    enc: Encoding,
+    n: usize,
+    out: &mut Vec<bool>,
+) -> crate::Result<()> {
+    match enc {
+        Encoding::Plain => {
+            let bytes = cur.bytes(n.div_ceil(8))?;
+            out.extend((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1));
+        }
+        Encoding::Rle => {
+            let mut remaining = n;
+            for _ in 0..read_runs(cur, n)? {
+                let count = cur.u32()? as usize;
+                let v = cur.u8()? != 0;
+                if count > remaining {
+                    return Err(cur.corrupt("run overflows chunk"));
+                }
+                remaining -= count;
+                out.extend(std::iter::repeat_n(v, count));
+            }
+            if remaining != 0 {
+                return Err(cur.corrupt("runs cover fewer values than chunk declares"));
+            }
+        }
+        other => return Err(cur.corrupt(format!("encoding {other:?} invalid for Bool"))),
+    }
+    Ok(())
+}
+
+fn decode_str(
+    cur: &mut Cursor<'_>,
+    enc: Encoding,
+    n: usize,
+    out: &mut Vec<Arc<str>>,
+) -> crate::Result<()> {
+    match enc {
+        Encoding::Plain => {
+            for _ in 0..n {
+                out.push(Arc::from(cur.str()?.as_str()));
+            }
+        }
+        Encoding::Dict => {
+            let n_dict = cur.u32()? as usize;
+            if n_dict > n {
+                return Err(cur.corrupt(format!("{n_dict} dictionary entries for {n} values")));
+            }
+            let mut dict: Vec<Arc<str>> = Vec::with_capacity(n_dict);
+            for _ in 0..n_dict {
+                dict.push(Arc::from(cur.str()?.as_str()));
+            }
+            let width = cur.u8()? as u32;
+            for idx in unpack_bits(cur, n, width)? {
+                let d = dict
+                    .get(idx as usize)
+                    .ok_or_else(|| cur.corrupt(format!("dictionary index {idx} out of range")))?;
+                out.push(Arc::clone(d));
+            }
+        }
+        Encoding::Rle => {
+            let mut remaining = n;
+            for _ in 0..read_runs(cur, n)? {
+                let count = cur.u32()? as usize;
+                let v: Arc<str> = Arc::from(cur.str()?.as_str());
+                if count > remaining {
+                    return Err(cur.corrupt("run overflows chunk"));
+                }
+                remaining -= count;
+                out.extend(std::iter::repeat_n(Arc::clone(&v), count));
+            }
+            if remaining != 0 {
+                return Err(cur.corrupt("runs cover fewer values than chunk declares"));
+            }
+        }
+        other => return Err(cur.corrupt(format!("encoding {other:?} invalid for Str"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn round_trip(col: &ColumnVec) -> (Encoding, ColumnVec) {
+        let mut body = Vec::new();
+        let enc = encode_page_body(col, 0, col.len(), &mut body);
+        let mut asm = ColumnAssembler::new(col.len());
+        let mut cur = Cursor::new(&body, "mem", 0);
+        asm.push_page(&mut cur, col.len()).unwrap();
+        let declared = col.dtype().unwrap_or(DataType::Int);
+        (enc, asm.finish(declared, "mem").unwrap())
+    }
+
+    #[test]
+    fn int_encodings_round_trip_exactly() {
+        // Dense ascending ints → bit-pack wins.
+        let c = ColumnVec::from_values((0..500).map(Value::from).collect()).unwrap();
+        let (enc, back) = round_trip(&c);
+        assert_eq!(enc, Encoding::BitPack);
+        assert_eq!(back, c);
+        // Constant ints → zero-width bit-pack wins (9 bytes total).
+        let c = ColumnVec::from_values(vec![Value::from(42); 300]).unwrap();
+        let (enc, back) = round_trip(&c);
+        assert_eq!(enc, Encoding::BitPack);
+        assert_eq!(back, c);
+        // Long runs of widely spread values → RLE wins.
+        let mut vals = vec![Value::from(0i64); 150];
+        vals.extend(vec![Value::from(i64::MAX / 2); 150]);
+        let c = ColumnVec::from_values(vals).unwrap();
+        let (enc, back) = round_trip(&c);
+        assert_eq!(enc, Encoding::Rle);
+        assert_eq!(back, c);
+        // Extremes survive frame-of-reference packing.
+        let c = ColumnVec::from_values(vec![
+            Value::from(i64::MIN),
+            Value::from(i64::MAX),
+            Value::Null,
+            Value::from(0),
+        ])
+        .unwrap();
+        let (_, back) = round_trip(&c);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn float_bits_survive_including_negative_zero() {
+        let c = ColumnVec::from_values(vec![
+            Value::from(-0.0),
+            Value::from(0.0),
+            Value::from(f64::INFINITY),
+            Value::Null,
+            Value::from(1.5e-300),
+        ])
+        .unwrap();
+        let (_, back) = round_trip(&c);
+        // PartialEq on f64 treats -0.0 == 0.0; check bits explicitly.
+        match (&back, &c) {
+            (ColumnVec::Float { data: a, .. }, ColumnVec::Float { data: b, .. }) => {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            _ => panic!("expected float columns"),
+        }
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn strings_pick_dictionary_on_low_cardinality() {
+        let vals: Vec<Value> = (0..400)
+            .map(|i| Value::str(["alpha", "beta", "gamma"][i % 3]))
+            .collect();
+        let c = ColumnVec::from_values(vals).unwrap();
+        let (enc, back) = round_trip(&c);
+        assert_eq!(enc, Encoding::Dict);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn bools_and_all_null_round_trip() {
+        let c = ColumnVec::from_values(
+            (0..130)
+                .map(|i| {
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::from(i % 2 == 0)
+                    }
+                })
+                .collect(),
+        )
+        .unwrap();
+        let (_, back) = round_trip(&c);
+        assert_eq!(back, c);
+
+        let c = ColumnVec::AllNull { len: 64 };
+        let (enc, back) = round_trip(&c);
+        assert_eq!(enc, Encoding::AllNull);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn null_mask_reproduced_verbatim() {
+        // No nulls → decoded mask must be the un-materialized fast path
+        // (PartialEq distinguishes None from Some(all-zero)).
+        let c = ColumnVec::from_values((0..10).map(Value::from).collect()).unwrap();
+        let (_, back) = round_trip(&c);
+        assert_eq!(back, c);
+        match back {
+            ColumnVec::Int { nulls, .. } => assert!(nulls.words().is_none()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn multi_page_assembly_spans_word_boundaries() {
+        let vals: Vec<Value> = (0..200)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::from(i)
+                }
+            })
+            .collect();
+        let c = ColumnVec::from_values(vals).unwrap();
+        // Split at a non-multiple-of-64 boundary.
+        let mut b1 = Vec::new();
+        let mut b2 = Vec::new();
+        encode_page_body(&c, 0, 77, &mut b1);
+        encode_page_body(&c, 77, 123, &mut b2);
+        let mut asm = ColumnAssembler::new(200);
+        asm.push_page(&mut Cursor::new(&b1, "mem", 0), 77).unwrap();
+        asm.push_page(&mut Cursor::new(&b2, "mem", 1), 123).unwrap();
+        assert_eq!(asm.finish(DataType::Int, "mem").unwrap(), c);
+    }
+
+    #[test]
+    fn corrupt_bodies_surface_typed_errors() {
+        let c = ColumnVec::from_values((0..50).map(Value::from).collect()).unwrap();
+        let mut body = Vec::new();
+        encode_page_body(&c, 0, 50, &mut body);
+        // Truncated body.
+        let mut asm = ColumnAssembler::new(50);
+        let short = &body[..body.len() - 3];
+        let err = asm
+            .push_page(&mut Cursor::new(short, "mem", 0), 50)
+            .unwrap_err();
+        assert!(matches!(err, crate::McdbError::PageCorrupt { .. }));
+        // Unknown encoding tag.
+        let mut bad = body.clone();
+        bad[1] = 99;
+        let mut asm = ColumnAssembler::new(50);
+        let err = asm
+            .push_page(&mut Cursor::new(&bad, "mem", 0), 50)
+            .unwrap_err();
+        assert!(matches!(err, crate::McdbError::PageCorrupt { .. }));
+    }
+}

@@ -1,0 +1,54 @@
+//! Out-of-core paged columnar storage: page codec, pager, buffer pool,
+//! and spill partitions.
+//!
+//! This layer lets a [`Table`](crate::Table) be backed by an on-disk
+//! paged columnar file instead of in-memory rows, with working memory
+//! bounded by a [`BufferPool`] frame budget rather than data size. The
+//! all-in-RAM row path is retained as the differential oracle: the
+//! property suites assert that a paged catalog returns bit-identical
+//! query results to its in-memory twin across the whole SQL corpus, and
+//! the chaos suites assert that page corruption (bit flips, truncation,
+//! torn writes, foreign magic) surfaces as the typed
+//! [`McdbError::PageCorrupt`](crate::McdbError::PageCorrupt) /
+//! [`PageChecksumMismatch`](crate::McdbError::PageChecksumMismatch)
+//! errors — never as silently wrong answers.
+//!
+//! The module splits into:
+//! - [`pager`] — the `MDETAB01` file format, `MDEPAGE1` page frames
+//!   with per-page FNV-1a checksums, and crash-consistent whole-file
+//!   writes via the checkpoint codec's atomic-rename discipline;
+//! - [`encoding`] — per-page column encodings (dictionary, RLE,
+//!   bit-packing, plain) chosen smallest-wins at write time and decoded
+//!   straight into the executor's typed column vectors;
+//! - [`pool`] — the clock buffer pool with Arc-pinned frames, eviction
+//!   counters, and typed pool-exhaustion errors;
+//! - [`spill`] — Grace-style hash partitioning that lets join builds and
+//!   group-by hash tables degrade to out-of-core instead of aborting.
+
+pub mod encoding;
+pub mod pager;
+pub mod pool;
+pub mod spill;
+
+pub(crate) mod codec;
+
+pub use encoding::Encoding;
+pub use pager::{PageMeta, PagedStore, DEFAULT_PAGE_SIZE, PAGE_MAGIC, TABLE_MAGIC};
+pub use pool::{BufferPool, PoolStats};
+pub use spill::SpillConfig;
+
+/// Record the storage layer's out-of-band counters into a run ledger:
+/// the pool's `storage.pool_hits` / `storage.pool_misses` /
+/// `storage.pool_evictions` and the process-wide `storage.spills`
+/// partition-write count. These are timing-dependent (frame residency
+/// depends on eviction order across concurrent readers), which is why
+/// they go to the ledger's I/O side via
+/// [`add_io`](mde_numeric::obs::RunMetrics::add_io) and are excluded
+/// from determinism fingerprints. The *logical* page-read counts are
+/// deterministic and live elsewhere: per store on
+/// [`PagedStore::logical_reads`], and per scan on the traced executor's
+/// `storage.page_reads` span field.
+pub fn record_storage_metrics(pool: &BufferPool, metrics: &mut mde_numeric::obs::RunMetrics) {
+    pool.stats().record_into(metrics);
+    metrics.add_io("storage.spills", spill::spill_count());
+}

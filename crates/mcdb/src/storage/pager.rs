@@ -1,0 +1,494 @@
+//! The paged table file: fixed-size frames, a checksummed header, and
+//! crash-consistent writes.
+//!
+//! ## File layout (`MDETAB01`)
+//!
+//! ```text
+//! [ 0..8 ]   file magic "MDETAB01"
+//! [ 8..16]   pages_start: u64 — byte offset of page 0 (= header length)
+//! [16..24]   FNV-1a checksum of the header body
+//! [24..  ]   header body: table name, n_rows, page_size, schema,
+//!            page directory (one (column, n_values) entry per page)
+//! [pages_start .. ]  page frames, each exactly `page_size` bytes
+//! ```
+//!
+//! ## Page frame (`MDEPAGE1`)
+//!
+//! ```text
+//! [ 0..8 ]   page magic "MDEPAGE1"
+//! [ 8..16]   FNV-1a checksum of frame[16..page_size]
+//! [16..20]   column index: u32
+//! [20..24]   n_values: u32
+//! [24..28]   body length: u32
+//! [28..  ]   encoded body (see `encoding`), zero-padded to `page_size`
+//! ```
+//!
+//! Every page holds one chunk of one column; a column spans as many
+//! pages as needed, in row order. The checksum covers everything after
+//! itself including the padding, so a bit flip anywhere in a frame —
+//! payload or padding — surfaces as
+//! [`McdbError::PageChecksumMismatch`], and a torn/truncated frame as
+//! [`McdbError::PageCorrupt`]. Whole files are written with the same
+//! temp-file + fsync + atomic-rename discipline as `MDECKPT` campaign
+//! checkpoints ([`mde_numeric::write_atomic`]), so a crash mid-write
+//! leaves the previous file intact.
+
+use super::codec::{fnv1a, put_str, put_u32, put_u64, Cursor, FNV_OFFSET};
+use super::encoding::{encode_page_body, ColumnAssembler};
+use super::pool::BufferPool;
+use crate::query::batch::Batch;
+use crate::schema::{Column, DataType, Schema};
+use crate::McdbError;
+use std::io::{Read as _, Seek as _, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Magic prefix of a paged table file.
+pub const TABLE_MAGIC: [u8; 8] = *b"MDETAB01";
+/// Magic prefix of every page frame.
+pub const PAGE_MAGIC: [u8; 8] = *b"MDEPAGE1";
+/// Default page frame size: 16 KiB.
+pub const DEFAULT_PAGE_SIZE: usize = 16 * 1024;
+/// Bytes of frame header before the encoded body.
+const PAGE_HEADER: usize = 28;
+/// Smallest sane frame (header plus a little room for a body).
+const MIN_PAGE_SIZE: usize = 64;
+
+/// Unique id per opened store, namespacing its frames in the shared
+/// buffer pool.
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One directory entry: which column a page belongs to and how many
+/// values it holds. Pages appear in the directory in file order
+/// (column-major, row order within a column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Column index in the schema.
+    pub column: u32,
+    /// Values encoded in this page.
+    pub n_values: u32,
+}
+
+/// A read-only paged columnar table file plus the buffer pool its frames
+/// are cached in.
+///
+/// Stores are immutable once written (appends live in the owning
+/// [`Table`](crate::Table)'s in-memory tail); all mutation happens by
+/// atomically rewriting the whole file via [`PagedStore::write`].
+#[derive(Debug)]
+pub struct PagedStore {
+    id: u64,
+    path: PathBuf,
+    name: String,
+    schema: Schema,
+    n_rows: usize,
+    page_size: usize,
+    pages_start: u64,
+    directory: Vec<PageMeta>,
+    file: Mutex<std::fs::File>,
+    pool: Arc<BufferPool>,
+    /// Logical page accesses (hit or miss) — deterministic, unlike the
+    /// pool's hit/eviction counters.
+    logical_reads: AtomicU64,
+}
+
+impl PagedStore {
+    /// Encode `batch` as a paged table file at `path`, crash-consistently.
+    /// Returns the I/O stats of the atomic write (out-of-band telemetry).
+    pub fn write(
+        path: &Path,
+        name: &str,
+        batch: &Batch,
+        page_size: usize,
+    ) -> crate::Result<mde_numeric::SaveStats> {
+        if page_size < MIN_PAGE_SIZE {
+            return Err(McdbError::invalid_plan(format!(
+                "page size {page_size} below minimum {MIN_PAGE_SIZE}"
+            )));
+        }
+        let body_budget = page_size - PAGE_HEADER;
+        let mut directory: Vec<PageMeta> = Vec::new();
+        let mut frames: Vec<u8> = Vec::new();
+        let mut body = Vec::new();
+        for (c, col) in batch.columns().iter().enumerate() {
+            let mut start = 0usize;
+            while start < batch.len() {
+                let remaining = batch.len() - start;
+                // Greedy chunk sizing: begin at the fixed-width estimate
+                // and halve until the encoded body fits the frame.
+                let mut len = remaining.min((body_budget / 8).max(1));
+                loop {
+                    body.clear();
+                    encode_page_body(col, start, len, &mut body);
+                    if body.len() <= body_budget {
+                        break;
+                    }
+                    if len == 1 {
+                        return Err(McdbError::invalid_plan(format!(
+                            "value in column {c} needs {} bytes, page body holds {body_budget}",
+                            body.len()
+                        )));
+                    }
+                    len /= 2;
+                }
+                directory.push(PageMeta {
+                    column: c as u32,
+                    n_values: len as u32,
+                });
+                let frame_at = frames.len();
+                frames.extend_from_slice(&PAGE_MAGIC);
+                frames.extend_from_slice(&[0u8; 8]); // checksum patched below
+                put_u32(&mut frames, c as u32);
+                put_u32(&mut frames, len as u32);
+                put_u32(&mut frames, body.len() as u32);
+                frames.extend_from_slice(&body);
+                frames.resize(frame_at + page_size, 0);
+                let sum = fnv1a(FNV_OFFSET, &frames[frame_at + 16..frame_at + page_size]);
+                frames[frame_at + 8..frame_at + 16].copy_from_slice(&sum.to_le_bytes());
+                start += len;
+            }
+        }
+
+        let mut header_body = Vec::new();
+        put_str(&mut header_body, name);
+        put_u64(&mut header_body, batch.len() as u64);
+        put_u64(&mut header_body, page_size as u64);
+        put_u32(&mut header_body, batch.schema().len() as u32);
+        for col in batch.schema().columns() {
+            put_str(&mut header_body, &col.name);
+            header_body.push(col.dtype.to_tag());
+        }
+        put_u32(&mut header_body, directory.len() as u32);
+        for m in &directory {
+            put_u32(&mut header_body, m.column);
+            put_u32(&mut header_body, m.n_values);
+        }
+
+        let mut file = Vec::with_capacity(24 + header_body.len() + frames.len());
+        file.extend_from_slice(&TABLE_MAGIC);
+        put_u64(&mut file, (24 + header_body.len()) as u64);
+        put_u64(&mut file, fnv1a(FNV_OFFSET, &header_body));
+        file.extend_from_slice(&header_body);
+        file.extend_from_slice(&frames);
+        Ok(mde_numeric::write_atomic(path, &file)?)
+    }
+
+    /// Open a paged table file, validating its header, against `pool`.
+    pub fn open(path: &Path, pool: Arc<BufferPool>) -> crate::Result<Arc<PagedStore>> {
+        let display = path.display().to_string();
+        let header_corrupt = |reason: String| McdbError::PageCorrupt {
+            path: display.clone(),
+            page: u64::MAX,
+            reason,
+        };
+        let mut f =
+            std::fs::File::open(path).map_err(|e| header_corrupt(format!("cannot open: {e}")))?;
+        let file_len = f
+            .metadata()
+            .map_err(|e| header_corrupt(format!("cannot stat: {e}")))?
+            .len();
+        let mut fixed = [0u8; 24];
+        f.read_exact(&mut fixed)
+            .map_err(|_| header_corrupt("truncated before header".into()))?;
+        if fixed[..8] != TABLE_MAGIC {
+            return Err(header_corrupt(
+                "bad file magic (not an MDETAB01 file)".into(),
+            ));
+        }
+        let pages_start = u64::from_le_bytes(fixed[8..16].try_into().unwrap());
+        let stored_sum = u64::from_le_bytes(fixed[16..24].try_into().unwrap());
+        if pages_start < 24 || pages_start > file_len {
+            return Err(header_corrupt(format!(
+                "header length {pages_start} outside file of {file_len} bytes"
+            )));
+        }
+        let mut header_body = vec![0u8; (pages_start - 24) as usize];
+        f.read_exact(&mut header_body)
+            .map_err(|_| header_corrupt("truncated header".into()))?;
+        let found = fnv1a(FNV_OFFSET, &header_body);
+        if found != stored_sum {
+            return Err(McdbError::PageChecksumMismatch {
+                path: display,
+                page: u64::MAX,
+                expected: stored_sum,
+                found,
+            });
+        }
+
+        let mut cur = Cursor::new(&header_body, &display, u64::MAX);
+        let name = cur.str()?;
+        let n_rows = cur.u64()? as usize;
+        let page_size = cur.u64()? as usize;
+        if !(MIN_PAGE_SIZE..=1 << 30).contains(&page_size) {
+            return Err(cur.corrupt(format!("implausible page size {page_size}")));
+        }
+        let n_cols = cur.u32()? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let col_name = cur.str()?;
+            let tag = cur.u8()?;
+            let dtype = DataType::from_tag(tag)
+                .ok_or_else(|| cur.corrupt(format!("unknown column type tag {tag}")))?;
+            columns.push(Column::new(col_name, dtype));
+        }
+        let schema = Schema::new(columns)?;
+        let n_pages = cur.u32()? as usize;
+        let expect_len = pages_start + (n_pages * page_size) as u64;
+        if expect_len > file_len {
+            return Err(cur.corrupt(format!(
+                "directory declares {n_pages} pages ({expect_len} bytes), file has {file_len}"
+            )));
+        }
+        let mut directory = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            let column = cur.u32()?;
+            if column as usize >= schema.len() {
+                return Err(cur.corrupt(format!("page references column {column}")));
+            }
+            directory.push(PageMeta {
+                column,
+                n_values: cur.u32()?,
+            });
+        }
+
+        Ok(Arc::new(PagedStore {
+            id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
+            path: path.to_path_buf(),
+            name,
+            schema,
+            n_rows,
+            page_size,
+            pages_start,
+            directory,
+            file: Mutex::new(f),
+            pool,
+            logical_reads: AtomicU64::new(0),
+        }))
+    }
+
+    /// Table name recorded in the file.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema recorded in the file.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Rows stored on disk.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of page frames.
+    pub fn n_pages(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Frame size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The buffer pool this store reads through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Logical page reads since open: one per page access regardless of
+    /// pool residency. Deterministic — a pure function of the queries
+    /// executed — unlike the pool's hit/eviction counters.
+    pub fn logical_reads(&self) -> u64 {
+        self.logical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Decode the entire table into a columnar [`Batch`] by streaming
+    /// every page through the buffer pool (at most one pinned frame at a
+    /// time). The decoded batch is `PartialEq`-identical to the batch
+    /// that was written.
+    pub fn read_batch(&self) -> crate::Result<Batch> {
+        let display = self.path.display().to_string();
+        let mut assemblers: Vec<ColumnAssembler> = (0..self.schema.len())
+            .map(|_| ColumnAssembler::new(self.n_rows))
+            .collect();
+        for (page_no, meta) in self.directory.iter().enumerate() {
+            let frame = self.read_page(page_no as u32)?;
+            let n_values = meta.n_values as usize;
+            let body_len = u32::from_le_bytes(frame[24..28].try_into().unwrap()) as usize;
+            if PAGE_HEADER + body_len > frame.len() {
+                return Err(McdbError::PageCorrupt {
+                    path: display,
+                    page: page_no as u64,
+                    reason: format!("body length {body_len} exceeds frame"),
+                });
+            }
+            let body = &frame[PAGE_HEADER..PAGE_HEADER + body_len];
+            let mut cur = Cursor::new(body, &display, page_no as u64);
+            assemblers[meta.column as usize].push_page(&mut cur, n_values)?;
+        }
+        let mut columns = Vec::with_capacity(self.schema.len());
+        for (asm, col) in assemblers.into_iter().zip(self.schema.columns()) {
+            columns.push(asm.finish(col.dtype, &display)?);
+        }
+        Batch::from_columns(self.schema.clone(), columns, self.n_rows)
+    }
+
+    /// Fetch one page frame through the pool, validating magic, header
+    /// consistency, and checksum on a miss. The returned `Arc` pins the
+    /// frame.
+    pub(crate) fn read_page(&self, page_no: u32) -> crate::Result<Arc<Vec<u8>>> {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.pool
+            .get((self.id, page_no), || self.load_frame(page_no))
+    }
+
+    fn load_frame(&self, page_no: u32) -> crate::Result<Vec<u8>> {
+        let display = self.path.display().to_string();
+        let corrupt = |reason: String| McdbError::PageCorrupt {
+            path: display.clone(),
+            page: page_no as u64,
+            reason,
+        };
+        let meta = self
+            .directory
+            .get(page_no as usize)
+            .ok_or_else(|| corrupt("page index outside directory".into()))?;
+        let mut frame = vec![0u8; self.page_size];
+        {
+            let mut f = self.file.lock().expect("pager file lock");
+            f.seek(SeekFrom::Start(
+                self.pages_start + page_no as u64 * self.page_size as u64,
+            ))
+            .map_err(|e| corrupt(format!("seek failed: {e}")))?;
+            f.read_exact(&mut frame)
+                .map_err(|e| corrupt(format!("torn or truncated page: {e}")))?;
+        }
+        if frame[..8] != PAGE_MAGIC {
+            return Err(corrupt("bad page magic (not an MDEPAGE1 frame)".into()));
+        }
+        let stored = u64::from_le_bytes(frame[8..16].try_into().unwrap());
+        let found = fnv1a(FNV_OFFSET, &frame[16..]);
+        if stored != found {
+            return Err(McdbError::PageChecksumMismatch {
+                path: display,
+                page: page_no as u64,
+                expected: stored,
+                found,
+            });
+        }
+        let col = u32::from_le_bytes(frame[16..20].try_into().unwrap());
+        let n_values = u32::from_le_bytes(frame[20..24].try_into().unwrap());
+        if col != meta.column || n_values != meta.n_values {
+            return Err(corrupt(format!(
+                "frame header (column {col}, {n_values} values) disagrees with \
+                 directory (column {}, {} values)",
+                meta.column, meta.n_values
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Release this store's frames from the pool. Called on drop; safe
+    /// to call early (e.g. after a spill partition is consumed).
+    pub fn retire(&self) {
+        self.pool.retire_store(self.id);
+    }
+}
+
+impl Drop for PagedStore {
+    fn drop(&mut self) {
+        self.pool.retire_store(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use crate::value::Value;
+
+    fn sample_table(n: usize) -> Table {
+        let mut b = Table::build(
+            "t",
+            &[
+                ("id", DataType::Int),
+                ("x", DataType::Float),
+                ("tag", DataType::Str),
+                ("ok", DataType::Bool),
+            ],
+        );
+        for i in 0..n {
+            b = b.row(vec![
+                Value::from(i as i64),
+                if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::from(i as f64 * 0.25)
+                },
+                Value::str(["red", "green", "blue"][i % 3]),
+                Value::from(i % 2 == 0),
+            ]);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn write_open_read_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mde_pager_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.mdet");
+        let t = sample_table(1000);
+        let batch = Batch::from_table(&t);
+        PagedStore::write(&path, "t", &batch, 1024).unwrap();
+        let pool = BufferPool::new(4);
+        let store = PagedStore::open(&path, Arc::clone(&pool)).unwrap();
+        assert_eq!(store.name(), "t");
+        assert_eq!(store.n_rows(), 1000);
+        assert!(store.n_pages() > 4, "expected multiple pages per column");
+        let back = store.read_batch().unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(store.logical_reads(), store.n_pages() as u64);
+        // Second read with a tiny pool still succeeds (evictions, not
+        // exhaustion) and stays within the frame budget.
+        let back2 = store.read_batch().unwrap();
+        assert_eq!(back2, batch);
+        assert!(pool.stats().resident <= 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let dir = std::env::temp_dir().join(format!("mde_pager_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e.mdet");
+        let t = Table::build("e", &[("a", DataType::Int)]).finish().unwrap();
+        let batch = Batch::from_table(&t);
+        PagedStore::write(&path, "e", &batch, 256).unwrap();
+        let store = PagedStore::open(&path, BufferPool::new(2)).unwrap();
+        assert_eq!(store.n_rows(), 0);
+        assert_eq!(store.n_pages(), 0);
+        assert_eq!(store.read_batch().unwrap(), batch);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_value_is_a_typed_write_error() {
+        let dir = std::env::temp_dir().join(format!("mde_pager_big_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.mdet");
+        let t = Table::build("big", &[("s", DataType::Str)])
+            .row(vec![Value::str("x".repeat(4096))])
+            .finish()
+            .unwrap();
+        let err = PagedStore::write(&path, "big", &Batch::from_table(&t), 256).unwrap_err();
+        assert!(matches!(err, McdbError::InvalidPlan { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,47 +1,88 @@
-//! In-memory tables: a schema plus rows.
+//! Tables: a schema plus rows, backed either by memory or by a paged
+//! columnar file.
+//!
+//! A [`Table`] is the unit of exchange throughout the workspace. Since
+//! the out-of-core storage layer landed it has two backends behind one
+//! API: the original all-in-RAM row store, and a read-only
+//! [`PagedStore`] (an `MDETAB01` file read through a [`BufferPool`])
+//! plus a small in-memory append tail. The row backend doubles as the
+//! differential oracle for the paged one — the property suites assert
+//! both return bit-identical query results.
 
 use crate::query::batch::Batch;
+use crate::query::column::ColumnVec;
 use crate::schema::{DataType, Schema};
+use crate::storage::{BufferPool, PagedStore};
 use crate::value::Value;
 use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 /// A row is an ordered vector of values matching a schema.
 pub type Row = Vec<Value>;
 
-/// An in-memory table with a name, schema, and rows.
+/// Where a table's rows live.
+#[derive(Debug, Clone)]
+enum TableStore {
+    /// All rows in memory (the original backend, and the oracle).
+    Mem(Vec<Row>),
+    /// A read-only paged file plus an in-memory append tail. `rows_cache`
+    /// lazily materializes the full row vector for the row-oriented
+    /// oracle paths ([`Table::rows`], equality); the vectorized executor
+    /// never touches it.
+    Paged {
+        store: Arc<PagedStore>,
+        tail: Vec<Row>,
+        rows_cache: OnceLock<Vec<Row>>,
+    },
+}
+
+/// A table with a name, schema, and rows.
 ///
 /// Tables are the unit of exchange throughout the workspace: ordinary
 /// (deterministic) database tables, realizations of stochastic tables,
 /// query results, snapshots of agent populations, and observation exports
 /// from simulations are all `Table`s.
 ///
-/// Tables also lazily cache a columnar [`Batch`] view of themselves (see
-/// [`Table::batch`]); the vectorized executor scans through that cache so
-/// repeated queries over the same table transpose it exactly once. The
-/// cache is invalidated whenever a row is appended and is ignored by
-/// equality comparison.
+/// # Backends
+///
+/// A memory-backed table (everything constructed via [`Table::new`] /
+/// [`Table::build`]) lazily caches a columnar [`Batch`] view of itself
+/// (see [`Table::batch`]); the vectorized executor scans through that
+/// cache so repeated queries over the same table transpose it exactly
+/// once. The cache is invalidated whenever a row is appended and is
+/// ignored by equality comparison.
+///
+/// A paged table ([`Table::open_paged`] / [`Table::to_paged`]) keeps its
+/// rows in an on-disk `MDETAB01` file and decodes them through a shared
+/// [`BufferPool`] on every [`Table::try_batch`] call, so resident memory
+/// is bounded by the pool's frame budget rather than the table size.
+/// Paged batches are deliberately *not* cached — [`Table::batch_is_cached`]
+/// is always `false` — which keeps the `cache_hit` field on scan spans
+/// truthful: a paged scan always pays page reads. Appending to a paged
+/// table pushes onto an in-memory tail that is spliced onto the decoded
+/// base at scan time.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    store: TableStore,
     batch_cache: OnceLock<Arc<Batch>>,
 }
 
 impl PartialEq for Table {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.schema == other.schema && self.rows == other.rows
+        self.name == other.name && self.schema == other.schema && self.rows() == other.rows()
     }
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty memory-backed table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
         Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
+            store: TableStore::Mem(Vec::new()),
             batch_cache: OnceLock::new(),
         }
     }
@@ -52,6 +93,56 @@ impl Table {
             name: name.into(),
             columns: columns.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
             rows: Vec::new(),
+        }
+    }
+
+    /// Open a paged table file written by [`Table::to_paged`] (or
+    /// [`PagedStore::write`] directly), reading its frames through
+    /// `pool`. The table name and schema come from the validated file
+    /// header; corruption surfaces as the typed
+    /// [`McdbError::PageCorrupt`](crate::McdbError::PageCorrupt) /
+    /// [`PageChecksumMismatch`](crate::McdbError::PageChecksumMismatch)
+    /// errors.
+    pub fn open_paged(path: &Path, pool: Arc<BufferPool>) -> crate::Result<Table> {
+        let store = PagedStore::open(path, pool)?;
+        Ok(Table {
+            name: store.name().to_string(),
+            schema: store.schema().clone(),
+            store: TableStore::Paged {
+                store,
+                tail: Vec::new(),
+                rows_cache: OnceLock::new(),
+            },
+            batch_cache: OnceLock::new(),
+        })
+    }
+
+    /// Persist this table as a paged columnar file at `path`
+    /// (crash-consistently: temp file, fsync, atomic rename) and return
+    /// a paged table reading it back through `pool`.
+    pub fn to_paged(
+        &self,
+        path: &Path,
+        page_size: usize,
+        pool: Arc<BufferPool>,
+    ) -> crate::Result<Table> {
+        let batch = self.try_batch()?;
+        PagedStore::write(path, &self.name, &batch, page_size)?;
+        Table::open_paged(path, pool)
+    }
+
+    /// Whether this table is backed by a paged file.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.store, TableStore::Paged { .. })
+    }
+
+    /// The paged store backing this table, if any — exposed so the
+    /// executor can attribute logical page reads per scan and tests can
+    /// inspect pool behavior.
+    pub fn paged_store(&self) -> Option<&Arc<PagedStore>> {
+        match &self.store {
+            TableStore::Mem(_) => None,
+            TableStore::Paged { store, .. } => Some(store),
         }
     }
 
@@ -72,47 +163,117 @@ impl Table {
     }
 
     /// The rows.
+    ///
+    /// For a paged table this is the oracle path: the first call decodes
+    /// the whole file and materializes (and caches) a row vector —
+    /// deliberately unbounded by the pool budget, and it panics on a
+    /// corrupt file. Executor code uses [`Table::try_batch`] instead,
+    /// which stays columnar and surfaces corruption as typed errors.
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        match &self.store {
+            TableStore::Mem(rows) => rows,
+            TableStore::Paged {
+                store,
+                tail,
+                rows_cache,
+            } => rows_cache.get_or_init(|| {
+                let batch = store
+                    .read_batch()
+                    .expect("paged table row materialization failed");
+                let mut rows: Vec<Row> = (0..batch.len()).map(|i| batch.row(i)).collect();
+                rows.extend(tail.iter().cloned());
+                rows
+            }),
+        }
     }
 
-    /// Number of rows.
+    /// Number of rows. Never materializes a paged table.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.store {
+            TableStore::Mem(rows) => rows.len(),
+            TableStore::Paged { store, tail, .. } => store.n_rows() + tail.len(),
+        }
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// Consume the table, yielding its rows (engine-internal; lets
-    /// operators that own their input avoid per-row clones).
+    /// operators that own their input avoid per-row clones). Paged tables
+    /// materialize first.
     pub(crate) fn into_rows(self) -> Vec<Row> {
-        self.rows
+        let _ = self.rows();
+        match self.store {
+            TableStore::Mem(rows) => rows,
+            TableStore::Paged { rows_cache, .. } => {
+                rows_cache.into_inner().expect("rows materialized above")
+            }
+        }
     }
 
-    /// The columnar [`Batch`] view of this table, transposed on first use
-    /// and cached. Appending rows invalidates the cache.
+    /// The columnar [`Batch`] view of this table.
+    ///
+    /// Memory-backed: transposed on first use and cached; appending rows
+    /// invalidates the cache. Paged: decoded from disk on every call
+    /// (never cached — see [`Table::batch_is_cached`]); panics on a
+    /// corrupt file, so executor code calls [`Table::try_batch`].
     pub fn batch(&self) -> Arc<Batch> {
-        Arc::clone(
-            self.batch_cache
-                .get_or_init(|| Arc::new(Batch::from_table(self))),
-        )
+        self.try_batch().expect("paged table batch decode failed")
+    }
+
+    /// The columnar [`Batch`] view, with paged-file corruption surfaced
+    /// as a typed error instead of a panic. This is what the vectorized
+    /// executor's scan operator calls.
+    pub fn try_batch(&self) -> crate::Result<Arc<Batch>> {
+        match &self.store {
+            TableStore::Mem(_) => Ok(Arc::clone(
+                self.batch_cache
+                    .get_or_init(|| Arc::new(Batch::from_table(self))),
+            )),
+            TableStore::Paged { store, tail, .. } => {
+                let base = store.read_batch()?;
+                if tail.is_empty() {
+                    return Ok(Arc::new(base));
+                }
+                let len = base.len() + tail.len();
+                let columns: Vec<ColumnVec> = self
+                    .schema
+                    .columns()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, col)| {
+                        base.column(i)
+                            .concat(&ColumnVec::from_rows(tail, i, col.dtype))
+                    })
+                    .collect();
+                Ok(Arc::new(Batch::from_columns(
+                    self.schema.clone(),
+                    columns,
+                    len,
+                )?))
+            }
+        }
     }
 
     /// Whether the columnar batch is already transposed and cached — i.e.
     /// whether the next [`Table::batch`] call is a cache hit. Exposed so
-    /// the traced executor can report batch-cache reuse per scan.
+    /// the traced executor can report batch-cache reuse per scan. Always
+    /// `false` for paged tables: every paged scan decodes through the
+    /// buffer pool, so reporting a cache hit would be a lie.
     pub fn batch_is_cached(&self) -> bool {
-        self.batch_cache.get().is_some()
+        match &self.store {
+            TableStore::Mem(_) => self.batch_cache.get().is_some(),
+            TableStore::Paged { .. } => false,
+        }
     }
 
-    /// Append a validated row.
+    /// Append a validated row. On a paged table the row lands in the
+    /// in-memory tail; the on-disk base is immutable.
     pub fn push_row(&mut self, row: Row) -> crate::Result<()> {
         self.schema.validate_row(&row)?;
-        self.batch_cache.take();
-        self.rows.push(row);
+        self.push_row_unchecked(row);
         Ok(())
     }
 
@@ -124,16 +285,24 @@ impl Table {
     pub(crate) fn push_row_unchecked(&mut self, row: Row) {
         debug_assert!(self.schema.validate_row(&row).is_ok());
         self.batch_cache.take();
-        self.rows.push(row);
+        match &mut self.store {
+            TableStore::Mem(rows) => rows.push(row),
+            TableStore::Paged {
+                tail, rows_cache, ..
+            } => {
+                rows_cache.take();
+                tail.push(row);
+            }
+        }
     }
 
     /// The single scalar value of a 1×1 table, or an error.
     pub fn scalar(&self) -> crate::Result<Value> {
-        if self.rows.len() == 1 && self.schema.len() == 1 {
-            Ok(self.rows[0][0].clone())
+        if self.len() == 1 && self.schema.len() == 1 {
+            Ok(self.rows()[0][0].clone())
         } else {
             Err(crate::McdbError::NonScalarResult {
-                rows: self.rows.len(),
+                rows: self.len(),
                 cols: self.schema.len(),
             })
         }
@@ -142,13 +311,13 @@ impl Table {
     /// Extract one column as a vector of values.
     pub fn column(&self, name: &str) -> crate::Result<Vec<Value>> {
         let i = self.schema.index_of(name)?;
-        Ok(self.rows.iter().map(|r| r[i].clone()).collect())
+        Ok(self.rows().iter().map(|r| r[i].clone()).collect())
     }
 
     /// Extract one numeric column as `f64`s (Nulls are skipped).
     pub fn column_f64(&self, name: &str) -> crate::Result<Vec<f64>> {
         let i = self.schema.index_of(name)?;
-        self.rows
+        self.rows()
             .iter()
             .filter(|r| !r[i].is_null())
             .map(|r| r[i].as_f64())
@@ -161,7 +330,7 @@ impl Table {
         let names = self.schema.names();
         let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
         let rendered: Vec<Vec<String>> = self
-            .rows
+            .rows()
             .iter()
             .map(|r| r.iter().map(|v| v.to_string()).collect())
             .collect();
@@ -195,7 +364,7 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} ({} rows)", self.name, self.rows.len())?;
+        writeln!(f, "{} ({} rows)", self.name, self.len())?;
         write!(f, "{}", self.render_ascii())
     }
 }
@@ -308,5 +477,72 @@ mod tests {
             t
         };
         assert_eq!(fresh, warmed);
+    }
+
+    #[test]
+    fn paged_round_trip_equals_memory_twin() {
+        let dir = std::env::temp_dir().join(format!("mde_table_paged_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.mdet");
+        let mem = sample();
+        let paged = mem.to_paged(&path, 256, BufferPool::new(2)).unwrap();
+        assert!(paged.is_paged() && !mem.is_paged());
+        assert_eq!(paged.name(), mem.name());
+        assert_eq!(paged.schema(), mem.schema());
+        assert_eq!(paged.len(), mem.len());
+        // Batches decode bit-identically; equality compares materialized rows.
+        assert_eq!(*paged.try_batch().unwrap(), *mem.batch());
+        assert_eq!(paged, mem);
+        // Paged batches are never cached: every scan pays page reads.
+        assert!(!paged.batch_is_cached());
+        let _ = paged.try_batch().unwrap();
+        assert!(!paged.batch_is_cached());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paged_append_tail_splices_onto_base() {
+        let dir = std::env::temp_dir().join(format!("mde_table_tail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.mdet");
+        let mut mem = sample();
+        let mut paged = mem.to_paged(&path, 256, BufferPool::new(2)).unwrap();
+        for t in [&mut mem, &mut paged] {
+            t.push_row(vec![Value::from(3), Value::Null]).unwrap();
+            t.push_row(vec![Value::from(4), Value::from(4.5)]).unwrap();
+        }
+        assert_eq!(paged.len(), 4);
+        assert_eq!(*paged.try_batch().unwrap(), *mem.batch());
+        assert_eq!(paged, mem);
+        assert_eq!(paged.column("id").unwrap(), mem.column("id").unwrap());
+        // Tail rows are validated against the schema like any others.
+        assert!(paged
+            .push_row(vec![Value::from("bad"), Value::Null])
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paged_corruption_is_typed_through_try_batch() {
+        let dir = std::env::temp_dir().join(format!("mde_table_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.mdet");
+        let mem = sample();
+        let paged = mem.to_paged(&path, 256, BufferPool::new(2)).unwrap();
+        // Flip a bit in the first page body, past the header.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 100] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+        let err = paged.try_batch().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::McdbError::PageChecksumMismatch { .. }
+                    | crate::McdbError::PageCorrupt { .. }
+            ),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -19,6 +19,31 @@ pub enum DataType {
     Bool,
 }
 
+impl DataType {
+    /// Stable one-byte tag used by the page codec (`MDEPAGE1`). Tags are
+    /// part of the on-disk format: never renumber, only append.
+    pub(crate) fn to_tag(self) -> u8 {
+        match self {
+            DataType::Int => 0,
+            DataType::Float => 1,
+            DataType::Str => 2,
+            DataType::Bool => 3,
+        }
+    }
+
+    /// Inverse of [`DataType::to_tag`]; `None` for an unknown tag (a
+    /// corrupt or future-format page).
+    pub(crate) fn from_tag(tag: u8) -> Option<DataType> {
+        match tag {
+            0 => Some(DataType::Int),
+            1 => Some(DataType::Float),
+            2 => Some(DataType::Str),
+            3 => Some(DataType::Bool),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for DataType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -65,6 +65,45 @@ impl SaveStats {
     }
 }
 
+/// Write `bytes` to `path` crash-consistently: write to a temp sibling,
+/// `fsync` it, atomically rename over the destination, then best-effort
+/// sync the parent directory so the rename itself is durable. Readers
+/// observe either the old file or the complete new one, never a torn
+/// intermediate. This is the durability discipline shared by campaign
+/// checkpoints and the paged table store in `mde-mcdb`.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<SaveStats> {
+    let io_err = |e: std::io::Error, p: &Path| CheckpointError::Io {
+        path: p.display().to_string(),
+        message: e.to_string(),
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let fsync;
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(e, &tmp))?;
+        f.write_all(bytes).map_err(|e| io_err(e, &tmp))?;
+        let t0 = Instant::now();
+        f.sync_all().map_err(|e| io_err(e, &tmp))?;
+        fsync = t0.elapsed();
+    }
+    let t0 = Instant::now();
+    fs::rename(&tmp, path).map_err(|e| io_err(e, path))?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Durability of the rename requires the directory entry to hit
+        // disk too; best-effort on platforms where directories cannot
+        // be opened for sync.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(SaveStats {
+        bytes: bytes.len() as u64,
+        fsync,
+        rename: t0.elapsed(),
+    })
+}
+
 /// File magic: `MDECKPT` + format version `2`.
 ///
 /// Version history: `1` — original layout; `2` — adds the report's
@@ -477,37 +516,7 @@ impl CampaignState {
     /// section: bytes and latencies vary run to run, so they must never
     /// enter fingerprints, equality, or resumed state.
     pub fn save_stats(&self, path: &Path) -> Result<SaveStats> {
-        let io_err = |e: std::io::Error, p: &Path| CheckpointError::Io {
-            path: p.display().to_string(),
-            message: e.to_string(),
-        };
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        let bytes = self.encode();
-        let fsync;
-        {
-            let mut f = fs::File::create(&tmp).map_err(|e| io_err(e, &tmp))?;
-            f.write_all(&bytes).map_err(|e| io_err(e, &tmp))?;
-            let t0 = Instant::now();
-            f.sync_all().map_err(|e| io_err(e, &tmp))?;
-            fsync = t0.elapsed();
-        }
-        let t0 = Instant::now();
-        fs::rename(&tmp, path).map_err(|e| io_err(e, path))?;
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            // Durability of the rename requires the directory entry to hit
-            // disk too; best-effort on platforms where directories cannot
-            // be opened for sync.
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-        Ok(SaveStats {
-            bytes: bytes.len() as u64,
-            fsync,
-            rename: t0.elapsed(),
-        })
+        write_atomic(path, &self.encode())
     }
 
     /// Load and fully verify a checkpoint from disk (magic, checksum,

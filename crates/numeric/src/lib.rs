@@ -55,7 +55,7 @@ pub mod resilience;
 pub mod rng;
 pub mod stats;
 
-pub use checkpoint::{CampaignState, CheckpointError, Fingerprint, SaveStats};
+pub use checkpoint::{write_atomic, CampaignState, CheckpointError, Fingerprint, SaveStats};
 pub use error::NumericError;
 pub use obs::{Counter, Gauge, Histogram, RunMetrics, Span, TraceSink, Tracer};
 pub use resilience::backoff::{Backoff, BackoffConfig};

@@ -82,6 +82,14 @@ pub enum Overloaded {
         /// Campaign name.
         campaign: String,
     },
+    /// A storage pressure probe reported the shared buffer pool too
+    /// close to its frame budget to admit more work.
+    PoolPressure {
+        /// Observed pool occupancy, in percent of the frame budget.
+        pressure_pct: u32,
+        /// The configured admission ceiling, in percent.
+        limit_pct: u32,
+    },
 }
 
 impl fmt::Display for Overloaded {
@@ -112,6 +120,13 @@ impl fmt::Display for Overloaded {
             Overloaded::DeadlineExpired { campaign } => {
                 write!(f, "campaign `{campaign}` deadline expired before dispatch")
             }
+            Overloaded::PoolPressure {
+                pressure_pct,
+                limit_pct,
+            } => write!(
+                f,
+                "buffer pool pressure {pressure_pct}% exceeds admission limit {limit_pct}%"
+            ),
         }
     }
 }

@@ -1,0 +1,271 @@
+//! Page-level chaos suite for the paged storage backend.
+//!
+//! Contract under test: any corruption of an `MDETAB01` file — random
+//! bit flips, truncation, torn (partially overwritten) pages, foreign
+//! file magic — surfaces as the typed
+//! `McdbError::PageCorrupt` / `McdbError::PageChecksumMismatch` errors,
+//! and *never* as a silently wrong answer. Every byte of the file is
+//! covered by either the header FNV-1a checksum or a page-frame
+//! checksum, so a mutated file must fail to open or fail to decode.
+//!
+//! Fault placement is keyed off `MDE_CHAOS_SEED` (CI runs a small
+//! matrix) but is fully deterministic for a given seed.
+
+use model_data_ecosystems::mcdb::prelude::*;
+use model_data_ecosystems::mcdb::query::batch::Batch;
+use model_data_ecosystems::mcdb::storage::BufferPool;
+use model_data_ecosystems::mcdb::McdbError;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn chaos_seed() -> u64 {
+    std::env::var("MDE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Deterministic LCG (PCG-style multiplier) so the fault schedule is a
+/// pure function of the chaos seed.
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+static FIXTURE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mde_schaos_{}_{}",
+        std::process::id(),
+        FIXTURE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A table mixing every dtype (so plain, RLE, dictionary, and bit-packed
+/// pages all appear) with NULLs sprinkled in.
+fn fixture_table(n_rows: usize) -> Table {
+    Table::build(
+        "T",
+        &[
+            ("K", DataType::Int),
+            ("V", DataType::Float),
+            ("TAG", DataType::Str),
+            ("OK", DataType::Bool),
+        ],
+    )
+    .rows((0..n_rows).map(|i| {
+        vec![
+            if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::from((i % 7) as i64)
+            },
+            Value::from(i as f64 * 0.25 - 3.0),
+            Value::from(["alpha", "beta", "gamma"][i % 3]),
+            Value::from(i % 2 == 0),
+        ]
+    }))
+    .finish()
+    .unwrap()
+}
+
+/// Open `path` through a fresh pool and fully decode it. The error (if
+/// any) is what a query against the file would surface.
+fn open_and_decode(path: &Path, frames: usize) -> Result<Arc<Batch>, McdbError> {
+    let t = Table::open_paged(path, BufferPool::new(frames))?;
+    t.try_batch()
+}
+
+fn assert_typed_storage_error(err: &McdbError, what: &str) {
+    assert!(
+        matches!(
+            err,
+            McdbError::PageCorrupt { .. } | McdbError::PageChecksumMismatch { .. }
+        ),
+        "{what} must surface a typed page error, got: {err}"
+    );
+}
+
+/// Random single-bit flips anywhere in the file: every one must be
+/// caught by a checksum or structural check — typed error, never a
+/// different answer.
+#[test]
+fn bit_flips_surface_typed_errors_never_wrong_answers() {
+    let dir = scratch_dir();
+    let mem = fixture_table(200);
+    let path = dir.join("t.mdet");
+    let paged = mem.to_paged(&path, 256, BufferPool::new(4)).unwrap();
+    let oracle = paged.try_batch().unwrap();
+    assert_eq!(&*oracle, &*mem.batch(), "pristine file must round-trip");
+    drop(paged);
+
+    let pristine = std::fs::read(&path).unwrap();
+    let mut state = chaos_seed();
+    for trial in 0..48 {
+        let byte = (next(&mut state) as usize) % pristine.len();
+        let bit = (next(&mut state) % 8) as u8;
+        let mut mutated = pristine.clone();
+        mutated[byte] ^= 1 << bit;
+        let victim = dir.join("flip.mdet");
+        std::fs::write(&victim, &mutated).unwrap();
+        match open_and_decode(&victim, 4) {
+            Err(e) => {
+                assert_typed_storage_error(&e, &format!("trial {trial}: bit {bit} of byte {byte}"))
+            }
+            Ok(batch) => panic!(
+                "trial {trial}: flip of bit {bit} at byte {byte} went undetected \
+                 (decoded {} rows)",
+                batch.len()
+            ),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Truncation at seed-chosen lengths — mid-header, mid-directory,
+/// mid-page, one byte short — is caught at open or first read.
+#[test]
+fn truncation_is_detected() {
+    let dir = scratch_dir();
+    let path = dir.join("t.mdet");
+    drop(
+        fixture_table(200)
+            .to_paged(&path, 256, BufferPool::new(4))
+            .unwrap(),
+    );
+    let pristine = std::fs::read(&path).unwrap();
+
+    let mut state = chaos_seed() ^ 0x5eed;
+    let mut cuts = vec![0, 10, pristine.len() - 1];
+    for _ in 0..8 {
+        cuts.push((next(&mut state) as usize) % pristine.len());
+    }
+    for cut in cuts {
+        let victim = dir.join("cut.mdet");
+        std::fs::write(&victim, &pristine[..cut]).unwrap();
+        let err = open_and_decode(&victim, 4)
+            .expect_err(&format!("truncation to {cut} bytes must be detected"));
+        assert_typed_storage_error(&err, &format!("truncation to {cut} bytes"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A torn write — the tail half of a page frame replaced by other bytes,
+/// as an interrupted in-place overwrite would leave it — fails that
+/// page's checksum.
+#[test]
+fn torn_page_write_is_detected() {
+    let dir = scratch_dir();
+    let path = dir.join("t.mdet");
+    let paged = fixture_table(200)
+        .to_paged(&path, 256, BufferPool::new(4))
+        .unwrap();
+    let n_pages = paged.paged_store().unwrap().n_pages();
+    assert!(n_pages > 2, "fixture must span multiple pages");
+    drop(paged);
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mut state = chaos_seed() ^ 0x7042;
+    let page = (next(&mut state) as usize) % n_pages;
+    let frame_start = bytes.len() - (n_pages - page) * 256;
+    for b in &mut bytes[frame_start + 128..frame_start + 256] {
+        *b = 0xAB;
+    }
+    std::fs::write(&path, &bytes).unwrap();
+    let err = open_and_decode(&path, 4).expect_err("torn page must be detected");
+    assert_typed_storage_error(&err, &format!("torn write in page {page}"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A file with someone else's magic — or a page frame wearing the table
+/// magic — is rejected before any decoding.
+#[test]
+fn foreign_magic_is_rejected() {
+    let dir = scratch_dir();
+    let path = dir.join("t.mdet");
+    drop(
+        fixture_table(60)
+            .to_paged(&path, 256, BufferPool::new(4))
+            .unwrap(),
+    );
+    let pristine = std::fs::read(&path).unwrap();
+
+    // File-level: a checkpoint (or arbitrary) magic is not a table.
+    for magic in [b"MDECKPT1", b"GARBAGE!"] {
+        let mut mutated = pristine.clone();
+        mutated[..8].copy_from_slice(magic);
+        let victim = dir.join("magic.mdet");
+        std::fs::write(&victim, &mutated).unwrap();
+        let err = open_and_decode(&victim, 4).expect_err("foreign magic must be rejected");
+        assert_typed_storage_error(&err, "foreign file magic");
+    }
+
+    // Frame-level: overwrite the first frame's magic with the table
+    // magic; the page read must reject it.
+    let mut mutated = pristine.clone();
+    let first_frame = {
+        let t = Table::open_paged(&path, BufferPool::new(2)).unwrap();
+        mutated.len() - t.paged_store().unwrap().n_pages() * 256
+    };
+    mutated[first_frame..first_frame + 8]
+        .copy_from_slice(&model_data_ecosystems::mcdb::storage::TABLE_MAGIC);
+    let victim = dir.join("framemagic.mdet");
+    std::fs::write(&victim, &mutated).unwrap();
+    let err = open_and_decode(&victim, 4).expect_err("foreign frame magic must be rejected");
+    assert_typed_storage_error(&err, "foreign frame magic");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The headline bounded-memory property: scanning a working set ~8× the
+/// pool's frame budget completes correctly while frame residency never
+/// exceeds the budget — the pool evicts instead of growing.
+#[test]
+fn scan_of_8x_working_set_stays_within_frame_budget() {
+    let dir = scratch_dir();
+    let mem = fixture_table(4000);
+    let path = dir.join("big.mdet");
+    // Size the pool to 1/8 of the page count (at least 2 frames).
+    let probe = mem.to_paged(&path, 256, BufferPool::new(2)).unwrap();
+    let n_pages = probe.paged_store().unwrap().n_pages();
+    drop(probe);
+    let budget = (n_pages / 8).max(2);
+    let pool = BufferPool::new(budget);
+
+    let mut db = Catalog::new();
+    db.insert(mem);
+    let mut oracle = Catalog::new();
+    oracle.insert(Table::open_paged(&path, Arc::clone(&pool)).unwrap());
+
+    for plan in [
+        Plan::scan("T"),
+        Plan::scan("T").filter(Expr::col("V").gt(Expr::lit(100.0))),
+        Plan::scan("T").aggregate(
+            &["TAG"],
+            vec![model_data_ecosystems::mcdb::query::AggSpec::count_star("N")],
+        ),
+    ] {
+        let want = db.query(&plan).unwrap();
+        let got = oracle.query(&plan).unwrap();
+        assert_eq!(want.rows(), got.rows());
+        let stats = pool.stats();
+        assert!(
+            stats.resident <= budget,
+            "resident {} frames exceeds budget {budget}",
+            stats.resident
+        );
+    }
+    let stats = pool.stats();
+    assert!(
+        stats.evictions > 0,
+        "an 8x working set must evict (pages {n_pages}, budget {budget})"
+    );
+    assert!(stats.hits + stats.misses >= n_pages as u64);
+    assert!(pool.pressure() <= 1.0 + f64::EPSILON);
+    std::fs::remove_dir_all(&dir).ok();
+}
