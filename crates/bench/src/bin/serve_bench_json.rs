@@ -1,0 +1,228 @@
+//! Emit `BENCH_serve.json`: sustained throughput and latency tails for
+//! the `mde-server` service front-end under a mixed workload — OLAP SQL
+//! queries (prepared-plan cache hits) interleaved with Monte Carlo
+//! estimations — driven by concurrent wire clients against a live
+//! server, ending with a graceful drain.
+//!
+//! Usage: `cargo run --release -p mde-bench --bin serve_bench_json [-- --quick]`
+//!
+//! Writes `BENCH_serve.json` into the current directory and prints it
+//! to stdout. `--quick` shrinks the workload to a CI smoke run (and
+//! skips the file write so CI never dirties the tree). `MDE_CHAOS_SEED`
+//! seeds the per-client Monte Carlo seeds so lanes vary across the CI
+//! matrix while staying deterministic within one.
+//!
+//! Guardrails before anything is emitted: every request must succeed
+//! (zero typed errors under a well-behaved workload), every Monte Carlo
+//! answer must be finite, and the drain must return — a wedged accept
+//! loop or a lost session fails the bench instead of publishing
+//! garbage.
+
+use mde_mcdb::prelude::*;
+use mde_server::client::{Client, Reply};
+use mde_server::{Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+const DDL: &str = "CREATE TABLE SALES(IID, AMT) AS FOR EACH ITEMS \
+                   WITH Normal(SELECT MEAN, STD FROM PARAMS) \
+                   SELECT IID, VALUE AS AMT";
+const MC_SQL: &str = "SELECT SUM(AMT) AS V FROM SALES";
+
+const OLAP: &[&str] = &[
+    "SELECT COUNT(*) AS N FROM ITEMS",
+    "SELECT SUM(IID) AS S FROM ITEMS",
+    "SELECT COUNT(*) AS N FROM ITEMS WHERE IID > 3",
+    "SELECT MEAN FROM PARAMS",
+];
+
+fn seed_catalog() -> Catalog {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build("ITEMS", &[("IID", DataType::Int)])
+            .rows((0..8).map(|i| vec![Value::from(i)]))
+            .finish()
+            .expect("items table"),
+    );
+    db.insert(
+        Table::build(
+            "PARAMS",
+            &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+        )
+        .row(vec![Value::from(10.0), Value::from(2.0)])
+        .finish()
+        .expect("params table"),
+    );
+    db
+}
+
+fn quantile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// One client session's work: a request mix of OLAP SQL and MC, each
+/// latency sampled client-side. Returns `(sql_ms, mc_ms, errors)`.
+fn drive_client(
+    addr: std::net::SocketAddr,
+    worker: u64,
+    rounds: usize,
+    mc_reps: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>, u64) {
+    let mut client = Client::connect(addr).expect("client connects");
+    client
+        .set_reply_timeout(Some(Duration::from_secs(120)))
+        .expect("reply timeout");
+    client
+        .hello(&format!("bench{worker}"))
+        .expect("hello")
+        .expect_ok("HELLO");
+    client
+        .send(&format!("VG\n{DDL}"))
+        .expect("vg")
+        .expect_ok("VG");
+
+    let mut sql_ms = Vec::new();
+    let mut mc_ms = Vec::new();
+    let mut errors = 0u64;
+    for round in 0..rounds {
+        // 3 OLAP probes per MC estimation — a front-end serving mostly
+        // interactive reads with periodic heavy analytics.
+        if round % 4 != 3 {
+            let q = OLAP[(worker as usize + round) % OLAP.len()];
+            let t = Instant::now();
+            match client.sql(q, Some(30_000)) {
+                Ok(Reply::Table { .. }) => sql_ms.push(t.elapsed().as_secs_f64() * 1e3),
+                _ => errors += 1,
+            }
+        } else {
+            let mc_seed = seed ^ (worker << 32) ^ round as u64;
+            let t = Instant::now();
+            match client.send(&format!("MC n={mc_reps} seed={mc_seed}\n{MC_SQL}")) {
+                Ok(Reply::Ok(map)) => {
+                    let finite = map
+                        .get("mean")
+                        .and_then(|m| m.parse::<f64>().ok())
+                        .is_some_and(f64::is_finite);
+                    if finite {
+                        mc_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                    } else {
+                        errors += 1;
+                    }
+                }
+                _ => errors += 1,
+            }
+        }
+    }
+    (sql_ms, mc_ms, errors)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed: u64 = std::env::var("MDE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let (clients, rounds, mc_reps) = if quick {
+        (4u64, 24usize, 16)
+    } else {
+        (8, 120, 48)
+    };
+
+    let server = Server::start(
+        seed_catalog(),
+        ServerConfig {
+            max_sessions: clients as usize + 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|w| std::thread::spawn(move || drive_client(addr, w, rounds, mc_reps, seed)))
+        .collect();
+    let mut sql_ms = Vec::new();
+    let mut mc_ms = Vec::new();
+    let mut errors = 0u64;
+    for h in handles {
+        let (s, m, e) = h.join().expect("client thread");
+        sql_ms.extend(s);
+        mc_ms.extend(m);
+        errors += e;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // Cache effectiveness, observed through the wire.
+    let mut stats_client = Client::connect(addr).expect("stats client");
+    let stats = stats_client
+        .send("STATS")
+        .expect("stats")
+        .expect_ok("STATS");
+    let cache_hits: u64 = stats["cache_hits"].parse().unwrap_or(0);
+    let cache_misses: u64 = stats["cache_misses"].parse().unwrap_or(0);
+    drop(stats_client);
+
+    let t_drain = Instant::now();
+    let report = server.shutdown();
+    let drain_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+
+    // Guardrails: a well-behaved workload must be error-free, and the
+    // drain must have reaped every session.
+    assert_eq!(errors, 0, "typed errors under a well-behaved workload");
+    assert!(
+        report.sessions_closed >= clients,
+        "drain lost sessions: {} < {clients}",
+        report.sessions_closed
+    );
+    let requests = sql_ms.len() + mc_ms.len();
+    assert_eq!(requests, clients as usize * rounds, "lost requests");
+
+    sql_ms.sort_by(|a, b| a.total_cmp(b));
+    mc_ms.sort_by(|a, b| a.total_cmp(b));
+
+    // Hand-rolled JSON: stable field order, no serializer dependency.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"serve_front_end\",\n  \"seed\": {seed},\n  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"clients\": {clients},\n  \"requests\": {requests},\n  \"errors\": {errors},\n"
+    ));
+    json.push_str(&format!(
+        "  \"elapsed_ms\": {:.3},\n  \"throughput_qps\": {:.1},\n",
+        elapsed * 1e3,
+        requests as f64 / elapsed.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"sql\": {{\"count\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n",
+        sql_ms.len(),
+        quantile(&sql_ms, 0.5),
+        quantile(&sql_ms, 0.99)
+    ));
+    json.push_str(&format!(
+        "  \"mc\": {{\"count\": {}, \"replicates\": {mc_reps}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},\n",
+        mc_ms.len(),
+        quantile(&mc_ms, 0.5),
+        quantile(&mc_ms, 0.99)
+    ));
+    json.push_str(&format!(
+        "  \"cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"drain\": {{\"drain_ms\": {:.3}, \"sessions_closed\": {}, \"panics\": {}}}\n",
+        drain_ms, report.sessions_closed, report.panics
+    ));
+    json.push_str("}\n");
+
+    print!("{json}");
+    if !quick {
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        eprintln!("wrote BENCH_serve.json");
+    }
+}

@@ -122,6 +122,14 @@ pub struct SchedConfig {
     /// Admission ceiling for the probe reading, in `[0, 1]`. Readings
     /// strictly above it reject with [`Overloaded::PoolPressure`].
     pub pressure_limit: f64,
+    /// Master drain signal for graceful shutdown. Every dispatched
+    /// slice's control token is a [`CancelToken::child_of`] this token,
+    /// so cancelling it (typically with
+    /// [`CancelReason::Preempt`]) stops in-flight campaigns at their
+    /// next boundary and terminally preempts everything still waiting —
+    /// campaign boxes are retained so [`SchedRun::reclaim`] can recover
+    /// checkpointed work for a later resume. `None` disables draining.
+    pub drain: Option<CancelToken>,
 }
 
 impl Default for SchedConfig {
@@ -137,6 +145,7 @@ impl Default for SchedConfig {
             faults: None,
             pressure_probe: None,
             pressure_limit: 1.0,
+            drain: None,
         }
     }
 }
@@ -357,6 +366,46 @@ impl Scheduler {
     /// Campaigns currently admitted and waiting.
     pub fn queued(&self) -> usize {
         self.entries.iter().filter(|e| e.is_waiting()).count()
+    }
+
+    /// Summed [`CampaignSpec::cost`] of admitted, not-yet-finished
+    /// campaigns (the in-flight figure admission charges against
+    /// [`SchedConfig::cost_budget`]).
+    pub fn admitted_cost(&self) -> u64 {
+        self.admitted_cost
+    }
+
+    /// Split the admitted queue into a scheduler that can be drained on
+    /// its own thread while this one keeps admitting new work.
+    ///
+    /// The detached scheduler takes the waiting entries, the breaker
+    /// state, and the metrics accumulated so far; the submission counter
+    /// is shared forward so ids stay unique across the pair. This
+    /// scheduler keeps charging the detached batch's cost against its
+    /// budget until [`Scheduler::reabsorb`] releases it — in-flight work
+    /// still counts while it runs elsewhere.
+    pub fn detach_for_drain(&mut self) -> Scheduler {
+        Scheduler {
+            cfg: self.cfg.clone(),
+            entries: std::mem::take(&mut self.entries),
+            submissions: self.submissions,
+            admitted_cost: self.admitted_cost,
+            breakers: std::mem::take(&mut self.breakers),
+            metrics: std::mem::take(&mut self.metrics),
+        }
+    }
+
+    /// Fold a drained detachment back in: restores breaker state (so
+    /// trips observed during the drain gate future admissions here),
+    /// merges any metrics left on the detachment, and releases
+    /// `batch_cost` (the detachment's [`Scheduler::admitted_cost`] as
+    /// captured at detach time) from the in-flight budget.
+    pub fn reabsorb(&mut self, drained: Scheduler, batch_cost: u64) {
+        for (resource, breaker) in drained.breakers {
+            self.breakers.insert(resource, breaker);
+        }
+        self.metrics.merge(&drained.metrics);
+        self.admitted_cost = self.admitted_cost.saturating_sub(batch_cost);
     }
 
     /// Admit a campaign or reject it with a typed [`Overloaded`] error.
@@ -622,6 +671,25 @@ impl Pool {
     /// Expired deadlines terminate the entry instead of dispatching it;
     /// an open breaker skips its entries (each skip serves cooldown).
     fn pick(&self, st: &mut PoolState, now: Instant) -> Pick {
+        // A cancelled drain token stops dispatch entirely: everything
+        // still waiting is terminally preempted with its campaign box
+        // retained, so checkpointed work can be reclaimed and resumed
+        // after the restart. In-flight slices observe the same signal
+        // through their child control tokens and settle at their next
+        // boundary.
+        if self.cfg.drain.as_ref().is_some_and(|d| d.is_cancelled()) {
+            let mut drained = 0u64;
+            for e in st.entries.iter_mut() {
+                if e.is_waiting() {
+                    e.state = EntryState::Terminal(CampaignStatus::Preempted { resumable: true });
+                    drained += 1;
+                }
+            }
+            if drained > 0 {
+                st.metrics.add("sched.drained", drained);
+            }
+        }
+
         // Terminate waiting entries whose deadline has already expired.
         for e in st.entries.iter_mut() {
             if e.is_waiting() && e.spec.deadline.is_some_and(|d| d.expired()) {
@@ -706,7 +774,12 @@ impl Pool {
                 now.saturating_duration_since(e.ready_at),
             );
             let ctl = CampaignCtl {
-                cancel: CancelToken::new(),
+                // Linked under the drain token (when configured) so a
+                // graceful shutdown reaches every in-flight slice.
+                cancel: match &self.cfg.drain {
+                    Some(master) => CancelToken::child_of(master),
+                    None => CancelToken::new(),
+                },
                 deadline: e.spec.deadline,
             };
             let mut shed_issued = false;
@@ -770,13 +843,16 @@ impl Pool {
     ) {
         let e = &mut st.entries[d.idx];
         let tenant = e.spec.tenant.clone();
-        let breaker = st
-            .breakers
-            .get_mut(&e.spec.resource)
-            .expect("breaker created at dispatch");
+        // The breaker was created at dispatch, but settle must not trust
+        // that invariant with a panic: a missing breaker only skips its
+        // own bookkeeping, never poisons the pool.
+        let breaker = st.breakers.get_mut(&e.spec.resource);
+        let draining = self.cfg.drain.as_ref().is_some_and(|t| t.is_cancelled());
         match outcome {
             Ok(CampaignStep::Done(out)) => {
-                breaker.on_success();
+                if let Some(b) = breaker {
+                    b.on_success();
+                }
                 e.state = EntryState::Terminal(CampaignStatus::Completed(out));
                 st.metrics.inc("sched.completed");
                 st.metrics.inc(&format!("sched.tenant.{tenant}.completed"));
@@ -787,6 +863,13 @@ impl Pool {
                     e.state = EntryState::Terminal(CampaignStatus::Preempted { resumable });
                     st.metrics.inc("sched.shed");
                     st.metrics.inc(&format!("sched.tenant.{tenant}.shed"));
+                } else if draining {
+                    // Drain-induced boundary: terminal, box retained for
+                    // reclaim/resume — requeueing would spin against the
+                    // cancelled drain token forever.
+                    e.campaign = Some(d.campaign);
+                    e.state = EntryState::Terminal(CampaignStatus::Preempted { resumable });
+                    st.metrics.inc("sched.drained");
                 } else {
                     e.campaign = Some(d.campaign);
                     e.preemptions += 1;
@@ -796,7 +879,7 @@ impl Pool {
                 }
             }
             Err(err) => {
-                if breaker.on_failure() {
+                if breaker.is_some_and(|b| b.on_failure()) {
                     st.metrics.inc("sched.breaker_trips");
                 }
                 e.attempts += 1;
@@ -1366,5 +1449,135 @@ mod tests {
         let single = run_once(1);
         assert_eq!(single, run_once(2));
         assert_eq!(single, run_once(8));
+    }
+
+    #[test]
+    fn drain_token_preempts_waiting_work_resumably() {
+        let drain = CancelToken::new();
+        let mut s = Scheduler::new(SchedConfig {
+            drain: Some(drain.clone()),
+            ..fast_cfg()
+        });
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let (c, _) = Pausable::new(i as f64);
+            ids.push(
+                s.submit(CampaignSpec::new("acme", format!("c{i}")), Box::new(c))
+                    .expect("admitted"),
+            );
+        }
+        drain.cancel_for(CancelReason::Preempt);
+        let mut run = s.run(2);
+        assert_eq!(run.metrics.counter("sched.drained"), 3);
+        for id in ids {
+            assert!(
+                matches!(
+                    run.report(id).expect("report").status,
+                    CampaignStatus::Preempted { resumable: true }
+                ),
+                "drained campaigns must be terminally preempted"
+            );
+            assert!(run.reclaim(id).is_some(), "box retained for resume");
+        }
+    }
+
+    /// A campaign that needs several slices (boundary each time) before
+    /// finishing, stopping resumably whenever its token is cancelled.
+    struct Stepper {
+        left: u32,
+    }
+
+    impl Campaign for Stepper {
+        fn run(&mut self, ctl: &CampaignCtl) -> Result<CampaignStep, CampaignError> {
+            if ctl.cancel.is_cancelled() {
+                return Ok(CampaignStep::Boundary { resumable: true });
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            if self.left > 1 {
+                self.left -= 1;
+                return Ok(CampaignStep::Boundary { resumable: true });
+            }
+            Ok(done(42.0))
+        }
+    }
+
+    #[test]
+    fn drain_mid_run_stops_inflight_slices_at_boundaries() {
+        let drain = CancelToken::new();
+        let mut s = Scheduler::new(SchedConfig {
+            drain: Some(drain.clone()),
+            ..fast_cfg()
+        });
+        let id = s
+            .submit(
+                CampaignSpec::new("acme", "long"),
+                Box::new(Stepper { left: 10_000 }),
+            )
+            .expect("admitted");
+        let stopper = std::thread::spawn({
+            let drain = drain.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(10));
+                drain.cancel_for(CancelReason::Preempt);
+            }
+        });
+        let mut run = s.run(2);
+        stopper.join().expect("stopper thread");
+        assert!(
+            matches!(
+                run.report(id).expect("report").status,
+                CampaignStatus::Preempted { resumable: true }
+            ),
+            "in-flight campaign must stop at a boundary under drain: {:?}",
+            run.report(id)
+        );
+        assert!(run.reclaim(id).is_some());
+    }
+
+    #[test]
+    fn detach_for_drain_splits_admission_from_draining() {
+        let mut s = Scheduler::new(SchedConfig {
+            cost_budget: 10,
+            ..fast_cfg()
+        });
+        let (c0, _) = Pausable::new(1.0);
+        let (c1, _) = Pausable::new(2.0);
+        let a = s
+            .submit(CampaignSpec::new("acme", "a").with_cost(4), Box::new(c0))
+            .expect("admitted");
+        let b = s
+            .submit(CampaignSpec::new("acme", "b").with_cost(4), Box::new(c1))
+            .expect("admitted");
+
+        let mut batch = s.detach_for_drain();
+        let batch_cost = batch.admitted_cost();
+        assert_eq!(batch_cost, 8);
+        assert_eq!(s.queued(), 0, "waiting entries moved to the detachment");
+
+        // The front keeps charging the detached batch against its
+        // budget: a 4-cost submission must still bounce while the batch
+        // is in flight.
+        let (c2, _) = Pausable::new(3.0);
+        let err = s
+            .submit(CampaignSpec::new("acme", "c").with_cost(4), Box::new(c2))
+            .expect_err("budget still holds the in-flight batch");
+        assert!(matches!(err, Overloaded::CostBudget { .. }));
+
+        let run = batch.run(2);
+        assert!(matches!(
+            run.report(a).expect("a").status,
+            CampaignStatus::Completed(_)
+        ));
+        assert!(matches!(
+            run.report(b).expect("b").status,
+            CampaignStatus::Completed(_)
+        ));
+
+        s.reabsorb(batch, batch_cost);
+        let (c3, _) = Pausable::new(4.0);
+        let c = s
+            .submit(CampaignSpec::new("acme", "c").with_cost(4), Box::new(c3))
+            .expect("budget released after reabsorb");
+        assert!(c > b, "submission ids stay unique across the pair");
     }
 }

@@ -85,6 +85,27 @@ impl Catalog {
         self.tables.keys().map(|s| s.as_str()).collect()
     }
 
+    /// A stable digest of the catalog's shape: every table name with its
+    /// column names and types, in sorted table order. Two catalogs with
+    /// identical schemas fingerprint identically regardless of row
+    /// contents or insertion order, and any DDL that adds, drops, or
+    /// retypes a table changes the digest — which is what makes it a
+    /// sound cache key for prepared plans (a plan prepared against one
+    /// fingerprint is structurally valid for every catalog snapshot
+    /// sharing it).
+    pub fn schema_fingerprint(&self) -> u64 {
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        let mut fp = mde_numeric::Fingerprint::new("mcdb.catalog.schema");
+        for name in names {
+            fp = fp.push_str(name);
+            for col in self.tables[name].schema().columns() {
+                fp = fp.push_str(&col.name).push_str(&col.dtype.to_string());
+            }
+        }
+        fp.finish()
+    }
+
     /// The spill policy the executor applies to hash joins and group-by.
     pub fn spill_config(&self) -> &SpillConfig {
         &self.spill
@@ -588,6 +609,48 @@ mod tests {
             .unwrap(),
         );
         c
+    }
+
+    #[test]
+    fn schema_fingerprint_tracks_shape_not_rows() {
+        let c = catalog();
+        let fp = c.schema_fingerprint();
+        // Same shape, different rows: identical fingerprint.
+        let mut c2 = Catalog::new();
+        c2.insert(
+            Table::build(
+                "t",
+                &[
+                    ("id", DataType::Int),
+                    ("x", DataType::Float),
+                    ("s", DataType::Str),
+                ],
+            )
+            .rows((0..10).map(|i| vec![Value::from(i), Value::from(0.5), Value::from("b")]))
+            .finish()
+            .unwrap(),
+        );
+        assert_eq!(fp, c2.schema_fingerprint());
+        // Adding a table changes it; dropping it restores it.
+        c2.insert(Table::build("u", &[("k", DataType::Int)]).finish().unwrap());
+        assert_ne!(fp, c2.schema_fingerprint());
+        c2.remove("u");
+        assert_eq!(fp, c2.schema_fingerprint());
+        // Retyping a column changes it.
+        let mut c3 = Catalog::new();
+        c3.insert(
+            Table::build(
+                "t",
+                &[
+                    ("id", DataType::Int),
+                    ("x", DataType::Int),
+                    ("s", DataType::Str),
+                ],
+            )
+            .finish()
+            .unwrap(),
+        );
+        assert_ne!(fp, c3.schema_fingerprint());
     }
 
     #[test]

@@ -764,7 +764,15 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
                 out.push_row(row)?;
             } else {
                 for key in order {
-                    let (group_vals, sts) = states.remove(&key).expect("key recorded in order");
+                    // Every key in `order` was recorded when its state was
+                    // created; if the maps ever desynchronize, surface a
+                    // typed error — this path runs inside session workers
+                    // where a panic would cost the whole session.
+                    let (group_vals, sts) = states.remove(&key).ok_or_else(|| {
+                        crate::McdbError::invalid_plan(
+                            "aggregate group state desynchronized from group order",
+                        )
+                    })?;
                     let mut row = group_vals;
                     for (st, col) in sts
                         .into_iter()

@@ -64,6 +64,18 @@ impl McCampaign {
         self
     }
 
+    /// Seed the campaign with a previously persisted [`CampaignState`]
+    /// (e.g. loaded from a checkpoint file written by an interrupted
+    /// run): the first slice resumes from the state's cursor instead of
+    /// replicate zero. The state is validated against this campaign's
+    /// fingerprint when the slice runs — a mismatched query, seed, or
+    /// replicate count surfaces as a typed checkpoint error, not a wrong
+    /// answer.
+    pub fn with_state(mut self, state: CampaignState) -> Self {
+        self.state = Some(state);
+        self
+    }
+
     /// Whether a shed stop finishes with a partial estimate (best-effort
     /// policy) instead of re-queueing.
     fn absorbs_shedding(&self) -> bool {
@@ -72,7 +84,16 @@ impl McCampaign {
 
     fn run_slice(&mut self, ctl: &CampaignCtl) -> crate::Result<McRun> {
         let mut opts = self.opts.clone();
-        opts.cancel = Some(ctl.cancel.clone());
+        // Observe both the scheduler's control token and any cancel
+        // handle the submitter attached (a session disconnect signal, a
+        // client abort): whichever fires first stops the slice.
+        opts.cancel = Some(match &self.opts.cancel {
+            Some(own) => mde_numeric::resilience::CancelToken::child_of_all(&[
+                ctl.cancel.clone(),
+                own.clone(),
+            ]),
+            None => ctl.cancel.clone(),
+        });
         if ctl.deadline.is_some() {
             opts.deadline = ctl.deadline;
         }
@@ -130,6 +151,14 @@ impl Campaign for McCampaign {
                     .unwrap_or(self.n as u64);
                 run.report
                     .record_shed((self.n as u64).saturating_sub(cursor));
+                Ok(CampaignStep::Done(output(run)))
+            }
+            Some(StopCause::Cancelled) => {
+                // A user/session cancel (the scheduler itself only ever
+                // signals shed or preempt) is terminal: re-queueing would
+                // spin against the still-cancelled external token. The
+                // partial estimate is returned and any configured
+                // checkpoint was already persisted for a later resume.
                 Ok(CampaignStep::Done(output(run)))
             }
             Some(_) => {

@@ -849,18 +849,46 @@ pub enum CancelReason {
 /// campaign, trigger the other from anywhere (signal handler, UI thread,
 /// supervisor). Campaigns poll it at boundaries; cancellation stops the
 /// run exactly like a deadline — partial report plus final checkpoint.
+///
+/// Tokens can be linked: [`CancelToken::child_of`] creates a token that
+/// also observes its parent's cancellation, so one master token (a
+/// server drain signal, a session disconnect) fans out to every
+/// in-flight unit of work, while cancelling an individual child never
+/// propagates upward or sideways.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
     /// 0 = none, 1 = user, 2 = shed, 3 = preempt. Written once by the
     /// first cancel; later cancels keep the original reason.
     reason: Arc<AtomicU8>,
+    /// Upstream tokens, observed (never written) by this one.
+    parents: Arc<[CancelToken]>,
 }
 
 impl CancelToken {
     /// A fresh, untriggered token.
     pub fn new() -> Self {
         CancelToken::default()
+    }
+
+    /// A fresh token linked under `parent`: it reports cancelled when
+    /// either itself or (transitively) its parent is cancelled, and
+    /// cancelling it leaves the parent — and the parent's other children
+    /// — untouched.
+    pub fn child_of(parent: &CancelToken) -> Self {
+        CancelToken::child_of_all(std::slice::from_ref(parent))
+    }
+
+    /// A fresh token linked under several parents at once — cancelled
+    /// when itself or any ancestor is. A campaign running under both a
+    /// scheduler control token and a session disconnect token is the
+    /// canonical use.
+    pub fn child_of_all(parents: &[CancelToken]) -> Self {
+        CancelToken {
+            flag: Arc::default(),
+            reason: Arc::default(),
+            parents: parents.to_vec().into(),
+        }
     }
 
     /// Request cancellation on behalf of a user. Idempotent; visible to
@@ -885,21 +913,25 @@ impl CancelToken {
         self.flag.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested on this token or any of
+    /// its ancestors.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        self.flag.load(Ordering::Acquire) || self.parents.iter().any(|p| p.is_cancelled())
     }
 
-    /// Why the token was cancelled (`None` while untriggered).
+    /// Why the token was cancelled (`None` while untriggered). When both
+    /// this token and an ancestor are cancelled, the nearest cancel wins:
+    /// this token's own reason is reported; among parents, the first
+    /// cancelled one (in linking order) is.
     pub fn cancel_reason(&self) -> Option<CancelReason> {
-        if !self.is_cancelled() {
-            return None;
+        if self.flag.load(Ordering::Acquire) {
+            return Some(match self.reason.load(Ordering::Acquire) {
+                2 => CancelReason::Shed,
+                3 => CancelReason::Preempt,
+                _ => CancelReason::User,
+            });
         }
-        Some(match self.reason.load(Ordering::Acquire) {
-            2 => CancelReason::Shed,
-            3 => CancelReason::Preempt,
-            _ => CancelReason::User,
-        })
+        self.parents.iter().find_map(|p| p.cancel_reason())
     }
 }
 
@@ -1322,6 +1354,32 @@ mod tests {
         assert_eq!(opts.stop_cause(5), Some(StopCause::Cancelled));
         assert_eq!(token, opts.cancel.clone().unwrap());
         assert_ne!(token, CancelToken::new(), "identity equality");
+    }
+
+    #[test]
+    fn child_token_observes_parent_but_not_vice_versa() {
+        let master = CancelToken::new();
+        let a = CancelToken::child_of(&master);
+        let b = CancelToken::child_of(&master);
+
+        // Cancelling one child is invisible to its parent and siblings.
+        a.cancel_for(CancelReason::User);
+        assert!(a.is_cancelled());
+        assert_eq!(a.cancel_reason(), Some(CancelReason::User));
+        assert!(!master.is_cancelled());
+        assert!(!b.is_cancelled());
+
+        // Cancelling the master fans out to every child; an already
+        // cancelled child keeps its own (nearest) reason.
+        master.cancel_for(CancelReason::Preempt);
+        assert!(b.is_cancelled());
+        assert_eq!(b.cancel_reason(), Some(CancelReason::Preempt));
+        assert_eq!(a.cancel_reason(), Some(CancelReason::User));
+
+        // Grandchildren observe the chain transitively.
+        let c = CancelToken::child_of(&b);
+        assert!(c.is_cancelled());
+        assert_eq!(c.cancel_reason(), Some(CancelReason::Preempt));
     }
 
     #[test]

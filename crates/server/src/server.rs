@@ -1,0 +1,281 @@
+//! The service front-end: accept loop, session registry, graceful
+//! drain.
+//!
+//! The server binds a loopback TCP listener and runs a nonblocking
+//! accept loop on its own thread. Each accepted connection becomes a
+//! supervised session ([`crate::session`]); the accept loop itself
+//! never executes request work, so no session failure — panic, torn
+//! frame, slow-loris stall — can wedge it.
+//!
+//! # Graceful drain
+//!
+//! [`Server::shutdown`] runs the drain protocol:
+//!
+//! 1. Stop accepting (new connections are refused; in-flight sessions
+//!    see typed `ERR SHUTTING_DOWN` on new requests).
+//! 2. Cancel the master drain token with
+//!    [`CancelReason::Preempt`]: every in-flight request token is a
+//!    child, so Monte Carlo runs and campaign slices stop at their next
+//!    replicate boundary and persist their checkpoints.
+//! 3. Shut down every session socket, unblocking parked readers; join
+//!    all session threads.
+//! 4. Flush the campaign hub so queued-but-orphaned campaigns settle
+//!    as resumably preempted rather than vanishing.
+//!
+//! The returned [`DrainReport`] accounts for what happened — how many
+//! sessions closed, how many campaigns were flushed, how much work was
+//! cancelled cooperatively.
+
+use crate::cache::PlanCache;
+use crate::campaigns::CampaignHub;
+use crate::chaos::WireFaultPlan;
+use crate::error::{WireCode, WireError};
+use crate::proto::write_frame;
+use crate::session::{run_session, Engine, ServerMetrics};
+use mde_core::SchedConfig;
+use mde_mcdb::prelude::Catalog;
+use mde_mcdb::sql::VgRegistry;
+use mde_numeric::{CancelReason, CancelToken};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Concurrent session bound; connections beyond it are refused with
+    /// a typed, retryable `ERR SESSION_LIMIT`.
+    pub max_sessions: usize,
+    /// Socket read deadline: bounds how long a slow-loris client can
+    /// take to deliver one frame, and how long an idle session is kept.
+    pub idle_timeout: Duration,
+    /// Deadline applied to requests that do not carry one, in
+    /// milliseconds. `None` means no implicit deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Campaign scheduler configuration. The master drain token is
+    /// installed by the server; any `drain` set here is replaced.
+    pub sched: SchedConfig,
+    /// Worker threads for draining campaign batches.
+    pub sched_threads: usize,
+    /// Prepared-plan cache capacity.
+    pub cache_capacity: usize,
+    /// Directory for wire-named checkpoints; `None` disables the
+    /// `checkpoint=` request option.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Server-side fault injection (tests only; `None` in production).
+    pub faults: Option<WireFaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 32,
+            idle_timeout: Duration::from_secs(10),
+            default_deadline_ms: None,
+            sched: SchedConfig::default(),
+            sched_threads: 2,
+            cache_capacity: 64,
+            checkpoint_dir: None,
+            faults: None,
+        }
+    }
+}
+
+/// What graceful drain accomplished.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Sessions that were torn down over the server's lifetime.
+    pub sessions_closed: u64,
+    /// Queued campaigns settled (as resumably preempted) by the final
+    /// hub flush.
+    pub campaigns_flushed: usize,
+    /// Requests stopped cooperatively (client disconnects plus drain
+    /// cancellations).
+    pub cancelled: u64,
+    /// Panics caught by session supervision over the lifetime.
+    pub panics: u64,
+    /// Typed error replies sent over the lifetime.
+    pub errors: u64,
+}
+
+/// Live sessions: the worker's join handle plus a cloned stream handle
+/// so shutdown can unblock a parked reader.
+type SessionRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// A running service front-end.
+pub struct Server {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    drain: CancelToken,
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    sessions: SessionRegistry,
+}
+
+impl Server {
+    /// Bind a loopback listener and start serving `catalog`.
+    pub fn start(catalog: Catalog, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let drain = CancelToken::new();
+        let mut sched = cfg.sched;
+        sched.drain = Some(drain.clone());
+
+        let engine = Arc::new(Engine {
+            catalog: RwLock::new(Arc::new(catalog)),
+            cache: PlanCache::new(cfg.cache_capacity),
+            hub: CampaignHub::new(sched, cfg.sched_threads.max(1)),
+            drain: drain.clone(),
+            draining: AtomicBool::new(false),
+            vg: VgRegistry::standard(),
+            checkpoint_dir: cfg.checkpoint_dir,
+            faults: cfg.faults,
+            default_deadline_ms: cfg.default_deadline_ms,
+            metrics: ServerMetrics::default(),
+        });
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown_requested = Arc::new(AtomicBool::new(false));
+        let sessions: SessionRegistry = Arc::default();
+
+        let accept_engine = Arc::clone(&engine);
+        let accept_stop = Arc::clone(&stop);
+        let accept_shutdown = Arc::clone(&shutdown_requested);
+        let accept_sessions = Arc::clone(&sessions);
+        let max_sessions = cfg.max_sessions.max(1);
+        let idle_timeout = cfg.idle_timeout;
+        let accept_handle = std::thread::spawn(move || {
+            let mut next_session = 0u64;
+            loop {
+                if accept_stop.load(Ordering::SeqCst) || accept_shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        let live = {
+                            let mut guard = accept_sessions.lock().expect("session registry");
+                            guard.retain(|(h, _)| !h.is_finished());
+                            guard.len()
+                        };
+                        if accept_engine.draining.load(Ordering::SeqCst) {
+                            let _ = write_frame(
+                                &mut stream,
+                                &WireError::retryable(WireCode::ShuttingDown, "server is draining")
+                                    .with_retry_after(1000)
+                                    .encode(),
+                            );
+                            continue;
+                        }
+                        if live >= max_sessions {
+                            let _ = write_frame(
+                                &mut stream,
+                                &WireError::retryable(
+                                    WireCode::SessionLimit,
+                                    format!("session limit {max_sessions} reached"),
+                                )
+                                .with_retry_after(250)
+                                .encode(),
+                            );
+                            continue;
+                        }
+                        let id = next_session;
+                        next_session += 1;
+                        let engine = Arc::clone(&accept_engine);
+                        let shutdown_flag = Arc::clone(&accept_shutdown);
+                        let registered = match stream.try_clone() {
+                            Ok(clone) => clone,
+                            Err(_) => continue,
+                        };
+                        let handle = std::thread::spawn(move || {
+                            run_session(engine, stream, id, idle_timeout, &shutdown_flag);
+                        });
+                        accept_sessions
+                            .lock()
+                            .expect("session registry")
+                            .push((handle, registered));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+        });
+
+        Ok(Server {
+            addr,
+            engine,
+            drain,
+            stop,
+            shutdown_requested,
+            accept_handle: Some(accept_handle),
+            sessions,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a client requested shutdown via the `SHUTDOWN` command.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Whole-server counter snapshot.
+    pub fn metrics(&self) -> Vec<(&'static str, u64)> {
+        self.engine.metrics.snapshot()
+    }
+
+    /// Live (not yet torn down) sessions.
+    pub fn live_sessions(&self) -> usize {
+        let mut guard = self.sessions.lock().expect("session registry");
+        guard.retain(|(h, _)| !h.is_finished());
+        guard.len()
+    }
+
+    /// Run the graceful drain protocol and tear the server down.
+    pub fn shutdown(mut self) -> DrainReport {
+        // 1. Stop accepting; refuse new requests on live sessions.
+        self.engine.draining.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+
+        // 2. Cancel in-flight work cooperatively: every request token is
+        // a child of the drain token, so MC runs and campaign slices
+        // stop at their next boundary (persisting checkpoints).
+        self.drain.cancel_for(CancelReason::Preempt);
+
+        // 3. Unblock parked readers and join every session.
+        let sessions = std::mem::take(&mut *self.sessions.lock().expect("session registry"));
+        for (_, stream) in &sessions {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for (handle, _) in sessions {
+            let _ = handle.join();
+        }
+
+        // 4. Settle queued-but-orphaned campaigns.
+        let campaigns_flushed = self.engine.hub.flush();
+
+        let m = &self.engine.metrics;
+        DrainReport {
+            sessions_closed: m.sessions_closed.load(Ordering::Relaxed),
+            campaigns_flushed,
+            cancelled: m.cancelled.load(Ordering::Relaxed),
+            panics: m.panics.load(Ordering::Relaxed),
+            errors: m.errors.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,698 @@
+//! Per-session supervision: one connection, one worker, one blast
+//! radius.
+//!
+//! Each accepted connection gets a dedicated worker thread plus a
+//! reader thread, joined by a small channel:
+//!
+//! * The **reader** owns the receive half of the socket. It decodes
+//!   frames (bounded by the socket read deadline, so a slow-loris
+//!   client cannot hold a session open indefinitely) and — crucially —
+//!   on *any* terminal read event (clean close, torn frame, timeout)
+//!   cancels the session's in-flight request token with
+//!   [`CancelReason::User`]. A client that disconnects mid-query stops
+//!   paying for that query at the next replicate boundary, and a
+//!   checkpointing campaign persists its partial state on the way out.
+//! * The **worker** executes requests inside
+//!   [`catch_panic`](mde_numeric::resilience::catch_panic): a panic —
+//!   organic or injected by the [`WireFaultPlan`] — produces a typed
+//!   `ERR PANIC` reply and terminates *that session only*. The accept
+//!   loop, other sessions, and the campaign hub never observe it.
+//!
+//! Every request token is a [`CancelToken::child_of`] the server's
+//! master drain token, so graceful drain reaches into in-flight work
+//! without the session layer doing anything special.
+
+use crate::cache::PlanCache;
+use crate::campaigns::CampaignHub;
+use crate::chaos::WireFaultPlan;
+use crate::error::{overloaded_to_wire, RetryHints, WireCode, WireError};
+use crate::proto::{
+    self, encode_ok, encode_table, read_frame, write_frame, ReadFrame, Request, RequestOpts,
+};
+use mde_core::sched::CampaignStatus;
+use mde_core::CampaignSpec;
+use mde_mcdb::mc::MonteCarloQuery;
+use mde_mcdb::prelude::{Catalog, DataType, Table};
+use mde_mcdb::random_table::RandomTableSpec;
+use mde_mcdb::sql::{parse_create_random_table, plan_from_sql, VgRegistry};
+use mde_mcdb::McCampaign;
+use mde_numeric::resilience::{catch_panic, CheckpointSpec, RunOptions, RunPolicy, StopCause};
+use mde_numeric::{CampaignState, CancelReason, CancelToken, Deadline};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Whole-server counters (monotonic, lock-free).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Sessions accepted.
+    pub sessions_opened: AtomicU64,
+    /// Sessions fully torn down.
+    pub sessions_closed: AtomicU64,
+    /// Requests executed (all commands).
+    pub requests: AtomicU64,
+    /// Typed error replies sent.
+    pub errors: AtomicU64,
+    /// Panics caught by session supervision.
+    pub panics: AtomicU64,
+    /// Typed overload rejections sent.
+    pub overloaded: AtomicU64,
+    /// Requests stopped by client disconnect or drain cancellation.
+    pub cancelled: AtomicU64,
+    /// Connections dropped for framing violations.
+    pub bad_frames: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Counter snapshot as `(name, value)` pairs.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (
+                "sessions_opened",
+                self.sessions_opened.load(Ordering::Relaxed),
+            ),
+            (
+                "sessions_closed",
+                self.sessions_closed.load(Ordering::Relaxed),
+            ),
+            ("requests", self.requests.load(Ordering::Relaxed)),
+            ("errors", self.errors.load(Ordering::Relaxed)),
+            ("panics", self.panics.load(Ordering::Relaxed)),
+            ("overloaded", self.overloaded.load(Ordering::Relaxed)),
+            ("cancelled", self.cancelled.load(Ordering::Relaxed)),
+            ("bad_frames", self.bad_frames.load(Ordering::Relaxed)),
+        ]
+    }
+}
+
+/// Shared execution state behind every session: the catalog snapshot
+/// cell, the prepared-plan cache, the campaign hub, and the drain
+/// machinery.
+pub struct Engine {
+    /// Current catalog snapshot; DDL clones, mutates, and swaps the
+    /// `Arc`, so readers pin a consistent snapshot for a whole request
+    /// without holding any lock across execution.
+    pub(crate) catalog: RwLock<Arc<Catalog>>,
+    /// Shared prepared-plan cache (schema-fingerprint keyed).
+    pub(crate) cache: PlanCache,
+    /// Shared campaign scheduler front.
+    pub(crate) hub: CampaignHub,
+    /// Master drain token: every request token is its child.
+    pub(crate) drain: CancelToken,
+    /// Set when drain begins; new sessions and requests are refused.
+    pub(crate) draining: AtomicBool,
+    /// VG registry for session-registered stochastic DDL.
+    pub(crate) vg: VgRegistry,
+    /// Directory for wire-named checkpoints; `None` disables them.
+    pub(crate) checkpoint_dir: Option<PathBuf>,
+    /// Server-side fault injection (tests only).
+    pub(crate) faults: Option<WireFaultPlan>,
+    /// Deadline applied when the client sends none, milliseconds.
+    pub(crate) default_deadline_ms: Option<u64>,
+    /// Whole-server counters.
+    pub(crate) metrics: ServerMetrics,
+}
+
+impl Engine {
+    /// Pin the current catalog snapshot.
+    pub(crate) fn snapshot(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog.read().expect("catalog lock"))
+    }
+
+    /// Clone-mutate-swap the catalog under the write lock.
+    pub(crate) fn swap_catalog(
+        &self,
+        mutate: impl FnOnce(&mut Catalog) -> Result<(), WireError>,
+    ) -> Result<(), WireError> {
+        let mut slot = self.catalog.write().expect("catalog lock");
+        let mut next = (**slot).clone();
+        mutate(&mut next)?;
+        *slot = Arc::new(next);
+        Ok(())
+    }
+
+    fn checkpoint_path(&self, name: &str) -> Result<PathBuf, WireError> {
+        match &self.checkpoint_dir {
+            Some(dir) => Ok(dir.join(name)),
+            None => Err(WireError::fatal(
+                WireCode::BadRequest,
+                "server has no checkpoint directory configured",
+            )),
+        }
+    }
+}
+
+enum ReaderEvent {
+    Frame(String),
+    Broken(WireError),
+    Eof,
+}
+
+/// Outcome of one request, as the worker loop sees it.
+enum Outcome {
+    Reply(String),
+    /// Reply, then close the session (supervised panic, fatal protocol
+    /// error).
+    Fatal(String),
+    /// Begin server drain after replying (SHUTDOWN).
+    Shutdown(String),
+}
+
+/// Run one session to completion. Returns when the client disconnects,
+/// a fatal error closes the session, or drain cancels it.
+pub(crate) fn run_session(
+    engine: Arc<Engine>,
+    stream: TcpStream,
+    session_id: u64,
+    idle_timeout: Duration,
+    shutdown_requested: &AtomicBool,
+) {
+    engine
+        .metrics
+        .sessions_opened
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(idle_timeout));
+    let _ = stream.set_nodelay(true);
+
+    // The in-flight request token, shared with the reader so terminal
+    // read events cancel whatever the worker is executing right now.
+    let current: Arc<Mutex<Option<CancelToken>>> = Arc::default();
+
+    let (tx, rx): (SyncSender<ReaderEvent>, Receiver<ReaderEvent>) = sync_channel(16);
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            engine
+                .metrics
+                .sessions_closed
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let reader_current = Arc::clone(&current);
+    let reader = std::thread::spawn(move || {
+        let mut stream = reader_stream;
+        loop {
+            let event = match read_frame(&mut stream) {
+                Ok(ReadFrame::Frame(payload)) => ReaderEvent::Frame(payload),
+                Ok(ReadFrame::Closed) => {
+                    cancel_current(&reader_current);
+                    let _ = tx.send(ReaderEvent::Eof);
+                    return;
+                }
+                Err(e) => {
+                    cancel_current(&reader_current);
+                    let _ = tx.send(ReaderEvent::Broken(e.to_wire()));
+                    return;
+                }
+            };
+            // Blocking send: at most 16 requests buffer ahead of the
+            // worker; beyond that the client experiences backpressure.
+            if tx.send(event).is_err() {
+                return;
+            }
+        }
+    });
+
+    let mut session = Session {
+        engine: Arc::clone(&engine),
+        id: session_id,
+        tenant: "anon".to_string(),
+        specs: Vec::new(),
+        req_seq: 0,
+        streak: 0,
+        hints: RetryHints::new(Default::default(), session_id),
+    };
+
+    let mut out = stream;
+    while let Ok(event) = rx.recv() {
+        match event {
+            ReaderEvent::Eof => break,
+            ReaderEvent::Broken(err) => {
+                engine.metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                engine.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                // Best-effort typed reply; the connection may already be
+                // gone.
+                let _ = write_frame(&mut out, &err.encode());
+                break;
+            }
+            ReaderEvent::Frame(payload) => {
+                let outcome = session.handle(&payload, &current);
+                clear_current(&current);
+                match outcome {
+                    Outcome::Reply(reply) => {
+                        if write_frame(&mut out, &reply).is_err() {
+                            break;
+                        }
+                    }
+                    Outcome::Fatal(reply) => {
+                        let _ = write_frame(&mut out, &reply);
+                        break;
+                    }
+                    Outcome::Shutdown(reply) => {
+                        let _ = write_frame(&mut out, &reply);
+                        shutdown_requested.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Unblock the reader (it may be parked in a blocking read) and
+    // reap it before the session counts as closed.
+    let _ = out.shutdown(std::net::Shutdown::Both);
+    let _ = reader.join();
+    engine
+        .metrics
+        .sessions_closed
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+fn cancel_current(slot: &Mutex<Option<CancelToken>>) {
+    if let Some(token) = slot.lock().expect("current-request lock").as_ref() {
+        token.cancel_for(CancelReason::User);
+    }
+}
+
+fn clear_current(slot: &Mutex<Option<CancelToken>>) {
+    *slot.lock().expect("current-request lock") = None;
+}
+
+struct Session {
+    engine: Arc<Engine>,
+    id: u64,
+    tenant: String,
+    specs: Vec<RandomTableSpec>,
+    req_seq: u64,
+    streak: u32,
+    hints: RetryHints,
+}
+
+impl Session {
+    fn handle(&mut self, payload: &str, current: &Mutex<Option<CancelToken>>) -> Outcome {
+        self.engine.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let seq = self.req_seq;
+        self.req_seq += 1;
+
+        let request = match proto::parse_request(payload) {
+            Ok(r) => r,
+            Err(e) => return self.error_outcome(e),
+        };
+
+        if self.engine.draining.load(Ordering::SeqCst) && !matches!(request, Request::Stats) {
+            return self.error_outcome(
+                WireError::retryable(WireCode::ShuttingDown, "server is draining")
+                    .with_retry_after(1000),
+            );
+        }
+
+        // Per-request cancellation: child of the master drain token, and
+        // visible to the reader thread so a disconnect cancels it.
+        let token = CancelToken::child_of(&self.engine.drain);
+        *current.lock().expect("current-request lock") = Some(token.clone());
+
+        // The supervised region: panics — organic or injected — become a
+        // typed reply that closes this session only.
+        let engine = Arc::clone(&self.engine);
+        let supervised = catch_panic(|| {
+            if let Some(faults) = &engine.faults {
+                if faults.should_panic(self.id, seq) {
+                    panic!(
+                        "injected session fault (session {}, request {seq})",
+                        self.id
+                    );
+                }
+            }
+            self.execute(request, &token)
+        });
+        match supervised {
+            Ok(Ok(outcome)) => outcome,
+            Ok(Err(e)) => self.error_outcome(e),
+            Err(panic_msg) => {
+                self.engine.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                self.engine.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Outcome::Fatal(
+                    WireError::fatal(
+                        WireCode::Panic,
+                        format!("request panicked; session terminated: {panic_msg}"),
+                    )
+                    .encode(),
+                )
+            }
+        }
+    }
+
+    fn error_outcome(&mut self, e: WireError) -> Outcome {
+        self.engine.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        if e.retryable {
+            Outcome::Reply(e.encode())
+        } else if matches!(
+            e.code,
+            WireCode::BadRequest
+                | WireCode::BadDeadline
+                | WireCode::BadBudget
+                | WireCode::Parse
+                | WireCode::Exec
+        ) {
+            // Malformed or failing *requests* are survivable: the frame
+            // layer is intact, so the session continues.
+            Outcome::Reply(e.encode())
+        } else {
+            Outcome::Fatal(e.encode())
+        }
+    }
+
+    fn deadline(&self, opts: &RequestOpts) -> Option<Deadline> {
+        opts.deadline_ms
+            .or(self.engine.default_deadline_ms)
+            .map(|ms| Deadline::after(Duration::from_millis(ms)))
+    }
+
+    fn execute(&mut self, request: Request, token: &CancelToken) -> Result<Outcome, WireError> {
+        match request {
+            Request::Hello { tenant } => {
+                self.tenant = tenant;
+                Ok(Outcome::Reply(encode_ok(&[
+                    ("session", self.id.to_string()),
+                    ("tenant", self.tenant.clone()),
+                ])))
+            }
+            Request::Ping => Ok(Outcome::Reply(encode_ok(&[("pong", "1".to_string())]))),
+            Request::Stats => {
+                let mut pairs: Vec<(&str, String)> = self
+                    .engine
+                    .metrics
+                    .snapshot()
+                    .into_iter()
+                    .map(|(k, v)| (k, v.to_string()))
+                    .collect();
+                let cache = self.engine.cache.stats();
+                pairs.push(("cache_hits", cache.hits.to_string()));
+                pairs.push(("cache_misses", cache.misses.to_string()));
+                pairs.push(("cache_evictions", cache.evictions.to_string()));
+                pairs.push(("campaigns_queued", self.engine.hub.queued().to_string()));
+                pairs.push((
+                    "campaigns_inflight_cost",
+                    self.engine.hub.inflight_cost().to_string(),
+                ));
+                Ok(Outcome::Reply(encode_ok(&pairs)))
+            }
+            Request::Shutdown => Ok(Outcome::Shutdown(encode_ok(&[(
+                "draining",
+                "1".to_string(),
+            )]))),
+            Request::Sql { sql, opts } => self.exec_sql(&sql, &opts, token),
+            Request::Vg { ddl } => {
+                let spec = parse_create_random_table(&ddl, &self.engine.vg)
+                    .map_err(|e| WireError::fatal(WireCode::Parse, e.to_string()))?;
+                self.specs.push(spec);
+                Ok(Outcome::Reply(encode_ok(&[(
+                    "specs",
+                    self.specs.len().to_string(),
+                )])))
+            }
+            Request::Create { name, columns } => {
+                let cols: Vec<(&str, DataType)> =
+                    columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+                let table = Table::build(&name, &cols)
+                    .finish()
+                    .map_err(|e| WireError::fatal(WireCode::Exec, e.to_string()))?;
+                self.engine.swap_catalog(|db| {
+                    db.insert(table);
+                    Ok(())
+                })?;
+                Ok(Outcome::Reply(encode_ok(&[("table", name)])))
+            }
+            Request::Insert { name, rows } => self.exec_insert(&name, &rows),
+            Request::Mc {
+                n,
+                seed,
+                policy,
+                sql,
+                opts,
+                checkpoint,
+            } => self.exec_mc(n, seed, policy, &sql, &opts, checkpoint, token),
+            Request::Campaign {
+                n,
+                seed,
+                policy,
+                priority,
+                cost,
+                threads,
+                sql,
+                opts,
+                checkpoint,
+            } => self.exec_campaign(
+                n, seed, policy, priority, cost, threads, &sql, &opts, checkpoint, token,
+            ),
+        }
+    }
+
+    fn exec_sql(
+        &mut self,
+        sql: &str,
+        opts: &RequestOpts,
+        token: &CancelToken,
+    ) -> Result<Outcome, WireError> {
+        if let Some(deadline) = self.deadline(opts) {
+            if deadline.expired() {
+                return Err(WireError::retryable(
+                    WireCode::DeadlineExpired,
+                    "deadline expired before execution",
+                ));
+            }
+        }
+        if token.is_cancelled() {
+            self.engine
+                .metrics
+                .cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::fatal(WireCode::Cancelled, "request cancelled"));
+        }
+        let snapshot = self.engine.snapshot();
+        let prepared = self
+            .engine
+            .cache
+            .prepare(&snapshot, sql)
+            .map_err(|e| WireError::fatal(WireCode::Parse, e.to_string()))?;
+        let table = prepared
+            .execute(&snapshot)
+            .map_err(|e| WireError::fatal(WireCode::Exec, e.to_string()))?;
+        Ok(Outcome::Reply(encode_table(&table)))
+    }
+
+    fn exec_insert(&mut self, name: &str, rows: &str) -> Result<Outcome, WireError> {
+        let snapshot = self.engine.snapshot();
+        let existing = snapshot
+            .get(name)
+            .map_err(|e| WireError::fatal(WireCode::Exec, e.to_string()))?;
+        let columns: Vec<(String, DataType)> = existing
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| (c.name.clone(), c.dtype))
+            .collect();
+        let mut parsed = Vec::new();
+        for line in rows.lines().filter(|l| !l.trim().is_empty()) {
+            parsed.push(proto::parse_row(line, &columns)?);
+        }
+        let added = parsed.len();
+        let cols: Vec<(&str, DataType)> = columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let table = Table::build(name, &cols)
+            .rows(existing.rows().iter().cloned())
+            .rows(parsed)
+            .finish()
+            .map_err(|e| WireError::fatal(WireCode::Exec, e.to_string()))?;
+        let total = table.len();
+        self.engine.swap_catalog(|db| {
+            db.insert(table);
+            Ok(())
+        })?;
+        Ok(Outcome::Reply(encode_ok(&[
+            ("rows", added.to_string()),
+            ("total", total.to_string()),
+        ])))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_mc(
+        &mut self,
+        n: u64,
+        seed: u64,
+        policy: RunPolicy,
+        sql: &str,
+        opts: &RequestOpts,
+        checkpoint: Option<String>,
+        token: &CancelToken,
+    ) -> Result<Outcome, WireError> {
+        let plan =
+            plan_from_sql(sql).map_err(|e| WireError::fatal(WireCode::Parse, e.to_string()))?;
+        if self.specs.is_empty() {
+            return Err(WireError::fatal(
+                WireCode::BadRequest,
+                "MC requires at least one VG-registered random table in this session",
+            ));
+        }
+        let snapshot = self.engine.snapshot();
+        let query = MonteCarloQuery::new(self.specs.clone(), plan);
+
+        let mut run_opts = RunOptions::policy(policy).with_cancel(token.clone());
+        if let Some(deadline) = self.deadline(opts) {
+            run_opts.deadline = Some(deadline);
+        }
+        let ckpt_path = checkpoint
+            .as_deref()
+            .map(|name| self.engine.checkpoint_path(name))
+            .transpose()?;
+        if let Some(path) = &ckpt_path {
+            run_opts.checkpoint = Some(CheckpointSpec::new(path.clone()).every(16));
+        }
+
+        let resume = ckpt_path.as_ref().filter(|p| p.exists());
+        let run = match resume {
+            Some(path) => query.resume_from(&snapshot, n as usize, seed, &run_opts, path),
+            None => query.run_with_options(&snapshot, n as usize, seed, &run_opts),
+        }
+        .map_err(|e| WireError::fatal(WireCode::Exec, e.to_string()))?;
+
+        if matches!(run.stopped, Some(StopCause::Cancelled)) {
+            self.engine
+                .metrics
+                .cancelled
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let mut pairs: Vec<(&str, String)> = vec![
+            ("n", run.result.n().to_string()),
+            ("attempted", run.report.attempted.to_string()),
+            ("succeeded", run.report.succeeded.to_string()),
+            ("ci_widened", run.report.ci_widened.to_string()),
+        ];
+        if run.result.n() > 0 {
+            pairs.push(("mean", format!("{:?}", run.result.mean())));
+        }
+        if let Some(cause) = &run.stopped {
+            pairs.push(("stopped", stop_cause_token(cause).to_string()));
+            if ckpt_path.is_some() {
+                pairs.push(("checkpointed", "1".to_string()));
+            }
+        }
+        Ok(Outcome::Reply(encode_ok(&pairs)))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_campaign(
+        &mut self,
+        n: u64,
+        seed: u64,
+        policy: RunPolicy,
+        priority: mde_numeric::Priority,
+        cost: u64,
+        threads: u64,
+        sql: &str,
+        opts: &RequestOpts,
+        checkpoint: Option<String>,
+        token: &CancelToken,
+    ) -> Result<Outcome, WireError> {
+        let plan =
+            plan_from_sql(sql).map_err(|e| WireError::fatal(WireCode::Parse, e.to_string()))?;
+        if self.specs.is_empty() {
+            return Err(WireError::fatal(
+                WireCode::BadRequest,
+                "CAMPAIGN requires at least one VG-registered random table in this session",
+            ));
+        }
+        let snapshot = self.engine.snapshot();
+        let query = MonteCarloQuery::new(self.specs.clone(), plan);
+
+        let mut run_opts = RunOptions::policy(policy).with_cancel(token.clone());
+        let ckpt_path = checkpoint
+            .as_deref()
+            .map(|name| self.engine.checkpoint_path(name))
+            .transpose()?;
+        if let Some(path) = &ckpt_path {
+            run_opts.checkpoint = Some(CheckpointSpec::new(path.clone()).every(16));
+        }
+
+        let mut campaign = McCampaign::new(query, (*snapshot).clone(), n as usize, seed, run_opts)
+            .with_threads(threads as usize);
+        if let Some(path) = ckpt_path.as_ref().filter(|p| p.exists()) {
+            let state = CampaignState::load(path)
+                .map_err(|e| WireError::fatal(WireCode::Exec, e.to_string()))?;
+            campaign = campaign.with_state(state);
+        }
+
+        let mut spec = CampaignSpec::new(&self.tenant, format!("s{}-r{}", self.id, self.req_seq))
+            .with_priority(priority)
+            .with_cost(cost);
+        if let Some(deadline) = self.deadline(opts) {
+            spec = spec.with_deadline(deadline);
+        }
+
+        let id = match self.engine.hub.submit(spec, Box::new(campaign)) {
+            Ok(id) => id,
+            Err(overload) => {
+                self.streak += 1;
+                self.engine
+                    .metrics
+                    .overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(overloaded_to_wire(&overload, &self.hints, self.streak));
+            }
+        };
+        self.streak = 0;
+
+        let report = self.engine.hub.wait(id);
+        let mut pairs: Vec<(&str, String)> = vec![
+            ("id", id.to_string()),
+            ("priority", report.priority.to_string()),
+            ("slices", report.slices.to_string()),
+            ("attempts", report.attempts.to_string()),
+        ];
+        match report.status {
+            CampaignStatus::Completed(out) => {
+                pairs.push(("status", "completed".to_string()));
+                pairs.push(("attempted", out.report.attempted.to_string()));
+                pairs.push(("succeeded", out.report.succeeded.to_string()));
+                pairs.push(("ci_widened", out.report.ci_widened.to_string()));
+                if let Some(v) = out.value {
+                    pairs.push(("value", format!("{v:?}")));
+                }
+                Ok(Outcome::Reply(encode_ok(&pairs)))
+            }
+            CampaignStatus::Preempted { resumable } => {
+                self.engine
+                    .metrics
+                    .cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                pairs.push(("status", "preempted".to_string()));
+                pairs.push(("resumable", resumable.to_string()));
+                if ckpt_path.is_some() {
+                    pairs.push(("checkpointed", "1".to_string()));
+                }
+                Ok(Outcome::Reply(encode_ok(&pairs)))
+            }
+            CampaignStatus::Rejected(overload) => {
+                self.streak += 1;
+                self.engine
+                    .metrics
+                    .overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(overloaded_to_wire(&overload, &self.hints, self.streak))
+            }
+            CampaignStatus::Failed { message } => Err(WireError::fatal(WireCode::Exec, message)),
+        }
+    }
+}
+
+fn stop_cause_token(cause: &StopCause) -> &'static str {
+    match cause {
+        StopCause::Deadline => "deadline",
+        StopCause::Cancelled => "cancelled",
+        StopCause::Preempted => "preempted",
+        StopCause::Shed => "shed",
+    }
+}

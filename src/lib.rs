@@ -12,4 +12,5 @@ pub use mde_harmonize as harmonize;
 pub use mde_mcdb as mcdb;
 pub use mde_metamodel as metamodel;
 pub use mde_numeric as numeric;
+pub use mde_server as server;
 pub use mde_simopt as simopt;
