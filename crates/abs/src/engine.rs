@@ -130,6 +130,11 @@ impl<E: PartialEq> EventQueue<E> {
     }
 
     /// Pop the next event, advancing the clock to its time.
+    ///
+    /// Named for the simulation loop (`while let Some(ev) = q.next()`),
+    /// not `Iterator`: popping mutates the clock, so lending it to
+    /// iterator adaptors would hide the time side effect.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Event<E>> {
         let ev = self.heap.pop()?;
         self.clock = ev.time;

@@ -81,12 +81,12 @@ impl SsvStore {
 
 /// Naive range query: linear scan — the correctness baseline (and the
 /// thing the k-d tree is benchmarked against in `mde-bench`).
-pub fn range_query_naive<'a>(
-    agents: &'a [AgentState],
+pub fn range_query_naive(
+    agents: &[AgentState],
     center: (f64, f64),
     radius: f64,
     pred: impl Fn(&AgentState) -> bool,
-) -> Vec<&'a AgentState> {
+) -> Vec<&AgentState> {
     let r2 = radius * radius;
     agents
         .iter()

@@ -282,6 +282,10 @@ impl ParticleFilter {
     /// Supervise one observation step: the attempt loop of
     /// [`ParticleFilter::run_supervised`], shared with the durable
     /// campaign path so both execute bit-identical filtering.
+    // One argument per supervised resource (model, proposal, stream
+    // factory, run options, ...); bundling them into a struct would be
+    // churn for a private call site shared by exactly two paths.
+    #[allow(clippy::too_many_arguments)]
     fn supervised_step<M, Q>(
         &self,
         model: &M,

@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use mde_mcdb::prelude::*;
 use mde_mcdb::query::{AggFunc, AggSpec, Plan};
+use mde_mcdb::value::Value as McdbValue;
 
 const DIM_ROWS: usize = 1_000;
 
@@ -66,6 +67,7 @@ fn star_catalog(fact_rows: usize, seed: u64) -> Catalog {
 
 fn op_plans(fact_rows: usize) -> Vec<(&'static str, Plan)> {
     vec![
+        ("scan", Plan::scan("FACT")),
         (
             "filter",
             Plan::scan("FACT").filter(
@@ -107,6 +109,22 @@ fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Bit-exact row rendering: floats by `to_bits`, so the seq-vs-parallel
+/// guardrail cannot be fooled by `-0.0 == 0.0` or NaN payloads.
+fn rows_bits(t: &Table) -> Vec<Vec<String>> {
+    t.rows()
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| match v {
+                    McdbValue::Float(f) => format!("F{:016x}", f.to_bits()),
+                    other => format!("{other:?}"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seed: u64 = std::env::var("MDE_CHAOS_SEED")
@@ -135,6 +153,42 @@ fn main() {
         ops.push((name, rows_out, vec_ms, legacy_ms));
     }
 
+    // ------------------------------------------------------------------
+    // Morsel-parallel sweep: 1/2/4/8 worker threads over the same
+    // operator suite, with a bit-exact seq-vs-parallel divergence
+    // guardrail. Speedups are meaningful only when `host_cpus` >= the
+    // thread count; the numbers are recorded honestly either way.
+    // ------------------------------------------------------------------
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let thread_counts = [1usize, 2, 4, 8];
+    let morsel_rows = ExecConfig::default().morsel_rows;
+    // (threads, [(op, median ms, megarows/s)])
+    type ThreadLane = (usize, Vec<(&'static str, f64, f64)>);
+    let mut per_thread: Vec<ThreadLane> = Vec::new();
+    for &threads in &thread_counts {
+        let mut lane = db.clone();
+        lane.set_exec_config(ExecConfig::with_threads(threads));
+        let mut lane_ops = Vec::new();
+        for (name, plan) in op_plans(fact_rows) {
+            let got = lane.query(&plan).expect("parallel execution");
+            let want = db.query(&plan).expect("sequential execution");
+            assert_eq!(
+                rows_bits(&want),
+                rows_bits(&got),
+                "seq-vs-parallel divergence on `{name}` at {threads} threads — \
+                 refusing to publish numbers"
+            );
+            let ms = time_ms(reps, || {
+                black_box(lane.query(black_box(&plan)).unwrap());
+            });
+            let mrows_s = fact_rows as f64 / 1e6 / (ms / 1e3).max(1e-9);
+            lane_ops.push((name, ms, mrows_s));
+        }
+        per_thread.push((threads, lane_ops));
+    }
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"bench\": \"query_engine\",\n  \"seed\": {seed},\n  \"mode\": \"{}\",\n",
@@ -153,7 +207,35 @@ fn main() {
             if i + 1 < ops.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"parallel\": {{\n    \"morsel_rows\": {morsel_rows},\n    \
+         \"host_cpus\": {host_cpus},\n    \"divergence\": \"none\",\n    \"threads\": [\n"
+    ));
+    for (i, (threads, lane_ops)) in per_thread.iter().enumerate() {
+        json.push_str(&format!("      {{\"threads\": {threads}, \"ops\": ["));
+        for (j, (name, ms, mrows_s)) in lane_ops.iter().enumerate() {
+            json.push_str(&format!(
+                "{{\"op\": \"{name}\", \"ms\": {ms:.3}, \"mrows_s\": {mrows_s:.2}}}{}",
+                if j + 1 < lane_ops.len() { ", " } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < per_thread.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n    \"speedup_8t\": {");
+    let one_t = &per_thread[0].1;
+    let eight_t = &per_thread[per_thread.len() - 1].1;
+    for (j, ((name, ms1, _), (_, ms8, _))) in one_t.iter().zip(eight_t).enumerate() {
+        json.push_str(&format!(
+            "\"{name}\": {:.2}{}",
+            ms1 / ms8.max(1e-9),
+            if j + 1 < one_t.len() { ", " } else { "" }
+        ));
+    }
+    json.push_str("}\n  }\n}\n");
 
     print!("{json}");
     if !quick {

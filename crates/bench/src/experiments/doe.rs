@@ -87,11 +87,11 @@ pub fn fig4_report() -> String {
     out.push_str("\nestimated vs true effects (effect = 2*beta on +/-1 codes):\n");
     let truth = [8.0, 0.0, -5.0, 0.0, 2.0, 0.0, 0.6];
     let mut rows = Vec::new();
-    for j in 0..7 {
+    for (j, &truth_j) in truth.iter().enumerate() {
         rows.push(vec![
             format!("x{}", j + 1),
             crate::f(me.effects[j]),
-            crate::f(truth[j]),
+            crate::f(truth_j),
             crate::f(pm.main_effect_coefficient(j)),
         ]);
     }

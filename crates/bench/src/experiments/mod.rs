@@ -34,8 +34,11 @@ pub use screening::factor_screening_report;
 pub use simsql::simsql_markov_report;
 pub use wildfire::wildfire_assimilation_report;
 
+/// One experiment: `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> String);
+
 /// Every experiment as `(id, title, runner)` — the run-all battery.
-pub fn all() -> Vec<(&'static str, &'static str, fn() -> String)> {
+pub fn all() -> Vec<Experiment> {
     vec![
         (
             "E0",

@@ -88,7 +88,7 @@ pub fn prediction_range_report() -> String {
         } else {
             acceptable_set(fine, &bounds, tol, 33, &mut rng).expect("set")
         };
-        let range = prediction_range(&set, |t2| media_blackout_adoption(t2));
+        let range = prediction_range(&set, media_blackout_adoption);
         let (lo, hi) = range.unwrap_or((f64::NAN, f64::NAN));
         widths.push(hi - lo);
         rows.push(vec![

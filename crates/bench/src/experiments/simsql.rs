@@ -68,7 +68,7 @@ pub fn simsql_markov_report() -> String {
     out.push_str("E4 | §2.1 SimSQL: database-valued Markov chain D[0..12]\n");
     out.push_str("PRICE[i] ~ N(1.02*PRICE[i-1], 0.2); DEMAND[i] ~ Poisson(1000/PRICE[i-1])\n\n");
     let mut rows = Vec::new();
-    for i in 0..=steps {
+    for (i, &price_i) in prices.iter().enumerate().take(steps + 1) {
         let demand = if i == 0 {
             "-".to_string()
         } else {
@@ -81,7 +81,7 @@ pub fn simsql_markov_report() -> String {
                     .expect("float"),
             )
         };
-        rows.push(vec![format!("D[{i}]"), crate::f(prices[i]), demand]);
+        rows.push(vec![format!("D[{i}]"), crate::f(price_i), demand]);
     }
     out.push_str(&crate::render_table(&["version", "price", "demand"], &rows));
 

@@ -36,7 +36,8 @@ pub fn solve_univariate(
     lo: f64,
     hi: f64,
 ) -> mde_numeric::Result<f64> {
-    if !(lo < hi) {
+    // `Less` required explicitly so a NaN endpoint is rejected too.
+    if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
         return Err(NumericError::invalid(
             "bracket",
             format!("need lo < hi, got [{lo}, {hi}]"),

@@ -286,7 +286,8 @@ mod tests {
         // Moment 1 identifies θ precisely; moment 2 is mostly noise *and
         // biased* (misspecified). Identity weighting lets the noisy moment
         // drag the estimate; efficient weighting shields it.
-        let make_sim = || -> Box<dyn Fn(&[f64], u64) -> Vec<f64>> {
+        type SimFn = Box<dyn Fn(&[f64], u64) -> Vec<f64>>;
+        let make_sim = || -> SimFn {
             Box::new(|theta: &[f64], seed: u64| {
                 let mut rng = mde_numeric::rng::rng_from_seed(seed);
                 vec![

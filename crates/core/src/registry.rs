@@ -158,7 +158,10 @@ impl Registry {
     pub fn metadata_json(&self) -> crate::Result<String> {
         #[derive(Serialize)]
         struct Manifest<'a> {
+            // Read only through the Serialize impl.
+            #[allow(dead_code)]
             models: Vec<&'a ModelMetadata>,
+            #[allow(dead_code)]
             datasets: Vec<&'a DatasetMetadata>,
         }
         let manifest = Manifest {

@@ -91,7 +91,7 @@ pub fn align(
         return Err(HarmonizeError::transform("no target times"));
     }
     for w in target_times.windows(2) {
-        if !(w[0] < w[1]) {
+        if w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less) {
             return Err(HarmonizeError::transform(
                 "target times must be strictly increasing",
             ));

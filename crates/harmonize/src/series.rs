@@ -30,7 +30,7 @@ impl TimeSeries {
             )));
         }
         for w in times.windows(2) {
-            if !(w[0] < w[1]) {
+            if w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less) {
                 return Err(HarmonizeError::series(format!(
                     "timestamps must be strictly increasing, got {} then {}",
                     w[0], w[1]

@@ -47,7 +47,7 @@ pub fn build_spline_system(s: &[f64], d: &[f64]) -> crate::Result<SplineSystem> 
         .filter(|&m| m >= 2)
         .ok_or_else(|| HarmonizeError::series("cubic spline needs at least 3 knots"))?;
     for w in s.windows(2) {
-        if !(w[0] < w[1]) {
+        if w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less) {
             return Err(HarmonizeError::series(
                 "knot times must be strictly increasing",
             ));

@@ -104,6 +104,11 @@ pub enum Expr {
     },
 }
 
+// The builder methods deliberately mirror SQL operator names (`add`,
+// `eq`, `not`, ...) rather than implementing the std operator traits:
+// `Expr` is a by-value AST builder, and the traits' by-ref semantics
+// and `Output` plumbing would obscure the DSL.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Column reference.
     pub fn col(name: impl Into<String>) -> Expr {

@@ -113,6 +113,14 @@ impl Batch {
         }
     }
 
+    /// Validate a selection vector destined for result materialization,
+    /// reporting failures under the `Batch::to_table` context. The
+    /// morsel-parallel executor validates once up front and then
+    /// materializes rows unchecked on worker threads.
+    pub(crate) fn check_sel(&self, sel: &[u32]) -> crate::Result<()> {
+        self.validate_sel("Batch::to_table", sel)
+    }
+
     /// Materialize a row-oriented [`Table`] named `name`, optionally
     /// restricted/reordered by a selection vector. Fails with a typed
     /// error if the selection vector addresses rows past the batch end.

@@ -73,6 +73,20 @@ impl NullMask {
         self.bits.as_deref()
     }
 
+    /// The bitmap words covering the 64-aligned lane window
+    /// `[start, start + len)`, or `None` when the mask never materialized
+    /// (all lanes valid). This is the zero-copy handoff to the SIMD
+    /// kernels in [`crate::query::simd`], which read lane `i` of the
+    /// window as `words[i / 64] >> (i % 64) & 1` — exactly why morsel
+    /// boundaries are required to be 64-lane aligned.
+    #[inline]
+    pub(crate) fn word_slice(&self, start: usize, len: usize) -> Option<&[u64]> {
+        debug_assert!(start.is_multiple_of(64) && start + len <= self.len);
+        self.bits
+            .as_deref()
+            .map(|b| &b[start / 64..start / 64 + len.div_ceil(64)])
+    }
+
     /// Rebuild a mask from persisted bitmap words. `words: None` must be
     /// used exactly when the original mask was all-valid so that decoded
     /// masks compare equal (`PartialEq`) to their pre-encode originals.
@@ -477,6 +491,81 @@ impl ColumnVec {
         }
     }
 
+    /// Concatenate many columns in one pass with a single allocation per
+    /// payload — the morsel-merge primitive. Semantically identical to a
+    /// left fold of [`ColumnVec::concat`] (including the untyped-all-null
+    /// adoption rules and the all-valid null-mask fast path) but O(total)
+    /// instead of O(total · parts).
+    ///
+    /// # Panics
+    ///
+    /// Like [`ColumnVec::concat`], if two parts carry different concrete
+    /// types — impossible when every part was produced by evaluating the
+    /// same expression over morsels of one batch.
+    pub(crate) fn concat_many(parts: Vec<ColumnVec>) -> ColumnVec {
+        if parts.len() == 1 {
+            return parts.into_iter().next().expect("one part");
+        }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let Some(dtype) = parts.iter().find_map(|p| p.dtype()) else {
+            return ColumnVec::AllNull { len: total };
+        };
+        let mut nulls = NullMask::all_valid(total);
+        let mut offset = 0;
+        for p in &parts {
+            match p {
+                ColumnVec::AllNull { len } => {
+                    for i in 0..*len {
+                        nulls.set_null(offset + i);
+                    }
+                }
+                _ => {
+                    for i in 0..p.len() {
+                        if p.is_null(i) {
+                            nulls.set_null(offset + i);
+                        }
+                    }
+                }
+            }
+            offset += p.len();
+        }
+        macro_rules! fill {
+            ($variant:ident, $ty:ty, $zero:expr, $extend:expr) => {{
+                let mut data: Vec<$ty> = Vec::with_capacity(total);
+                for p in &parts {
+                    match p {
+                        ColumnVec::$variant { data: d, .. } => $extend(&mut data, d),
+                        ColumnVec::AllNull { len } => {
+                            data.resize(data.len() + len, $zero);
+                        }
+                        other => unreachable!(
+                            "concat_many of mismatched column types {:?} and {:?}",
+                            Some(DataType::$variant),
+                            other.dtype()
+                        ),
+                    }
+                }
+                ColumnVec::$variant { data, nulls }
+            }};
+        }
+        match dtype {
+            DataType::Int => fill!(Int, i64, 0, |out: &mut Vec<i64>, d: &Vec<i64>| out
+                .extend_from_slice(d)),
+            DataType::Float => fill!(Float, f64, 0.0, |out: &mut Vec<f64>, d: &Vec<f64>| out
+                .extend_from_slice(d)),
+            DataType::Bool => fill!(Bool, bool, false, |out: &mut Vec<bool>, d: &Vec<bool>| out
+                .extend_from_slice(d)),
+            DataType::Str => fill!(
+                Str,
+                Arc<str>,
+                Arc::from(""),
+                |out: &mut Vec<Arc<str>>, d: &Vec<Arc<str>>| {
+                    out.extend(d.iter().map(Arc::clone))
+                }
+            ),
+        }
+    }
+
     /// Numeric widening to a declared column type: an `Int` column flowing
     /// into a `Float` column converts whole; everything else is unchanged
     /// (mismatches are caught by the projection validator).
@@ -574,6 +663,46 @@ mod tests {
             n.concat(&ColumnVec::AllNull { len: 1 }),
             ColumnVec::AllNull { len: 3 }
         );
+    }
+
+    #[test]
+    fn concat_many_matches_concat_fold() {
+        let parts = vec![
+            ColumnVec::from_values(vec![Value::from(1), Value::Null]).unwrap(),
+            ColumnVec::AllNull { len: 3 },
+            ColumnVec::from_values(vec![Value::from(7)]).unwrap(),
+        ];
+        let folded = parts
+            .iter()
+            .skip(1)
+            .fold(parts[0].clone(), |acc, p| acc.concat(p));
+        assert_eq!(ColumnVec::concat_many(parts), folded);
+
+        // All-AllNull stays untyped; all-valid fast path survives.
+        assert_eq!(
+            ColumnVec::concat_many(vec![
+                ColumnVec::AllNull { len: 2 },
+                ColumnVec::AllNull { len: 1 }
+            ]),
+            ColumnVec::AllNull { len: 3 }
+        );
+        let a = ColumnVec::from_values(vec![Value::from("x")]).unwrap();
+        let b = ColumnVec::from_values(vec![Value::from("y")]).unwrap();
+        match ColumnVec::concat_many(vec![a, b]) {
+            ColumnVec::Str { nulls, .. } => assert!(nulls.words().is_none()),
+            other => panic!("expected Str, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn word_slice_windows_align() {
+        let mut m = NullMask::all_valid(200);
+        assert!(m.word_slice(64, 64).is_none());
+        m.set_null(70);
+        let w = m.word_slice(64, 64).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0] >> 6 & 1, 1, "global lane 70 = local lane 6");
+        assert_eq!(m.word_slice(128, 72).unwrap().len(), 2);
     }
 
     #[test]

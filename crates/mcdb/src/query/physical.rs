@@ -17,20 +17,36 @@
 //! Null join keys never matching, validation errors) are identical to the
 //! legacy row-at-a-time interpreter in `exec.rs`, which is retained as the
 //! reference for differential tests.
+//!
+//! Execution is also *morsel-parallel*: each operator splits its lane
+//! space into 64-aligned morsels ([`crate::query::ExecConfig`]) that are
+//! dispatched round-robin onto scoped worker threads
+//! ([`crate::par::par_map_ordered`]) and merged back **in morsel order**.
+//! Because morsel decomposition depends only on the data and
+//! `morsel_rows` — never on the thread count — and every merge walks
+//! morsels in their fixed order (group-by accumulates in global lane
+//! order, join probe output concatenates in probe-lane order, errors
+//! resolve lowest-morsel-first), results are bit-identical to sequential
+//! execution at any thread count. Hot filter predicates and integer join
+//! probes additionally route through the runtime-dispatched SIMD kernels
+//! in [`crate::query::simd`], whose portable twins are exact, so SIMD
+//! availability never changes results either.
 
 use super::batch::Batch;
-use super::column::ColumnVec;
+use super::column::{ColumnVec, NullMask};
 use super::exec::{coerce, sql_sort_cmp, AggState};
-use super::{infer_type, planner, AggFunc, Catalog, Plan};
-use crate::expr::BoundExpr;
+use super::{infer_type, planner, simd, AggFunc, Catalog, Plan};
+use crate::expr::{BinOp, BoundExpr};
+use crate::par::{first_error, morsel_ranges, par_map_ordered};
 use crate::schema::{Column, DataType, Schema};
 use crate::storage::spill::{partition_of, SpilledBatch};
 use crate::table::{Row, Table};
-use crate::value::GroupKey;
+use crate::value::{GroupKey, Value};
 use crate::McdbError;
 use mde_numeric::obs::{Counter, Span, Tracer};
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 /// A unit of data flowing between physical operators: a shared columnar
@@ -69,6 +85,203 @@ impl Chunk {
     #[inline]
     fn value(&self, col: usize, lane: usize) -> crate::value::Value {
         self.batch.column(col).value(self.index(lane) as usize)
+    }
+}
+
+/// Per-execution state threaded through the operator tree: the catalog,
+/// the morsel/thread configuration, and the deterministic execution
+/// counters. Counters are atomics so `&ExecCtx` is `Sync` and morsel
+/// workers can bump them; every counter is a pure function of the data
+/// and the plan (never of the thread count or timing), except
+/// `morsel_nanos`, which is wall-clock and stays out-of-band.
+struct ExecCtx<'a> {
+    catalog: &'a Catalog,
+    threads: usize,
+    /// 64-aligned morsel size in lanes.
+    morsel_rows: usize,
+    /// Whether to accumulate per-morsel wall-clock (tracer enabled).
+    timing: bool,
+    /// Total morsels dispatched (including paged-scan page decodes).
+    morsels: AtomicU64,
+    /// Total lanes routed through SIMD-eligible batch kernels.
+    simd_lanes: AtomicU64,
+    /// Accumulated per-morsel wall-clock; out-of-band (`*_nanos`).
+    morsel_nanos: AtomicU64,
+}
+
+impl<'a> ExecCtx<'a> {
+    fn new(catalog: &'a Catalog, tracer: &Tracer) -> ExecCtx<'a> {
+        let exec = catalog.exec_config();
+        ExecCtx {
+            catalog,
+            threads: exec.threads.max(1),
+            morsel_rows: exec.aligned_morsel_rows(),
+            timing: tracer.enabled(),
+            morsels: AtomicU64::new(0),
+            simd_lanes: AtomicU64::new(0),
+            morsel_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Morsel ranges over `lanes`, with a single empty morsel for empty
+    /// input so operators still evaluate expressions exactly once (same
+    /// error surface as sequential execution over zero rows).
+    fn ranges(&self, lanes: usize) -> Vec<(usize, usize)> {
+        if lanes == 0 {
+            return vec![(0, 0)];
+        }
+        morsel_ranges(lanes, self.morsel_rows)
+    }
+
+    fn count_morsels(&self, n: usize) {
+        self.morsels.fetch_add(n as u64, AtomicOrdering::Relaxed);
+    }
+
+    fn count_simd_lanes(&self, n: usize) {
+        self.simd_lanes.fetch_add(n as u64, AtomicOrdering::Relaxed);
+    }
+
+    /// Run one morsel task, accumulating wall-clock when tracing.
+    fn timed<T>(&self, f: impl FnOnce() -> T) -> T {
+        if !self.timing {
+            return f();
+        }
+        let t0 = std::time::Instant::now();
+        let out = f();
+        self.morsel_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
+        out
+    }
+}
+
+/// The selection vector for morsel `[a, b)` of a chunk: `None` when the
+/// morsel is the entire unselected batch (the exact argument sequential
+/// execution passes), a materialized lane range when the chunk has no
+/// selection, or a slice of the chunk's selection otherwise.
+fn morsel_sel(chunk: &Chunk, a: usize, b: usize) -> Option<Vec<u32>> {
+    match chunk.sel_slice() {
+        None if a == 0 && b == chunk.batch.len() => None,
+        None => Some((a as u32..b as u32).collect()),
+        Some(s) => Some(s[a..b].to_vec()),
+    }
+}
+
+/// A comparison predicate eligible for the SIMD column-vs-literal filter
+/// kernels.
+#[derive(Clone, Copy)]
+enum FastCmp {
+    F64(simd::CmpOp, f64),
+    I64(simd::CmpOp, i64),
+}
+
+fn cmp_op_of(op: BinOp) -> Option<simd::CmpOp> {
+    match op {
+        BinOp::Eq => Some(simd::CmpOp::Eq),
+        BinOp::Ne => Some(simd::CmpOp::Ne),
+        BinOp::Lt => Some(simd::CmpOp::Lt),
+        BinOp::Le => Some(simd::CmpOp::Le),
+        BinOp::Gt => Some(simd::CmpOp::Gt),
+        BinOp::Ge => Some(simd::CmpOp::Ge),
+        _ => None,
+    }
+}
+
+/// Mirror a comparison across its operands (`lit op col` → `col op' lit`).
+fn flip_cmp(op: simd::CmpOp) -> simd::CmpOp {
+    match op {
+        simd::CmpOp::Eq => simd::CmpOp::Eq,
+        simd::CmpOp::Ne => simd::CmpOp::Ne,
+        simd::CmpOp::Lt => simd::CmpOp::Gt,
+        simd::CmpOp::Le => simd::CmpOp::Ge,
+        simd::CmpOp::Gt => simd::CmpOp::Lt,
+        simd::CmpOp::Ge => simd::CmpOp::Le,
+    }
+}
+
+/// Detect a `col <cmp> literal` predicate over an unselected Float/Int
+/// column — the shape the SIMD comparison kernels accept with results
+/// bit-identical to the generic path. Float-literal-vs-Int-column and
+/// NaN literals fall back to the generic path so coercion and error
+/// semantics stay byte-for-byte those of `eval_batch`.
+fn filter_fast_path(chunk: &Chunk, predicate: &BoundExpr) -> Option<(usize, FastCmp)> {
+    if chunk.sel.is_some() {
+        return None;
+    }
+    let (op, col, lit, flipped) = match predicate {
+        BoundExpr::Binary { op, left, right } => match (left.as_ref(), right.as_ref()) {
+            (BoundExpr::Col(i), BoundExpr::Lit(v)) => (*op, *i, v, false),
+            (BoundExpr::Lit(v), BoundExpr::Col(i)) => (*op, *i, v, true),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let op = cmp_op_of(op)?;
+    let op = if flipped { flip_cmp(op) } else { op };
+    match (chunk.batch.column(col), lit) {
+        (ColumnVec::Float { .. }, Value::Float(x)) if !x.is_nan() => {
+            Some((col, FastCmp::F64(op, *x)))
+        }
+        (ColumnVec::Float { .. }, Value::Int(x)) => Some((col, FastCmp::F64(op, *x as f64))),
+        (ColumnVec::Int { .. }, Value::Int(x)) => Some((col, FastCmp::I64(op, *x))),
+        _ => None,
+    }
+}
+
+/// Chained hash index over a single Int join key, bucketed by the same
+/// [`simd::hash_i64_one`] hash the batched probe kernel computes. Bucket
+/// entries keep build-lane order, so per probe key the matches come out
+/// in ascending build lane — exactly the order the generic
+/// `HashMap<key, Vec<lane>>` index yields.
+struct IntIndex {
+    mask: u64,
+    buckets: Vec<Vec<(i64, u32)>>,
+}
+
+impl IntIndex {
+    fn build(chunk: &Chunk, col: usize) -> Option<IntIndex> {
+        let (data, nulls) = match chunk.batch.column(col) {
+            ColumnVec::Int { data, nulls } => (data, nulls),
+            _ => return None,
+        };
+        let lanes = chunk.len();
+        let cap = (lanes.max(1) * 2).next_power_of_two();
+        let mask = (cap - 1) as u64;
+        let mut buckets = vec![Vec::new(); cap];
+        for lane in 0..lanes {
+            let row = chunk.index(lane) as usize;
+            if !nulls.is_null(row) {
+                let k = data[row];
+                buckets[(simd::hash_i64_one(k) & mask) as usize].push((k, lane as u32));
+            }
+        }
+        Some(IntIndex { mask, buckets })
+    }
+
+    /// Probe lanes `base..base + keys.len()` (an unselected probe chunk,
+    /// so lane == batch row), emitting matching lane pairs oriented by
+    /// `build_right`. Hashes for the whole morsel are computed by the
+    /// batched SIMD kernel.
+    fn probe(
+        &self,
+        keys: &[i64],
+        nulls: &NullMask,
+        base: usize,
+        build_right: bool,
+    ) -> Vec<(u32, u32)> {
+        let hashes = simd::hash_i64_batch(keys);
+        let mut out = Vec::new();
+        for (i, (&k, &h)) in keys.iter().zip(&hashes).enumerate() {
+            if nulls.is_null(base + i) {
+                continue;
+            }
+            let lane = (base + i) as u32;
+            for &(bk, bl) in &self.buckets[(h & self.mask) as usize] {
+                if bk == k {
+                    out.push(if build_right { (lane, bl) } else { (bl, lane) });
+                }
+            }
+        }
+        out
     }
 }
 
@@ -216,13 +429,28 @@ impl PreparedQuery {
     /// are inert and nothing allocates.
     pub fn execute_traced(&self, catalog: &Catalog, tracer: &Tracer) -> crate::Result<Table> {
         self.executions.inc();
+        let ctx = ExecCtx::new(catalog, tracer);
         let mut span = tracer.root("query");
         span.record("exec", self.executions.get());
-        let chunk = run(&self.root, catalog, &span)?;
-        let table = chunk
-            .batch
-            .to_table(self.root.result_name(), chunk.sel_slice())?;
+        let chunk = run(&self.root, &ctx, &span)?;
+        let table = materialize(&chunk, self.root.result_name(), &ctx)?;
         span.record("rows_out", table.len());
+        // Deterministic execution counters: pure functions of the data and
+        // the plan, identical at every thread count and with or without
+        // SIMD. Wall-clock stays out-of-band under the `*_nanos` suffix —
+        // the deterministic ledger is every field EXCEPT `*_nanos` and
+        // span durations (DESIGN.md §6g).
+        span.record("query.morsels", ctx.morsels.load(AtomicOrdering::Relaxed));
+        span.record(
+            "query.simd_lanes",
+            ctx.simd_lanes.load(AtomicOrdering::Relaxed),
+        );
+        if ctx.timing {
+            span.record(
+                "query.morsel_nanos",
+                ctx.morsel_nanos.load(AtomicOrdering::Relaxed),
+            );
+        }
         Ok(table)
     }
 }
@@ -387,11 +615,38 @@ fn build(plan: &Plan, catalog: &Catalog) -> crate::Result<(PhysOp, Schema)> {
     }
 }
 
-fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
+/// Materialize the root chunk as a row-oriented table: validate the
+/// selection vector once, then build rows morsel-parallel and append
+/// them in morsel order.
+fn materialize(chunk: &Chunk, name: &str, ctx: &ExecCtx) -> crate::Result<Table> {
+    if let Some(sel) = chunk.sel_slice() {
+        chunk.batch.check_sel(sel)?;
+    }
+    let lanes = chunk.len();
+    let ranges = ctx.ranges(lanes);
+    ctx.count_morsels(ranges.len());
+    let parts = par_map_ordered(ctx.threads, ranges.len(), |m| {
+        let (a, b) = ranges[m];
+        Ok(ctx.timed(|| {
+            (a..b)
+                .map(|lane| chunk.batch.row(chunk.index(lane) as usize))
+                .collect::<Vec<Row>>()
+        }))
+    });
+    let mut out = Table::new(name, chunk.batch.schema().clone());
+    for part in first_error(parts)? {
+        for row in part {
+            out.push_row_unchecked(row);
+        }
+    }
+    Ok(out)
+}
+
+fn run(op: &PhysOp, ctx: &ExecCtx, parent: &Span) -> crate::Result<Chunk> {
     match op {
         PhysOp::Scan { table, schema } => {
             let mut span = parent.child("scan");
-            let t = catalog.get(table)?;
+            let t = ctx.catalog.get(table)?;
             if t.schema() != schema {
                 return Err(McdbError::invalid_plan(format!(
                     "prepared plan is stale: schema of table `{table}` changed since prepare"
@@ -404,9 +659,13 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
             // hit/eviction counters are timing-dependent and stay
             // out-of-band in `PoolStats`.
             let reads_before = t.paged_store().map(|s| s.logical_reads());
-            let chunk = Chunk::from_batch(t.try_batch()?);
+            let chunk = Chunk::from_batch(t.try_batch_parallel(ctx.threads)?);
             if let (Some(before), Some(store)) = (reads_before, t.paged_store()) {
-                span.record("storage.page_reads", store.logical_reads() - before);
+                let pages = store.logical_reads() - before;
+                span.record("storage.page_reads", pages);
+                // Paged scans parallelize per page frame: each decoded
+                // page is one morsel.
+                ctx.morsels.fetch_add(pages, AtomicOrdering::Relaxed);
             }
             span.record("rows", chunk.len());
             Ok(chunk)
@@ -419,32 +678,84 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
         }
         PhysOp::Filter { input, predicate } => {
             let mut span = parent.child("filter");
-            let chunk = run(input, catalog, &span)?;
-            span.record("rows_in", chunk.len());
-            let pred = predicate.eval_batch(&chunk.batch, chunk.sel_slice())?;
-            let mut sel = Vec::new();
-            match &pred {
-                ColumnVec::Bool { data, nulls } => {
-                    for (lane, &keep) in data.iter().enumerate() {
-                        if keep && !nulls.is_null(lane) {
-                            sel.push(chunk.index(lane));
+            let chunk = run(input, ctx, &span)?;
+            let lanes = chunk.len();
+            span.record("rows_in", lanes);
+            let ranges = ctx.ranges(lanes);
+            ctx.count_morsels(ranges.len());
+            let sel: Vec<u32> = if let Some((col, fast)) = filter_fast_path(&chunk, predicate) {
+                // SIMD fast path: the comparison kernels consume the
+                // column slice and its null words directly; morsel
+                // boundaries are 64-aligned so each morsel borrows whole
+                // mask words. Lane eligibility is counted regardless of
+                // whether AVX2 is actually available.
+                ctx.count_simd_lanes(lanes);
+                let parts = par_map_ordered(ctx.threads, ranges.len(), |m| {
+                    let (a, b) = ranges[m];
+                    Ok(ctx.timed(|| {
+                        let mut local = match (fast, chunk.batch.column(col)) {
+                            (FastCmp::F64(op, lit), ColumnVec::Float { data, nulls }) => {
+                                simd::cmp_f64_lit(op, &data[a..b], lit, nulls.word_slice(a, b - a))
+                            }
+                            (FastCmp::I64(op, lit), ColumnVec::Int { data, nulls }) => {
+                                simd::cmp_i64_lit(op, &data[a..b], lit, nulls.word_slice(a, b - a))
+                            }
+                            // `filter_fast_path` only emits matching pairs.
+                            _ => Vec::new(),
+                        };
+                        for s in &mut local {
+                            *s += a as u32;
                         }
-                    }
+                        local
+                    }))
+                });
+                first_error(parts)?.into_iter().flatten().collect()
+            } else {
+                // Generic path: evaluate the predicate per morsel, then
+                // compact true-and-not-null lanes with the SIMD bool
+                // kernel. Merging concatenates in morsel order, so the
+                // selection vector is identical at every thread count.
+                let parts = par_map_ordered(ctx.threads, ranges.len(), |m| {
+                    let (a, b) = ranges[m];
+                    ctx.timed(|| {
+                        let msel = morsel_sel(&chunk, a, b);
+                        let pred = predicate.eval_batch(&chunk.batch, msel.as_deref())?;
+                        let mlen = b - a;
+                        match &pred {
+                            ColumnVec::Bool { data, nulls } => {
+                                let local =
+                                    simd::compact_bool_lanes(data, nulls.word_slice(0, mlen));
+                                let mapped: Vec<u32> = local
+                                    .into_iter()
+                                    .map(|l| chunk.index(a + l as usize))
+                                    .collect();
+                                Ok((mapped, mlen))
+                            }
+                            // All-null predicate: NULL is not true.
+                            ColumnVec::AllNull { .. } => Ok((Vec::new(), 0)),
+                            other => {
+                                // Same error the row engine raises at the
+                                // first row whose predicate value is
+                                // non-Bool and non-Null.
+                                if let Some(i) = (0..other.len()).find(|&i| !other.is_null(i)) {
+                                    return Err(McdbError::type_mismatch(
+                                        "filter predicate",
+                                        "Bool or NULL",
+                                        format!("{}", other.value(i)),
+                                    ));
+                                }
+                                Ok((Vec::new(), 0))
+                            }
+                        }
+                    })
+                });
+                let mut sel = Vec::new();
+                for (part, simd_lanes) in first_error(parts)? {
+                    ctx.count_simd_lanes(simd_lanes);
+                    sel.extend(part);
                 }
-                // All-null predicate: NULL is not true, keep nothing.
-                ColumnVec::AllNull { .. } => {}
-                other => {
-                    // Same error the row engine raises at the first row
-                    // whose predicate value is non-Bool and non-Null.
-                    if let Some(i) = (0..other.len()).find(|&i| !other.is_null(i)) {
-                        return Err(McdbError::type_mismatch(
-                            "filter predicate",
-                            "Bool or NULL",
-                            format!("{}", other.value(i)),
-                        ));
-                    }
-                }
-            }
+                sel
+            };
             span.record("rows_out", sel.len());
             Ok(Chunk {
                 batch: chunk.batch,
@@ -457,17 +768,51 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
             schema,
         } => {
             let mut span = parent.child("project");
-            let chunk = run(input, catalog, &span)?;
+            let chunk = run(input, ctx, &span)?;
             let len = chunk.len();
             span.record("rows", len);
-            let mut cols = Vec::with_capacity(exprs.len());
-            for (b, col) in exprs.iter().zip(schema.columns()) {
-                let c = b
-                    .eval_batch(&chunk.batch, chunk.sel_slice())?
-                    .coerce_to(col.dtype);
-                validate_column(&c, col)?;
-                cols.push(c);
+            let ranges = ctx.ranges(len);
+            ctx.count_morsels(ranges.len());
+            // Each morsel evaluates and validates EVERY output column,
+            // recording per-column results instead of stopping at the
+            // first failure, so the merge below can surface errors
+            // column-major — the order sequential execution discovers
+            // them in.
+            let parts = par_map_ordered(ctx.threads, ranges.len(), |m| {
+                let (a, b) = ranges[m];
+                Ok(ctx.timed(|| {
+                    let msel = morsel_sel(&chunk, a, b);
+                    exprs
+                        .iter()
+                        .zip(schema.columns())
+                        .map(|(e, col)| {
+                            let c = e
+                                .eval_batch(&chunk.batch, msel.as_deref())?
+                                .coerce_to(col.dtype);
+                            validate_column(&c, col)?;
+                            Ok(c)
+                        })
+                        .collect::<Vec<crate::Result<ColumnVec>>>()
+                }))
+            });
+            let parts = first_error(parts)?;
+            for j in 0..exprs.len() {
+                for part in &parts {
+                    if let Err(e) = &part[j] {
+                        return Err(e.clone());
+                    }
+                }
             }
+            let mut col_parts: Vec<Vec<ColumnVec>> = (0..exprs.len())
+                .map(|_| Vec::with_capacity(parts.len()))
+                .collect();
+            for part in parts {
+                for (j, r) in part.into_iter().enumerate() {
+                    // Cannot fail: errors were surfaced column-major above.
+                    col_parts[j].push(r?);
+                }
+            }
+            let cols: Vec<ColumnVec> = col_parts.into_iter().map(ColumnVec::concat_many).collect();
             let batch = Batch::from_columns(schema.clone(), cols, len)?;
             Ok(Chunk::from_batch(Arc::new(batch)))
         }
@@ -479,8 +824,8 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
             schema,
         } => {
             let mut span = parent.child("join");
-            let lc = run(left, catalog, &span)?;
-            let rc = run(right, catalog, &span)?;
+            let lc = run(left, ctx, &span)?;
+            let rc = run(right, ctx, &span)?;
             let (l_lanes, r_lanes) = (lc.len(), rc.len());
             span.record("left_rows", l_lanes);
             span.record("right_rows", r_lanes);
@@ -502,7 +847,7 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
             // Matching (left lane, right lane) pairs in the reference
             // output order: ascending left lane, then ascending right lane.
             let mut pairs: Vec<(u32, u32)> = Vec::new();
-            let spill = catalog.spill_config();
+            let spill = ctx.catalog.spill_config();
             if l_lanes.min(r_lanes) > spill.threshold_rows {
                 // Grace hash join: the build side exceeds the spill
                 // threshold, so both inputs are hash-partitioned by join
@@ -581,55 +926,95 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
                 }
                 span.record("spill_rows", spill_rows);
                 pairs.sort_unstable();
-            } else if r_lanes <= l_lanes {
-                // Build on the right (ties keep the legacy choice), probe
-                // the left in lane order — pairs come out ordered already.
-                let mut index: HashMap<Vec<GroupKey>, Vec<u32>> = HashMap::new();
-                for lane in 0..r_lanes {
-                    if let Some(key) = key_of(&rc, right_keys, lane) {
-                        index.entry(key).or_default().push(lane as u32);
-                    }
-                }
-                for lane in 0..l_lanes {
-                    if let Some(key) = key_of(&lc, left_keys, lane) {
-                        if let Some(matches) = index.get(&key) {
-                            for &r in matches {
-                                pairs.push((lane as u32, r));
-                            }
-                        }
-                    }
-                }
             } else {
-                // Smaller left side: build on the left, probe the right,
-                // then restore left-major order so the output is
-                // bit-identical to the right-build plan.
-                let mut index: HashMap<Vec<GroupKey>, Vec<u32>> = HashMap::new();
-                for lane in 0..l_lanes {
-                    if let Some(key) = key_of(&lc, left_keys, lane) {
-                        index.entry(key).or_default().push(lane as u32);
+                // In-memory path: build a hash index over the smaller side
+                // sequentially (ties keep the legacy right build), then
+                // probe the larger side morsel-parallel. Per-morsel pair
+                // vectors concatenate in morsel order, so a right build
+                // emerges in the reference order (ascending probe lane ×
+                // ascending build lane) directly; a left build restores it
+                // with the same global sort the sequential code used.
+                let build_right = r_lanes <= l_lanes;
+                let (bc, b_keys, b_lanes, pc, p_keys, p_lanes) = if build_right {
+                    (&rc, right_keys, r_lanes, &lc, left_keys, l_lanes)
+                } else {
+                    (&lc, left_keys, l_lanes, &rc, right_keys, r_lanes)
+                };
+                let ranges = ctx.ranges(p_lanes);
+                ctx.count_morsels(ranges.len());
+                // Single-Int-key joins over an unselected probe chunk use
+                // the batched hash kernel and a chained Int index; the
+                // bucket scan preserves build-lane order, so pairs match
+                // the generic index exactly.
+                let int_probe = if b_keys.len() == 1 && pc.sel.is_none() {
+                    match (bc.batch.column(b_keys[0]), pc.batch.column(p_keys[0])) {
+                        (ColumnVec::Int { .. }, ColumnVec::Int { data, nulls }) => {
+                            IntIndex::build(bc, b_keys[0]).map(|ix| (ix, data, nulls))
+                        }
+                        _ => None,
                     }
-                }
-                for lane in 0..r_lanes {
-                    if let Some(key) = key_of(&rc, right_keys, lane) {
-                        if let Some(matches) = index.get(&key) {
-                            for &l in matches {
-                                pairs.push((l, lane as u32));
-                            }
+                } else {
+                    None
+                };
+                if let Some((index, pdata, pnulls)) = int_probe {
+                    ctx.count_simd_lanes(p_lanes);
+                    let parts = par_map_ordered(ctx.threads, ranges.len(), |m| {
+                        let (a, b) = ranges[m];
+                        Ok(ctx.timed(|| index.probe(&pdata[a..b], pnulls, a, build_right)))
+                    });
+                    for part in first_error(parts)? {
+                        pairs.extend(part);
+                    }
+                } else {
+                    let mut index: HashMap<Vec<GroupKey>, Vec<u32>> = HashMap::new();
+                    for lane in 0..b_lanes {
+                        if let Some(key) = key_of(bc, b_keys, lane) {
+                            index.entry(key).or_default().push(lane as u32);
                         }
                     }
+                    let parts = par_map_ordered(ctx.threads, ranges.len(), |m| {
+                        let (a, b) = ranges[m];
+                        Ok(ctx.timed(|| {
+                            let mut out = Vec::new();
+                            for lane in a..b {
+                                if let Some(key) = key_of(pc, p_keys, lane) {
+                                    if let Some(matches) = index.get(&key) {
+                                        for &bl in matches {
+                                            out.push(if build_right {
+                                                (lane as u32, bl)
+                                            } else {
+                                                (bl, lane as u32)
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            out
+                        }))
+                    });
+                    for part in first_error(parts)? {
+                        pairs.extend(part);
+                    }
                 }
-                pairs.sort_unstable();
+                if !build_right {
+                    pairs.sort_unstable();
+                }
             }
 
             let l_sel: Vec<u32> = pairs.iter().map(|&(l, _)| lc.index(l as usize)).collect();
             let r_sel: Vec<u32> = pairs.iter().map(|&(_, r)| rc.index(r as usize)).collect();
-            let mut cols = Vec::with_capacity(schema.len());
-            for c in lc.batch.columns() {
-                cols.push(c.gather(&l_sel));
-            }
-            for c in rc.batch.columns() {
-                cols.push(c.gather(&r_sel));
-            }
+            // Output columns gather independently — one task per column.
+            let n_left = lc.batch.columns().len();
+            let n_cols = n_left + rc.batch.columns().len();
+            let cols = first_error(par_map_ordered(ctx.threads, n_cols, |j| {
+                Ok(ctx.timed(|| {
+                    if j < n_left {
+                        lc.batch.column(j).gather(&l_sel)
+                    } else {
+                        rc.batch.column(j - n_left).gather(&r_sel)
+                    }
+                }))
+            }))?;
             span.record("rows_out", pairs.len());
             let batch = Batch::from_columns(schema.clone(), cols, pairs.len())?;
             Ok(Chunk::from_batch(Arc::new(batch)))
@@ -642,10 +1027,10 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
             schema,
         } => {
             let mut span = parent.child("aggregate");
-            let chunk = run(input, catalog, &span)?;
+            let chunk = run(input, ctx, &span)?;
             let lanes = chunk.len();
             span.record("rows_in", lanes);
-            let spill = catalog.spill_config();
+            let spill = ctx.catalog.spill_config();
             if lanes > spill.threshold_rows && !group_idx.is_empty() {
                 // Grace-partitioned aggregation: the input exceeds the
                 // spill threshold, so lanes are hash-partitioned by group
@@ -722,33 +1107,55 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
                 span.record("groups", out.len());
                 return Ok(Chunk::from_batch(out.batch()));
             }
-            // Argument expressions evaluate once as whole columns.
-            let arg_cols: Vec<Option<ColumnVec>> = agg_args
-                .iter()
-                .map(|a| {
-                    a.as_ref()
-                        .map(|b| b.eval_batch(&chunk.batch, chunk.sel_slice()))
-                        .transpose()
+            // Per-morsel parallel phase: evaluate argument expressions and
+            // group keys for the morsel's lanes. The merge below walks
+            // morsels (and lanes within them) in global order, so group
+            // discovery order and floating-point accumulation order are
+            // exactly those of sequential execution.
+            let ranges = ctx.ranges(lanes);
+            ctx.count_morsels(ranges.len());
+            let parts = par_map_ordered(ctx.threads, ranges.len(), |m| {
+                let (a, b) = ranges[m];
+                ctx.timed(|| {
+                    let msel = morsel_sel(&chunk, a, b);
+                    let arg_cols: Vec<Option<ColumnVec>> = agg_args
+                        .iter()
+                        .map(|x| {
+                            x.as_ref()
+                                .map(|e| e.eval_batch(&chunk.batch, msel.as_deref()))
+                                .transpose()
+                        })
+                        .collect::<crate::Result<_>>()?;
+                    let keys: Vec<Vec<GroupKey>> = (a..b)
+                        .map(|lane| {
+                            group_idx
+                                .iter()
+                                .map(|&j| chunk.value(j, lane).group_key())
+                                .collect()
+                        })
+                        .collect();
+                    Ok((arg_cols, keys))
                 })
-                .collect::<crate::Result<_>>()?;
+            });
+            let parts = first_error(parts)?;
 
             let mut states: HashMap<Vec<GroupKey>, (Row, Vec<AggState>)> = HashMap::new();
             let mut order: Vec<Vec<GroupKey>> = Vec::new();
-            for lane in 0..lanes {
-                let key: Vec<GroupKey> = group_idx
-                    .iter()
-                    .map(|&j| chunk.value(j, lane).group_key())
-                    .collect();
-                let entry = states.entry(key.clone()).or_insert_with(|| {
-                    order.push(key);
-                    (
-                        group_idx.iter().map(|&j| chunk.value(j, lane)).collect(),
-                        agg_funcs.iter().map(|&f| AggState::new(f)).collect(),
-                    )
-                });
-                for (state, col) in entry.1.iter_mut().zip(&arg_cols) {
-                    let v = col.as_ref().map(|c| c.value(lane));
-                    state.update(v)?;
+            for (m, (arg_cols, keys)) in parts.iter().enumerate() {
+                let (a, _) = ranges[m];
+                for (local, key) in keys.iter().enumerate() {
+                    let lane = a + local;
+                    let entry = states.entry(key.clone()).or_insert_with(|| {
+                        order.push(key.clone());
+                        (
+                            group_idx.iter().map(|&j| chunk.value(j, lane)).collect(),
+                            agg_funcs.iter().map(|&f| AggState::new(f)).collect(),
+                        )
+                    });
+                    for (state, col) in entry.1.iter_mut().zip(arg_cols) {
+                        let v = col.as_ref().map(|c| c.value(local));
+                        state.update(v)?;
+                    }
                 }
             }
 
@@ -788,14 +1195,37 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
         }
         PhysOp::Sort { input, keys } => {
             let mut span = parent.child("sort");
-            let chunk = run(input, catalog, &span)?;
+            let chunk = run(input, ctx, &span)?;
             let lanes = chunk.len();
             span.record("rows", lanes);
-            // Precompute whole key columns so the comparator is infallible.
-            let key_cols: Vec<(ColumnVec, bool)> = keys
-                .iter()
-                .map(|(b, asc)| Ok((b.eval_batch(&chunk.batch, chunk.sel_slice())?, *asc)))
-                .collect::<crate::Result<_>>()?;
+            // Precompute whole key columns so the comparator is
+            // infallible. Key evaluation morselizes; the comparator sort
+            // itself stays sequential (it is a stable global order).
+            let ranges = ctx.ranges(lanes);
+            ctx.count_morsels(ranges.len());
+            let parts = par_map_ordered(ctx.threads, ranges.len(), |m| {
+                let (a, b) = ranges[m];
+                ctx.timed(|| {
+                    let msel = morsel_sel(&chunk, a, b);
+                    keys.iter()
+                        .map(|(e, _)| e.eval_batch(&chunk.batch, msel.as_deref()))
+                        .collect::<crate::Result<Vec<ColumnVec>>>()
+                })
+            });
+            let parts = first_error(parts)?;
+            let mut per_key: Vec<Vec<ColumnVec>> = (0..keys.len())
+                .map(|_| Vec::with_capacity(parts.len()))
+                .collect();
+            for part in parts {
+                for (k, c) in part.into_iter().enumerate() {
+                    per_key[k].push(c);
+                }
+            }
+            let key_cols: Vec<(ColumnVec, bool)> = per_key
+                .into_iter()
+                .zip(keys)
+                .map(|(cp, (_, asc))| (ColumnVec::concat_many(cp), *asc))
+                .collect();
             let mut perm: Vec<u32> = (0..lanes as u32).collect();
             perm.sort_by(|&a, &b| {
                 for (col, asc) in &key_cols {
@@ -815,7 +1245,7 @@ fn run(op: &PhysOp, catalog: &Catalog, parent: &Span) -> crate::Result<Chunk> {
         }
         PhysOp::Limit { input, n } => {
             let mut span = parent.child("limit");
-            let chunk = run(input, catalog, &span)?;
+            let chunk = run(input, ctx, &span)?;
             span.record("rows_in", chunk.len());
             let n = *n;
             let sel = match chunk.sel {
@@ -1182,6 +1612,79 @@ mod tests {
             prepared.execute(&Catalog::new()).unwrap_err(),
             McdbError::UnknownTable { .. }
         ));
+    }
+
+    #[test]
+    fn morsel_parallel_is_bit_identical_across_thread_counts() {
+        use crate::query::ExecConfig;
+        // 1000 rows with 64-lane morsels → 16 morsels per operator, so
+        // every merge path (SIMD filter fast path, generic filter, Int
+        // join probe, group-by accumulation, sort keys, projection
+        // concat) crosses real morsel boundaries.
+        let mut c = Catalog::new();
+        let mut t = Table::new(
+            "big",
+            Schema::from_pairs(&[("k", DataType::Int), ("x", DataType::Float)]).unwrap(),
+        );
+        for i in 0..1000i64 {
+            t.push_row(vec![
+                if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::from(i % 7)
+                },
+                if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::from(i as f64 * 0.37)
+                },
+            ])
+            .unwrap();
+        }
+        c.insert(t);
+        c.insert(
+            Table::build("dim", &[("k2", DataType::Int), ("w", DataType::Float)])
+                .rows((0..7).map(|i| vec![Value::from(i), Value::from(i as f64 + 0.5)]))
+                .finish()
+                .unwrap(),
+        );
+        let plans = vec![
+            Plan::scan("big").filter(Expr::col("x").gt(Expr::lit(100.0))),
+            Plan::scan("big").filter(Expr::lit(3).le(Expr::col("k"))),
+            Plan::scan("big").join(Plan::scan("dim"), &[("k", "k2")]),
+            Plan::scan("big").aggregate(
+                &["k"],
+                vec![
+                    AggSpec::count_star("n"),
+                    AggSpec::new("s", AggFunc::Sum, Expr::col("x")),
+                ],
+            ),
+            Plan::scan("big")
+                .sort(vec![SortKey::desc(Expr::col("x"))])
+                .limit(10),
+            Plan::scan("big").project(&[("y", Expr::col("x").mul(Expr::lit(2.0)))]),
+        ];
+        for plan in &plans {
+            let mut seq = c.clone();
+            seq.set_exec_config(ExecConfig {
+                threads: 1,
+                morsel_rows: 64,
+            });
+            let want = seq.query(plan).unwrap();
+            for threads in [2, 4, 8] {
+                let mut par = c.clone();
+                par.set_exec_config(ExecConfig {
+                    threads,
+                    morsel_rows: 64,
+                });
+                assert_eq!(
+                    par.query(plan).unwrap(),
+                    want,
+                    "threads={threads} diverged for {}",
+                    plan.explain()
+                );
+            }
+        }
     }
 
     #[test]

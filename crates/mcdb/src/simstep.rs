@@ -41,10 +41,13 @@ where
     }
 }
 
+/// Neighborhood expansion: maps a partition key to its adjacent keys.
+pub type AdjacencyFn = Arc<dyn Fn(&Value) -> Vec<Value> + Send + Sync>;
+
 /// An ABS engine whose step is a neighborhood-partitioned self-join.
 pub struct SelfJoinSim {
     key_column: String,
-    adjacency: Arc<dyn Fn(&Value) -> Vec<Value> + Send + Sync>,
+    adjacency: AdjacencyFn,
     transition: Arc<dyn AgentTransition>,
     threads: usize,
 }
@@ -113,8 +116,8 @@ impl SelfJoinSim {
         let factory = StreamFactory::new(seed);
         let n_parts = part_rows.len();
         let threads = self.threads.min(n_parts.max(1));
-        let mut results: Vec<Option<crate::Result<Vec<(usize, Row)>>>> =
-            (0..threads).map(|_| None).collect();
+        type PartOut = crate::Result<Vec<(usize, Row)>>;
+        let mut results: Vec<Option<PartOut>> = (0..threads).map(|_| None).collect();
 
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();

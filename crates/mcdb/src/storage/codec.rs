@@ -61,6 +61,18 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// The file path failures are attributed to.
+    #[cfg(test)]
+    pub(crate) fn path(&self) -> &'a str {
+        self.path
+    }
+
+    /// The page number failures are attributed to.
+    #[cfg(test)]
+    pub(crate) fn page(&self) -> u64 {
+        self.page
+    }
+
     /// Typed corruption error at the cursor's location.
     pub(crate) fn corrupt(&self, reason: impl Into<String>) -> McdbError {
         McdbError::PageCorrupt {

@@ -320,6 +320,91 @@ fn encode_str(data: &[Arc<str>], out: &mut Vec<u8>) -> Encoding {
 // Decoding
 // ---------------------------------------------------------------------------
 
+/// One fully decoded page body — the output of [`decode_page`].
+///
+/// Decoding is **pure**: every encoding is page-local (bit-pack bases,
+/// RLE runs, and string dictionaries are all stored in the page itself),
+/// so pages can be decoded on worker threads in any order and absorbed
+/// into a [`ColumnAssembler`] in page order afterwards — the shape the
+/// parallel paged reader exploits.
+pub(crate) struct DecodedPage {
+    n_values: usize,
+    /// Raw null-bitmap bytes exactly as stored (little-endian words);
+    /// `None` when the page declared no nulls.
+    null_bytes: Option<Vec<u8>>,
+    values: PageValues,
+}
+
+enum PageValues {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<Arc<str>>),
+    AllNull,
+}
+
+/// Decode one page body (positioned after the page header) into its
+/// values, using only page-local state. Cross-page invariants (row
+/// totals, type consistency) are checked by
+/// [`ColumnAssembler::absorb`].
+pub(crate) fn decode_page(cur: &mut Cursor<'_>, n_values: usize) -> crate::Result<DecodedPage> {
+    let dtype_tag = cur.u8()?;
+    let enc_tag = cur.u8()?;
+    let enc = Encoding::from_tag(enc_tag)
+        .ok_or_else(|| cur.corrupt(format!("unknown encoding tag {enc_tag}")))?;
+    let has_nulls = match cur.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(cur.corrupt(format!("bad null flag {other}"))),
+    };
+
+    if dtype_tag == ALL_NULL_TAG {
+        if enc != Encoding::AllNull || has_nulls {
+            return Err(cur.corrupt("malformed all-null chunk"));
+        }
+        return Ok(DecodedPage {
+            n_values,
+            null_bytes: None,
+            values: PageValues::AllNull,
+        });
+    }
+    let dtype = DataType::from_tag(dtype_tag)
+        .ok_or_else(|| cur.corrupt(format!("unknown column type tag {dtype_tag}")))?;
+
+    let null_bytes = if has_nulls {
+        Some(cur.bytes(n_values.div_ceil(64) * 8)?.to_vec())
+    } else {
+        None
+    };
+    let values = match dtype {
+        DataType::Int => {
+            let mut v = Vec::with_capacity(n_values);
+            decode_int(cur, enc, n_values, &mut v)?;
+            PageValues::Int(v)
+        }
+        DataType::Float => {
+            let mut v = Vec::with_capacity(n_values);
+            decode_float(cur, enc, n_values, &mut v)?;
+            PageValues::Float(v)
+        }
+        DataType::Bool => {
+            let mut v = Vec::with_capacity(n_values);
+            decode_bool(cur, enc, n_values, &mut v)?;
+            PageValues::Bool(v)
+        }
+        DataType::Str => {
+            let mut v = Vec::with_capacity(n_values);
+            decode_str(cur, enc, n_values, &mut v)?;
+            PageValues::Str(v)
+        }
+    };
+    Ok(DecodedPage {
+        n_values,
+        null_bytes,
+        values,
+    })
+}
+
 /// Incrementally rebuilds one column from its pages, in row order.
 ///
 /// The builder's type is fixed by the first page's type tag; `finish`
@@ -353,40 +438,46 @@ impl ColumnAssembler {
     }
 
     /// Decode one page body (positioned after the page header) and append
-    /// its `n_values` lanes.
+    /// its `n_values` lanes. Equivalent to [`decode_page`] followed by
+    /// [`ColumnAssembler::absorb`] — the split the parallel paged reader
+    /// uses to decode pages on worker threads and merge in page order.
+    #[cfg(test)]
     pub(crate) fn push_page(&mut self, cur: &mut Cursor<'_>, n_values: usize) -> crate::Result<()> {
+        let page = decode_page(cur, n_values)?;
+        self.absorb(page, cur.path(), cur.page())
+    }
+
+    /// Append a decoded page's lanes, enforcing the cross-page invariants
+    /// (declared row count, one concrete type per column). Pages must be
+    /// absorbed in page order — null-mask and value placement depend on
+    /// `filled`.
+    pub(crate) fn absorb(
+        &mut self,
+        page: DecodedPage,
+        path: &str,
+        page_no: u64,
+    ) -> crate::Result<()> {
+        let corrupt = |reason: String| crate::McdbError::PageCorrupt {
+            path: path.to_string(),
+            page: page_no,
+            reason,
+        };
+        let n_values = page.n_values;
         if self.filled + n_values > self.total {
-            return Err(cur.corrupt(format!(
+            return Err(corrupt(format!(
                 "page overflows column: {} + {n_values} rows > {} declared",
                 self.filled, self.total
             )));
         }
-        let dtype_tag = cur.u8()?;
-        let enc_tag = cur.u8()?;
-        let enc = Encoding::from_tag(enc_tag)
-            .ok_or_else(|| cur.corrupt(format!("unknown encoding tag {enc_tag}")))?;
-        let has_nulls = match cur.u8()? {
-            0 => false,
-            1 => true,
-            other => return Err(cur.corrupt(format!("bad null flag {other}"))),
-        };
-
-        if dtype_tag == ALL_NULL_TAG {
-            if enc != Encoding::AllNull || has_nulls {
-                return Err(cur.corrupt("malformed all-null chunk"));
-            }
+        if let PageValues::AllNull = page.values {
             match self.builder.get_or_insert(Builder::AllNull) {
                 Builder::AllNull => {}
-                _ => return Err(cur.corrupt("all-null chunk in a typed column")),
+                _ => return Err(corrupt("all-null chunk in a typed column".into())),
             }
             self.filled += n_values;
             return Ok(());
         }
-        let dtype = DataType::from_tag(dtype_tag)
-            .ok_or_else(|| cur.corrupt(format!("unknown column type tag {dtype_tag}")))?;
-
-        if has_nulls {
-            let words = cur.bytes(n_values.div_ceil(64) * 8)?;
+        if let Some(words) = &page.null_bytes {
             let global = self
                 .nulls
                 .get_or_insert_with(|| vec![0u64; self.total.div_ceil(64)]);
@@ -397,19 +488,19 @@ impl ColumnAssembler {
                 }
             }
         }
-
-        let builder = self.builder.get_or_insert_with(|| match dtype {
-            DataType::Int => Builder::Int(Vec::with_capacity(self.total)),
-            DataType::Float => Builder::Float(Vec::with_capacity(self.total)),
-            DataType::Bool => Builder::Bool(Vec::with_capacity(self.total)),
-            DataType::Str => Builder::Str(Vec::with_capacity(self.total)),
+        let builder = self.builder.get_or_insert_with(|| match &page.values {
+            PageValues::Int(_) => Builder::Int(Vec::with_capacity(self.total)),
+            PageValues::Float(_) => Builder::Float(Vec::with_capacity(self.total)),
+            PageValues::Bool(_) => Builder::Bool(Vec::with_capacity(self.total)),
+            PageValues::Str(_) => Builder::Str(Vec::with_capacity(self.total)),
+            PageValues::AllNull => unreachable!("handled above"),
         });
-        match (builder, dtype) {
-            (Builder::Int(data), DataType::Int) => decode_int(cur, enc, n_values, data)?,
-            (Builder::Float(data), DataType::Float) => decode_float(cur, enc, n_values, data)?,
-            (Builder::Bool(data), DataType::Bool) => decode_bool(cur, enc, n_values, data)?,
-            (Builder::Str(data), DataType::Str) => decode_str(cur, enc, n_values, data)?,
-            _ => return Err(cur.corrupt("column type tag changed between pages")),
+        match (builder, page.values) {
+            (Builder::Int(data), PageValues::Int(v)) => data.extend(v),
+            (Builder::Float(data), PageValues::Float(v)) => data.extend(v),
+            (Builder::Bool(data), PageValues::Bool(v)) => data.extend(v),
+            (Builder::Str(data), PageValues::Str(v)) => data.extend(v),
+            _ => return Err(corrupt("column type tag changed between pages".into())),
         }
         self.filled += n_values;
         Ok(())

@@ -16,6 +16,7 @@ use crate::storage::{BufferPool, PagedStore};
 use crate::value::Value;
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A row is an ordered vector of values matching a schema.
@@ -67,7 +68,18 @@ pub struct Table {
     name: String,
     schema: Schema,
     store: TableStore,
+    /// Lazily transposed columnar view (Mem backend only).
+    ///
+    /// `OnceLock::get_or_init` guarantees the init closure runs exactly
+    /// once even under concurrent morsel-parallel scans — racing readers
+    /// block and then share the winner's `Arc` — so there is no
+    /// double-materialize race to guard against (regression-tested in
+    /// `concurrent_scans_materialize_exactly_once`).
     batch_cache: OnceLock<Arc<Batch>>,
+    /// How many times `batch_cache` actually ran its transpose. Shared
+    /// across clones (clones share the observation, not the cache) so
+    /// tests can assert the exactly-once property.
+    materializations: Arc<AtomicU64>,
 }
 
 impl PartialEq for Table {
@@ -84,6 +96,7 @@ impl Table {
             schema,
             store: TableStore::Mem(Vec::new()),
             batch_cache: OnceLock::new(),
+            materializations: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -114,6 +127,7 @@ impl Table {
                 rows_cache: OnceLock::new(),
             },
             batch_cache: OnceLock::new(),
+            materializations: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -227,13 +241,22 @@ impl Table {
     /// as a typed error instead of a panic. This is what the vectorized
     /// executor's scan operator calls.
     pub fn try_batch(&self) -> crate::Result<Arc<Batch>> {
+        self.try_batch_parallel(1)
+    }
+
+    /// [`Table::try_batch`] with paged-file page decoding fanned out over
+    /// `threads` workers ([`PagedStore::read_batch_parallel`]). The
+    /// result is bit-identical at any thread count. Memory-backed tables
+    /// ignore `threads`: the cached transpose is already exactly-once
+    /// under concurrency (see the `batch_cache` field docs).
+    pub fn try_batch_parallel(&self, threads: usize) -> crate::Result<Arc<Batch>> {
         match &self.store {
-            TableStore::Mem(_) => Ok(Arc::clone(
-                self.batch_cache
-                    .get_or_init(|| Arc::new(Batch::from_table(self))),
-            )),
+            TableStore::Mem(_) => Ok(Arc::clone(self.batch_cache.get_or_init(|| {
+                self.materializations.fetch_add(1, Ordering::Relaxed);
+                Arc::new(Batch::from_table(self))
+            }))),
             TableStore::Paged { store, tail, .. } => {
-                let base = store.read_batch()?;
+                let base = store.read_batch_parallel(threads)?;
                 if tail.is_empty() {
                     return Ok(Arc::new(base));
                 }
@@ -267,6 +290,13 @@ impl Table {
             TableStore::Mem(_) => self.batch_cache.get().is_some(),
             TableStore::Paged { .. } => false,
         }
+    }
+
+    /// How many times the columnar batch cache actually transposed rows.
+    /// Under concurrent scans of one (shared) table this must end up at
+    /// exactly 1 — the exactly-once guarantee of the `OnceLock` cache.
+    pub fn batch_materializations(&self) -> u64 {
+        self.materializations.load(Ordering::Relaxed)
     }
 
     /// Append a validated row. On a paged table the row lands in the
@@ -477,6 +507,36 @@ mod tests {
             t
         };
         assert_eq!(fresh, warmed);
+    }
+
+    #[test]
+    fn concurrent_scans_materialize_exactly_once() {
+        // The double-materialize audit (ISSUE 9): many threads hitting a
+        // cold batch cache must transpose once and share one Arc.
+        let t = Table::build("big", &[("id", DataType::Int)])
+            .rows((0..5000).map(|i| vec![Value::from(i)]))
+            .finish()
+            .unwrap();
+        assert_eq!(t.batch_materializations(), 0);
+        let batches = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|_| t.try_batch().unwrap()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(t.batch_materializations(), 1, "transpose ran once");
+        for b in &batches[1..] {
+            assert!(Arc::ptr_eq(&batches[0], b), "all scans share one batch");
+        }
+        // Mutation invalidates; the next scan re-materializes (counter 2).
+        let mut t = t;
+        t.push_row(vec![Value::from(9999)]).unwrap();
+        let _ = t.try_batch().unwrap();
+        assert_eq!(t.batch_materializations(), 2);
     }
 
     #[test]

@@ -268,7 +268,7 @@ mod tests {
         assert_eq!(Value::from(3).as_i64().unwrap(), 3);
         assert_eq!(Value::from(3).as_f64().unwrap(), 3.0);
         assert_eq!(Value::from(2.5).as_f64().unwrap(), 2.5);
-        assert_eq!(Value::from(true).as_bool().unwrap(), true);
+        assert!(Value::from(true).as_bool().unwrap());
         assert_eq!(Value::from("hi").as_str().unwrap(), "hi");
         assert!(Value::from("hi").as_f64().is_err());
         assert!(Value::from(1.5).as_i64().is_err());

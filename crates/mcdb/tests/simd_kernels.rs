@@ -1,0 +1,271 @@
+//! Property suite for the query-path SIMD kernels (`query::simd`).
+//!
+//! Contract: every dispatched kernel is **bit-identical** to its
+//! portable scalar oracle — full `assert_eq!`, no tolerance — because
+//! comparisons, mask logic, and integer hashing are exact. The inputs
+//! here are deliberately adversarial: NaN, ±0.0, ±infinity, subnormals,
+//! extreme integers, all-null and no-null masks, and lengths 0, 1, and
+//! every misalignment around the 4-lane (f64/i64) and 32-lane (bool)
+//! SIMD widths so the scalar tail path is exercised on both sides.
+
+use mde_mcdb::query::simd::{
+    cmp_f64_lit, cmp_f64_lit_portable, cmp_i64_lit, cmp_i64_lit_portable, compact_bool_lanes,
+    compact_bool_lanes_portable, hash_i64_batch, hash_i64_batch_portable, hash_i64_one, CmpOp,
+};
+use proptest::prelude::*;
+
+const OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+/// Adversarial f64 palette: the values most likely to split an IEEE
+/// predicate from a scalar `==`/`<` chain. `alt` fills the final slot
+/// with an arbitrary finite float.
+fn hostile_f64(pick: usize, alt: f64) -> f64 {
+    match pick {
+        0 => f64::NAN,
+        1 => -f64::NAN,
+        2 => 0.0,
+        3 => -0.0,
+        4 => f64::INFINITY,
+        5 => f64::NEG_INFINITY,
+        6 => f64::MIN_POSITIVE,
+        7 => -f64::MIN_POSITIVE / 2.0, // subnormal
+        8 => f64::MAX,
+        9 => f64::MIN,
+        _ => alt,
+    }
+}
+
+fn hostile_i64(pick: usize, alt: u64) -> i64 {
+    match pick {
+        0 => i64::MIN,
+        1 => i64::MIN + 1,
+        2 => i64::MAX,
+        3 => i64::MAX - 1,
+        4 => 0,
+        5 => -1,
+        6 => 1,
+        _ => alt as i64,
+    }
+}
+
+/// Lengths straddling both SIMD widths: 0, 1, the widths themselves,
+/// and every off-by-one around them (non-multiple-of-lane-width tails);
+/// the final slot is an arbitrary length.
+fn edge_len(pick: usize, rand: usize) -> usize {
+    const TABLE: [usize; 11] = [0, 1, 3, 4, 5, 31, 32, 33, 63, 64, 65];
+    if pick < TABLE.len() {
+        TABLE[pick]
+    } else {
+        rand
+    }
+}
+
+/// A null-mask covering `len` lanes: kind 0 = absent, 1 = no nulls,
+/// 2 = every lane null, 3 = arbitrary words.
+fn mask_for(kind: usize, words_src: &[u64], len: usize) -> Option<Vec<u64>> {
+    let words = len.div_ceil(64).max(1);
+    match kind {
+        0 => None,
+        1 => Some(vec![0u64; words]),
+        2 => Some(vec![!0u64; words]),
+        _ => Some(
+            (0..words)
+                .map(|i| words_src.get(i).copied().unwrap_or(0xdead_beef_cafe_f00d))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// f64 literal comparison: dispatched == portable on hostile data,
+    /// for all six predicates and every mask shape.
+    #[test]
+    fn cmp_f64_dispatched_equals_portable(
+        len_pick in 0usize..13,
+        len_rand in 0usize..130,
+        picks in proptest::collection::vec(0usize..12, 1..131),
+        alts in proptest::collection::vec(any::<f64>(), 1..131),
+        lit_pick in 0usize..12,
+        lit_alt in any::<f64>(),
+        kind in 0usize..4,
+        words in proptest::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let len = edge_len(len_pick, len_rand);
+        let data: Vec<f64> = (0..len)
+            .map(|i| hostile_f64(picks[i % picks.len()], alts[i % alts.len()]))
+            .collect();
+        let lit = hostile_f64(lit_pick, lit_alt);
+        let mask = mask_for(kind, &words, len);
+        for op in OPS {
+            let got = cmp_f64_lit(op, &data, lit, mask.as_deref());
+            let want = cmp_f64_lit_portable(op, &data, lit, mask.as_deref());
+            prop_assert_eq!(&got, &want, "op {:?} len {} lit {:?}", op, len, lit);
+            // Selection vectors are strictly increasing local lanes.
+            prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
+            if kind == 2 {
+                prop_assert!(got.is_empty(), "all-null input selects nothing");
+            }
+        }
+    }
+
+    /// i64 literal comparison: dispatched == portable across the
+    /// derived-predicate table (eq/gt + operand swap + mask negate).
+    #[test]
+    fn cmp_i64_dispatched_equals_portable(
+        len_pick in 0usize..13,
+        len_rand in 0usize..130,
+        picks in proptest::collection::vec(0usize..8, 1..131),
+        alts in proptest::collection::vec(any::<u64>(), 1..131),
+        lit_pick in 0usize..8,
+        lit_alt in any::<u64>(),
+        kind in 0usize..4,
+        words in proptest::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let len = edge_len(len_pick, len_rand);
+        let data: Vec<i64> = (0..len)
+            .map(|i| hostile_i64(picks[i % picks.len()], alts[i % alts.len()]))
+            .collect();
+        let lit = hostile_i64(lit_pick, lit_alt);
+        let mask = mask_for(kind, &words, len);
+        for op in OPS {
+            let got = cmp_i64_lit(op, &data, lit, mask.as_deref());
+            let want = cmp_i64_lit_portable(op, &data, lit, mask.as_deref());
+            prop_assert_eq!(&got, &want, "op {:?} len {} lit {}", op, len, lit);
+            if kind == 2 {
+                prop_assert!(got.is_empty());
+            }
+        }
+    }
+
+    /// Boolean compaction: dispatched == portable, incl. the 32-lane
+    /// half-word null extraction inside the AVX2 path, plus a
+    /// first-principles semantic check independent of the oracle.
+    #[test]
+    fn compact_bool_dispatched_equals_portable(
+        len_pick in 0usize..13,
+        len_rand in 0usize..130,
+        fill in proptest::collection::vec(any::<bool>(), 1..131),
+        kind in 0usize..4,
+        words in proptest::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let len = edge_len(len_pick, len_rand);
+        let data: Vec<bool> = (0..len).map(|i| fill[i % fill.len()]).collect();
+        let mask = mask_for(kind, &words, len);
+        let got = compact_bool_lanes(&data, mask.as_deref());
+        let want = compact_bool_lanes_portable(&data, mask.as_deref());
+        prop_assert_eq!(&got, &want);
+        for &lane in &got {
+            let lane = lane as usize;
+            prop_assert!(data[lane], "selected lane must be true");
+            if let Some(w) = &mask {
+                prop_assert_eq!(
+                    w[lane / 64] >> (lane % 64) & 1,
+                    0,
+                    "selected lane must be non-null"
+                );
+            }
+        }
+        if kind == 2 {
+            prop_assert!(got.is_empty());
+        }
+    }
+
+    /// Batched splitmix64: dispatched == portable == the one-key scalar,
+    /// lane for lane (the 32×32 partial-product 64-bit multiply must be
+    /// exact on extreme keys).
+    #[test]
+    fn hash_i64_batch_equals_scalar(
+        len_pick in 0usize..13,
+        len_rand in 0usize..130,
+        picks in proptest::collection::vec(0usize..8, 1..131),
+        alts in proptest::collection::vec(any::<u64>(), 1..131),
+    ) {
+        let len = edge_len(len_pick, len_rand);
+        let keys: Vec<i64> = (0..len)
+            .map(|i| hostile_i64(picks[i % picks.len()], alts[i % alts.len()]))
+            .collect();
+        let got = hash_i64_batch(&keys);
+        prop_assert_eq!(&got, &hash_i64_batch_portable(&keys));
+        prop_assert_eq!(got.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            prop_assert_eq!(got[i], hash_i64_one(k));
+        }
+    }
+}
+
+/// NaN semantics pinned explicitly: every predicate except `Ne` is
+/// false against NaN (both as data and as literal); `Ne` is true —
+/// on the dispatched and the portable path alike.
+#[test]
+fn nan_comparison_semantics_are_ieee() {
+    let data = [f64::NAN, 1.0, -f64::NAN, f64::INFINITY, -0.0];
+    for op in OPS {
+        for lit in [f64::NAN, 0.0, f64::INFINITY] {
+            let got = cmp_f64_lit(op, &data, lit, None);
+            let want = cmp_f64_lit_portable(op, &data, lit, None);
+            assert_eq!(got, want, "op {op:?} lit {lit:?}");
+        }
+    }
+    // NaN data, finite literal: only Ne selects the NaN lanes.
+    assert_eq!(cmp_f64_lit(CmpOp::Ne, &data, 0.0, None), vec![0, 1, 2, 3]);
+    assert_eq!(cmp_f64_lit(CmpOp::Eq, &data, 0.0, None), vec![4]); // -0.0 == 0.0
+                                                                   // NaN literal: Ne selects everything, everything else nothing.
+    assert_eq!(
+        cmp_f64_lit(CmpOp::Ne, &data, f64::NAN, None),
+        vec![0, 1, 2, 3, 4]
+    );
+    for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        assert_eq!(cmp_f64_lit(op, &data, f64::NAN, None), Vec::<u32>::new());
+    }
+}
+
+/// Signed-zero equality: -0.0 == 0.0 in IEEE and in both paths.
+#[test]
+fn signed_zero_compares_equal() {
+    let data = [0.0f64, -0.0, 1.0, -1.0];
+    for lit in [0.0f64, -0.0] {
+        assert_eq!(cmp_f64_lit(CmpOp::Eq, &data, lit, None), vec![0, 1]);
+        assert_eq!(
+            cmp_f64_lit(CmpOp::Eq, &data, lit, None),
+            cmp_f64_lit_portable(CmpOp::Eq, &data, lit, None)
+        );
+        assert_eq!(cmp_f64_lit(CmpOp::Ge, &data, lit, None), vec![0, 1, 2]);
+        assert_eq!(cmp_f64_lit(CmpOp::Lt, &data, lit, None), vec![3]);
+    }
+}
+
+/// Empty and single-lane inputs hit only the scalar tail; they must
+/// still agree and never index a null word out of range.
+#[test]
+fn zero_and_one_lane_inputs() {
+    let no_f: [f64; 0] = [];
+    let no_i: [i64; 0] = [];
+    let no_b: [bool; 0] = [];
+    for op in OPS {
+        assert_eq!(cmp_f64_lit(op, &no_f, 1.0, None), Vec::<u32>::new());
+        assert_eq!(cmp_i64_lit(op, &no_i, 1, Some(&[0])), Vec::<u32>::new());
+        assert_eq!(
+            cmp_f64_lit(op, &[2.5], 1.0, Some(&[0])),
+            cmp_f64_lit_portable(op, &[2.5], 1.0, Some(&[0]))
+        );
+        assert_eq!(
+            cmp_i64_lit(op, &[-9], -9, Some(&[1])),
+            Vec::<u32>::new(),
+            "single null lane selects nothing"
+        );
+    }
+    assert_eq!(compact_bool_lanes(&no_b, None), Vec::<u32>::new());
+    assert_eq!(compact_bool_lanes(&[true], Some(&[0])), vec![0]);
+    assert_eq!(compact_bool_lanes(&[true], Some(&[1])), Vec::<u32>::new());
+    assert_eq!(hash_i64_batch(&no_i), Vec::<u64>::new());
+    assert_eq!(hash_i64_batch(&[i64::MIN]), vec![hash_i64_one(i64::MIN)]);
+}

@@ -134,10 +134,7 @@ impl Design {
 
 /// The full two-level factorial `2ⁿ` in standard order.
 pub fn full_factorial(n_factors: usize) -> Design {
-    assert!(
-        n_factors >= 1 && n_factors <= 20,
-        "factor count out of range"
-    );
+    assert!((1..=20).contains(&n_factors), "factor count out of range");
     let runs = 1usize << n_factors;
     let matrix = (0..runs)
         .map(|r| {

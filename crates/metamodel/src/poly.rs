@@ -277,7 +277,7 @@ mod tests {
         let mut rng = rng_from_seed(1);
         let noise = Normal::new(0.0, 0.1).unwrap();
         // Average over replicated designs to stay within tolerance.
-        let mut eff = vec![0.0; 7];
+        let mut eff = [0.0; 7];
         let reps = 50;
         for _ in 0..reps {
             let ys: Vec<f64> = d

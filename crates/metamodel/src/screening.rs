@@ -440,7 +440,7 @@ fn decode_sb_state(
     let Some(&[n_queue]) = take(ints, &mut at, 1) else {
         return corrupt("screening scratch missing queue length".into());
     };
-    let queue_ints = (n_queue as usize).checked_mul(2).unwrap_or(usize::MAX);
+    let queue_ints = (n_queue as usize).saturating_mul(2);
     let Some(pairs) = take(ints, &mut at, queue_ints) else {
         return corrupt(format!(
             "screening scratch truncated: {n_queue} queued groups"

@@ -183,8 +183,8 @@ mod tests {
     fn exponential_special_case() {
         // Gamma(1, θ) is Exponential(rate 1/θ).
         let g = Gamma::new(1.0, 2.0).unwrap();
-        for &x in &[0.5, 1.0, 3.0] {
-            let expected = 1.0 - (-(x as f64) / 2.0).exp();
+        for &x in &[0.5f64, 1.0, 3.0] {
+            let expected = 1.0 - (-x / 2.0).exp();
             assert!((g.cdf(x) - expected).abs() < 1e-10);
         }
     }

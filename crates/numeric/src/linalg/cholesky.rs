@@ -122,8 +122,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[(i, k)] * yk;
             }
             y[i] = sum / self.l[(i, i)];
         }
@@ -131,8 +131,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.l[(k, i)] * xk;
             }
             x[i] = sum / self.l[(i, i)];
         }

@@ -81,15 +81,15 @@ impl Lu {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut sum = x[i];
-            for k in 0..i {
-                sum -= self.lu[(i, k)] * x[k];
+            for (k, &xk) in x.iter().enumerate().take(i) {
+                sum -= self.lu[(i, k)] * xk;
             }
             x[i] = sum;
         }
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for k in i + 1..n {
-                sum -= self.lu[(i, k)] * x[k];
+            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lu[(i, k)] * xk;
             }
             x[i] = sum / self.lu[(i, i)];
         }

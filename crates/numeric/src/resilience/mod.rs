@@ -976,7 +976,7 @@ impl CheckpointSpec {
 
     /// Whether a periodic checkpoint is due after `completed` boundaries.
     pub fn due(&self, completed: u64) -> bool {
-        completed > 0 && completed % self.every.max(1) == 0
+        completed > 0 && completed.is_multiple_of(self.every.max(1))
     }
 }
 

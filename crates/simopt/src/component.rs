@@ -60,6 +60,9 @@ where
     }
 }
 
+/// An inter-model transformation applied between composed models.
+pub type TransformFn = Arc<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>;
+
 /// The paper's Figure 2 composite: `M₁ → (transform) → M₂` in series. The
 /// transformation step is an optional deterministic function standing in
 /// for the Splash data-transformation stage; its cost is folded into `c₁`
@@ -71,7 +74,7 @@ pub struct SeriesComposite {
     /// Downstream model (its first output coordinate is the scalar `Y₂`).
     pub m2: Arc<dyn StochModel>,
     /// Optional inter-model transformation.
-    pub transform: Option<Arc<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>>,
+    pub transform: Option<TransformFn>,
 }
 
 impl SeriesComposite {
@@ -85,7 +88,7 @@ impl SeriesComposite {
     }
 
     /// Add an inter-model transformation.
-    pub fn with_transform(mut self, t: Arc<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>) -> Self {
+    pub fn with_transform(mut self, t: TransformFn) -> Self {
         self.transform = Some(t);
         self
     }

@@ -234,6 +234,24 @@ fn resumed_campaign_metrics_match_uninterrupted() {
 // Golden span tree
 // ---------------------------------------------------------------------------
 
+/// Drop `*_nanos` fields from a rendered span tree. The deterministic
+/// ledger is every span field EXCEPT the `*_nanos` wall-clock ones
+/// (DESIGN.md §6g); golden comparisons strip exactly that.
+fn strip_nanos_fields(tree: &str) -> String {
+    let mut out = String::new();
+    let mut rest = tree;
+    while let Some(i) = rest.find(", query.morsel_nanos=") {
+        out.push_str(&rest[..i]);
+        let after = &rest[i + ", query.morsel_nanos=".len()..];
+        let end = after
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(after.len());
+        rest = &after[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
 #[test]
 fn fixed_plan_emits_exact_golden_span_tree() {
     let c = trace_catalog();
@@ -244,9 +262,13 @@ fn fixed_plan_emits_exact_golden_span_tree() {
     let out = prepared.execute_traced(&c, &tracer).unwrap();
     assert_eq!(out.len(), 2, "east and west survive the filter");
 
+    // `query.morsels` / `query.simd_lanes` are deterministic execution
+    // counters: one morsel each for filter, join probe, aggregate, and
+    // result materialization; the 4-row filter routes its 4 lanes through
+    // the SIMD comparison fast path. Only wall-clock is stripped.
     assert_eq!(
-        sink.tree(),
-        "query{exec=1, rows_out=2}\n\
+        strip_nanos_fields(&sink.tree()),
+        "query{exec=1, rows_out=2, query.morsels=4, query.simd_lanes=4}\n\
          \x20 aggregate{rows_in=2, groups=2}\n\
          \x20   join{left_rows=2, right_rows=2, rows_out=2}\n\
          \x20     filter{rows_in=4, rows_out=2}\n\

@@ -269,3 +269,150 @@ fn scan_of_8x_working_set_stays_within_frame_budget() {
     assert!(pool.pressure() <= 1.0 + f64::EPSILON);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Mid-morsel faults on worker threads (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+/// A seed-chosen page corrupted mid-file fires inside a *worker thread*
+/// during morsel-parallel page decoding. Contract: every thread count
+/// returns the byte-identical typed error sequential execution returns
+/// (lowest-page-wins error merge), never a panic, deadlock, or partial
+/// answer.
+#[test]
+fn page_corrupt_mid_morsel_matches_sequential_error() {
+    use model_data_ecosystems::mcdb::query::ExecConfig;
+
+    let dir = scratch_dir();
+    let path = dir.join("t.mdet");
+    let paged = fixture_table(600)
+        .to_paged(&path, 256, BufferPool::new(8))
+        .unwrap();
+    let n_pages = paged.paged_store().unwrap().n_pages();
+    assert!(n_pages > 4, "fixture must span enough pages for morsels");
+    drop(paged);
+
+    // Corrupt a page in the middle of the file (never page 0) so
+    // several healthy morsels precede and follow the poisoned one.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mut state = chaos_seed() ^ 0x0515;
+    let victim_page = 1 + (next(&mut state) as usize) % (n_pages - 2);
+    let frame_start = bytes.len() - (n_pages - victim_page) * 256;
+    // Flip a body byte: caught by the frame checksum during decode.
+    bytes[frame_start + 64] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let plans = [
+        Plan::scan("T"),
+        Plan::scan("T").filter(Expr::col("V").gt(Expr::lit(10.0))),
+        Plan::scan("T").aggregate(
+            &["TAG"],
+            vec![model_data_ecosystems::mcdb::query::AggSpec::count_star("N")],
+        ),
+    ];
+    for plan in &plans {
+        let mut sequential_err: Option<String> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut db = Catalog::new();
+            db.insert(Table::open_paged(&path, BufferPool::new(8)).unwrap());
+            db.set_exec_config(ExecConfig {
+                threads,
+                morsel_rows: 64,
+            });
+            let err = db
+                .query(plan)
+                .expect_err("a corrupt page must fail the scan");
+            assert_typed_storage_error(&err, &format!("page {victim_page} at {threads} threads"));
+            let msg = err.to_string();
+            match &sequential_err {
+                None => sequential_err = Some(msg),
+                Some(seq) => assert_eq!(
+                    seq, &msg,
+                    "worker-thread error at {threads} threads diverged from sequential"
+                ),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Concurrent morsel-parallel scans over one starved buffer pool: each
+/// worker pins a frame while decoding, so parallel readers can exhaust
+/// a budget sequential execution never would. Contract: every query
+/// either succeeds with bit-identical rows or fails with the *typed,
+/// retryable* `McdbError::PoolExhausted` — and a bounded retry loop
+/// always converges (no deadlock, no panic, no wrong answer).
+#[test]
+fn pool_exhausted_mid_morsel_is_typed_and_retryable() {
+    use mde_numeric::{ErrorClass as _, Severity};
+    use model_data_ecosystems::mcdb::query::ExecConfig;
+
+    let dir = scratch_dir();
+    let path = dir.join("t.mdet");
+    let mem = fixture_table(600);
+    drop(mem.to_paged(&path, 256, BufferPool::new(2)).unwrap());
+
+    let mut oracle = Catalog::new();
+    oracle.insert(fixture_table(600));
+    let plan = Plan::scan("T").filter(Expr::col("V").gt(Expr::lit(0.0)));
+    let want = oracle.query(&plan).unwrap();
+
+    // One 2-frame pool shared by every concurrent reader; 8 worker
+    // threads per query all pinning frames against it.
+    let pool = BufferPool::new(2);
+    let outcomes = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let plan = &plan;
+                let path = &path;
+                s.spawn(move || {
+                    let mut db = Catalog::new();
+                    db.insert(Table::open_paged(path, pool).unwrap());
+                    db.set_exec_config(ExecConfig {
+                        threads: 8,
+                        morsel_rows: 64,
+                    });
+                    // Bounded retry: `PoolExhausted` is transient (pins
+                    // drain when competing scans finish), so retrying
+                    // must converge well within the bound.
+                    let mut exhausted = 0u32;
+                    for _ in 0..200 {
+                        match db.query(plan) {
+                            Ok(t) => return (t, exhausted),
+                            Err(e) => {
+                                assert!(
+                                    matches!(
+                                        e,
+                                        model_data_ecosystems::mcdb::McdbError::PoolExhausted { .. }
+                                    ),
+                                    "starved pool must surface PoolExhausted, got: {e}"
+                                );
+                                assert_eq!(
+                                    e.severity(),
+                                    Severity::Retryable,
+                                    "PoolExhausted must classify retryable"
+                                );
+                                exhausted += 1;
+                            }
+                        }
+                    }
+                    panic!("retry loop did not converge: pool starvation wedged the scan");
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no worker may panic"))
+            .collect::<Vec<_>>()
+    });
+
+    for (got, _) in &outcomes {
+        assert_eq!(
+            want.rows(),
+            got.rows(),
+            "a scan that survived pool pressure must still be bit-identical"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
