@@ -1,0 +1,274 @@
+//! Emit `BENCH_cache.json`: end-to-end timings for the content-addressed
+//! result cache on a revisit-heavy kriging-calibration fleet and a Monte
+//! Carlo campaign replay (DESIGN.md §6h).
+//!
+//! Usage: `cargo run --release -p mde-bench --bin cache_bench_json [-- --quick]`
+//!
+//! Writes `BENCH_cache.json` into the current directory and prints it to
+//! stdout. `--quick` shrinks the workload to a CI smoke run (and skips
+//! the file write so CI never dirties the tree). `MDE_CHAOS_SEED` offsets
+//! the campaign seeds so the CI matrix exercises different trajectories
+//! while staying deterministic within one lane.
+//!
+//! Before anything is emitted, the cached runs are checked bit-identical
+//! against uncached recomputes — a determinism regression fails the bench
+//! instead of publishing numbers for a wrong answer.
+
+use std::time::Instant;
+
+use mde_calibrate::kriging_cal::{
+    kriging_calibrate_cached, kriging_calibrate_with, KrigingCalConfig,
+};
+use mde_calibrate::optim::Bounds;
+use mde_mcdb::mc::MonteCarloQuery;
+use mde_mcdb::prelude::*;
+use mde_mcdb::query::AggSpec;
+use mde_mcdb::vg::NormalVg;
+use mde_mcdb::RunOptions;
+use mde_numeric::cache::{CacheHandle, ObjectiveScope, DEFAULT_MAX_BYTES};
+use mde_numeric::rng::rng_from_seed;
+use std::sync::Arc;
+
+/// A calibration objective whose cost is dominated by an inner
+/// deterministic pseudo-Monte-Carlo loop of `work` steps — the shape of a
+/// real simulation-backed objective, without depending on wall-clock
+/// noise sources.
+fn expensive_objective(x: &[f64], rep: usize, work: u64) -> f64 {
+    let mut state = x
+        .iter()
+        .fold(0x243F_6A88_85A3_08D3u64, |h, v| {
+            (h ^ v.to_bits()).wrapping_mul(0x100000001B3)
+        })
+        ^ (rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut acc = 0.0f64;
+    for _ in 0..work {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        acc += (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+    let a = x[0] - 0.6;
+    let b = x[1] - 0.3;
+    3.0 * a * a + 2.0 * b * b + 0.5 * a * b + 0.05 * acc / work as f64
+}
+
+fn fleet_cfg() -> KrigingCalConfig {
+    KrigingCalConfig {
+        design_runs: 17,
+        infill_rounds: 3,
+        reps_per_point: 2,
+        nolh_tries: 50,
+        refit_every: 2,
+    }
+}
+
+/// One calibration campaign of the fleet, cached. Returns the best value's
+/// bits and the number of fresh (non-cache) objective evaluations.
+fn run_campaign(
+    seed: u64,
+    work: u64,
+    spec_fp: u64,
+    cache: &CacheHandle,
+) -> (u64, Vec<u64>, u64) {
+    let bounds = Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)]).expect("valid bounds");
+    let mut scope = ObjectiveScope::new(cache.clone(), "bench.kriging-fleet", spec_fp, 2, seed);
+    let mut rng = rng_from_seed(seed);
+    let mut fresh = 0u64;
+    let res = kriging_calibrate_cached(
+        |x, rep| {
+            fresh += 1;
+            expensive_objective(x, rep, work)
+        },
+        &bounds,
+        &fleet_cfg(),
+        &mut rng,
+        None,
+        &mut scope,
+    )
+    .expect("calibration");
+    let x_bits = res.best.x.iter().map(|v| v.to_bits()).collect();
+    (res.best.fx.to_bits(), x_bits, fresh)
+}
+
+fn mc_catalog() -> Catalog {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build("ITEMS", &[("IID", DataType::Int)])
+            .rows((0..25).map(|i| vec![Value::from(i)]))
+            .finish()
+            .unwrap(),
+    );
+    db.insert(
+        Table::build(
+            "PARAMS",
+            &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+        )
+        .row(vec![Value::from(10.0), Value::from(2.0)])
+        .finish()
+        .unwrap(),
+    );
+    db
+}
+
+fn mc_task() -> MonteCarloQuery {
+    let spec = RandomTableSpec::builder("SALES")
+        .for_each(Plan::scan("ITEMS"))
+        .with_vg(Arc::new(NormalVg))
+        .vg_params_query(Plan::scan("PARAMS"))
+        .select(&[("IID", Expr::col("IID")), ("AMT", Expr::col("VALUE"))])
+        .build()
+        .unwrap();
+    let q = Plan::scan("SALES").aggregate(
+        &[],
+        vec![AggSpec::new("TOTAL", AggFunc::Sum, Expr::col("AMT"))],
+    );
+    MonteCarloQuery::new(vec![spec], q)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let chaos: u64 = std::env::var("MDE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let (work, campaigns, mc_n) = if quick {
+        (20_000u64, 2usize, 80usize)
+    } else {
+        (2_000_000u64, 4usize, 400usize)
+    };
+    let seeds: Vec<u64> = (0..campaigns as u64).map(|k| chaos.wrapping_add(k)).collect();
+    let spec_fp = 0xCA11_B07A_u64 ^ work; // objective identity: the work knob shapes the values
+
+    let dir = std::env::temp_dir().join(format!("mde_cache_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("fleet.mdecache");
+
+    // ------------------------------------------------------------------
+    // Guardrail: the cached path must be bit-identical to the uncached
+    // one before any number is published.
+    // ------------------------------------------------------------------
+    {
+        let bounds = Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)]).expect("valid bounds");
+        let mut rng = rng_from_seed(seeds[0]);
+        let base = kriging_calibrate_with(
+            |x, rep| expensive_objective(x, rep, work),
+            &bounds,
+            &fleet_cfg(),
+            &mut rng,
+            None,
+        )
+        .expect("uncached calibration");
+        let probe = CacheHandle::in_memory();
+        let (fx_bits, x_bits, _) = run_campaign(seeds[0], work, spec_fp, &probe);
+        assert_eq!(
+            base.best.fx.to_bits(),
+            fx_bits,
+            "cached calibration diverged from recompute — refusing to publish numbers"
+        );
+        assert_eq!(
+            base.best.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x_bits,
+            "cached calibration point diverged — refusing to publish numbers"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Cold pass: the fleet populates a durable cache from scratch.
+    // ------------------------------------------------------------------
+    let (cold_ms, cold_results, cold_stats) = {
+        let (cache, dropped) =
+            CacheHandle::open_or_recover(&path, DEFAULT_MAX_BYTES).expect("open cache");
+        assert_eq!(dropped, 0);
+        let t = Instant::now();
+        let results: Vec<_> = seeds
+            .iter()
+            .map(|&s| run_campaign(s, work, spec_fp, &cache))
+            .collect();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        cache.persist().expect("persist cache");
+        (ms, results, cache.stats())
+    };
+    let cold_evals: u64 = cold_results.iter().map(|r| r.2).sum();
+
+    // ------------------------------------------------------------------
+    // Warm pass: a fresh process-equivalent (new handle, reloaded file)
+    // revisits the exact same fleet. Every evaluation must be a hit.
+    // ------------------------------------------------------------------
+    let (warm_ms, warm_results, warm_stats, dropped) = {
+        let (cache, dropped) =
+            CacheHandle::open_or_recover(&path, DEFAULT_MAX_BYTES).expect("reopen cache");
+        let t = Instant::now();
+        let results: Vec<_> = seeds
+            .iter()
+            .map(|&s| run_campaign(s, work, spec_fp, &cache))
+            .collect();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        (ms, results, cache.stats(), dropped)
+    };
+    assert_eq!(dropped, 0, "persisted cache must reload clean");
+    let warm_evals: u64 = warm_results.iter().map(|r| r.2).sum();
+    assert_eq!(warm_evals, 0, "warm fleet must be pure cache hits");
+    for (c, w) in cold_results.iter().zip(&warm_results) {
+        assert_eq!(c.0, w.0, "warm best diverged — refusing to publish numbers");
+        assert_eq!(c.1, w.1, "warm point diverged — refusing to publish numbers");
+    }
+    let speedup = cold_ms / warm_ms.max(1e-9);
+    // The warm handle is fresh (counters start at zero), so its stats are
+    // the warm pass's alone.
+    let warm_lookups = warm_stats.hits + warm_stats.misses;
+    let hit_rate = warm_stats.hits as f64 / warm_lookups.max(1) as f64;
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    // ------------------------------------------------------------------
+    // Monte Carlo campaign replay: run once cold, once warm.
+    // ------------------------------------------------------------------
+    let db = mc_catalog();
+    let task = mc_task();
+    let mc_cache = CacheHandle::in_memory();
+    let opts = RunOptions::default().with_cache(mc_cache.clone());
+    let t = Instant::now();
+    let mc_cold = task
+        .run_with_options(&db, mc_n, chaos, &opts)
+        .expect("mc cold");
+    let mc_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let mc_warm = task
+        .run_with_options(&db, mc_n, chaos, &opts)
+        .expect("mc warm");
+    let mc_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        mc_cold.result, mc_warm.result,
+        "MC replay diverged — refusing to publish numbers"
+    );
+    assert_eq!(mc_cache.stats().hits, 1);
+    let mc_speedup = mc_cold_ms / mc_warm_ms.max(1e-9);
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"result_cache\",\n  \"seed\": {chaos},\n  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"kriging_fleet\": {{\n    \"campaigns\": {campaigns}, \"objective_work\": {work}, \
+         \"reps_per_point\": 2,\n    \"cold_ms\": {cold_ms:.1}, \"warm_ms\": {warm_ms:.1}, \
+         \"speedup\": {speedup:.2},\n    \"cold_evals\": {cold_evals}, \
+         \"cold_hits\": {}, \"warm_fresh_evals\": {warm_evals},\n    \
+         \"warm_lookups\": {warm_lookups}, \"warm_hit_rate\": {hit_rate:.3},\n    \
+         \"entries\": {}, \"cache_file_bytes\": {file_bytes}, \"evictions\": {},\n    \
+         \"bit_identical\": true\n  }},\n",
+        cold_stats.hits, warm_stats.entries, warm_stats.evictions
+    ));
+    json.push_str(&format!(
+        "  \"mc_replay\": {{\n    \"replicates\": {mc_n}, \"cold_ms\": {mc_cold_ms:.2}, \
+         \"warm_ms\": {mc_warm_ms:.2}, \"speedup\": {mc_speedup:.2},\n    \
+         \"bit_identical\": true\n  }}\n}}\n"
+    ));
+
+    print!("{json}");
+    if !quick {
+        std::fs::write("BENCH_cache.json", &json).expect("write BENCH_cache.json");
+        eprintln!("wrote BENCH_cache.json");
+    }
+}

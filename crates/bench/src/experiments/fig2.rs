@@ -7,14 +7,27 @@
 //! * the efficiency-gain table over the `(c₁/c₂, V₂/V₁)` grid, showing the
 //!   paper's "arbitrarily large efficiency improvements".
 
+use mde_numeric::cache::CacheHandle;
 use mde_numeric::dist::Normal;
 use mde_numeric::rng::Rng;
 use mde_numeric::stats::Summary;
-use mde_simopt::budget::run_under_budget;
+use mde_numeric::Fingerprint;
+use mde_simopt::budget::run_under_budget_cached;
 use mde_simopt::{
     asymptotic_efficiency, g_exact, optimal_alpha, FnModel, SeriesComposite, Statistics,
 };
 use std::sync::Arc;
+
+/// Content-address fingerprint of the Figure 2 composite: the cache cannot
+/// hash model closures, so the spec parameters stand in for them.
+fn composite_fingerprint(c1: f64, c2: f64, s1: f64, s2: f64) -> u64 {
+    Fingerprint::new("fig2.series-composite")
+        .push_f64(c1)
+        .push_f64(c2)
+        .push_f64(s1)
+        .push_f64(s2)
+        .finish()
+}
 
 /// The Figure 2 composite: M1 = demand (slow), M2 = queue (fast).
 /// V1 = s1² + s2², V2 = s1².
@@ -32,10 +45,24 @@ fn composite(c1: f64, c2: f64, s1: f64, s2: f64) -> SeriesComposite {
     SeriesComposite::new(m1, m2)
 }
 
-fn empirical_scaled_variance(comp: &SeriesComposite, budget: f64, alpha: f64, reps: u64) -> f64 {
+/// `c·Var(U(c))` measured through the production result cache: every `M₁`
+/// output is a content-addressed cache entry, so the α-sweep's
+/// common-random-numbers discipline (same seed across α) becomes real
+/// cross-campaign reuse — later α values hit the `M₁` entries earlier ones
+/// stored. Estimates are bit-identical to the uncached runner.
+fn empirical_scaled_variance(
+    comp: &SeriesComposite,
+    budget: f64,
+    alpha: f64,
+    reps: u64,
+    spec_fingerprint: u64,
+    cache: &CacheHandle,
+) -> f64 {
     let mut acc = Summary::new();
     for seed in 0..reps {
-        if let Ok(Some(est)) = run_under_budget(comp, budget, alpha, seed) {
+        if let Ok(Some(est)) =
+            run_under_budget_cached(comp, budget, alpha, seed, spec_fingerprint, cache)
+        {
             acc.push(est.theta_hat);
         }
     }
@@ -64,13 +91,18 @@ pub fn fig2_report() -> String {
         optimal_alpha(&stats, usize::MAX),
     ));
 
-    // α sweep: theory vs measurement.
+    // α sweep: theory vs measurement, with every run's M₁ outputs flowing
+    // through the production content-addressed result cache (one handle
+    // shared across the whole sweep — common random numbers across α turn
+    // into genuine cross-campaign cache hits).
+    let spec_fp = composite_fingerprint(c1, c2, s1, s2);
+    let cache = CacheHandle::in_memory();
     let alphas = [0.05, 0.1, 0.2, 0.3162, 0.5, 0.75, 1.0];
     let mut rows = Vec::new();
     let mut best_emp = (f64::INFINITY, 0.0);
     for &a in &alphas {
         let theory = g_exact(a, &stats);
-        let measured = empirical_scaled_variance(&comp, budget, a, reps);
+        let measured = empirical_scaled_variance(&comp, budget, a, reps, spec_fp, &cache);
         if measured < best_emp.0 {
             best_emp = (measured, a);
         }
@@ -90,12 +122,24 @@ pub fn fig2_report() -> String {
         "\nempirical best alpha = {} (theory alpha* = {:.4}) | ratio column near 1 validates the CLT\n",
         best_emp.1, a_star
     ));
+    let cs = cache.stats();
+    let requested = cs.hits + cs.misses;
+    out.push_str(&format!(
+        "result cache: {} M1 lookups -> {} hits / {} misses (hit rate {:.1}%), \
+         {} entries resident; every hit is an M1 execution the sweep skipped\n",
+        requested,
+        cs.hits,
+        cs.misses,
+        100.0 * cs.hits as f64 / requested.max(1) as f64,
+        cs.entries,
+    ));
 
     // Ablation: deterministic cycling vs uniform random cache reuse ("the
     // deterministic cycling scheme produces a stratified sample … and helps
     // minimize estimator variance").
     let var_of = |random: bool| {
-        use mde_simopt::rc::{run_rc, run_rc_random_reuse, RcConfig};
+        use mde_simopt::rc::{run_rc_cached, run_rc_random_reuse, RcConfig};
+        let ablation_cache = CacheHandle::in_memory();
         let mut acc = Summary::new();
         for seed in 0..400 {
             let cfg = RcConfig {
@@ -106,7 +150,7 @@ pub fn fig2_report() -> String {
             let est = if random {
                 run_rc_random_reuse(&comp, &cfg)
             } else {
-                run_rc(&comp, &cfg)
+                run_rc_cached(&comp, &cfg, spec_fp, &ablation_cache)
             };
             acc.push(est.theta_hat);
         }
@@ -210,22 +254,28 @@ mod tests {
             v2: 1.0,
         };
         let comp = composite(10.0, 1.0, 1.0, 1.0);
+        let fp = composite_fingerprint(10.0, 1.0, 1.0, 1.0);
+        let cache = CacheHandle::in_memory();
         for &a in &[0.3162, 1.0] {
             let theory = g_exact(a, &stats);
-            let measured = empirical_scaled_variance(&comp, 2000.0, a, 400);
+            let measured = empirical_scaled_variance(&comp, 2000.0, a, 400, fp, &cache);
             let ratio = measured / theory;
             assert!(
                 (0.7..1.4).contains(&ratio),
                 "alpha {a}: measured/theory = {ratio}"
             );
         }
+        // The second α shares M₁ randomness with the first: real hits.
+        assert!(cache.stats().hits > 0, "CRN sweep must hit the cache");
     }
 
     #[test]
     fn optimal_alpha_empirically_beats_naive() {
         let comp = composite(10.0, 1.0, 1.0, 1.0);
-        let v_star = empirical_scaled_variance(&comp, 1500.0, 0.3162, 400);
-        let v_one = empirical_scaled_variance(&comp, 1500.0, 1.0, 400);
+        let fp = composite_fingerprint(10.0, 1.0, 1.0, 1.0);
+        let cache = CacheHandle::in_memory();
+        let v_star = empirical_scaled_variance(&comp, 1500.0, 0.3162, 400, fp, &cache);
+        let v_one = empirical_scaled_variance(&comp, 1500.0, 1.0, 400, fp, &cache);
         assert!(v_star < v_one, "alpha* {v_star} vs alpha=1 {v_one}");
     }
 }

@@ -18,9 +18,11 @@ use crate::optim::Bounds;
 use mde_metamodel::design::nolh;
 use mde_metamodel::gp::{GpConfig, GpModel};
 use mde_metamodel::kernel::KernelWorkspace;
+use mde_numeric::cache::ObjectiveScope;
 use mde_numeric::obs::RunMetrics;
 use mde_numeric::optim::{nelder_mead, NelderMeadConfig, OptimResult};
 use mde_numeric::rng::Rng;
+use mde_numeric::NumericError;
 
 /// Configuration for kriging calibration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,37 +90,122 @@ pub fn kriging_calibrate(
 /// `refit_every > 1`, factorization counts drop to the anchor rounds
 /// only).
 pub fn kriging_calibrate_with(
+    objective: impl FnMut(&[f64], usize) -> f64,
+    bounds: &Bounds,
+    cfg: &KrigingCalConfig,
+    rng: &mut Rng,
+    metrics: Option<&mut RunMetrics>,
+) -> mde_numeric::Result<KrigingCalResult> {
+    kriging_calibrate_inner(objective, bounds, cfg, rng, metrics, None)
+}
+
+/// [`kriging_calibrate_with`] with every expensive objective evaluation
+/// memoized through a cross-campaign [`ObjectiveScope`].
+///
+/// Each parameter point's full replication vector is cached as one entry
+/// (so the stochastic-kriging mean **and** variance recompute
+/// bit-identically on a hit), and on completion the best point is stored
+/// as a trace entry whose provenance lists every cache entry consulted or
+/// produced — a calibration answer traces back to the exact cached runs
+/// behind it. Cache counters land deterministically in `metrics` when a
+/// ledger is supplied. The infill trajectory never consumes RNG draws
+/// during evaluation, so a hit cannot perturb the design or the surrogate
+/// search: cached and uncached runs are bit-identical.
+pub fn kriging_calibrate_cached(
+    objective: impl FnMut(&[f64], usize) -> f64,
+    bounds: &Bounds,
+    cfg: &KrigingCalConfig,
+    rng: &mut Rng,
+    mut metrics: Option<&mut RunMetrics>,
+    scope: &mut ObjectiveScope,
+) -> mde_numeric::Result<KrigingCalResult> {
+    let res = kriging_calibrate_inner(
+        objective,
+        bounds,
+        cfg,
+        rng,
+        metrics.as_deref_mut(),
+        Some(scope),
+    )?;
+    let mut trace = res.best.x.clone();
+    trace.push(res.best.fx);
+    scope.store_trace(trace);
+    if let Some(m) = metrics {
+        scope.handle().record_into(m);
+    }
+    Ok(res)
+}
+
+/// Evaluate one parameter point: `reps` replications, their mean, and the
+/// replication variance of the mean (the stochastic-kriging noise term).
+/// With a scope attached, the whole replication vector is memoized under
+/// the point's content address; a stored vector of the wrong arity (a
+/// caller mis-declaring `replicates` in its scope) is recomputed, never
+/// trusted.
+fn eval_point(
+    x: &[f64],
+    reps: usize,
+    objective: &mut dyn FnMut(&[f64], usize) -> f64,
+    scope: Option<&mut ObjectiveScope>,
+) -> (f64, f64) {
+    let vals: Vec<f64> = match scope {
+        Some(s) => {
+            let vals = s.memoize(x, || (0..reps).map(|r| objective(x, r)).collect());
+            if vals.len() == reps {
+                vals
+            } else {
+                (0..reps).map(|r| objective(x, r)).collect()
+            }
+        }
+        None => (0..reps).map(|r| objective(x, r)).collect(),
+    };
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let var = if vals.len() > 1 {
+        vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (vals.len() as f64 - 1.0)
+            / vals.len() as f64
+    } else {
+        0.0
+    };
+    (mean, var)
+}
+
+/// Typed configuration validation shared by every calibration entry point.
+fn validate_cfg(cfg: &KrigingCalConfig) -> mde_numeric::Result<()> {
+    if cfg.design_runs < 5 {
+        return Err(NumericError::invalid(
+            "kriging calibration",
+            "design_runs must be >= 5 (need a non-trivial design)",
+        ));
+    }
+    if cfg.reps_per_point < 1 {
+        return Err(NumericError::invalid(
+            "kriging calibration",
+            "reps_per_point must be >= 1",
+        ));
+    }
+    Ok(())
+}
+
+fn kriging_calibrate_inner(
     mut objective: impl FnMut(&[f64], usize) -> f64,
     bounds: &Bounds,
     cfg: &KrigingCalConfig,
     rng: &mut Rng,
     mut metrics: Option<&mut RunMetrics>,
+    mut scope: Option<&mut ObjectiveScope>,
 ) -> mde_numeric::Result<KrigingCalResult> {
-    assert!(cfg.design_runs >= 5, "need a non-trivial design");
-    assert!(cfg.reps_per_point >= 1, "need at least one replication");
+    validate_cfg(cfg)?;
 
     // 1. NOLH design over the parameter box.
     let design = nolh(bounds.dim(), cfg.design_runs, cfg.nolh_tries, rng);
     let mut xs: Vec<Vec<f64>> = design.scale_to(&bounds.ranges);
 
     // 2. Evaluate the expensive objective at the design points.
-    let evaluate = |x: &[f64], objective: &mut dyn FnMut(&[f64], usize) -> f64| {
-        let vals: Vec<f64> = (0..cfg.reps_per_point).map(|r| objective(x, r)).collect();
-        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let var = if vals.len() > 1 {
-            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / (vals.len() as f64 - 1.0)
-                / vals.len() as f64
-        } else {
-            0.0
-        };
-        (mean, var)
-    };
     let mut ys = Vec::with_capacity(xs.len());
     let mut noise = Vec::with_capacity(xs.len());
     let mut evaluated = Vec::new();
     for x in &xs {
-        let (m, v) = evaluate(x, &mut objective);
+        let (m, v) = eval_point(x, cfg.reps_per_point, &mut objective, scope.as_deref_mut());
         ys.push(m);
         noise.push(v);
         evaluated.push((x.clone(), m));
@@ -138,8 +225,8 @@ pub fn kriging_calibrate_with(
     for round in 0..cfg.infill_rounds {
         // Start the surrogate search from the best design point so far.
         let best_idx = (0..ys.len())
-            .min_by(|&a, &b| ys[a].partial_cmp(&ys[b]).expect("finite"))
-            .expect("non-empty design");
+            .min_by(|&a, &b| ys[a].total_cmp(&ys[b]))
+            .unwrap_or(0);
         let sur_ref = &surrogate;
         let bounds_ref = bounds;
         let r = nelder_mead(
@@ -156,7 +243,7 @@ pub fn kriging_calibrate_with(
         )?;
         let mut candidate = r.x;
         bounds.clamp(&mut candidate);
-        let (m, v) = evaluate(&candidate, &mut objective);
+        let (m, v) = eval_point(&candidate, cfg.reps_per_point, &mut objective, scope.as_deref_mut());
         evaluated.push((candidate.clone(), m));
         ws.push(&candidate)?;
         xs.push(candidate.clone());
@@ -178,8 +265,8 @@ pub fn kriging_calibrate_with(
     }
 
     let best_idx = (0..ys.len())
-        .min_by(|&a, &b| ys[a].partial_cmp(&ys[b]).expect("finite"))
-        .expect("non-empty design");
+        .min_by(|&a, &b| ys[a].total_cmp(&ys[b]))
+        .unwrap_or(0);
     Ok(KrigingCalResult {
         best: OptimResult {
             x: xs[best_idx].clone(),
@@ -205,8 +292,7 @@ pub fn kriging_calibrate_unoptimized(
     cfg: &KrigingCalConfig,
     rng: &mut Rng,
 ) -> mde_numeric::Result<KrigingCalResult> {
-    assert!(cfg.design_runs >= 5, "need a non-trivial design");
-    assert!(cfg.reps_per_point >= 1, "need at least one replication");
+    validate_cfg(cfg)?;
 
     let design = nolh(bounds.dim(), cfg.design_runs, cfg.nolh_tries, rng);
     let mut xs: Vec<Vec<f64>> = design.scale_to(&bounds.ranges);
@@ -237,8 +323,8 @@ pub fn kriging_calibrate_unoptimized(
     let mut surrogate = GpModel::fit_unoptimized(&xs, &ys, &noise, &gp_cfg)?;
     for _ in 0..cfg.infill_rounds {
         let best_idx = (0..ys.len())
-            .min_by(|&a, &b| ys[a].partial_cmp(&ys[b]).expect("finite"))
-            .expect("non-empty design");
+            .min_by(|&a, &b| ys[a].total_cmp(&ys[b]))
+            .unwrap_or(0);
         let sur_ref = &surrogate;
         let bounds_ref = bounds;
         let r = nelder_mead(
@@ -264,8 +350,8 @@ pub fn kriging_calibrate_unoptimized(
     }
 
     let best_idx = (0..ys.len())
-        .min_by(|&a, &b| ys[a].partial_cmp(&ys[b]).expect("finite"))
-        .expect("non-empty design");
+        .min_by(|&a, &b| ys[a].total_cmp(&ys[b]))
+        .unwrap_or(0);
     Ok(KrigingCalResult {
         best: OptimResult {
             x: xs[best_idx].clone(),
@@ -462,6 +548,83 @@ mod tests {
                 res.best.x
             );
         }
+    }
+
+    #[test]
+    fn cached_calibration_is_bit_identical_and_hits_when_warm() {
+        use mde_numeric::cache::{CacheHandle, ObjectiveScope};
+        let cfg = KrigingCalConfig {
+            reps_per_point: 3,
+            ..KrigingCalConfig::default()
+        };
+        // Replication-indexed objective: a hit must reproduce mean AND
+        // variance bit-identically, which requires the full rep vector.
+        let obj = |x: &[f64], rep: usize| smooth(x) + 0.01 * rep as f64;
+        let mut rng = rng_from_seed(21);
+        let base = kriging_calibrate(obj, &unit_bounds(), &cfg, &mut rng).unwrap();
+
+        let handle = CacheHandle::in_memory();
+        let mut scope = ObjectiveScope::new(handle.clone(), "calibrate.kriging", 0xCAFE, 3, 21);
+        let mut rng = rng_from_seed(21);
+        let cold =
+            kriging_calibrate_cached(obj, &unit_bounds(), &cfg, &mut rng, None, &mut scope)
+                .unwrap();
+        assert_eq!(
+            cold.best.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            base.best.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "caching must not perturb the calibration"
+        );
+        assert_eq!(cold.best.fx.to_bits(), base.best.fx.to_bits());
+
+        // Warm pass: fresh scope, same identity — the objective never
+        // runs, the answer is bit-identical, and the ledger carries the
+        // deterministic cache counters.
+        let mut scope2 = ObjectiveScope::new(handle.clone(), "calibrate.kriging", 0xCAFE, 3, 21);
+        let mut rng = rng_from_seed(21);
+        let mut fresh_evals = 0u64;
+        let mut metrics = mde_numeric::obs::RunMetrics::new();
+        let warm = kriging_calibrate_cached(
+            |x: &[f64], rep: usize| {
+                fresh_evals += 1;
+                obj(x, rep)
+            },
+            &unit_bounds(),
+            &cfg,
+            &mut rng,
+            Some(&mut metrics),
+            &mut scope2,
+        )
+        .unwrap();
+        assert_eq!(fresh_evals, 0, "warm calibration must be pure cache hits");
+        assert_eq!(warm.best.fx.to_bits(), base.best.fx.to_bits());
+        assert!(metrics.counter("cache.hits") > 0);
+        // The calibration answer traces back to its cached evaluations.
+        let prov = handle
+            .provenance_of(&scope2.trace_key())
+            .expect("trace provenance");
+        assert_eq!(prov.campaign, "calibrate.kriging");
+        assert_eq!(prov.upstream.len(), warm.evaluated.len());
+    }
+
+    #[test]
+    fn invalid_config_is_typed_not_a_panic() {
+        let mut rng = rng_from_seed(1);
+        let tiny = KrigingCalConfig {
+            design_runs: 2,
+            ..KrigingCalConfig::default()
+        };
+        assert!(kriging_calibrate(|x, _| smooth(x), &unit_bounds(), &tiny, &mut rng).is_err());
+        let zero_reps = KrigingCalConfig {
+            reps_per_point: 0,
+            ..KrigingCalConfig::default()
+        };
+        assert!(
+            kriging_calibrate(|x, _| smooth(x), &unit_bounds(), &zero_reps, &mut rng).is_err()
+        );
+        assert!(
+            kriging_calibrate_unoptimized(|x, _| smooth(x), &unit_bounds(), &tiny, &mut rng)
+                .is_err()
+        );
     }
 
     #[test]

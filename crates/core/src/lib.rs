@@ -51,6 +51,8 @@
 
 #![warn(missing_docs)]
 
+pub use mde_numeric::cache;
+
 pub mod composite;
 pub mod error;
 pub mod experiment;

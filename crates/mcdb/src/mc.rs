@@ -40,6 +40,7 @@
 use crate::query::{Catalog, Plan, PreparedQuery};
 use crate::random_table::{PreparedRandomTable, RandomTableSpec};
 use crate::table::Table;
+use mde_numeric::cache::{CacheEntry, CacheKey, Provenance};
 use mde_numeric::checkpoint::{CampaignState, Fingerprint};
 use mde_numeric::resilience::{
     catch_panic, retry_seed, supervise_replicate, AttemptFailure, FaultKind, ReplicateOutcome,
@@ -136,8 +137,13 @@ impl MonteCarloQuery {
         seed: u64,
         opts: &RunOptions,
     ) -> crate::Result<McRun> {
+        if let Some(hit) = self.replay_cached(n, seed, opts)? {
+            return Ok(hit);
+        }
         let state = CampaignState::new(CAMPAIGN_MC, self.fingerprint(n, seed), seed, n as u64);
-        self.campaign(catalog, n, seed, opts, state)
+        let run = self.campaign(catalog, n, seed, opts, state)?;
+        self.cache_completed(n, seed, opts, &run);
+        Ok(run)
     }
 
     /// Resume a sequential supervised run from an in-memory
@@ -156,7 +162,9 @@ impl MonteCarloQuery {
         state: CampaignState,
     ) -> crate::Result<McRun> {
         state.validate(CAMPAIGN_MC, self.fingerprint(n, seed))?;
-        self.campaign(catalog, n, seed, opts, state)
+        let run = self.campaign(catalog, n, seed, opts, state)?;
+        self.cache_completed(n, seed, opts, &run);
+        Ok(run)
     }
 
     /// Resume a sequential supervised run from a checkpoint file written
@@ -185,6 +193,96 @@ impl MonteCarloQuery {
             .push_str(&format!("{:?}", self.specs))
             .push_str(&format!("{:?}", self.query))
             .finish()
+    }
+
+    /// Content address of a *completed* run of this campaign in the
+    /// cross-campaign result cache: the campaign fingerprint plus the
+    /// run-shaping options. Policy and fault plan participate because
+    /// they change which replicates survive (and therefore the bits of
+    /// the result); deadline/cancel/checkpoint/threads do not — a
+    /// completed run is the same completed run regardless of how it was
+    /// scheduled or persisted.
+    fn cache_key(&self, n: usize, seed: u64, opts: &RunOptions) -> CacheKey {
+        let spec_fingerprint = Fingerprint::new("mcdb.mc-cache")
+            .push_u64(self.fingerprint(n, seed))
+            .push_str(&format!("{:?}", opts.policy))
+            .push_str(&format!("{:?}", opts.faults))
+            .finish();
+        CacheKey::for_campaign(spec_fingerprint, n as u64, seed)
+    }
+
+    /// Replay a cached completed run, if `opts.cache` holds one for this
+    /// exact campaign. Reconstructs the full [`McRun`] — samples,
+    /// deterministic report, resumable final state — bit-identically to
+    /// a recompute, honoring the final-checkpoint contract when a
+    /// [`CheckpointSpec`](mde_numeric::CheckpointSpec) is attached. A
+    /// structurally implausible entry is treated as a miss (recompute),
+    /// never an error.
+    fn replay_cached(
+        &self,
+        n: usize,
+        seed: u64,
+        opts: &RunOptions,
+    ) -> crate::Result<Option<McRun>> {
+        let Some(cache) = &opts.cache else {
+            return Ok(None);
+        };
+        let entry = match cache.get(&self.cache_key(n, seed, opts)) {
+            Some(e) => e,
+            None => return Ok(None),
+        };
+        let Some(report) = entry.report else {
+            return Ok(None);
+        };
+        if entry.values.len() != entry.ints.len() || entry.values.len() > n {
+            return Ok(None);
+        }
+        let mut state = CampaignState::new(CAMPAIGN_MC, self.fingerprint(n, seed), seed, n as u64);
+        state.cursor = n as u64;
+        state.completed = entry
+            .ints
+            .iter()
+            .zip(&entry.values)
+            .map(|(&i, &v)| (i, vec![v]))
+            .collect();
+        state.report = report;
+        if let Some(spec) = &opts.checkpoint {
+            let stats = state
+                .save_stats(&spec.path)
+                .map_err(crate::McdbError::from)?;
+            stats.record_into(&mut state.report.metrics);
+        }
+        let samples = state.completed.iter().map(|(_, v)| v[0]).collect();
+        Ok(Some(McRun {
+            result: McResult::new(samples),
+            report: state.report.clone(),
+            stopped: None,
+            checkpoint: Some(state),
+        }))
+    }
+
+    /// Store a *completed* run in `opts.cache` (stopped/partial runs are
+    /// never cached — they are checkpoints, not answers). Best-effort
+    /// durable: a failed persist is counted, never surfaced.
+    fn cache_completed(&self, n: usize, seed: u64, opts: &RunOptions, run: &McRun) {
+        let Some(cache) = &opts.cache else { return };
+        if run.stopped.is_some() {
+            return;
+        }
+        let Some(state) = &run.checkpoint else { return };
+        let key = self.cache_key(n, seed, opts);
+        let spec_fingerprint = key.spec_fingerprint;
+        cache.insert_durable(CacheEntry {
+            key,
+            values: state.completed.iter().map(|(_, v)| v[0]).collect(),
+            ints: state.completed.iter().map(|(i, _)| *i).collect(),
+            report: Some(run.report.clone()),
+            provenance: Provenance {
+                campaign: CAMPAIGN_MC.to_string(),
+                spec_fingerprint,
+                upstream: Vec::new(),
+            },
+        });
     }
 
     /// The sequential campaign loop: continue from `state.cursor`, check
@@ -267,8 +365,16 @@ impl MonteCarloQuery {
         threads: usize,
         opts: &RunOptions,
     ) -> crate::Result<McRun> {
+        // The cache key excludes the thread count on purpose: parallel
+        // and sequential runs are bit-identical, so either may replay a
+        // result the other computed.
+        if let Some(hit) = self.replay_cached(n, seed, opts)? {
+            return Ok(hit);
+        }
         let state = CampaignState::new(CAMPAIGN_MC, self.fingerprint(n, seed), seed, n as u64);
-        self.campaign_parallel(catalog, n, seed, threads, opts, state)
+        let run = self.campaign_parallel(catalog, n, seed, threads, opts, state)?;
+        self.cache_completed(n, seed, opts, &run);
+        Ok(run)
     }
 
     /// Resume a parallel supervised run from an in-memory
@@ -285,7 +391,9 @@ impl MonteCarloQuery {
         state: CampaignState,
     ) -> crate::Result<McRun> {
         state.validate(CAMPAIGN_MC, self.fingerprint(n, seed))?;
-        self.campaign_parallel(catalog, n, seed, threads, opts, state)
+        let run = self.campaign_parallel(catalog, n, seed, threads, opts, state)?;
+        self.cache_completed(n, seed, opts, &run);
+        Ok(run)
     }
 
     /// Resume a parallel supervised run from a checkpoint file.

@@ -621,6 +621,12 @@ fn build(plan: &Plan, catalog: &Catalog) -> crate::Result<(PhysOp, Schema)> {
 fn materialize(chunk: &Chunk, name: &str, ctx: &ExecCtx) -> crate::Result<Table> {
     if let Some(sel) = chunk.sel_slice() {
         chunk.batch.check_sel(sel)?;
+    } else {
+        // No selection vector: the root chunk is a batch verbatim (plain
+        // scan, values, or an operator that rebuilt its batch). Adopt it
+        // wholesale — no per-row rebuild, and the result table's columnar
+        // view is already cached for follow-up queries.
+        return Ok(Table::from_batch(name, Arc::clone(&chunk.batch)));
     }
     let lanes = chunk.len();
     let ranges = ctx.ranges(lanes);

@@ -36,6 +36,14 @@ enum TableStore {
         tail: Vec<Row>,
         rows_cache: OnceLock<Vec<Row>>,
     },
+    /// A columnar batch adopted wholesale from the vectorized executor
+    /// (a plain-scan result with no selection vector). Row-oriented
+    /// access lazily transposes into `rows_cache`; [`Table::try_batch`]
+    /// is free, so repeated queries over a query result never re-transpose.
+    Batch {
+        batch: Arc<Batch>,
+        rows_cache: OnceLock<Vec<Row>>,
+    },
 }
 
 /// A table with a name, schema, and rows.
@@ -145,6 +153,23 @@ impl Table {
         Table::open_paged(path, pool)
     }
 
+    /// Wrap an executor batch as a table without transposing it back to
+    /// rows. This is how the vectorized executor returns a plain scan:
+    /// the result shares the scanned table's cached batch, so a full-table
+    /// scan is O(1) instead of an O(rows × cols) rebuild.
+    pub(crate) fn from_batch(name: impl Into<String>, batch: Arc<Batch>) -> Table {
+        Table {
+            name: name.into(),
+            schema: batch.schema().clone(),
+            store: TableStore::Batch {
+                batch,
+                rows_cache: OnceLock::new(),
+            },
+            batch_cache: OnceLock::new(),
+            materializations: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     /// Whether this table is backed by a paged file.
     pub fn is_paged(&self) -> bool {
         matches!(self.store, TableStore::Paged { .. })
@@ -155,7 +180,7 @@ impl Table {
     /// inspect pool behavior.
     pub fn paged_store(&self) -> Option<&Arc<PagedStore>> {
         match &self.store {
-            TableStore::Mem(_) => None,
+            TableStore::Mem(_) | TableStore::Batch { .. } => None,
             TableStore::Paged { store, .. } => Some(store),
         }
     }
@@ -198,6 +223,9 @@ impl Table {
                 rows.extend(tail.iter().cloned());
                 rows
             }),
+            TableStore::Batch { batch, rows_cache } => {
+                rows_cache.get_or_init(|| (0..batch.len()).map(|i| batch.row(i)).collect())
+            }
         }
     }
 
@@ -206,6 +234,7 @@ impl Table {
         match &self.store {
             TableStore::Mem(rows) => rows.len(),
             TableStore::Paged { store, tail, .. } => store.n_rows() + tail.len(),
+            TableStore::Batch { batch, .. } => batch.len(),
         }
     }
 
@@ -221,7 +250,7 @@ impl Table {
         let _ = self.rows();
         match self.store {
             TableStore::Mem(rows) => rows,
-            TableStore::Paged { rows_cache, .. } => {
+            TableStore::Paged { rows_cache, .. } | TableStore::Batch { rows_cache, .. } => {
                 rows_cache.into_inner().expect("rows materialized above")
             }
         }
@@ -255,6 +284,7 @@ impl Table {
                 self.materializations.fetch_add(1, Ordering::Relaxed);
                 Arc::new(Batch::from_table(self))
             }))),
+            TableStore::Batch { batch, .. } => Ok(Arc::clone(batch)),
             TableStore::Paged { store, tail, .. } => {
                 let base = store.read_batch_parallel(threads)?;
                 if tail.is_empty() {
@@ -289,6 +319,8 @@ impl Table {
         match &self.store {
             TableStore::Mem(_) => self.batch_cache.get().is_some(),
             TableStore::Paged { .. } => false,
+            // An adopted batch IS the columnar view — always a hit.
+            TableStore::Batch { .. } => true,
         }
     }
 
@@ -315,6 +347,17 @@ impl Table {
     pub(crate) fn push_row_unchecked(&mut self, row: Row) {
         debug_assert!(self.schema.validate_row(&row).is_ok());
         self.batch_cache.take();
+        if matches!(self.store, TableStore::Batch { .. }) {
+            // Appending demotes an adopted batch to the plain row backend:
+            // the batch is immutable, so materialize rows once and switch.
+            let prev = std::mem::replace(&mut self.store, TableStore::Mem(Vec::new()));
+            if let TableStore::Batch { batch, rows_cache } = prev {
+                let rows = rows_cache
+                    .into_inner()
+                    .unwrap_or_else(|| (0..batch.len()).map(|i| batch.row(i)).collect());
+                self.store = TableStore::Mem(rows);
+            }
+        }
         match &mut self.store {
             TableStore::Mem(rows) => rows.push(row),
             TableStore::Paged {
@@ -323,6 +366,7 @@ impl Table {
                 rows_cache.take();
                 tail.push(row);
             }
+            TableStore::Batch { .. } => unreachable!("demoted to Mem above"),
         }
     }
 

@@ -549,17 +549,20 @@ pub fn gp_screening_augmented<R: ResponseSurface>(
     )?;
     for _ in 0..augment_runs {
         // Place the probe at the most uncertain of a candidate batch.
-        let mut best_x: Option<Vec<f64>> = None;
-        let mut best_v = f64::NEG_INFINITY;
-        for _ in 0..CANDIDATES_PER_PROBE {
+        // The first candidate seeds the incumbent, so a batch whose
+        // variances are all non-finite still yields a usable probe —
+        // no panic path.
+        let mut best_x: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+        let mut best_v = gp.predict_variance(&best_x);
+        for _ in 1..CANDIDATES_PER_PROBE {
             let x: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
             let v = gp.predict_variance(&x);
             if v > best_v {
                 best_v = v;
-                best_x = Some(x);
+                best_x = x;
             }
         }
-        let x = best_x.expect("at least one candidate");
+        let x = best_x;
         let y = response.eval(&x, rng);
         gp.append_point(&x, y, 0.0, metrics.as_deref_mut())?;
         ws.push(&x)?;
@@ -571,10 +574,52 @@ pub fn gp_screening_augmented<R: ResponseSurface>(
     Ok(rank_thetas(&gp))
 }
 
+/// [`gp_screening`] with every probe memoized through a cross-campaign
+/// [`ObjectiveScope`](mde_numeric::cache::ObjectiveScope).
+///
+/// Takes a `seed` rather than a shared RNG: the NOLH design draws from
+/// `StreamFactory::new(seed).child(0)` and probe `i` from `child(1 + i)`,
+/// so each probe's randomness is a pure function of `(seed, i)` — a cache
+/// hit skips the evaluation *without* perturbing any other probe's
+/// stream, keeping cached and uncached screenings bit-identical. The
+/// final ranking is stored as a trace entry (`[factor, θ]` pairs) whose
+/// provenance lists every probe entry consulted or produced.
+pub fn gp_screening_cached<R: ResponseSurface>(
+    response: &R,
+    design_runs: usize,
+    seed: u64,
+    scope: &mut mde_numeric::cache::ObjectiveScope,
+) -> mde_numeric::Result<Vec<(usize, f64)>> {
+    let factory = StreamFactory::new(seed);
+    let k = response.dim();
+    let design = nolh(k, design_runs, 50, &mut factory.child(0).stream(0));
+    let ranges = vec![(-1.0, 1.0); k];
+    let xs = design.scale_to(&ranges);
+    let ys: Vec<f64> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            scope.memoize_scalar(x, || {
+                let mut probe_rng = factory.child(1 + i as u64).stream(0);
+                response.eval(x, &mut probe_rng)
+            })
+        })
+        .collect();
+    let gp = GpModel::fit(&xs, &ys, &GpConfig::default())?;
+    let ranked = rank_thetas(&gp);
+    let mut trace = Vec::with_capacity(ranked.len() * 2);
+    for &(j, theta) in &ranked {
+        trace.push(j as f64);
+        trace.push(theta);
+    }
+    scope.store_trace(trace);
+    Ok(ranked)
+}
+
 /// Factors ranked by descending fitted `θⱼ`.
 fn rank_thetas(gp: &GpModel) -> Vec<(usize, f64)> {
     let mut ranked: Vec<(usize, f64)> = gp.thetas().iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite thetas"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     ranked
 }
 
@@ -775,6 +820,41 @@ mod tests {
         // anchor fits account for all factorization bursts.
         assert_eq!(metrics.counter("gp.extends"), 6);
         assert!(metrics.counter("gp.factorizations") > 0);
+    }
+
+    #[test]
+    fn gp_screening_cached_is_deterministic_and_hits_when_warm() {
+        use mde_numeric::cache::{CacheHandle, ObjectiveScope};
+        // Deterministic response (no draws consumed) so cold/warm bit
+        // identity is exact even at the probe level.
+        let r = FnResponse::new(4, |x: &[f64], _rng: &mut Rng| {
+            2.0 * x[0] - 1.5 * x[2] + 0.1 * x[1] * x[3]
+        });
+        let handle = CacheHandle::in_memory();
+        let mut scope = ObjectiveScope::new(handle.clone(), "metamodel.gp-screening", 0x5EED, 1, 9);
+        let cold = gp_screening_cached(&r, 17, 9, &mut scope).unwrap();
+        // Warm pass, fresh scope with the same identity: pure hits,
+        // bit-identical ranking.
+        let mut scope2 =
+            ObjectiveScope::new(handle.clone(), "metamodel.gp-screening", 0x5EED, 1, 9);
+        let before = handle.stats();
+        let warm = gp_screening_cached(&r, 17, 9, &mut scope2).unwrap();
+        let after = handle.stats();
+        assert_eq!(after.misses, before.misses, "warm screening must not miss");
+        assert_eq!(after.hits, before.hits + 17);
+        assert_eq!(cold.len(), warm.len());
+        for ((ci, ct), (wi, wt)) in cold.iter().zip(&warm) {
+            assert_eq!(ci, wi);
+            assert_eq!(ct.to_bits(), wt.to_bits());
+        }
+        // Active factors 0 and 2 outrank the inert ones.
+        let top2: Vec<usize> = cold[..2].iter().map(|(j, _)| *j).collect();
+        assert!(top2.contains(&0) && top2.contains(&2), "ranked: {cold:?}");
+        // The ranking's provenance lists all 17 probes.
+        let prov = handle
+            .provenance_of(&scope2.trace_key())
+            .expect("trace provenance");
+        assert_eq!(prov.upstream.len(), 17);
     }
 
     #[test]

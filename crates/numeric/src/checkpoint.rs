@@ -204,10 +204,10 @@ pub type Result<T> = std::result::Result<T, CheckpointError>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fingerprint(u64);
 
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
-fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(FNV_PRIME);
@@ -339,43 +339,7 @@ impl CampaignState {
         put_u64(&mut body, self.master_seed);
         put_u64(&mut body, self.total);
         put_u64(&mut body, self.cursor);
-        // Report.
-        put_u64(&mut body, self.report.attempted as u64);
-        put_u64(&mut body, self.report.succeeded as u64);
-        put_u64(&mut body, self.report.retried as u64);
-        put_u64(&mut body, self.report.dropped as u64);
-        put_u64(&mut body, self.report.shed as u64);
-        body.push(self.report.ci_widened as u8);
-        put_u64(&mut body, self.report.failures.len() as u64);
-        for fr in &self.report.failures {
-            put_u64(&mut body, fr.replicate);
-            put_u64(&mut body, fr.attempt as u64);
-            body.push(encode_failure_kind(fr.kind));
-            put_str(&mut body, &fr.message);
-        }
-        // Metrics ledger — deterministic values only. Out-of-band
-        // wall-clock/I/O measurements never persist, so a resumed run
-        // restarts them from zero without affecting report equality.
-        let metrics = &self.report.metrics;
-        put_u64(&mut body, metrics.counter_entries().count() as u64);
-        for (name, v) in metrics.counter_entries() {
-            put_str(&mut body, name);
-            put_u64(&mut body, v);
-        }
-        put_u64(&mut body, metrics.histogram_entries().count() as u64);
-        for (name, h) in metrics.histogram_entries() {
-            put_str(&mut body, name);
-            put_u64(&mut body, h.nonfinite());
-            // Option<f64> with a NaN sentinel: observed extrema are
-            // always finite, so NaN is unambiguous.
-            put_u64(&mut body, h.min().unwrap_or(f64::NAN).to_bits());
-            put_u64(&mut body, h.max().unwrap_or(f64::NAN).to_bits());
-            put_u64(&mut body, h.raw_buckets().count() as u64);
-            for (key, count) in h.raw_buckets() {
-                put_u64(&mut body, key as u64);
-                put_u64(&mut body, count);
-            }
-        }
+        encode_report(&self.report, &mut body);
         // Completed ledger.
         put_u64(&mut body, self.completed.len() as u64);
         for (idx, payload) in &self.completed {
@@ -420,50 +384,7 @@ impl CampaignState {
         let master_seed = cur.take_u64()?;
         let total = cur.take_u64()?;
         let cursor = cur.take_u64()?;
-        let mut report = RunReport::new();
-        report.attempted = cur.take_len()?;
-        report.succeeded = cur.take_len()?;
-        report.retried = cur.take_len()?;
-        report.dropped = cur.take_len()?;
-        report.shed = cur.take_len()?;
-        report.ci_widened = cur.take_u8()? != 0;
-        let n_failures = cur.take_len()?;
-        for _ in 0..n_failures {
-            let replicate = cur.take_u64()?;
-            let attempt = cur.take_u64()? as u32;
-            let kind = decode_failure_kind(cur.take_u8()?)?;
-            let message = cur.take_str()?;
-            report.failures.push(FailureRecord {
-                replicate,
-                attempt,
-                kind,
-                message,
-            });
-        }
-        let n_counters = cur.take_len()?;
-        for _ in 0..n_counters {
-            let name = cur.take_str()?;
-            let v = cur.take_u64()?;
-            report.metrics.set_counter(name, v);
-        }
-        let n_hists = cur.take_len()?;
-        for _ in 0..n_hists {
-            let name = cur.take_str()?;
-            let nonfinite = cur.take_u64()?;
-            let min = Some(cur.take_f64()?).filter(|v| !v.is_nan());
-            let max = Some(cur.take_f64()?).filter(|v| !v.is_nan());
-            let n_buckets = cur.take_len()?;
-            let mut buckets = Vec::with_capacity(n_buckets);
-            for _ in 0..n_buckets {
-                let key = cur.take_u64()? as i64;
-                let count = cur.take_u64()?;
-                buckets.push((key, count));
-            }
-            report.metrics.set_histogram(
-                name,
-                crate::obs::Histogram::from_raw(buckets, nonfinite, min, max),
-            );
-        }
+        let report = decode_report(&mut cur)?;
         let n_completed = cur.take_len()?;
         let mut completed = Vec::with_capacity(n_completed.min(1 << 20));
         for _ in 0..n_completed {
@@ -531,6 +452,97 @@ impl CampaignState {
     }
 }
 
+/// Serialize a [`RunReport`] into a codec body — counts, failure ledger,
+/// and the **deterministic** half of the metrics ledger only. Out-of-band
+/// wall-clock/I/O measurements never persist, so a resumed (or
+/// cache-replayed) run restarts them from zero without affecting report
+/// equality. Shared by the checkpoint and result-cache codecs.
+pub(crate) fn encode_report(report: &RunReport, body: &mut Vec<u8>) {
+    put_u64(body, report.attempted as u64);
+    put_u64(body, report.succeeded as u64);
+    put_u64(body, report.retried as u64);
+    put_u64(body, report.dropped as u64);
+    put_u64(body, report.shed as u64);
+    body.push(report.ci_widened as u8);
+    put_u64(body, report.failures.len() as u64);
+    for fr in &report.failures {
+        put_u64(body, fr.replicate);
+        put_u64(body, fr.attempt as u64);
+        body.push(encode_failure_kind(fr.kind));
+        put_str(body, &fr.message);
+    }
+    let metrics = &report.metrics;
+    put_u64(body, metrics.counter_entries().count() as u64);
+    for (name, v) in metrics.counter_entries() {
+        put_str(body, name);
+        put_u64(body, v);
+    }
+    put_u64(body, metrics.histogram_entries().count() as u64);
+    for (name, h) in metrics.histogram_entries() {
+        put_str(body, name);
+        put_u64(body, h.nonfinite());
+        // Option<f64> with a NaN sentinel: observed extrema are
+        // always finite, so NaN is unambiguous.
+        put_u64(body, h.min().unwrap_or(f64::NAN).to_bits());
+        put_u64(body, h.max().unwrap_or(f64::NAN).to_bits());
+        put_u64(body, h.raw_buckets().count() as u64);
+        for (key, count) in h.raw_buckets() {
+            put_u64(body, key as u64);
+            put_u64(body, count);
+        }
+    }
+}
+
+/// Inverse of [`encode_report`]; every overrun or impossible field is a
+/// typed [`CheckpointError::Corrupt`].
+pub(crate) fn decode_report(cur: &mut Cursor<'_>) -> Result<RunReport> {
+    let mut report = RunReport::new();
+    report.attempted = cur.take_len()?;
+    report.succeeded = cur.take_len()?;
+    report.retried = cur.take_len()?;
+    report.dropped = cur.take_len()?;
+    report.shed = cur.take_len()?;
+    report.ci_widened = cur.take_u8()? != 0;
+    let n_failures = cur.take_len()?;
+    for _ in 0..n_failures {
+        let replicate = cur.take_u64()?;
+        let attempt = cur.take_u64()? as u32;
+        let kind = decode_failure_kind(cur.take_u8()?)?;
+        let message = cur.take_str()?;
+        report.failures.push(FailureRecord {
+            replicate,
+            attempt,
+            kind,
+            message,
+        });
+    }
+    let n_counters = cur.take_len()?;
+    for _ in 0..n_counters {
+        let name = cur.take_str()?;
+        let v = cur.take_u64()?;
+        report.metrics.set_counter(name, v);
+    }
+    let n_hists = cur.take_len()?;
+    for _ in 0..n_hists {
+        let name = cur.take_str()?;
+        let nonfinite = cur.take_u64()?;
+        let min = Some(cur.take_f64()?).filter(|v| !v.is_nan());
+        let max = Some(cur.take_f64()?).filter(|v| !v.is_nan());
+        let n_buckets = cur.take_len()?;
+        let mut buckets = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            let key = cur.take_u64()? as i64;
+            let count = cur.take_u64()?;
+            buckets.push((key, count));
+        }
+        report.metrics.set_histogram(
+            name,
+            crate::obs::Histogram::from_raw(buckets, nonfinite, min, max),
+        );
+    }
+    Ok(report)
+}
+
 fn encode_failure_kind(kind: FailureKind) -> u8 {
     match kind {
         FailureKind::Panic => 0,
@@ -550,16 +562,16 @@ fn decode_failure_kind(b: u8) -> Result<FailureKind> {
     }
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u64(buf, s.len() as u64);
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
+pub(crate) fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
     put_u64(buf, vs.len() as u64);
     for v in vs {
         buf.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -567,13 +579,23 @@ fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
 }
 
 /// Bounds-checked body reader: every overrun is a typed `Corrupt` error.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     body: &'a [u8],
     pos: usize,
 }
 
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(body: &'a [u8]) -> Cursor<'a> {
+        Cursor { body, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.body.len() - self.pos
+    }
+}
+
 impl Cursor<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&[u8]> {
         if self.body.len() - self.pos < n {
             return Err(CheckpointError::Corrupt {
                 reason: format!(
@@ -588,18 +610,18 @@ impl Cursor<'_> {
         Ok(s)
     }
 
-    fn take_u8(&mut self) -> Result<u8> {
+    pub(crate) fn take_u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn take_u64(&mut self) -> Result<u64> {
+    pub(crate) fn take_u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
     /// A u64 that must fit in `usize` and be plausible as an element count
     /// for the remaining bytes (each element is at least one byte), so a
     /// corrupted length cannot trigger an absurd allocation.
-    fn take_len(&mut self) -> Result<usize> {
+    pub(crate) fn take_len(&mut self) -> Result<usize> {
         let v = self.take_u64()?;
         let remaining = (self.body.len() - self.pos) as u64;
         if v > remaining {
@@ -610,11 +632,11 @@ impl Cursor<'_> {
         Ok(v as usize)
     }
 
-    fn take_f64(&mut self) -> Result<f64> {
+    pub(crate) fn take_f64(&mut self) -> Result<f64> {
         Ok(f64::from_bits(self.take_u64()?))
     }
 
-    fn take_f64s(&mut self) -> Result<Vec<f64>> {
+    pub(crate) fn take_f64s(&mut self) -> Result<Vec<f64>> {
         let n = self.take_len()?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -623,7 +645,7 @@ impl Cursor<'_> {
         Ok(out)
     }
 
-    fn take_str(&mut self) -> Result<String> {
+    pub(crate) fn take_str(&mut self) -> Result<String> {
         let n = self.take_len()?;
         String::from_utf8(self.take(n)?.to_vec()).map_err(|_| CheckpointError::Corrupt {
             reason: "string field is not UTF-8".into(),

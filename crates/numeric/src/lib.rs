@@ -38,12 +38,19 @@
 //!   seed/spec [`Fingerprint`] that guards resumption, shared by every
 //!   surface that supports checkpoint/resume, deadlines, and
 //!   cancellation.
+//! * [`cache`] — the content-addressed cross-campaign result cache
+//!   (§2.3 result caching): completed runs keyed by spec fingerprint,
+//!   parameter point, replicate count, and seed, persisted in the
+//!   checksummed `MDECACHE1` format with LRU bounds and per-entry
+//!   provenance, so revisited parameter points cost a lookup instead of
+//!   a Monte Carlo campaign.
 //!
 //! The crate is deliberately dependency-light (only `rand`): the paper's
 //! systems are reproduced from scratch, so the numeric layer is too.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checkpoint;
 pub mod dist;
 pub mod error;
@@ -55,6 +62,7 @@ pub mod resilience;
 pub mod rng;
 pub mod stats;
 
+pub use cache::{CacheEntry, CacheError, CacheHandle, CacheKey, CacheStats, ObjectiveScope, Provenance, ResultCache};
 pub use checkpoint::{write_atomic, CampaignState, CheckpointError, Fingerprint, SaveStats};
 pub use error::NumericError;
 pub use obs::{Counter, Gauge, Histogram, RunMetrics, Span, TraceSink, Tracer};

@@ -996,6 +996,12 @@ pub struct RunOptions {
     pub cancel: Option<CancelToken>,
     /// Checkpoint persistence (path + interval).
     pub checkpoint: Option<CheckpointSpec>,
+    /// Cross-campaign result cache: a completed run whose content
+    /// address (spec fingerprint, replicates, seed, policy/fault shape)
+    /// is already cached replays the stored result bit-identically
+    /// instead of recomputing. Equality on the handle is identity, so
+    /// `RunOptions` equality stays meaningful.
+    pub cache: Option<crate::cache::CacheHandle>,
 }
 
 impl RunOptions {
@@ -1028,6 +1034,12 @@ impl RunOptions {
     /// Attach checkpoint persistence.
     pub fn with_checkpoint(mut self, checkpoint: CheckpointSpec) -> Self {
         self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Attach a result cache (keep a clone to inspect hit/miss stats).
+    pub fn with_cache(mut self, cache: crate::cache::CacheHandle) -> Self {
+        self.cache = Some(cache);
         self
     }
 

@@ -79,6 +79,31 @@ pub fn run_under_budget(
     Ok(Some(run_rc(composite, &RcConfig { n, alpha, seed })))
 }
 
+/// [`run_under_budget`] through the production result cache
+/// ([`run_rc_cached`](crate::rc::run_rc_cached)): bit-identical estimates,
+/// but `M₁` outputs shared with every other campaign using the same
+/// `(spec_fingerprint, seed)` — the α-sweep's common-random-numbers
+/// discipline becomes actual cross-campaign reuse.
+pub fn run_under_budget_cached(
+    composite: &SeriesComposite,
+    budget: f64,
+    alpha: f64,
+    seed: u64,
+    spec_fingerprint: u64,
+    cache: &mde_numeric::cache::CacheHandle,
+) -> Result<Option<RcEstimate>, SimoptError> {
+    let n = n_max(budget, alpha, composite.m1.cost(), composite.m2.cost())?;
+    if n == 0 {
+        return Ok(None);
+    }
+    Ok(Some(crate::rc::run_rc_cached(
+        composite,
+        &RcConfig { n, alpha, seed },
+        spec_fingerprint,
+        cache,
+    )))
+}
+
 /// Plan the asymptotically optimal budget-constrained run: pick
 /// `α* = optimal_alpha(𝒮, n_max)` (the paper's truncation "at 1/n or 1"),
 /// then size `n` to the budget.

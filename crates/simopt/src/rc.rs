@@ -10,8 +10,12 @@
 //! estimated as θ_n = (1/n) Σ Y₂ᵢ."
 
 use crate::component::SeriesComposite;
+use mde_numeric::cache::{CacheHandle, ObjectiveScope};
 use mde_numeric::rng::StreamFactory;
 use mde_numeric::stats::Summary;
+
+/// Provenance campaign tag for RC cache entries.
+pub const CAMPAIGN_RC: &str = "simopt.rc";
 
 /// Configuration of an RC run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +78,76 @@ pub fn run_rc(composite: &SeriesComposite, cfg: &RcConfig) -> RcEstimate {
     let mut summary = Summary::new();
     for i in 0..cfg.n {
         let y1 = &cache[i % m];
+        let mut rng = m2_streams.stream(i as u64);
+        let y2 = composite.run_m2(y1, &mut rng);
+        summary.push(y2);
+        samples.push(y2);
+    }
+
+    RcEstimate {
+        theta_hat: summary.mean(),
+        sample_variance: summary.sample_variance(),
+        n: cfg.n,
+        m,
+        cost: m as f64 * composite.m1.cost() + cfg.n as f64 * composite.m2.cost(),
+        samples,
+    }
+}
+
+/// [`run_rc`] with phase 1 backed by the production content-addressed
+/// [`ResultCache`](mde_numeric::cache::ResultCache) instead of a transient
+/// in-run vector.
+///
+/// Each `M₁` replication `j` is keyed by
+/// `(spec_fingerprint, [j], replicates = 1, cfg.seed)` and memoized
+/// through an [`ObjectiveScope`], so runs that share a seed — e.g. the
+/// §2.3 α-sweep, which uses common random numbers across α — pay for each
+/// `M₁` output exactly once per cache, however many campaigns revisit it.
+/// Because `M₁` run `j` draws from its own stream `(0, j)`, a cache hit
+/// consumes no randomness and the estimate is bit-identical to
+/// [`run_rc`]'s at every `(n, α, seed)`, cold or warm.
+///
+/// `spec_fingerprint` must identify the composite (the cache cannot hash
+/// closures); distinct composites sharing a fingerprint would cross-hit.
+pub fn run_rc_cached(
+    composite: &SeriesComposite,
+    cfg: &RcConfig,
+    spec_fingerprint: u64,
+    cache: &CacheHandle,
+) -> RcEstimate {
+    assert!(cfg.n > 0, "need at least one replication");
+    assert!(
+        cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+        "alpha must be in (0, 1], got {}",
+        cfg.alpha
+    );
+    let mut scope = ObjectiveScope::new(
+        cache.clone(),
+        CAMPAIGN_RC,
+        spec_fingerprint,
+        1,
+        cfg.seed,
+    );
+    let m = ((cfg.alpha * cfg.n as f64).ceil() as usize).clamp(1, cfg.n);
+    let factory = StreamFactory::new(cfg.seed);
+    let m1_streams = factory.child(0);
+    let m2_streams = factory.child(1);
+
+    // Phase 1: the m M₁ outputs, each a content-addressed cache entry.
+    let cached: Vec<Vec<f64>> = (0..m)
+        .map(|j| {
+            scope.memoize(&[j as f64], || {
+                let mut rng = m1_streams.stream(j as u64);
+                composite.run_m1(&mut rng)
+            })
+        })
+        .collect();
+
+    // Phase 2: n M₂ runs, cycling deterministically through the cache.
+    let mut samples = Vec::with_capacity(cfg.n);
+    let mut summary = Summary::new();
+    for i in 0..cfg.n {
+        let y1 = &cached[i % m];
         let mut rng = m2_streams.stream(i as u64);
         let y2 = composite.run_m2(y1, &mut rng);
         summary.push(y2);
@@ -334,6 +408,68 @@ mod tests {
         );
         assert_eq!(est.m, 25);
         assert_eq!(est.cost, 25.0 * 10.0 + 100.0);
+    }
+
+    #[test]
+    fn cached_rc_is_bit_identical_and_shares_m1_across_alphas() {
+        let c = composite();
+        let handle = CacheHandle::in_memory();
+        let fp = 0xFEED_F00D;
+        // Cold pass at α = 0.5 must equal the uncached runner exactly.
+        let cfg_half = RcConfig {
+            n: 12,
+            alpha: 0.5,
+            seed: 3,
+        };
+        let plain = run_rc(&c, &cfg_half);
+        let cold = run_rc_cached(&c, &cfg_half, fp, &handle);
+        assert_eq!(plain, cold);
+        let after_cold = handle.stats();
+        assert_eq!(after_cold.misses, 6);
+        assert_eq!(after_cold.hits, 0);
+
+        // Same seed at α = 1 shares the first 6 M₁ outputs (CRN → real
+        // cross-campaign hits) and still matches the uncached runner.
+        let cfg_full = RcConfig {
+            n: 12,
+            alpha: 1.0,
+            seed: 3,
+        };
+        let warm = run_rc_cached(&c, &cfg_full, fp, &handle);
+        assert_eq!(run_rc(&c, &cfg_full), warm);
+        let after_warm = handle.stats();
+        assert_eq!(after_warm.hits, 6);
+        assert_eq!(after_warm.misses, 12);
+
+        // A foreign fingerprint or a stale seed never hits.
+        run_rc_cached(&c, &cfg_half, fp ^ 1, &handle);
+        let foreign = handle.stats();
+        assert_eq!(foreign.hits, 6, "foreign fingerprint must miss");
+        run_rc_cached(
+            &c,
+            &RcConfig {
+                seed: 4,
+                ..cfg_half
+            },
+            fp,
+            &handle,
+        );
+        assert_eq!(handle.stats().hits, 6, "stale seed must miss");
+    }
+
+    #[test]
+    fn cached_budget_runner_matches_uncached() {
+        use crate::budget::{run_under_budget, run_under_budget_cached};
+        let c = composite();
+        let handle = CacheHandle::in_memory();
+        for seed in 0..5 {
+            let plain = run_under_budget(&c, 400.0, 0.3162, seed).unwrap();
+            let cached = run_under_budget_cached(&c, 400.0, 0.3162, seed, 7, &handle).unwrap();
+            assert_eq!(plain, cached);
+            // Rerun warm: every M₁ output is a hit, result unchanged.
+            let warm = run_under_budget_cached(&c, 400.0, 0.3162, seed, 7, &handle).unwrap();
+            assert_eq!(plain, warm);
+        }
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! Differential + chaos suite for the content-addressed result cache.
+//!
+//! Contract under test (DESIGN.md §6h): a cache hit is bit-identical to a
+//! recompute — samples, deterministic report ledger, resumable final
+//! state — at every thread count, under fault injection and retries; a
+//! key that differs in any component (spec fingerprint, parameter point,
+//! replicate count, master seed) never hits; and a corrupt cache file is
+//! always a typed error or a transparent recompute, never a wrong answer.
+//!
+//! Corruption placement is keyed off `MDE_CHAOS_SEED` (CI runs a small
+//! matrix) but is fully deterministic for a given seed.
+
+use model_data_ecosystems::mcdb::mc::MonteCarloQuery;
+use model_data_ecosystems::mcdb::prelude::*;
+use model_data_ecosystems::mcdb::query::AggSpec;
+use model_data_ecosystems::mcdb::vg::NormalVg;
+use model_data_ecosystems::mcdb::{RunOptions, RunPolicy};
+use model_data_ecosystems::numeric::cache::{
+    CacheError, CacheHandle, CacheKey, ObjectiveScope, ResultCache, DEFAULT_MAX_BYTES,
+};
+use model_data_ecosystems::numeric::resilience::{FaultKind, FaultPlan};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn chaos_seed() -> u64 {
+    std::env::var("MDE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Deterministic LCG so the corruption schedule is a pure function of
+/// the chaos seed.
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+static FIXTURE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mde_cchaos_{}_{}",
+        std::process::id(),
+        FIXTURE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn demand_catalog() -> Catalog {
+    let mut db = Catalog::new();
+    db.insert(
+        Table::build("ITEMS", &[("IID", DataType::Int)])
+            .rows((0..20).map(|i| vec![Value::from(i)]))
+            .finish()
+            .unwrap(),
+    );
+    db.insert(
+        Table::build(
+            "PARAMS",
+            &[("MEAN", DataType::Float), ("STD", DataType::Float)],
+        )
+        .row(vec![Value::from(10.0), Value::from(2.0)])
+        .finish()
+        .unwrap(),
+    );
+    db
+}
+
+fn revenue_query() -> MonteCarloQuery {
+    let spec = RandomTableSpec::builder("SALES")
+        .for_each(Plan::scan("ITEMS"))
+        .with_vg(Arc::new(NormalVg))
+        .vg_params_query(Plan::scan("PARAMS"))
+        .select(&[("IID", Expr::col("IID")), ("AMT", Expr::col("VALUE"))])
+        .build()
+        .unwrap();
+    let q = Plan::scan("SALES").aggregate(
+        &[],
+        vec![AggSpec::new(
+            "TOTAL",
+            AggFunc::Sum,
+            Expr::col("AMT"),
+        )],
+    );
+    MonteCarloQuery::new(vec![spec], q)
+}
+
+/// A retry policy plus a fault plan that panics two replicates on their
+/// first attempt — the supervised path the cache must replay exactly.
+fn faulty_opts() -> RunOptions {
+    RunOptions::policy(RunPolicy::Retry { max_attempts: 3, reseed: true }).with_faults(
+        FaultPlan::new()
+            .fail_on(3, 0, FaultKind::Panic)
+            .fail_on(11, 0, FaultKind::Error),
+    )
+}
+
+const N: usize = 60;
+const SEED: u64 = 42;
+
+#[test]
+fn cache_hit_is_bit_identical_to_recompute_across_thread_counts() {
+    let db = demand_catalog();
+    let task = revenue_query();
+    let opts = faulty_opts();
+
+    // Ground truth: an uncached supervised run (faults + retries active).
+    let base = task.run_with_options(&db, N, SEED, &opts).unwrap();
+    assert!(!base.report.failures.is_empty(), "faults must have fired");
+
+    // Cold cached run computes and stores; it must already equal truth.
+    let cache = CacheHandle::in_memory();
+    let cached_opts = opts.clone().with_cache(cache.clone());
+    let cold = task.run_with_options(&db, N, SEED, &cached_opts).unwrap();
+    assert_eq!(base.result, cold.result);
+    assert_eq!(base.report, cold.report);
+    assert_eq!(cache.stats().hits, 0);
+
+    // Warm runs replay the entry at every thread count, bit-identically:
+    // samples, the deterministic report ledger, and the resumable state.
+    for threads in [1usize, 2, 8] {
+        let warm = task
+            .run_parallel_with_options(&db, N, SEED, threads, &cached_opts)
+            .unwrap();
+        assert_eq!(base.result, warm.result, "threads = {threads}");
+        assert_eq!(base.report, warm.report, "threads = {threads}");
+        let state = warm.checkpoint.expect("replay carries final state");
+        assert_eq!(state.cursor, N as u64);
+        assert_eq!(state.completed.len(), base.result.n());
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 3, "each warm run is exactly one hit");
+    assert_eq!(stats.misses, 1, "only the cold run missed");
+}
+
+#[test]
+fn sequential_and_parallel_runs_share_one_entry() {
+    let db = demand_catalog();
+    let task = revenue_query();
+    let cache = CacheHandle::in_memory();
+    let opts = RunOptions::default().with_cache(cache.clone());
+
+    // A parallel run computes the entry; a sequential run replays it
+    // (the key deliberately excludes the thread count).
+    let par = task
+        .run_parallel_with_options(&db, N, SEED, 8, &opts)
+        .unwrap();
+    let seq = task.run_with_options(&db, N, SEED, &opts).unwrap();
+    assert_eq!(par.result, seq.result);
+    assert_eq!(par.report, seq.report);
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+}
+
+#[test]
+fn foreign_fingerprint_and_stale_seed_never_hit() {
+    let db = demand_catalog();
+    let task = revenue_query();
+    let cache = CacheHandle::in_memory();
+    let opts = RunOptions::default().with_cache(cache.clone());
+    task.run_with_options(&db, N, SEED, &opts).unwrap();
+    assert_eq!(cache.stats().entries, 1);
+
+    // Stale seed: same campaign, different master seed — a miss.
+    task.run_with_options(&db, N, SEED + 1, &opts).unwrap();
+    // Different n: a foreign fingerprint (n is folded into the spec) — miss.
+    task.run_with_options(&db, N - 1, SEED, &opts).unwrap();
+    // Different supervision policy: result bits could differ — miss.
+    let retry_opts = RunOptions::policy(RunPolicy::Retry { max_attempts: 2, reseed: true })
+        .with_cache(cache.clone());
+    task.run_with_options(&db, N, SEED, &retry_opts).unwrap();
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 0, "no foreign key may hit");
+    assert_eq!(stats.misses, 4);
+    assert_eq!(stats.entries, 4);
+
+    // The exact original key still replays.
+    task.run_with_options(&db, N, SEED, &opts).unwrap();
+    assert_eq!(cache.stats().hits, 1);
+}
+
+#[test]
+fn durable_cache_survives_reopen_and_replays_bit_identically() {
+    let dir = scratch_dir();
+    let path = dir.join("results.mdecache");
+    let db = demand_catalog();
+    let task = revenue_query();
+    let opts = faulty_opts();
+    let base = task.run_with_options(&db, N, SEED, &opts).unwrap();
+
+    {
+        let (cache, dropped) = CacheHandle::open_or_recover(&path, DEFAULT_MAX_BYTES).unwrap();
+        assert_eq!(dropped, 0);
+        let cached_opts = opts.clone().with_cache(cache);
+        task.run_with_options(&db, N, SEED, &cached_opts).unwrap();
+    }
+    assert!(path.exists(), "insert_durable must persist the image");
+
+    // A fresh process (fresh handle) replays from disk without computing.
+    let (cache, dropped) = CacheHandle::open_or_recover(&path, DEFAULT_MAX_BYTES).unwrap();
+    assert_eq!(dropped, 0);
+    let cached_opts = opts.clone().with_cache(cache.clone());
+    let warm = task
+        .run_parallel_with_options(&db, N, SEED, 4, &cached_opts)
+        .unwrap();
+    assert_eq!(base.result, warm.result);
+    assert_eq!(base.report, warm.report);
+    assert_eq!(cache.stats().hits, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Count replicate executions so chaos tests can distinguish "replayed"
+/// from "recomputed" without trusting the cache's own counters.
+fn instrumented_scope(cache: &CacheHandle, seed: u64) -> ObjectiveScope {
+    ObjectiveScope::new(cache.clone(), "chaos.probe", 0x5EED, 1, seed)
+}
+
+#[test]
+fn chaos_bit_flips_are_typed_errors_or_transparent_recomputes() {
+    let dir = scratch_dir();
+    let path = dir.join("flip.mdecache");
+    let evals = Arc::new(AtomicUsize::new(0));
+
+    // Populate a small durable cache through the objective-scope path.
+    let truth: Vec<f64> = {
+        let (cache, _) = CacheHandle::open_or_recover(&path, DEFAULT_MAX_BYTES).unwrap();
+        let mut scope = instrumented_scope(&cache, 9);
+        let truth = (0..6)
+            .map(|i| {
+                let evals = Arc::clone(&evals);
+                scope.memoize_scalar(&[i as f64, (i * i) as f64], || {
+                    evals.fetch_add(1, Ordering::Relaxed);
+                    (i as f64).sin() * 100.0
+                })
+            })
+            .collect();
+        cache.persist().unwrap();
+        truth
+    };
+    assert_eq!(evals.load(Ordering::Relaxed), 6);
+    let pristine = std::fs::read(&path).unwrap();
+
+    let mut rng = chaos_seed();
+    for round in 0..16 {
+        // Flip one random byte (never in the magic, which is its own case).
+        let mut bytes = pristine.clone();
+        let at = 9 + (next(&mut rng) as usize) % (bytes.len() - 9);
+        let bit = 1u8 << (next(&mut rng) % 8) as u8;
+        bytes[at] ^= bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict open: a typed error, or a cache that dropped the damage.
+        match ResultCache::open(&path, DEFAULT_MAX_BYTES) {
+            Ok(cache) => {
+                // The flip landed in slack the checksum does not govern
+                // (e.g. the entry-count suffix of a short file is
+                // impossible — count mismatches are framing errors), so
+                // every surviving entry must still be verifiable.
+                assert_eq!(cache.stats().entries, 6, "round {round}");
+            }
+            Err(
+                CacheError::Corrupt { .. }
+                | CacheError::ChecksumMismatch { .. }
+                | CacheError::KeyMismatch { .. },
+            ) => {}
+            Err(e) => panic!("round {round}: unexpected error class: {e}"),
+        }
+
+        // Recovery open: damaged entries are recomputed, never wrong.
+        let before = evals.load(Ordering::Relaxed);
+        let (cache, _dropped) = CacheHandle::open_or_recover(&path, DEFAULT_MAX_BYTES).unwrap();
+        let mut scope = instrumented_scope(&cache, 9);
+        let replayed: Vec<f64> = (0..6)
+            .map(|i| {
+                let evals = Arc::clone(&evals);
+                scope.memoize_scalar(&[i as f64, (i * i) as f64], || {
+                    evals.fetch_add(1, Ordering::Relaxed);
+                    (i as f64).sin() * 100.0
+                })
+            })
+            .collect();
+        assert_eq!(truth, replayed, "round {round}: a flip changed an answer");
+        let recomputed = evals.load(Ordering::Relaxed) - before;
+        assert!(recomputed <= 6, "round {round}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_truncation_and_torn_writes_recover_the_prefix() {
+    let dir = scratch_dir();
+    let path = dir.join("torn.mdecache");
+    let (cache, _) = CacheHandle::open_or_recover(&path, DEFAULT_MAX_BYTES).unwrap();
+    let mut scope = instrumented_scope(&cache, 11);
+    let truth: Vec<f64> = (0..5)
+        .map(|i| scope.memoize_scalar(&[i as f64], || (i as f64) * 2.5 + 1.0))
+        .collect();
+    drop(scope);
+    cache.persist().unwrap();
+    drop(cache);
+    let pristine = std::fs::read(&path).unwrap();
+
+    let mut rng = chaos_seed().wrapping_mul(0x9E37_79B9);
+    for round in 0..12 {
+        let cut = 1 + (next(&mut rng) as usize) % (pristine.len() - 1);
+        let mut bytes = pristine[..cut].to_vec();
+        if round % 2 == 1 {
+            // Torn write: garbage tail instead of clean truncation.
+            bytes.extend((0..(next(&mut rng) % 64)).map(|_| next(&mut rng) as u8));
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict open of a torn file must never succeed with silently
+        // missing *verified* entries presented as the full set.
+        if let Err(e) = ResultCache::open(&path, DEFAULT_MAX_BYTES) {
+            match e {
+                CacheError::Corrupt { .. } | CacheError::ChecksumMismatch { .. } => {}
+                other => panic!("round {round}: unexpected error: {other}"),
+            }
+        }
+
+        // Recovery keeps the undamaged prefix and recomputes the rest.
+        let (cache, _dropped) = CacheHandle::open_or_recover(&path, DEFAULT_MAX_BYTES).unwrap();
+        let mut scope = instrumented_scope(&cache, 11);
+        let replayed: Vec<f64> = (0..5)
+            .map(|i| scope.memoize_scalar(&[i as f64], || (i as f64) * 2.5 + 1.0))
+            .collect();
+        assert_eq!(truth, replayed, "round {round}");
+    }
+
+    // Degenerate cases: empty file and foreign magic.
+    std::fs::write(&path, b"").unwrap();
+    assert!(matches!(
+        ResultCache::open(&path, DEFAULT_MAX_BYTES),
+        Err(CacheError::Corrupt { .. })
+    ));
+    std::fs::write(&path, b"NOTACACHE-file").unwrap();
+    assert!(matches!(
+        ResultCache::open(&path, DEFAULT_MAX_BYTES),
+        Err(CacheError::Corrupt { .. })
+    ));
+    let (empty, _) = ResultCache::open_or_recover(&path, DEFAULT_MAX_BYTES).unwrap();
+    assert_eq!(empty.stats().entries, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn provenance_links_campaign_traces_to_their_upstream_entries() {
+    let cache = CacheHandle::in_memory();
+    let mut scope = instrumented_scope(&cache, 13);
+    for i in 0..4 {
+        scope.memoize_scalar(&[i as f64], || i as f64 + 0.5);
+    }
+    // Warm lookups accumulate the upstream hash chain.
+    let mut warm = instrumented_scope(&cache, 13);
+    for i in 0..4 {
+        warm.memoize_scalar(&[i as f64], || unreachable!("must hit"));
+    }
+    warm.store_trace(vec![1.0, 2.0]);
+    let prov = cache
+        .provenance_of(&warm.trace_key())
+        .expect("trace entry must carry provenance");
+    assert_eq!(prov.campaign, "chaos.probe");
+    assert_eq!(prov.upstream.len(), 4, "one upstream hash per hit");
+    // A foreign key has no provenance.
+    assert!(cache
+        .provenance_of(&CacheKey::for_campaign(0xDEAD_BEEF, 1, 13))
+        .is_none());
+}

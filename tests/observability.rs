@@ -263,12 +263,13 @@ fn fixed_plan_emits_exact_golden_span_tree() {
     assert_eq!(out.len(), 2, "east and west survive the filter");
 
     // `query.morsels` / `query.simd_lanes` are deterministic execution
-    // counters: one morsel each for filter, join probe, aggregate, and
-    // result materialization; the 4-row filter routes its 4 lanes through
-    // the SIMD comparison fast path. Only wall-clock is stripped.
+    // counters: one morsel each for filter, join probe, and aggregate —
+    // result materialization adopts the output batch in O(1) and
+    // dispatches none; the 4-row filter routes its 4 lanes through the
+    // SIMD comparison fast path. Only wall-clock is stripped.
     assert_eq!(
         strip_nanos_fields(&sink.tree()),
-        "query{exec=1, rows_out=2, query.morsels=4, query.simd_lanes=4}\n\
+        "query{exec=1, rows_out=2, query.morsels=3, query.simd_lanes=4}\n\
          \x20 aggregate{rows_in=2, groups=2}\n\
          \x20   join{left_rows=2, right_rows=2, rows_out=2}\n\
          \x20     filter{rows_in=4, rows_out=2}\n\
